@@ -1,0 +1,102 @@
+"""Ref. [26] ablations: FFTMatvec data layout and 2D processor-grid tuning.
+
+Two implementation studies from the FFTMatvec paper the twin builds on:
+
+1. **data layout** — `space-major` (transpose once, FFT contiguous) vs
+   `time-major` (strided FFT axis): measured matvec times on a kernel
+   large enough for layout to matter;
+2. **2D grid autotuning** — the modeled-optimal ``(pr, pc)`` against a
+   brute-force sweep of *executed* virtual-parallel matvecs with
+   communication byte accounting.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+
+from repro.hpc.fft_parallel import DistributedFFTMatvec, autotune_grid
+from repro.hpc.machine import EL_CAPITAN
+from repro.hpc.partition import factor_grids
+from repro.inference.toeplitz import BlockToeplitzOperator
+
+
+def _time(fn, n_rep=5):
+    fn()  # warm-up
+    t0 = time.perf_counter()
+    for _ in range(n_rep):
+        fn()
+    return (time.perf_counter() - t0) / n_rep
+
+
+def test_layout_ablation(benchmark, bench_rng):
+    nt, nd, nm = 128, 24, 1200
+    kernel = bench_rng.standard_normal((nt, nd, nm))
+    m = bench_rng.standard_normal((nt, nm))
+    ops = {
+        lay: BlockToeplitzOperator(kernel, layout=lay)
+        for lay in ("space-major", "time-major")
+    }
+    times = {lay: _time(lambda o=op: o.matvec(m)) for lay, op in ops.items()}
+    benchmark(lambda: ops["space-major"].matvec(m))
+
+    d_ref = ops["space-major"].matvec(m)
+    np.testing.assert_allclose(ops["time-major"].matvec(m), d_ref, atol=1e-11)
+
+    lines = [
+        "ABLATION - FFTMatvec data layout (paper Section V-A)",
+        f"kernel: Nt={nt}, Nd={nd}, Nm={nm}",
+        f"  space-major (transpose + contiguous FFT): {times['space-major'] * 1e3:8.2f} ms",
+        f"  time-major  (strided FFT axis):           {times['time-major'] * 1e3:8.2f} ms",
+        f"  time-major / space-major: {times['time-major'] / times['space-major']:.2f}x",
+        "(identical results; which layout wins is hardware-dependent: on GPUs",
+        " coalesced access makes the transposed layout decisively faster --",
+        " the paper's choice -- while CPU pocketfft handles strided axes well",
+        " and the explicit transpose copies may dominate, as measured here)",
+    ]
+    write_report("ablation_layout", "\n".join(lines))
+
+
+def test_grid_autotune_ablation(benchmark, bench_rng):
+    nt, nd, nm, nranks = 48, 24, 480, 8
+    kernel = bench_rng.standard_normal((nt, nd, nm))
+    m = bench_rng.standard_normal((nt, nm))
+    serial = BlockToeplitzOperator(kernel)
+    d_ref = serial.matvec(m)
+
+    rows = []
+    for pr, pc in factor_grids(nranks, 2):
+        if pr > nd or pc > nm:
+            continue
+        dist = DistributedFFTMatvec(kernel, pr, pc)
+        d = dist.matvec(m)
+        np.testing.assert_allclose(d, d_ref, atol=1e-11)
+        t = _time(lambda dd=dist: dd.matvec(m), n_rep=3)
+        rows.append((pr, pc, t, dist.comm.total_bytes))
+
+    (pr_star, pc_star), t_model = autotune_grid(nt, nd, nm, nranks, EL_CAPITAN)
+    benchmark(lambda: serial.matvec(m))
+
+    lines = [
+        "ABLATION - 2D processor-grid tuning for FFTMatvec (ref. [26])",
+        f"kernel Nt={nt}, Nd={nd}, Nm={nm}, ranks={nranks}",
+        f"{'grid':>8s} {'measured ms':>12s} {'comm bytes':>12s}",
+    ]
+    for pr, pc, t, b in sorted(rows, key=lambda r: r[2]):
+        tag = "  <- model pick" if (pr, pc) == (pr_star, pc_star) else ""
+        lines.append(f"  ({pr},{pc})  {t * 1e3:>10.2f}  {b:>12,d}{tag}")
+    lines.append(f"model-selected grid: ({pr_star},{pc_star})")
+    lines.append(
+        "(the model minimizes *machine* time, alpha-beta communication at "
+        "cluster scale;\n in-process measured times are Python-overhead "
+        "dominated, so the comm-bytes\n column is the model-relevant "
+        "measurement)"
+    )
+    write_report("ablation_gridtune", "\n".join(lines))
+
+    # The model pick's measured comm volume must be near the sweep minimum.
+    by_grid = {(pr, pc): b for pr, pc, _, b in rows}
+    comm_star = by_grid[(pr_star, pc_star)]
+    assert comm_star <= 2.0 * min(by_grid.values()) + 1

@@ -1,0 +1,121 @@
+"""Section VIII ablation: forecast skill vs offshore sensor coverage.
+
+The paper's implication section notes the framework is "limited by the
+sparsity of offshore sensors currently available in the CSZ".  This
+ablation quantifies that at reduced scale: reconstruction error, forecast
+error, and posterior uncertainty as the sensor count grows, plus the
+streaming warning latency (how many seconds of data the alert needs).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+
+from repro.twin.cascadia import CascadiaTwin
+from repro.twin.config import TwinConfig
+from repro.twin.earlywarning import StreamingInverter
+
+
+def test_sensor_count_ablation(benchmark):
+    counts = [3, 6, 12, 24]
+    rows = []
+    for ns in counts:
+        twin = CascadiaTwin(
+            TwinConfig.demo_2d(nx=16, n_slots=20, n_sensors=ns, n_qoi=4)
+        )
+        res = twin.run_end_to_end()
+        stream = StreamingInverter(twin.inversion)
+        peak = float(np.abs(res.q_true).max())
+        fired, _ = stream.warning_latency(
+            res.d_obs, 0.1 * peak, 0.25 * peak, 0.5 * peak
+        )
+        rows.append(
+            (
+                ns,
+                res.parameter_error(),
+                res.forecast_error(),
+                float(np.mean(res.displacement_std)),
+                fired if fired is not None else -1,
+            )
+        )
+
+    benchmark(lambda: None)
+
+    lines = [
+        "SECTION VIII ablation - skill vs sensor coverage",
+        f"{'sensors':>8s} {'param err':>10s} {'fcst err':>9s} "
+        f"{'mean std':>9s} {'alert@slot':>11s}",
+    ]
+    for ns, pe, fe, sd, fired in rows:
+        lines.append(
+            f"{ns:>8d} {pe:>10.3f} {fe:>9.3f} {sd:>9.4f} {fired:>11d}"
+        )
+    write_report("ablation_sensors", "\n".join(lines))
+
+    # More sensors: better reconstruction and tighter posteriors.
+    errs = [r[1] for r in rows]
+    stds = [r[3] for r in rows]
+    assert errs[-1] < errs[0]
+    assert stds[-1] < stds[0]
+    assert all(s2 <= s1 + 1e-12 for s1, s2 in zip(stds, stds[1:]))
+
+
+def test_noise_level_ablation(benchmark):
+    """Companion sweep: skill vs observation noise at fixed sensors."""
+    levels = [0.1, 0.03, 0.01]
+    rows = []
+    for rel in levels:
+        twin = CascadiaTwin(
+            TwinConfig.demo_2d(nx=16, n_slots=16, n_sensors=12, noise_relative=rel)
+        )
+        res = twin.run_end_to_end()
+        rows.append((rel, res.parameter_error(), float(np.mean(res.displacement_std))))
+    benchmark(lambda: None)
+    lines = [
+        "ABLATION - skill vs noise level (12 sensors)",
+        f"{'noise':>8s} {'param err':>10s} {'mean std':>9s}",
+    ]
+    for rel, pe, sd in rows:
+        lines.append(f"{rel:>8.2f} {pe:>10.3f} {sd:>9.4f}")
+    write_report("ablation_noise", "\n".join(lines))
+    assert rows[-1][1] < rows[0][1]
+    assert rows[-1][2] < rows[0][2]
+
+
+def test_optimal_placement_ablation(benchmark):
+    """Extension: greedy A-optimal design vs evenly-spaced sensors.
+
+    The data-space machinery makes Bayesian experimental design cheap:
+    candidates cost one batched adjoint solve, then every subset objective
+    is a small dense solve.  Greedy selection must dominate the
+    evenly-spaced layout at every budget.
+    """
+    import numpy as np
+
+    from repro.twin import CascadiaTwin, GreedySensorPlacement, TwinConfig
+
+    twin = CascadiaTwin(TwinConfig.demo_2d(nx=16, n_slots=16, n_sensors=4))
+    twin.setup()
+    twin.phase1()
+    lo, hi = twin.mesh.bounding_box()
+    cand = np.linspace(lo[0] + 0.3, hi[0] - 0.3, 16)[:, None]
+    gp = GreedySensorPlacement(
+        twin.propagator, cand, twin.Fq, twin.prior, noise_sigma=0.005
+    )
+    benchmark.pedantic(lambda: gp.select(3), iterations=1, rounds=2)
+
+    lines = [
+        "EXTENSION - greedy A-optimal sensor placement",
+        f"{'budget':>7s} {'greedy tr(cov)':>15s} {'regular tr(cov)':>16s} {'gain':>7s}",
+    ]
+    for k in (2, 4, 6):
+        g, r = gp.compare_with_regular(k)
+        lines.append(f"{k:>7d} {g:>15.5f} {r:>16.5f} {r / g:>6.2f}x")
+        assert g <= r + 1e-12
+    res = gp.select(6)
+    lines.append(
+        f"greedy-6 positions: {np.round(res.positions.ravel(), 2).tolist()}"
+        f"  (variance reduction {100 * res.reduction():.1f}%)"
+    )
+    write_report("ablation_placement", "\n".join(lines))

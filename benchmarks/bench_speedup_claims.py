@@ -1,0 +1,127 @@
+"""Section IV / VII-C speedup claims, measured at our scale + paper model.
+
+The paper's headline ratios:
+
+* SoA CG would need ~N_d N_t iterations x 2 PDE solves -> 50 years;
+* Phase 1 needs only N_d + N_q solves -> ~810x fewer PDE solves;
+* an FFT Hessian matvec replaces a forward/adjoint PDE pair -> 260,000x;
+* the online solve vs SoA CG -> ~10^10.
+
+Every ingredient is *measured* on the reduced problem: one real adjoint
+solve, one real forward/adjoint PDE pair, one real FFT matvec, the real
+online solve, and the real CG iteration count.  The CG iterations are
+counted with the (bitwise-identical-iteration) FFT-backed Hessian — CG's
+trajectory depends only on the operator, not on how its action is computed
+— and a short PDE-mode CG run cross-checks that equivalence before the
+SoA cost is projected as ``iterations x 2 x t_pde``.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+
+from repro.baselines.cg import (
+    fft_hessian_operator,
+    pde_hessian_operator,
+    solve_map_cg,
+)
+from repro.baselines.costmodel import MeasuredDemoCosts, SoACostModel
+
+
+def test_speedup_claims(bench_twin, benchmark):
+    twin, result = bench_twin
+    prop, sensors = twin.propagator, twin.sensors
+    noise = twin.inversion.noise
+    d = result.d_obs
+
+    # --- measured: one adjoint PDE solve (per-sensor share of Phase 1) ---
+    t0 = time.perf_counter()
+    prop.p2o_kernel(sensors)
+    pde_solve_s = (time.perf_counter() - t0) / sensors.n
+
+    # --- measured: one forward/adjoint PDE pair (a true Hessian matvec) --
+    m_probe = result.m_map
+    t0 = time.perf_counter()
+    prop.apply_p2o(m_probe, sensors)
+    prop.apply_p2o_transpose(d, sensors)
+    pde_pair_s = time.perf_counter() - t0
+
+    # --- measured: one FFT Hessian matvec -------------------------------
+    twin.inversion.hessian_data_action(d)  # warm-up
+    t0 = time.perf_counter()
+    n_rep = 50
+    for _ in range(n_rep):
+        twin.inversion.hessian_data_action(d)
+    fft_matvec_s = (time.perf_counter() - t0) / n_rep
+
+    # --- measured: online solve ------------------------------------------
+    t0 = time.perf_counter()
+    for _ in range(10):
+        twin.inversion.infer_and_predict(d)
+    online_s = (time.perf_counter() - t0) / 10
+
+    # --- measured: CG iteration count ------------------------------------
+    # Full count with FFT-backed actions (identical CG trajectory), then a
+    # truncated PDE-mode run to confirm the iterates coincide.
+    Hf = fft_hessian_operator(twin.F, twin.prior, noise)
+    res_f = solve_map_cg(Hf, d, rtol=1e-8)
+    Hp = pde_hessian_operator(prop, sensors, twin.prior, noise)
+    res_p = solve_map_cg(Hp, d, rtol=1e-8, maxiter=5)
+    drift = np.abs(
+        np.array(res_p.residuals[: 6]) - np.array(res_f.residuals[: 6])
+    ).max() / res_f.residuals[0]
+    assert drift < 1e-9, "PDE-mode and FFT-mode CG must follow the same path"
+
+    measured = MeasuredDemoCosts(
+        n_sensors=sensors.n,
+        n_qoi=twin.qoi.n,
+        nt=twin.config.n_slots,
+        pde_solve_seconds=pde_solve_s,
+        fft_matvec_seconds=fft_matvec_s,
+        online_seconds=online_s,
+        cg_iterations=res_f.iterations,
+    )
+    model = SoACostModel()
+    ms = measured.summary()
+    matvec_speedup_measured = pde_pair_s / fft_matvec_s
+
+    benchmark(lambda: twin.inversion.hessian_data_action(d))
+
+    lines = [
+        "SPEEDUP CLAIMS - measured at reduced scale vs paper-scale model",
+        "",
+        "measured ingredients:",
+        f"  PDE adjoint solve       {pde_solve_s * 1e3:10.2f} ms   (paper: 52 min on 512 A100)",
+        f"  PDE fwd/adj pair        {pde_pair_s * 1e3:10.2f} ms   (paper: 104 min)",
+        f"  FFT Hessian matvec      {fft_matvec_s * 1e3:10.3f} ms   (paper: 24 ms)",
+        f"  online infer+predict    {online_s * 1e3:10.3f} ms   (paper: < 0.2 s)",
+        f"  CG iterations to 1e-8   {res_f.iterations:10d}      (paper: O(Nd*Nt) = O(252,000))",
+        f"  data dimension          {sensors.n * twin.config.n_slots:10d}",
+        "",
+        "measured ratios:",
+        f"  Hessian matvec speedup  {matvec_speedup_measured:12,.0f}x  (paper: 260,000x)",
+        f"  PDE-solve reduction     {ms['pde_solve_reduction']:12.1f}x  (paper: ~810x)",
+        f"  online speedup          {ms['online_speedup']:12,.0f}x  (paper: ~1e10)",
+        f"  (SoA projected: {measured.soa_seconds():.1f} s of PDE-CG vs "
+        f"{online_s * 1e3:.1f} ms online)",
+        "",
+        "paper-scale projection from the paper's own constants:",
+        model.report(),
+    ]
+    write_report("speedup_claims", "\n".join(lines))
+
+    # Shape assertions: every ratio favors the framework, strongly.
+    assert matvec_speedup_measured > 20
+    assert ms["pde_solve_reduction"] > 5
+    assert ms["online_speedup"] > 1000
+    # CG iteration count is a large fraction of the data dimension.
+    assert res_f.iterations > 0.25 * sensors.n * twin.config.n_slots
+    # Paper-scale model reproduces the published numbers.
+    s = model.summary()
+    assert s["soa_cg_years"] == pytest.approx(50.0, rel=0.05)
+    assert s["pde_solve_reduction"] == pytest.approx(810.0, rel=0.01)
+    assert s["matvec_speedup"] == pytest.approx(260_000.0, rel=0.001)
+    assert 5e9 < s["online_speedup"] < 2e10

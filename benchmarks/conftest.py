@@ -1,0 +1,43 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one table or figure of the paper at
+reduced scale: it measures the relevant quantities on the real reproduction
+code, prints a paper-style table, and writes the same table to
+``benchmarks/reports/<name>.txt`` so the results survive pytest's output
+capture.  Shape-level agreement with the paper (who wins, by what factor)
+is asserted; absolute numbers are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.twin.cascadia import CascadiaTwin
+from repro.twin.config import TwinConfig
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+def write_report(name: str, text: str) -> None:
+    """Print a report and persist it under ``benchmarks/reports/``."""
+    REPORT_DIR.mkdir(exist_ok=True)
+    (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+@pytest.fixture(scope="session")
+def bench_twin():
+    """A mid-size 2D twin, fully assembled once for the whole bench run."""
+    cfg = TwinConfig.demo_2d(nx=16, n_slots=24, n_sensors=16, n_qoi=4, order=3)
+    twin = CascadiaTwin(cfg)
+    result = twin.run_end_to_end()
+    return twin, result
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    """Deterministic RNG for benchmark inputs."""
+    return np.random.default_rng(2025)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Streaming early warning: re-invert as each second of data arrives.
+
+Demonstrates the operational loop the paper's design enables: the offline
+phases are precomputed; then, as observation slots stream in, the leading
+blocks of the data-space Cholesky factor give *exact* partial-data
+posteriors for the cost of two triangular solves.  The script prints, slot
+by slot, the evolving forecast, its uncertainty, the alert level, and the
+final measured warning latency.
+
+Usage::
+
+    python examples/streaming_early_warning.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.twin import (
+    AlertLevel,
+    CascadiaTwin,
+    StreamingInverter,
+    TwinConfig,
+    decide_alert,
+)
+
+
+def main() -> None:
+    config = TwinConfig.demo_2d(nx=16, n_slots=24, n_sensors=14, n_qoi=4)
+    twin = CascadiaTwin(config)
+    print("precomputing offline phases ...")
+    result = twin.run_end_to_end()
+    stream = StreamingInverter(twin.inversion)
+
+    peak = float(np.abs(result.q_true).max())
+    thresholds = dict(
+        advisory=0.10 * peak, watch=0.25 * peak, warning=0.50 * peak
+    )
+    print(
+        f"true peak wave height {peak:.3f}; thresholds "
+        f"adv={thresholds['advisory']:.3f} watch={thresholds['watch']:.3f} "
+        f"warn={thresholds['warning']:.3f}\n"
+    )
+    print(
+        f"{'slot':>4s} {'t':>6s} {'max |q|':>9s} {'mean std':>9s} "
+        f"{'P(warn)':>8s} {'level':<9s} {'solve ms':>9s}"
+    )
+
+    fired_at = None
+    for k in range(1, config.n_slots + 1):
+        t0 = time.perf_counter()
+        fc = stream.forecast_partial(result.d_obs, k)
+        dt_ms = (time.perf_counter() - t0) * 1e3
+        dec = decide_alert(fc, **thresholds)
+        p_warn = float(max(dec.exceedance["warning"]))
+        level = dec.max_level()
+        if fired_at is None and level >= AlertLevel.WARNING:
+            fired_at = k
+        print(
+            f"{k:>4d} {k * config.dt_obs:>6.2f} {np.abs(fc.mean).max():>9.4f} "
+            f"{fc.std().mean():>9.4f} {p_warn:>8.3f} {level.name:<9s} {dt_ms:>9.2f}"
+        )
+
+    if fired_at is None:
+        print("\nno WARNING issued within the observation window")
+    else:
+        print(
+            f"\nWARNING first issued after {fired_at} slots "
+            f"({fired_at * config.dt_obs:.2f} time units of data) — "
+            f"{config.n_slots - fired_at} slots before the window ends"
+        )
+
+    # Consistency: the final streaming solve equals the batch solution.
+    m_stream = stream.infer_partial(result.d_obs, config.n_slots)
+    err = np.abs(m_stream - result.m_map).max()
+    print(f"final streaming MAP == batch MAP (max abs diff {err:.2e})")
+
+
+if __name__ == "__main__":
+    main()

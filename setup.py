@@ -1,0 +1,10 @@
+"""Thin setuptools shim.
+
+Allows legacy editable installs (``pip install -e . --no-use-pep517``) in
+offline environments that lack the ``wheel`` package required by PEP 660;
+all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""repro: real-time Bayesian inference digital twin for tsunami early warning.
+
+A laptop-scale, fully-verified Python reproduction of Henneking et al.,
+"Real-time Bayesian inference at extreme scale: A digital twin for tsunami
+early warning applied to the Cascadia subduction zone" (SC 2025,
+arXiv:2504.16344).
+
+Subpackages
+-----------
+``repro.fem``
+    High-order tensor-product finite elements (the MFEM substitute).
+``repro.ocean``
+    The acoustic--gravity wave model, slot propagator, and observations.
+``repro.inference``
+    FFT block-Toeplitz operators, priors, and the Phase 2-4 Bayesian
+    machinery.
+``repro.rupture``
+    Kinematic earthquake scenarios (the dynamic-rupture substitute).
+``repro.baselines``
+    State-of-the-art baselines (CG, low-rank posteriors) and cost models.
+``repro.hpc``
+    Virtual-parallel substrate and the calibrated scaling study.
+``repro.twin``
+    The end-to-end ``CascadiaTwin`` and early-warning layer.
+
+Quick start::
+
+    from repro.twin import CascadiaTwin, TwinConfig
+    result = CascadiaTwin(TwinConfig.demo_2d()).run_end_to_end()
+    print(result.forecast.credible_interval(0.95))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

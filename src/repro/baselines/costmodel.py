@@ -1,0 +1,164 @@
+"""Paper-scale cost projections: 50 SoA-years vs 0.2 online seconds.
+
+Section VII-C of the paper reports a precise cost ledger for the Cascadia
+configuration (Table III); Section IV derives the state-of-the-art cost it
+replaces.  This module encodes both as an explicit, auditable model:
+
+* from the *paper's own constants* (52-minute PDE solves on 512 A100s,
+  252,000 spatiotemporal data, 600 sensors + 21 QoI locations) it
+  reproduces the headline numbers — ~50 SoA years, 538 offline hours,
+  ~810x fewer PDE solves, 260,000x per-Hessian-matvec, ~10^10 online
+  speedup;
+* from *measured demo-scale timings* of this reproduction (a real PDE
+  solve, a real FFT matvec, a real online solve) it re-derives the same
+  ratios at our scale, so the bench can print paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["PaperScaleCosts", "SoACostModel", "MeasuredDemoCosts"]
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class PaperScaleCosts:
+    """The paper's Cascadia configuration constants (Table III, Section IV)."""
+
+    n_sensors: int = 600
+    n_qoi: int = 21
+    nt: int = 420
+    nm_spatial: int = 2_416_530
+    pde_solve_seconds: float = 52.0 * 60.0  # one adjoint solve, 512 A100s
+    fft_matvec_seconds: float = 0.024  # Hessian matvec, 512 A100s
+    online_seconds: float = 0.2
+    gpus: int = 512
+
+    @property
+    def data_dimension(self) -> int:
+        """Spatiotemporal data dimension ``N_d N_t`` (= CG iteration scale)."""
+        return self.n_sensors * self.nt
+
+    @property
+    def parameter_dimension(self) -> int:
+        """Total parameters ``N_m N_t`` (the paper's ~1.015 billion)."""
+        return self.nm_spatial * self.nt
+
+
+class SoACostModel:
+    """Derived quantities of the offline--online decomposition."""
+
+    def __init__(self, c: PaperScaleCosts = PaperScaleCosts()) -> None:
+        self.c = c
+
+    # --- state of the art -------------------------------------------------
+    def soa_cg_iterations(self) -> int:
+        """CG iterations ~ effective rank ~ data dimension (Section IV)."""
+        return self.c.data_dimension
+
+    def soa_cg_seconds(self) -> float:
+        """SoA cost: one forward/adjoint PDE pair per CG iteration."""
+        return self.soa_cg_iterations() * 2.0 * self.c.pde_solve_seconds
+
+    def soa_cg_years(self) -> float:
+        """The paper's "50 years on 512 GPUs"."""
+        return self.soa_cg_seconds() / SECONDS_PER_YEAR
+
+    # --- this framework ----------------------------------------------------
+    def phase1_solves(self) -> int:
+        """Offline adjoint PDE solves: one per sensor + one per QoI point."""
+        return self.c.n_sensors + self.c.n_qoi
+
+    def phase1_hours(self) -> float:
+        """The paper's 538 offline hours (520 + 18)."""
+        return self.phase1_solves() * self.c.pde_solve_seconds / 3600.0
+
+    def pde_solve_reduction(self) -> float:
+        """SoA PDE solves / Phase 1 PDE solves (paper: ~810x)."""
+        return (2.0 * self.c.data_dimension) / self.phase1_solves()
+
+    def matvec_speedup(self) -> float:
+        """PDE-pair Hessian matvec vs FFT matvec (paper: ~260,000x)."""
+        return (2.0 * self.c.pde_solve_seconds) / self.c.fft_matvec_seconds
+
+    def online_speedup(self) -> float:
+        """SoA inversion time / online time (paper: ~10^10)."""
+        return self.soa_cg_seconds() / self.c.online_seconds
+
+    # --- reporting ----------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """All headline numbers in one dictionary."""
+        return {
+            "data_dimension": float(self.c.data_dimension),
+            "parameter_dimension": float(self.c.parameter_dimension),
+            "soa_cg_iterations": float(self.soa_cg_iterations()),
+            "soa_cg_years": self.soa_cg_years(),
+            "phase1_solves": float(self.phase1_solves()),
+            "phase1_hours": self.phase1_hours(),
+            "pde_solve_reduction": self.pde_solve_reduction(),
+            "matvec_speedup": self.matvec_speedup(),
+            "online_speedup": self.online_speedup(),
+        }
+
+    def report(self) -> str:
+        """Paper-style text table of the headline claims."""
+        s = self.summary()
+        rows = [
+            ("Data dimension Nd*Nt", f"{s['data_dimension']:,.0f}", "252,000"),
+            ("Parameters Nm*Nt", f"{s['parameter_dimension']:,.0f}", "~1.015e9"),
+            ("SoA CG time (years)", f"{s['soa_cg_years']:.1f}", "~50"),
+            ("Phase 1 solves", f"{s['phase1_solves']:.0f}", "621"),
+            ("Phase 1 hours", f"{s['phase1_hours']:.0f}", "538"),
+            ("PDE-solve reduction", f"{s['pde_solve_reduction']:.0f}x", "~810x"),
+            ("Matvec speedup", f"{s['matvec_speedup']:,.0f}x", "260,000x"),
+            ("Online speedup", f"{s['online_speedup']:.2e}", "~1e10"),
+        ]
+        lines = [f"{'quantity':<28s} {'model':>14s} {'paper':>12s}"]
+        lines += [f"{a:<28s} {b:>14s} {c:>12s}" for a, b, c in rows]
+        return "\n".join(lines)
+
+
+@dataclass
+class MeasuredDemoCosts:
+    """Measured demo-scale costs of this reproduction (filled by benches).
+
+    The same ratios as :class:`SoACostModel`, but with every constant
+    *measured* on the reduced problem: a real adjoint solve, a real FFT
+    matvec, a real Phase 4 solve, and the measured CG iteration count.
+    """
+
+    n_sensors: int
+    n_qoi: int
+    nt: int
+    pde_solve_seconds: float
+    fft_matvec_seconds: float
+    online_seconds: float
+    cg_iterations: int
+
+    def soa_seconds(self) -> float:
+        """Measured-scale SoA cost (CG iterations x PDE pairs)."""
+        return self.cg_iterations * 2.0 * self.pde_solve_seconds
+
+    def pde_solve_reduction(self) -> float:
+        """Measured-scale PDE-solve reduction."""
+        return 2.0 * self.cg_iterations / (self.n_sensors + self.n_qoi)
+
+    def matvec_speedup(self) -> float:
+        """Measured-scale Hessian-matvec speedup."""
+        return 2.0 * self.pde_solve_seconds / self.fft_matvec_seconds
+
+    def online_speedup(self) -> float:
+        """Measured-scale online speedup."""
+        return self.soa_seconds() / self.online_seconds
+
+    def summary(self) -> Dict[str, float]:
+        """Measured ratios in one dictionary."""
+        return {
+            "soa_seconds": self.soa_seconds(),
+            "pde_solve_reduction": self.pde_solve_reduction(),
+            "matvec_speedup": self.matvec_speedup(),
+            "online_speedup": self.online_speedup(),
+        }

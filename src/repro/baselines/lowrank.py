@@ -1,0 +1,175 @@
+"""Randomized low-rank posterior approximation (and where it breaks).
+
+The scalable-UQ literature the paper cites [17, 18] approximates the
+posterior by a rank-``r`` eigendecomposition of the prior-preconditioned
+misfit Hessian ``tilde-H = V L V^T``:
+
+.. math::
+
+    \\Gamma_{post} \\approx \\Gamma_p^{1/2}
+        (I - V D V^T) \\Gamma_p^{1/2}, \\qquad
+    D = \\mathrm{diag}(\\lambda_i / (1 + \\lambda_i)),
+
+with ``V`` from a matrix-free randomized eigensolver.  The approximation
+error is controlled by the first *discarded* eigenvalue ``lambda_{r+1}``;
+it converges quickly iff the spectrum decays quickly.  For the tsunami p2o
+map it does not (effective rank ~ data dimension), which
+``bench_ablation_spectrum.py`` demonstrates against the diffusive contrast
+problem where the same code converges at tiny rank.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.inference.noise import NoiseModel
+from repro.inference.prior import SpatioTemporalPrior
+from repro.inference.toeplitz import BlockToeplitzOperator
+
+__all__ = ["randomized_eigsh", "LowRankPosterior"]
+
+ApplyFn = Callable[[np.ndarray], np.ndarray]
+
+
+def randomized_eigsh(
+    apply_H: ApplyFn,
+    n: int,
+    rank: int,
+    oversample: int = 10,
+    power_iters: int = 2,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Matrix-free randomized eigendecomposition of a symmetric PSD operator.
+
+    Halko--Martinsson--Tropp: range finding on ``H Omega`` with a few power
+    iterations, then a small dense eigensolve of the projected operator.
+
+    Parameters
+    ----------
+    apply_H:
+        Symmetric PSD action on ``(n, k)`` blocks of vectors.
+    n:
+        Operator dimension.
+    rank:
+        Number of eigenpairs to return.
+    oversample, power_iters:
+        Standard accuracy knobs.
+
+    Returns
+    -------
+    ``(eigenvalues desc (rank,), eigenvectors (n, rank))``.
+    """
+    if rank < 1 or rank > n:
+        raise ValueError(f"rank must lie in [1, {n}]")
+    rng = np.random.default_rng() if rng is None else rng
+    ell = min(n, rank + oversample)
+    Omega = rng.standard_normal((n, ell))
+    Y = apply_H(Omega)
+    for _ in range(power_iters):
+        Q, _ = np.linalg.qr(Y)
+        Y = apply_H(Q)
+    Q, _ = np.linalg.qr(Y)
+    Hs = Q.T @ apply_H(Q)
+    Hs = 0.5 * (Hs + Hs.T)
+    lam, U = np.linalg.eigh(Hs)
+    order = np.argsort(lam)[::-1][:rank]
+    return np.maximum(lam[order], 0.0), Q @ U[:, order]
+
+
+class LowRankPosterior:
+    """Rank-``r`` SMW posterior built on the prior-preconditioned Hessian.
+
+    Parameters
+    ----------
+    F, prior, noise:
+        The inverse-problem triplet (FFT matvecs supply the Hessian
+        actions; every action costs two Toeplitz matvecs and two prior
+        square-root applications).
+    rank:
+        Retained eigenpairs.
+    """
+
+    def __init__(
+        self,
+        F: BlockToeplitzOperator,
+        prior: SpatioTemporalPrior,
+        noise: NoiseModel,
+        rank: int,
+        rng: Optional[np.random.Generator] = None,
+        power_iters: int = 2,
+    ) -> None:
+        self.F = F
+        self.prior = prior
+        self.noise = noise
+        self.nt, self.nd, self.nm = F.nt, F.n_out, F.n_in
+        n = self.nt * self.nm
+
+        def apply_Htilde(X: np.ndarray) -> np.ndarray:
+            k = X.shape[1]
+            xb = X.reshape(self.nt, self.nm, k)
+            y = prior.apply_sqrt(xb)
+            d = F.matvec(y)
+            d = noise.apply_inverse(d)
+            g = F.rmatvec(d)
+            # L^T = M^{1/2} A^{-1} per slot: same as apply_sqrt for the
+            # symmetric spatial factor composed with the temporal Cholesky^T.
+            z = self._sqrtT(g)
+            return z.reshape(n, k)
+
+        self._apply_Htilde = apply_Htilde
+        self.eigenvalues, self.V = randomized_eigsh(
+            apply_Htilde, n, rank, rng=rng, power_iters=power_iters
+        )
+        self.rank = int(rank)
+        self.D = self.eigenvalues / (1.0 + self.eigenvalues)
+
+    # ------------------------------------------------------------------
+    def _sqrtT(self, v: np.ndarray) -> np.ndarray:
+        """Transpose square root ``L^T v`` (spatial ``M^{1/2} A^{-1}`` per slot)."""
+        sp = self.prior.spatial
+        squeeze = v.ndim == 2
+        vv = v[:, :, None] if squeeze else v
+        nt, nm, k = vv.shape
+        flat = np.ascontiguousarray(vv.transpose(1, 0, 2)).reshape(nm, nt * k)
+        w = sp._solve_A(flat) * sp._sqrt_m[:, None]
+        out = w.reshape(nm, nt, k).transpose(1, 0, 2)
+        if self.prior._Ct_chol is not None:
+            out = np.einsum("ji,j...->i...", self.prior._Ct_chol, out)
+        out = np.ascontiguousarray(out)
+        return out[:, :, 0] if squeeze else out
+
+    def _sqrt(self, v: np.ndarray) -> np.ndarray:
+        """Forward square root ``L v`` (delegates to the prior)."""
+        return self.prior.apply_sqrt(v)
+
+    # ------------------------------------------------------------------
+    def posterior_covariance_action(self, v: np.ndarray) -> np.ndarray:
+        """``Gamma_post^{(r)} v = L (I - V D V^T) L^T v`` on ``(Nt, Nm)``."""
+        w = self._sqrtT(np.asarray(v, dtype=np.float64)).reshape(-1)
+        w = w - self.V @ (self.D * (self.V.T @ w))
+        return self._sqrt(w.reshape(self.nt, self.nm))
+
+    def map_estimate(self, d_obs: np.ndarray) -> np.ndarray:
+        """Low-rank MAP ``m = Gamma_post^{(r)} F* Gn^{-1} d_obs``."""
+        g = self.F.rmatvec(self.noise.apply_inverse(np.asarray(d_obs)))
+        return self.posterior_covariance_action(g)
+
+    def pointwise_variance(self, chunk: int = 256) -> np.ndarray:
+        """Approximate marginal variances ``diag(Gamma_post^{(r)})``.
+
+        ``diag = diag(Gamma_prior) - sum_i D_i (L V_i)^2`` — exact given
+        the retained eigenpairs.
+        """
+        prior_diag = np.tile(self.prior.spatial.marginal_variance(), self.nt)
+        if self.prior.Ct is not None:
+            scale = np.repeat(np.diag(self.prior.Ct), self.nm)
+            prior_diag = prior_diag * scale
+        red = np.zeros(self.nt * self.nm)
+        for start in range(0, self.rank, chunk):
+            stop = min(start + chunk, self.rank)
+            cols = self.V[:, start:stop].reshape(self.nt, self.nm, stop - start)
+            lv = self._sqrt(cols).reshape(self.nt * self.nm, stop - start)
+            red += (lv**2) @ self.D[start:stop]
+        return np.maximum(prior_diag - red, 0.0)

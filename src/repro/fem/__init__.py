@@ -1,0 +1,91 @@
+"""Mini-MFEM: high-order tensor-product finite elements in NumPy.
+
+This package is the Python stand-in for the paper's MFEM-based C++
+discretization substrate.  It provides the same ingredients the Cascadia
+application code builds on:
+
+``quadrature``
+    Gauss--Legendre and Gauss--Lobatto--Legendre rules on the reference
+    interval, and tensor-product rules on reference boxes.
+``basis``
+    Stable (barycentric) 1D Lagrange bases and their interpolation /
+    differentiation matrices.
+``mesh``
+    Structured interval/quad/hex meshes, including terrain-following
+    ("bathymetry-adapted", Fig. 1d) ocean meshes.
+``geometry``
+    Multilinear (Q1) element mappings: coordinates, Jacobians, volume and
+    face geometric factors at arbitrary tensor reference points.
+``spaces``
+    ``H1Space`` (continuous GLL-nodal) and ``L2Space`` (discontinuous
+    Gauss-nodal) finite element spaces with E-vector/L-vector
+    gather/scatter, boundary dof extraction, and point evaluation.
+``kernels``
+    The five partial-assembly / matrix-free gradient-kernel variants of the
+    paper's Fig. 7 ("initial PA", "shared PA", "optimized PA", "fused PA",
+    "fused MF"), all producing bitwise-identical results at different
+    throughputs, plus analytic FLOP/byte counts.
+``operators``
+    Diagonal (collocated) mass operators, boundary mass operators, and the
+    partially-assembled weak gradient pairing used by the wave equation.
+``timestep``
+    CFL estimation and the linear-RK4 stepping used throughout: for linear
+    autonomous systems, classical RK4 is the degree-4 Taylor polynomial
+    ``P(dt L)``; we evaluate it by Horner's scheme, which makes the exact
+    discrete adjoint a Horner evaluation in ``L^T``.
+"""
+
+from repro.fem.basis import (
+    LagrangeBasis1D,
+    lagrange_diff_matrix,
+    lagrange_eval_matrix,
+)
+from repro.fem.geometry import ElementGeometry, FaceGeometry
+from repro.fem.kernels import (
+    KERNEL_VARIANTS,
+    GradientKernel,
+    kernel_flop_byte_counts,
+    make_gradient_kernel,
+)
+from repro.fem.mesh import StructuredMesh
+from repro.fem.operators import DiagonalBoundaryOperator, LumpedMass
+from repro.fem.quadrature import (
+    QuadratureRule,
+    gauss_legendre,
+    gauss_lobatto,
+    tensor_rule,
+)
+from repro.fem.spaces import H1Space, L2Space
+from repro.fem.timestep import (
+    LinearRK4Workspace,
+    cfl_timestep,
+    rk4_adjoint_slot_pass,
+    rk4_forced_step,
+    rk4_homogeneous_step,
+)
+
+__all__ = [
+    "QuadratureRule",
+    "gauss_legendre",
+    "gauss_lobatto",
+    "tensor_rule",
+    "LagrangeBasis1D",
+    "lagrange_eval_matrix",
+    "lagrange_diff_matrix",
+    "StructuredMesh",
+    "ElementGeometry",
+    "FaceGeometry",
+    "H1Space",
+    "L2Space",
+    "GradientKernel",
+    "make_gradient_kernel",
+    "KERNEL_VARIANTS",
+    "kernel_flop_byte_counts",
+    "LumpedMass",
+    "DiagonalBoundaryOperator",
+    "cfl_timestep",
+    "rk4_homogeneous_step",
+    "rk4_forced_step",
+    "rk4_adjoint_slot_pass",
+    "LinearRK4Workspace",
+]

@@ -1,0 +1,145 @@
+"""Stable 1D Lagrange bases and their interpolation/differentiation matrices.
+
+All basis evaluations use the barycentric form, which is numerically stable
+even for the clustered Gauss--Lobatto nodes of high polynomial orders.  The
+matrices produced here are the 1D building blocks of every tensor-product
+kernel in :mod:`repro.fem.kernels`: a field with coefficients on nodes
+``x_j`` is evaluated (or differentiated) at points ``y_i`` by a dense
+``(len(y), len(x))`` matrix applied along one tensor axis at a time
+("sum factorization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "barycentric_weights",
+    "lagrange_eval_matrix",
+    "lagrange_diff_matrix",
+    "differentiation_matrix",
+    "LagrangeBasis1D",
+]
+
+
+def barycentric_weights(nodes: np.ndarray) -> np.ndarray:
+    """Barycentric weights ``w_j = 1 / prod_{k != j}(x_j - x_k)``.
+
+    Scaled to unit maximum magnitude for numerical headroom; any common
+    scaling cancels in the barycentric formulas.
+    """
+    x = np.asarray(nodes, dtype=np.float64)
+    if x.ndim != 1 or x.size < 1:
+        raise ValueError("nodes must be a non-empty 1D array")
+    if x.size > 1 and np.min(np.diff(np.sort(x))) <= 0:
+        raise ValueError("nodes must be distinct")
+    diff = x[:, None] - x[None, :]
+    np.fill_diagonal(diff, 1.0)
+    w = 1.0 / np.prod(diff, axis=1)
+    return w / np.max(np.abs(w))
+
+
+def lagrange_eval_matrix(nodes: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Matrix ``B`` with ``B[i, j] = phi_j(y_i)`` (values of Lagrange basis).
+
+    ``B @ coeffs`` interpolates nodal coefficients to ``points``.  Rows sum
+    to one exactly up to rounding (partition of unity).
+    """
+    x = np.asarray(nodes, dtype=np.float64)
+    y = np.asarray(points, dtype=np.float64).reshape(-1)
+    w = barycentric_weights(x)
+    diff = y[:, None] - x[None, :]  # (npts, nnodes)
+    exact = np.isclose(diff, 0.0, atol=1e-14)
+    safe = np.where(exact, 1.0, diff)
+    terms = w[None, :] / safe
+    denom = np.sum(np.where(exact, 0.0, terms), axis=1)
+    B = terms / np.where(denom == 0.0, 1.0, denom)[:, None]
+    # Rows where y coincides with a node: Kronecker delta row.
+    hit_rows = np.any(exact, axis=1)
+    B[hit_rows] = exact[hit_rows].astype(np.float64)
+    return B
+
+
+def differentiation_matrix(nodes: np.ndarray) -> np.ndarray:
+    """Square differentiation matrix ``D[i, j] = phi_j'(x_i)`` at the nodes.
+
+    Uses the standard barycentric formula with exactly zero row sums
+    enforced via the negative-sum trick (``D_ii = -sum_{j != i} D_ij``),
+    which preserves the exact-derivative-of-constants property.
+    """
+    x = np.asarray(nodes, dtype=np.float64)
+    n = x.size
+    w = barycentric_weights(x)
+    D = np.zeros((n, n))
+    if n == 1:
+        return D
+    diff = x[:, None] - x[None, :]
+    np.fill_diagonal(diff, 1.0)
+    D = (w[None, :] / w[:, None]) / diff
+    np.fill_diagonal(D, 0.0)
+    np.fill_diagonal(D, -np.sum(D, axis=1))
+    return D
+
+
+def lagrange_diff_matrix(nodes: np.ndarray, points: np.ndarray) -> np.ndarray:
+    """Matrix ``Dm`` with ``Dm[i, j] = phi_j'(y_i)`` at arbitrary points.
+
+    Computed as ``B(y) @ D(x)``: interpolation of the exact nodal
+    derivative.  Since the derivative of a degree-``p`` polynomial is again
+    polynomial (degree ``p-1``) this identity is exact.
+    """
+    B = lagrange_eval_matrix(nodes, points)
+    D = differentiation_matrix(nodes)
+    return B @ D
+
+
+@dataclass
+class LagrangeBasis1D:
+    """A 1D nodal Lagrange basis with cached operator matrices.
+
+    Parameters
+    ----------
+    nodes:
+        Distinct interpolation nodes on the reference interval ``[-1, 1]``.
+    """
+
+    nodes: np.ndarray
+    _bary: Optional[np.ndarray] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.nodes = np.asarray(self.nodes, dtype=np.float64).reshape(-1)
+        self._bary = barycentric_weights(self.nodes)
+
+    @property
+    def n(self) -> int:
+        """Number of basis functions (= number of nodes)."""
+        return int(self.nodes.size)
+
+    @property
+    def order(self) -> int:
+        """Polynomial order ``p = n - 1``."""
+        return self.n - 1
+
+    def eval(self, points: np.ndarray) -> np.ndarray:
+        """Values matrix ``(len(points), n)``; see :func:`lagrange_eval_matrix`."""
+        return lagrange_eval_matrix(self.nodes, points)
+
+    def deriv(self, points: np.ndarray) -> np.ndarray:
+        """Derivatives matrix ``(len(points), n)``."""
+        return lagrange_diff_matrix(self.nodes, points)
+
+    def diff_matrix(self) -> np.ndarray:
+        """Square nodal differentiation matrix."""
+        return differentiation_matrix(self.nodes)
+
+    def interpolate(self, coeffs: np.ndarray, points: np.ndarray) -> np.ndarray:
+        """Evaluate the interpolant of ``coeffs`` at ``points``.
+
+        ``coeffs`` may have trailing batch axes; interpolation acts on the
+        first axis.
+        """
+        B = self.eval(points)
+        return np.tensordot(B, np.asarray(coeffs, dtype=np.float64), axes=(1, 0))

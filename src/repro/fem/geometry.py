@@ -1,0 +1,226 @@
+"""Multilinear (Q1) element mappings and geometric factors.
+
+Each structured element is mapped from the reference box ``[-1, 1]^d`` by the
+multilinear interpolant of its ``2^d`` corner vertices — the standard
+isoparametric Q1 geometry used for bathymetry-adapted hexahedra.  This module
+evaluates, at arbitrary tensor-product reference points:
+
+* physical coordinates,
+* Jacobian matrices ``J = dx/dr``, their determinants and inverses,
+* boundary-face area elements and outward unit normals (via the identity
+  ``dGamma = detJ * |J^{-T} e_a| dr_face`` with ``e_a`` the reference normal
+  axis).
+
+Everything is vectorized over elements; the arrays produced here are the
+"geometric factors" of MFEM's partial assembly, precomputed once in Setup
+(Table I) and consumed by the kernels in :mod:`repro.fem.kernels`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["q1_shape_tensor", "ElementGeometry", "FaceGeometry"]
+
+
+def q1_shape_tensor(
+    ref_points_1d: Sequence[np.ndarray], deriv_axis: Optional[int] = None
+) -> np.ndarray:
+    """Q1 corner shape functions tabulated at tensor reference points.
+
+    Returns ``S`` of shape ``(2**d, nq)`` where ``nq = prod(len(r_d))`` and
+    ``S[c, q]`` is the value (or the ``deriv_axis`` partial derivative) of
+    the corner-``c`` multilinear shape function at tensor point ``q``.
+    Corners and points follow C-order (last axis fastest), matching
+    :meth:`repro.fem.mesh.StructuredMesh.element_vertices`.
+    """
+    rs = [np.asarray(r, dtype=np.float64).reshape(-1) for r in ref_points_1d]
+    d = len(rs)
+    vals: List[np.ndarray] = []
+    for axis, r in enumerate(rs):
+        if deriv_axis == axis:
+            v = np.stack([-0.5 * np.ones_like(r), 0.5 * np.ones_like(r)])
+        else:
+            v = np.stack([0.5 * (1.0 - r), 0.5 * (1.0 + r)])
+        vals.append(v)  # (2, n_axis)
+    S = vals[0]
+    for v in vals[1:]:
+        S = S[:, None, :, None] * v[None, :, None, :]
+        S = S.reshape(S.shape[0] * S.shape[1], -1)
+    return np.ascontiguousarray(S.reshape(2**d, -1))
+
+
+def _det_inv(J: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Determinant and inverse of small (1/2/3)x(1/2/3) matrices, batched."""
+    d = J.shape[-1]
+    if d == 1:
+        det = J[..., 0, 0]
+        inv = (1.0 / det)[..., None, None]
+        return det, inv
+    if d == 2:
+        a, b = J[..., 0, 0], J[..., 0, 1]
+        c, e = J[..., 1, 0], J[..., 1, 1]
+        det = a * e - b * c
+        inv = np.empty_like(J)
+        inv[..., 0, 0] = e
+        inv[..., 0, 1] = -b
+        inv[..., 1, 0] = -c
+        inv[..., 1, 1] = a
+        inv /= det[..., None, None]
+        return det, inv
+    if d == 3:
+        # Adjugate formula, vectorized.
+        det = (
+            J[..., 0, 0] * (J[..., 1, 1] * J[..., 2, 2] - J[..., 1, 2] * J[..., 2, 1])
+            - J[..., 0, 1] * (J[..., 1, 0] * J[..., 2, 2] - J[..., 1, 2] * J[..., 2, 0])
+            + J[..., 0, 2] * (J[..., 1, 0] * J[..., 2, 1] - J[..., 1, 1] * J[..., 2, 0])
+        )
+        inv = np.empty_like(J)
+        inv[..., 0, 0] = J[..., 1, 1] * J[..., 2, 2] - J[..., 1, 2] * J[..., 2, 1]
+        inv[..., 0, 1] = J[..., 0, 2] * J[..., 2, 1] - J[..., 0, 1] * J[..., 2, 2]
+        inv[..., 0, 2] = J[..., 0, 1] * J[..., 1, 2] - J[..., 0, 2] * J[..., 1, 1]
+        inv[..., 1, 0] = J[..., 1, 2] * J[..., 2, 0] - J[..., 1, 0] * J[..., 2, 2]
+        inv[..., 1, 1] = J[..., 0, 0] * J[..., 2, 2] - J[..., 0, 2] * J[..., 2, 0]
+        inv[..., 1, 2] = J[..., 0, 2] * J[..., 1, 0] - J[..., 0, 0] * J[..., 1, 2]
+        inv[..., 2, 0] = J[..., 1, 0] * J[..., 2, 1] - J[..., 1, 1] * J[..., 2, 0]
+        inv[..., 2, 1] = J[..., 0, 1] * J[..., 2, 0] - J[..., 0, 0] * J[..., 2, 1]
+        inv[..., 2, 2] = J[..., 0, 0] * J[..., 1, 1] - J[..., 0, 1] * J[..., 1, 0]
+        inv /= det[..., None, None]
+        return det, inv
+    raise ValueError(f"unsupported dimension {d}")
+
+
+@dataclass
+class ElementGeometry:
+    """Geometric factors of a batch of Q1-mapped elements.
+
+    Attributes (``ne`` elements, ``nq`` tensor points, dimension ``d``):
+
+    ``coords`` : ``(ne, nq, d)`` physical coordinates.
+    ``jac`` : ``(ne, nq, d, d)`` Jacobians ``J[i, m] = dx_i/dr_m``.
+    ``detj`` : ``(ne, nq)`` Jacobian determinants (must be positive).
+    ``invj`` : ``(ne, nq, d, d)`` inverse Jacobians.
+    """
+
+    coords: np.ndarray
+    jac: np.ndarray
+    detj: np.ndarray
+    invj: np.ndarray
+
+    @classmethod
+    def compute(
+        cls,
+        element_vertices: np.ndarray,
+        ref_points_1d: Sequence[np.ndarray],
+        check_positive: bool = True,
+    ) -> "ElementGeometry":
+        """Evaluate geometric factors at tensor reference points.
+
+        Parameters
+        ----------
+        element_vertices:
+            ``(ne, 2**d, d)`` corner coordinates (C-ordered corners).
+        ref_points_1d:
+            Per-axis 1D reference points in ``[-1, 1]``.
+        check_positive:
+            Validate ``detJ > 0`` everywhere (catches inverted elements,
+            e.g. from a negative water depth).
+        """
+        ev = np.asarray(element_vertices, dtype=np.float64)
+        d = ev.shape[-1]
+        if len(ref_points_1d) != d:
+            raise ValueError("need one reference point array per dimension")
+        S = q1_shape_tensor(ref_points_1d)  # (2**d, nq)
+        coords = np.einsum("ecd,cq->eqd", ev, S, optimize=True)
+        jac = np.empty(coords.shape + (d,), dtype=np.float64)
+        for m in range(d):
+            Sm = q1_shape_tensor(ref_points_1d, deriv_axis=m)
+            jac[..., m] = np.einsum("ecd,cq->eqd", ev, Sm, optimize=True)
+        detj, invj = _det_inv(jac)
+        if check_positive and np.any(detj <= 0):
+            raise ValueError(
+                "non-positive Jacobian determinant: inverted or degenerate element"
+            )
+        return cls(
+            np.ascontiguousarray(coords),
+            np.ascontiguousarray(jac),
+            np.ascontiguousarray(detj),
+            np.ascontiguousarray(invj),
+        )
+
+    @property
+    def n_elements(self) -> int:
+        """Number of elements in the batch."""
+        return int(self.coords.shape[0])
+
+    @property
+    def n_points(self) -> int:
+        """Number of tensor reference points per element."""
+        return int(self.coords.shape[1])
+
+    @property
+    def dim(self) -> int:
+        """Spatial dimension."""
+        return int(self.coords.shape[2])
+
+    def volumes(self, weights: np.ndarray) -> np.ndarray:
+        """Per-element volumes given tensor quadrature weights ``(nq,)``."""
+        return self.detj @ np.asarray(weights, dtype=np.float64)
+
+
+@dataclass
+class FaceGeometry:
+    """Geometric factors on one boundary face layer.
+
+    Attributes (``ne`` layer elements, ``nqf`` face tensor points, dim ``d``):
+
+    ``coords`` : ``(ne, nqf, d)`` face point coordinates.
+    ``area`` : ``(ne, nqf)`` surface area element ``detJ * |J^{-T} e_a|``.
+    ``normal`` : ``(ne, nqf, d)`` outward unit normals.
+    """
+
+    coords: np.ndarray
+    area: np.ndarray
+    normal: np.ndarray
+
+    @classmethod
+    def compute(
+        cls,
+        element_vertices: np.ndarray,
+        axis: int,
+        end: int,
+        face_points_1d: Sequence[np.ndarray],
+    ) -> "FaceGeometry":
+        """Evaluate face factors for the side ``(axis, end)`` of a layer.
+
+        ``face_points_1d`` holds the 1D reference points of the *remaining*
+        axes (in axis order); the normal axis is pinned to ``-1`` or ``+1``.
+        For a 1D mesh the face is a single point with unit area.
+        """
+        ev = np.asarray(element_vertices, dtype=np.float64)
+        d = ev.shape[-1]
+        if not 0 <= axis < d:
+            raise ValueError(f"axis {axis} out of range for dim {d}")
+        if end not in (0, 1):
+            raise ValueError("end must be 0 or 1")
+        pinned = np.array([-1.0 if end == 0 else 1.0])
+        full_points: List[np.ndarray] = []
+        it = iter(face_points_1d)
+        for m in range(d):
+            full_points.append(pinned if m == axis else np.asarray(next(it)))
+        geom = ElementGeometry.compute(ev, full_points)
+        # Surface element and outward normal via grad of reference coord r_a:
+        # n ~ sign * J^{-T} e_a;  dGamma = detJ * |J^{-T} e_a| dr_face.
+        g = geom.invj[..., axis, :]  # row `axis` of J^{-1} == J^{-T} e_a
+        norm = np.linalg.norm(g, axis=-1)
+        area = geom.detj * norm
+        sign = -1.0 if end == 0 else 1.0
+        normal = sign * g / norm[..., None]
+        return cls(
+            np.ascontiguousarray(geom.coords),
+            np.ascontiguousarray(area),
+            np.ascontiguousarray(normal),
+        )

@@ -1,0 +1,401 @@
+"""Partial-assembly / matrix-free gradient kernels (the paper's Fig. 7).
+
+The dominant cost of the acoustic--gravity RK4 solver is the repeated
+application of the two off-diagonal blocks of the operator in Eq. (4):
+
+* ``G  : p -> (grad p, tau)``  — weak gradient moments at velocity points,
+* ``G^T: u -> (u, grad v)``    — its exact transpose into pressure space.
+
+This module implements those two actions in **five interchangeable kernel
+variants** mirroring the optimization ladder in the paper's Fig. 7.  All
+variants produce identical results (up to floating-point associativity) but
+differ in batching, fusion, and recomputation strategy — the NumPy analogues
+of the CUDA/HIP shared-memory and kernel-fusion optimizations:
+
+``initial``
+    Per-element Python loop (the "Initial PA" baseline; no batching —
+    analogous to a kernel without shared-memory staging).
+``shared``
+    One batched ``einsum`` per contraction stage over all elements
+    ("Shared PA": the 13x-class speedup from batching/staging).
+``optimized``
+    Staged, sum-factorized ``matmul`` pipeline on contiguous reshaped
+    views with preallocation ("Optimized PA", used in the scaling runs).
+``fused``
+    ``optimized`` plus a fused ``apply_pair`` that computes ``G p`` and
+    ``G^T u`` in one pass, sharing workspace ("Fused PA", peak DOF/s).
+``mf``
+    Matrix-free: geometric factors are **recomputed from element vertices
+    at every application** instead of stored ("Fused MF": more FLOPs,
+    fewer bytes of persistent state, lower DOF throughput).
+
+Sum factorization
+-----------------
+With tensor-product bases, interpolation/differentiation to quadrature
+points factorizes into one small dense matrix per axis.  In 3D the gradient
+costs 8 axis-contractions per application instead of a single
+``O(nloc * nq * d)`` dense contraction — the core MFEM insight that makes
+high-order kernels memory-bound rather than compute-bound.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fem.geometry import ElementGeometry
+
+__all__ = [
+    "KERNEL_VARIANTS",
+    "grad_geometric_factors",
+    "GradientKernel",
+    "make_gradient_kernel",
+    "kernel_flop_byte_counts",
+]
+
+KERNEL_VARIANTS: Tuple[str, ...] = ("initial", "shared", "optimized", "fused", "mf")
+
+
+def grad_geometric_factors(geom: ElementGeometry, weights: np.ndarray) -> np.ndarray:
+    """Fused gradient geometric factors ``A[e,q,i,m] = w_q detJ (J^{-T})_{im}``.
+
+    With these, the weak gradient moment is ``mom_i = sum_m A[i,m] dhat_m p``
+    where ``dhat`` is the reference-coordinate gradient.  Storing only this
+    fused tensor (instead of ``J``, ``J^{-1}``, ``detJ`` separately) is one
+    of the paper's Section VII-B memory optimizations.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    # (J^{-T})_{im} = invj[m, i]
+    A = np.einsum("eq,eqmi->eqim", geom.detj * w[None, :], geom.invj, optimize=True)
+    return np.ascontiguousarray(A)
+
+
+def _contract_axis(op: np.ndarray, x: np.ndarray, axis: int) -> np.ndarray:
+    """Contract ``x`` along ``axis`` with ``op (m, n)`` via batched matmul.
+
+    ``x`` must be contiguous (each pipeline stage produces a fresh
+    contiguous array, so this holds by construction).
+    """
+    lead = int(np.prod(x.shape[:axis], dtype=np.int64))
+    n = x.shape[axis]
+    trail = int(np.prod(x.shape[axis + 1 :], dtype=np.int64))
+    y = np.matmul(op, x.reshape(lead, n, trail))
+    return y.reshape(x.shape[:axis] + (op.shape[0],) + x.shape[axis + 1 :])
+
+
+def _grad_stages_matmul(
+    pe: np.ndarray, B: np.ndarray, D: np.ndarray, d: int
+) -> List[np.ndarray]:
+    """Reference gradients per direction via the staged matmul pipeline.
+
+    ``pe``: ``(ne, np1, ..., np1, k)`` nodal element values.
+    Returns ``d`` arrays of shape ``(ne, nq1, ..., nq1, k)``.
+    """
+    if d == 1:
+        return [_contract_axis(D, pe, 1)]
+    if d == 2:
+        tb = _contract_axis(B, pe, 2)  # values along axis-1 dofs
+        g0 = _contract_axis(D, tb, 1)
+        td = _contract_axis(D, pe, 2)
+        g1 = _contract_axis(B, td, 1)
+        return [g0, g1]
+    if d == 3:
+        tc = _contract_axis(B, pe, 3)
+        tbc = _contract_axis(B, tc, 2)
+        g0 = _contract_axis(D, tbc, 1)
+        tdb = _contract_axis(D, tc, 2)
+        g1 = _contract_axis(B, tdb, 1)
+        tdc = _contract_axis(D, pe, 3)
+        tb2 = _contract_axis(B, tdc, 2)
+        g2 = _contract_axis(B, tb2, 1)
+        return [g0, g1, g2]
+    raise ValueError(f"unsupported dimension {d}")
+
+
+def _gradT_stages_matmul(
+    t: Sequence[np.ndarray], B: np.ndarray, D: np.ndarray, d: int
+) -> np.ndarray:
+    """Transpose of :func:`_grad_stages_matmul`: sum of per-direction pulls."""
+    Bt, Dt = B.T.copy(), D.T.copy()
+    if d == 1:
+        return _contract_axis(Dt, t[0], 1)
+    if d == 2:
+        w0 = _contract_axis(Dt, t[0], 1)
+        w1 = _contract_axis(Bt, t[1], 1)
+        return _contract_axis(Bt, w0, 2) + _contract_axis(Dt, w1, 2)
+    if d == 3:
+        w0 = _contract_axis(Dt, t[0], 1)
+        w1 = _contract_axis(Bt, t[1], 1)
+        w2 = _contract_axis(Bt, t[2], 1)
+        s = _contract_axis(Bt, w0, 2) + _contract_axis(Dt, w1, 2)
+        x2 = _contract_axis(Bt, w2, 2)
+        return _contract_axis(Bt, s, 3) + _contract_axis(Dt, x2, 3)
+    raise ValueError(f"unsupported dimension {d}")
+
+
+def _grad_einsum(pe: np.ndarray, B: np.ndarray, D: np.ndarray, d: int) -> List[np.ndarray]:
+    """Reference gradients via whole-contraction einsum (shared PA engine)."""
+    if d == 1:
+        return [np.einsum("qa,eak->eqk", D, pe, optimize=True)]
+    if d == 2:
+        g0 = np.einsum("qa,rb,eabk->eqrk", D, B, pe, optimize=True)
+        g1 = np.einsum("qa,rb,eabk->eqrk", B, D, pe, optimize=True)
+        return [g0, g1]
+    if d == 3:
+        g0 = np.einsum("qa,rb,sc,eabck->eqrsk", D, B, B, pe, optimize=True)
+        g1 = np.einsum("qa,rb,sc,eabck->eqrsk", B, D, B, pe, optimize=True)
+        g2 = np.einsum("qa,rb,sc,eabck->eqrsk", B, B, D, pe, optimize=True)
+        return [g0, g1, g2]
+    raise ValueError(f"unsupported dimension {d}")
+
+
+def _gradT_einsum(t: Sequence[np.ndarray], B: np.ndarray, D: np.ndarray, d: int) -> np.ndarray:
+    """Transpose of :func:`_grad_einsum`."""
+    if d == 1:
+        return np.einsum("qa,eqk->eak", D, t[0], optimize=True)
+    if d == 2:
+        y = np.einsum("qa,rb,eqrk->eabk", D, B, t[0], optimize=True)
+        y += np.einsum("qa,rb,eqrk->eabk", B, D, t[1], optimize=True)
+        return y
+    if d == 3:
+        y = np.einsum("qa,rb,sc,eqrsk->eabck", D, B, B, t[0], optimize=True)
+        y += np.einsum("qa,rb,sc,eqrsk->eabck", B, D, B, t[1], optimize=True)
+        y += np.einsum("qa,rb,sc,eqrsk->eabck", B, B, D, t[2], optimize=True)
+        return y
+    raise ValueError(f"unsupported dimension {d}")
+
+
+class GradientKernel:
+    """Weak-gradient kernel: ``apply`` (G), ``apply_transpose`` (G^T).
+
+    Parameters
+    ----------
+    B, D:
+        1D value / derivative interpolation matrices, shape
+        ``(nq1, np1)``, from the H1 nodes to the velocity (Gauss) points.
+    A:
+        Fused geometric factors ``(ne, nq, d, d)`` from
+        :func:`grad_geometric_factors`; may be ``None`` for the ``mf``
+        variant, which recomputes them each call.
+    variant:
+        One of :data:`KERNEL_VARIANTS`.
+    element_vertices, weights:
+        Required for the ``mf`` variant (on-the-fly geometry).
+    """
+
+    def __init__(
+        self,
+        B: np.ndarray,
+        D: np.ndarray,
+        A: Optional[np.ndarray],
+        variant: str = "optimized",
+        element_vertices: Optional[np.ndarray] = None,
+        velocity_nodes_1d: Optional[np.ndarray] = None,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        if variant not in KERNEL_VARIANTS:
+            raise ValueError(f"variant must be one of {KERNEL_VARIANTS}, got {variant!r}")
+        self.B = np.ascontiguousarray(B, dtype=np.float64)
+        self.D = np.ascontiguousarray(D, dtype=np.float64)
+        self.variant = variant
+        self.nq1, self.np1 = self.B.shape
+        if variant == "mf":
+            if element_vertices is None or weights is None or velocity_nodes_1d is None:
+                raise ValueError("mf variant needs element_vertices, velocity nodes, weights")
+            self._vertices = np.ascontiguousarray(element_vertices, dtype=np.float64)
+            self.dim = int(self._vertices.shape[-1])
+            self._weights = np.asarray(weights, dtype=np.float64)
+            self._vnodes = np.asarray(velocity_nodes_1d, dtype=np.float64)
+            self.A = None
+            self.ne = int(self._vertices.shape[0])
+        else:
+            if A is None:
+                raise ValueError(f"variant {variant!r} needs precomputed factors A")
+            self.A = np.ascontiguousarray(A, dtype=np.float64)
+            self.ne, _, self.dim, _ = self.A.shape
+            self._vertices = None
+            self._weights = None
+            self._vnodes = None
+        self.nq = self.nq1**self.dim
+        self.nloc = self.np1**self.dim
+
+    # ------------------------------------------------------------------
+    def _factors(self) -> np.ndarray:
+        """Stored (PA) or recomputed (MF) geometric factors."""
+        if self.A is not None:
+            return self.A
+        geom = ElementGeometry.compute(
+            self._vertices, [self._vnodes] * self.dim, check_positive=False
+        )
+        return grad_geometric_factors(geom, self._weights)
+
+    def _pe_tensor(self, pe: np.ndarray) -> np.ndarray:
+        ne, nloc = pe.shape[0], pe.shape[1]
+        k = pe.shape[2] if pe.ndim == 3 else 1
+        shape = (ne,) + (self.np1,) * self.dim + (k,)
+        return np.ascontiguousarray(pe).reshape(shape)
+
+    def apply(self, pe: np.ndarray) -> np.ndarray:
+        """``G pe``: moments at velocity points, ``(ne, nq, d, k)``.
+
+        ``pe`` is an E-vector ``(ne, nloc, k)`` (a trailing batch axis ``k``
+        is optional and preserved).
+        """
+        squeeze = pe.ndim == 2
+        pt = self._pe_tensor(pe)
+        ne, k = pt.shape[0], pt.shape[-1]
+        d = self.dim
+        A = self._factors()
+        if self.variant == "initial":
+            out = np.empty((ne, self.nq, d, k))
+            for e in range(ne):
+                g = _grad_einsum(pt[e : e + 1], self.B, self.D, d)
+                ghat = np.stack([x.reshape(1, self.nq, k) for x in g], axis=2)
+                np.einsum("eqim,eqmk->eqik", A[e : e + 1], ghat, out=out[e : e + 1])
+        elif self.variant == "shared":
+            g = _grad_einsum(pt, self.B, self.D, d)
+            ghat = np.stack([x.reshape(ne, self.nq, k) for x in g], axis=2)
+            out = np.einsum("eqim,eqmk->eqik", A, ghat, optimize=True)
+        else:  # optimized / fused / mf share the matmul engine
+            g = _grad_stages_matmul(pt, self.B, self.D, d)
+            ghat = np.stack([x.reshape(ne, self.nq, k) for x in g], axis=2)
+            out = np.einsum("eqim,eqmk->eqik", A, ghat, optimize=True)
+        return out[..., 0] if squeeze else out
+
+    def apply_transpose(self, w: np.ndarray) -> np.ndarray:
+        """``G^T w``: pull moments back to H1 E-vector ``(ne, nloc, k)``."""
+        squeeze = w.ndim == 3
+        if squeeze:
+            w = w[..., None]
+        ne, nq, d, k = w.shape
+        A = self._factors()
+        if self.variant == "initial":
+            out = np.empty((ne, self.nloc, k))
+            for e in range(ne):
+                t = np.einsum("eqim,eqik->eqmk", A[e : e + 1], w[e : e + 1])
+                ts = [
+                    np.ascontiguousarray(t[..., m, :]).reshape(
+                        (1,) + (self.nq1,) * d + (k,)
+                    )
+                    for m in range(d)
+                ]
+                out[e : e + 1] = _gradT_einsum(ts, self.B, self.D, d).reshape(
+                    1, self.nloc, k
+                )
+            return out[..., 0] if squeeze else out
+        t = np.einsum("eqim,eqik->eqmk", A, w, optimize=True)
+        ts = [
+            np.ascontiguousarray(t[..., m, :]).reshape((ne,) + (self.nq1,) * d + (k,))
+            for m in range(d)
+        ]
+        if self.variant == "shared":
+            y = _gradT_einsum(ts, self.B, self.D, d)
+        else:
+            y = _gradT_stages_matmul(ts, self.B, self.D, d)
+        y = y.reshape(ne, self.nloc, k)
+        return y[..., 0] if squeeze else y
+
+    def apply_pair(
+        self, pe: np.ndarray, w: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused ``(G pe, G^T w)``: one pass, shared geometric-factor reads.
+
+        For the ``fused`` and ``mf`` variants the factors are materialized
+        once and both directions are computed back-to-back; other variants
+        simply delegate (the fused entry point is still valid for them).
+        """
+        if self.variant in ("fused", "mf"):
+            A = self._factors()
+            squeeze = pe.ndim == 2
+            pt = self._pe_tensor(pe)
+            ne, k = pt.shape[0], pt.shape[-1]
+            d = self.dim
+            g = _grad_stages_matmul(pt, self.B, self.D, d)
+            ghat = np.stack([x.reshape(ne, self.nq, k) for x in g], axis=2)
+            mom = np.einsum("eqim,eqmk->eqik", A, ghat, optimize=True)
+            ww = w if w.ndim == 4 else w[..., None]
+            t = np.einsum("eqim,eqik->eqmk", A, ww, optimize=True)
+            ts = [
+                np.ascontiguousarray(t[..., m, :]).reshape((ne,) + (self.nq1,) * d + (k,))
+                for m in range(d)
+            ]
+            y = _gradT_stages_matmul(ts, self.B, self.D, d).reshape(ne, self.nloc, k)
+            if squeeze:
+                return mom[..., 0], y[..., 0]
+            return mom, y
+        return self.apply(pe), self.apply_transpose(w)
+
+
+def make_gradient_kernel(
+    variant: str,
+    B: np.ndarray,
+    D: np.ndarray,
+    geom: Optional[ElementGeometry] = None,
+    weights: Optional[np.ndarray] = None,
+    element_vertices: Optional[np.ndarray] = None,
+    velocity_nodes_1d: Optional[np.ndarray] = None,
+) -> GradientKernel:
+    """Factory: build a :class:`GradientKernel` of the requested variant.
+
+    PA variants consume precomputed geometry (``geom`` + ``weights``); the
+    ``mf`` variant consumes raw ``element_vertices`` and recomputes geometry
+    per application.
+    """
+    if variant == "mf":
+        return GradientKernel(
+            B,
+            D,
+            None,
+            variant="mf",
+            element_vertices=element_vertices,
+            velocity_nodes_1d=velocity_nodes_1d,
+            weights=weights,
+        )
+    if geom is None or weights is None:
+        raise ValueError("PA variants require geom and weights")
+    A = grad_geometric_factors(geom, weights)
+    return GradientKernel(B, D, A, variant=variant)
+
+
+def kernel_flop_byte_counts(
+    ne: int, np1: int, nq1: int, dim: int, k: int = 1, variant: str = "optimized"
+) -> Dict[str, float]:
+    """Analytic FLOP and byte counts for one ``apply`` (manual count).
+
+    Mirrors the paper's manually-calculated FLOP/byte metrics of Fig. 7.
+    Counts: sum-factorized contraction stages (2mnT flops each) plus the
+    geometric-factor contraction; bytes: dof loads/stores plus factor reads
+    (PA) or vertex reads + factor recomputation flops (MF).
+    """
+    nq = nq1**dim
+    nloc = np1**dim
+    # Stage table {dim: list of (m, n, lead*trail/ne relative sizes)}.
+    def stage_flops() -> float:
+        total = 0.0
+        if dim == 1:
+            total += 2 * nq1 * np1
+        elif dim == 2:
+            total += 2 * (nq1 * np1 * np1 + nq1 * nq1 * np1)  # B then D path 0
+            total += 2 * (nq1 * np1 * np1 + nq1 * nq1 * np1)  # path 1
+        else:
+            # 8 stages as implemented in _grad_stages_matmul.
+            total += 2 * nq1 * np1 * np1 * np1      # tc
+            total += 2 * nq1 * nq1 * np1 * np1      # tbc
+            total += 2 * nq1 * nq1 * nq1 * np1      # g0
+            total += 2 * nq1 * nq1 * np1 * np1      # tdb
+            total += 2 * nq1 * nq1 * nq1 * np1      # g1
+            total += 2 * nq1 * np1 * np1 * np1      # tdc
+            total += 2 * nq1 * nq1 * np1 * np1      # tb2
+            total += 2 * nq1 * nq1 * nq1 * np1      # g2
+        return total * ne * k
+
+    flops = stage_flops()
+    flops += 2.0 * ne * nq * dim * dim * k  # geometric factor contraction
+    bytes_pa = 8.0 * (ne * nloc * k + ne * nq * dim * k + ne * nq * dim * dim)
+    if variant == "mf":
+        # Recompute J, detJ, invJ from 2^dim corner vertices each apply.
+        flops += ne * nq * (2.0 * (2**dim) * dim * dim + 30.0 * dim)
+        bytes_mf = 8.0 * (ne * nloc * k + ne * nq * dim * k + ne * (2**dim) * dim)
+        return {"flops": flops, "bytes": bytes_mf, "dofs": float(ne * nloc * k)}
+    return {"flops": flops, "bytes": bytes_pa, "dofs": float(ne * nloc * k)}

@@ -1,0 +1,191 @@
+"""Collocated (diagonal) mass and boundary operators.
+
+Explicit RK4 time stepping requires inverting the mass matrix at every
+stage, so — exactly as in the paper — the mass matrices are made diagonal:
+
+* the H1 pressure mass is *lumped* by GLL collocation (quadrature at the
+  nodal points), the spectral-element analogue of MFEM's lumped mass;
+* the L2 velocity mass is diagonal *exactly* because the velocity nodes are
+  the Gauss quadrature points;
+* every boundary term in Eq. (4) — the surface gravity-wave mass
+  ``<(rho g)^{-1} p, v>``, the absorbing impedance ``<Z^{-1} p, v>``, and
+  the seafloor forcing ``<m, v>`` — reduces to a diagonal operator on the
+  corresponding boundary trace of the GLL grid.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Union
+
+import numpy as np
+
+from repro.fem.geometry import FaceGeometry
+from repro.fem.mesh import StructuredMesh
+from repro.fem.quadrature import tensor_rule, gauss_lobatto, gauss_legendre
+from repro.fem.spaces import H1Space, L2Space
+
+__all__ = [
+    "LumpedMass",
+    "l2_mass_diag",
+    "DiagonalBoundaryOperator",
+]
+
+Coefficient = Union[float, Callable[[np.ndarray], np.ndarray]]
+
+
+def _coef_values(coef: Coefficient, coords: np.ndarray) -> np.ndarray:
+    """Evaluate a constant-or-callable coefficient at ``(..., dim)`` coords."""
+    if callable(coef):
+        vals = np.asarray(coef(coords), dtype=np.float64)
+        if vals.shape != coords.shape[:-1]:
+            raise ValueError(
+                f"coefficient callable returned shape {vals.shape}, "
+                f"expected {coords.shape[:-1]}"
+            )
+        return vals
+    return np.full(coords.shape[:-1], float(coef))
+
+
+class LumpedMass:
+    """Diagonal H1 mass by GLL collocation: ``diag_i = c(x_i) w_i detJ_i``.
+
+    Shared dofs accumulate contributions from every adjacent element, so the
+    diagonal equals the row sum of the consistent GLL-quadrature mass matrix
+    (the classical spectral-element lumping, exact for the GLL rule).
+    """
+
+    def __init__(self, space: H1Space, coef: Coefficient = 1.0) -> None:
+        from repro.fem.geometry import ElementGeometry
+
+        self.space = space
+        rule = gauss_lobatto(space.order + 1)
+        pts, w = tensor_rule([rule] * space.dim)
+        geom = ElementGeometry.compute(
+            space.mesh.element_vertices(), [rule.points] * space.dim
+        )
+        c = _coef_values(coef, geom.coords)
+        local = c * geom.detj * w[None, :]
+        diag = np.zeros(space.ndof)
+        np.add.at(diag, space.gather.reshape(-1), local.reshape(-1))
+        if np.any(diag <= 0):
+            raise ValueError("lumped mass has non-positive entries")
+        self.diag = diag
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """``M x`` (broadcasts over trailing batch axes)."""
+        return self.diag.reshape((-1,) + (1,) * (x.ndim - 1)) * x
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """``M^{-1} b``."""
+        return b / self.diag.reshape((-1,) + (1,) * (b.ndim - 1))
+
+    def total(self) -> float:
+        """Sum of the diagonal (= integral of the coefficient)."""
+        return float(np.sum(self.diag))
+
+
+def l2_mass_diag(space: L2Space, detj: np.ndarray, coef_at_nodes: Optional[np.ndarray] = None) -> np.ndarray:
+    """Diagonal L2 (velocity) mass at the Gauss collocation points.
+
+    Parameters
+    ----------
+    space:
+        The L2 space (provides the tensor weights).
+    detj:
+        Jacobian determinants at the Gauss points, ``(nelem, nloc)``.
+    coef_at_nodes:
+        Optional coefficient values at the same points (e.g. density).
+
+    Returns
+    -------
+    ``(nelem, nloc)`` positive diagonal.
+    """
+    rule = gauss_legendre(space.order + 1)
+    _, w = tensor_rule([rule] * space.dim)
+    diag = detj * w[None, :]
+    if coef_at_nodes is not None:
+        diag = diag * coef_at_nodes
+    if np.any(diag <= 0):
+        raise ValueError("L2 mass has non-positive entries")
+    return np.ascontiguousarray(diag)
+
+
+class DiagonalBoundaryOperator:
+    """A diagonal boundary-trace operator of the H1 space.
+
+    Represents ``<c phi_j, phi_i>_side`` under GLL face collocation, which
+    is diagonal on the trace dofs.  Serves three roles in the wave operator:
+
+    * boundary mass (surface gravity term, added to the pressure mass),
+    * boundary damping (absorbing impedance ``S_a``),
+    * trace injection/extraction (the seafloor forcing ``R`` and its exact
+      transpose ``R^T``, which is how adjoint propagations read out the
+      parameter-space kernel).
+
+    Attributes
+    ----------
+    dofs:
+        Global H1 dof indices of the side's trace grid, in trace C-order.
+    values:
+        The positive diagonal (area-weighted coefficient), aligned with
+        ``dofs``.
+    """
+
+    def __init__(self, space: H1Space, side: str, coef: Coefficient = 1.0) -> None:
+        mesh: StructuredMesh = space.mesh
+        spec = mesh.boundary(side)
+        p = space.order
+        rule = gauss_lobatto(p + 1)
+        nface_axes = space.dim - 1
+        face_pts = [rule.points] * nface_axes
+        if nface_axes:
+            _, wf = tensor_rule([rule] * nface_axes)
+        else:
+            wf = np.ones(1)
+        layer_ev = mesh.element_vertices()[spec.elements]
+        fgeom = FaceGeometry.compute(layer_ev, spec.axis, spec.end, face_pts)
+        c = _coef_values(coef, fgeom.coords)
+        local = c * fgeom.area * wf[None, :]  # (nlayer, nqf)
+
+        # Local dof indices on the face: normal-axis local index pinned.
+        loc_grid = np.arange(space.nloc).reshape((p + 1,) * space.dim)
+        slicer = [slice(None)] * space.dim
+        slicer[spec.axis] = slice(0, 1) if spec.end == 0 else slice(-1, None)
+        face_local = np.squeeze(loc_grid[tuple(slicer)], axis=spec.axis).reshape(-1)
+
+        gdofs = space.gather[spec.elements][:, face_local]  # (nlayer, nqf)
+        diag_global = np.bincount(
+            gdofs.reshape(-1), weights=local.reshape(-1), minlength=space.ndof
+        )
+        self.side = side
+        self.trace = space.trace(side)
+        self.dofs = self.trace.dofs
+        self.values = np.ascontiguousarray(diag_global[self.dofs])
+        if np.any(self.values <= 0):
+            raise ValueError(f"face mass on side {side!r} has non-positive entries")
+
+    @property
+    def n(self) -> int:
+        """Number of trace dofs."""
+        return int(self.dofs.size)
+
+    def _v(self, x: np.ndarray) -> np.ndarray:
+        return self.values.reshape((-1,) + (1,) * (x.ndim - 1))
+
+    def add_to(self, out: np.ndarray, p: np.ndarray, scale: float = 1.0) -> None:
+        """``out[dofs] += scale * values * p[dofs]`` (damping / boundary mass)."""
+        sub = p[self.dofs]
+        out[self.dofs] += scale * self._v(sub) * sub
+
+    def inject(self, m: np.ndarray, out: np.ndarray, scale: float = 1.0) -> None:
+        """``out[dofs] += scale * values * m`` with ``m`` in trace order (R)."""
+        out[self.dofs] += scale * self._v(m) * m
+
+    def extract(self, y: np.ndarray) -> np.ndarray:
+        """``values * y[dofs]`` — the exact transpose of :meth:`inject`."""
+        sub = y[self.dofs]
+        return self._v(sub) * sub
+
+    def total(self) -> float:
+        """Sum of the diagonal = integral of the coefficient over the side."""
+        return float(np.sum(self.values))

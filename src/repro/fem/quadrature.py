@@ -1,0 +1,143 @@
+"""Quadrature rules on the reference interval and reference boxes.
+
+Two families are used, mirroring the paper's MFEM discretization:
+
+* **Gauss--Legendre** (``gauss_legendre``): interior points, exact for
+  polynomials of degree ``2n - 1``.  These points double as the nodes of the
+  discontinuous ``L2`` velocity space, so that the velocity mass matrix is
+  diagonal by collocation.
+* **Gauss--Lobatto--Legendre** (``gauss_lobatto``): includes the interval
+  endpoints, exact for degree ``2n - 3``.  These points double as the nodes
+  of the continuous ``H1`` pressure space, so that the (lumped) pressure
+  mass matrix is diagonal by collocation — the spectral-element analogue of
+  MFEM's lumped mass used in the paper's explicit RK4 stepping.
+
+All rules are produced on the bi-unit interval ``[-1, 1]`` in float64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "QuadratureRule",
+    "gauss_legendre",
+    "gauss_lobatto",
+    "tensor_rule",
+    "tensor_points",
+]
+
+
+@dataclass(frozen=True)
+class QuadratureRule:
+    """An immutable 1D quadrature rule ``(points, weights)`` on ``[-1, 1]``.
+
+    Attributes
+    ----------
+    points:
+        Strictly increasing quadrature nodes, shape ``(n,)``.
+    weights:
+        Positive quadrature weights, shape ``(n,)``; they sum to 2 (the
+        measure of the reference interval).
+    """
+
+    points: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", np.asarray(self.points, dtype=np.float64))
+        object.__setattr__(self, "weights", np.asarray(self.weights, dtype=np.float64))
+        if self.points.ndim != 1 or self.points.shape != self.weights.shape:
+            raise ValueError("points and weights must be 1D arrays of equal length")
+
+    @property
+    def n(self) -> int:
+        """Number of quadrature points."""
+        return int(self.points.shape[0])
+
+    def integrate(self, values: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Apply the rule to sampled ``values`` along ``axis``."""
+        values = np.asarray(values, dtype=np.float64)
+        return np.tensordot(values, self.weights, axes=([axis], [0]))
+
+    def mapped(self, a: float, b: float) -> "QuadratureRule":
+        """Affinely map the rule from ``[-1, 1]`` to ``[a, b]``."""
+        if not b > a:
+            raise ValueError(f"interval must satisfy b > a, got [{a}, {b}]")
+        half = 0.5 * (b - a)
+        mid = 0.5 * (a + b)
+        return QuadratureRule(mid + half * self.points, half * self.weights)
+
+
+@lru_cache(maxsize=None)
+def gauss_legendre(n: int) -> QuadratureRule:
+    """Return the ``n``-point Gauss--Legendre rule on ``[-1, 1]``.
+
+    Exact for polynomials of degree ``2n - 1``.
+    """
+    if n < 1:
+        raise ValueError(f"Gauss-Legendre rule needs n >= 1, got {n}")
+    x, w = np.polynomial.legendre.leggauss(n)
+    return QuadratureRule(x, w)
+
+
+@lru_cache(maxsize=None)
+def gauss_lobatto(n: int) -> QuadratureRule:
+    """Return the ``n``-point Gauss--Lobatto--Legendre rule on ``[-1, 1]``.
+
+    Includes both endpoints; exact for polynomials of degree ``2n - 3``.
+    The interior nodes are the roots of ``P'_{n-1}`` (the derivative of the
+    Legendre polynomial of degree ``n - 1``), and the weights are
+
+    .. math:: w_i = \\frac{2}{n (n - 1) \\, [P_{n-1}(x_i)]^2}.
+    """
+    if n < 2:
+        raise ValueError(f"Gauss-Lobatto rule needs n >= 2, got {n}")
+    if n == 2:
+        return QuadratureRule(np.array([-1.0, 1.0]), np.array([1.0, 1.0]))
+    # Interior nodes: roots of P'_{n-1}.
+    leg = np.polynomial.legendre.Legendre.basis(n - 1)
+    interior = leg.deriv().roots()
+    x = np.concatenate(([-1.0], np.real(np.sort(interior)), [1.0]))
+    pn = leg(x)
+    w = 2.0 / (n * (n - 1) * pn**2)
+    return QuadratureRule(x, w)
+
+
+def tensor_points(rules: Iterable[QuadratureRule]) -> np.ndarray:
+    """Tensor-product points of 1D rules, shape ``(prod n_i, dim)``.
+
+    The ordering is C-order over the per-axis indices: the **last** axis
+    varies fastest, matching ``numpy.reshape`` of per-axis tensors.
+    """
+    rules = list(rules)
+    grids = np.meshgrid(*[r.points for r in rules], indexing="ij")
+    return np.stack([g.reshape(-1) for g in grids], axis=-1)
+
+
+def tensor_rule(rules: Iterable[QuadratureRule]) -> Tuple[np.ndarray, np.ndarray]:
+    """Tensor-product rule: ``(points (nq, dim), weights (nq,))``.
+
+    Same C-ordering convention as :func:`tensor_points`.
+    """
+    rules = list(rules)
+    pts = tensor_points(rules)
+    w: np.ndarray = np.array([1.0])
+    for r in rules:
+        w = np.multiply.outer(w, r.weights)
+    return pts, w.reshape(-1)
+
+
+def min_node_gap(rule: QuadratureRule) -> float:
+    """Smallest spacing between adjacent nodes (used for CFL estimates)."""
+    return float(np.min(np.diff(rule.points)))
+
+
+def per_axis_rules(name: str, ns: Iterable[int]) -> List[QuadratureRule]:
+    """Build one rule per axis; ``name`` is ``'gauss'`` or ``'lobatto'``."""
+    factory = {"gauss": gauss_legendre, "lobatto": gauss_lobatto}[name]
+    return [factory(int(n)) for n in ns]

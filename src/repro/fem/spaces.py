@@ -1,0 +1,322 @@
+"""Finite element spaces: continuous H1 (GLL-nodal) and discontinuous L2.
+
+The mixed discretization mirrors the paper's MFEM setup (Section VI-C):
+order-``p`` continuous pressure paired with order-``p-1`` discontinuous
+velocity components.  Two layout concepts from MFEM are reproduced exactly:
+
+* **L-vector**: the globally-numbered dof vector (continuity built in).
+* **E-vector**: element-local dof blocks ``(nelem, (p+1)^d)``.
+
+``H1Space.gather`` maps L to E by fancy indexing; the transpose scatter-add
+is a precomputed sparse CSR matrix (deterministic summation order, fast for
+multi-column states).  The L2 velocity space is collocated at Gauss points,
+so its dofs *are* the quadrature values and its mass matrix is diagonal.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.fem.basis import LagrangeBasis1D
+from repro.fem.geometry import ElementGeometry
+from repro.fem.mesh import BoundarySpec, StructuredMesh
+from repro.fem.quadrature import gauss_legendre, gauss_lobatto
+
+__all__ = ["H1Space", "L2Space", "TraceGrid"]
+
+
+class TraceGrid:
+    """The tensor grid of H1 dofs on one boundary side.
+
+    This is the discrete home of the seafloor-velocity parameter field
+    ``m(x, t)``: for ``side="bottom"`` the trace grid of the pressure space
+    is exactly the paper's ``N_m`` spatial parameter points.
+
+    Attributes
+    ----------
+    side:
+        Boundary side name.
+    dofs:
+        Flat global H1 dof indices, C-ordered over ``grid_shape``.
+    grid_shape:
+        Node counts along the in-face axes.
+    coords:
+        ``(n_trace, dim)`` physical coordinates of the trace nodes.
+    axes:
+        Per-in-face-axis 1D node coordinate arrays (available when the
+        corresponding mesh axes are straight), used by the prior's tensor
+        FEM assembly.
+    """
+
+    def __init__(
+        self,
+        side: str,
+        dofs: np.ndarray,
+        grid_shape: Tuple[int, ...],
+        coords: np.ndarray,
+        axes: List[Optional[np.ndarray]],
+    ) -> None:
+        self.side = side
+        self.dofs = np.ascontiguousarray(dofs, dtype=np.int64)
+        self.grid_shape = tuple(int(s) for s in grid_shape)
+        self.coords = np.ascontiguousarray(coords, dtype=np.float64)
+        self.axes = axes
+
+    @property
+    def n(self) -> int:
+        """Number of trace nodes."""
+        return int(self.dofs.size)
+
+
+class H1Space:
+    """Continuous nodal space of order ``p`` on GLL points.
+
+    Parameters
+    ----------
+    mesh:
+        A :class:`~repro.fem.mesh.StructuredMesh`.
+    order:
+        Polynomial order ``p >= 1``.
+    """
+
+    def __init__(self, mesh: StructuredMesh, order: int) -> None:
+        if order < 1:
+            raise ValueError(f"H1 order must be >= 1, got {order}")
+        self.mesh = mesh
+        self.order = int(order)
+        self.dim = mesh.dim
+        self.nodes_1d = gauss_lobatto(self.order + 1).points
+        self.weights_1d = gauss_lobatto(self.order + 1).weights
+        self.basis_1d = LagrangeBasis1D(self.nodes_1d)
+        p = self.order
+        self.grid_shape: Tuple[int, ...] = tuple(n * p + 1 for n in mesh.shape)
+        self.ndof = int(np.prod(self.grid_shape))
+        self.nloc = (p + 1) ** self.dim
+
+    # ------------------------------------------------------------------
+    # L-vector <-> E-vector maps
+    # ------------------------------------------------------------------
+    @cached_property
+    def gather(self) -> np.ndarray:
+        """E-vector index map: ``(nelem, nloc)`` global dof per local node.
+
+        For element multi-index ``(i_0, ..)`` and local node ``(k_0, ..)``
+        the global grid index per axis is ``i*p + k``; the flat global dof
+        is the C-order ravel over ``grid_shape``.  Elements and local nodes
+        are both C-ordered.
+        """
+        p = self.order
+        d = self.dim
+        strides = np.ones(d, dtype=np.int64)
+        for ax in range(d - 2, -1, -1):
+            strides[ax] = strides[ax + 1] * self.grid_shape[ax + 1]
+        elem_grids = np.meshgrid(*[np.arange(n) for n in self.mesh.shape], indexing="ij")
+        loc_grids = np.meshgrid(*[np.arange(p + 1)] * d, indexing="ij")
+        g = np.zeros(tuple(self.mesh.shape) + tuple([p + 1] * d), dtype=np.int64)
+        for ax in range(d):
+            ge = elem_grids[ax].reshape(self.mesh.shape + tuple([1] * d))
+            gl = loc_grids[ax].reshape(tuple([1] * d) + tuple([p + 1] * d))
+            g += (ge * p + gl) * strides[ax]
+        return np.ascontiguousarray(g.reshape(self.mesh.n_elements, self.nloc))
+
+    @cached_property
+    def scatter_matrix(self) -> sp.csr_matrix:
+        """Sparse transpose of the gather: ``(ndof, nelem*nloc)`` 0/1 CSR.
+
+        ``scatter_matrix @ e_vec.reshape(nelem*nloc, k)`` performs the
+        scatter-add (assembly) with deterministic summation order.
+        """
+        rows = self.gather.reshape(-1)
+        cols = np.arange(rows.size)
+        data = np.ones(rows.size)
+        return sp.csr_matrix(
+            (data, (rows, cols)), shape=(self.ndof, rows.size)
+        )
+
+    def to_evector(self, x: np.ndarray) -> np.ndarray:
+        """Gather an L-vector ``(ndof, ...)`` to E-vector ``(nelem, nloc, ...)``."""
+        return x[self.gather]
+
+    def from_evector_add(self, e: np.ndarray) -> np.ndarray:
+        """Scatter-add an E-vector back to an L-vector (assembly transpose)."""
+        k = e.shape[2:] if e.ndim > 2 else ()
+        flat = e.reshape(self.mesh.n_elements * self.nloc, -1)
+        out = self.scatter_matrix @ flat
+        return np.ascontiguousarray(out.reshape((self.ndof,) + k))
+
+    @cached_property
+    def multiplicity(self) -> np.ndarray:
+        """How many elements share each global dof."""
+        return np.bincount(self.gather.reshape(-1), minlength=self.ndof).astype(
+            np.float64
+        )
+
+    # ------------------------------------------------------------------
+    # Coordinates & boundaries
+    # ------------------------------------------------------------------
+    @cached_property
+    def dof_coords(self) -> np.ndarray:
+        """Physical coordinates of the global dofs, ``(ndof, dim)``."""
+        geom = ElementGeometry.compute(
+            self.mesh.element_vertices(), [self.nodes_1d] * self.dim
+        )
+        out = np.empty((self.ndof, self.dim), dtype=np.float64)
+        out[self.gather.reshape(-1)] = geom.coords.reshape(-1, self.dim)
+        return out
+
+    def axis_node_coords(self, axis: int) -> np.ndarray:
+        """1D global node coordinates along a straight mesh axis."""
+        a = self.mesh.axes[axis]
+        if a is None:
+            raise ValueError(f"mesh axis {axis} is not straight")
+        p = self.order
+        ref = 0.5 * (self.nodes_1d + 1.0)  # [0, 1]
+        lo, hi = a[:-1], a[1:]
+        nodes = lo[:, None] + (hi - lo)[:, None] * ref[None, :]  # (n, p+1)
+        out = np.empty(self.grid_shape[axis], dtype=np.float64)
+        # Write every element's nodes; shared endpoints receive equal values.
+        for k in range(p + 1):
+            out[np.arange(a.size - 1) * p + k] = nodes[:, k]
+        return out
+
+    def boundary_dof_grid(self, side: str) -> Tuple[np.ndarray, Tuple[int, ...]]:
+        """Global dof indices of one side, with the in-face grid shape."""
+        spec = self.mesh.boundary(side)
+        slicer: List[slice] = [slice(None)] * self.dim
+        slicer[spec.axis] = slice(0, 1) if spec.end == 0 else slice(-1, None)
+        grid = np.arange(self.ndof).reshape(self.grid_shape)
+        face = grid[tuple(slicer)]
+        face = np.squeeze(face, axis=spec.axis)
+        return np.ascontiguousarray(face.reshape(-1)), tuple(face.shape)
+
+    def trace(self, side: str) -> TraceGrid:
+        """The :class:`TraceGrid` of this space on the named side."""
+        dofs, shape = self.boundary_dof_grid(side)
+        spec = self.mesh.boundary(side)
+        in_face_axes = [d for d in range(self.dim) if d != spec.axis]
+        axes: List[Optional[np.ndarray]] = []
+        for d in in_face_axes:
+            try:
+                axes.append(self.axis_node_coords(d))
+            except ValueError:
+                axes.append(None)
+        return TraceGrid(side, dofs, shape, self.dof_coords[dofs], axes)
+
+    # ------------------------------------------------------------------
+    # Point evaluation
+    # ------------------------------------------------------------------
+    def boundary_point_eval(
+        self, points_horizontal: np.ndarray, side: str
+    ) -> sp.csr_matrix:
+        """Point-evaluation operator at points on the bottom or surface.
+
+        Builds the sparse matrix ``C`` with ``(C @ p)[i] = p_h(x_i)`` where
+        ``x_i`` lies on the named vertical boundary at the given horizontal
+        coordinates.  This is exact FE interpolation: each row holds the
+        tensor-product Lagrange basis values in the containing element.
+        """
+        if side not in ("bottom", "surface"):
+            raise ValueError("boundary_point_eval supports 'bottom'/'surface' only")
+        nh = self.dim - 1
+        pts = np.asarray(points_horizontal, dtype=np.float64).reshape(-1, nh) if nh else np.zeros((int(np.asarray(points_horizontal).shape[0]) if np.ndim(points_horizontal) else 1, 0))
+        npts = pts.shape[0]
+        elem_h, ref_h = self.mesh.locate_horizontal(pts)
+        p = self.order
+        vz = self.mesh.shape[-1]
+        ez = 0 if side == "bottom" else vz - 1
+        kz = 0 if side == "bottom" else p
+        rows: List[np.ndarray] = []
+        cols: List[np.ndarray] = []
+        vals: List[np.ndarray] = []
+        for i in range(npts):
+            emulti = tuple(elem_h[i]) + (ez,)
+            eflat = self.mesh.element_index(emulti)
+            # Per-axis basis values at the reference location.
+            axis_vals: List[np.ndarray] = []
+            for d in range(nh):
+                axis_vals.append(self.basis_1d.eval(np.array([ref_h[i, d]]))[0])
+            vcol = np.zeros(p + 1)
+            vcol[kz] = 1.0
+            axis_vals.append(vcol)
+            row = axis_vals[0]
+            for v in axis_vals[1:]:
+                row = np.multiply.outer(row, v)
+            rows.append(np.full(self.nloc, i))
+            cols.append(self.gather[eflat])
+            vals.append(row.reshape(-1))
+        C = sp.csr_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(npts, self.ndof),
+        )
+        C.sum_duplicates()
+        C.eliminate_zeros()
+        return C
+
+    def point_eval(self, points: np.ndarray) -> sp.csr_matrix:
+        """Interior point evaluation (requires all mesh axes straight)."""
+        if any(a is None for a in self.mesh.axes):
+            raise ValueError("point_eval requires a tensor mesh (straight axes)")
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, self.dim)
+        npts = pts.shape[0]
+        p = self.order
+        rows, cols, vals = [], [], []
+        for i in range(npts):
+            emulti = []
+            axis_vals = []
+            for d in range(self.dim):
+                a = self.mesh.axes[d]
+                x = pts[i, d]
+                if x < a[0] - 1e-12 or x > a[-1] + 1e-12:
+                    raise ValueError(f"point outside mesh on axis {d}")
+                e = int(np.clip(np.searchsorted(a, x, side="right") - 1, 0, a.size - 2))
+                r = np.clip(2.0 * (x - a[e]) / (a[e + 1] - a[e]) - 1.0, -1.0, 1.0)
+                emulti.append(e)
+                axis_vals.append(self.basis_1d.eval(np.array([r]))[0])
+            eflat = self.mesh.element_index(tuple(emulti))
+            row = axis_vals[0]
+            for v in axis_vals[1:]:
+                row = np.multiply.outer(row, v)
+            rows.append(np.full(self.nloc, i))
+            cols.append(self.gather[eflat])
+            vals.append(row.reshape(-1))
+        C = sp.csr_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(npts, self.ndof),
+        )
+        C.sum_duplicates()
+        return C
+
+
+class L2Space:
+    """Discontinuous nodal space collocated at Gauss points.
+
+    Dofs are laid out as ``(nelem, (q+1)^d)`` per scalar component; there is
+    no inter-element continuity, hence no gather/scatter.  Because the nodes
+    are the quadrature points, the mass matrix is exactly diagonal with
+    entries ``w_q * detJ_q`` (times any coefficient).
+    """
+
+    def __init__(self, mesh: StructuredMesh, order: int) -> None:
+        if order < 0:
+            raise ValueError(f"L2 order must be >= 0, got {order}")
+        self.mesh = mesh
+        self.order = int(order)
+        self.dim = mesh.dim
+        rule = gauss_legendre(self.order + 1)
+        self.nodes_1d = rule.points
+        self.weights_1d = rule.weights
+        self.basis_1d = LagrangeBasis1D(self.nodes_1d)
+        self.nloc = (self.order + 1) ** self.dim
+        self.ndof = mesh.n_elements * self.nloc
+
+    @cached_property
+    def dof_coords(self) -> np.ndarray:
+        """Physical coordinates of the dofs, ``(nelem, nloc, dim)``."""
+        geom = ElementGeometry.compute(
+            self.mesh.element_vertices(), [self.nodes_1d] * self.dim
+        )
+        return geom.coords

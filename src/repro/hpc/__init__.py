@@ -1,0 +1,69 @@
+"""Virtual-parallel substrate and performance models for the scaling study.
+
+The paper's headline scaling results (Fig. 5/6, Table II) ran on El
+Capitan, Alps, Perlmutter, and Frontera.  Those machines are simulated here
+by a layered substrate:
+
+``machine``
+    Hardware specifications of the four systems (GPU peak, memory,
+    bandwidth, interconnect) and the exact Table II scaling configurations.
+``comm``
+    A virtual communicator: many logical ranks in one process, with exact
+    per-message byte and count accounting — the measured inputs that the
+    network model consumes.
+``partition``
+    Process grids, balanced block partitioning of structured element
+    grids, analytic halo/interface sizes, and the 2D processor-grid
+    autotuner for the distributed FFT matvec (ref. [26]).
+``decomposed``
+    A genuinely executing domain-decomposed wave operator on virtual
+    ranks: local kernels plus dimension-by-dimension interface-sum
+    exchanges, verified element-for-element against the serial operator,
+    with measured message bytes matching the analytic predictions.
+``fft_parallel``
+    The 2D-partitioned distributed FFT matvec with communication
+    accounting (allgather + reduce pattern of the paper's FFTMatvec).
+``perfmodel``
+    Roofline kernel timing + alpha-beta-contention network model; the
+    constants are calibrated to the paper's reported throughputs and the
+    model then predicts the full weak/strong curves.
+``scaling``
+    The Fig. 5 / Fig. 6 study driver: Table II configurations through the
+    performance model, plus timer-share projections.
+"""
+
+from repro.hpc.comm import VirtualComm
+from repro.hpc.decomposed import DecomposedWaveOperator
+from repro.hpc.fft_parallel import DistributedFFTMatvec, autotune_grid
+from repro.hpc.machine import (
+    ALL_MACHINES,
+    ALPS,
+    EL_CAPITAN,
+    FRONTERA,
+    PERLMUTTER,
+    MachineSpec,
+    ScalingConfig,
+)
+from repro.hpc.partition import BlockPartition, ProcessGrid
+from repro.hpc.perfmodel import KernelSpec, NetworkModel, PerformanceModel
+from repro.hpc.scaling import ScalingStudy
+
+__all__ = [
+    "MachineSpec",
+    "ALL_MACHINES",
+    "ScalingConfig",
+    "EL_CAPITAN",
+    "ALPS",
+    "PERLMUTTER",
+    "FRONTERA",
+    "VirtualComm",
+    "ProcessGrid",
+    "BlockPartition",
+    "DecomposedWaveOperator",
+    "DistributedFFTMatvec",
+    "autotune_grid",
+    "KernelSpec",
+    "NetworkModel",
+    "PerformanceModel",
+    "ScalingStudy",
+]

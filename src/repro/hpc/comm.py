@@ -1,0 +1,116 @@
+"""A virtual communicator: MPI-like accounting without MPI.
+
+All "ranks" live in one process; communication is a direct array hand-off,
+but every message's byte count and endpoints are recorded.  That gives the
+two things the reproduction needs from a communication layer:
+
+1. **correctness** — the decomposed operator and the distributed FFT
+   matvec move exactly the data a real MPI code would, in the same
+   pattern, so their results can be verified against the serial code;
+2. **measurement** — the per-rank traffic matrix feeds the network model
+   of :mod:`repro.hpc.perfmodel` (and is itself validated against the
+   analytic halo-surface predictions of :mod:`repro.hpc.partition`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = ["MessageRecord", "VirtualComm"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One logged message: endpoints, payload size, and a tag."""
+
+    src: int
+    dst: int
+    nbytes: int
+    tag: str
+
+
+class VirtualComm:
+    """Byte-accounting communicator over ``size`` virtual ranks."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("communicator needs at least one rank")
+        self.size = int(size)
+        self.messages: List[MessageRecord] = []
+        self._pair_bytes: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, r: int) -> None:
+        if not 0 <= r < self.size:
+            raise ValueError(f"rank {r} out of range [0, {self.size})")
+
+    def sendrecv(
+        self, src: int, dst: int, payload: np.ndarray, tag: str = ""
+    ) -> np.ndarray:
+        """Move ``payload`` from ``src`` to ``dst`` (logged); returns it.
+
+        The returned array is a *copy*, matching MPI semantics where the
+        receiver owns its buffer.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        payload = np.asarray(payload)
+        n = int(payload.nbytes)
+        self.messages.append(MessageRecord(src, dst, n, tag))
+        key = (src, dst)
+        self._pair_bytes[key] = self._pair_bytes.get(key, 0) + n
+        return payload.copy()
+
+    def allreduce_bytes(self, per_rank_nbytes: int, tag: str = "allreduce") -> None:
+        """Account a recursive-doubling allreduce (no data is moved here)."""
+        rounds = max(int(np.ceil(np.log2(self.size))), 0)
+        for r in range(rounds):
+            for rank in range(self.size):
+                partner = rank ^ (1 << r)
+                if partner < self.size and partner > rank:
+                    self.messages.append(
+                        MessageRecord(rank, partner, per_rank_nbytes, tag)
+                    )
+                    self.messages.append(
+                        MessageRecord(partner, rank, per_rank_nbytes, tag)
+                    )
+
+    # ------------------------------------------------------------------
+    # Accounting queries
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved over all messages."""
+        return sum(m.nbytes for m in self.messages)
+
+    @property
+    def total_messages(self) -> int:
+        """Total message count."""
+        return len(self.messages)
+
+    def bytes_by_tag(self) -> Dict[str, int]:
+        """Traffic grouped by message tag."""
+        out: Dict[str, int] = {}
+        for m in self.messages:
+            out[m.tag] = out.get(m.tag, 0) + m.nbytes
+        return out
+
+    def bytes_sent_by_rank(self) -> np.ndarray:
+        """Per-rank outgoing byte totals."""
+        out = np.zeros(self.size, dtype=np.int64)
+        for m in self.messages:
+            out[m.src] += m.nbytes
+        return out
+
+    def max_rank_bytes(self) -> int:
+        """The busiest rank's outgoing traffic (drives the critical path)."""
+        b = self.bytes_sent_by_rank()
+        return int(b.max()) if b.size else 0
+
+    def reset(self) -> None:
+        """Clear all logged traffic."""
+        self.messages.clear()
+        self._pair_bytes.clear()

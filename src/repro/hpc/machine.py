@@ -1,0 +1,254 @@
+"""Machine specifications and the paper's Table II scaling configurations.
+
+Hardware constants come from the paper's Section VI-A (El Capitan, Alps,
+Perlmutter) and the Frontera footnote; the per-GPU solver throughputs come
+from the measured results in Section VII (Fig. 5 runtimes and Fig. 7 kernel
+rates).  The contention coefficient of each interconnect is *calibrated* so
+the network model reproduces the paper's reported weak-scaling efficiency
+at the largest configuration; everything else (intermediate points, strong
+scaling) is then prediction — see EXPERIMENTS.md for the calibration
+ledger.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = [
+    "MachineSpec",
+    "ScalingConfig",
+    "EL_CAPITAN",
+    "ALPS",
+    "PERLMUTTER",
+    "FRONTERA",
+    "ALL_MACHINES",
+    "DOF_PER_ELEMENT",
+]
+
+# Order-4 pressure (4^3 shared H1 dofs/element) + 3 order-3 L2 velocity
+# components (64 each): 64 + 192 = 256 — matches the paper's 55.5T DOF on
+# 216.76G elements exactly.
+DOF_PER_ELEMENT = 256
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One HPC system of the paper's Section VI-A.
+
+    Attributes
+    ----------
+    name:
+        System name.
+    nodes, gpus_per_node:
+        Machine size (for CPU systems ``gpus_per_node`` counts sockets and
+        ``device`` throughput is per socket).
+    peak_tflops:
+        Double-precision peak per device (TFLOP/s).
+    mem_gb, mem_bw_gbs:
+        Device memory capacity and bandwidth.
+    solver_gdofs:
+        Measured solver throughput per device in GDOF/s (the Fig. 5 runs
+        used the "Optimized PA" kernel; El Capitan: 1.28e9 DOF at 0.49
+        s/step / 4 applies ~ 10.4 GDOF/s per apply).
+    link_alpha_us, link_beta_gbs:
+        Per-message latency and per-link bandwidth of the interconnect.
+    contention_gamma:
+        Calibrated dragonfly contention growth per doubling of machine
+        fraction (dimensionless; see module docstring).
+    sync_us_per_doubling:
+        Calibrated synchronization/jitter cost per rank-count doubling.
+    """
+
+    name: str
+    nodes: int
+    gpus_per_node: int
+    peak_tflops: float
+    mem_gb: float
+    mem_bw_gbs: float
+    solver_gdofs: float
+    link_alpha_us: float
+    link_beta_gbs: float
+    contention_gamma: float
+    sync_us_per_doubling: float
+
+    @property
+    def total_gpus(self) -> int:
+        """Total devices in the machine."""
+        return self.nodes * self.gpus_per_node
+
+    @property
+    def peak_eflops(self) -> float:
+        """Machine peak in EFLOP/s."""
+        return self.total_gpus * self.peak_tflops / 1e6
+
+
+@dataclass(frozen=True)
+class ScalingConfig:
+    """One row of the paper's Table II.
+
+    Attributes
+    ----------
+    machine:
+        The machine this configuration ran on.
+    nodes, gpus:
+        Job size.
+    grid:
+        3D processor grid (the paper's ``px x py x pz``).
+    elements:
+        Total mesh elements.
+    """
+
+    machine: MachineSpec
+    nodes: int
+    gpus: int
+    grid: Tuple[int, int, int]
+    elements: int
+
+    @property
+    def elements_per_gpu(self) -> int:
+        """Local workload (Table II's "Elements/GPU")."""
+        return self.elements // self.gpus
+
+    @property
+    def dof(self) -> int:
+        """Total state DOF at 256 DOF/element."""
+        return self.elements * DOF_PER_ELEMENT
+
+    @property
+    def dof_per_gpu(self) -> int:
+        """Local DOF per device."""
+        return self.dof // self.gpus
+
+
+EL_CAPITAN = MachineSpec(
+    name="El Capitan",
+    nodes=11_136,
+    gpus_per_node=4,
+    peak_tflops=61.3,
+    mem_gb=128.0,
+    mem_bw_gbs=5300.0,
+    solver_gdofs=10.45,
+    link_alpha_us=2.0,
+    link_beta_gbs=25.0,
+    contention_gamma=0.24,
+    sync_us_per_doubling=20.0,
+)
+
+ALPS = MachineSpec(
+    name="Alps",
+    nodes=2_688,
+    gpus_per_node=4,
+    # 574.8 PF system peak / 10,752 GPUs = 53.5 TF/device (the paper's
+    # figure counts the H100 FP64 tensor-core peak).
+    peak_tflops=53.5,
+    mem_gb=96.0,
+    mem_bw_gbs=4000.0,
+    solver_gdofs=10.3,
+    link_alpha_us=2.0,
+    link_beta_gbs=25.0,
+    contention_gamma=0.04,
+    sync_us_per_doubling=22.0,
+)
+
+PERLMUTTER = MachineSpec(
+    name="Perlmutter",
+    nodes=1_536,
+    gpus_per_node=4,
+    peak_tflops=9.7,
+    mem_gb=40.0,
+    mem_bw_gbs=1555.0,
+    solver_gdofs=4.1,
+    link_alpha_us=2.5,
+    link_beta_gbs=25.0,
+    contention_gamma=0.0,
+    sync_us_per_doubling=70.0,
+)
+
+# Frontera: 56-core Cascade Lake nodes; throughput per *node*;
+# the paper reports 95% weak efficiency at 8192 nodes, 4.8M DOF/core.
+FRONTERA = MachineSpec(
+    name="Frontera",
+    nodes=8_368,
+    gpus_per_node=1,
+    peak_tflops=3.2,
+    mem_gb=192.0,
+    mem_bw_gbs=140.0,
+    solver_gdofs=0.55,
+    link_alpha_us=1.5,
+    link_beta_gbs=12.5,
+    contention_gamma=1.64,
+    sync_us_per_doubling=360.0,
+)
+
+ALL_MACHINES = (EL_CAPITAN, ALPS, PERLMUTTER, FRONTERA)
+
+
+def table2_weak_series(machine: MachineSpec) -> List[ScalingConfig]:
+    """The weak-scaling series of Table II for one machine.
+
+    The smallest and largest jobs are exactly Table II's rows; the
+    intermediate points double the GPU count (splitting the y-dimension of
+    the processor grid, as the paper's Fig. 5 axis indicates).
+    """
+    if machine.name == "El Capitan":
+        base_nodes, base_grid, base_elems = 85, (5, 17, 4), 1_693_450_240
+        doublings = 7  # 340 -> 43,520 GPUs
+    elif machine.name == "Alps":
+        base_nodes, base_grid, base_elems = 36, (2, 18, 4), 566_231_040
+        doublings = 6  # 144 -> 9,216 GPUs
+    elif machine.name == "Perlmutter":
+        base_nodes, base_grid, base_elems = 47, (1, 47, 4), 295_698_432
+        doublings = 5  # 188 -> 6,016 GPUs
+    elif machine.name == "Frontera":
+        # CPU study: 1 -> 8192 nodes (weak), 2.2e12 DOF max at 4.8M DOF/core.
+        base_nodes, base_grid, base_elems = 1, (1, 1, 1), 1_048_576
+        doublings = 13
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"unknown machine {machine.name!r}")
+    out = []
+    nodes, grid, elems = base_nodes, list(base_grid), base_elems
+    for k in range(doublings + 1):
+        out.append(
+            ScalingConfig(
+                machine=machine,
+                nodes=nodes,
+                gpus=nodes * machine.gpus_per_node,
+                grid=tuple(grid),
+                elements=elems,
+            )
+        )
+        # Double by growing the grid dimension with the most room, x/y
+        # alternating (matches 5x17x4 -> 80x136x4: x16 in x, x8 in y).
+        axis = 0 if grid[0] * 2 * grid[1] <= 80 * 136 and k % 2 == 0 else 1
+        if machine.name == "Frontera":
+            axis = k % 3
+        grid[axis] *= 2
+        nodes *= 2
+        elems *= 2
+    return out
+
+
+def table2_strong_series(machine: MachineSpec) -> List[ScalingConfig]:
+    """The strong-scaling series: fixed problem, growing GPU count.
+
+    For the GPU machines the fixed problem is the base weak-scaling job
+    ("the largest problem fitting on 340 GPUs", Section VII-A).  For
+    Frontera the paper's strong study spans 3,584 -> 458,752 cores (64 ->
+    8,192 nodes), so the series starts at the 64-node weak problem.
+    """
+    weak = table2_weak_series(machine)
+    start = 6 if machine.name == "Frontera" else 0  # 2^6 = 64 nodes
+    fixed = weak[start].elements
+    out = []
+    for cfg in weak[start:]:
+        out.append(
+            ScalingConfig(
+                machine=machine,
+                nodes=cfg.nodes,
+                gpus=cfg.gpus,
+                grid=cfg.grid,
+                elements=fixed,
+            )
+        )
+    return out

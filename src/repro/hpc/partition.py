@@ -1,0 +1,178 @@
+"""Process grids, block partitioning, and analytic interface sizes.
+
+The paper partitions its structured hexahedral meshes over 3D processor
+grids (Table II: ``5 x 17 x 4`` up to ``80 x 136 x 4``).  This module
+provides the same machinery for the virtual-parallel substrate: balanced
+block ranges per rank, neighbor topology, and — crucially for the
+performance model — *analytic* interface (halo) sizes: the number of shared
+H1 pressure dofs on each inter-rank plane, which is exactly the data volume
+the decomposed operator's interface sums must move (verified against the
+measured :class:`~repro.hpc.comm.VirtualComm` traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["ProcessGrid", "BlockPartition", "factor_grids"]
+
+
+def _block_range(n: int, p: int, i: int) -> Tuple[int, int]:
+    """Balanced contiguous split of ``n`` items over ``p`` parts, part ``i``."""
+    base, rem = divmod(n, p)
+    start = i * base + min(i, rem)
+    stop = start + base + (1 if i < rem else 0)
+    return start, stop
+
+
+@dataclass(frozen=True)
+class ProcessGrid:
+    """A Cartesian grid of virtual ranks."""
+
+    dims: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.dims or any(d < 1 for d in self.dims):
+            raise ValueError(f"invalid process grid {self.dims}")
+
+    @property
+    def size(self) -> int:
+        """Total rank count."""
+        return int(np.prod(self.dims))
+
+    @property
+    def ndim(self) -> int:
+        """Grid dimensionality."""
+        return len(self.dims)
+
+    def coords(self, rank: int) -> Tuple[int, ...]:
+        """Grid coordinates of a flat rank (C-order)."""
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range")
+        return tuple(int(c) for c in np.unravel_index(rank, self.dims))
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """Flat rank of grid coordinates."""
+        return int(np.ravel_multi_index(tuple(coords), self.dims))
+
+    def neighbor(self, rank: int, axis: int, direction: int) -> Optional[int]:
+        """Neighbor rank along ``axis`` (+1/-1), or ``None`` at the edge."""
+        c = list(self.coords(rank))
+        c[axis] += direction
+        if not 0 <= c[axis] < self.dims[axis]:
+            return None
+        return self.rank_of(c)
+
+    def ranks(self) -> Iterator[int]:
+        """Iterate all ranks."""
+        return iter(range(self.size))
+
+
+class BlockPartition:
+    """Balanced block partition of a structured element grid.
+
+    Parameters
+    ----------
+    element_shape:
+        Global element counts per axis.
+    grid:
+        Process grid of matching dimensionality.
+    """
+
+    def __init__(self, element_shape: Sequence[int], grid: ProcessGrid) -> None:
+        self.element_shape = tuple(int(n) for n in element_shape)
+        if len(self.element_shape) != grid.ndim:
+            raise ValueError("process grid dimensionality must match the mesh")
+        for n, p in zip(self.element_shape, grid.dims):
+            if p > n:
+                raise ValueError(
+                    f"cannot split {n} elements over {p} ranks along one axis"
+                )
+        self.grid = grid
+
+    # ------------------------------------------------------------------
+    def element_ranges(self, rank: int) -> List[Tuple[int, int]]:
+        """Per-axis ``[start, stop)`` element ranges owned by ``rank``."""
+        coords = self.grid.coords(rank)
+        return [
+            _block_range(n, p, c)
+            for n, p, c in zip(self.element_shape, self.grid.dims, coords)
+        ]
+
+    def local_shape(self, rank: int) -> Tuple[int, ...]:
+        """Local element counts of ``rank``."""
+        return tuple(stop - start for start, stop in self.element_ranges(rank))
+
+    def local_elements(self, rank: int) -> np.ndarray:
+        """Flat global element indices owned by ``rank`` (local C-order)."""
+        ranges = self.element_ranges(rank)
+        grids = np.meshgrid(
+            *[np.arange(start, stop) for start, stop in ranges], indexing="ij"
+        )
+        return np.ravel_multi_index(
+            tuple(g.reshape(-1) for g in grids), self.element_shape
+        )
+
+    def max_local_elements(self) -> int:
+        """The busiest rank's element count (load-balance metric)."""
+        return max(int(np.prod(self.local_shape(r))) for r in self.grid.ranks())
+
+    # ------------------------------------------------------------------
+    # Analytic interface sizes
+    # ------------------------------------------------------------------
+    def interface_plane_nodes(self, rank: int, axis: int, order: int) -> int:
+        """H1 nodes on one inter-rank plane normal to ``axis``.
+
+        The shared plane of an order-``p`` space between two element slabs
+        is the full node plane: ``prod_{d != axis} (n_d^{loc} p + 1)``.
+        """
+        shape = self.local_shape(rank)
+        nodes = 1
+        for d, n in enumerate(shape):
+            if d != axis:
+                nodes *= n * order + 1
+        return nodes
+
+    def halo_bytes_per_apply(self, rank: int, order: int, word: int = 8) -> int:
+        """Interface-sum bytes one rank moves per operator application.
+
+        Each existing neighbor plane is both sent and received once
+        (sum-exchange); only the H1 pressure carries inter-rank coupling
+        (the L2 velocity is element-local).
+        """
+        total = 0
+        for axis in range(self.grid.ndim):
+            for direction in (-1, +1):
+                if self.grid.neighbor(rank, axis, direction) is not None:
+                    total += 2 * self.interface_plane_nodes(rank, axis, order) * word
+        return total
+
+    def max_halo_bytes_per_apply(self, order: int, word: int = 8) -> int:
+        """The busiest rank's halo traffic per application."""
+        return max(
+            self.halo_bytes_per_apply(r, order, word) for r in self.grid.ranks()
+        )
+
+    def messages_per_apply(self, rank: int) -> int:
+        """Messages (send+recv) a rank exchanges per application."""
+        n = 0
+        for axis in range(self.grid.ndim):
+            for direction in (-1, +1):
+                if self.grid.neighbor(rank, axis, direction) is not None:
+                    n += 2
+        return n
+
+
+def factor_grids(n: int, ndim: int = 2) -> List[Tuple[int, ...]]:
+    """All ``ndim``-dimensional factorizations of ``n`` (for autotuning)."""
+    if ndim == 1:
+        return [(n,)]
+    out: List[Tuple[int, ...]] = []
+    for d in range(1, n + 1):
+        if n % d == 0:
+            for rest in factor_grids(n // d, ndim - 1):
+                out.append((d,) + rest)
+    return out

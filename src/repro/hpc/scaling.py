@@ -1,0 +1,139 @@
+"""The Fig. 5 / Fig. 6 scaling-study driver.
+
+``ScalingStudy`` pushes the Table II configurations through the calibrated
+performance model and renders the same quantities the paper reports:
+runtime per timestep, weak parallel efficiency (fixed work per device,
+1.00 at the base job), and strong-scaling speedup/efficiency (fixed total
+work).  ``figure6_breakdown`` models the application-timer shares
+(Initialization / Setup / Adjoint p2o / I/O, Table I) with the adjoint
+solve projected to 20,000 timesteps exactly as in the paper's Fig. 6.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.hpc.machine import (
+    DOF_PER_ELEMENT,
+    MachineSpec,
+    ScalingConfig,
+    table2_strong_series,
+    table2_weak_series,
+)
+from repro.hpc.perfmodel import KernelSpec, PerformanceModel
+
+__all__ = ["ScalingRow", "ScalingStudy"]
+
+
+@dataclass
+class ScalingRow:
+    """One point of a weak- or strong-scaling curve."""
+
+    gpus: int
+    dof: int
+    dof_per_gpu: int
+    time_per_step: float
+    efficiency: float
+    speedup: float
+
+    def text(self) -> str:
+        """Fig. 5-style text row."""
+        return (
+            f"{self.gpus:>8d} GPUs   {self.dof:>16,d} DOF "
+            f"({self.dof_per_gpu / 1e9:6.2f} B/GPU)   "
+            f"{self.time_per_step * 1e3:9.3f} ms/step   "
+            f"eff {self.efficiency:5.2f}   speedup {self.speedup:8.1f}"
+        )
+
+
+class ScalingStudy:
+    """Weak/strong scaling curves of one machine through the perf model."""
+
+    def __init__(
+        self, machine: MachineSpec, kernel: Optional[KernelSpec] = None
+    ) -> None:
+        self.machine = machine
+        self.model = PerformanceModel(machine, kernel=kernel)
+
+    # ------------------------------------------------------------------
+    def weak(self) -> List[ScalingRow]:
+        """Weak-scaling series: efficiency = t(base) / t(P)."""
+        series = table2_weak_series(self.machine)
+        t0 = self.model.time_per_step(series[0])
+        rows = []
+        for cfg in series:
+            t = self.model.time_per_step(cfg)
+            rows.append(
+                ScalingRow(
+                    gpus=cfg.gpus,
+                    dof=cfg.dof,
+                    dof_per_gpu=cfg.dof_per_gpu,
+                    time_per_step=t,
+                    efficiency=t0 / t,
+                    speedup=cfg.gpus / series[0].gpus * (t0 / t),
+                )
+            )
+        return rows
+
+    def strong(self) -> List[ScalingRow]:
+        """Strong-scaling series: speedup = t(base)/t(P), eff = speedup/(P/P0)."""
+        series = table2_strong_series(self.machine)
+        t0 = self.model.time_per_step(series[0])
+        rows = []
+        for cfg in series:
+            t = self.model.time_per_step(cfg)
+            sp = t0 / t
+            ratio = cfg.gpus / series[0].gpus
+            rows.append(
+                ScalingRow(
+                    gpus=cfg.gpus,
+                    dof=cfg.dof,
+                    dof_per_gpu=cfg.dof_per_gpu,
+                    time_per_step=t,
+                    efficiency=sp / ratio,
+                    speedup=sp,
+                )
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    def figure6_breakdown(
+        self, cfg: ScalingConfig, projected_steps: int = 20_000
+    ) -> Dict[str, float]:
+        """Modeled Table I timer shares for one configuration (Fig. 6).
+
+        Components: job/device initialization (constant plus a slow
+        rank-count growth), setup (mesh read/partition/partial assembly,
+        proportional to local elements), the adjoint solve projected to
+        ``projected_steps`` timesteps, and I/O of the p2o kernel columns
+        at a shared filesystem bandwidth.
+        """
+        P = cfg.gpus
+        t_init = 1.5 + 0.05 * math.log2(max(P, 2))
+        t_setup = 3.0e-5 * cfg.elements_per_gpu + 0.15 * math.log2(max(P, 2))
+        t_solve = projected_steps * self.model.time_per_step(cfg)
+        # Each rank writes its share of the kernel column (state-sized
+        # vector dumps, every ~100 steps) through a shared ~1 TB/s FS.
+        io_bytes = cfg.dof * 8.0 * (projected_steps / 2000.0)
+        t_io = io_bytes / 1.0e12
+        total = t_init + t_setup + t_solve + t_io
+        return {
+            "Initialization": t_init,
+            "Setup": t_setup,
+            "Adjoint p2o": t_solve,
+            "I/O": t_io,
+            "total": total,
+            "solver_share": t_solve / total,
+        }
+
+    # ------------------------------------------------------------------
+    def report(self) -> str:
+        """Text table with both scaling modes (the Fig. 5 analogue)."""
+        lines = [f"=== {self.machine.name} ==="]
+        lines.append("weak scaling (fixed work per GPU):")
+        lines += ["  " + r.text() for r in self.weak()]
+        lines.append("strong scaling (fixed total work):")
+        lines += ["  " + r.text() for r in self.strong()]
+        return "\n".join(lines)

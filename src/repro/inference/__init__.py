@@ -1,0 +1,50 @@
+"""Real-time Bayesian inference for LTI parameter-to-observable maps.
+
+This package implements the paper's algorithmic core (Section V): the
+offline--online decomposition that turns a billion-parameter PDE-constrained
+Bayesian inverse problem into a sub-second dense linear-algebra problem.
+
+Submodules
+----------
+``toeplitz``
+    ``BlockToeplitzOperator`` — the FFTMatvec engine: block lower-triangular
+    Toeplitz matvecs/rmatvecs via circulant embedding and batched real FFTs,
+    with the paper's space-major data-layout optimization.
+``prior``
+    BiLaplacian (Matern) Gaussian priors on the seafloor trace grid, built
+    hIPPYlib-style from sparse elliptic operators with LU-factorized solves;
+    spatio-temporal wrappers (block-diagonal in time by default, optional
+    AR(1) temporal correlation as an extension).
+``noise``
+    Diagonal Gaussian observation-noise models (relative-amplitude scaling
+    as in the paper's 1% synthetic noise).
+``bayes``
+    ``ToeplitzBayesianInversion`` — Phases 2-4: the data-space Hessian
+    ``K = Gamma_noise + F Gamma_prior F*`` and its Cholesky factorization,
+    the goal-oriented operators ``B``, ``Gamma_post(q)``, the data-to-QoI
+    map ``Q``, and the real-time MAP/forecast solves.
+``posterior``
+    Exact posterior machinery: pointwise marginal variances (slot and
+    time-integrated displacement), Matheron posterior sampling.
+``forecast``
+    QoI forecast containers: credible intervals, coverage checks,
+    exceedance probabilities for early warning.
+"""
+
+from repro.inference.bayes import ToeplitzBayesianInversion
+from repro.inference.forecast import QoIForecast
+from repro.inference.noise import NoiseModel
+from repro.inference.posterior import PosteriorSampler, posterior_pointwise_variance
+from repro.inference.prior import BiLaplacianPrior, SpatioTemporalPrior
+from repro.inference.toeplitz import BlockToeplitzOperator
+
+__all__ = [
+    "BlockToeplitzOperator",
+    "BiLaplacianPrior",
+    "SpatioTemporalPrior",
+    "NoiseModel",
+    "ToeplitzBayesianInversion",
+    "PosteriorSampler",
+    "posterior_pointwise_variance",
+    "QoIForecast",
+]

@@ -1,0 +1,338 @@
+"""BiLaplacian (Matern) Gaussian priors on the seafloor trace grid.
+
+Following the paper ("each block the inverse of an elliptic PDE operator in
+space representing a Matern covariance") and the hIPPYlib construction, the
+spatial prior covariance is
+
+.. math:: \\Gamma_s = A^{-1} M A^{-1}, \\qquad A = \\gamma K + \\delta M
+          (+ \\beta M_{\\partial}),
+
+with ``K``/``M`` the stiffness/lumped-mass matrices of a Q1 FEM on the
+(possibly non-uniform) tensor grid of bottom-trace nodes, and ``beta`` an
+optional Robin boundary term that tempers the well-known variance inflation
+at the domain boundary.  ``A`` is factorized once with sparse LU; every
+prior application is two triangular solves plus a diagonal scaling, batched
+over right-hand sides.
+
+The spatio-temporal prior over ``m(x, t)`` is block-diagonal across the
+``N_t`` observation slots (the paper's choice).  As a documented extension,
+an AR(1) temporal correlation ``C_t[i,j] = rho_t^{|i-j|}`` can be composed
+with the spatial blocks (``Gamma_prior = C_t (x) Gamma_s``), exercised by
+the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+import scipy.linalg as sla
+import scipy.sparse as sp
+from scipy.sparse.linalg import splu
+
+from repro.util.validation import check_positive
+
+__all__ = ["tensor_q1_matrices", "BiLaplacianPrior", "SpatioTemporalPrior"]
+
+
+def _q1_1d(nodes: np.ndarray) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """1D Q1 stiffness (CSR) and *lumped* mass (diagonal) on given nodes."""
+    x = np.asarray(nodes, dtype=np.float64).reshape(-1)
+    if x.size < 2 or np.any(np.diff(x) <= 0):
+        raise ValueError("nodes must be strictly increasing with >= 2 entries")
+    h = np.diff(x)
+    n = x.size
+    main = np.zeros(n)
+    main[:-1] += 1.0 / h
+    main[1:] += 1.0 / h
+    off = -1.0 / h
+    K = sp.diags([off, main, off], offsets=[-1, 0, 1], format="csr")
+    mass = np.zeros(n)
+    mass[:-1] += h / 2.0
+    mass[1:] += h / 2.0
+    return K, mass
+
+
+def tensor_q1_matrices(
+    axes: List[np.ndarray],
+) -> Tuple[sp.csr_matrix, np.ndarray]:
+    """Stiffness and lumped mass of a Q1 tensor-product FEM.
+
+    For axes ``(x_0, ..., x_{d-1})``:
+    ``K = sum_d  M_0 (x) ... K_d ... (x) M_{d-1}`` and
+    ``M = M_0 (x) ... (x) M_{d-1}`` with lumped (diagonal) 1D masses, so
+    ``M`` stays diagonal and ``K`` sparse — the standard separable
+    assembly that keeps the prior solves cheap at any dimension.
+    """
+    mats = [_q1_1d(a) for a in axes]
+    d = len(mats)
+    if d == 0:
+        raise ValueError("need at least one axis")
+    M = mats[0][1]
+    for _, m1 in mats[1:]:
+        M = np.kron(M, m1)
+    K: Optional[sp.csr_matrix] = None
+    for i in range(d):
+        term: Optional[sp.spmatrix] = None
+        for j, (Kj, Mj) in enumerate(mats):
+            fac: sp.spmatrix = Kj if j == i else sp.diags(Mj)
+            term = fac if term is None else sp.kron(term, fac, format="csr")
+        K = term if K is None else (K + term).tocsr()
+    return K.tocsr(), np.asarray(M)
+
+
+def _boundary_lumped_mass(axes: List[np.ndarray]) -> np.ndarray:
+    """Lumped boundary 'mass' on the tensor grid boundary (Robin term).
+
+    For 1D parameter domains these are unit point masses at the endpoints;
+    in 2D, 1D lumped masses along each boundary edge — the discrete
+    counterpart of hIPPYlib's Robin boundary integral.
+    """
+    shapes = [a.size for a in axes]
+    d = len(axes)
+    out = np.zeros(shapes)
+    masses = [_q1_1d(a)[1] for a in axes]
+    for i in range(d):
+        for side in (0, -1):
+            sl = [slice(None)] * d
+            sl[i] = side
+            w = np.ones(())
+            for j in range(d):
+                if j == i:
+                    continue
+                w = np.multiply.outer(w, masses[j])
+            out[tuple(sl)] += w if d > 1 else 1.0
+    return out.reshape(-1)
+
+
+class BiLaplacianPrior:
+    """Matern-like Gaussian prior ``N(0, (gamma K + delta M)^{-1} M (...)^{-1})``.
+
+    Parameters
+    ----------
+    axes:
+        Per-axis 1D node coordinates of the (tensor) parameter grid — for
+        the tsunami twin, the bottom-trace node coordinates from
+        :class:`repro.fem.spaces.TraceGrid`.
+    gamma, delta:
+        Elliptic operator coefficients; correlation length scales like
+        ``sqrt(gamma / delta)`` and pointwise variance like
+        ``1 / (gamma delta)``-ish (dimension dependent).
+    robin_beta:
+        Optional Robin boundary coefficient; ``None`` disables it, and
+        :meth:`from_correlation` picks the hIPPYlib-recommended value.
+    """
+
+    def __init__(
+        self,
+        axes: List[np.ndarray],
+        gamma: float,
+        delta: float,
+        robin_beta: Optional[float] = None,
+    ) -> None:
+        check_positive("gamma", gamma)
+        check_positive("delta", delta)
+        self.axes = [np.asarray(a, dtype=np.float64) for a in axes]
+        self.dim = len(self.axes)
+        self.gamma = float(gamma)
+        self.delta = float(delta)
+        K, mass = tensor_q1_matrices(self.axes)
+        self.K = K
+        self.M = mass  # lumped: diagonal stored as a vector
+        A = (gamma * K + delta * sp.diags(mass)).tocsc()
+        if robin_beta is not None:
+            check_positive("robin_beta", robin_beta)
+            A = (A + robin_beta * sp.diags(_boundary_lumped_mass(self.axes))).tocsc()
+        self.robin_beta = robin_beta
+        self.A = A
+        self._lu = splu(A)
+        self.n = int(mass.size)
+        self._sqrt_m = np.sqrt(mass)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_correlation(
+        cls,
+        axes: List[np.ndarray],
+        sigma: float,
+        correlation_length: float,
+        robin: bool = True,
+    ) -> "BiLaplacianPrior":
+        """Construct from target marginal std ``sigma`` and correlation length.
+
+        Uses the Matern relation ``kappa = sqrt(8 nu) / rho`` with
+        ``nu = 2 - d/2`` to set ``delta / gamma = kappa^2``, then calibrates
+        the overall scale *empirically*: the prior is assembled once with
+        ``gamma = 1``, its central marginal variance probed exactly, and
+        ``(gamma, delta)`` rescaled jointly (variance scales as
+        ``1/scale^2``).  This avoids closed-form constants and is exact for
+        the discrete operator actually used.
+        """
+        check_positive("sigma", sigma)
+        check_positive("correlation_length", correlation_length)
+        d = len(axes)
+        nu = max(2.0 - d / 2.0, 0.5)
+        kappa = np.sqrt(8.0 * nu) / correlation_length
+        gamma0 = 1.0
+        delta0 = kappa**2
+        beta0 = np.sqrt(gamma0 * delta0) / 1.42 if robin else None
+        probe = cls(axes, gamma0, delta0, robin_beta=beta0)
+        var_c = probe.marginal_variance_at(probe.center_index())
+        scale = np.sqrt(var_c) / sigma
+        beta = beta0 * scale if beta0 is not None else None
+        return cls(axes, gamma0 * scale, delta0 * scale, robin_beta=beta)
+
+    def center_index(self) -> int:
+        """Flat index of the (approximately) central grid node."""
+        shapes = [a.size for a in self.axes]
+        center = tuple(s // 2 for s in shapes)
+        return int(np.ravel_multi_index(center, shapes))
+
+    # ------------------------------------------------------------------
+    # Actions (all batched over trailing columns)
+    # ------------------------------------------------------------------
+    def _solve_A(self, b: np.ndarray) -> np.ndarray:
+        out = self._lu.solve(np.asarray(b, dtype=np.float64))
+        return out
+
+    def apply(self, v: np.ndarray) -> np.ndarray:
+        """Covariance action ``Gamma_s v = A^{-1} M A^{-1} v``."""
+        w = self._solve_A(v)
+        w = w * (self.M[:, None] if w.ndim == 2 else self.M)
+        return self._solve_A(w)
+
+    def apply_inverse(self, v: np.ndarray) -> np.ndarray:
+        """Precision action ``Gamma_s^{-1} v = A M^{-1} A v``."""
+        w = self.A @ np.asarray(v, dtype=np.float64)
+        w = w / (self.M[:, None] if w.ndim == 2 else self.M)
+        return self.A @ w
+
+    def apply_sqrt(self, xi: np.ndarray) -> np.ndarray:
+        """Square-root action ``L xi = A^{-1} M^{1/2} xi`` (``L L^T = Gamma_s``)."""
+        w = xi * (self._sqrt_m[:, None] if xi.ndim == 2 else self._sqrt_m)
+        return self._solve_A(w)
+
+    def sample(self, rng: np.random.Generator, k: int = 1) -> np.ndarray:
+        """Draw ``k`` prior samples, shape ``(n, k)``."""
+        xi = rng.standard_normal((self.n, int(k)))
+        return self.apply_sqrt(xi)
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def marginal_variance_at(self, idx: int) -> float:
+        """Exact marginal variance ``(Gamma_s)_{ii}`` at one node."""
+        e = np.zeros(self.n)
+        e[idx] = 1.0
+        return float(self.apply(e)[idx])
+
+    def marginal_variance(self, chunk: int = 512) -> np.ndarray:
+        """Exact pointwise variance field ``diag(Gamma_s)`` (chunked solves).
+
+        ``diag(A^{-1} M A^{-1}) = sum_j M_jj (A^{-1})_{ij}^2`` — computed
+        from columns of ``A^{-1}`` in chunks; O(n) solves, fine at the
+        reduced scales of this reproduction.
+        """
+        out = np.empty(self.n)
+        for start in range(0, self.n, chunk):
+            stop = min(start + chunk, self.n)
+            e = np.zeros((self.n, stop - start))
+            e[np.arange(start, stop), np.arange(stop - start)] = 1.0
+            g = self._solve_A(self.M[:, None] * self._solve_A(e))
+            out[start:stop] = g[start:stop, :].diagonal()
+        return out
+
+    def dense(self) -> np.ndarray:
+        """Materialize ``Gamma_s`` (small problems / tests only)."""
+        return self.apply(np.eye(self.n))
+
+    def correlation_length_estimate(self) -> float:
+        """Matern-consistent correlation length ``sqrt(8 nu) / kappa``."""
+        nu = max(2.0 - self.dim / 2.0, 0.5)
+        kappa = np.sqrt(self.delta / self.gamma)
+        return float(np.sqrt(8.0 * nu) / kappa)
+
+
+class SpatioTemporalPrior:
+    """Prior over slot-blocked space-time parameters ``m`` of shape ``(Nt, Nm)``.
+
+    ``Gamma_prior = C_t (x) Gamma_s`` where ``C_t`` is the identity
+    (paper default: independent slots) or an AR(1) correlation
+    ``C_t[i,j] = rho_t^{|i-j|}`` (extension).
+    """
+
+    def __init__(
+        self,
+        spatial: BiLaplacianPrior,
+        nt: int,
+        temporal_rho: Optional[float] = None,
+    ) -> None:
+        if nt < 1:
+            raise ValueError("nt must be >= 1")
+        self.spatial = spatial
+        self.nt = int(nt)
+        self.nm = spatial.n
+        self.n = self.nt * self.nm
+        if temporal_rho is not None and not (0.0 <= temporal_rho < 1.0):
+            raise ValueError("temporal_rho must lie in [0, 1)")
+        self.temporal_rho = temporal_rho
+        if temporal_rho:
+            i = np.arange(self.nt)
+            self.Ct = temporal_rho ** np.abs(i[:, None] - i[None, :])
+            self._Ct_chol = np.linalg.cholesky(self.Ct)
+            self._Ct_inv = np.linalg.inv(self.Ct)
+        else:
+            self.Ct = None
+            self._Ct_chol = None
+            self._Ct_inv = None
+
+    # ------------------------------------------------------------------
+    def _spatial_all(self, m: np.ndarray, fn) -> np.ndarray:
+        """Apply a spatial action to every slot (and batch column) at once."""
+        squeeze = m.ndim == 2
+        mm = m[:, :, None] if squeeze else m
+        nt, nm, k = mm.shape
+        flat = np.ascontiguousarray(mm.transpose(1, 0, 2)).reshape(nm, nt * k)
+        out = fn(flat).reshape(nm, nt, k).transpose(1, 0, 2)
+        out = np.ascontiguousarray(out)
+        return out[:, :, 0] if squeeze else out
+
+    def _temporal(self, m: np.ndarray, mat: Optional[np.ndarray]) -> np.ndarray:
+        if mat is None:
+            return m
+        return np.einsum("ij,j...->i...", mat, m)
+
+    def apply(self, m: np.ndarray) -> np.ndarray:
+        """``Gamma_prior m`` for ``m`` of shape ``(Nt, Nm[, k])``."""
+        out = self._spatial_all(m, self.spatial.apply)
+        return self._temporal(out, self.Ct)
+
+    def apply_inverse(self, m: np.ndarray) -> np.ndarray:
+        """``Gamma_prior^{-1} m``."""
+        out = self._spatial_all(m, self.spatial.apply_inverse)
+        return self._temporal(out, self._Ct_inv)
+
+    def apply_sqrt(self, xi: np.ndarray) -> np.ndarray:
+        """``L xi`` with ``L L^T = Gamma_prior``."""
+        out = self._spatial_all(xi, self.spatial.apply_sqrt)
+        return self._temporal(out, self._Ct_chol)
+
+    def sample(self, rng: np.random.Generator, k: int = 1) -> np.ndarray:
+        """Draw ``k`` space-time prior samples ``(Nt, Nm, k)``."""
+        xi = rng.standard_normal((self.nt, self.nm, int(k)))
+        return self.apply_sqrt(xi)
+
+    def displacement_prior_variance(self) -> np.ndarray:
+        """Pointwise prior variance of the displacement ``sum_t m_t dt=1``.
+
+        ``Var(sum_t m_t)_j = (sum_{t,t'} C_t[t,t']) (Gamma_s)_{jj}``.
+        """
+        spatial_var = self.spatial.marginal_variance()
+        tsum = float(np.sum(self.Ct)) if self.Ct is not None else float(self.nt)
+        return tsum * spatial_var
+
+    def dense(self) -> np.ndarray:
+        """Materialize ``Gamma_prior`` (tests only): ``C_t (x) Gamma_s``."""
+        gs = self.spatial.dense()
+        ct = self.Ct if self.Ct is not None else np.eye(self.nt)
+        return np.kron(ct, gs)

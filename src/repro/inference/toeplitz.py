@@ -1,0 +1,190 @@
+"""FFTMatvec: block lower-triangular Toeplitz matvecs via circulant embedding.
+
+The discrete p2o map of an LTI dynamical system is block lower-triangular
+Toeplitz (paper Section V-A): ``d_i = sum_{j <= i} T[i-j] m_j`` with blocks
+``T[k] = C S^k W`` of shape ``(n_out, n_in)``.  This module stores only the
+kernel — the first block column, ``O(n_out n_in N_t)`` memory instead of
+``O(n_out n_in N_t^2)`` — and applies the operator and its transpose by:
+
+1. zero-padding the time axis to ``N >= 2 N_t - 1`` (circulant embedding),
+2. batched real FFTs along time,
+3. one small dense matmul per retained frequency,
+4. inverse FFT and truncation to the causal window.
+
+The transpose (``rmatvec``) is the *correlation* ``g_j = sum_{i >= j}
+T[i-j]^T d_i``, handled with conjugated kernel spectra.
+
+Data layout (paper Section V-A: "exchanging the order of space and time
+vector indices ... avoids strided memory accesses"): with ``layout=
+"space-major"`` (default) vectors are transposed once so the FFT runs along
+the contiguous last axis; ``layout="time-major"`` keeps the natural order
+and FFTs along a strided axis.  Both produce identical results; the
+benchmark ``bench_ablation_gridtune.py`` measures the difference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.fft import next_fast_len
+
+from repro.util.validation import check_in
+
+__all__ = ["BlockToeplitzOperator"]
+
+
+class BlockToeplitzOperator:
+    """A block lower-triangular Toeplitz operator defined by its kernel.
+
+    Parameters
+    ----------
+    kernel:
+        ``(Nt, n_out, n_in)`` array: block ``k`` maps the input at slot
+        ``j`` to the output at slot ``j + k``.
+    layout:
+        ``"space-major"`` (transpose-for-contiguity, default) or
+        ``"time-major"`` (strided FFT axis).
+    dtype:
+        Working dtype (double precision throughout, as in the paper).
+    """
+
+    def __init__(
+        self,
+        kernel: np.ndarray,
+        layout: str = "space-major",
+        dtype: np.dtype = np.float64,
+    ) -> None:
+        kernel = np.asarray(kernel, dtype=dtype)
+        if kernel.ndim != 3:
+            raise ValueError(f"kernel must be (Nt, n_out, n_in), got {kernel.shape}")
+        check_in("layout", layout, ("space-major", "time-major"))
+        self.kernel = np.ascontiguousarray(kernel)
+        self.nt, self.n_out, self.n_in = kernel.shape
+        self.layout = layout
+        self.nfft = next_fast_len(2 * self.nt - 1, real=True)
+        # Kernel spectrum, stored frequency-major for the per-frequency matmul.
+        khat = np.fft.rfft(self.kernel, n=self.nfft, axis=0)
+        self._khat = np.ascontiguousarray(khat)  # (Nf, n_out, n_in)
+        self._khat_ct = np.ascontiguousarray(
+            khat.conj().transpose(0, 2, 1)
+        )  # (Nf, n_in, n_out)
+        self.nf = self._khat.shape[0]
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, int]:
+        """Dense shape ``(Nt * n_out, Nt * n_in)``."""
+        return (self.nt * self.n_out, self.nt * self.n_in)
+
+    @property
+    def kernel_nbytes(self) -> int:
+        """Memory of the compact kernel representation."""
+        return int(self.kernel.nbytes + self._khat.nbytes + self._khat_ct.nbytes)
+
+    # ------------------------------------------------------------------
+    # FFT helpers with the two data layouts
+    # ------------------------------------------------------------------
+    def _rfft_time(self, x: np.ndarray) -> np.ndarray:
+        """Real FFT along axis 0 (time), padded to ``nfft`` -> (Nf, n, k)."""
+        if self.layout == "time-major":
+            return np.fft.rfft(x, n=self.nfft, axis=0)
+        # space-major: make time the contiguous last axis, FFT, restore.
+        xt = np.ascontiguousarray(np.moveaxis(x, 0, -1))
+        yt = np.fft.rfft(xt, n=self.nfft, axis=-1)
+        return np.ascontiguousarray(np.moveaxis(yt, -1, 0))
+
+    def _irfft_time(self, xhat: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`_rfft_time`, truncated to the causal window."""
+        if self.layout == "time-major":
+            return np.fft.irfft(xhat, n=self.nfft, axis=0)[: self.nt]
+        xt = np.ascontiguousarray(np.moveaxis(xhat, 0, -1))
+        yt = np.fft.irfft(xt, n=self.nfft, axis=-1)
+        return np.ascontiguousarray(np.moveaxis(yt, -1, 0))[: self.nt]
+
+    # ------------------------------------------------------------------
+    # Operator actions
+    # ------------------------------------------------------------------
+    def matvec(self, m: np.ndarray) -> np.ndarray:
+        """Causal block convolution: ``d_i = sum_{j<=i} T[i-j] m_j``.
+
+        ``m``: ``(Nt, n_in)`` or batched ``(Nt, n_in, k)``; output matches
+        with ``n_in`` replaced by ``n_out``.
+        """
+        squeeze = m.ndim == 2
+        mm = m[:, :, None] if squeeze else m
+        if mm.shape[0] != self.nt or mm.shape[1] != self.n_in:
+            raise ValueError(
+                f"m must be (Nt={self.nt}, n_in={self.n_in}[, k]), got {m.shape}"
+            )
+        mhat = self._rfft_time(mm)  # (Nf, n_in, k)
+        dhat = np.matmul(self._khat, mhat)  # (Nf, n_out, k)
+        d = self._irfft_time(dhat)
+        return d[:, :, 0] if squeeze else d
+
+    def rmatvec(self, d: np.ndarray) -> np.ndarray:
+        """Transpose action (correlation): ``g_j = sum_{i>=j} T[i-j]^T d_i``."""
+        squeeze = d.ndim == 2
+        dd = d[:, :, None] if squeeze else d
+        if dd.shape[0] != self.nt or dd.shape[1] != self.n_out:
+            raise ValueError(
+                f"d must be (Nt={self.nt}, n_out={self.n_out}[, k]), got {d.shape}"
+            )
+        dhat = self._rfft_time(dd)  # (Nf, n_out, k)
+        ghat = np.matmul(self._khat_ct, dhat)  # (Nf, n_in, k)
+        g = self._irfft_time(ghat)
+        return g[:, :, 0] if squeeze else g
+
+    # ------------------------------------------------------------------
+    # Dense forms (tests / small problems)
+    # ------------------------------------------------------------------
+    def dense(self) -> np.ndarray:
+        """Materialize the full ``(Nt n_out, Nt n_in)`` matrix (small only)."""
+        nt, no, ni = self.nt, self.n_out, self.n_in
+        out = np.zeros((nt * no, nt * ni))
+        for i in range(nt):
+            for j in range(i + 1):
+                out[i * no : (i + 1) * no, j * ni : (j + 1) * ni] = self.kernel[i - j]
+        return out
+
+    def transpose_operator(self) -> "BlockToeplitzOperator":
+        """The operator whose ``matvec`` equals this operator's ``rmatvec``.
+
+        Note the transpose of a block *lower*-triangular Toeplitz matrix is
+        block *upper*-triangular; it is returned as the same class with the
+        roles of matvec/rmatvec swapped via kernel transposition.
+        """
+        return _TransposedBTO(self)
+
+    def flops_per_matvec(self, k: int = 1) -> float:
+        """Analytic FLOP count of one batched matvec (FFTs + block matmuls)."""
+        fft_cost = 2.5 * self.nfft * np.log2(max(self.nfft, 2))
+        total_ffts = (self.n_in + self.n_out) * k * fft_cost
+        matmul = 8.0 * self.nf * self.n_out * self.n_in * k  # complex MACs
+        return float(total_ffts + matmul)
+
+
+class _TransposedBTO(BlockToeplitzOperator):
+    """View of a :class:`BlockToeplitzOperator` with matvec/rmatvec swapped."""
+
+    def __init__(self, base: BlockToeplitzOperator) -> None:
+        self._base = base
+        # Mirror the public metadata without recomputing spectra.
+        self.kernel = base.kernel
+        self.nt = base.nt
+        self.n_out, self.n_in = base.n_in, base.n_out
+        self.layout = base.layout
+        self.nfft = base.nfft
+        self.nf = base.nf
+
+    def matvec(self, m: np.ndarray) -> np.ndarray:
+        return self._base.rmatvec(m)
+
+    def rmatvec(self, d: np.ndarray) -> np.ndarray:
+        return self._base.matvec(d)
+
+    def dense(self) -> np.ndarray:
+        return self._base.dense().T
+
+    def transpose_operator(self) -> BlockToeplitzOperator:
+        return self._base

@@ -1,0 +1,50 @@
+"""The acoustic--gravity ocean model (the paper's forward physics, Eq. 1).
+
+Couples ocean acoustic waves to surface gravity waves through the modified
+free-surface condition ``p = rho g eta``, ``d_t eta = u . n``, forced by
+seafloor motion ``u . n = -d_t b`` — the mechanism by which an earthquake
+pressurizes the water column and launches a tsunami.
+
+Submodules
+----------
+``material``
+    Seawater properties (density, sound speed, bulk modulus, impedance,
+    gravity), including non-dimensional presets for fast tests.
+``bathymetry``
+    Parametric Cascadia-like topobathymetry (shelf / slope / trench /
+    abyssal plain with optional seeded roughness) substituting for GEBCO
+    gridded data.
+``acoustic_gravity``
+    The semi-discrete operator ``L`` of the first-order system, with its
+    exact Euclidean transpose ``L^T``, the parameter injection ``B`` (and
+    ``B^T``), and the discrete energy.
+``propagator``
+    The slot (observation-interval) propagator: forward solves, batched
+    adjoint solves, and extraction of the block-Toeplitz p2o/p2q kernels —
+    Phase 1 of the paper's framework.
+``observations``
+    Seafloor pressure sensor arrays (the data operator ``C``) and sea
+    surface QoI forecast points (the operator ``C_q`` with
+    ``eta = p / (rho g)``).
+"""
+
+from repro.ocean.acoustic_gravity import AcousticGravityOperator
+from repro.ocean.bathymetry import (
+    CascadiaBathymetry,
+    FlatBathymetry,
+    GaussianRidgeBathymetry,
+)
+from repro.ocean.material import SeawaterMaterial
+from repro.ocean.observations import SensorArray, SurfaceQoI
+from repro.ocean.propagator import SlotPropagator
+
+__all__ = [
+    "SeawaterMaterial",
+    "CascadiaBathymetry",
+    "FlatBathymetry",
+    "GaussianRidgeBathymetry",
+    "AcousticGravityOperator",
+    "SlotPropagator",
+    "SensorArray",
+    "SurfaceQoI",
+]

@@ -1,0 +1,323 @@
+"""The semi-discrete acoustic--gravity wave operator (paper Eq. 1 / Eq. 4).
+
+Discretizing the mixed variational form of the first-order system with
+order-``p`` continuous pressure and order-``p-1`` discontinuous velocity
+(Section VI-C of the paper) and collocated (diagonal) mass matrices yields
+
+.. math::
+
+    M_u \\dot u = -\\mathcal{G} p, \\qquad
+    M_p \\dot p = \\mathcal{G}^T u - S_a p + R\\, m(t),
+
+where ``G`` is the weak gradient pairing, ``S_a`` the absorbing-impedance
+boundary damping, and ``R`` the seafloor trace injection of the parameter
+``m`` (inward-normal seafloor velocity).  The pressure mass ``M_p``
+contains the free-surface gravity term ``<(rho g)^{-1} p, v>_surface`` —
+that single boundary mass is what couples acoustics to surface gravity
+waves.
+
+The state is packed as one array ``X`` of shape ``(nstate, k)`` (``k`` a
+batch of independent columns — multiple sensors' adjoints, or multiple
+parameter realizations — processed simultaneously):
+
+* ``X[:nu]`` viewed as ``(nelem, nq, dim, k)`` — velocity at Gauss points,
+* ``X[nu:]`` of shape ``(ndof_p, k)`` — pressure coefficients.
+
+``apply_transpose`` implements the **exact Euclidean transpose** of
+``apply`` (same kernels, reversed composition), which is what makes the
+discrete adjoint wave propagations of Phase 1 exact to machine precision.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fem.geometry import ElementGeometry
+from repro.fem.kernels import grad_geometric_factors, make_gradient_kernel
+from repro.fem.mesh import StructuredMesh
+from repro.fem.operators import DiagonalBoundaryOperator, LumpedMass, l2_mass_diag
+from repro.fem.quadrature import gauss_legendre, tensor_rule
+from repro.fem.spaces import H1Space, L2Space
+from repro.fem.timestep import cfl_timestep
+from repro.ocean.material import SeawaterMaterial
+from repro.util.memory import MemoryTracker
+
+__all__ = ["AcousticGravityOperator"]
+
+
+class AcousticGravityOperator:
+    """Assembled acoustic--gravity operator on a terrain-following mesh.
+
+    Parameters
+    ----------
+    mesh:
+        A :class:`~repro.fem.mesh.StructuredMesh` whose last axis is
+        vertical with the surface at ``z = 0``.
+    order:
+        Pressure polynomial order ``p`` (velocity uses ``p - 1``).
+    material:
+        Seawater properties.
+    absorbing:
+        Names of the lateral sides that carry the impedance boundary
+        condition; defaults to all lateral sides.  Pass ``()`` for
+        reflecting lateral walls (useful in energy-conservation tests).
+    kernel_variant:
+        One of :data:`repro.fem.kernels.KERNEL_VARIANTS`; ``"fused"``
+        (default) matches the paper's fastest configuration.
+    memory_optimized:
+        If ``False``, retain the un-fused geometry arrays (Jacobians,
+        inverses, determinants, coordinates at both node families) the way
+        the un-optimized solver of Section VII-B did; the
+        :class:`~repro.util.memory.MemoryTracker` then exposes the
+        footprint difference measured by ``benchmarks/bench_memory_opt.py``.
+    tracker:
+        Optional memory tracker to register allocations with.
+    """
+
+    def __init__(
+        self,
+        mesh: StructuredMesh,
+        order: int,
+        material: SeawaterMaterial,
+        absorbing: Optional[Sequence[str]] = None,
+        kernel_variant: str = "fused",
+        memory_optimized: bool = True,
+        tracker: Optional[MemoryTracker] = None,
+        include_surface: bool = True,
+        include_bottom_forcing: bool = True,
+    ) -> None:
+        if order < 2:
+            raise ValueError("acoustic-gravity operator needs order >= 2")
+        self.mesh = mesh
+        self.order = int(order)
+        self.material = material
+        self.memory_optimized = bool(memory_optimized)
+        self.tracker = tracker if tracker is not None else MemoryTracker()
+
+        self.h1 = H1Space(mesh, order)
+        self.l2 = L2Space(mesh, order - 1)
+        self.dim = mesh.dim
+
+        rule = gauss_legendre(self.l2.order + 1)
+        _, wq = tensor_rule([rule] * self.dim)
+        geom = ElementGeometry.compute(
+            mesh.element_vertices(), [rule.points] * self.dim
+        )
+
+        # Velocity (L2) mass with density coefficient: diagonal by collocation.
+        self.Mu = l2_mass_diag(self.l2, geom.detj, np.full_like(geom.detj, material.rho))
+
+        # Pressure (H1) lumped mass with 1/K, plus the surface gravity term.
+        # In a domain decomposition, interior-interface "surface"/"bottom"
+        # sides of a subdomain carry no boundary physics; the decomposed
+        # operator disables them and interface-sums the partial diagonals.
+        self._mass_pp = LumpedMass(self.h1, coef=1.0 / material.bulk_modulus)
+        Mp = self._mass_pp.diag.copy()
+        if include_surface:
+            self.surface_op: Optional[DiagonalBoundaryOperator] = (
+                DiagonalBoundaryOperator(
+                    self.h1, "surface", coef=1.0 / (material.rho * material.g)
+                )
+            )
+            Mp[self.surface_op.dofs] += self.surface_op.values
+        else:
+            self.surface_op = None
+        self.Mp = Mp
+
+        # Absorbing lateral boundaries: S_a = <Z^{-1} p, v>.
+        if absorbing is None:
+            absorbing = tuple(mesh.lateral_sides())
+        self.absorbing_sides = tuple(absorbing)
+        self.Sa: List[DiagonalBoundaryOperator] = [
+            DiagonalBoundaryOperator(self.h1, side, coef=1.0 / material.impedance)
+            for side in self.absorbing_sides
+        ]
+
+        # Seafloor forcing R = <m, v>_bottom and the parameter trace grid.
+        if include_bottom_forcing:
+            self.R: Optional[DiagonalBoundaryOperator] = DiagonalBoundaryOperator(
+                self.h1, "bottom", coef=1.0
+            )
+            self.bottom_trace = self.R.trace
+        else:
+            self.R = None
+            self.bottom_trace = self.h1.trace("bottom")
+
+        # Weak gradient kernel.
+        if kernel_variant == "mf":
+            self.kernel = make_gradient_kernel(
+                "mf",
+                self.h1.basis_1d.eval(rule.points),
+                self.h1.basis_1d.deriv(rule.points),
+                weights=wq,
+                element_vertices=mesh.element_vertices(),
+                velocity_nodes_1d=rule.points,
+            )
+        else:
+            self.kernel = make_gradient_kernel(
+                kernel_variant,
+                self.h1.basis_1d.eval(rule.points),
+                self.h1.basis_1d.deriv(rule.points),
+                geom=geom,
+                weights=wq,
+            )
+        self.kernel_variant = kernel_variant
+
+        # State layout.
+        self.nu = self.l2.ndof * self.dim
+        self.np_ = self.h1.ndof
+        self.nstate = self.nu + self.np_
+        self._ushape = (mesh.n_elements, self.l2.nloc, self.dim)
+
+        # --- memory accounting ------------------------------------------------
+        t = self.tracker
+        t.add_persistent("mass_diagonals", self.Mu, self.Mp)
+        t.add_persistent("gather_indices", self.h1.gather)
+        t.add_persistent(
+            "scatter_csr_bytes",
+            self.h1.scatter_matrix.data,
+            self.h1.scatter_matrix.indices.astype(np.int64),
+            self.h1.scatter_matrix.indptr.astype(np.int64),
+        )
+        if self.kernel.A is not None:
+            t.add_persistent("fused_geometric_factors", self.kernel.A)
+        for op in self.Sa + [self.R, self.surface_op]:
+            if op is not None:
+                t.add_persistent("boundary_diagonals", op.values, op.dofs)
+        if not self.memory_optimized:
+            # The un-optimized solver of Section VII-B kept the full geometry
+            # (J, J^{-1}, detJ, coordinates) at both node families alive, and
+            # stored the un-fused factor chain separately.
+            geom_gll = ElementGeometry.compute(
+                mesh.element_vertices(), [self.h1.nodes_1d] * self.dim
+            )
+            self._unoptimized_geometry = (
+                geom.coords, geom.jac, geom.detj, geom.invj,
+                geom_gll.coords, geom_gll.jac, geom_gll.detj, geom_gll.invj,
+                grad_geometric_factors(geom, wq).copy(),
+            )
+            t.add_persistent("unfused_geometry", *self._unoptimized_geometry)
+
+    # ------------------------------------------------------------------
+    # State helpers
+    # ------------------------------------------------------------------
+    def zero_state(self, k: int = 1) -> np.ndarray:
+        """A zero state batch of ``k`` columns, shape ``(nstate, k)``."""
+        return np.zeros((self.nstate, int(k)))
+
+    def views(self, X: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(U, P)`` views of a packed state: U ``(ne, nq, d, k)``, P ``(np, k)``."""
+        k = X.shape[1]
+        U = X[: self.nu].reshape(self._ushape + (k,))
+        P = X[self.nu :]
+        return U, P
+
+    # ------------------------------------------------------------------
+    # Operator actions
+    # ------------------------------------------------------------------
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """``Y = L X`` for a batch of states."""
+        U, P = self.views(X)
+        k = X.shape[1]
+        pe = P[self.h1.gather]  # E-vector gather (ne, nloc, k)
+        mom, ye = self.kernel.apply_pair(pe, U)
+        Y = np.empty_like(X)
+        Yu, Yp = self.views(Y)
+        np.divide(mom, self.Mu[:, :, None, None], out=Yu)
+        np.negative(Yu, out=Yu)
+        Yp[...] = self.h1.from_evector_add(ye)
+        for sa in self.Sa:
+            sa.add_to(Yp, P, scale=-1.0)
+        Yp /= self.Mp[:, None]
+        if not self.memory_optimized:
+            # Un-optimized mode allocates fresh transient copies per apply
+            # (tracked, then released) the way the pre-optimization solver did.
+            self.tracker.add_transient_bytes("apply_workspace", 3 * X.nbytes)
+            self.tracker.release_transient("apply_workspace")
+        return Y
+
+    def apply_transpose(self, Y: np.ndarray) -> np.ndarray:
+        """``Z = L^T Y``: the exact Euclidean transpose of :meth:`apply`.
+
+        With ``Y = [a; b]``:
+
+        * ``Z_u = G (M_p^{-1} b)``
+        * ``Z_p = -G^T (M_u^{-1} a) - S_a M_p^{-1} b``
+        """
+        A, B = self.views(Y)
+        bm = B / self.Mp[:, None]
+        pe = bm[self.h1.gather]
+        am = A / self.Mu[:, :, None, None]
+        mom, ye = self.kernel.apply_pair(pe, am)
+        Z = np.empty_like(Y)
+        Zu, Zp = self.views(Z)
+        Zu[...] = mom
+        Zp[...] = -self.h1.from_evector_add(ye)
+        for sa in self.Sa:
+            sa.add_to(Zp, bm, scale=-1.0)
+        return Z
+
+    def forcing(self, m: np.ndarray) -> np.ndarray:
+        """``B m = [0; M_p^{-1} R m]`` for trace-field(s) ``m`` ``(Nm[, k])``."""
+        if self.R is None:
+            raise RuntimeError("this operator was built without bottom forcing")
+        m2 = m[:, None] if m.ndim == 1 else m
+        F = self.zero_state(m2.shape[1])
+        _, Fp = self.views(F)
+        idx = self.R.dofs
+        Fp[idx] = self.R.values[:, None] * m2 / self.Mp[idx, None]
+        return F
+
+    def forcing_transpose(self, Y: np.ndarray) -> np.ndarray:
+        """``B^T Y = R^T M_p^{-1} Y_p``: trace extraction, ``(Nm, k)``."""
+        if self.R is None:
+            raise RuntimeError("this operator was built without bottom forcing")
+        _, Yp = self.views(Y)
+        idx = self.R.dofs
+        return self.R.values[:, None] * (Yp[idx] / self.Mp[idx, None])
+
+    # ------------------------------------------------------------------
+    # Diagnostics
+    # ------------------------------------------------------------------
+    def energy(self, X: np.ndarray) -> np.ndarray:
+        """Discrete energy ``E = (u^T M_u u + p^T M_p p) / 2`` per column.
+
+        For ``m = 0`` this quantity is exactly non-increasing, and exactly
+        conserved when no absorbing boundaries are active (the coupling
+        block is skew-adjoint in the mass inner product) — a tested
+        invariant of the discretization.
+        """
+        U, P = self.views(X)
+        eu = np.einsum("eqdk,eq->k", U**2, self.Mu, optimize=True)
+        ep = np.einsum("nk,n->k", P**2, self.Mp)
+        return 0.5 * (eu + ep)
+
+    def surface_eta(self, X: np.ndarray) -> np.ndarray:
+        """Surface wave height trace ``eta = p / (rho g)``, ``(n_surf, k)``."""
+        if self.surface_op is None:
+            raise RuntimeError("this operator was built without a free surface")
+        _, P = self.views(X)
+        return P[self.surface_op.dofs] / (self.material.rho * self.material.g)
+
+    def cfl_timestep(self, cfl: float = 0.5) -> float:
+        """Stable explicit timestep for this mesh/order/material."""
+        return cfl_timestep(
+            self.mesh.min_edge_length(), self.order, self.material.c, cfl
+        )
+
+    @property
+    def n_parameters(self) -> int:
+        """Spatial parameter dimension ``N_m`` (bottom trace nodes)."""
+        return self.bottom_trace.n
+
+    def dof_report(self) -> Dict[str, int]:
+        """DOF bookkeeping (pressure, velocity, state, parameters)."""
+        return {
+            "pressure_dofs": self.np_,
+            "velocity_dofs": self.nu,
+            "state_dofs": self.nstate,
+            "parameter_points": self.n_parameters,
+            "elements": self.mesh.n_elements,
+        }

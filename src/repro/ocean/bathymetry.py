@@ -1,0 +1,162 @@
+"""Parametric Cascadia-like topobathymetry.
+
+The paper meshes GEBCO's 15-arc-second bathymetry of the Cascadia margin
+(Fig. 1a).  Gridded GEBCO data is not available offline, so this module
+provides parametric depth profiles with the same morphological structure —
+abyssal plain, trench, continental slope, and shelf — plus optional smooth
+seeded roughness.  The inversion machinery never consumes bathymetry
+directly; it only shapes the terrain-following mesh (and hence wave travel
+times), which these profiles reproduce qualitatively.
+
+Convention: profiles are callables ``depth(x)`` (2D vertical slice) or
+``depth(x, y)`` (3D), returning strictly positive water depth.  The ``x``
+axis points shoreward (x = 0 is the seaward/offshore edge, x = L_x the
+coast); ``y`` runs along-margin (south to north).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+__all__ = ["FlatBathymetry", "GaussianRidgeBathymetry", "CascadiaBathymetry"]
+
+
+@dataclass(frozen=True)
+class FlatBathymetry:
+    """Constant water depth (analytic test configurations)."""
+
+    depth: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("depth", self.depth)
+
+    def __call__(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return np.full_like(x, self.depth)
+
+
+@dataclass(frozen=True)
+class GaussianRidgeBathymetry:
+    """A flat seafloor with a Gaussian seamount/ridge rising from it.
+
+    Useful for testing bathymetry-adapted meshing and the effect of
+    topography on travel times without the full margin structure.
+    """
+
+    depth: float = 1.0
+    ridge_height: float = 0.4
+    center: float = 0.5
+    width: float = 0.15
+
+    def __post_init__(self) -> None:
+        check_positive("depth", self.depth)
+        if not 0 <= self.ridge_height < self.depth:
+            raise ValueError("ridge_height must lie in [0, depth)")
+
+    def __call__(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        bump = self.ridge_height * np.exp(-(((x - self.center) / self.width) ** 2))
+        return self.depth - bump
+
+
+@dataclass(frozen=True)
+class CascadiaBathymetry:
+    """Cascadia-margin-like depth profile: abyss, trench, slope, shelf.
+
+    Moving shoreward (increasing ``x``): an abyssal plain of depth
+    ``abyssal_depth``, a gentle trench deepening of amplitude
+    ``trench_depth`` at ``trench_x``, the continental slope rising over
+    ``slope_width`` centered at ``slope_x``, and a shallow shelf of depth
+    ``shelf_depth``.  In 3D an along-margin undulation of relative
+    amplitude ``along_margin_variation`` modulates the slope position,
+    mimicking the bends of the real deformation front; seeded smooth
+    roughness can be superposed.
+
+    All lengths share the units of the mesh coordinates (use meters with
+    :meth:`repro.ocean.material.SeawaterMaterial.standard`).
+    """
+
+    length_x: float = 100_000.0
+    length_y: float = 0.0
+    abyssal_depth: float = 2800.0
+    shelf_depth: float = 180.0
+    trench_depth: float = 200.0
+    trench_x_frac: float = 0.18
+    trench_width_frac: float = 0.06
+    slope_x_frac: float = 0.62
+    slope_width_frac: float = 0.10
+    along_margin_variation: float = 0.06
+    roughness: float = 0.0
+    seed: int = 0
+    _modes: np.ndarray = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        check_positive("length_x", self.length_x)
+        check_positive("abyssal_depth", self.abyssal_depth)
+        check_positive("shelf_depth", self.shelf_depth)
+        if self.shelf_depth >= self.abyssal_depth:
+            raise ValueError("shelf must be shallower than the abyssal plain")
+        if self.roughness < 0 or self.roughness >= 0.5:
+            raise ValueError("roughness is a relative amplitude in [0, 0.5)")
+        # Pre-draw a small set of smooth roughness modes (deterministic).
+        rng = np.random.default_rng(self.seed)
+        n_modes = 6
+        modes = np.stack(
+            [
+                rng.uniform(2.0, 6.0, n_modes),   # wavenumbers in x (cycles)
+                rng.uniform(0.5, 3.0, n_modes),   # wavenumbers in y
+                rng.uniform(0.0, 2 * np.pi, n_modes),  # phases
+                rng.standard_normal(n_modes) / np.sqrt(n_modes),  # amplitudes
+            ],
+            axis=1,
+        )
+        object.__setattr__(self, "_modes", modes)
+
+    def __call__(self, x: np.ndarray, y: Optional[np.ndarray] = None) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        xf = x / self.length_x
+        if y is not None and self.length_y > 0:
+            yf = np.asarray(y, dtype=np.float64) / self.length_y
+        else:
+            yf = np.zeros_like(xf)
+        # Along-margin bend of the slope position.
+        slope_x = self.slope_x_frac + self.along_margin_variation * np.sin(
+            2.0 * np.pi * yf
+        )
+        slope = 0.5 * (1.0 - np.tanh((xf - slope_x) / self.slope_width_frac))
+        depth = self.shelf_depth + (self.abyssal_depth - self.shelf_depth) * slope
+        depth = depth + self.trench_depth * np.exp(
+            -(((xf - self.trench_x_frac) / self.trench_width_frac) ** 2)
+        )
+        if self.roughness > 0:
+            r = np.zeros_like(xf)
+            for kx, ky, ph, amp in self._modes:
+                r = r + amp * np.sin(2 * np.pi * (kx * xf + ky * yf) + ph)
+            depth = depth * (1.0 + self.roughness * r)
+        return np.maximum(depth, 0.5 * self.shelf_depth)
+
+    def scaled(self, length_x: float, depth_scale: float) -> "CascadiaBathymetry":
+        """A geometrically similar profile at a different scale.
+
+        Used by reduced-scale demos: shrink the margin to ``length_x`` and
+        all depths by ``depth_scale`` while preserving the shape.
+        """
+        return CascadiaBathymetry(
+            length_x=length_x,
+            length_y=self.length_y * (length_x / self.length_x),
+            abyssal_depth=self.abyssal_depth * depth_scale,
+            shelf_depth=self.shelf_depth * depth_scale,
+            trench_depth=self.trench_depth * depth_scale,
+            trench_x_frac=self.trench_x_frac,
+            trench_width_frac=self.trench_width_frac,
+            slope_x_frac=self.slope_x_frac,
+            slope_width_frac=self.slope_width_frac,
+            along_margin_variation=self.along_margin_variation,
+            roughness=self.roughness,
+            seed=self.seed,
+        )

@@ -1,0 +1,87 @@
+"""Seawater material properties for the acoustic--gravity model.
+
+The PDE coefficients of Eq. (1) are the seawater density ``rho``, the bulk
+modulus ``K = rho c^2`` (with ``c`` the sound speed), the acoustic impedance
+``Z = rho c`` used by the absorbing boundary, and gravitational acceleration
+``g`` entering the free-surface condition ``p = rho g eta``.
+
+Two presets are provided:
+
+* :meth:`SeawaterMaterial.standard` — physical SI values (rho = 1025 kg/m^3,
+  c = 1500 m/s, g = 9.81 m/s^2), used by the Cascadia-scale examples;
+* :meth:`SeawaterMaterial.nondimensional` — unit coefficients, used by the
+  test suite so wave transit times are O(1) and CFL substep counts stay
+  small.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+__all__ = ["SeawaterMaterial"]
+
+
+@dataclass(frozen=True)
+class SeawaterMaterial:
+    """Homogeneous seawater properties.
+
+    Attributes
+    ----------
+    rho:
+        Density (kg/m^3 in SI).
+    c:
+        Speed of sound (m/s in SI).
+    g:
+        Gravitational acceleration (m/s^2 in SI).
+    """
+
+    rho: float = 1025.0
+    c: float = 1500.0
+    g: float = 9.81
+
+    def __post_init__(self) -> None:
+        check_positive("rho", self.rho)
+        check_positive("c", self.c)
+        check_positive("g", self.g)
+
+    @property
+    def bulk_modulus(self) -> float:
+        """Bulk modulus ``K = rho c^2``."""
+        return self.rho * self.c**2
+
+    @property
+    def impedance(self) -> float:
+        """Acoustic impedance ``Z = rho c`` (absorbing-boundary coefficient)."""
+        return self.rho * self.c
+
+    @classmethod
+    def standard(cls) -> "SeawaterMaterial":
+        """Physical seawater in SI units."""
+        return cls(rho=1025.0, c=1500.0, g=9.81)
+
+    @classmethod
+    def nondimensional(cls, c: float = 1.0, g: float = 1.0) -> "SeawaterMaterial":
+        """Unit-density material with adjustable wave speeds (for tests).
+
+        Keeping ``c`` and ``g`` both O(1) compresses the separation between
+        the acoustic and gravity time scales so short simulations exercise
+        both physics branches.
+        """
+        return cls(rho=1.0, c=c, g=g)
+
+    def gravity_wave_speed(self, depth: float) -> float:
+        """Shallow-water gravity wave speed ``sqrt(g H)`` at depth ``H``."""
+        check_positive("depth", depth)
+        return float((self.g * depth) ** 0.5)
+
+    def acoustic_cutoff_frequency(self, depth: float) -> float:
+        """Fundamental acoustic organ-pipe frequency ``c / (4 H)`` (Hz).
+
+        Below this frequency the water column responds quasi-statically to
+        seafloor motion; above it, acoustic modes propagate — the frequency
+        band the paper's seafloor pressure sensors exploit.
+        """
+        check_positive("depth", depth)
+        return self.c / (4.0 * depth)

@@ -1,0 +1,184 @@
+"""Observation operators: seafloor pressure sensors and surface QoI points.
+
+``SensorArray`` builds the data operator ``C`` (paper Section III-C):
+exact FE point evaluation of the pressure field at ``N_d`` seafloor sensor
+locations — the model prediction of ocean-bottom pressure gauge records.
+
+``SurfaceQoI`` builds the quantity-of-interest operator ``C_q``: surface
+wave height ``eta = p / (rho g)`` at ``N_q`` forecast locations (harbors,
+coastal cities), the quantity the early-warning system must deliver.
+
+Both wrap sparse CSR rows over the pressure dofs; their transposes seed the
+adjoint propagations of Phase 1 (one adjoint solve per row).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.ocean.acoustic_gravity import AcousticGravityOperator
+
+__all__ = ["PointObservationOperator", "SensorArray", "SurfaceQoI"]
+
+
+class PointObservationOperator:
+    """Sparse point-evaluation rows over the pressure dofs of an operator.
+
+    Attributes
+    ----------
+    positions:
+        Horizontal coordinates, ``(n, dim-1)``.
+    matrix:
+        CSR of shape ``(n, ndof_p)``; ``matrix @ P`` evaluates the scaled
+        pressure field at the points.
+    """
+
+    def __init__(
+        self,
+        op: AcousticGravityOperator,
+        positions: np.ndarray,
+        side: str,
+        scale: float = 1.0,
+    ) -> None:
+        nh = op.dim - 1
+        pos = np.asarray(positions, dtype=np.float64)
+        pos = pos.reshape(-1, nh) if nh else pos.reshape(-1, 0)
+        self.op = op
+        self.side = side
+        self.positions = pos
+        C = op.h1.boundary_point_eval(pos, side)
+        if scale != 1.0:
+            C = C.multiply(scale).tocsr()
+        self.matrix: sp.csr_matrix = C
+
+    @property
+    def n(self) -> int:
+        """Number of observation points."""
+        return int(self.matrix.shape[0])
+
+    def observe_state(self, X: np.ndarray) -> np.ndarray:
+        """Evaluate on a packed state batch ``(nstate, k)`` -> ``(n, k)``."""
+        _, P = self.op.views(X)
+        return np.asarray(self.matrix @ P)
+
+    def observe_pressure(self, P: np.ndarray) -> np.ndarray:
+        """Evaluate directly on pressure coefficients ``(ndof_p[, k])``."""
+        return np.asarray(self.matrix @ P)
+
+    def adjoint_seed(self) -> np.ndarray:
+        """Dense ``C^T`` of shape ``(ndof_p, n)``: one adjoint RHS per row.
+
+        These are the point loads from which Phase 1 launches one adjoint
+        wave propagation per sensor / QoI location.
+        """
+        return np.ascontiguousarray(self.matrix.T.toarray())
+
+
+class SensorArray(PointObservationOperator):
+    """Seafloor pressure sensors (the ``N_d`` observation channels).
+
+    Includes helpers to lay out regular or seeded-random arrays, standing in
+    for the NEPTUNE cabled observatory and hypothesized SZ4D deployments.
+    """
+
+    def __init__(self, op: AcousticGravityOperator, positions: np.ndarray) -> None:
+        super().__init__(op, positions, side="bottom", scale=1.0)
+
+    @classmethod
+    def regular(
+        cls,
+        op: AcousticGravityOperator,
+        n_per_axis: tuple | int,
+        margin: float = 0.08,
+    ) -> "SensorArray":
+        """A regular grid of sensors covering the horizontal extent.
+
+        ``margin`` keeps sensors away from the lateral (absorbing)
+        boundaries by that fraction of the domain size.
+        """
+        lo, hi = op.mesh.bounding_box()
+        nh = op.dim - 1
+        if nh == 0:
+            return cls(op, np.zeros((1, 0)))
+        if isinstance(n_per_axis, int):
+            n_per_axis = (n_per_axis,) * nh
+        axes = []
+        for d in range(nh):
+            span = hi[d] - lo[d]
+            axes.append(
+                np.linspace(lo[d] + margin * span, hi[d] - margin * span, n_per_axis[d])
+            )
+        grids = np.meshgrid(*axes, indexing="ij")
+        pos = np.stack([g.reshape(-1) for g in grids], axis=-1)
+        return cls(op, pos)
+
+    @classmethod
+    def random(
+        cls,
+        op: AcousticGravityOperator,
+        n: int,
+        seed: int = 0,
+        margin: float = 0.08,
+    ) -> "SensorArray":
+        """``n`` uniformly random sensor positions (seeded)."""
+        lo, hi = op.mesh.bounding_box()
+        nh = op.dim - 1
+        rng = np.random.default_rng(seed)
+        pos = np.empty((n, nh))
+        for d in range(nh):
+            span = hi[d] - lo[d]
+            pos[:, d] = rng.uniform(
+                lo[d] + margin * span, hi[d] - margin * span, size=n
+            )
+        return cls(op, pos)
+
+
+class SurfaceQoI(PointObservationOperator):
+    """Sea-surface wave-height forecast points (the ``N_q`` QoI channels).
+
+    The rows evaluate ``eta = p / (rho g)`` at the surface, so applying
+    this operator to the pressure state directly yields wave heights.
+    """
+
+    def __init__(self, op: AcousticGravityOperator, positions: np.ndarray) -> None:
+        scale = 1.0 / (op.material.rho * op.material.g)
+        super().__init__(op, positions, side="surface", scale=scale)
+
+    @classmethod
+    def coastal(
+        cls,
+        op: AcousticGravityOperator,
+        n: int,
+        coast_fraction: float = 0.85,
+        seed: Optional[int] = None,
+    ) -> "SurfaceQoI":
+        """``n`` forecast points strung along the shoreward part of the domain.
+
+        Placed at ``x = coast_fraction * L_x`` (near the coast, where early
+        warning matters), spread along-margin in 3D.
+        """
+        lo, hi = op.mesh.bounding_box()
+        nh = op.dim - 1
+        if nh == 0:
+            return cls(op, np.zeros((1, 0)))
+        xq = lo[0] + coast_fraction * (hi[0] - lo[0])
+        if nh == 1:
+            if n == 1:
+                pos = np.array([[xq]])
+            else:
+                # Spread slightly in x when there is no along-margin axis.
+                xs = np.linspace(0.55, coast_fraction, n) * (hi[0] - lo[0]) + lo[0]
+                pos = xs[:, None]
+        else:
+            ys = np.linspace(
+                lo[1] + 0.08 * (hi[1] - lo[1]), hi[1] - 0.08 * (hi[1] - lo[1]), n
+            )
+            pos = np.stack([np.full(n, xq), ys], axis=-1)
+        if seed is not None:
+            rng = np.random.default_rng(seed)
+            jitter = 0.02 * (hi[:nh] - lo[:nh])
+            pos = pos + rng.uniform(-1, 1, pos.shape) * jitter[None, :]
+        return cls(op, pos)

@@ -1,0 +1,333 @@
+"""The slot propagator: forward/adjoint wave propagation over observation slots.
+
+Time is partitioned into ``N_t`` observation slots of width ``dt_obs`` (the
+1 Hz observation cadence of the paper).  The parameter field ``m(x, t)`` is
+piecewise constant per slot, and each slot advances the state with
+``n_substeps`` linear-RK4 steps at the CFL-limited timestep.  The slot map
+is therefore *exactly affine*,
+
+.. math:: x_j = S\\, x_{j-1} + W\\, m_j,
+
+with ``S = P(dt L)^{n}`` and ``W = sum_s P^s (dt Q) B``, so the discrete
+p2o map has blocks ``F_{ij} = C S^{i-j} W`` — block lower-triangular
+Toeplitz **by construction**, which is the structural fact the paper's
+entire offline--online decomposition rests on.
+
+Phase 1 of the framework is :meth:`SlotPropagator.p2o_kernel`: one batched
+adjoint propagation seeded with ``C^T`` extracts the whole kernel
+``T[k] = C S^k W`` (one block row per sensor), to machine precision, in a
+single reverse sweep.  The forward-impulse route
+(:meth:`p2o_kernel_forward`) computes the same kernel column-wise and is
+used to cross-validate the adjoint to ~1e-13.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.fem.timestep import rk4_adjoint_slot_pass, rk4_forced_step
+from repro.ocean.acoustic_gravity import AcousticGravityOperator
+from repro.ocean.observations import PointObservationOperator
+from repro.util.timing import TimerRegistry
+
+__all__ = ["ForwardResult", "SlotPropagator"]
+
+
+@dataclass
+class ForwardResult:
+    """Outputs of a forward propagation.
+
+    Attributes
+    ----------
+    d:
+        Sensor observations ``(Nt, Nd[, k])`` (present if sensors given).
+    q:
+        QoI values ``(Nt, Nq[, k])`` (present if QoI operator given).
+    final_state:
+        The packed state after the last slot.
+    energies:
+        Discrete energy after each slot, ``(Nt, k)`` (if requested).
+    eta:
+        Surface wave-height trace after each slot ``(Nt, n_surf[, k])``
+        (if requested) — the fields shown in the paper's Fig. 3c/f.
+    """
+
+    d: Optional[np.ndarray] = None
+    q: Optional[np.ndarray] = None
+    final_state: Optional[np.ndarray] = None
+    energies: Optional[np.ndarray] = None
+    eta: Optional[np.ndarray] = None
+
+
+@dataclass
+class SolveCounter:
+    """Ledger of PDE work, used by the state-of-the-art cost model."""
+
+    forward_solves: int = 0
+    adjoint_solves: int = 0
+    operator_applications: int = 0
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.forward_solves = 0
+        self.adjoint_solves = 0
+        self.operator_applications = 0
+
+
+class SlotPropagator:
+    """Forward and adjoint acoustic--gravity propagation over slots.
+
+    Parameters
+    ----------
+    op:
+        The assembled :class:`~repro.ocean.acoustic_gravity.AcousticGravityOperator`.
+    dt_obs:
+        Observation-slot width (seconds; 1.0 for the paper's 1 Hz data).
+    n_slots:
+        Number of observation slots ``N_t``.
+    cfl:
+        CFL fraction used to pick the substep count (ignored when
+        ``n_substeps`` is given explicitly).
+    n_substeps:
+        Optional explicit RK4 substeps per slot.
+    """
+
+    def __init__(
+        self,
+        op: AcousticGravityOperator,
+        dt_obs: float,
+        n_slots: int,
+        cfl: float = 0.4,
+        n_substeps: Optional[int] = None,
+        timers: Optional[TimerRegistry] = None,
+    ) -> None:
+        if dt_obs <= 0 or n_slots < 1:
+            raise ValueError("dt_obs must be positive and n_slots >= 1")
+        self.op = op
+        self.dt_obs = float(dt_obs)
+        self.n_slots = int(n_slots)
+        if n_substeps is None:
+            dt_cfl = op.cfl_timestep(cfl)
+            n_substeps = max(1, int(math.ceil(self.dt_obs / dt_cfl)))
+        self.n_substeps = int(n_substeps)
+        self.dt = self.dt_obs / self.n_substeps
+        self.timers = timers if timers is not None else TimerRegistry()
+        self.counter = SolveCounter()
+
+    # ------------------------------------------------------------------
+    @property
+    def total_timesteps(self) -> int:
+        """RK4 steps per full propagation (``N_t * n_substeps``)."""
+        return self.n_slots * self.n_substeps
+
+    @property
+    def duration(self) -> float:
+        """Simulated physical time ``T = N_t * dt_obs``."""
+        return self.n_slots * self.dt_obs
+
+    def times(self) -> np.ndarray:
+        """Observation instants ``t_i = i * dt_obs``, ``i = 1..Nt``."""
+        return self.dt_obs * np.arange(1, self.n_slots + 1)
+
+    # ------------------------------------------------------------------
+    # Forward propagation
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        m: Optional[np.ndarray],
+        sensors: Optional[PointObservationOperator] = None,
+        qoi: Optional[PointObservationOperator] = None,
+        x0: Optional[np.ndarray] = None,
+        record_energy: bool = False,
+        record_eta: bool = False,
+    ) -> ForwardResult:
+        """Propagate forward and record observations slot by slot.
+
+        Parameters
+        ----------
+        m:
+            Parameter blocks ``(Nt, Nm)`` or batched ``(Nt, Nm, k)``;
+            ``None`` for homogeneous propagation of an initial state.
+        sensors, qoi:
+            Observation operators to record after each slot.
+        x0:
+            Optional initial state ``(nstate, k)``.
+        record_energy, record_eta:
+            Record the slot-end energy / surface-height trace.
+        """
+        op = self.op
+        if m is not None:
+            m = np.asarray(m, dtype=np.float64)
+            if m.shape[0] != self.n_slots or m.shape[1] != op.n_parameters:
+                raise ValueError(
+                    f"m must have shape (Nt={self.n_slots}, Nm={op.n_parameters}[, k]),"
+                    f" got {m.shape}"
+                )
+            k = m.shape[2] if m.ndim == 3 else 1
+        else:
+            if x0 is None:
+                raise ValueError("either m or x0 must be given")
+            k = x0.shape[1]
+        X = op.zero_state(k) if x0 is None else np.array(x0, dtype=np.float64)
+
+        d = np.empty((self.n_slots, sensors.n, k)) if sensors is not None else None
+        q = np.empty((self.n_slots, qoi.n, k)) if qoi is not None else None
+        energies = np.empty((self.n_slots, k)) if record_energy else None
+        eta = (
+            np.empty((self.n_slots, op.surface_op.n, k)) if record_eta else None
+        )
+
+        with self.timers.time("Forward solve"):
+            for j in range(self.n_slots):
+                if m is None:
+                    F = None
+                else:
+                    mj = m[j] if m.ndim == 3 else m[j][:, None]
+                    F = op.forcing(mj)
+                for _ in range(self.n_substeps):
+                    X = rk4_forced_step(op.apply, X, self.dt, F)
+                self.counter.operator_applications += 4 * self.n_substeps
+                if d is not None:
+                    d[j] = sensors.observe_state(X)
+                if q is not None:
+                    q[j] = qoi.observe_state(X)
+                if energies is not None:
+                    energies[j] = op.energy(X)
+                if eta is not None:
+                    eta[j] = op.surface_eta(X)
+        self.counter.forward_solves += k
+
+        def _squeeze(a: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            if a is None:
+                return None
+            return a[..., 0] if (k == 1 and (m is None or m.ndim == 2)) else a
+
+        return ForwardResult(
+            d=_squeeze(d),
+            q=_squeeze(q),
+            final_state=X,
+            energies=_squeeze(energies),
+            eta=_squeeze(eta),
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: kernel extraction
+    # ------------------------------------------------------------------
+    def p2o_kernel(
+        self,
+        obs: PointObservationOperator,
+        timer_name: str = "Adjoint p2o",
+    ) -> np.ndarray:
+        """Extract the block-Toeplitz kernel ``T[k] = C S^k W`` by adjoint.
+
+        One *batched* adjoint propagation seeded with all rows of ``C^T``
+        simultaneously; the paper's Phase 1 runs these as ``N_d``
+        independent adjoint PDE solves (one per sensor).
+
+        Returns
+        -------
+        ``(Nt, n_obs, Nm)`` kernel array (the first block column of ``F``).
+        """
+        op = self.op
+        nobs = obs.n
+        lam = op.zero_state(nobs)
+        _, lam_p = op.views(lam)
+        lam_p[...] = obs.adjoint_seed()
+        T = np.empty((self.n_slots, nobs, op.n_parameters))
+        with self.timers.time(timer_name):
+            for kslot in range(self.n_slots):
+                g = np.zeros((op.n_parameters, nobs))
+                for _ in range(self.n_substeps):
+                    pt, qt = rk4_adjoint_slot_pass(op.apply_transpose, lam, self.dt)
+                    g += self.dt * op.forcing_transpose(qt)
+                    lam = pt
+                self.counter.operator_applications += 4 * self.n_substeps
+                T[kslot] = g.T
+        self.counter.adjoint_solves += nobs
+        return T
+
+    def p2o_kernel_forward(self, obs: PointObservationOperator) -> np.ndarray:
+        """Cross-check: the same kernel via forward impulse responses.
+
+        Propagates a batch of ``N_m`` unit impulses applied in the first
+        slot; the recorded observations are exactly the kernel columns.
+        Quadratically more expensive in memory than the adjoint route —
+        used in tests and ablations only.
+        """
+        op = self.op
+        Nm = op.n_parameters
+        m = np.zeros((self.n_slots, Nm, Nm))
+        m[0] = np.eye(Nm)
+        res = self.forward(m, sensors=obs)
+        return np.ascontiguousarray(res.d)  # (Nt, n_obs, Nm)
+
+    # ------------------------------------------------------------------
+    # Matrix-free p2o actions (the state-of-the-art baseline's workhorse)
+    # ------------------------------------------------------------------
+    def apply_p2o(
+        self, m: np.ndarray, obs: PointObservationOperator
+    ) -> np.ndarray:
+        """``F m`` by one forward PDE solve (what each SoA CG iteration pays)."""
+        return self.forward(m, sensors=obs).d
+
+    def apply_p2o_transpose(
+        self, d: np.ndarray, obs: PointObservationOperator
+    ) -> np.ndarray:
+        """``F* d`` by one adjoint PDE solve (reverse sweep with data sources).
+
+        Uses the recursion ``mu_j = C^T d_j + S^T mu_{j+1}`` with
+        ``(F^* d)_j = W^T mu_j``; each slot costs one adjoint slot pass
+        (both ``S^T`` and ``W^T`` come out of the shared Horner chain).
+        """
+        op = self.op
+        d = np.asarray(d, dtype=np.float64)
+        squeeze = d.ndim == 2
+        dd = d[:, :, None] if squeeze else d
+        if dd.shape[:2] != (self.n_slots, obs.n):
+            raise ValueError(
+                f"d must be (Nt={self.n_slots}, n_obs={obs.n}[, k]), got {d.shape}"
+            )
+        k = dd.shape[2]
+        mu = op.zero_state(k)
+        _, mu_p = op.views(mu)
+        g = np.empty((self.n_slots, op.n_parameters, k))
+        CT = obs.matrix.T
+        for j in range(self.n_slots - 1, -1, -1):
+            mu_p += np.asarray(CT @ dd[j])
+            gj = np.zeros((op.n_parameters, k))
+            lam = mu
+            for _ in range(self.n_substeps):
+                pt, qt = rk4_adjoint_slot_pass(op.apply_transpose, lam, self.dt)
+                gj += self.dt * op.forcing_transpose(qt)
+                lam = pt
+            self.counter.operator_applications += 4 * self.n_substeps
+            g[j] = gj
+            mu = lam
+            _, mu_p = op.views(mu)
+        self.counter.adjoint_solves += k
+        return g[:, :, 0] if squeeze else g
+
+    # ------------------------------------------------------------------
+    def homogeneous_response(
+        self, x0: np.ndarray, obs: PointObservationOperator
+    ) -> np.ndarray:
+        """Observations of ``C S^k x0`` for ``k = 1..Nt`` (LTI shift tests)."""
+        res = self.forward(None, sensors=obs, x0=x0)
+        return res.d
+
+    def report(self) -> Dict[str, float]:
+        """Work and time accounting for this propagator."""
+        out: Dict[str, float] = {
+            "n_slots": self.n_slots,
+            "n_substeps": self.n_substeps,
+            "dt": self.dt,
+            "forward_solves": self.counter.forward_solves,
+            "adjoint_solves": self.counter.adjoint_solves,
+            "operator_applications": self.counter.operator_applications,
+        }
+        out.update(self.timers.as_dict())
+        return out

@@ -1,0 +1,62 @@
+"""Kinematic earthquake-rupture scenario generation.
+
+The paper drives its digital twin with "true" seafloor displacements from a
+3D dynamic rupture simulation of a magnitude-8.7 margin-wide Cascadia
+earthquake (SeisSol; Glehman et al.).  Dynamic rupture codes and their
+inputs are outside the scope of an offline Python reproduction, so this
+package substitutes a **kinematic rupture generator** with the same
+statistical character: heterogeneous (von Karman / lognormal) slip, a
+finite-speed propagating rupture front from a hypocenter, rise-time source
+dynamics, and an elastic-smoothing transfer from fault slip to seafloor
+uplift.  The scenario is used *only* to manufacture the synthetic truth and
+noisy observations; the inversion never sees any of its internals.
+
+Submodules
+----------
+``randomfields``
+    Spectral synthesis of Gaussian and von Karman random fields on regular
+    grids, with interpolation onto arbitrary (trace) points.
+``source``
+    Source-time functions (boxcar, triangle, smoothed ramp) with exact
+    cumulatives, plus seismic moment / moment-magnitude utilities.
+``kinematic``
+    ``KinematicRupture``: slip field + rupture front + rise time ->
+    space-time slip-rate, exactly slot-averaged for the parameter blocks.
+``transfer``
+    Elastic smoothing (Gaussian filter) from fault slip rate to seafloor
+    uplift velocity.
+``scenario``
+    ``margin_wide_scenario``: the Mw-8.7-analogue margin-wide Cascadia
+    rupture on the bottom-trace grid of an assembled ocean operator.
+"""
+
+from repro.rupture.kinematic import KinematicRupture
+from repro.rupture.randomfields import (
+    gaussian_random_field,
+    interpolate_to_points,
+    von_karman_field,
+)
+from repro.rupture.scenario import RuptureScenario, margin_wide_scenario
+from repro.rupture.source import (
+    BoxcarSTF,
+    SmoothRampSTF,
+    TriangleSTF,
+    moment_magnitude,
+    seismic_moment,
+)
+from repro.rupture.transfer import elastic_smoothing_matrix
+
+__all__ = [
+    "gaussian_random_field",
+    "von_karman_field",
+    "interpolate_to_points",
+    "BoxcarSTF",
+    "TriangleSTF",
+    "SmoothRampSTF",
+    "seismic_moment",
+    "moment_magnitude",
+    "KinematicRupture",
+    "elastic_smoothing_matrix",
+    "RuptureScenario",
+    "margin_wide_scenario",
+]

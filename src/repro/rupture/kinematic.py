@@ -1,0 +1,122 @@
+"""Kinematic rupture model: slip field + rupture front + rise time.
+
+Point ``x`` on the fault starts slipping when the rupture front — expanding
+from the hypocenter at speed ``V_r`` — arrives at ``t_arr(x) = |x - x_h| /
+V_r (+ onset)``, then releases its final slip ``s(x)`` following the source
+time function.  The slot-averaged slip rate (what the acoustic-gravity
+parameter blocks need) is computed *exactly* from the STF cumulative:
+
+.. math::
+
+    m_j(x) = s(x) \\frac{S(t_j - t_{arr}) - S(t_{j-1} - t_{arr})}{\\Delta t}.
+
+Causality (no slip before front arrival) and total-slip consistency
+(``dt * sum_j m_j = s``, once the rupture completes) are exact by
+construction and verified by property-based tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.rupture.source import SmoothRampSTF
+from repro.util.validation import check_positive
+
+__all__ = ["KinematicRupture"]
+
+STFLike = Union["BoxcarSTF", "TriangleSTF", "SmoothRampSTF"]
+
+
+@dataclass
+class KinematicRupture:
+    """A kinematic rupture over a set of fault/seafloor points.
+
+    Parameters
+    ----------
+    coords:
+        ``(Nm, dh)`` horizontal coordinates of the parameter points.
+    slip:
+        ``(Nm,)`` final slip (or final seafloor uplift) at each point.
+    hypocenter:
+        ``(dh,)`` rupture nucleation point.
+    rupture_velocity:
+        Front propagation speed ``V_r`` (same units as coords per second).
+    stf:
+        Source-time function object (``rate`` + ``cumulative``); default
+        is the smooth ramp.
+    onset:
+        Delay before nucleation (seconds).
+    """
+
+    coords: np.ndarray
+    slip: np.ndarray
+    hypocenter: np.ndarray
+    rupture_velocity: float
+    stf: Optional[STFLike] = None
+    onset: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.coords = np.asarray(self.coords, dtype=np.float64)
+        if self.coords.ndim == 1:
+            self.coords = self.coords[:, None]
+        self.slip = np.asarray(self.slip, dtype=np.float64).reshape(-1)
+        if self.slip.shape[0] != self.coords.shape[0]:
+            raise ValueError("slip and coords must have matching length")
+        if np.any(self.slip < 0):
+            raise ValueError("slip must be non-negative")
+        self.hypocenter = np.asarray(self.hypocenter, dtype=np.float64).reshape(-1)
+        if self.hypocenter.shape[0] != self.coords.shape[1]:
+            raise ValueError("hypocenter dimension must match coords")
+        check_positive("rupture_velocity", self.rupture_velocity)
+        if self.onset < 0:
+            raise ValueError("onset must be non-negative")
+        if self.stf is None:
+            self.stf = SmoothRampSTF(rise_time=1.0)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Number of fault/seafloor points."""
+        return int(self.coords.shape[0])
+
+    def arrival_times(self) -> np.ndarray:
+        """Rupture-front arrival time at each point."""
+        dist = np.linalg.norm(self.coords - self.hypocenter[None, :], axis=1)
+        return self.onset + dist / self.rupture_velocity
+
+    def duration(self) -> float:
+        """Time by which all points have finished slipping."""
+        return float(np.max(self.arrival_times()) + self.stf.rise_time)
+
+    # ------------------------------------------------------------------
+    def slip_rate(self, times: np.ndarray) -> np.ndarray:
+        """Instantaneous slip rate, ``(ntimes, Nm)``."""
+        t = np.asarray(times, dtype=np.float64).reshape(-1)
+        ta = self.arrival_times()
+        rel = t[:, None] - ta[None, :]
+        return self.slip[None, :] * self.stf.rate(rel)
+
+    def cumulative_slip(self, times: np.ndarray) -> np.ndarray:
+        """Accumulated slip by each time, ``(ntimes, Nm)``."""
+        t = np.asarray(times, dtype=np.float64).reshape(-1)
+        ta = self.arrival_times()
+        rel = t[:, None] - ta[None, :]
+        return self.slip[None, :] * self.stf.cumulative(rel)
+
+    def slot_averages(self, nt: int, dt_obs: float) -> np.ndarray:
+        """Exact slot-averaged slip rates ``(Nt, Nm)`` — the parameter truth.
+
+        Slot ``j`` covers ``((j-1) dt, j dt]``; the average rate over it is
+        the cumulative increment divided by ``dt`` (exact, no quadrature).
+        """
+        check_positive("dt_obs", dt_obs)
+        edges = dt_obs * np.arange(nt + 1)
+        cum = self.cumulative_slip(edges)  # (Nt+1, Nm)
+        return np.diff(cum, axis=0) / dt_obs
+
+    def final_displacement(self) -> np.ndarray:
+        """Final slip/uplift field (the Fig. 3a ground truth)."""
+        return self.slip.copy()

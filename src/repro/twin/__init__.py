@@ -1,0 +1,50 @@
+"""The digital twin: end-to-end orchestration, early warning, persistence.
+
+``CascadiaTwin`` wires every substrate together into the paper's Fig. 2
+pipeline: mesh + operator assembly (Table I "Initialization"/"Setup"),
+Phase 1 adjoint kernel extraction, Phases 2-3 precomputation, and the
+real-time Phase 4 inference/forecast, with the complete Table III timer
+ledger.
+
+``earlywarning`` adds the operational layer: alert levels from exceedance
+probabilities, and the **streaming partial-data inverter** — because the
+data ordering is time-major, the Cholesky factor of the leading ``k``-slot
+principal submatrix of ``K`` is the leading block of the full factor, so
+re-inverting as each second of data arrives costs only triangular solves
+(the natural extension of the paper's framework to data that stream in
+during the event).
+
+``archive`` persists all Phase 1-3 operators to a compressed ``.npz`` so a
+warning center can load the precomputed twin without recomputation
+(optionally memory-mapped).
+"""
+
+from repro.twin.archive import (
+    load_twin_archive,
+    rebuild_inversion,
+    save_twin_archive,
+)
+from repro.twin.cascadia import CascadiaTwin, TwinResult
+from repro.twin.config import TwinConfig
+from repro.twin.design import GreedySensorPlacement, SensorPlacementResult
+from repro.twin.earlywarning import (
+    AlertLevel,
+    EarlyWarningDecision,
+    StreamingInverter,
+    decide_alert,
+)
+
+__all__ = [
+    "TwinConfig",
+    "GreedySensorPlacement",
+    "SensorPlacementResult",
+    "CascadiaTwin",
+    "TwinResult",
+    "AlertLevel",
+    "EarlyWarningDecision",
+    "decide_alert",
+    "StreamingInverter",
+    "save_twin_archive",
+    "load_twin_archive",
+    "rebuild_inversion",
+]

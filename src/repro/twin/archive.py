@@ -1,0 +1,159 @@
+"""Operator archive: persist the offline phases, load them in a warning
+center.
+
+The entire point of the offline--online split is that Phases 1-3 run once
+on an HPC system and the online phase runs anywhere ("deployment entirely
+without any HPC infrastructure", Section VIII).  This module serializes
+everything the online phase needs — the p2o/p2q kernels, the data-space
+Hessian's Cholesky factor, the goal-oriented operators, the noise/prior
+parameters, and the twin configuration — into one compressed ``.npz``
+archive, with optional memory-mapped loading for the large kernels.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.inference.bayes import ToeplitzBayesianInversion
+from repro.inference.noise import NoiseModel
+from repro.inference.prior import BiLaplacianPrior, SpatioTemporalPrior
+from repro.inference.toeplitz import BlockToeplitzOperator
+from repro.twin.config import TwinConfig
+
+__all__ = ["save_twin_archive", "load_twin_archive"]
+
+_FORMAT_VERSION = 1
+
+
+def save_twin_archive(
+    path: Union[str, Path],
+    inv: ToeplitzBayesianInversion,
+    config: Optional[TwinConfig] = None,
+    prior_axes: Optional[list] = None,
+    compressed: bool = True,
+) -> Path:
+    """Serialize a fully-assembled inversion to ``path`` (``.npz``).
+
+    Stores: both Toeplitz kernels, the Cholesky factor of ``K``, ``B``,
+    ``P_q``, ``Gamma_post(q)``, ``Q``, the noise variance field, the
+    prior's hyperparameters and axes, and the JSON-encoded configuration.
+    """
+    if inv.K is None:
+        raise RuntimeError("Phase 2 must be complete before archiving")
+    path = Path(path)
+    payload: Dict[str, np.ndarray] = {
+        "format_version": np.array([_FORMAT_VERSION]),
+        "p2o_kernel": inv.F.kernel,
+        "cholesky_lower": inv.cholesky_lower,
+        "noise_sigma": inv.noise.sigma,
+        "prior_gamma": np.array([inv.prior.spatial.gamma]),
+        "prior_delta": np.array([inv.prior.spatial.delta]),
+        "prior_robin": np.array(
+            [inv.prior.spatial.robin_beta if inv.prior.spatial.robin_beta else -1.0]
+        ),
+        "temporal_rho": np.array(
+            [inv.prior.temporal_rho if inv.prior.temporal_rho else -1.0]
+        ),
+    }
+    if inv.Fq is not None:
+        payload["p2q_kernel"] = inv.Fq.kernel
+    for name, arr in (
+        ("B", inv.B),
+        ("Pq", inv.Pq),
+        ("qoi_covariance", inv.qoi_covariance),
+        ("Q", inv.Q),
+    ):
+        if arr is not None:
+            payload[name] = arr
+    axes = prior_axes if prior_axes is not None else inv.prior.spatial.axes
+    for i, a in enumerate(axes):
+        payload[f"prior_axis_{i}"] = np.asarray(a)
+    payload["n_prior_axes"] = np.array([len(axes)])
+    if config is not None:
+        payload["config_json"] = np.frombuffer(
+            json.dumps(config.as_dict()).encode("utf-8"), dtype=np.uint8
+        )
+    saver = np.savez_compressed if compressed else np.savez
+    saver(path, **payload)
+    # np.savez appends .npz when missing.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_twin_archive(
+    path: Union[str, Path], mmap: bool = False
+) -> Dict[str, object]:
+    """Load an archive; reconstructs the online-phase objects.
+
+    Returns a dict with keys ``F``, ``Fq`` (Toeplitz operators), ``prior``
+    (:class:`SpatioTemporalPrior`), ``noise``, ``cholesky_lower``, the
+    dense Phase 3 operators that were stored, and ``config`` if archived.
+    ``mmap=True`` opens the file memory-mapped (only for uncompressed
+    archives), so multi-gigabyte kernels are paged on demand.
+    """
+    path = Path(path)
+    data = np.load(path, mmap_mode="r" if mmap else None, allow_pickle=False)
+    version = int(data["format_version"][0])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported archive version {version}")
+    out: Dict[str, object] = {}
+    kernel = np.asarray(data["p2o_kernel"])
+    out["F"] = BlockToeplitzOperator(kernel)
+    nt = kernel.shape[0]
+    if "p2q_kernel" in data:
+        out["Fq"] = BlockToeplitzOperator(np.asarray(data["p2q_kernel"]))
+    n_axes = int(data["n_prior_axes"][0])
+    axes = [np.asarray(data[f"prior_axis_{i}"]) for i in range(n_axes)]
+    robin = float(data["prior_robin"][0])
+    spatial = BiLaplacianPrior(
+        axes,
+        gamma=float(data["prior_gamma"][0]),
+        delta=float(data["prior_delta"][0]),
+        robin_beta=None if robin < 0 else robin,
+    )
+    trho = float(data["temporal_rho"][0])
+    out["prior"] = SpatioTemporalPrior(
+        spatial, nt, temporal_rho=None if trho < 0 else trho
+    )
+    sigma = np.asarray(data["noise_sigma"])
+    out["noise"] = NoiseModel(sigma, sigma.shape[0], sigma.shape[1])
+    out["cholesky_lower"] = data["cholesky_lower"]
+    for name in ("B", "Pq", "qoi_covariance", "Q"):
+        if name in data:
+            out[name] = data[name]
+    if "config_json" in data:
+        raw = bytes(np.asarray(data["config_json"]).tobytes())
+        out["config"] = TwinConfig.from_dict(json.loads(raw.decode("utf-8")))
+    return out
+
+
+def rebuild_inversion(archive: Dict[str, object]) -> ToeplitzBayesianInversion:
+    """Reassemble a working :class:`ToeplitzBayesianInversion` from an archive.
+
+    The Cholesky factor is installed directly (no re-factorization); the
+    dense Phase 3 operators are restored when present.
+    """
+    import scipy.linalg as sla
+
+    F: BlockToeplitzOperator = archive["F"]  # type: ignore[assignment]
+    inv = ToeplitzBayesianInversion(
+        F,
+        archive["prior"],  # type: ignore[arg-type]
+        archive["noise"],  # type: ignore[arg-type]
+        Fq=archive.get("Fq"),  # type: ignore[arg-type]
+    )
+    L = np.asarray(archive["cholesky_lower"])
+    inv.K = L @ L.T
+    inv._K_chol = (L, True)
+    for name, attr in (
+        ("B", "B"),
+        ("Pq", "Pq"),
+        ("qoi_covariance", "qoi_covariance"),
+        ("Q", "Q"),
+    ):
+        if name in archive:
+            setattr(inv, attr, np.asarray(archive[name]))
+    return inv

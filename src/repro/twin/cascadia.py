@@ -1,0 +1,357 @@
+"""CascadiaTwin: the end-to-end digital twin (the paper's Fig. 2 pipeline).
+
+One object owns the full life cycle:
+
+1. ``setup()`` — mesh, operator, sensors, QoI points (Table I:
+   Initialization + Setup timers);
+2. ``phase1()`` — adjoint wave propagations extracting the p2o/p2q block
+   Toeplitz kernels (Table I: Adjoint p2o timer; Table III: Phase 1);
+3. ``phase2()`` / ``phase3()`` — the data-space Hessian and goal-oriented
+   operators (Table III: Phases 2-3);
+4. ``simulate_event()`` — a margin-wide rupture scenario, its synthetic
+   pressure records, and 1%-relative noise;
+5. ``invert()`` — the real-time Phase 4: MAP seafloor motion and the QoI
+   forecast with exact uncertainties (Fig. 3/4 content).
+
+Every stage is timed; ``table3_report()`` renders the per-phase ledger in
+the shape of the paper's Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.fem.mesh import StructuredMesh
+from repro.inference.bayes import ToeplitzBayesianInversion
+from repro.inference.forecast import QoIForecast
+from repro.inference.noise import NoiseModel
+from repro.inference.posterior import (
+    PosteriorSampler,
+    posterior_displacement_variance,
+)
+from repro.inference.prior import BiLaplacianPrior, SpatioTemporalPrior
+from repro.inference.toeplitz import BlockToeplitzOperator
+from repro.ocean.acoustic_gravity import AcousticGravityOperator
+from repro.ocean.bathymetry import (
+    CascadiaBathymetry,
+    FlatBathymetry,
+    GaussianRidgeBathymetry,
+)
+from repro.ocean.material import SeawaterMaterial
+from repro.ocean.observations import SensorArray, SurfaceQoI
+from repro.ocean.propagator import SlotPropagator
+from repro.rupture.scenario import RuptureScenario, margin_wide_scenario
+from repro.twin.config import TwinConfig
+from repro.util.memory import MemoryTracker
+from repro.util.timing import TimerRegistry
+
+__all__ = ["CascadiaTwin", "TwinResult"]
+
+
+@dataclass
+class TwinResult:
+    """Outputs of one end-to-end inversion (the Fig. 3/4 content).
+
+    Attributes
+    ----------
+    scenario:
+        The synthetic truth.
+    d_clean, d_obs:
+        Clean and noisy sensor records ``(Nt, Nd)``.
+    m_map:
+        Inferred seafloor velocity ``(Nt, Nm)``.
+    displacement_map:
+        Inferred final displacement ``(Nm,)`` (Fig. 3d).
+    displacement_std:
+        Pointwise posterior std of the displacement (Fig. 3e).
+    forecast:
+        QoI forecast with covariance (Fig. 4).
+    q_true:
+        True QoI series from the clean forward solve (Fig. 4 "True QoI").
+    """
+
+    scenario: RuptureScenario
+    d_clean: np.ndarray
+    d_obs: np.ndarray
+    m_map: np.ndarray
+    displacement_map: np.ndarray
+    displacement_std: Optional[np.ndarray]
+    forecast: QoIForecast
+    q_true: np.ndarray
+
+    def parameter_error(self) -> float:
+        """Relative L2 error of the inferred space-time velocity field."""
+        t = self.scenario.m
+        return float(np.linalg.norm(self.m_map - t) / np.linalg.norm(t))
+
+    def displacement_error(self) -> float:
+        """Relative L2 error of the inferred final displacement."""
+        t = self.scenario.displacement
+        return float(
+            np.linalg.norm(self.displacement_map - t) / np.linalg.norm(t)
+        )
+
+    def forecast_error(self) -> float:
+        """Relative L2 error of the forecast mean vs the true QoI."""
+        return float(
+            np.linalg.norm(self.forecast.mean - self.q_true)
+            / max(np.linalg.norm(self.q_true), 1e-300)
+        )
+
+    def coverage(self, level: float = 0.95) -> float:
+        """Credible-interval coverage of the true QoI series."""
+        return self.forecast.coverage(self.q_true, level)
+
+
+class CascadiaTwin:
+    """The assembled digital twin for one configuration."""
+
+    def __init__(self, config: TwinConfig) -> None:
+        self.config = config
+        self.timers = TimerRegistry(
+            ["Initialization", "Setup", "Adjoint p2o", "Adjoint p2q", "I/O"]
+        )
+        self.memory = MemoryTracker()
+        self._built = False
+        self._phase1_done = False
+        self.inversion: Optional[ToeplitzBayesianInversion] = None
+
+    # ------------------------------------------------------------------
+    # Stage 0: assembly
+    # ------------------------------------------------------------------
+    def _bathymetry(self):
+        c = self.config
+        if c.bathymetry == "flat":
+            base = 0.8 if c.material == "nondimensional" else 2500.0
+            return FlatBathymetry(depth=base * c.depth_scale)
+        if c.bathymetry == "ridge":
+            base = 1.0 if c.material == "nondimensional" else 2500.0
+            return GaussianRidgeBathymetry(
+                depth=base * c.depth_scale,
+                ridge_height=0.35 * base * c.depth_scale,
+                center=0.45 * c.length_x,
+                width=0.12 * c.length_x,
+            )
+        if c.material == "nondimensional":
+            return CascadiaBathymetry(
+                length_x=c.length_x,
+                length_y=c.length_y if c.dim == 3 else 0.0,
+                abyssal_depth=0.9 * c.depth_scale,
+                shelf_depth=0.25 * c.depth_scale,
+                trench_depth=0.1 * c.depth_scale,
+            )
+        b = CascadiaBathymetry(
+            length_x=c.length_x, length_y=c.length_y if c.dim == 3 else 0.0
+        )
+        return b.scaled(c.length_x, c.depth_scale) if c.depth_scale != 1.0 else b
+
+    def setup(self) -> "CascadiaTwin":
+        """Assemble mesh, operator, propagator, and observation operators."""
+        c = self.config
+        with self.timers.time("Initialization"):
+            self.material = (
+                SeawaterMaterial.standard()
+                if c.material == "standard"
+                else SeawaterMaterial.nondimensional()
+            )
+            self.bathymetry = self._bathymetry()
+        with self.timers.time("Setup"):
+            xs = np.linspace(0.0, c.length_x, c.nx + 1)
+            if c.dim == 3:
+                ys = np.linspace(0.0, c.length_y, c.ny + 1)
+                haxes = [xs, ys]
+            elif c.dim == 2:
+                haxes = [xs]
+            else:
+                haxes = []
+            self.mesh = StructuredMesh.ocean(haxes, nz=c.nz, depth=self.bathymetry)
+            self.operator = AcousticGravityOperator(
+                self.mesh,
+                order=c.order,
+                material=self.material,
+                kernel_variant=c.kernel_variant,
+                tracker=self.memory,
+            )
+            self.propagator = SlotPropagator(
+                self.operator,
+                dt_obs=c.dt_obs,
+                n_slots=c.n_slots,
+                cfl=c.cfl,
+                n_substeps=c.n_substeps,
+                timers=self.timers,
+            )
+            if c.sensor_layout == "regular":
+                nh = c.dim - 1
+                per_axis = (
+                    int(np.ceil(c.n_sensors ** (1.0 / max(nh, 1)))) if nh else 1
+                )
+                sens = SensorArray.regular(self.operator, per_axis)
+                # Trim to the requested count deterministically.
+                if sens.n > c.n_sensors:
+                    keep = np.linspace(0, sens.n - 1, c.n_sensors).astype(int)
+                    sens = SensorArray(self.operator, sens.positions[keep])
+            else:
+                sens = SensorArray.random(self.operator, c.n_sensors, seed=c.seed)
+            self.sensors = sens
+            self.qoi = SurfaceQoI.coastal(self.operator, c.n_qoi)
+            tr = self.operator.bottom_trace
+            spatial = BiLaplacianPrior.from_correlation(
+                tr.axes, sigma=c.prior_sigma, correlation_length=c.prior_correlation
+            )
+            self.prior = SpatioTemporalPrior(
+                spatial, c.n_slots, temporal_rho=c.temporal_rho
+            )
+        self._built = True
+        return self
+
+    # ------------------------------------------------------------------
+    # Phase 1: kernel extraction
+    # ------------------------------------------------------------------
+    def phase1(self) -> Tuple[BlockToeplitzOperator, BlockToeplitzOperator]:
+        """Extract the p2o and p2q kernels by batched adjoint propagation."""
+        if not self._built:
+            self.setup()
+        c = self.config
+        T = self.propagator.p2o_kernel(self.sensors, timer_name="Adjoint p2o")
+        Tq = self.propagator.p2o_kernel(self.qoi, timer_name="Adjoint p2q")
+        self.F = BlockToeplitzOperator(T, layout=c.fft_layout)
+        self.Fq = BlockToeplitzOperator(Tq, layout=c.fft_layout)
+        self.memory.add_persistent("p2o_kernel", T)
+        self.memory.add_persistent("p2q_kernel", Tq)
+        self._phase1_done = True
+        return self.F, self.Fq
+
+    # ------------------------------------------------------------------
+    # Event simulation
+    # ------------------------------------------------------------------
+    def simulate_event(
+        self, seed: Optional[int] = None, peak_uplift: Optional[float] = None
+    ) -> Tuple[RuptureScenario, np.ndarray, NoiseModel, np.ndarray]:
+        """Generate a rupture, clean records, noise model, noisy records.
+
+        The clean observations come from the *kernel* (exactly equal to a
+        forward PDE solve, as verified by the test suite).
+        """
+        if not self._phase1_done:
+            self.phase1()
+        c = self.config
+        seed = c.seed if seed is None else seed
+        if peak_uplift is None:
+            peak_uplift = 0.5 if c.material == "nondimensional" else 3.0
+        scenario = margin_wide_scenario(
+            self.operator.bottom_trace,
+            nt=c.n_slots,
+            dt_obs=c.dt_obs,
+            peak_uplift=peak_uplift,
+            seed=seed,
+        )
+        d_clean = self.F.matvec(scenario.m)
+        noise = NoiseModel.relative(d_clean, c.noise_relative)
+        rng = np.random.default_rng(seed + 1)
+        d_obs = noise.add_to(d_clean, rng)
+        return scenario, d_clean, noise, d_obs
+
+    # ------------------------------------------------------------------
+    # Phases 2-4
+    # ------------------------------------------------------------------
+    def phase23(
+        self, noise: NoiseModel, method: str = "fft", chunk: int = 256
+    ) -> ToeplitzBayesianInversion:
+        """Run the offline Phases 2 and 3 for a given noise model."""
+        inv = ToeplitzBayesianInversion(
+            self.F, self.prior, noise, Fq=self.Fq, timers=self.timers
+        )
+        inv.assemble_data_space_hessian(method=method, chunk=chunk)
+        inv.assemble_goal_oriented(method=method, chunk=chunk)
+        self.inversion = inv
+        return inv
+
+    def invert(
+        self,
+        scenario: RuptureScenario,
+        d_clean: np.ndarray,
+        d_obs: np.ndarray,
+        compute_uncertainty: bool = True,
+    ) -> TwinResult:
+        """The real-time Phase 4 plus result packaging (Fig. 3/4 content)."""
+        if self.inversion is None:
+            raise RuntimeError("run phase23() before invert()")
+        c = self.config
+        m_map, forecast = self.inversion.infer_and_predict(
+            d_obs, times=self.propagator.times()
+        )
+        q_true = self.Fq.matvec(scenario.m)
+        disp = c.dt_obs * np.sum(m_map, axis=0)
+        disp_std = None
+        if compute_uncertainty:
+            var = posterior_displacement_variance(self.inversion, dt_obs=c.dt_obs)
+            disp_std = np.sqrt(var)
+        return TwinResult(
+            scenario=scenario,
+            d_clean=d_clean,
+            d_obs=d_obs,
+            m_map=m_map,
+            displacement_map=disp,
+            displacement_std=disp_std,
+            forecast=forecast,
+            q_true=q_true,
+        )
+
+    def run_end_to_end(
+        self, seed: Optional[int] = None, hessian_method: str = "fft"
+    ) -> TwinResult:
+        """Convenience: all phases plus one event, in order."""
+        self.setup() if not self._built else None
+        if not self._phase1_done:
+            self.phase1()
+        scenario, d_clean, noise, d_obs = self.simulate_event(seed=seed)
+        self.phase23(noise, method=hessian_method)
+        return self.invert(scenario, d_clean, d_obs)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def sampler(self) -> PosteriorSampler:
+        """Exact posterior sampler over the inferred parameter field."""
+        if self.inversion is None:
+            raise RuntimeError("run phase23() first")
+        return PosteriorSampler(self.inversion)
+
+    def problem_summary(self) -> Dict[str, float]:
+        """Dimensions of the assembled problem (paper Section V-C style)."""
+        c = self.config
+        nm = self.operator.n_parameters
+        return {
+            "state_dofs": float(self.operator.nstate),
+            "parameter_points": float(nm),
+            "parameter_dimension": float(nm * c.n_slots),
+            "data_dimension": float(self.sensors.n * c.n_slots),
+            "qoi_dimension": float(self.qoi.n * c.n_slots),
+            "n_sensors": float(self.sensors.n),
+            "n_qoi": float(self.qoi.n),
+            "n_slots": float(c.n_slots),
+            "rk4_substeps_per_slot": float(self.propagator.n_substeps),
+        }
+
+    def table3_report(self) -> str:
+        """Per-phase compute-time ledger in the shape of Table III."""
+        t = self.timers.as_dict()
+        if self.inversion is not None:
+            t.update(self.inversion.timers.as_dict())
+        rows = [
+            ("1", "form F (adjoint p2o solves)", t.get("Adjoint p2o", 0.0)),
+            ("1", "form Fq (adjoint p2q solves)", t.get("Adjoint p2q", 0.0)),
+            ("2", "form K (data-space Hessian)", t.get("Phase 2: form K", 0.0)),
+            ("2", "factorize K (Cholesky)", t.get("Phase 2: factorize K", 0.0)),
+            ("3", "QoI covariance", t.get("Phase 3: QoI covariance", 0.0)),
+            ("3", "data-to-QoI map Q", t.get("Phase 3: data-to-QoI map", 0.0)),
+            ("4", "infer parameters m_map", t.get("Phase 4: infer parameters", 0.0)),
+            ("4", "predict QoI q_map", t.get("Phase 4: predict QoI", 0.0)),
+        ]
+        lines = [f"{'Phase':>5s}  {'Task':<32s} {'Compute time':>14s}"]
+        for ph, task, sec in rows:
+            lines.append(f"{ph:>5s}  {task:<32s} {sec:>12.4f} s")
+        return "\n".join(lines)

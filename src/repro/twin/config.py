@@ -1,0 +1,169 @@
+"""Twin configuration: every knob of the end-to-end pipeline in one place."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.util.validation import check_in, check_positive
+
+__all__ = ["TwinConfig"]
+
+
+@dataclass
+class TwinConfig:
+    """Configuration of a :class:`~repro.twin.cascadia.CascadiaTwin`.
+
+    Geometry / discretization
+    -------------------------
+    ``dim``: 2 (vertical x-z slice) or 3 (full x-y-z).
+    ``length_x``, ``length_y``: horizontal extents (``length_y`` unused in 2D).
+    ``nx, ny, nz``: element counts; ``order``: pressure polynomial order.
+    ``bathymetry``: ``"cascadia"``, ``"flat"``, or ``"ridge"``.
+    ``depth_scale``: multiplies the bathymetry depths (reduced-scale demos).
+
+    Physics / observation
+    ---------------------
+    ``material``: ``"standard"`` (SI seawater) or ``"nondimensional"``.
+    ``dt_obs``: observation cadence (the paper's 1 Hz -> 1.0).
+    ``n_slots``: number of observation slots ``N_t``.
+    ``cfl`` / ``n_substeps``: RK4 substep control.
+    ``n_sensors``: seafloor pressure sensors (paper: 600).
+    ``sensor_layout``: ``"regular"`` or ``"random"``.
+    ``n_qoi``: surface forecast locations (paper: 21).
+    ``noise_relative``: synthetic noise level (paper: 1%).
+
+    Prior
+    -----
+    ``prior_sigma``: marginal std of the seafloor-velocity prior.
+    ``prior_correlation``: spatial correlation length (same units as x).
+    ``temporal_rho``: optional AR(1) temporal correlation (paper: none).
+
+    Implementation
+    --------------
+    ``kernel_variant``: one of the Fig. 7 kernel variants.
+    ``fft_layout``: FFTMatvec data layout.
+    ``seed``: master seed (scenario, sensor jitter, noise draws).
+    """
+
+    dim: int = 2
+    length_x: float = 4.0
+    length_y: float = 2.0
+    nx: int = 12
+    ny: int = 4
+    nz: int = 2
+    order: int = 3
+    bathymetry: str = "cascadia"
+    depth_scale: float = 1.0
+    material: str = "nondimensional"
+    dt_obs: float = 0.25
+    n_slots: int = 16
+    cfl: float = 0.35
+    n_substeps: Optional[int] = None
+    n_sensors: int = 12
+    sensor_layout: str = "regular"
+    n_qoi: int = 3
+    noise_relative: float = 0.01
+    prior_sigma: float = 0.4
+    prior_correlation: float = 0.6
+    temporal_rho: Optional[float] = None
+    kernel_variant: str = "fused"
+    fft_layout: str = "space-major"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_in("dim", self.dim, (1, 2, 3))
+        check_in("bathymetry", self.bathymetry, ("cascadia", "flat", "ridge"))
+        check_in("material", self.material, ("standard", "nondimensional"))
+        check_in("sensor_layout", self.sensor_layout, ("regular", "random"))
+        check_positive("length_x", self.length_x)
+        check_positive("dt_obs", self.dt_obs)
+        check_positive("n_slots", self.n_slots)
+        check_positive("n_sensors", self.n_sensors)
+        check_positive("n_qoi", self.n_qoi)
+        check_positive("noise_relative", self.noise_relative)
+        check_positive("prior_sigma", self.prior_sigma)
+        check_positive("prior_correlation", self.prior_correlation)
+
+    # ------------------------------------------------------------------
+    # Presets
+    # ------------------------------------------------------------------
+    @classmethod
+    def demo_2d(cls, **overrides) -> "TwinConfig":
+        """Small nondimensional 2D twin: runs the full pipeline in seconds."""
+        cfg = dict(
+            dim=2,
+            length_x=4.0,
+            nx=12,
+            nz=2,
+            order=3,
+            bathymetry="cascadia",
+            depth_scale=1.0,
+            material="nondimensional",
+            dt_obs=0.25,
+            n_slots=16,
+            n_sensors=12,
+            n_qoi=3,
+        )
+        cfg.update(overrides)
+        return cls(**cfg)
+
+    @classmethod
+    def demo_3d(cls, **overrides) -> "TwinConfig":
+        """Small nondimensional 3D twin (x-y-z, margin-like)."""
+        cfg = dict(
+            dim=3,
+            length_x=4.0,
+            length_y=2.0,
+            nx=8,
+            ny=4,
+            nz=2,
+            order=2,
+            bathymetry="cascadia",
+            material="nondimensional",
+            dt_obs=0.25,
+            n_slots=12,
+            n_sensors=9,
+            n_qoi=4,
+        )
+        cfg.update(overrides)
+        return cls(**cfg)
+
+    @classmethod
+    def cascadia_2d(cls, **overrides) -> "TwinConfig":
+        """Physical-units 2D margin slice (km-scale, SI seawater).
+
+        A 100 km cross-margin slice at ~2.8 km abyssal depth; observation
+        cadence 1 Hz as in the paper.  Much slower than the demo presets
+        (CFL substeps track the real 1500 m/s sound speed); used by the
+        showcase example, not by the test suite.
+        """
+        cfg = dict(
+            dim=2,
+            length_x=100_000.0,
+            nx=24,
+            nz=3,
+            order=3,
+            bathymetry="cascadia",
+            depth_scale=1.0,
+            material="standard",
+            dt_obs=1.0,
+            n_slots=180,
+            n_sensors=20,
+            n_qoi=5,
+            prior_sigma=1.0,
+            prior_correlation=12_000.0,
+            cfl=0.45,
+        )
+        cfg.update(overrides)
+        return cls(**cfg)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict:
+        """Plain-dict form (for archiving)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "TwinConfig":
+        """Inverse of :meth:`as_dict`."""
+        return cls(**d)

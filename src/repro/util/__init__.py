@@ -1,0 +1,38 @@
+"""Utility infrastructure shared across the repro library.
+
+Submodules
+----------
+``timing``
+    Wall-clock timers mirroring the paper's POSIX-clock instrumentation
+    (Table I timers: Initialization, Setup, Adjoint p2o/p2q, I/O).
+``logging``
+    Rank-aware loggers for the virtual-parallel substrate.
+``memory``
+    Array memory accounting used for the Section VII-B memory-optimization
+    study (host/device split is emulated as persistent/transient).
+``validation``
+    Small argument-checking helpers used across public APIs.
+"""
+
+from repro.util.logging import get_logger
+from repro.util.memory import MemoryTracker, nbytes_of
+from repro.util.timing import Timer, TimerRegistry, timed
+from repro.util.validation import (
+    check_in,
+    check_positive,
+    check_shape,
+    require,
+)
+
+__all__ = [
+    "Timer",
+    "TimerRegistry",
+    "timed",
+    "get_logger",
+    "MemoryTracker",
+    "nbytes_of",
+    "require",
+    "check_positive",
+    "check_shape",
+    "check_in",
+]

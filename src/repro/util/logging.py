@@ -1,0 +1,61 @@
+"""Rank-aware logging helpers.
+
+The virtual-parallel substrate (``repro.hpc``) executes many logical ranks in
+one process.  To keep diagnostic output readable — and to mimic the common
+MPI idiom of printing from rank 0 only — loggers are created per component
+with an optional rank tag, and a module-level verbosity switch controls
+whether non-root ranks emit anything at all.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+_FORMAT = "[%(name)s] %(levelname)s: %(message)s"
+_configured = False
+
+
+def _ensure_configured() -> None:
+    global _configured
+    if _configured:
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        root.addHandler(handler)
+    root.setLevel(logging.WARNING)
+    root.propagate = False
+    _configured = True
+
+
+def get_logger(component: str, rank: Optional[int] = None) -> logging.Logger:
+    """Return the logger for ``component``, optionally tagged with a rank.
+
+    Parameters
+    ----------
+    component:
+        Dotted component name under the ``repro`` namespace, e.g. ``"fem"``.
+    rank:
+        Virtual rank for rank-tagged logs.  Non-zero ranks are silenced by
+        default (set the ``repro`` logger level to DEBUG to see them).
+    """
+    _ensure_configured()
+    name = f"repro.{component}"
+    if rank is not None:
+        name = f"{name}.r{rank}"
+    logger = logging.getLogger(name)
+    if rank is not None and rank != 0:
+        logger.setLevel(logging.ERROR)
+    return logger
+
+
+def set_verbosity(level: int) -> None:
+    """Set the verbosity of the whole ``repro`` logger tree.
+
+    ``level`` follows the stdlib ``logging`` levels (e.g. ``logging.INFO``).
+    """
+    _ensure_configured()
+    logging.getLogger("repro").setLevel(level)

@@ -1,0 +1,160 @@
+"""Wall-clock timing utilities.
+
+The Cascadia application code in the paper instruments four coarse phases
+(Table I): ``Initialization``, ``Setup``, ``Adjoint p2o``, and ``I/O``, using
+POSIX clocks after device synchronization and an MPI barrier.  This module
+provides the equivalent instrumentation for the Python reproduction: a
+:class:`Timer` accumulating wall time over possibly many start/stop intervals,
+and a :class:`TimerRegistry` that groups named timers and renders the same
+kind of percentage breakdown shown in the paper's Fig. 6.
+
+There is no device to synchronize in the NumPy implementation, so
+``time.perf_counter`` is used directly; it is monotonic and high resolution,
+matching the role of ``clock_gettime(CLOCK_MONOTONIC)`` in the C++ code.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class Timer:
+    """Accumulating wall-clock timer.
+
+    A timer can be started and stopped repeatedly; ``elapsed`` accumulates the
+    total wall time across all completed intervals.  Nested starts are
+    rejected — the paper's timers are strictly sequential phases.
+
+    Examples
+    --------
+    >>> t = Timer("setup")
+    >>> t.start(); _ = sum(range(1000)); t.stop()  # doctest: +SKIP
+    >>> t.elapsed > 0  # doctest: +SKIP
+    True
+    """
+
+    name: str
+    elapsed: float = 0.0
+    count: int = 0
+    _t0: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> "Timer":
+        """Begin a timing interval.  Raises if the timer is already running."""
+        if self._t0 is not None:
+            raise RuntimeError(f"timer {self.name!r} is already running")
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """End the current interval; returns the interval's duration."""
+        if self._t0 is None:
+            raise RuntimeError(f"timer {self.name!r} is not running")
+        dt = time.perf_counter() - self._t0
+        self._t0 = None
+        self.elapsed += dt
+        self.count += 1
+        return dt
+
+    @property
+    def running(self) -> bool:
+        """Whether the timer is currently inside an interval."""
+        return self._t0 is not None
+
+    @property
+    def mean(self) -> float:
+        """Mean interval duration (0 if never stopped)."""
+        return self.elapsed / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Zero the accumulated time and interval count."""
+        if self._t0 is not None:
+            raise RuntimeError(f"cannot reset running timer {self.name!r}")
+        self.elapsed = 0.0
+        self.count = 0
+
+    @contextmanager
+    def time(self) -> Iterator["Timer"]:
+        """Context manager form: ``with timer.time(): ...``."""
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+class TimerRegistry:
+    """Named collection of :class:`Timer` objects with report rendering.
+
+    Mirrors the paper's Table I / Fig. 6 instrumentation: a fixed set of
+    named phases whose wall times are reported alongside their percentage of
+    the total application runtime.
+    """
+
+    def __init__(self, names: Optional[List[str]] = None) -> None:
+        self._timers: Dict[str, Timer] = {}
+        for name in names or []:
+            self.add(name)
+
+    def add(self, name: str) -> Timer:
+        """Create (or return the existing) timer called ``name``."""
+        if name not in self._timers:
+            self._timers[name] = Timer(name)
+        return self._timers[name]
+
+    def __getitem__(self, name: str) -> Timer:
+        return self.add(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._timers
+
+    def __iter__(self) -> Iterator[Timer]:
+        return iter(self._timers.values())
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[Timer]:
+        """Time a block under the timer called ``name``."""
+        timer = self.add(name)
+        with timer.time():
+            yield timer
+
+    @property
+    def total(self) -> float:
+        """Sum of elapsed time over all timers."""
+        return sum(t.elapsed for t in self._timers.values())
+
+    def breakdown(self) -> List[Tuple[str, float, float]]:
+        """Rows of ``(name, seconds, fraction_of_total)``, insertion order."""
+        total = self.total
+        return [
+            (t.name, t.elapsed, (t.elapsed / total) if total > 0 else 0.0)
+            for t in self._timers.values()
+        ]
+
+    def report(self, title: str = "Timers") -> str:
+        """Render the Fig. 6-style percentage table as text."""
+        lines = [title, "-" * len(title)]
+        for name, seconds, frac in self.breakdown():
+            lines.append(f"{name:<24s} {seconds:12.6f} s   {100.0 * frac:6.2f} %")
+        lines.append(f"{'total':<24s} {self.total:12.6f} s   100.00 %")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Elapsed seconds per timer name."""
+        return {t.name: t.elapsed for t in self._timers.values()}
+
+    def reset(self) -> None:
+        """Reset every timer in the registry."""
+        for t in self._timers.values():
+            t.reset()
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Standalone timing context: ``with timed() as t: ...; t.elapsed``."""
+    t = Timer("block")
+    with t.time():
+        yield t

@@ -1,0 +1,55 @@
+"""Argument validation helpers used across the public API.
+
+These are deliberately tiny: they exist so that user-facing constructors fail
+with clear messages instead of deep NumPy broadcasting errors, without
+cluttering numerical code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise ``ValueError(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: float, strict: bool = True) -> float:
+    """Validate that a scalar parameter is (strictly) positive."""
+    v = float(value)
+    if strict and not v > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not v >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return v
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> Any:
+    """Validate membership in a finite set of allowed values."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value
+
+
+def check_shape(name: str, array: np.ndarray, shape: Sequence[int]) -> np.ndarray:
+    """Validate an exact array shape; ``-1`` entries match any extent."""
+    a = np.asarray(array)
+    expected: Tuple[int, ...] = tuple(shape)
+    if a.ndim != len(expected) or any(
+        e != -1 and s != e for s, e in zip(a.shape, expected)
+    ):
+        raise ValueError(f"{name} must have shape {expected}, got {a.shape}")
+    return a
+
+
+def as_float_array(name: str, array: Any, ndim: int | None = None) -> np.ndarray:
+    """Convert to a C-contiguous float64 array, optionally checking ndim."""
+    a = np.ascontiguousarray(array, dtype=np.float64)
+    if ndim is not None and a.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-dimensional, got ndim={a.ndim}")
+    return a

@@ -1,0 +1,91 @@
+"""SoA CG baseline: convergence to the MAP, iteration counts, PDE ledger."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cg import (
+    fft_hessian_operator,
+    pde_hessian_operator,
+    solve_map_cg,
+)
+
+
+class TestFFTMode:
+    def test_converges_to_exact_map(self, F2d, prior2d, observed2d, inversion2d):
+        _, noise, d_obs = observed2d
+        m_map = inversion2d.infer(d_obs)
+        H = fft_hessian_operator(F2d, prior2d, noise)
+        res = solve_map_cg(H, d_obs, rtol=1e-10)
+        assert res.converged
+        err = np.linalg.norm(res.m - m_map) / np.linalg.norm(m_map)
+        assert err < 1e-6
+        assert res.pde_solves == 0
+
+    def test_residual_history_decreasing_overall(self, F2d, prior2d, observed2d):
+        _, noise, d_obs = observed2d
+        H = fft_hessian_operator(F2d, prior2d, noise)
+        res = solve_map_cg(H, d_obs, rtol=1e-8)
+        assert res.residuals[-1] < 1e-6 * res.residuals[0]
+
+    def test_iterations_scale_with_data_dimension(
+        self, F2d, prior2d, observed2d
+    ):
+        # Fewer data (leading sub-window) -> fewer CG iterations: the
+        # Section IV claim that iteration count tracks the data dimension.
+        _, noise, d_obs = observed2d
+        H = fft_hessian_operator(F2d, prior2d, noise)
+        full = solve_map_cg(H, d_obs, rtol=1e-8)
+        d_small = np.zeros_like(d_obs)
+        d_small[:2] = d_obs[:2]
+        small = solve_map_cg(H, d_small, rtol=1e-8)
+        # The zero-data tail still regularizes, but the Krylov space needed
+        # is smaller; requires strictly fewer iterations.
+        assert small.iterations <= full.iterations
+
+    def test_maxiter_cap(self, F2d, prior2d, observed2d):
+        _, noise, d_obs = observed2d
+        H = fft_hessian_operator(F2d, prior2d, noise)
+        res = solve_map_cg(H, d_obs, rtol=1e-14, maxiter=3)
+        assert res.iterations == 3 and not res.converged
+
+    def test_warm_start(self, F2d, prior2d, observed2d, inversion2d):
+        _, noise, d_obs = observed2d
+        m_map = inversion2d.infer(d_obs)
+        H = fft_hessian_operator(F2d, prior2d, noise)
+        res = solve_map_cg(H, d_obs, rtol=1e-10, m0=m_map.copy())
+        assert res.iterations <= 2
+
+    def test_callback_invoked(self, F2d, prior2d, observed2d):
+        _, noise, d_obs = observed2d
+        H = fft_hessian_operator(F2d, prior2d, noise)
+        seen = []
+        solve_map_cg(H, d_obs, rtol=1e-6, callback=lambda i, r: seen.append((i, r)))
+        assert len(seen) >= 1
+
+
+class TestPDEMode:
+    def test_pde_mode_matches_fft_mode(
+        self, prop2d, sensors2d, F2d, prior2d, observed2d
+    ):
+        _, noise, d_obs = observed2d
+        Hf = fft_hessian_operator(F2d, prior2d, noise)
+        Hp = pde_hessian_operator(prop2d, sensors2d, prior2d, noise)
+        rf = solve_map_cg(Hf, d_obs, rtol=1e-9)
+        rp = solve_map_cg(Hp, d_obs, rtol=1e-9)
+        err = np.linalg.norm(rf.m - rp.m) / np.linalg.norm(rf.m)
+        assert err < 1e-6
+
+    def test_pde_solve_ledger(self, prop2d, sensors2d, prior2d, observed2d):
+        _, noise, d_obs = observed2d
+        Hp = pde_hessian_operator(prop2d, sensors2d, prior2d, noise)
+        res = solve_map_cg(Hp, d_obs, rtol=1e-7, maxiter=20)
+        # rhs costs 1 adjoint solve; each iteration a forward/adjoint pair.
+        assert res.pde_solves == 1 + 2 * res.iterations
+
+    def test_phase1_vs_cg_solve_counts(self, prop2d, sensors2d, prior2d, observed2d):
+        # The paper's economics: Phase 1 needs Nd solves; CG needs
+        # ~2x iterations, and iterations ~ data dimension >> Nd.
+        _, noise, d_obs = observed2d
+        Hp = pde_hessian_operator(prop2d, sensors2d, prior2d, noise)
+        res = solve_map_cg(Hp, d_obs, rtol=1e-9)
+        assert res.pde_solves > 2 * sensors2d.n

@@ -1,0 +1,70 @@
+"""Cost model: the paper's headline numbers from its own constants."""
+
+import pytest
+
+from repro.baselines.costmodel import (
+    MeasuredDemoCosts,
+    PaperScaleCosts,
+    SoACostModel,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SoACostModel(PaperScaleCosts())
+
+
+class TestPaperNumbers:
+    def test_data_dimension(self, model):
+        assert model.c.data_dimension == 252_000
+
+    def test_parameter_dimension_one_billion(self, model):
+        assert model.c.parameter_dimension == pytest.approx(1.015e9, rel=0.001)
+
+    def test_soa_cg_is_fifty_years(self, model):
+        assert model.soa_cg_years() == pytest.approx(50.0, rel=0.05)
+
+    def test_phase1_solves_621(self, model):
+        assert model.phase1_solves() == 621
+
+    def test_phase1_hours_538(self, model):
+        assert model.phase1_hours() == pytest.approx(538.0, rel=0.01)
+
+    def test_pde_solve_reduction_810x(self, model):
+        assert model.pde_solve_reduction() == pytest.approx(810.0, rel=0.01)
+
+    def test_matvec_speedup_260000x(self, model):
+        assert model.matvec_speedup() == pytest.approx(260_000.0, rel=0.001)
+
+    def test_online_speedup_ten_billion(self, model):
+        s = model.online_speedup()
+        assert 5e9 < s < 2e10
+
+    def test_summary_complete(self, model):
+        s = model.summary()
+        for key in (
+            "soa_cg_years", "phase1_hours", "pde_solve_reduction",
+            "matvec_speedup", "online_speedup",
+        ):
+            assert key in s and s[key] > 0
+
+    def test_report_renders(self, model):
+        rep = model.report()
+        assert "SoA CG time" in rep and "260,000x" in rep
+
+
+class TestMeasuredScale:
+    def test_consistent_ratios(self):
+        m = MeasuredDemoCosts(
+            n_sensors=12, n_qoi=3, nt=16,
+            pde_solve_seconds=0.05, fft_matvec_seconds=1e-4,
+            online_seconds=5e-4, cg_iterations=120,
+        )
+        assert m.soa_seconds() == pytest.approx(12.0)
+        assert m.pde_solve_reduction() == pytest.approx(2 * 120 / 15)
+        assert m.matvec_speedup() == pytest.approx(1000.0)
+        assert m.online_speedup() == pytest.approx(24_000.0)
+        assert set(m.summary()) == {
+            "soa_seconds", "pde_solve_reduction", "matvec_speedup",
+            "online_speedup",
+        }

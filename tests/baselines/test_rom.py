@@ -1,0 +1,117 @@
+"""POD-ROM baseline: construction exactness and the N-width failure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.diffusive import diffusive_rom_study
+from repro.baselines.rom import (
+    PODReducedModel,
+    pod_energy_spectrum,
+    snapshot_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def rom_setup(op2d, prop2d, sensors2d):
+    snaps = snapshot_matrix(prop2d, n_trajectories=6, seed=0)
+    return snaps
+
+
+class TestConstruction:
+    def test_snapshot_shapes(self, rom_setup, op2d, prop2d):
+        snaps = rom_setup
+        assert snaps.shape == (op2d.nstate, 6 * prop2d.n_slots)
+
+    def test_basis_orthonormal(self, rom_setup, prop2d):
+        rom = PODReducedModel.build(prop2d, rom_setup, rank=12)
+        np.testing.assert_allclose(rom.V.T @ rom.V, np.eye(12), atol=1e-10)
+        assert rom.rank == 12
+
+    def test_projection_consistency(self, rom_setup, prop2d, rng):
+        """S_r and W_r are genuine Galerkin projections of the slot map."""
+        from repro.baselines.rom import _slot_input_response, _slot_map_apply
+
+        rom = PODReducedModel.build(prop2d, rom_setup, rank=8)
+        z = rng.standard_normal(8)
+        lhs = rom.Sr @ z
+        rhs = rom.V.T @ _slot_map_apply(prop2d, rom.V @ z[:, None])[:, 0]
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+        m = rng.standard_normal(prop2d.op.n_parameters)
+        np.testing.assert_allclose(
+            rom.Wr @ m,
+            rom.V.T @ _slot_input_response(prop2d, m[:, None])[:, 0],
+            atol=1e-10,
+        )
+
+    def test_training_trajectory_exact_at_full_rank(self, prop2d, sensors2d, op2d):
+        """On a training forcing, the full-snapshot-rank ROM reproduces the
+        full model (the snapshots span that trajectory exactly)."""
+        rng = np.random.default_rng(3)
+        nt, nm = prop2d.n_slots, op2d.n_parameters
+        m = rng.standard_normal((nt, nm))
+        # snapshots from exactly this trajectory
+        op = prop2d.op
+        from repro.fem.timestep import rk4_forced_step
+
+        X = op.zero_state(1)
+        cols = []
+        for j in range(nt):
+            F = op.forcing(m[j][:, None])
+            for _ in range(prop2d.n_substeps):
+                X = rk4_forced_step(op.apply, X, prop2d.dt, F)
+            cols.append(X[:, 0].copy())
+        snaps = np.stack(cols, axis=1)
+        rom = PODReducedModel.build(prop2d, snaps, rank=nt)
+        err = rom.relative_observation_error(m, sensors2d)
+        assert err < 1e-8
+
+    def test_rank_validation(self, rom_setup, prop2d):
+        with pytest.raises(ValueError):
+            PODReducedModel.build(prop2d, rom_setup, rank=0)
+        with pytest.raises(ValueError):
+            PODReducedModel.build(prop2d, rom_setup, rank=10_000)
+
+
+class TestNWidth:
+    def test_wave_spectrum_decays_slowly(self, rom_setup):
+        sv = pod_energy_spectrum(rom_setup)
+        n = sv.size
+        # mid-spectrum singular value still a large fraction of the top
+        assert sv[n // 2] / sv[0] > 0.1
+
+    def test_diffusion_spectrum_decays_fast(self):
+        sv, _ = diffusive_rom_study(nt=16, n_trajectories=4)
+        n = sv.size
+        assert sv[n // 4] / sv[0] < 0.05
+
+    def test_wave_rom_fails_at_affordable_rank(
+        self, rom_setup, prop2d, sensors2d, op2d
+    ):
+        """Held-out forcing: the wave ROM misses badly at small rank."""
+        rng = np.random.default_rng(9)
+        nt, nm = prop2d.n_slots, op2d.n_parameters
+        m = rng.standard_normal((nt, nm))
+        for j in range(1, nt):
+            m[j] = 0.6 * m[j - 1] + 0.4 * m[j]
+        rom = PODReducedModel.build(prop2d, rom_setup, rank=10)
+        assert rom.relative_observation_error(m, sensors2d) > 0.5
+
+    def test_diffusion_rom_succeeds_at_same_rank(self):
+        _, rank_error = diffusive_rom_study(nt=16, n_trajectories=4)
+        assert rank_error(10) < 0.1
+
+    def test_wave_error_decreases_but_slowly(
+        self, rom_setup, prop2d, sensors2d, op2d
+    ):
+        rng = np.random.default_rng(4)
+        nt, nm = prop2d.n_slots, op2d.n_parameters
+        m = rng.standard_normal((nt, nm))
+        for j in range(1, nt):
+            m[j] = 0.6 * m[j - 1] + 0.4 * m[j]
+        errs = [
+            PODReducedModel.build(prop2d, rom_setup, rank=r)
+            .relative_observation_error(m, sensors2d)
+            for r in (5, 20, 50)
+        ]
+        assert errs[-1] <= errs[0] + 0.05  # roughly monotone
+        assert errs[-1] > 0.2  # ... but still far from converged

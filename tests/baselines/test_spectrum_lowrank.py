@@ -1,0 +1,148 @@
+"""Spectrum analysis and the low-rank baseline's structural failure."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.diffusive import diffusive_p2o_operator
+from repro.baselines.lowrank import LowRankPosterior, randomized_eigsh
+from repro.baselines.spectrum import (
+    effective_rank,
+    misfit_hessian_spectrum,
+    prior_preconditioned_misfit,
+    spectrum_report,
+)
+from repro.inference.noise import NoiseModel
+from repro.inference.prior import BiLaplacianPrior, SpatioTemporalPrior
+
+
+@pytest.fixture(scope="module")
+def wave_spectrum(F2d, prior2d, observed2d, inversion2d):
+    _, noise, _ = observed2d
+    K_misfit = inversion2d.K - np.diag(noise.flat_variance())
+    return misfit_hessian_spectrum(F2d, prior2d, noise, K_misfit=K_misfit)
+
+
+@pytest.fixture(scope="module")
+def diffusive_problem(F2d, prior2d):
+    nm, nd, nt = F2d.n_in, F2d.n_out, F2d.nt
+    Fd, _ = diffusive_p2o_operator(
+        n_grid=nm, n_sensors=nd, nt=nt, dt_obs=0.3, diffusivity=0.5
+    )
+    sp = BiLaplacianPrior.from_correlation(
+        [np.linspace(0, 1, nm)], sigma=0.3, correlation_length=0.08
+    )
+    prior = SpatioTemporalPrior(sp, nt)
+    rng = np.random.default_rng(3)
+    d_clean = Fd.matvec(prior.sample(rng, 1)[:, :, 0])
+    noise = NoiseModel.relative(d_clean, 0.01)
+    return Fd, prior, noise, d_clean
+
+
+class TestSpectrum:
+    def test_wave_effective_rank_is_data_dimension(self, wave_spectrum, F2d):
+        # The paper's Section IV claim at matched 1% noise.
+        n_data = F2d.nt * F2d.n_out
+        r = effective_rank(wave_spectrum)
+        assert r >= 0.9 * n_data
+
+    def test_eigenvalues_nonnegative_sorted(self, wave_spectrum):
+        assert np.all(wave_spectrum >= 0)
+        assert np.all(np.diff(wave_spectrum) <= 1e-9 * wave_spectrum[0])
+
+    def test_matches_parameter_space_eigenvalues(
+        self, F2d, prior2d, observed2d, dense_reference
+    ):
+        # Nonzero spectrum of the data-space matrix == spectrum of the
+        # parameter-space prior-preconditioned misfit Hessian.
+        _, noise, _ = observed2d
+        eigs_data = misfit_hessian_spectrum(F2d, prior2d, noise)
+        Fd = dense_reference["Fd"]
+        L = prior2d.apply_sqrt(
+            np.eye(prior2d.n).reshape(prior2d.nt, prior2d.nm, prior2d.n)
+        ).reshape(prior2d.n, prior2d.n)
+        A = np.diag(1.0 / np.sqrt(noise.flat_variance())) @ Fd @ L
+        eigs_param = np.sort(np.linalg.eigvalsh(A.T @ A))[::-1][: eigs_data.size]
+        np.testing.assert_allclose(
+            eigs_data, eigs_param, rtol=1e-6, atol=1e-6 * eigs_data[0]
+        )
+
+    def test_report_format(self, wave_spectrum, F2d):
+        r, frac, txt = spectrum_report(wave_spectrum, F2d.nt * F2d.n_out, "wave")
+        assert "eff. rank" in txt and r > 0 and 0 < frac <= 1.0
+
+    def test_misfit_matrix_psd(self, F2d, prior2d, observed2d, inversion2d):
+        _, noise, _ = observed2d
+        K_misfit = inversion2d.K - np.diag(noise.flat_variance())
+        M = prior_preconditioned_misfit(F2d, prior2d, noise, K_misfit=K_misfit)
+        assert np.linalg.eigvalsh(M).min() > -1e-8 * np.abs(M).max()
+
+
+class TestRandomizedEigsh:
+    def test_recovers_dominant_eigenpairs(self, rng):
+        n = 40
+        Q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+        lam = np.concatenate([np.array([50.0, 20.0, 10.0]), np.zeros(n - 3) + 0.01])
+        A = (Q * lam) @ Q.T
+        vals, vecs = randomized_eigsh(lambda X: A @ X, n, rank=3, rng=rng)
+        np.testing.assert_allclose(vals, [50.0, 20.0, 10.0], rtol=1e-6)
+        # eigenvector residuals
+        for i in range(3):
+            r = A @ vecs[:, i] - vals[i] * vecs[:, i]
+            assert np.linalg.norm(r) < 1e-5 * vals[i]
+
+    def test_rank_validation(self, rng):
+        with pytest.raises(ValueError):
+            randomized_eigsh(lambda X: X, 5, rank=0)
+        with pytest.raises(ValueError):
+            randomized_eigsh(lambda X: X, 5, rank=6)
+
+
+class TestLowRankFailure:
+    def test_wave_error_exceeds_diffusive_at_every_rank(
+        self, F2d, prior2d, observed2d, inversion2d, diffusive_problem
+    ):
+        from repro.inference.bayes import ToeplitzBayesianInversion
+
+        _, noise, d_obs = observed2d
+        m_map = inversion2d.infer(d_obs)
+        Fd, priord, noised, dd_clean = diffusive_problem
+        rng = np.random.default_rng(0)
+        dd_obs = noised.add_to(dd_clean, rng)
+        invd = ToeplitzBayesianInversion(Fd, priord, noised)
+        invd.assemble_data_space_hessian(method="direct")
+        md_map = invd.infer(dd_obs)
+
+        n_data = F2d.nt * F2d.n_out
+        for rank in (n_data // 4, n_data // 2):
+            lw = LowRankPosterior(F2d, prior2d, noise, rank=rank,
+                                  rng=np.random.default_rng(1))
+            ew = np.linalg.norm(lw.map_estimate(d_obs) - m_map) / np.linalg.norm(m_map)
+            ld = LowRankPosterior(Fd, priord, noised, rank=rank,
+                                  rng=np.random.default_rng(1))
+            ed = np.linalg.norm(ld.map_estimate(dd_obs) - md_map) / np.linalg.norm(md_map)
+            assert ew > 5 * ed, (rank, ew, ed)
+
+    def test_full_rank_recovers_exact_map(self, F2d, prior2d, observed2d, inversion2d):
+        _, noise, d_obs = observed2d
+        m_map = inversion2d.infer(d_obs)
+        n = F2d.nt * F2d.n_in
+        # rank = data dimension suffices (spectrum has exactly NdNt nonzeros)
+        lw = LowRankPosterior(
+            F2d, prior2d, noise, rank=F2d.nt * F2d.n_out,
+            rng=np.random.default_rng(2), power_iters=4,
+        )
+        err = np.linalg.norm(lw.map_estimate(d_obs) - m_map) / np.linalg.norm(m_map)
+        assert err < 1e-3
+
+    def test_lowrank_variance_below_prior(self, F2d, prior2d, observed2d):
+        _, noise, _ = observed2d
+        lw = LowRankPosterior(F2d, prior2d, noise, rank=10, rng=np.random.default_rng(3))
+        var = lw.pointwise_variance()
+        prior_diag = np.tile(prior2d.spatial.marginal_variance(), prior2d.nt)
+        assert np.all(var <= prior_diag + 1e-10)
+        assert np.all(var >= 0)
+
+    def test_eigenvalues_descending(self, F2d, prior2d, observed2d):
+        _, noise, _ = observed2d
+        lw = LowRankPosterior(F2d, prior2d, noise, rank=8, rng=np.random.default_rng(4))
+        assert np.all(np.diff(lw.eigenvalues) <= 1e-9 * lw.eigenvalues[0])

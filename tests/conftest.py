@@ -1,0 +1,153 @@
+"""Shared fixtures: one small but complete twin problem, built once.
+
+Session-scoped fixtures amortize the moderately expensive pieces (kernel
+extraction, Phase 2/3 assembly) across the whole suite; tests that mutate
+state build their own objects instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import StructuredMesh
+from repro.inference.bayes import ToeplitzBayesianInversion
+from repro.inference.noise import NoiseModel
+from repro.inference.prior import BiLaplacianPrior, SpatioTemporalPrior
+from repro.inference.toeplitz import BlockToeplitzOperator
+from repro.ocean.acoustic_gravity import AcousticGravityOperator
+from repro.ocean.material import SeawaterMaterial
+from repro.ocean.observations import SensorArray, SurfaceQoI
+from repro.ocean.propagator import SlotPropagator
+from repro.rupture.scenario import margin_wide_scenario
+
+
+@pytest.fixture(scope="session")
+def material():
+    """Nondimensional seawater (O(1) wave speeds for fast tests)."""
+    return SeawaterMaterial.nondimensional()
+
+
+@pytest.fixture(scope="session")
+def mesh2d():
+    """Small terrain-following 2D (x-z) ocean mesh."""
+    x = np.linspace(0.0, 4.0, 9)
+    return StructuredMesh.ocean([x], nz=2, depth=lambda xx: 0.8 + 0.1 * np.sin(2 * xx))
+
+@pytest.fixture(scope="session")
+def mesh3d():
+    """Small terrain-following 3D ocean mesh."""
+    x = np.linspace(0.0, 3.0, 5)
+    y = np.linspace(0.0, 2.0, 4)
+    return StructuredMesh.ocean(
+        [x, y], nz=2, depth=lambda a, b: 0.7 + 0.05 * np.cos(a) + 0.03 * np.sin(b)
+    )
+
+
+@pytest.fixture(scope="session")
+def op2d(mesh2d, material):
+    """Assembled 2D acoustic-gravity operator, order 3."""
+    return AcousticGravityOperator(mesh2d, order=3, material=material)
+
+
+@pytest.fixture(scope="session")
+def op3d(mesh3d, material):
+    """Assembled 3D acoustic-gravity operator, order 2."""
+    return AcousticGravityOperator(mesh3d, order=2, material=material)
+
+
+@pytest.fixture(scope="session")
+def prop2d(op2d):
+    """Slot propagator over 10 slots on the 2D operator."""
+    return SlotPropagator(op2d, dt_obs=0.2, n_slots=10, cfl=0.3)
+
+
+@pytest.fixture(scope="session")
+def sensors2d(op2d):
+    """Regular 2D bottom sensor array (5 sensors)."""
+    return SensorArray.regular(op2d, 5)
+
+
+@pytest.fixture(scope="session")
+def qoi2d(op2d):
+    """Two coastal surface QoI points."""
+    return SurfaceQoI.coastal(op2d, 2)
+
+
+@pytest.fixture(scope="session")
+def kernel2d(prop2d, sensors2d):
+    """p2o kernel of the 2D problem via batched adjoint propagation."""
+    return prop2d.p2o_kernel(sensors2d)
+
+
+@pytest.fixture(scope="session")
+def kernel2d_q(prop2d, qoi2d):
+    """p2q kernel of the 2D problem."""
+    return prop2d.p2o_kernel(qoi2d)
+
+
+@pytest.fixture(scope="session")
+def F2d(kernel2d):
+    """The p2o Toeplitz operator."""
+    return BlockToeplitzOperator(kernel2d)
+
+
+@pytest.fixture(scope="session")
+def Fq2d(kernel2d_q):
+    """The p2q Toeplitz operator."""
+    return BlockToeplitzOperator(kernel2d_q)
+
+
+@pytest.fixture(scope="session")
+def prior2d(op2d, prop2d):
+    """Spatio-temporal BiLaplacian prior on the 2D bottom trace."""
+    sp = BiLaplacianPrior.from_correlation(
+        op2d.bottom_trace.axes, sigma=0.3, correlation_length=0.8
+    )
+    return SpatioTemporalPrior(sp, prop2d.n_slots)
+
+
+@pytest.fixture(scope="session")
+def scenario2d(op2d, prop2d):
+    """A margin-wide rupture scenario on the 2D trace."""
+    return margin_wide_scenario(
+        op2d.bottom_trace, nt=prop2d.n_slots, dt_obs=prop2d.dt_obs,
+        peak_uplift=0.4, seed=5,
+    )
+
+
+@pytest.fixture(scope="session")
+def observed2d(F2d, scenario2d):
+    """(d_clean, noise, d_obs) for the standard 2D scenario."""
+    d_clean = F2d.matvec(scenario2d.m)
+    noise = NoiseModel.relative(d_clean, 0.01)
+    rng = np.random.default_rng(11)
+    return d_clean, noise, noise.add_to(d_clean, rng)
+
+
+@pytest.fixture(scope="session")
+def inversion2d(F2d, Fq2d, prior2d, observed2d):
+    """Fully assembled inversion (Phases 2+3 complete)."""
+    _, noise, _ = observed2d
+    inv = ToeplitzBayesianInversion(F2d, prior2d, noise, Fq=Fq2d)
+    inv.assemble_data_space_hessian(method="direct")
+    inv.assemble_goal_oriented(method="direct")
+    return inv
+
+
+@pytest.fixture(scope="session")
+def dense_reference(F2d, prior2d, observed2d):
+    """Dense Hessian / posterior reference objects for exactness tests."""
+    _, noise, _ = observed2d
+    Fd = F2d.dense()
+    Gfull = prior2d.dense()
+    Gn_inv = np.diag(1.0 / noise.flat_variance())
+    H = Fd.T @ Gn_inv @ Fd + np.linalg.inv(Gfull)
+    Gpost = np.linalg.inv(H)
+    return {"Fd": Fd, "Gfull": Gfull, "Gn_inv": Gn_inv, "H": H, "Gpost": Gpost}
+
+
+@pytest.fixture()
+def rng():
+    """Fresh deterministic RNG per test."""
+    return np.random.default_rng(12345)

@@ -1,0 +1,113 @@
+"""Lagrange bases: interpolation exactness, differentiation, stability."""
+
+import numpy as np
+import pytest
+
+from repro.fem.basis import (
+    LagrangeBasis1D,
+    barycentric_weights,
+    differentiation_matrix,
+    lagrange_diff_matrix,
+    lagrange_eval_matrix,
+)
+from repro.fem.quadrature import gauss_legendre, gauss_lobatto
+
+
+@pytest.mark.parametrize("p", range(1, 9))
+def test_partition_of_unity(p):
+    nodes = gauss_lobatto(p + 1).points
+    y = np.linspace(-1, 1, 37)
+    B = lagrange_eval_matrix(nodes, y)
+    np.testing.assert_allclose(B.sum(axis=1), 1.0, atol=1e-12)
+
+
+@pytest.mark.parametrize("p", range(1, 9))
+def test_kronecker_property_at_nodes(p):
+    nodes = gauss_lobatto(p + 1).points
+    B = lagrange_eval_matrix(nodes, nodes)
+    np.testing.assert_allclose(B, np.eye(p + 1), atol=1e-12)
+
+
+@pytest.mark.parametrize("p", range(1, 9))
+def test_interpolation_exact_for_polynomials(p):
+    nodes = gauss_lobatto(p + 1).points
+    y = np.linspace(-1, 1, 23)
+    coeffs = np.polynomial.polynomial.polyval(nodes, np.arange(1, p + 2))
+    B = lagrange_eval_matrix(nodes, y)
+    expected = np.polynomial.polynomial.polyval(y, np.arange(1, p + 2))
+    np.testing.assert_allclose(B @ coeffs, expected, atol=1e-10)
+
+
+@pytest.mark.parametrize("p", range(1, 9))
+def test_derivative_exact_for_polynomials(p):
+    nodes = gauss_lobatto(p + 1).points
+    y = gauss_legendre(p + 2).points
+    c = np.arange(1, p + 2, dtype=float)
+    vals = np.polynomial.polynomial.polyval(nodes, c)
+    dc = np.polynomial.polynomial.polyder(c)
+    expected = np.polynomial.polynomial.polyval(y, dc)
+    Dm = lagrange_diff_matrix(nodes, y)
+    np.testing.assert_allclose(Dm @ vals, expected, atol=1e-9)
+
+
+def test_diff_matrix_rows_sum_to_zero():
+    for p in range(1, 9):
+        D = differentiation_matrix(gauss_lobatto(p + 1).points)
+        np.testing.assert_allclose(D.sum(axis=1), 0.0, atol=1e-13)
+
+
+def test_diff_matrix_exact_on_linear():
+    nodes = gauss_lobatto(5).points
+    D = differentiation_matrix(nodes)
+    np.testing.assert_allclose(D @ nodes, np.ones_like(nodes), atol=1e-12)
+
+
+def test_barycentric_weights_alternate_sign():
+    w = barycentric_weights(gauss_lobatto(6).points)
+    signs = np.sign(w)
+    assert np.all(signs[:-1] * signs[1:] < 0)
+
+
+def test_barycentric_rejects_duplicates():
+    with pytest.raises(ValueError):
+        barycentric_weights(np.array([0.0, 0.5, 0.5]))
+    with pytest.raises(ValueError):
+        barycentric_weights(np.zeros((2, 2)))
+
+
+def test_eval_at_exact_node_no_nan():
+    nodes = gauss_lobatto(5).points
+    B = lagrange_eval_matrix(nodes, np.array([nodes[2], 0.123]))
+    assert np.all(np.isfinite(B))
+    np.testing.assert_allclose(B[0], np.eye(5)[2], atol=1e-13)
+
+
+def test_high_order_stability():
+    # Barycentric evaluation must stay accurate at order 16 on GLL nodes.
+    nodes = gauss_lobatto(17).points
+    y = np.linspace(-1, 1, 101)
+    B = lagrange_eval_matrix(nodes, y)
+    f = np.sin(3 * nodes)
+    exact = np.sin(3 * y)
+    assert np.max(np.abs(B @ f - exact)) < 1e-6
+
+
+class TestLagrangeBasis1D:
+    def test_properties(self):
+        b = LagrangeBasis1D(gauss_lobatto(4).points)
+        assert b.n == 4 and b.order == 3
+
+    def test_interpolate_with_batch(self):
+        b = LagrangeBasis1D(gauss_lobatto(4).points)
+        coeffs = np.stack([b.nodes, b.nodes**2], axis=1)  # (4, 2)
+        y = np.array([-0.3, 0.7])
+        out = b.interpolate(coeffs, y)
+        assert out.shape == (2, 2)
+        np.testing.assert_allclose(out[:, 0], y, atol=1e-12)
+        np.testing.assert_allclose(out[:, 1], y**2, atol=1e-12)
+
+    def test_deriv_matches_diff_matrix_at_nodes(self):
+        b = LagrangeBasis1D(gauss_lobatto(5).points)
+        np.testing.assert_allclose(
+            b.deriv(b.nodes), b.diff_matrix(), atol=1e-11
+        )

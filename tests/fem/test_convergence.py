@@ -1,0 +1,124 @@
+"""Convergence studies: the discretization converges at the expected rates.
+
+Three classical measures tie the mini-MFEM substrate to approximation
+theory:
+
+* **spectral (p-) convergence** of GLL interpolation of a smooth field;
+* **h-convergence** of the lumped-mass L2 projection error at fixed order;
+* **temporal convergence** of the slot propagator: the recorded data
+  converge at RK4's fourth order as substeps are refined.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import StructuredMesh
+from repro.fem.spaces import H1Space
+from repro.ocean.acoustic_gravity import AcousticGravityOperator
+from repro.ocean.material import SeawaterMaterial
+from repro.ocean.observations import SensorArray
+from repro.ocean.propagator import SlotPropagator
+
+
+def _interp_error(p: int, nx: int = 4) -> float:
+    """Max nodal-interpolation error of sin(2x) on a fine probe grid."""
+    mesh = StructuredMesh.box([2.0], [nx])
+    s = H1Space(mesh, p)
+    f = np.sin(2.0 * s.dof_coords[:, 0])
+    probe = np.linspace(0.0, 2.0, 401)[:, None]
+    C = s.point_eval(probe)
+    return float(np.abs(C @ f - np.sin(2.0 * probe[:, 0])).max())
+
+
+def test_spectral_p_convergence():
+    errs = [_interp_error(p) for p in (2, 4, 6, 8)]
+    # Exponential decay: each +2 orders must cut the error by >= 10x.
+    for a, b in zip(errs, errs[1:]):
+        assert b < a / 10.0
+    assert errs[-1] < 1e-9
+
+
+def test_h_convergence_of_interpolation():
+    order = 2
+    errs = []
+    for nx in (2, 4, 8, 16):
+        errs.append(_interp_error(order, nx=nx))
+    rates = [np.log2(a / b) for a, b in zip(errs, errs[1:])]
+    # Nodal interpolation at order p converges at h^{p+1} = h^3.
+    assert all(r > 2.5 for r in rates)
+
+
+def test_propagator_temporal_order_four():
+    """Observed pressures converge at O(dt^4) under substep refinement."""
+    mat = SeawaterMaterial.nondimensional()
+    mesh = StructuredMesh.ocean(
+        [np.linspace(0, 2, 5)], nz=2, depth=lambda x: 0.8 + 0.05 * np.sin(3 * x)
+    )
+    op = AcousticGravityOperator(mesh, order=3, material=mat)
+    sens = SensorArray.regular(op, 3)
+    rng = np.random.default_rng(0)
+    Nt = 4
+    m = rng.standard_normal((Nt, op.n_parameters))
+
+    def run(nsub):
+        prop = SlotPropagator(op, dt_obs=0.25, n_slots=Nt, n_substeps=nsub)
+        return prop.forward(m, sensors=sens).d
+
+    d_ref = run(64)  # effectively converged reference
+    errs = []
+    for nsub in (4, 8, 16):
+        errs.append(float(np.abs(run(nsub) - d_ref).max()))
+    rates = [np.log2(a / b) for a, b in zip(errs, errs[1:])]
+    assert all(r > 3.5 for r in rates), rates
+
+
+def test_kernel_converges_with_substeps():
+    """The Phase 1 kernel itself converges as the CFL is refined."""
+    mat = SeawaterMaterial.nondimensional()
+    mesh = StructuredMesh.ocean([np.linspace(0, 2, 4)], nz=2, depth=0.8)
+    op = AcousticGravityOperator(mesh, order=2, material=mat)
+    sens = SensorArray.regular(op, 2)
+
+    def kernel(nsub):
+        prop = SlotPropagator(op, dt_obs=0.3, n_slots=3, n_substeps=nsub)
+        return prop.p2o_kernel(sens)
+
+    T_ref = kernel(48)
+    e1 = np.abs(kernel(6) - T_ref).max()
+    e2 = np.abs(kernel(12) - T_ref).max()
+    assert e2 < e1 / 8.0  # ~4th order => 16x per halving
+
+
+def test_spatial_refinement_improves_physics():
+    """Seiche-period error decreases under mesh refinement."""
+    from repro.ocean.observations import SurfaceQoI
+
+    mat = SeawaterMaterial.nondimensional(c=3.0, g=1.0)
+    L, H = 4.0, 0.5
+    k = np.pi / L
+    T_exact = 2 * np.pi / np.sqrt(mat.g * k * np.tanh(k * H))
+
+    def period_error(nx, order):
+        mesh = StructuredMesh.ocean([np.linspace(0, L, nx + 1)], nz=1, depth=H)
+        op = AcousticGravityOperator(mesh, order=order, material=mat, absorbing=())
+        coords = op.h1.dof_coords
+        p0 = (
+            mat.rho * mat.g * 1e-3 * np.cos(k * coords[:, 0])
+            * np.cosh(k * (coords[:, 1] + H)) / np.cosh(k * H)
+        )
+        X = op.zero_state(1)
+        _, P = op.views(X)
+        P[:, 0] = p0
+        prop = SlotPropagator(op, dt_obs=T_exact / 24, n_slots=30, cfl=0.35)
+        gauge = SurfaceQoI(op, np.array([[0.0]]))
+        eta = prop.forward(None, sensors=gauge, x0=X).d[:, 0]
+        t = prop.times()
+        sc = np.where(np.diff(np.sign(eta)) != 0)[0]
+        tc = np.array(
+            [t[i] - eta[i] * (t[i + 1] - t[i]) / (eta[i + 1] - eta[i]) for i in sc]
+        )
+        return abs(2 * float(np.diff(tc).mean()) - T_exact) / T_exact
+
+    coarse = period_error(2, 2)
+    fine = period_error(4, 3)
+    assert fine <= coarse + 1e-3

@@ -1,0 +1,159 @@
+"""Q1 element geometry: coordinates, Jacobians, volumes, face factors."""
+
+import numpy as np
+import pytest
+
+from repro.fem.geometry import ElementGeometry, FaceGeometry, q1_shape_tensor
+from repro.fem.mesh import StructuredMesh
+from repro.fem.quadrature import gauss_legendre, tensor_rule
+
+
+def test_q1_shape_partition_of_unity():
+    pts = [np.linspace(-1, 1, 4), np.linspace(-1, 1, 3)]
+    S = q1_shape_tensor(pts)
+    np.testing.assert_allclose(S.sum(axis=0), 1.0, atol=1e-13)
+
+
+def test_q1_shape_derivative_sums_to_zero():
+    pts = [np.linspace(-1, 1, 4), np.linspace(-1, 1, 3)]
+    for ax in range(2):
+        S = q1_shape_tensor(pts, deriv_axis=ax)
+        np.testing.assert_allclose(S.sum(axis=0), 0.0, atol=1e-13)
+
+
+@pytest.mark.parametrize("dim", [1, 2, 3])
+def test_affine_element_geometry(dim):
+    lengths = [2.0, 1.0, 0.5][:dim]
+    mesh = StructuredMesh.box(lengths, [1] * dim)
+    rule = gauss_legendre(3)
+    geom = ElementGeometry.compute(mesh.element_vertices(), [rule.points] * dim)
+    expected_det = np.prod([l / 2.0 for l in lengths])
+    np.testing.assert_allclose(geom.detj, expected_det, atol=1e-13)
+    # Jacobian is diagonal with half edge lengths.
+    for d in range(dim):
+        np.testing.assert_allclose(geom.jac[..., d, d], lengths[d] / 2, atol=1e-13)
+    # invj @ jac == identity
+    ident = np.einsum("eqij,eqjk->eqik", geom.invj, geom.jac)
+    np.testing.assert_allclose(
+        ident, np.broadcast_to(np.eye(dim), ident.shape), atol=1e-12
+    )
+
+
+def test_volumes_sum_to_domain_measure():
+    depth = lambda x: 1.0 + 0.3 * np.sin(x)
+    x = np.linspace(0, 5, 11)
+    mesh = StructuredMesh.ocean([x], nz=3, depth=depth)
+    rule = gauss_legendre(2)
+    pts, w = tensor_rule([rule] * 2)
+    geom = ElementGeometry.compute(mesh.element_vertices(), [rule.points] * 2)
+    vol = float(np.sum(geom.volumes(w)))
+    # Q1 geometry integrates the polygonal bathymetry exactly.
+    assert vol == pytest.approx(float(np.trapezoid(depth(x), x)), rel=1e-12)
+
+
+def test_coords_match_multilinear_map():
+    verts = np.array([[[0, 0], [0, 1], [1, 0], [2, 2]]], dtype=float)
+    r = np.array([0.0])
+    geom = ElementGeometry.compute(verts, [r, r])
+    # Center of the reference square maps to the corner average.
+    np.testing.assert_allclose(geom.coords[0, 0], verts[0].mean(axis=0), atol=1e-13)
+
+
+def test_inverted_element_detected():
+    verts = np.array([[[0.0], [-1.0]]])  # decreasing: negative jacobian
+    with pytest.raises(ValueError):
+        ElementGeometry.compute(verts, [np.array([0.0])])
+
+
+def test_geometry_properties():
+    mesh = StructuredMesh.box([1, 1], [2, 2])
+    rule = gauss_legendre(2)
+    geom = ElementGeometry.compute(mesh.element_vertices(), [rule.points] * 2)
+    assert geom.n_elements == 4
+    assert geom.n_points == 4
+    assert geom.dim == 2
+
+
+class TestFaceGeometry:
+    def test_flat_surface_face_area(self):
+        mesh = StructuredMesh.ocean([np.linspace(0, 2, 5)], nz=2, depth=1.0)
+        spec = mesh.boundary("surface")
+        rule = gauss_legendre(3)
+        fg = FaceGeometry.compute(
+            mesh.element_vertices()[spec.elements], spec.axis, spec.end, [rule.points]
+        )
+        # total surface length = sum over faces of area * weights
+        total = float(np.sum(fg.area * rule.weights[None, :]))
+        assert total == pytest.approx(2.0, rel=1e-12)
+
+    def test_surface_normal_points_up(self):
+        mesh = StructuredMesh.ocean(
+            [np.linspace(0, 2, 4)], nz=2, depth=lambda x: 1.0 + 0.2 * x
+        )
+        spec = mesh.boundary("surface")
+        rule = gauss_legendre(2)
+        fg = FaceGeometry.compute(
+            mesh.element_vertices()[spec.elements], spec.axis, spec.end, [rule.points]
+        )
+        assert np.all(fg.normal[..., -1] > 0.99)
+
+    def test_bottom_normal_points_down_and_tilts(self):
+        mesh = StructuredMesh.ocean(
+            [np.linspace(0, 2, 4)], nz=2, depth=lambda x: 1.0 + 0.5 * x
+        )
+        spec = mesh.boundary("bottom")
+        rule = gauss_legendre(2)
+        fg = FaceGeometry.compute(
+            mesh.element_vertices()[spec.elements], spec.axis, spec.end, [rule.points]
+        )
+        assert np.all(fg.normal[..., -1] < 0)
+        # Sloped bottom: outward normal has a horizontal component.
+        assert np.all(np.abs(fg.normal[..., 0]) > 0.1)
+        # Unit normals.
+        np.testing.assert_allclose(
+            np.linalg.norm(fg.normal, axis=-1), 1.0, atol=1e-12
+        )
+
+    def test_sloped_bottom_arc_length(self):
+        slope = 0.5
+        mesh = StructuredMesh.ocean(
+            [np.linspace(0, 2, 3)], nz=1, depth=lambda x: 1.0 + slope * x
+        )
+        spec = mesh.boundary("bottom")
+        rule = gauss_legendre(4)
+        fg = FaceGeometry.compute(
+            mesh.element_vertices()[spec.elements], spec.axis, spec.end, [rule.points]
+        )
+        total = float(np.sum(fg.area * rule.weights[None, :]))
+        assert total == pytest.approx(2.0 * np.sqrt(1 + slope**2), rel=1e-12)
+
+    def test_3d_lateral_face_area(self):
+        mesh = StructuredMesh.box([2.0, 3.0, 0.5], [2, 3, 1])
+        spec = mesh.boundary("west")
+        rule = gauss_legendre(2)
+        fg = FaceGeometry.compute(
+            mesh.element_vertices()[spec.elements],
+            spec.axis,
+            spec.end,
+            [rule.points, rule.points],
+        )
+        _, w = tensor_rule([rule, rule])
+        total = float(np.sum(fg.area * w[None, :]))
+        assert total == pytest.approx(3.0 * 0.5, rel=1e-12)
+
+    def test_1d_face_is_point(self):
+        mesh = StructuredMesh.ocean([], nz=2, depth=1.0)
+        spec = mesh.boundary("bottom")
+        fg = FaceGeometry.compute(
+            mesh.element_vertices()[spec.elements], spec.axis, spec.end, []
+        )
+        assert fg.area.shape == (1, 1)
+        assert fg.area[0, 0] == pytest.approx(1.0)
+        assert fg.normal[0, 0, 0] == pytest.approx(-1.0)
+
+    def test_invalid_inputs(self):
+        mesh = StructuredMesh.box([1, 1], [1, 1])
+        with pytest.raises(ValueError):
+            FaceGeometry.compute(mesh.element_vertices(), 5, 0, [np.array([0.0])])
+        with pytest.raises(ValueError):
+            FaceGeometry.compute(mesh.element_vertices(), 0, 2, [np.array([0.0])])

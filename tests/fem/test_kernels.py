@@ -1,0 +1,163 @@
+"""Gradient kernels: five-variant agreement, exactness, adjointness, counts."""
+
+import numpy as np
+import pytest
+
+from repro.fem.geometry import ElementGeometry
+from repro.fem.kernels import (
+    KERNEL_VARIANTS,
+    kernel_flop_byte_counts,
+    make_gradient_kernel,
+)
+from repro.fem.mesh import StructuredMesh
+from repro.fem.quadrature import gauss_legendre, tensor_rule
+from repro.fem.spaces import H1Space, L2Space
+
+
+def _setup(dim, order):
+    if dim == 1:
+        mesh = StructuredMesh.ocean([], nz=4, depth=2.0)
+    elif dim == 2:
+        mesh = StructuredMesh.ocean(
+            [np.linspace(0, 3, 5)], nz=2, depth=lambda x: 1.0 + 0.2 * np.sin(x)
+        )
+    else:
+        mesh = StructuredMesh.ocean(
+            [np.linspace(0, 2, 3), np.linspace(0, 2, 3)],
+            nz=2,
+            depth=lambda x, y: 1.0 + 0.1 * x + 0.05 * y,
+        )
+    h1 = H1Space(mesh, order)
+    l2 = L2Space(mesh, order - 1)
+    rule = gauss_legendre(order)
+    geom = ElementGeometry.compute(mesh.element_vertices(), [rule.points] * dim)
+    _, w = tensor_rule([rule] * dim)
+    B = h1.basis_1d.eval(rule.points)
+    D = h1.basis_1d.deriv(rule.points)
+    return mesh, h1, l2, rule, geom, w, B, D
+
+
+def _all_kernels(mesh, rule, geom, w, B, D, dim):
+    out = {}
+    for var in KERNEL_VARIANTS:
+        if var == "mf":
+            out[var] = make_gradient_kernel(
+                "mf", B, D, weights=w,
+                element_vertices=mesh.element_vertices(),
+                velocity_nodes_1d=rule.points,
+            )
+        else:
+            out[var] = make_gradient_kernel(var, B, D, geom=geom, weights=w)
+    return out
+
+
+@pytest.mark.parametrize("dim", [1, 2, 3])
+def test_variants_agree_apply(dim, rng):
+    mesh, h1, l2, rule, geom, w, B, D = _setup(dim, 3 if dim < 3 else 2)
+    kernels = _all_kernels(mesh, rule, geom, w, B, D, dim)
+    pe = rng.standard_normal((mesh.n_elements, h1.nloc, 2))
+    ref = kernels["optimized"].apply(pe)
+    for var, k in kernels.items():
+        np.testing.assert_allclose(k.apply(pe), ref, atol=1e-12, err_msg=var)
+
+
+@pytest.mark.parametrize("dim", [1, 2, 3])
+def test_variants_agree_transpose(dim, rng):
+    mesh, h1, l2, rule, geom, w, B, D = _setup(dim, 3 if dim < 3 else 2)
+    kernels = _all_kernels(mesh, rule, geom, w, B, D, dim)
+    wv = rng.standard_normal((mesh.n_elements, l2.nloc, dim, 2))
+    ref = kernels["optimized"].apply_transpose(wv)
+    for var, k in kernels.items():
+        np.testing.assert_allclose(k.apply_transpose(wv), ref, atol=1e-12, err_msg=var)
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_gradient_exact_on_linears(dim):
+    mesh, h1, l2, rule, geom, w, B, D = _setup(dim, 3 if dim < 3 else 2)
+    coef = np.arange(1, dim + 1, dtype=float)
+    p = 0.5 + h1.dof_coords @ coef
+    pe = h1.to_evector(p)
+    k = make_gradient_kernel("optimized", B, D, geom=geom, weights=w)
+    mom = k.apply(pe) / (geom.detj * w[None, :])[:, :, None]
+    for d in range(dim):
+        np.testing.assert_allclose(mom[:, :, d], coef[d], atol=1e-9)
+
+
+@pytest.mark.parametrize("dim", [2, 3])
+def test_gradient_exact_on_higher_polynomials(dim):
+    # Order-p space differentiates degree-p polynomials exactly; Gauss
+    # quadrature of the moments is exact for affine geometry.
+    mesh = StructuredMesh.box([1.5] * dim, [2] * dim)
+    order = 3
+    h1 = H1Space(mesh, order)
+    rule = gauss_legendre(order)
+    geom = ElementGeometry.compute(mesh.element_vertices(), [rule.points] * dim)
+    _, w = tensor_rule([rule] * dim)
+    B = h1.basis_1d.eval(rule.points)
+    D = h1.basis_1d.deriv(rule.points)
+    c = h1.dof_coords
+    p = c[:, 0] ** 3
+    k = make_gradient_kernel("optimized", B, D, geom=geom, weights=w)
+    mom = k.apply(h1.to_evector(p)) / (geom.detj * w[None, :])[:, :, None]
+    np.testing.assert_allclose(mom[:, :, 0], 3 * geom.coords[:, :, 0] ** 2, atol=1e-9)
+
+
+@pytest.mark.parametrize("variant", KERNEL_VARIANTS)
+def test_adjoint_identity_each_variant(variant, rng):
+    mesh, h1, l2, rule, geom, w, B, D = _setup(2, 3)
+    if variant == "mf":
+        k = make_gradient_kernel(
+            "mf", B, D, weights=w,
+            element_vertices=mesh.element_vertices(),
+            velocity_nodes_1d=rule.points,
+        )
+    else:
+        k = make_gradient_kernel(variant, B, D, geom=geom, weights=w)
+    pe = rng.standard_normal((mesh.n_elements, h1.nloc))
+    wv = rng.standard_normal((mesh.n_elements, l2.nloc, 2))
+    lhs = float(np.sum(k.apply(pe) * wv))
+    rhs = float(np.sum(pe * k.apply_transpose(wv)))
+    assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+def test_apply_pair_matches_separate(rng):
+    mesh, h1, l2, rule, geom, w, B, D = _setup(2, 3)
+    k = make_gradient_kernel("fused", B, D, geom=geom, weights=w)
+    pe = rng.standard_normal((mesh.n_elements, h1.nloc, 3))
+    wv = rng.standard_normal((mesh.n_elements, l2.nloc, 2, 3))
+    mom, y = k.apply_pair(pe, wv)
+    np.testing.assert_allclose(mom, k.apply(pe), atol=1e-13)
+    np.testing.assert_allclose(y, k.apply_transpose(wv), atol=1e-13)
+
+
+def test_unbatched_and_batched_consistent(rng):
+    mesh, h1, l2, rule, geom, w, B, D = _setup(2, 3)
+    k = make_gradient_kernel("optimized", B, D, geom=geom, weights=w)
+    pe = rng.standard_normal((mesh.n_elements, h1.nloc))
+    one = k.apply(pe)
+    batched = k.apply(pe[:, :, None])
+    np.testing.assert_allclose(one, batched[..., 0], atol=1e-14)
+
+
+def test_factory_validation():
+    with pytest.raises(ValueError):
+        make_gradient_kernel("bogus", np.eye(2), np.eye(2), geom=None, weights=None)
+    with pytest.raises(ValueError):
+        make_gradient_kernel("optimized", np.eye(2), np.eye(2))
+    with pytest.raises(ValueError):
+        make_gradient_kernel("mf", np.eye(2), np.eye(2))
+
+
+def test_flop_byte_counts_monotone():
+    pa = kernel_flop_byte_counts(100, 5, 4, 3, variant="optimized")
+    mf = kernel_flop_byte_counts(100, 5, 4, 3, variant="mf")
+    assert pa["flops"] > 0 and pa["bytes"] > 0
+    # MF recomputes geometry: more flops, fewer bytes (paper Fig. 7 trend).
+    assert mf["flops"] > pa["flops"]
+    assert mf["bytes"] < pa["bytes"]
+
+
+def test_flop_counts_scale_with_elements():
+    small = kernel_flop_byte_counts(10, 4, 3, 2)
+    big = kernel_flop_byte_counts(20, 4, 3, 2)
+    assert big["flops"] == pytest.approx(2 * small["flops"])

@@ -1,0 +1,163 @@
+"""Structured meshes: constructors, topology, boundaries, location."""
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import StructuredMesh
+
+
+class TestConstructors:
+    def test_box_2d(self):
+        m = StructuredMesh.box([2.0, 1.0], [4, 2])
+        assert m.dim == 2 and m.shape == (4, 2) and m.n_elements == 8
+        lo, hi = m.bounding_box()
+        np.testing.assert_allclose(lo, [0, 0])
+        np.testing.assert_allclose(hi, [2, 1])
+
+    def test_box_with_origin(self):
+        m = StructuredMesh.box([1.0], [3], origin=[-0.5])
+        lo, hi = m.bounding_box()
+        assert lo[0] == pytest.approx(-0.5) and hi[0] == pytest.approx(0.5)
+
+    def test_tensor_nonuniform(self):
+        m = StructuredMesh.tensor([np.array([0.0, 0.5, 2.0])])
+        assert m.shape == (2,)
+        assert m.min_edge_length() == pytest.approx(0.5)
+
+    def test_tensor_rejects_nonmonotone(self):
+        with pytest.raises(ValueError):
+            StructuredMesh.tensor([np.array([0.0, 1.0, 0.5])])
+
+    def test_ocean_flat(self):
+        m = StructuredMesh.ocean([np.linspace(0, 1, 4)], nz=3, depth=2.0)
+        assert m.dim == 2 and m.shape == (3, 3)
+        # surface at z=0, bottom at -2
+        assert m.vertices[..., -1].max() == pytest.approx(0.0)
+        assert m.vertices[..., -1].min() == pytest.approx(-2.0)
+        # flat bottom means z is a straight axis too
+        assert m.axes[-1] is not None
+
+    def test_ocean_curved_depth(self):
+        depth = lambda x: 1.0 + 0.3 * np.sin(x)
+        m = StructuredMesh.ocean([np.linspace(0, 3, 7)], nz=2, depth=depth)
+        assert m.axes[-1] is None  # curved vertical coordinate
+        np.testing.assert_allclose(
+            m.vertices[:, 0, -1], -depth(np.linspace(0, 3, 7)), atol=1e-13
+        )
+
+    def test_ocean_3d(self):
+        m = StructuredMesh.ocean(
+            [np.linspace(0, 2, 3), np.linspace(0, 1, 3)],
+            nz=2,
+            depth=lambda x, y: 1.0 + 0.1 * x + 0.05 * y,
+        )
+        assert m.dim == 3 and m.shape == (2, 2, 2)
+
+    def test_ocean_1d_column(self):
+        m = StructuredMesh.ocean([], nz=4, depth=3.0)
+        assert m.dim == 1 and m.shape == (4,)
+
+    def test_ocean_custom_zhat(self):
+        zhat = np.array([0.0, 0.5, 0.8, 1.0])
+        m = StructuredMesh.ocean([np.linspace(0, 1, 3)], nz=3, depth=1.0, zhat=zhat)
+        np.testing.assert_allclose(m.vertices[0, :, 1], -(1 - zhat), atol=1e-13)
+
+    def test_ocean_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            StructuredMesh.ocean([np.linspace(0, 1, 3)], nz=0, depth=1.0)
+        with pytest.raises(ValueError):
+            StructuredMesh.ocean([np.linspace(0, 1, 3)], nz=2, depth=-1.0)
+        with pytest.raises(ValueError):
+            StructuredMesh.ocean(
+                [np.linspace(0, 1, 3)], nz=2, depth=1.0,
+                zhat=np.array([0.0, 0.9, 0.5, 1.0]),
+            )
+
+
+class TestTopology:
+    def test_element_vertices_ordering_2d(self):
+        m = StructuredMesh.box([1.0, 1.0], [1, 1])
+        ev = m.element_vertices()[0]  # corners (c0,c1) C-order: 00,01,10,11
+        np.testing.assert_allclose(ev[0], [0, 0])
+        np.testing.assert_allclose(ev[1], [0, 1])
+        np.testing.assert_allclose(ev[2], [1, 0])
+        np.testing.assert_allclose(ev[3], [1, 1])
+
+    def test_element_vertices_shape_3d(self):
+        m = StructuredMesh.box([1, 1, 1], [2, 3, 2])
+        ev = m.element_vertices()
+        assert ev.shape == (12, 8, 3)
+
+    def test_element_index_roundtrip(self):
+        m = StructuredMesh.box([1, 1], [3, 4])
+        assert m.element_index((2, 3)) == 2 * 4 + 3
+
+    def test_n_vertices(self):
+        m = StructuredMesh.box([1, 1], [3, 4])
+        assert m.n_vertices == 4 * 5
+
+
+class TestBoundaries:
+    def test_side_names_by_dim(self):
+        m1 = StructuredMesh.ocean([], nz=2, depth=1.0)
+        assert m1.side_names() == ["bottom", "surface"]
+        m2 = StructuredMesh.box([1, 1], [2, 2])
+        assert set(m2.side_names()) == {"bottom", "surface", "west", "east"}
+        m3 = StructuredMesh.box([1, 1, 1], [2, 2, 2])
+        assert "north" in m3.side_names() and "south" in m3.side_names()
+
+    def test_boundary_element_counts(self):
+        m = StructuredMesh.box([1, 1, 1], [2, 3, 4])
+        assert m.boundary("bottom").elements.size == 6
+        assert m.boundary("west").elements.size == 12
+        assert m.boundary("north").elements.size == 8
+
+    def test_boundary_axis_end(self):
+        m = StructuredMesh.box([1, 1], [2, 2])
+        b = m.boundary("bottom")
+        assert b.axis == 1 and b.end == 0
+        s = m.boundary("surface")
+        assert s.axis == 1 and s.end == 1
+
+    def test_invalid_side_raises(self):
+        m = StructuredMesh.box([1, 1], [2, 2])
+        with pytest.raises(ValueError):
+            m.boundary("north")  # needs dim 3
+        with pytest.raises(ValueError):
+            m.boundary("top")
+
+    def test_lateral_sides(self):
+        m = StructuredMesh.box([1, 1, 1], [2, 2, 2])
+        assert set(m.lateral_sides()) == {"west", "east", "south", "north"}
+
+
+class TestLocation:
+    def test_locate_horizontal(self):
+        m = StructuredMesh.ocean([np.linspace(0, 4, 5)], nz=2, depth=1.0)
+        elem, ref = m.locate_horizontal(np.array([[0.5], [3.9]]))
+        assert elem[0, 0] == 0 and elem[1, 0] == 3
+        assert ref[0, 0] == pytest.approx(0.0)  # center of [0,1]
+        assert ref[1, 0] == pytest.approx(0.8)
+
+    def test_locate_outside_raises(self):
+        m = StructuredMesh.ocean([np.linspace(0, 4, 5)], nz=2, depth=1.0)
+        with pytest.raises(ValueError):
+            m.locate_horizontal(np.array([[4.6]]))
+
+    def test_locate_at_vertex(self):
+        m = StructuredMesh.ocean([np.linspace(0, 4, 5)], nz=2, depth=1.0)
+        elem, ref = m.locate_horizontal(np.array([[1.0]]))
+        # Boundary vertices are assigned consistently with ref in [-1, 1].
+        assert -1.0 <= ref[0, 0] <= 1.0
+
+
+def test_min_edge_length_curved():
+    depth = lambda x: 1.0 + 0.5 * np.sin(2 * x)
+    m = StructuredMesh.ocean([np.linspace(0, 3, 10)], nz=3, depth=depth)
+    h = m.min_edge_length()
+    assert 0 < h < 1.0
+
+
+def test_vertices_shape_validation():
+    with pytest.raises(ValueError):
+        StructuredMesh(np.zeros((3, 3)))  # missing coordinate axis

@@ -1,0 +1,142 @@
+"""Mass and boundary operators: measures, coefficients, inject/extract."""
+
+import numpy as np
+import pytest
+
+from repro.fem.geometry import ElementGeometry
+from repro.fem.mesh import StructuredMesh
+from repro.fem.operators import DiagonalBoundaryOperator, LumpedMass, l2_mass_diag
+from repro.fem.quadrature import gauss_legendre
+from repro.fem.spaces import H1Space, L2Space
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    x = np.linspace(0, 4, 7)
+    return StructuredMesh.ocean([x], nz=2, depth=lambda xx: 1.0 + 0.25 * np.sin(xx))
+
+
+class TestLumpedMass:
+    def test_total_is_domain_measure(self, mesh):
+        m = LumpedMass(H1Space(mesh, 3))
+        x = np.linspace(0, 4, 7)
+        poly_area = float(np.trapezoid(1.0 + 0.25 * np.sin(x), x))
+        assert m.total() == pytest.approx(poly_area, rel=1e-12)
+
+    def test_constant_coefficient_scales(self, mesh):
+        s = H1Space(mesh, 2)
+        m1 = LumpedMass(s, coef=1.0)
+        m2 = LumpedMass(s, coef=2.5)
+        np.testing.assert_allclose(m2.diag, 2.5 * m1.diag, atol=1e-13)
+
+    def test_callable_coefficient(self, mesh):
+        s = H1Space(mesh, 2)
+        m = LumpedMass(s, coef=lambda c: 1.0 + c[..., 0])
+        # Exact integral of (1+x) over the *polygonal* domain: the column
+        # height is the linear interpolant of the depth samples, so the
+        # integrand (1+x)*d_lin(x) is piecewise quadratic — integrate it on
+        # a fine grid of the interpolant.
+        x = np.linspace(0, 4, 7)
+        d = 1.0 + 0.25 * np.sin(x)
+        xf = np.linspace(0, 4, 20001)
+        df = np.interp(xf, x, d)
+        expected = float(np.trapezoid((1.0 + xf) * df, xf))
+        assert m.total() == pytest.approx(expected, rel=1e-6)
+
+    def test_apply_solve_roundtrip(self, mesh, rng):
+        m = LumpedMass(H1Space(mesh, 2))
+        v = rng.standard_normal((m.diag.size, 3))
+        np.testing.assert_allclose(m.solve(m.apply(v)), v, atol=1e-13)
+
+    def test_positive(self, mesh):
+        m = LumpedMass(H1Space(mesh, 4))
+        assert np.all(m.diag > 0)
+
+
+class TestL2MassDiag:
+    def test_volume_consistency(self, mesh):
+        l2 = L2Space(mesh, 2)
+        rule = gauss_legendre(3)
+        geom = ElementGeometry.compute(mesh.element_vertices(), [rule.points] * 2)
+        diag = l2_mass_diag(l2, geom.detj)
+        x = np.linspace(0, 4, 7)
+        poly_area = float(np.trapezoid(1.0 + 0.25 * np.sin(x), x))
+        assert float(diag.sum()) == pytest.approx(poly_area, rel=1e-12)
+
+    def test_with_coefficient(self, mesh):
+        l2 = L2Space(mesh, 1)
+        rule = gauss_legendre(2)
+        geom = ElementGeometry.compute(mesh.element_vertices(), [rule.points] * 2)
+        base = l2_mass_diag(l2, geom.detj)
+        scaled = l2_mass_diag(l2, geom.detj, 3.0 * np.ones_like(geom.detj))
+        np.testing.assert_allclose(scaled, 3.0 * base, atol=1e-13)
+
+
+class TestDiagonalBoundaryOperator:
+    def test_surface_measure(self, mesh):
+        op = DiagonalBoundaryOperator(H1Space(mesh, 3), "surface")
+        assert op.total() == pytest.approx(4.0, rel=1e-12)
+
+    def test_bottom_measure_is_arclength(self, mesh):
+        op = DiagonalBoundaryOperator(H1Space(mesh, 3), "bottom")
+        # polygonal arc length of the bathymetry
+        x = np.linspace(0, 4, 7)
+        z = -(1.0 + 0.25 * np.sin(x))
+        arc = float(np.sum(np.hypot(np.diff(x), np.diff(z))))
+        assert op.total() == pytest.approx(arc, rel=1e-12)
+
+    def test_lateral_measure_is_depth(self, mesh):
+        op = DiagonalBoundaryOperator(H1Space(mesh, 2), "west")
+        assert op.total() == pytest.approx(1.0 + 0.25 * np.sin(0.0), rel=1e-12)
+
+    def test_coefficient(self, mesh):
+        s = H1Space(mesh, 2)
+        op1 = DiagonalBoundaryOperator(s, "surface", coef=1.0)
+        op2 = DiagonalBoundaryOperator(s, "surface", coef=0.5)
+        np.testing.assert_allclose(op2.values, 0.5 * op1.values, atol=1e-14)
+
+    def test_add_to(self, mesh, rng):
+        s = H1Space(mesh, 2)
+        op = DiagonalBoundaryOperator(s, "surface")
+        p = rng.standard_normal((s.ndof, 2))
+        out = np.zeros_like(p)
+        op.add_to(out, p, scale=-1.0)
+        np.testing.assert_allclose(
+            out[op.dofs], -op.values[:, None] * p[op.dofs], atol=1e-14
+        )
+        # untouched elsewhere
+        mask = np.ones(s.ndof, bool)
+        mask[op.dofs] = False
+        assert np.all(out[mask] == 0)
+
+    def test_inject_extract_adjoint(self, mesh, rng):
+        s = H1Space(mesh, 3)
+        op = DiagonalBoundaryOperator(s, "bottom")
+        m = rng.standard_normal((op.n, 2))
+        y = rng.standard_normal((s.ndof, 2))
+        out = np.zeros((s.ndof, 2))
+        op.inject(m, out)
+        lhs = float(np.sum(out * y))
+        rhs = float(np.sum(m * op.extract(y)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_trace_ordering_matches_trace_grid(self, mesh):
+        s = H1Space(mesh, 3)
+        op = DiagonalBoundaryOperator(s, "bottom")
+        np.testing.assert_array_equal(op.dofs, s.trace("bottom").dofs)
+
+    def test_constant_function_integration(self, mesh):
+        # <1, 1>_side via the diagonal equals the side measure.
+        s = H1Space(mesh, 3)
+        op = DiagonalBoundaryOperator(s, "surface")
+        ones = np.ones(s.ndof)
+        out = np.zeros(s.ndof)
+        op.add_to(out, ones)
+        assert float(out.sum()) == pytest.approx(4.0, rel=1e-12)
+
+    def test_3d_bottom_area(self):
+        m3 = StructuredMesh.ocean(
+            [np.linspace(0, 2, 3), np.linspace(0, 3, 4)], nz=1, depth=1.0
+        )
+        op = DiagonalBoundaryOperator(H1Space(m3, 2), "bottom")
+        assert op.total() == pytest.approx(6.0, rel=1e-12)

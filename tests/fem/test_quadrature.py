@@ -1,0 +1,129 @@
+"""Quadrature rules: exactness degrees, weights, mapping, tensorization."""
+
+import numpy as np
+import pytest
+
+from repro.fem.quadrature import (
+    QuadratureRule,
+    gauss_legendre,
+    gauss_lobatto,
+    min_node_gap,
+    per_axis_rules,
+    tensor_points,
+    tensor_rule,
+)
+
+
+def _poly_integral(k: float) -> float:
+    """Integral of x^k over [-1, 1]."""
+    return 0.0 if k % 2 == 1 else 2.0 / (k + 1)
+
+
+@pytest.mark.parametrize("n", range(1, 12))
+def test_gauss_exact_degree(n):
+    r = gauss_legendre(n)
+    for k in range(2 * n):
+        got = float(np.sum(r.weights * r.points**k))
+        assert got == pytest.approx(_poly_integral(k), abs=1e-12)
+
+
+@pytest.mark.parametrize("n", range(1, 12))
+def test_gauss_not_exact_beyond_degree(n):
+    r = gauss_legendre(n)
+    k = 2 * n
+    got = float(np.sum(r.weights * r.points**k))
+    assert abs(got - _poly_integral(k)) > 1e-8
+
+
+@pytest.mark.parametrize("n", range(2, 12))
+def test_lobatto_exact_degree(n):
+    r = gauss_lobatto(n)
+    for k in range(2 * n - 2):
+        got = float(np.sum(r.weights * r.points**k))
+        assert got == pytest.approx(_poly_integral(k), abs=1e-12)
+
+
+@pytest.mark.parametrize("n", range(2, 10))
+def test_lobatto_includes_endpoints(n):
+    r = gauss_lobatto(n)
+    assert r.points[0] == pytest.approx(-1.0)
+    assert r.points[-1] == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("factory", [gauss_legendre, gauss_lobatto])
+def test_weights_positive_and_sum_to_measure(factory):
+    for n in range(2, 10):
+        r = factory(n)
+        assert np.all(r.weights > 0)
+        assert float(np.sum(r.weights)) == pytest.approx(2.0, abs=1e-13)
+
+
+@pytest.mark.parametrize("factory", [gauss_legendre, gauss_lobatto])
+def test_points_sorted_and_symmetric(factory):
+    for n in range(2, 10):
+        r = factory(n)
+        assert np.all(np.diff(r.points) > 0)
+        np.testing.assert_allclose(r.points, -r.points[::-1], atol=1e-13)
+
+
+def test_invalid_sizes_raise():
+    with pytest.raises(ValueError):
+        gauss_legendre(0)
+    with pytest.raises(ValueError):
+        gauss_lobatto(1)
+
+
+def test_mapped_rule_integrates_on_interval():
+    r = gauss_legendre(6).mapped(1.0, 3.0)
+    got = float(np.sum(r.weights * r.points**3))
+    assert got == pytest.approx((3.0**4 - 1.0) / 4.0, rel=1e-13)
+    with pytest.raises(ValueError):
+        gauss_legendre(3).mapped(2.0, 1.0)
+
+
+def test_integrate_method_matches_manual():
+    r = gauss_legendre(5)
+    vals = np.sin(r.points)
+    assert r.integrate(vals) == pytest.approx(float(np.sum(r.weights * vals)))
+
+
+def test_integrate_with_batch_axis():
+    r = gauss_legendre(4)
+    vals = np.stack([r.points, r.points**2], axis=0)  # (2, n)
+    out = r.integrate(vals, axis=1)
+    assert out.shape == (2,)
+    assert out[1] == pytest.approx(2.0 / 3.0)
+
+
+def test_tensor_rule_2d_exactness():
+    pts, w = tensor_rule([gauss_legendre(3), gauss_legendre(4)])
+    assert pts.shape == (12, 2) and w.shape == (12,)
+    # integral of x^2 y^4 over [-1,1]^2 = (2/3)(2/5)
+    got = float(np.sum(w * pts[:, 0] ** 2 * pts[:, 1] ** 4))
+    assert got == pytest.approx((2 / 3) * (2 / 5), abs=1e-13)
+
+
+def test_tensor_points_c_order():
+    pts = tensor_points([gauss_legendre(2), gauss_legendre(3)])
+    # Last axis varies fastest.
+    assert pts[0, 0] == pts[1, 0] == pts[2, 0]
+    assert pts[0, 1] != pts[1, 1]
+
+
+def test_min_node_gap_decreases_with_order():
+    gaps = [min_node_gap(gauss_lobatto(n)) for n in range(3, 9)]
+    assert all(g2 < g1 for g1, g2 in zip(gaps, gaps[1:]))
+
+
+def test_per_axis_rules_factory():
+    rules = per_axis_rules("lobatto", [3, 4])
+    assert rules[0].n == 3 and rules[1].n == 4
+    with pytest.raises(KeyError):
+        per_axis_rules("simpson", [3])
+
+
+def test_rule_validation():
+    with pytest.raises(ValueError):
+        QuadratureRule(np.zeros((2, 2)), np.zeros(2))
+    with pytest.raises(ValueError):
+        QuadratureRule(np.zeros(3), np.zeros(2))

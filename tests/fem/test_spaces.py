@@ -1,0 +1,187 @@
+"""H1/L2 spaces: numbering, gather/scatter, traces, point evaluation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.fem.mesh import StructuredMesh
+from repro.fem.spaces import H1Space, L2Space
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    x = np.linspace(0, 4, 7)
+    return StructuredMesh.ocean([x], nz=3, depth=lambda xx: 1.0 + 0.2 * np.sin(xx))
+
+
+class TestH1Numbering:
+    def test_ndof_formula(self, mesh):
+        for p in (1, 2, 3, 4):
+            s = H1Space(mesh, p)
+            assert s.ndof == (6 * p + 1) * (3 * p + 1)
+
+    def test_gather_covers_all_dofs(self, mesh):
+        s = H1Space(mesh, 3)
+        assert set(np.unique(s.gather)) == set(range(s.ndof))
+
+    def test_gather_shape(self, mesh):
+        s = H1Space(mesh, 2)
+        assert s.gather.shape == (mesh.n_elements, 9)
+
+    def test_shared_face_nodes(self, mesh):
+        s = H1Space(mesh, 2)
+        # Horizontally adjacent elements share a vertical edge of p+1 nodes.
+        g0 = set(s.gather[mesh.element_index((0, 0))])
+        g1 = set(s.gather[mesh.element_index((1, 0))])
+        assert len(g0 & g1) == 3
+
+    def test_multiplicity(self, mesh):
+        s = H1Space(mesh, 2)
+        mult = s.multiplicity
+        # Interior element-corner nodes belong to 4 elements in 2D.
+        assert mult.max() == 4
+        assert mult.min() == 1
+        assert mult.sum() == mesh.n_elements * s.nloc
+
+    def test_invalid_order(self, mesh):
+        with pytest.raises(ValueError):
+            H1Space(mesh, 0)
+
+
+class TestGatherScatter:
+    def test_roundtrip_weighted_by_multiplicity(self, mesh, rng):
+        s = H1Space(mesh, 3)
+        v = rng.standard_normal(s.ndof)
+        back = s.from_evector_add(s.to_evector(v))
+        np.testing.assert_allclose(back, s.multiplicity * v, atol=1e-13)
+
+    def test_scatter_is_gather_transpose(self, mesh, rng):
+        s = H1Space(mesh, 2)
+        v = rng.standard_normal(s.ndof)
+        e = rng.standard_normal((mesh.n_elements, s.nloc))
+        lhs = float(np.sum(s.to_evector(v) * e))
+        rhs = float(np.sum(v * s.from_evector_add(e)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_batched_columns(self, mesh, rng):
+        s = H1Space(mesh, 2)
+        V = rng.standard_normal((s.ndof, 3))
+        E = s.to_evector(V)
+        assert E.shape == (mesh.n_elements, s.nloc, 3)
+        back = s.from_evector_add(E)
+        np.testing.assert_allclose(back, s.multiplicity[:, None] * V, atol=1e-13)
+
+
+class TestCoordinatesAndTraces:
+    def test_dof_coords_interpolate_linear(self, mesh):
+        s = H1Space(mesh, 3)
+        c = s.dof_coords
+        assert c.shape == (s.ndof, 2)
+        # x-coordinates lie within the mesh bounds
+        lo, hi = mesh.bounding_box()
+        assert c[:, 0].min() >= lo[0] - 1e-12 and c[:, 0].max() <= hi[0] + 1e-12
+
+    def test_axis_node_coords(self, mesh):
+        s = H1Space(mesh, 3)
+        xs = s.axis_node_coords(0)
+        assert xs.shape == (6 * 3 + 1,)
+        assert np.all(np.diff(xs) > 0)
+        assert xs[0] == pytest.approx(0.0) and xs[-1] == pytest.approx(4.0)
+
+    def test_axis_node_coords_curved_raises(self, mesh):
+        s = H1Space(mesh, 2)
+        with pytest.raises(ValueError):
+            s.axis_node_coords(1)  # vertical axis is curved
+
+    def test_bottom_trace(self, mesh):
+        s = H1Space(mesh, 3)
+        tr = s.trace("bottom")
+        assert tr.n == 6 * 3 + 1
+        assert tr.grid_shape == (19,)
+        # trace node depths match the bathymetry polygon
+        np.testing.assert_allclose(
+            tr.coords[:, 1],
+            np.interp(tr.coords[:, 0], np.linspace(0, 4, 7),
+                      -(1.0 + 0.2 * np.sin(np.linspace(0, 4, 7)))),
+            atol=1e-12,
+        )
+
+    def test_surface_trace_flat(self, mesh):
+        s = H1Space(mesh, 2)
+        tr = s.trace("surface")
+        np.testing.assert_allclose(tr.coords[:, 1], 0.0, atol=1e-13)
+
+    def test_boundary_dof_grid_3d(self):
+        m = StructuredMesh.box([1, 1, 1], [2, 3, 2])
+        s = H1Space(m, 2)
+        dofs, shape = s.boundary_dof_grid("west")
+        assert shape == (7, 5)
+        assert dofs.size == 35
+
+
+class TestPointEvaluation:
+    def test_boundary_point_eval_exact(self, mesh):
+        s = H1Space(mesh, 3)
+        c = s.dof_coords
+        f = 2.0 + 0.5 * c[:, 0] - 1.5 * c[:, 1]
+        pts = np.array([[0.7], [2.2], [3.9]])
+        C = s.boundary_point_eval(pts, "bottom")
+        assert sp.issparse(C)
+        depth_interp = np.interp(
+            pts[:, 0], np.linspace(0, 4, 7),
+            1.0 + 0.2 * np.sin(np.linspace(0, 4, 7)),
+        )
+        expected = 2.0 + 0.5 * pts[:, 0] + 1.5 * depth_interp
+        np.testing.assert_allclose(C @ f, expected, atol=1e-10)
+
+    def test_surface_point_eval_exact(self, mesh):
+        s = H1Space(mesh, 3)
+        c = s.dof_coords
+        f = 1.0 + c[:, 0] ** 2  # quadratic in x, exact at order 3 on surface
+        pts = np.array([[1.1], [3.3]])
+        C = s.boundary_point_eval(pts, "surface")
+        np.testing.assert_allclose(C @ f, 1.0 + pts[:, 0] ** 2, atol=1e-10)
+
+    def test_rows_sum_to_one(self, mesh):
+        s = H1Space(mesh, 3)
+        C = s.boundary_point_eval(np.array([[0.4], [3.7]]), "bottom")
+        np.testing.assert_allclose(np.asarray(C.sum(axis=1)).ravel(), 1.0, atol=1e-12)
+
+    def test_invalid_side(self, mesh):
+        s = H1Space(mesh, 2)
+        with pytest.raises(ValueError):
+            s.boundary_point_eval(np.array([[1.0]]), "west")
+
+    def test_interior_point_eval_tensor_mesh(self, rng):
+        m = StructuredMesh.box([2.0, 1.0], [3, 2])
+        s = H1Space(m, 3)
+        c = s.dof_coords
+        f = 1.0 + c[:, 0] - 2 * c[:, 1] + c[:, 0] * c[:, 1]
+        pts = rng.uniform([0, 0], [2, 1], size=(5, 2))
+        C = s.point_eval(pts)
+        expected = 1.0 + pts[:, 0] - 2 * pts[:, 1] + pts[:, 0] * pts[:, 1]
+        np.testing.assert_allclose(C @ f, expected, atol=1e-10)
+
+    def test_interior_point_eval_curved_raises(self, mesh):
+        s = H1Space(mesh, 2)
+        with pytest.raises(ValueError):
+            s.point_eval(np.array([[1.0, -0.5]]))
+
+
+class TestL2Space:
+    def test_ndof(self, mesh):
+        s = L2Space(mesh, 2)
+        assert s.nloc == 9
+        assert s.ndof == mesh.n_elements * 9
+
+    def test_dof_coords_shape(self, mesh):
+        s = L2Space(mesh, 1)
+        assert s.dof_coords.shape == (mesh.n_elements, 4, 2)
+
+    def test_order_zero_allowed(self, mesh):
+        s = L2Space(mesh, 0)
+        assert s.nloc == 1
+
+    def test_negative_order_rejected(self, mesh):
+        with pytest.raises(ValueError):
+            L2Space(mesh, -1)

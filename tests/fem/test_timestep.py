@@ -1,0 +1,139 @@
+"""Linear RK4 stepping: equivalence with classical RK4, exact adjoints, CFL."""
+
+import numpy as np
+import pytest
+
+from repro.fem.timestep import (
+    LinearRK4Workspace,
+    cfl_timestep,
+    rk4_adjoint_slot_pass,
+    rk4_forced_step,
+    rk4_homogeneous_step,
+)
+
+
+def _classical_rk4(A, x, dt, f=None):
+    """Textbook RK4 for x' = A x + f with constant f."""
+    def rhs(v):
+        return A @ v + (f if f is not None else 0.0)
+
+    k1 = rhs(x)
+    k2 = rhs(x + dt / 2 * k1)
+    k3 = rhs(x + dt / 2 * k2)
+    k4 = rhs(x + dt * k3)
+    return x + dt / 6 * (k1 + 2 * k2 + 2 * k3 + k4)
+
+
+@pytest.fixture()
+def system(rng):
+    n = 12
+    A = rng.standard_normal((n, n)) * 0.5
+    return A, (lambda v: A @ v)
+
+
+def test_homogeneous_equals_classical(system, rng):
+    A, apply_L = system
+    x = rng.standard_normal((A.shape[0], 3))
+    dt = 0.07
+    np.testing.assert_allclose(
+        rk4_homogeneous_step(apply_L, x, dt), _classical_rk4(A, x, dt), atol=1e-13
+    )
+
+
+def test_forced_equals_classical(system, rng):
+    A, apply_L = system
+    x = rng.standard_normal((A.shape[0], 2))
+    f = rng.standard_normal((A.shape[0], 2))
+    dt = 0.05
+    np.testing.assert_allclose(
+        rk4_forced_step(apply_L, x, dt, f), _classical_rk4(A, x, dt, f), atol=1e-13
+    )
+
+
+def test_forced_without_forcing_is_homogeneous(system, rng):
+    A, apply_L = system
+    x = rng.standard_normal(A.shape[0])
+    np.testing.assert_allclose(
+        rk4_forced_step(apply_L, x, 0.1, None),
+        rk4_homogeneous_step(apply_L, x, 0.1),
+        atol=1e-14,
+    )
+
+
+def test_step_is_taylor_polynomial(system, rng):
+    A, apply_L = system
+    dt = 0.03
+    n = A.shape[0]
+    P = np.eye(n)
+    term = np.eye(n)
+    for k in range(1, 5):
+        term = term @ (dt * A) / k
+        P = P + term
+    x = rng.standard_normal(n)
+    np.testing.assert_allclose(rk4_homogeneous_step(apply_L, x, dt), P @ x, atol=1e-12)
+
+
+def test_adjoint_pass_exact_transpose(system, rng):
+    A, apply_L = system
+    n = A.shape[0]
+    dt = 0.04
+    apply_LT = lambda v: A.T @ v
+    x = rng.standard_normal(n)
+    lam = rng.standard_normal(n)
+    # <P x, lam> == <x, P^T lam>
+    px = rk4_homogeneous_step(apply_L, x, dt)
+    pt, qt = rk4_adjoint_slot_pass(apply_LT, lam, dt)
+    assert float(px @ lam) == pytest.approx(float(x @ pt), rel=1e-12)
+    # Q identity: x + dt*Q(dtA)(Ax + f) with f=0 -> Q = (P - I)/ (dt A)
+    n_ = A.shape[0]
+    Pm = np.eye(n_)
+    term = np.eye(n_)
+    for k in range(1, 5):
+        term = term @ (dt * A) / k
+        Pm = Pm + term
+    Qm = np.eye(n_) + dt * A / 2 + (dt * A) @ (dt * A) / 6 + (dt * A) @ (dt * A) @ (dt * A) / 24
+    np.testing.assert_allclose(qt, Qm.T @ lam, atol=1e-12)
+
+
+def test_convergence_order_is_four(rng):
+    # Scalar oscillator: x' = i w x equivalent 2x2 rotation.
+    w = 2.0
+    A = np.array([[0.0, -w], [w, 0.0]])
+    apply_L = lambda v: A @ v
+    x0 = np.array([1.0, 0.0])
+    T = 1.0
+    errs = []
+    for nsteps in (20, 40, 80):
+        dt = T / nsteps
+        x = x0.copy()
+        for _ in range(nsteps):
+            x = rk4_homogeneous_step(apply_L, x, dt)
+        exact = np.array([np.cos(w * T), np.sin(w * T)])
+        errs.append(np.linalg.norm(x - exact))
+    orders = [np.log2(errs[i] / errs[i + 1]) for i in range(2)]
+    assert all(o > 3.8 for o in orders)
+
+
+class TestCFL:
+    def test_scaling_with_order(self):
+        dt2 = cfl_timestep(1.0, 2, 1.0)
+        dt4 = cfl_timestep(1.0, 4, 1.0)
+        dt8 = cfl_timestep(1.0, 8, 1.0)
+        assert dt4 < dt2 and dt8 < dt4
+        # ~1/p^2 scaling of the GLL edge gap
+        assert dt8 / dt4 == pytest.approx(0.25, abs=0.15)
+
+    def test_scaling_with_speed_and_size(self):
+        assert cfl_timestep(2.0, 3, 1.0) == pytest.approx(2 * cfl_timestep(1.0, 3, 1.0))
+        assert cfl_timestep(1.0, 3, 2.0) == pytest.approx(0.5 * cfl_timestep(1.0, 3, 1.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cfl_timestep(-1.0, 3, 1.0)
+        with pytest.raises(ValueError):
+            cfl_timestep(1.0, 3, 0.0)
+
+
+def test_workspace_allocation():
+    ws = LinearRK4Workspace.for_state((10, 2))
+    assert ws.v.shape == (10, 2) and ws.t.shape == (10, 2)

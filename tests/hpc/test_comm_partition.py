@@ -1,0 +1,127 @@
+"""Virtual communicator and block partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.comm import VirtualComm
+from repro.hpc.partition import BlockPartition, ProcessGrid, factor_grids
+
+
+class TestVirtualComm:
+    def test_sendrecv_returns_copy(self):
+        c = VirtualComm(2)
+        a = np.arange(4.0)
+        b = c.sendrecv(0, 1, a)
+        b[0] = 99.0
+        assert a[0] == 0.0
+
+    def test_byte_accounting(self):
+        c = VirtualComm(3)
+        c.sendrecv(0, 1, np.zeros(10), tag="x")
+        c.sendrecv(1, 2, np.zeros(5), tag="y")
+        assert c.total_bytes == 15 * 8
+        assert c.total_messages == 2
+        assert c.bytes_by_tag() == {"x": 80, "y": 40}
+
+    def test_per_rank_and_max(self):
+        c = VirtualComm(2)
+        c.sendrecv(0, 1, np.zeros(10))
+        c.sendrecv(0, 1, np.zeros(10))
+        c.sendrecv(1, 0, np.zeros(3))
+        sent = c.bytes_sent_by_rank()
+        assert sent[0] == 160 and sent[1] == 24
+        assert c.max_rank_bytes() == 160
+
+    def test_allreduce_accounting(self):
+        c = VirtualComm(4)
+        c.allreduce_bytes(100)
+        # recursive doubling: 2 rounds x 2 pairs x 2 directions
+        assert c.total_messages == 8
+        assert c.total_bytes == 800
+
+    def test_invalid_ranks(self):
+        c = VirtualComm(2)
+        with pytest.raises(ValueError):
+            c.sendrecv(0, 5, np.zeros(1))
+        with pytest.raises(ValueError):
+            VirtualComm(0)
+
+    def test_reset(self):
+        c = VirtualComm(2)
+        c.sendrecv(0, 1, np.zeros(1))
+        c.reset()
+        assert c.total_bytes == 0 and c.total_messages == 0
+
+
+class TestProcessGrid:
+    def test_coords_roundtrip(self):
+        g = ProcessGrid((3, 4))
+        for r in g.ranks():
+            assert g.rank_of(g.coords(r)) == r
+
+    def test_neighbors(self):
+        g = ProcessGrid((2, 3))
+        assert g.neighbor(0, 0, -1) is None
+        assert g.neighbor(0, 0, +1) == 3
+        assert g.neighbor(0, 1, +1) == 1
+        assert g.neighbor(5, 1, +1) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProcessGrid((0, 2))
+        g = ProcessGrid((2,))
+        with pytest.raises(ValueError):
+            g.coords(5)
+
+
+class TestBlockPartition:
+    def test_balanced_coverage(self):
+        p = BlockPartition((7, 5), ProcessGrid((3, 2)))
+        seen = np.zeros(35, dtype=int)
+        for r in p.grid.ranks():
+            seen[p.local_elements(r)] += 1
+        np.testing.assert_array_equal(seen, 1)
+
+    def test_balance_within_one_per_axis(self):
+        p = BlockPartition((7, 5), ProcessGrid((3, 2)))
+        # Balanced split: per-axis local extents differ by at most one.
+        for axis in range(2):
+            extents = {p.local_shape(r)[axis] for r in p.grid.ranks()}
+            assert max(extents) - min(extents) <= 1
+        counts = [int(np.prod(p.local_shape(r))) for r in p.grid.ranks()]
+        assert p.max_local_elements() == max(counts)
+
+    def test_ranges_contiguous(self):
+        p = BlockPartition((10,), ProcessGrid((3,)))
+        stops = [p.element_ranges(r)[0] for r in range(3)]
+        assert stops[0] == (0, 4) and stops[1] == (4, 7) and stops[2] == (7, 10)
+
+    def test_interface_plane_nodes(self):
+        p = BlockPartition((4, 4), ProcessGrid((2, 2)))
+        # order-3 plane between x-blocks: (2*3+1) nodes in y
+        assert p.interface_plane_nodes(0, axis=0, order=3) == 7
+
+    def test_halo_bytes_interior_vs_corner(self):
+        p = BlockPartition((6, 6), ProcessGrid((3, 3)))
+        interior = p.halo_bytes_per_apply(4, order=2)
+        corner = p.halo_bytes_per_apply(0, order=2)
+        assert interior > corner
+        assert p.messages_per_apply(4) == 8
+        assert p.messages_per_apply(0) == 4
+
+    def test_rejects_overdecomposition(self):
+        with pytest.raises(ValueError):
+            BlockPartition((2, 2), ProcessGrid((3, 1)))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            BlockPartition((4, 4), ProcessGrid((2,)))
+
+
+def test_factor_grids():
+    fs = factor_grids(12, 2)
+    assert (3, 4) in fs and (12, 1) in fs and (1, 12) in fs
+    assert all(a * b == 12 for a, b in fs)
+    assert factor_grids(5, 1) == [(5,)]
+    fs3 = factor_grids(8, 3)
+    assert (2, 2, 2) in fs3

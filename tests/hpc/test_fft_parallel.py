@@ -1,0 +1,91 @@
+"""Distributed FFT matvec: exactness across grids, autotuning."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.fft_parallel import (
+    DistributedFFTMatvec,
+    autotune_grid,
+    modeled_matvec_time,
+)
+from repro.hpc.machine import EL_CAPITAN, PERLMUTTER
+from repro.inference.toeplitz import BlockToeplitzOperator
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    rng = np.random.default_rng(5)
+    return rng.standard_normal((9, 8, 12))
+
+
+@pytest.fixture(scope="module")
+def serial(kernel):
+    return BlockToeplitzOperator(kernel)
+
+
+@pytest.mark.parametrize("grid", [(1, 1), (2, 2), (4, 3), (2, 6), (8, 1), (1, 12)])
+def test_matvec_exact_all_grids(kernel, serial, grid, rng):
+    dist = DistributedFFTMatvec(kernel, *grid)
+    m = rng.standard_normal((9, 12, 2))
+    np.testing.assert_allclose(dist.matvec(m), serial.matvec(m), atol=1e-12)
+
+
+@pytest.mark.parametrize("grid", [(2, 2), (4, 3), (8, 1)])
+def test_rmatvec_exact(kernel, serial, grid, rng):
+    dist = DistributedFFTMatvec(kernel, *grid)
+    d = rng.standard_normal((9, 8))
+    np.testing.assert_allclose(dist.rmatvec(d), serial.rmatvec(d), atol=1e-12)
+
+
+def test_communication_grows_with_columns(kernel, rng):
+    m = rng.standard_normal((9, 12))
+    b = []
+    for pc in (1, 2, 4):
+        dist = DistributedFFTMatvec(kernel, 2, pc)
+        dist.matvec(m)
+        b.append(dist.comm.total_bytes)
+    assert b[0] == 0
+    assert b[1] < b[2]
+
+
+def test_single_rank_no_comm(kernel, rng):
+    dist = DistributedFFTMatvec(kernel, 1, 1)
+    dist.matvec(rng.standard_normal((9, 12)))
+    dist.rmatvec(rng.standard_normal((9, 8)))
+    assert dist.comm.total_bytes == 0
+
+
+def test_invalid_grid(kernel):
+    with pytest.raises(ValueError):
+        DistributedFFTMatvec(kernel, 9, 1)  # more row ranks than rows
+    with pytest.raises(ValueError):
+        DistributedFFTMatvec(kernel, 0, 1)
+
+
+class TestAutotune:
+    def test_matches_brute_force(self):
+        nt, no, ni, nranks = 64, 40, 5000, 16
+        best, t_best = autotune_grid(nt, no, ni, nranks, EL_CAPITAN)
+        from repro.hpc.partition import factor_grids
+
+        for pr, pc in factor_grids(nranks, 2):
+            if pr > no or pc > ni:
+                continue
+            t = modeled_matvec_time(nt, no, ni, pr, pc, EL_CAPITAN)
+            assert t >= t_best - 1e-15
+
+    def test_aspect_ratio_shifts_optimum(self):
+        # Tall kernels favor row splits; wide kernels favor column splits.
+        (pr_tall, pc_tall), _ = autotune_grid(32, 4096, 64, 16, PERLMUTTER)
+        (pr_wide, pc_wide), _ = autotune_grid(32, 64, 4096, 16, PERLMUTTER)
+        assert pr_tall >= pr_wide
+        assert pc_wide >= pc_tall
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ValueError):
+            autotune_grid(4, 2, 2, 64, EL_CAPITAN)
+
+    def test_modeled_time_positive_and_monotone_in_k(self):
+        t1 = modeled_matvec_time(64, 100, 1000, 2, 2, EL_CAPITAN, k=1)
+        t4 = modeled_matvec_time(64, 100, 1000, 2, 2, EL_CAPITAN, k=4)
+        assert 0 < t1 < t4

@@ -1,0 +1,79 @@
+"""Machine specs and Table II configurations."""
+
+import pytest
+
+from repro.hpc.machine import (
+    ALL_MACHINES,
+    ALPS,
+    DOF_PER_ELEMENT,
+    EL_CAPITAN,
+    FRONTERA,
+    PERLMUTTER,
+    table2_strong_series,
+    table2_weak_series,
+)
+
+
+class TestSpecs:
+    def test_el_capitan_full_system(self):
+        assert EL_CAPITAN.total_gpus == 44_544
+        # 2.73 EFLOP/s peak (Section VI-A)
+        assert EL_CAPITAN.peak_eflops == pytest.approx(2.73, rel=0.01)
+
+    def test_alps_peak(self):
+        # 574.8 PFLOP/s
+        assert ALPS.peak_eflops == pytest.approx(0.5748, rel=0.01)
+        assert ALPS.total_gpus == 10_752
+
+    def test_perlmutter_peak(self):
+        # 59.6 PFLOP/s
+        assert PERLMUTTER.peak_eflops == pytest.approx(0.0596, rel=0.01)
+
+    def test_all_machines_positive(self):
+        for m in ALL_MACHINES:
+            assert m.solver_gdofs > 0 and m.link_beta_gbs > 0
+
+
+class TestTable2:
+    def test_el_capitan_endpoints(self):
+        w = table2_weak_series(EL_CAPITAN)
+        assert w[0].gpus == 340 and w[0].grid == (5, 17, 4)
+        assert w[0].elements == 1_693_450_240
+        assert w[-1].gpus == 43_520
+        assert w[-1].elements == 216_761_630_720
+        assert w[-1].grid == (80, 136, 4)
+        # 55.5 T DOF at the top
+        assert w[-1].dof == pytest.approx(55.5e12, rel=0.01)
+        # fixed elements/GPU across the weak series
+        assert len({c.elements_per_gpu for c in w}) == 1
+        assert w[0].elements_per_gpu == 4_980_736
+
+    def test_alps_endpoints(self):
+        w = table2_weak_series(ALPS)
+        assert w[0].gpus == 144 and w[-1].gpus == 9_216
+        assert w[0].elements == 566_231_040
+        assert w[0].elements_per_gpu == 3_932_160
+        # ~1.01 B DOF per GPU
+        assert w[-1].dof_per_gpu == pytest.approx(1.01e9, rel=0.01)
+
+    def test_perlmutter_endpoints(self):
+        w = table2_weak_series(PERLMUTTER)
+        assert w[0].gpus == 188 and w[-1].gpus == 6_016
+        assert w[0].elements_per_gpu == 1_572_864
+        # 403 M DOF/GPU
+        assert w[-1].dof_per_gpu == pytest.approx(403e6, rel=0.01)
+
+    def test_strong_series_fixed_problem(self):
+        s = table2_strong_series(EL_CAPITAN)
+        assert len({c.elements for c in s}) == 1
+        # 38,912 elements/GPU at the strong-scaling limit (Table II)
+        assert s[-1].elements_per_gpu == 38_912
+
+    def test_frontera_strong_base_64_nodes(self):
+        s = table2_strong_series(FRONTERA)
+        assert s[0].nodes == 64 and s[-1].nodes == 8_192
+        assert s[-1].gpus // s[0].gpus == 128
+
+    def test_dof_per_element_matches_paper(self):
+        # order-4 H1 pressure + 3 x order-3 L2 velocity = 256 DOF/element
+        assert DOF_PER_ELEMENT == 4**3 + 3 * 4**3

@@ -1,0 +1,140 @@
+"""Performance model and the Fig. 5/6 scaling study against paper targets."""
+
+import numpy as np
+import pytest
+
+from repro.hpc.machine import (
+    ALPS,
+    EL_CAPITAN,
+    FRONTERA,
+    PERLMUTTER,
+    table2_weak_series,
+)
+from repro.hpc.perfmodel import KERNEL_LADDER, NetworkModel, PerformanceModel
+from repro.hpc.scaling import ScalingStudy
+
+
+class TestNetworkModel:
+    def test_contention_grows_with_ranks(self):
+        nm = NetworkModel(EL_CAPITAN)
+        assert nm.contention_factor(256) == 1.0
+        assert nm.contention_factor(43_520) > nm.contention_factor(4_352)
+
+    def test_halo_time_components(self):
+        nm = NetworkModel(EL_CAPITAN)
+        t_small = nm.halo_time(1e6, 12, 256)
+        t_big = nm.halo_time(1e8, 12, 256)
+        assert t_big > t_small
+        # latency floor
+        assert nm.halo_time(0, 12, 256) == pytest.approx(12 * 2e-6)
+
+    def test_sync_time(self):
+        nm = NetworkModel(EL_CAPITAN)
+        assert nm.sync_time(1) == 0.0
+        assert nm.sync_time(4096) > nm.sync_time(64)
+
+
+class TestPerformanceModel:
+    def test_el_capitan_base_runtime(self):
+        # Fig. 5: ~0.49 s/step at 1.28 B DOF/GPU.
+        pm = PerformanceModel(EL_CAPITAN)
+        cfg = table2_weak_series(EL_CAPITAN)[0]
+        t = pm.time_per_step(cfg)
+        assert t == pytest.approx(0.49, rel=0.15)
+
+    def test_kernel_term_dominates_at_weak_scale(self):
+        pm = PerformanceModel(EL_CAPITAN)
+        cfg = table2_weak_series(EL_CAPITAN)[0]
+        b = pm.breakdown(cfg)
+        assert b["kernel"] > 0.9 * b["total"]
+        assert b["total"] == pytest.approx(
+            b["kernel"] + b["halo"] + b["sync"], rel=1e-12
+        )
+
+    def test_local_block_is_thin_in_z(self):
+        pm = PerformanceModel(EL_CAPITAN)
+        bx, by, bz = pm.local_block(4_980_736)
+        assert bz <= 16
+        assert bx * by * bz == pytest.approx(4_980_736, rel=0.05)
+
+    def test_kernel_ladder_ordering(self):
+        # Fig. 7: initial << shared < optimized < fused; MF slower than fused.
+        by_name = {k.name: k for k in KERNEL_LADDER}
+        assert by_name["Initial PA"].gdofs_el_capitan < 0.2 * by_name["Shared PA"].gdofs_el_capitan
+        assert by_name["Shared PA"].gdofs_el_capitan < by_name["Optimized PA"].gdofs_el_capitan
+        assert by_name["Optimized PA"].gdofs_el_capitan < by_name["Fused PA"].gdofs_el_capitan
+        assert by_name["Fused MF"].gdofs_el_capitan < by_name["Fused PA"].gdofs_el_capitan
+        # MF: higher arithmetic intensity, higher FLOP/s, lower DOF/s.
+        assert by_name["Fused MF"].arithmetic_intensity() > by_name["Fused PA"].arithmetic_intensity()
+        assert by_name["Fused MF"].tflops_at(by_name["Fused MF"].gdofs_el_capitan) > \
+            by_name["Fused PA"].tflops_at(by_name["Fused PA"].gdofs_el_capitan)
+
+
+class TestScalingCurves:
+    """The Fig. 5 targets; endpoints are calibrated, intermediates predicted."""
+
+    def test_el_capitan_weak_92(self):
+        rows = ScalingStudy(EL_CAPITAN).weak()
+        assert rows[0].efficiency == 1.0
+        assert rows[-1].efficiency == pytest.approx(0.92, abs=0.015)
+        effs = [r.efficiency for r in rows]
+        assert all(b <= a + 1e-12 for a, b in zip(effs, effs[1:]))
+
+    def test_el_capitan_strong_79(self):
+        rows = ScalingStudy(EL_CAPITAN).strong()
+        assert rows[-1].efficiency == pytest.approx(0.79, abs=0.02)
+        # ~100x speedup over 128x GPUs (paper: 100.9)
+        assert rows[-1].speedup == pytest.approx(100.9, rel=0.05)
+
+    def test_alps_targets(self):
+        st = ScalingStudy(ALPS)
+        assert st.weak()[-1].efficiency == pytest.approx(0.99, abs=0.01)
+        assert st.strong()[-1].efficiency == pytest.approx(0.91, abs=0.015)
+
+    def test_perlmutter_targets(self):
+        st = ScalingStudy(PERLMUTTER)
+        assert st.weak()[-1].efficiency == pytest.approx(1.0, abs=0.01)
+        assert st.strong()[-1].efficiency == pytest.approx(0.92, abs=0.015)
+
+    def test_frontera_targets(self):
+        st = ScalingStudy(FRONTERA)
+        assert st.weak()[-1].efficiency == pytest.approx(0.95, abs=0.01)
+        assert st.strong()[-1].efficiency == pytest.approx(0.70, abs=0.02)
+
+    def test_strong_efficiency_below_weak(self):
+        for m in (EL_CAPITAN, ALPS, PERLMUTTER):
+            st = ScalingStudy(m)
+            assert st.strong()[-1].efficiency < st.weak()[-1].efficiency
+
+    def test_report_renders(self):
+        rep = ScalingStudy(EL_CAPITAN).report()
+        assert "weak scaling" in rep and "strong scaling" in rep
+        assert "ms/step" in rep
+
+
+class TestFigure6:
+    def test_solver_dominates_weak_limit(self):
+        # Fig. 6: adjoint solve ~99% of runtime in the weak limit.
+        st = ScalingStudy(PERLMUTTER)
+        cfg = table2_weak_series(PERLMUTTER)[-1]
+        b = st.figure6_breakdown(cfg)
+        assert b["solver_share"] > 0.97
+
+    def test_overheads_grow_in_strong_limit(self):
+        from repro.hpc.machine import table2_strong_series
+
+        st = ScalingStudy(PERLMUTTER)
+        weak_cfg = table2_weak_series(PERLMUTTER)[-1]
+        strong_cfg = table2_strong_series(PERLMUTTER)[-1]
+        bw = st.figure6_breakdown(weak_cfg)
+        bs = st.figure6_breakdown(strong_cfg)
+        # solver share shrinks but still dominates (paper: 99% -> 95%)
+        assert bs["solver_share"] < bw["solver_share"]
+        assert bs["solver_share"] > 0.85
+
+    def test_components_positive(self):
+        st = ScalingStudy(EL_CAPITAN)
+        cfg = table2_weak_series(EL_CAPITAN)[0]
+        b = st.figure6_breakdown(cfg)
+        for key in ("Initialization", "Setup", "Adjoint p2o", "I/O"):
+            assert b[key] > 0

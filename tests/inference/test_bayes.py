@@ -1,0 +1,177 @@
+"""Phases 2-4 against dense linear algebra: K, SMW, MAP, goal-oriented."""
+
+import numpy as np
+import pytest
+
+from repro.inference.bayes import ToeplitzBayesianInversion
+from repro.inference.noise import NoiseModel
+from repro.inference.prior import BiLaplacianPrior, SpatioTemporalPrior
+from repro.inference.toeplitz import BlockToeplitzOperator
+
+
+class TestDataSpaceHessian:
+    def test_K_fft_matches_dense_formula(self, inversion2d, dense_reference, observed2d):
+        _, noise, _ = observed2d
+        K_dense = (
+            dense_reference["Fd"]
+            @ dense_reference["Gfull"]
+            @ dense_reference["Fd"].T
+            + np.diag(noise.flat_variance())
+        )
+        np.testing.assert_allclose(inversion2d.K, K_dense, atol=1e-9 * np.abs(K_dense).max())
+
+    def test_K_fft_equals_direct(self, F2d, prior2d, observed2d):
+        _, noise, _ = observed2d
+        inv = ToeplitzBayesianInversion(F2d, prior2d, noise)
+        K_fft = inv.assemble_data_space_hessian(method="fft", chunk=13)
+        K_dir = ToeplitzBayesianInversion(
+            F2d, prior2d, noise
+        ).assemble_data_space_hessian(method="direct")
+        np.testing.assert_allclose(K_fft, K_dir, atol=1e-9 * np.abs(K_dir).max())
+
+    def test_K_symmetric_pd(self, inversion2d):
+        K = inversion2d.K
+        np.testing.assert_allclose(K, K.T, atol=0)
+        assert np.linalg.eigvalsh(K).min() > 0
+
+    def test_solve_K(self, inversion2d, rng):
+        b = rng.standard_normal(inversion2d.K.shape[0])
+        x = inversion2d.solve_K(b)
+        np.testing.assert_allclose(inversion2d.K @ x, b, atol=1e-8 * np.abs(b).max())
+
+    def test_cholesky_lower_factorizes(self, inversion2d):
+        L = inversion2d.cholesky_lower
+        np.testing.assert_allclose(L @ L.T, inversion2d.K, atol=1e-9 * np.abs(inversion2d.K).max())
+        assert np.allclose(L, np.tril(L))
+
+    def test_hessian_data_action_matches_K(self, inversion2d, rng):
+        d = rng.standard_normal((inversion2d.nt, inversion2d.nd))
+        lhs = inversion2d.hessian_data_action(d).reshape(-1)
+        rhs = inversion2d.K @ d.reshape(-1)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-9 * np.abs(rhs).max())
+
+    def test_direct_rejects_temporal_prior(self, F2d, observed2d):
+        _, noise, _ = observed2d
+        sp = BiLaplacianPrior.from_correlation(
+            [np.linspace(0, 1, F2d.n_in)], 0.3, 0.3
+        )
+        prior_t = SpatioTemporalPrior(sp, F2d.nt, temporal_rho=0.5)
+        inv = ToeplitzBayesianInversion(F2d, prior_t, noise)
+        with pytest.raises(ValueError):
+            inv._gram_direct(F2d, F2d)
+        # ... but the fft route handles it
+        K = inv.assemble_data_space_hessian(method="fft", chunk=29)
+        assert np.linalg.eigvalsh(K).min() > 0
+
+
+class TestMAP:
+    def test_map_matches_dense_solve(self, inversion2d, dense_reference, observed2d):
+        _, _, d_obs = observed2d
+        m_map = inversion2d.infer(d_obs)
+        ref = dense_reference
+        b = ref["Fd"].T @ ref["Gn_inv"] @ d_obs.reshape(-1)
+        m_dense = np.linalg.solve(ref["H"], b)
+        np.testing.assert_allclose(
+            m_map.reshape(-1), m_dense, atol=1e-8 * np.abs(m_dense).max()
+        )
+
+    def test_map_zero_data(self, inversion2d):
+        m = inversion2d.infer(np.zeros((inversion2d.nt, inversion2d.nd)))
+        np.testing.assert_allclose(m, 0.0, atol=1e-14)
+
+    def test_map_optimality(self, inversion2d, observed2d, rng):
+        # The MAP minimizes the regularized misfit: perturbations increase it.
+        _, noise, d_obs = observed2d
+        inv = inversion2d
+        m_map = inv.infer(d_obs)
+
+        def objective(m):
+            r = inv.F.matvec(m) - d_obs
+            misfit = 0.5 * float(np.sum(r**2 / noise.variance))
+            reg = 0.5 * float(np.sum(m * inv.prior.apply_inverse(m)))
+            return misfit + reg
+
+        j0 = objective(m_map)
+        for _ in range(3):
+            dm = rng.standard_normal(m_map.shape)
+            dm *= 1e-3 * np.linalg.norm(m_map) / np.linalg.norm(dm)
+            assert objective(m_map + dm) > j0
+
+    def test_shape_validation(self, inversion2d):
+        with pytest.raises(ValueError):
+            inversion2d.infer(np.zeros((2, 2)))
+
+
+class TestGoalOriented:
+    def test_qoi_covariance_matches_dense(self, inversion2d, Fq2d, dense_reference):
+        cov = inversion2d.qoi_covariance
+        Fqd = Fq2d.dense()
+        ref = Fqd @ dense_reference["Gpost"] @ Fqd.T
+        np.testing.assert_allclose(cov, ref, atol=1e-8 * np.abs(ref).max())
+
+    def test_qoi_covariance_psd(self, inversion2d):
+        ev = np.linalg.eigvalsh(inversion2d.qoi_covariance)
+        assert ev.min() > -1e-10 * max(ev.max(), 1e-300)
+
+    def test_posterior_shrinks_prior_qoi_variance(self, inversion2d):
+        # Var_post(q) <= Var_prior(q) pointwise on the diagonal.
+        dpost = np.diag(inversion2d.qoi_covariance)
+        dprior = np.diag(inversion2d.Pq)
+        assert np.all(dpost <= dprior + 1e-12)
+
+    def test_q_map_consistency(self, inversion2d, Fq2d, observed2d):
+        # q_map == Fq m_map (two routes to the same prediction)
+        _, _, d_obs = observed2d
+        m_map = inversion2d.infer(d_obs)
+        fc = inversion2d.predict(d_obs)
+        np.testing.assert_allclose(
+            fc.mean, Fq2d.matvec(m_map), atol=1e-9 * np.abs(fc.mean).max()
+        )
+
+    def test_gram_fft_equals_direct_for_B(self, inversion2d, F2d, Fq2d):
+        B_fft = inversion2d._gram_fft(F2d, Fq2d, chunk=7)
+        B_dir = inversion2d._gram_direct(F2d, Fq2d)
+        np.testing.assert_allclose(B_fft, B_dir, atol=1e-9 * np.abs(B_dir).max())
+
+    def test_requires_phases_in_order(self, F2d, Fq2d, prior2d, observed2d):
+        _, noise, d_obs = observed2d
+        inv = ToeplitzBayesianInversion(F2d, prior2d, noise, Fq=Fq2d)
+        with pytest.raises(RuntimeError):
+            inv.infer(d_obs)
+        with pytest.raises(RuntimeError):
+            inv.assemble_goal_oriented()
+        inv.assemble_data_space_hessian(method="direct")
+        with pytest.raises(RuntimeError):
+            inv.predict(d_obs)
+
+    def test_no_fq_rejected(self, F2d, prior2d, observed2d):
+        _, noise, _ = observed2d
+        inv = ToeplitzBayesianInversion(F2d, prior2d, noise)
+        inv.assemble_data_space_hessian(method="direct")
+        with pytest.raises(RuntimeError):
+            inv.assemble_goal_oriented()
+
+
+class TestPosteriorAction:
+    def test_smw_identity(self, inversion2d, dense_reference, rng):
+        # Gamma_post v computed via SMW equals the dense inverse-Hessian.
+        v = rng.standard_normal((inversion2d.nt, inversion2d.nm))
+        got = inversion2d.posterior_covariance_action(v).reshape(-1)
+        ref = dense_reference["Gpost"] @ v.reshape(-1)
+        np.testing.assert_allclose(got, ref, atol=1e-8 * np.abs(ref).max())
+
+    def test_report_keys(self, inversion2d):
+        rep = inversion2d.report()
+        assert rep["K_bytes"] > 0 and rep["p2o_kernel_bytes"] > 0
+
+
+class TestValidation:
+    def test_dimension_mismatches(self, F2d, prior2d, observed2d):
+        _, noise, _ = observed2d
+        sp = BiLaplacianPrior.from_correlation([np.linspace(0, 1, 5)], 0.3, 0.3)
+        bad_prior = SpatioTemporalPrior(sp, F2d.nt)
+        with pytest.raises(ValueError):
+            ToeplitzBayesianInversion(F2d, bad_prior, noise)
+        bad_noise = NoiseModel(0.1, F2d.nt + 1, F2d.n_out)
+        with pytest.raises(ValueError):
+            ToeplitzBayesianInversion(F2d, prior2d, bad_noise)

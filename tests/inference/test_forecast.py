@@ -1,0 +1,97 @@
+"""QoI forecasts: intervals, coverage, exceedance, joint sampling."""
+
+import numpy as np
+import pytest
+
+from repro.inference.forecast import QoIForecast
+
+
+@pytest.fixture()
+def forecast(rng):
+    nt, nq = 8, 3
+    mean = rng.standard_normal((nt, nq))
+    A = rng.standard_normal((nt * nq, nt * nq))
+    cov = A @ A.T / (nt * nq) + 0.05 * np.eye(nt * nq)
+    return QoIForecast(times=np.arange(1.0, nt + 1), mean=mean, covariance=cov)
+
+
+class TestIntervals:
+    def test_symmetric_about_mean(self, forecast):
+        lo, hi = forecast.credible_interval(0.9)
+        np.testing.assert_allclose(0.5 * (lo + hi), forecast.mean, atol=1e-12)
+
+    def test_width_grows_with_level(self, forecast):
+        lo68, hi68 = forecast.credible_interval(0.68)
+        lo95, hi95 = forecast.credible_interval(0.95)
+        assert np.all(hi95 - lo95 > hi68 - lo68)
+
+    def test_95_width_is_392_sigma(self, forecast):
+        lo, hi = forecast.credible_interval(0.95)
+        np.testing.assert_allclose(hi - lo, 2 * 1.959964 * forecast.std(), rtol=1e-5)
+
+    def test_invalid_level(self, forecast):
+        with pytest.raises(ValueError):
+            forecast.credible_interval(1.5)
+
+
+class TestCoverage:
+    def test_mean_always_covered(self, forecast):
+        assert forecast.coverage(forecast.mean, 0.5) == 1.0
+
+    def test_far_truth_not_covered(self, forecast):
+        truth = forecast.mean + 100.0 * (forecast.std() + 1.0)
+        assert forecast.coverage(truth, 0.95) == 0.0
+
+    def test_gaussian_truth_calibrated(self, forecast, rng):
+        # Draws from the forecast itself must be covered ~level of the time.
+        draws = forecast.sample(rng, k=300)
+        covs = [forecast.coverage(draws[:, :, i], 0.9) for i in range(300)]
+        assert np.mean(covs) == pytest.approx(0.9, abs=0.05)
+
+    def test_shape_mismatch(self, forecast):
+        with pytest.raises(ValueError):
+            forecast.coverage(np.zeros((2, 2)))
+
+
+class TestExceedance:
+    def test_monotone_in_threshold(self, forecast):
+        p1 = forecast.exceedance_probability(0.0)
+        p2 = forecast.exceedance_probability(1.0)
+        assert np.all(p2 <= p1 + 1e-12)
+
+    def test_half_at_mean(self, forecast):
+        j = 0
+        thr = float(forecast.mean[3, j])
+        p = forecast.exceedance_probability(thr)
+        assert p[3, j] == pytest.approx(0.5, abs=1e-9)
+
+    def test_bounds(self, forecast):
+        p = forecast.exceedance_probability(0.2)
+        assert np.all((p >= 0) & (p <= 1))
+
+
+class TestAccessors:
+    def test_location_series(self, forecast):
+        t, m, s = forecast.location_series(1)
+        assert t.shape == (8,) and m.shape == (8,) and s.shape == (8,)
+        np.testing.assert_array_equal(m, forecast.mean[:, 1])
+        with pytest.raises(ValueError):
+            forecast.location_series(99)
+
+    def test_max_height_summary(self, forecast):
+        np.testing.assert_allclose(
+            forecast.max_height_summary(), forecast.mean.max(axis=0)
+        )
+
+    def test_sample_statistics(self, forecast, rng):
+        draws = forecast.sample(rng, k=4000)
+        emp_mean = draws.mean(axis=2)
+        np.testing.assert_allclose(
+            emp_mean, forecast.mean, atol=5 * forecast.std().max() / np.sqrt(4000)
+        )
+        emp_std = draws.std(axis=2)
+        np.testing.assert_allclose(emp_std, forecast.std(), rtol=0.12)
+
+    def test_covariance_shape_validation(self):
+        with pytest.raises(ValueError):
+            QoIForecast(np.arange(3.0), np.zeros((3, 2)), np.eye(5))

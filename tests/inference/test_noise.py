@@ -1,0 +1,88 @@
+"""Noise models: scaling conventions, whitening, likelihood, sampling."""
+
+import numpy as np
+import pytest
+
+from repro.inference.noise import NoiseModel
+
+
+class TestConstruction:
+    def test_scalar(self):
+        n = NoiseModel(0.1, 4, 3)
+        assert n.sigma.shape == (4, 3)
+        np.testing.assert_allclose(n.sigma, 0.1)
+        assert n.n == 12
+
+    def test_per_sensor(self):
+        n = NoiseModel(np.array([0.1, 0.2, 0.3]), 5, 3)
+        np.testing.assert_allclose(n.sigma[:, 1], 0.2)
+
+    def test_full_array(self, rng):
+        s = np.abs(rng.standard_normal((4, 3))) + 0.1
+        n = NoiseModel(s, 4, 3)
+        np.testing.assert_allclose(n.sigma, s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NoiseModel(-0.1, 3, 2)
+        with pytest.raises(ValueError):
+            NoiseModel(np.array([0.1, 0.2]), 3, 3)
+        with pytest.raises(ValueError):
+            NoiseModel(np.zeros((3, 3)), 3, 3)
+
+
+class TestRelative:
+    def test_per_sensor_rms_scaling(self, rng):
+        d = np.zeros((100, 2))
+        d[:, 0] = 10.0 * np.sin(np.linspace(0, 9, 100))
+        d[:, 1] = 0.5 * np.sin(np.linspace(0, 9, 100))
+        n = NoiseModel.relative(d, 0.01)
+        rms0 = np.sqrt(np.mean(d[:, 0] ** 2))
+        assert n.sigma[0, 0] == pytest.approx(0.01 * rms0, rel=1e-12)
+        # weak sensor gets the floor (global RMS based)
+        assert n.sigma[0, 1] >= 0.01 * 0.5 * rms0 / 2
+
+    def test_floor_for_silent_sensor(self):
+        d = np.zeros((10, 2))
+        d[:, 0] = 1.0
+        n = NoiseModel.relative(d, 0.01)
+        assert np.all(n.sigma[:, 1] > 0)
+
+    def test_snr(self):
+        d = np.ones((50, 1))
+        n = NoiseModel.relative(d, 0.01)
+        assert n.snr_db(d) == pytest.approx(40.0, abs=0.1)
+
+
+class TestOperations:
+    def test_whiten_unit_variance(self, rng):
+        n = NoiseModel(np.array([0.5, 2.0]), 2000, 2)
+        eps = n.sample(rng)
+        w = n.whiten(eps)
+        assert np.std(w) == pytest.approx(1.0, abs=0.05)
+
+    def test_apply_inverse(self, rng):
+        n = NoiseModel(0.2, 3, 2)
+        r = rng.standard_normal((3, 2))
+        np.testing.assert_allclose(n.apply_inverse(r), r / 0.04, atol=1e-13)
+
+    def test_flat_variance_time_major(self):
+        n = NoiseModel(np.array([0.1, 0.2]), 2, 2)
+        fv = n.flat_variance()
+        np.testing.assert_allclose(fv, [0.01, 0.04, 0.01, 0.04])
+
+    def test_log_likelihood_maximized_at_truth(self, rng):
+        n = NoiseModel(0.1, 5, 2)
+        d = rng.standard_normal((5, 2))
+        assert n.log_likelihood(d, d) == 0.0
+        assert n.log_likelihood(d, d + 0.5) < 0.0
+
+    def test_sample_batched(self, rng):
+        n = NoiseModel(0.3, 4, 2)
+        s = n.sample(rng, k=5)
+        assert s.shape == (4, 2, 5)
+
+    def test_add_to(self, rng):
+        n = NoiseModel(1e-12, 3, 2)
+        d = rng.standard_normal((3, 2))
+        np.testing.assert_allclose(n.add_to(d, rng), d, atol=1e-10)

@@ -1,0 +1,91 @@
+"""Posterior machinery: exact variances and Matheron sampling statistics."""
+
+import numpy as np
+import pytest
+
+from repro.inference.posterior import (
+    PosteriorSampler,
+    posterior_displacement_variance,
+    posterior_pointwise_variance,
+)
+
+
+class TestPointwiseVariance:
+    def test_matches_dense_diagonal(self, inversion2d, dense_reference):
+        diag = np.diag(dense_reference["Gpost"]).reshape(
+            inversion2d.nt, inversion2d.nm
+        )
+        for slot in (0, 4, inversion2d.nt - 1):
+            var = posterior_pointwise_variance(inversion2d, slot, chunk=7)
+            np.testing.assert_allclose(var, diag[slot], atol=1e-9 * diag.max())
+
+    def test_never_exceeds_prior(self, inversion2d):
+        prior_var = inversion2d.prior.spatial.marginal_variance()
+        var = posterior_pointwise_variance(inversion2d, 2)
+        assert np.all(var <= prior_var + 1e-12)
+
+    def test_nonnegative(self, inversion2d):
+        var = posterior_pointwise_variance(inversion2d, 0)
+        assert np.all(var >= 0)
+
+    def test_slot_validation(self, inversion2d):
+        with pytest.raises(ValueError):
+            posterior_pointwise_variance(inversion2d, inversion2d.nt)
+
+
+class TestDisplacementVariance:
+    def test_matches_dense(self, inversion2d, dense_reference):
+        nt, nm = inversion2d.nt, inversion2d.nm
+        S = np.kron(np.ones((1, nt)), np.eye(nm))
+        dt = 0.2
+        ref = dt**2 * np.diag(S @ dense_reference["Gpost"] @ S.T)
+        got = posterior_displacement_variance(inversion2d, dt_obs=dt, chunk=5)
+        np.testing.assert_allclose(got, ref, atol=1e-9 * ref.max())
+
+    def test_scales_with_dt(self, inversion2d):
+        v1 = posterior_displacement_variance(inversion2d, dt_obs=1.0)
+        v2 = posterior_displacement_variance(inversion2d, dt_obs=2.0)
+        np.testing.assert_allclose(v2, 4.0 * v1, rtol=1e-10)
+
+
+class TestMatheronSampler:
+    def test_sample_mean_converges_to_map(self, inversion2d, observed2d):
+        _, _, d_obs = observed2d
+        m_map = inversion2d.infer(d_obs)
+        s = PosteriorSampler(inversion2d)
+        draws = s.sample(d_obs, np.random.default_rng(0), k=3000)
+        emp_mean = draws.mean(axis=2)
+        # MC error ~ std/sqrt(k); use a generous multiple
+        std = np.sqrt(
+            posterior_pointwise_variance(inversion2d, 0, chunk=16).max()
+        )
+        assert np.abs(emp_mean - m_map).max() < 8 * std / np.sqrt(3000) + 1e-3
+
+    def test_sample_covariance_converges(self, inversion2d, observed2d, dense_reference):
+        _, _, d_obs = observed2d
+        s = PosteriorSampler(inversion2d)
+        draws = s.sample(d_obs, np.random.default_rng(1), k=4000)
+        X = (draws - draws.mean(axis=2, keepdims=True)).reshape(
+            inversion2d.nt * inversion2d.nm, -1
+        )
+        emp = X @ X.T / (X.shape[1] - 1)
+        ref = dense_reference["Gpost"]
+        assert np.abs(emp - ref).max() / np.abs(ref).max() < 0.15
+
+    def test_displacement_samples(self, inversion2d, observed2d):
+        _, _, d_obs = observed2d
+        s = PosteriorSampler(inversion2d)
+        disp = s.sample_displacement(d_obs, np.random.default_rng(2), k=500, dt_obs=0.2)
+        assert disp.shape == (inversion2d.nm, 500)
+        # sample variance consistent with the exact displacement variance
+        exact = posterior_displacement_variance(inversion2d, dt_obs=0.2)
+        emp = disp.var(axis=1)
+        np.testing.assert_allclose(emp, exact, rtol=0.5, atol=1e-6)
+
+    def test_requires_phase2(self, F2d, prior2d, observed2d):
+        from repro.inference.bayes import ToeplitzBayesianInversion
+
+        _, noise, _ = observed2d
+        inv = ToeplitzBayesianInversion(F2d, prior2d, noise)
+        with pytest.raises(RuntimeError):
+            PosteriorSampler(inv)

@@ -1,0 +1,167 @@
+"""BiLaplacian priors: SPD structure, calibration, sampling, temporal kron."""
+
+import numpy as np
+import pytest
+
+from repro.inference.prior import (
+    BiLaplacianPrior,
+    SpatioTemporalPrior,
+    tensor_q1_matrices,
+)
+
+
+@pytest.fixture(scope="module")
+def axes1d():
+    rng = np.random.default_rng(0)
+    x = np.sort(rng.uniform(0, 1, 15))
+    x[0], x[-1] = 0.0, 1.0
+    return [x]
+
+
+@pytest.fixture(scope="module")
+def prior1d(axes1d):
+    return BiLaplacianPrior.from_correlation(axes1d, sigma=0.5, correlation_length=0.3)
+
+
+class TestQ1Matrices:
+    def test_stiffness_nullspace_is_constants(self, axes1d):
+        K, M = tensor_q1_matrices(axes1d)
+        np.testing.assert_allclose(K @ np.ones(K.shape[0]), 0.0, atol=1e-12)
+
+    def test_mass_is_domain_measure(self, axes1d):
+        _, M = tensor_q1_matrices(axes1d)
+        assert float(M.sum()) == pytest.approx(1.0, rel=1e-12)
+
+    def test_2d_tensor_assembly(self):
+        ax = [np.linspace(0, 1, 5), np.linspace(0, 2, 4)]
+        K, M = tensor_q1_matrices(ax)
+        assert K.shape == (20, 20)
+        assert float(M.sum()) == pytest.approx(2.0, rel=1e-12)
+        np.testing.assert_allclose(K @ np.ones(20), 0.0, atol=1e-12)
+        # stiffness exact on a linear-in-x field: K x = boundary fluxes only
+        X = np.repeat(ax[0], 4)
+        e = X @ (K @ X)
+        assert e == pytest.approx(2.0, rel=1e-10)  # Dirichlet energy of x over [0,1]x[0,2]
+
+
+class TestSpatialPrior:
+    def test_spd(self, prior1d):
+        G = prior1d.dense()
+        np.testing.assert_allclose(G, G.T, atol=1e-12)
+        assert np.linalg.eigvalsh(G).min() > 0
+
+    def test_inverse_roundtrip(self, prior1d, rng):
+        v = rng.standard_normal((prior1d.n, 3))
+        np.testing.assert_allclose(
+            prior1d.apply_inverse(prior1d.apply(v)), v, atol=1e-8
+        )
+
+    def test_sqrt_factorization(self, prior1d):
+        L = prior1d.apply_sqrt(np.eye(prior1d.n))
+        np.testing.assert_allclose(L @ L.T, prior1d.dense(), atol=1e-10)
+
+    def test_calibrated_center_variance(self, axes1d):
+        for sigma in (0.1, 1.0, 3.0):
+            p = BiLaplacianPrior.from_correlation(axes1d, sigma, 0.25)
+            assert p.marginal_variance_at(p.center_index()) == pytest.approx(
+                sigma**2, rel=1e-9
+            )
+
+    def test_marginal_variance_matches_dense(self, prior1d):
+        np.testing.assert_allclose(
+            prior1d.marginal_variance(chunk=4), np.diag(prior1d.dense()), atol=1e-10
+        )
+
+    def test_correlation_length_controls_decay(self, axes1d):
+        short = BiLaplacianPrior.from_correlation(axes1d, 1.0, 0.05)
+        long = BiLaplacianPrior.from_correlation(axes1d, 1.0, 0.8)
+        i = short.center_index()
+        cs = short.dense()[i]
+        cl = long.dense()[i]
+        # normalized correlation at a distant point is larger for long rho
+        j = 1
+        assert cl[j] / cl[i] > cs[j] / cs[i]
+
+    def test_robin_reduces_boundary_variance_inflation(self, axes1d):
+        with_r = BiLaplacianPrior.from_correlation(axes1d, 1.0, 0.3, robin=True)
+        kappa = np.sqrt(with_r.delta / with_r.gamma)
+        no_r = BiLaplacianPrior(axes1d, with_r.gamma, with_r.delta, robin_beta=None)
+        vr = with_r.marginal_variance()
+        vn = no_r.marginal_variance()
+        # boundary-to-center variance ratio must be closer to 1 with Robin
+        r_with = vr[0] / vr[with_r.center_index()]
+        r_without = vn[0] / vn[no_r.center_index()]
+        assert abs(r_with - 1.0) < abs(r_without - 1.0)
+
+    def test_sampling_statistics(self, axes1d):
+        p = BiLaplacianPrior.from_correlation(axes1d, sigma=0.5, correlation_length=0.3)
+        rng = np.random.default_rng(7)
+        S = p.sample(rng, 6000)
+        emp = np.var(S, axis=1)
+        thy = p.marginal_variance()
+        # 6000 samples: ~5% MC error on variances
+        np.testing.assert_allclose(emp, thy, rtol=0.15)
+
+    def test_2d_prior(self):
+        ax = [np.linspace(0, 1, 8), np.linspace(0, 1, 7)]
+        p = BiLaplacianPrior.from_correlation(ax, sigma=0.4, correlation_length=0.3)
+        assert p.n == 56
+        G = p.dense()
+        assert np.linalg.eigvalsh(G).min() > 0
+        assert p.marginal_variance_at(p.center_index()) == pytest.approx(0.16, rel=1e-8)
+
+    def test_validation(self, axes1d):
+        with pytest.raises(ValueError):
+            BiLaplacianPrior(axes1d, gamma=-1.0, delta=1.0)
+        with pytest.raises(ValueError):
+            BiLaplacianPrior.from_correlation(axes1d, sigma=-0.5, correlation_length=0.3)
+
+
+class TestSpatioTemporalPrior:
+    def test_block_diagonal_dense(self, prior1d):
+        st = SpatioTemporalPrior(prior1d, nt=3)
+        G = st.dense()
+        np.testing.assert_allclose(G, np.kron(np.eye(3), prior1d.dense()), atol=1e-10)
+
+    def test_apply_matches_dense(self, prior1d, rng):
+        st = SpatioTemporalPrior(prior1d, nt=4)
+        m = rng.standard_normal((4, prior1d.n))
+        np.testing.assert_allclose(
+            st.apply(m).reshape(-1), st.dense() @ m.reshape(-1), atol=1e-10
+        )
+
+    def test_inverse_roundtrip(self, prior1d, rng):
+        st = SpatioTemporalPrior(prior1d, nt=3, temporal_rho=0.6)
+        m = rng.standard_normal((3, prior1d.n, 2))
+        np.testing.assert_allclose(st.apply_inverse(st.apply(m)), m, atol=1e-7)
+
+    def test_temporal_correlation_dense(self, prior1d, rng):
+        st = SpatioTemporalPrior(prior1d, nt=3, temporal_rho=0.5)
+        G = st.dense()
+        i = np.arange(3)
+        Ct = 0.5 ** np.abs(i[:, None] - i[None, :])
+        np.testing.assert_allclose(G, np.kron(Ct, prior1d.dense()), atol=1e-10)
+
+    def test_temporal_sqrt(self, prior1d, rng):
+        st = SpatioTemporalPrior(prior1d, nt=3, temporal_rho=0.7)
+        n = 3 * prior1d.n
+        L = st.apply_sqrt(np.eye(n).reshape(3, prior1d.n, n))
+        Lm = L.reshape(n, n)
+        np.testing.assert_allclose(Lm @ Lm.T, st.dense(), atol=1e-9)
+
+    def test_displacement_prior_variance(self, prior1d):
+        st = SpatioTemporalPrior(prior1d, nt=5)
+        np.testing.assert_allclose(
+            st.displacement_prior_variance(), 5 * prior1d.marginal_variance(),
+            atol=1e-12,
+        )
+        st_c = SpatioTemporalPrior(prior1d, nt=5, temporal_rho=0.5)
+        assert np.all(
+            st_c.displacement_prior_variance() > st.displacement_prior_variance()
+        )
+
+    def test_validation(self, prior1d):
+        with pytest.raises(ValueError):
+            SpatioTemporalPrior(prior1d, nt=0)
+        with pytest.raises(ValueError):
+            SpatioTemporalPrior(prior1d, nt=3, temporal_rho=1.5)

@@ -1,0 +1,125 @@
+"""FFTMatvec: exactness vs dense, layouts, transpose, batching, shapes."""
+
+import numpy as np
+import pytest
+
+from repro.inference.toeplitz import BlockToeplitzOperator
+
+
+@pytest.fixture(scope="module")
+def kernel():
+    rng = np.random.default_rng(3)
+    return rng.standard_normal((7, 4, 6)) * (0.7 ** np.arange(7))[:, None, None]
+
+
+@pytest.fixture(scope="module")
+def op(kernel):
+    return BlockToeplitzOperator(kernel)
+
+
+class TestExactness:
+    def test_matvec_matches_dense(self, op, rng):
+        m = rng.standard_normal((op.nt, op.n_in))
+        np.testing.assert_allclose(
+            op.matvec(m).reshape(-1), op.dense() @ m.reshape(-1), atol=1e-12
+        )
+
+    def test_rmatvec_matches_dense_transpose(self, op, rng):
+        d = rng.standard_normal((op.nt, op.n_out))
+        np.testing.assert_allclose(
+            op.rmatvec(d).reshape(-1), op.dense().T @ d.reshape(-1), atol=1e-12
+        )
+
+    def test_adjoint_identity(self, op, rng):
+        m = rng.standard_normal((op.nt, op.n_in))
+        d = rng.standard_normal((op.nt, op.n_out))
+        lhs = float(np.sum(op.matvec(m) * d))
+        rhs = float(np.sum(m * op.rmatvec(d)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_causality(self, op, rng):
+        # input supported at slot j produces no output before slot j
+        m = np.zeros((op.nt, op.n_in))
+        m[3] = rng.standard_normal(op.n_in)
+        d = op.matvec(m)
+        np.testing.assert_allclose(d[:3], 0.0, atol=1e-13)
+
+    def test_dense_block_structure(self, op, kernel):
+        D = op.dense()
+        nt, no, ni = kernel.shape
+        # block (2, 0) must equal kernel[2]
+        np.testing.assert_allclose(D[2 * no : 3 * no, 0:ni], kernel[2], atol=0)
+        # strictly upper blocks vanish
+        np.testing.assert_allclose(D[0:no, ni : 2 * ni], 0.0, atol=0)
+
+
+class TestLayouts:
+    @pytest.mark.parametrize("layout", ["space-major", "time-major"])
+    def test_layouts_identical(self, kernel, layout, rng):
+        op = BlockToeplitzOperator(kernel, layout=layout)
+        m = rng.standard_normal((op.nt, op.n_in, 3))
+        d = rng.standard_normal((op.nt, op.n_out, 3))
+        ref = BlockToeplitzOperator(kernel, layout="space-major")
+        np.testing.assert_allclose(op.matvec(m), ref.matvec(m), atol=1e-13)
+        np.testing.assert_allclose(op.rmatvec(d), ref.rmatvec(d), atol=1e-13)
+
+    def test_invalid_layout(self, kernel):
+        with pytest.raises(ValueError):
+            BlockToeplitzOperator(kernel, layout="column-major")
+
+
+class TestBatching:
+    def test_batched_matches_loop(self, op, rng):
+        M = rng.standard_normal((op.nt, op.n_in, 4))
+        batched = op.matvec(M)
+        for k in range(4):
+            np.testing.assert_allclose(batched[:, :, k], op.matvec(M[:, :, k]), atol=1e-13)
+
+    def test_shapes(self, op, rng):
+        m = rng.standard_normal((op.nt, op.n_in))
+        assert op.matvec(m).shape == (op.nt, op.n_out)
+        M = rng.standard_normal((op.nt, op.n_in, 2))
+        assert op.matvec(M).shape == (op.nt, op.n_out, 2)
+        assert op.shape == (op.nt * op.n_out, op.nt * op.n_in)
+
+    def test_wrong_shapes_raise(self, op):
+        with pytest.raises(ValueError):
+            op.matvec(np.zeros((op.nt + 1, op.n_in)))
+        with pytest.raises(ValueError):
+            op.rmatvec(np.zeros((op.nt, op.n_out + 1)))
+        with pytest.raises(ValueError):
+            BlockToeplitzOperator(np.zeros((3, 4)))
+
+
+class TestTransposeOperator:
+    def test_transpose_view(self, op, rng):
+        t = op.transpose_operator()
+        d = rng.standard_normal((op.nt, op.n_out))
+        np.testing.assert_allclose(t.matvec(d), op.rmatvec(d), atol=0)
+        np.testing.assert_allclose(t.dense(), op.dense().T, atol=0)
+        assert t.transpose_operator() is op
+        assert t.n_out == op.n_in and t.n_in == op.n_out
+
+
+class TestScalingAndMemory:
+    def test_kernel_memory_linear_in_nt(self):
+        k1 = BlockToeplitzOperator(np.zeros((8, 3, 5)))
+        k2 = BlockToeplitzOperator(np.zeros((16, 3, 5)))
+        assert k2.kernel_nbytes < 2.5 * k1.kernel_nbytes
+
+    def test_flops_estimate_positive(self, op):
+        assert op.flops_per_matvec() > 0
+        assert op.flops_per_matvec(k=4) > op.flops_per_matvec(k=1)
+
+    def test_single_slot_degenerate(self, rng):
+        op = BlockToeplitzOperator(rng.standard_normal((1, 2, 3)))
+        m = rng.standard_normal((1, 3))
+        np.testing.assert_allclose(op.matvec(m)[0], op.kernel[0] @ m[0], atol=1e-13)
+
+    def test_identity_kernel(self):
+        nt, n = 5, 3
+        kern = np.zeros((nt, n, n))
+        kern[0] = np.eye(n)
+        op = BlockToeplitzOperator(kern)
+        m = np.random.default_rng(0).standard_normal((nt, n))
+        np.testing.assert_allclose(op.matvec(m), m, atol=1e-13)

@@ -1,0 +1,132 @@
+"""Cross-module integration: the paper's verification chain end to end.
+
+These tests tie the whole stack together: PDE kernels -> Toeplitz algebra
+-> Bayesian solves -> forecasts, asserting the three-way MAP agreement
+(real-time formula == CG baseline == dense solve), the statistical
+calibration of the credible intervals over repeated noise realizations,
+and the qualitative behaviors the paper's implications section claims.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cg import fft_hessian_operator, solve_map_cg
+from repro.inference.bayes import ToeplitzBayesianInversion
+from repro.inference.noise import NoiseModel
+from repro.twin.cascadia import CascadiaTwin
+from repro.twin.config import TwinConfig
+
+
+class TestThreeWayMAPAgreement:
+    def test_realtime_cg_dense_agree(
+        self, inversion2d, F2d, prior2d, observed2d, dense_reference
+    ):
+        _, noise, d_obs = observed2d
+        # route 1: the paper's real-time data-space formula
+        m_rt = inversion2d.infer(d_obs).reshape(-1)
+        # route 2: SoA prior-preconditioned CG
+        H = fft_hessian_operator(F2d, prior2d, noise)
+        m_cg = solve_map_cg(H, d_obs, rtol=1e-11).m.reshape(-1)
+        # route 3: dense normal equations
+        ref = dense_reference
+        m_dense = np.linalg.solve(
+            ref["H"], ref["Fd"].T @ ref["Gn_inv"] @ d_obs.reshape(-1)
+        )
+        scale = np.abs(m_dense).max()
+        np.testing.assert_allclose(m_rt, m_dense, atol=1e-8 * scale)
+        np.testing.assert_allclose(m_cg, m_dense, atol=1e-6 * scale)
+
+
+class TestStatisticalCalibration:
+    def test_ci_coverage_over_noise_realizations(self):
+        """The 95% CIs cover the true QoI ~95% of the time (Fig. 4 claim).
+
+        Pools pointwise coverage over repeated noise draws on a fixed
+        scenario; the posterior is exactly Gaussian-correct here, so
+        coverage is binomial around the nominal level.
+        """
+        twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=10, n_sensors=8))
+        twin.setup()
+        twin.phase1()
+        scenario, d_clean, noise, _ = twin.simulate_event()
+        twin.phase23(noise, method="direct")
+        q_true = twin.Fq.matvec(scenario.m)
+        rng = np.random.default_rng(123)
+        coverages = []
+        for _ in range(12):
+            d_obs = noise.add_to(d_clean, rng)
+            fc = twin.inversion.predict(d_obs)
+            coverages.append(fc.coverage(q_true, 0.95))
+        mean_cov = float(np.mean(coverages))
+        assert 0.85 <= mean_cov <= 1.0
+
+    def test_posterior_mean_unbiased(self):
+        """Averaged over noise draws, the MAP converges to its clean-data
+        value (linear-Gaussian unbiasedness)."""
+        twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=8, n_sensors=6))
+        twin.setup()
+        twin.phase1()
+        scenario, d_clean, noise, _ = twin.simulate_event()
+        inv = twin.phase23(noise, method="direct")
+        m_clean = inv.infer(d_clean)
+        rng = np.random.default_rng(7)
+        acc = np.zeros_like(m_clean)
+        n_rep = 24
+        for _ in range(n_rep):
+            acc += inv.infer(noise.add_to(d_clean, rng))
+        m_avg = acc / n_rep
+        err = np.linalg.norm(m_avg - m_clean) / np.linalg.norm(m_clean)
+        assert err < 0.2
+
+
+class TestInformationScaling:
+    def test_lower_noise_improves_reconstruction(self):
+        errs = []
+        for rel in (0.1, 0.01):
+            twin = CascadiaTwin(
+                TwinConfig.demo_2d(noise_relative=rel, n_slots=8, n_sensors=8)
+            )
+            res = twin.run_end_to_end()
+            errs.append(res.parameter_error())
+        assert errs[1] < errs[0]
+
+    def test_lower_noise_shrinks_posterior(self):
+        stds = []
+        for rel in (0.1, 0.01):
+            twin = CascadiaTwin(
+                TwinConfig.demo_2d(noise_relative=rel, n_slots=8, n_sensors=8)
+            )
+            res = twin.run_end_to_end()
+            stds.append(float(np.mean(res.displacement_std)))
+        assert stds[1] < stds[0]
+
+    def test_posterior_variance_below_prior_everywhere(self, inversion2d):
+        from repro.inference.posterior import posterior_pointwise_variance
+
+        prior_var = inversion2d.prior.spatial.marginal_variance()
+        for slot in (0, inversion2d.nt - 1):
+            post = posterior_pointwise_variance(inversion2d, slot)
+            assert np.all(post <= prior_var + 1e-12)
+
+
+class TestEndToEndInvariances:
+    def test_kernel_sensor_permutation_equivariance(self, prop2d, sensors2d):
+        """Permuting sensors permutes kernel rows (no hidden coupling)."""
+        from repro.ocean.observations import SensorArray
+
+        perm = np.array([3, 0, 4, 1, 2])
+        sens_p = SensorArray(prop2d.op, sensors2d.positions[perm])
+        T = prop2d.p2o_kernel(sensors2d)
+        Tp = prop2d.p2o_kernel(sens_p)
+        np.testing.assert_allclose(Tp, T[:, perm, :], atol=1e-11 * np.abs(T).max())
+
+    def test_scenario_scale_linearity(self):
+        """Doubling the true uplift doubles data, MAP, and forecast."""
+        twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=8, n_sensors=6))
+        twin.setup()
+        twin.phase1()
+        sc1, d1, noise, _ = twin.simulate_event(peak_uplift=0.3)
+        inv = twin.phase23(noise)
+        m1 = inv.infer(d1)
+        m2 = inv.infer(2.0 * d1)
+        np.testing.assert_allclose(m2, 2.0 * m1, atol=1e-9 * np.abs(m1).max())

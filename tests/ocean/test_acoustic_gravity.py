@@ -1,0 +1,141 @@
+"""Acoustic-gravity operator: adjointness, energy identities, structure."""
+
+import numpy as np
+import pytest
+
+from repro.ocean.acoustic_gravity import AcousticGravityOperator
+from repro.ocean.material import SeawaterMaterial
+
+
+def _energy_rate(op, X):
+    """Exact semi-discrete energy rate <X, LX>_M."""
+    U, P = op.views(X)
+    LX = op.apply(X)
+    LU, LP = op.views(LX)
+    return float(
+        np.einsum("eqdk,eq,eqdk->", U, op.Mu, LU)
+        + np.einsum("nk,n,nk->", P, op.Mp, LP)
+    )
+
+
+class TestAdjointness:
+    def test_exact_euclidean_transpose_2d(self, op2d, rng):
+        X = rng.standard_normal((op2d.nstate, 3))
+        Y = rng.standard_normal((op2d.nstate, 3))
+        lhs = float(np.sum(op2d.apply(X) * Y))
+        rhs = float(np.sum(X * op2d.apply_transpose(Y)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_exact_euclidean_transpose_3d(self, op3d, rng):
+        X = rng.standard_normal((op3d.nstate, 2))
+        Y = rng.standard_normal((op3d.nstate, 2))
+        lhs = float(np.sum(op3d.apply(X) * Y))
+        rhs = float(np.sum(X * op3d.apply_transpose(Y)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+    def test_forcing_adjoint(self, op2d, rng):
+        m = rng.standard_normal((op2d.n_parameters, 2))
+        Y = rng.standard_normal((op2d.nstate, 2))
+        lhs = float(np.sum(op2d.forcing(m) * Y))
+        rhs = float(np.sum(m * op2d.forcing_transpose(Y)))
+        assert lhs == pytest.approx(rhs, rel=1e-12)
+
+
+class TestEnergyIdentities:
+    def test_skew_without_absorbing(self, mesh2d, material, rng):
+        op0 = AcousticGravityOperator(mesh2d, order=3, material=material, absorbing=())
+        X = rng.standard_normal((op0.nstate, 1))
+        E = float(op0.energy(X)[0])
+        assert abs(_energy_rate(op0, X)) < 1e-12 * E
+
+    def test_rate_equals_absorbing_dissipation(self, op2d, rng):
+        X = rng.standard_normal((op2d.nstate, 1))
+        _, P = op2d.views(X)
+        sa = sum(
+            float(np.sum(s.values[:, None] * P[s.dofs] ** 2)) for s in op2d.Sa
+        )
+        E = float(op2d.energy(X)[0])
+        assert _energy_rate(op2d, X) == pytest.approx(-sa, rel=1e-10)
+
+    def test_energy_positive_definite(self, op2d, rng):
+        X = rng.standard_normal((op2d.nstate, 5))
+        assert np.all(op2d.energy(X) > 0)
+        assert np.all(op2d.energy(np.zeros((op2d.nstate, 1))) == 0)
+
+
+class TestStructure:
+    def test_dof_report(self, op2d):
+        rep = op2d.dof_report()
+        assert rep["state_dofs"] == rep["pressure_dofs"] + rep["velocity_dofs"]
+        assert rep["parameter_points"] == op2d.bottom_trace.n
+
+    def test_views_are_views(self, op2d):
+        X = op2d.zero_state(2)
+        U, P = op2d.views(X)
+        U += 1.0
+        P += 2.0
+        assert np.all(X[: op2d.nu] == 1.0)
+        assert np.all(X[op2d.nu :] == 2.0)
+
+    def test_surface_mass_added(self, mesh2d, material):
+        with_surf = AcousticGravityOperator(mesh2d, order=3, material=material)
+        no_surf = AcousticGravityOperator(
+            mesh2d, order=3, material=material, include_surface=False
+        )
+        assert no_surf.surface_op is None
+        dofs = with_surf.surface_op.dofs
+        assert np.all(with_surf.Mp[dofs] > no_surf.Mp[dofs])
+        interior = np.setdiff1d(np.arange(with_surf.np_), dofs)
+        np.testing.assert_allclose(
+            with_surf.Mp[interior], no_surf.Mp[interior], atol=1e-15
+        )
+
+    def test_no_bottom_forcing_mode(self, mesh2d, material):
+        op = AcousticGravityOperator(
+            mesh2d, order=3, material=material, include_bottom_forcing=False
+        )
+        assert op.R is None
+        with pytest.raises(RuntimeError):
+            op.forcing(np.zeros(op.n_parameters))
+        # trace still available for bookkeeping
+        assert op.bottom_trace.n > 0
+
+    def test_surface_eta_scaling(self, op2d, rng):
+        X = rng.standard_normal((op2d.nstate, 1))
+        _, P = op2d.views(X)
+        eta = op2d.surface_eta(X)
+        np.testing.assert_allclose(
+            eta,
+            P[op2d.surface_op.dofs] / (op2d.material.rho * op2d.material.g),
+            atol=1e-14,
+        )
+
+    def test_order_validation(self, mesh2d, material):
+        with pytest.raises(ValueError):
+            AcousticGravityOperator(mesh2d, order=1, material=material)
+
+    def test_memory_mode_footprints(self, mesh2d, material):
+        opt = AcousticGravityOperator(
+            mesh2d, order=3, material=material, memory_optimized=True
+        )
+        unopt = AcousticGravityOperator(
+            mesh2d, order=3, material=material, memory_optimized=False
+        )
+        # Section VII-B: the un-optimized solver keeps far more geometry.
+        assert unopt.tracker.total_persistent > 2 * opt.tracker.total_persistent
+
+    def test_kernel_variant_equivalence(self, mesh2d, material, rng):
+        ref = AcousticGravityOperator(
+            mesh2d, order=3, material=material, kernel_variant="optimized"
+        )
+        X = rng.standard_normal((ref.nstate, 2))
+        Y_ref = ref.apply(X)
+        for variant in ("initial", "shared", "fused", "mf"):
+            op = AcousticGravityOperator(
+                mesh2d, order=3, material=material, kernel_variant=variant
+            )
+            np.testing.assert_allclose(op.apply(X), Y_ref, atol=1e-11, err_msg=variant)
+
+    def test_cfl_timestep_positive(self, op2d):
+        dt = op2d.cfl_timestep()
+        assert 0 < dt < 1.0

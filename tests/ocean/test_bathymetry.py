@@ -1,0 +1,85 @@
+"""Bathymetry profiles: positivity, morphology, determinism, scaling."""
+
+import numpy as np
+import pytest
+
+from repro.ocean.bathymetry import (
+    CascadiaBathymetry,
+    FlatBathymetry,
+    GaussianRidgeBathymetry,
+)
+
+
+class TestFlat:
+    def test_constant(self):
+        b = FlatBathymetry(depth=2.0)
+        x = np.linspace(0, 10, 7)
+        np.testing.assert_allclose(b(x), 2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlatBathymetry(depth=0.0)
+
+
+class TestRidge:
+    def test_shallower_at_center(self):
+        b = GaussianRidgeBathymetry(depth=1.0, ridge_height=0.4, center=0.5, width=0.1)
+        assert b(np.array([0.5]))[0] == pytest.approx(0.6)
+        assert b(np.array([0.0]))[0] == pytest.approx(1.0, abs=1e-4)
+
+    def test_ridge_must_not_breach(self):
+        with pytest.raises(ValueError):
+            GaussianRidgeBathymetry(depth=1.0, ridge_height=1.0)
+
+
+class TestCascadia:
+    def test_morphology_abyss_to_shelf(self):
+        b = CascadiaBathymetry()
+        x = np.linspace(0, b.length_x, 500)
+        d = b(x)
+        assert np.all(d > 0)
+        # abyssal plain offshore, shallow shelf shoreward
+        assert d[0] > 2000.0
+        assert d[-1] < 400.0
+        # trench deepening near the deformation front
+        trench_zone = d[(x > 0.1 * b.length_x) & (x < 0.3 * b.length_x)]
+        assert trench_zone.max() > d[0]
+
+    def test_monotone_slope_region(self):
+        b = CascadiaBathymetry(roughness=0.0)
+        x = np.linspace(0.45 * b.length_x, 0.75 * b.length_x, 100)
+        d = b(x)
+        assert np.all(np.diff(d) < 0)  # shoaling toward the coast
+
+    def test_along_margin_variation_in_3d(self):
+        b = CascadiaBathymetry(length_y=300_000.0, along_margin_variation=0.08)
+        x = np.full(5, 0.6 * b.length_x)
+        y = np.linspace(0, 300_000.0, 5)
+        d = b(x, y)
+        assert np.ptp(d) > 50.0  # the slope position bends along margin
+
+    def test_roughness_deterministic(self):
+        b1 = CascadiaBathymetry(roughness=0.05, seed=3)
+        b2 = CascadiaBathymetry(roughness=0.05, seed=3)
+        b3 = CascadiaBathymetry(roughness=0.05, seed=4)
+        x = np.linspace(0, b1.length_x, 50)
+        np.testing.assert_array_equal(b1(x), b2(x))
+        assert not np.allclose(b1(x), b3(x))
+
+    def test_roughness_positivity_guard(self):
+        b = CascadiaBathymetry(roughness=0.3, seed=0)
+        x = np.linspace(0, b.length_x, 2000)
+        assert np.all(b(x) >= 0.5 * b.shelf_depth - 1e-9)
+
+    def test_scaled_similarity(self):
+        b = CascadiaBathymetry()
+        s = b.scaled(length_x=10.0, depth_scale=1e-3)
+        x = np.linspace(0, 10.0, 50)
+        xs = x / 10.0 * b.length_x
+        np.testing.assert_allclose(s(x), 1e-3 * b(xs), rtol=1e-12)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CascadiaBathymetry(shelf_depth=3000.0, abyssal_depth=2800.0)
+        with pytest.raises(ValueError):
+            CascadiaBathymetry(roughness=0.7)

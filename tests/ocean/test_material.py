@@ -1,0 +1,46 @@
+"""Seawater material: derived quantities and presets."""
+
+import pytest
+
+from repro.ocean.material import SeawaterMaterial
+
+
+def test_standard_values():
+    m = SeawaterMaterial.standard()
+    assert m.rho == 1025.0 and m.c == 1500.0 and m.g == 9.81
+
+
+def test_derived_quantities():
+    m = SeawaterMaterial(rho=1000.0, c=1500.0, g=9.8)
+    assert m.bulk_modulus == pytest.approx(1000.0 * 1500.0**2)
+    assert m.impedance == pytest.approx(1000.0 * 1500.0)
+
+
+def test_nondimensional_preset():
+    m = SeawaterMaterial.nondimensional()
+    assert m.rho == 1.0 and m.c == 1.0 and m.g == 1.0
+    m2 = SeawaterMaterial.nondimensional(c=2.0, g=0.5)
+    assert m2.c == 2.0 and m2.g == 0.5
+
+
+def test_gravity_wave_speed():
+    m = SeawaterMaterial.standard()
+    # sqrt(gH) at 2500 m depth ~ 157 m/s (the classic tsunami speed)
+    assert m.gravity_wave_speed(2500.0) == pytest.approx(156.6, abs=0.5)
+    with pytest.raises(ValueError):
+        m.gravity_wave_speed(-1.0)
+
+
+def test_acoustic_cutoff():
+    m = SeawaterMaterial.standard()
+    # c/(4H): ~0.15 Hz at 2500 m
+    assert m.acoustic_cutoff_frequency(2500.0) == pytest.approx(0.15, abs=0.01)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SeawaterMaterial(rho=-1.0)
+    with pytest.raises(ValueError):
+        SeawaterMaterial(c=0.0)
+    with pytest.raises(ValueError):
+        SeawaterMaterial(g=-9.8)

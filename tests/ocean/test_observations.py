@@ -1,0 +1,76 @@
+"""Observation operators: placement, interpolation exactness, adjoint seeds."""
+
+import numpy as np
+import pytest
+
+from repro.ocean.observations import SensorArray, SurfaceQoI
+
+
+class TestSensorArray:
+    def test_regular_layout_respects_margin(self, op2d):
+        s = SensorArray.regular(op2d, 6, margin=0.1)
+        lo, hi = op2d.mesh.bounding_box()
+        span = hi[0] - lo[0]
+        assert s.n == 6
+        assert s.positions.min() >= lo[0] + 0.1 * span - 1e-12
+        assert s.positions.max() <= hi[0] - 0.1 * span + 1e-12
+
+    def test_random_layout_deterministic(self, op2d):
+        a = SensorArray.random(op2d, 5, seed=1)
+        b = SensorArray.random(op2d, 5, seed=1)
+        c = SensorArray.random(op2d, 5, seed=2)
+        np.testing.assert_array_equal(a.positions, b.positions)
+        assert not np.allclose(a.positions, c.positions)
+
+    def test_pressure_interpolation_exact(self, op2d):
+        s = SensorArray(op2d, np.array([[1.1], [2.9]]))
+        c = op2d.h1.dof_coords
+        p = 3.0 - 0.7 * c[:, 0] + 1.2 * c[:, 1]
+        vals = s.observe_pressure(p)
+        # sensors sit on the (polygonal) bottom boundary
+        x = np.array([1.1, 2.9])
+        verts = op2d.mesh.axes[0]
+        zb = np.interp(x, verts, op2d.mesh.vertices[:, 0, 1])
+        np.testing.assert_allclose(vals, 3.0 - 0.7 * x + 1.2 * zb, atol=1e-10)
+
+    def test_observe_state_reads_pressure_block(self, op2d, sensors2d, rng):
+        X = rng.standard_normal((op2d.nstate, 2))
+        _, P = op2d.views(X)
+        np.testing.assert_allclose(
+            sensors2d.observe_state(X), sensors2d.matrix @ P, atol=1e-14
+        )
+
+    def test_adjoint_seed_shape_and_content(self, op2d, sensors2d):
+        seed = sensors2d.adjoint_seed()
+        assert seed.shape == (op2d.np_, sensors2d.n)
+        np.testing.assert_allclose(seed, sensors2d.matrix.T.toarray(), atol=0)
+
+    def test_3d_regular_grid(self, op3d):
+        s = SensorArray.regular(op3d, (3, 2))
+        assert s.n == 6
+        assert s.positions.shape == (6, 2)
+
+
+class TestSurfaceQoI:
+    def test_eta_scaling(self, op2d):
+        q = SurfaceQoI(op2d, np.array([[2.0]]))
+        c = op2d.h1.dof_coords
+        p = 5.0 + 0.0 * c[:, 0]
+        # eta = p / (rho g), with rho = g = 1 nondimensional
+        np.testing.assert_allclose(q.observe_pressure(p), 5.0, atol=1e-12)
+
+    def test_coastal_placement(self, op2d):
+        q = SurfaceQoI.coastal(op2d, 3, coast_fraction=0.9)
+        lo, hi = op2d.mesh.bounding_box()
+        assert q.n == 3
+        assert np.all(q.positions <= hi[0])
+        assert np.max(q.positions) >= lo[0] + 0.8 * (hi[0] - lo[0])
+
+    def test_coastal_3d_spread_along_margin(self, op3d):
+        q = SurfaceQoI.coastal(op3d, 4)
+        assert q.positions.shape == (4, 2)
+        assert np.ptp(q.positions[:, 1]) > 0  # spread in y
+
+    def test_single_coastal_point(self, op2d):
+        q = SurfaceQoI.coastal(op2d, 1)
+        assert q.n == 1

@@ -1,0 +1,145 @@
+"""Physics validation: the discrete model reproduces analytic wave physics.
+
+Three classical solutions pin down the coupled acoustic--gravity physics:
+
+* the **gravity-wave dispersion relation** ``omega^2 = g k tanh(k H)``,
+  recovered in the incompressible limit with the error converging at the
+  theoretical O(g H / c^2) rate;
+* the **acoustic organ-pipe mode** of a closed water column (rigid bottom,
+  pressure-release surface): period ``4 H / c``;
+* **volume conservation**: uniform seafloor uplift in a closed basin
+  raises the mean sea surface by exactly the uplifted volume.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fem.mesh import StructuredMesh
+from repro.ocean.acoustic_gravity import AcousticGravityOperator
+from repro.ocean.material import SeawaterMaterial
+from repro.ocean.observations import SurfaceQoI
+from repro.ocean.propagator import SlotPropagator
+
+
+def _standing_wave_period_error(c: float) -> float:
+    """Relative error of the measured seiche period at sound speed ``c``."""
+    L, H, g = 4.0, 0.5, 1.0
+    mat = SeawaterMaterial.nondimensional(c=c, g=g)
+    mesh = StructuredMesh.ocean([np.linspace(0, L, 9)], nz=2, depth=H)
+    op = AcousticGravityOperator(mesh, order=4, material=mat, absorbing=())
+    k = np.pi / L
+    T_exact = 2 * np.pi / np.sqrt(g * k * np.tanh(k * H))
+    coords = op.h1.dof_coords
+    p0 = (
+        mat.rho * g * 1e-3 * np.cos(k * coords[:, 0])
+        * np.cosh(k * (coords[:, 1] + H)) / np.cosh(k * H)
+    )
+    X = op.zero_state(1)
+    _, P = op.views(X)
+    P[:, 0] = p0
+    prop = SlotPropagator(op, dt_obs=T_exact / 40, n_slots=40, cfl=0.35)
+    gauge = SurfaceQoI(op, np.array([[0.0]]))
+    eta = prop.forward(None, sensors=gauge, x0=X).d[:, 0]
+    t = prop.times()
+    sc = np.where(np.diff(np.sign(eta)) != 0)[0]
+    tc = np.array(
+        [t[i] - eta[i] * (t[i + 1] - t[i]) / (eta[i + 1] - eta[i]) for i in sc]
+    )
+    T_meas = 2 * float(np.diff(tc).mean())
+    return abs(T_meas - T_exact) / T_exact
+
+
+def test_gravity_wave_dispersion_incompressible_limit():
+    # Error must shrink ~1/c^2 toward the exact incompressible dispersion.
+    e2 = _standing_wave_period_error(2.0)
+    e4 = _standing_wave_period_error(4.0)
+    assert e4 < 0.02
+    assert e4 < e2 / 3.0  # theoretical factor is 4
+
+
+def test_acoustic_organ_pipe_mode():
+    # Closed(bottom)-open(surface) column: fundamental period 4 H / c.
+    H, c = 1.0, 1.0
+    # Tiny g makes the surface term a pressure-release condition (p ~ 0).
+    mat = SeawaterMaterial.nondimensional(c=c, g=1e-7)
+    mesh = StructuredMesh.ocean([], nz=4, depth=H)
+    op = AcousticGravityOperator(mesh, order=4, material=mat, absorbing=())
+    k = np.pi / (2 * H)
+    T_exact = 4 * H / c
+    coords = op.h1.dof_coords
+    p0 = np.cos(k * (coords[:, 0] + H))  # antinode at the rigid bottom
+    X = op.zero_state(1)
+    _, P = op.views(X)
+    P[:, 0] = p0
+    prop = SlotPropagator(op, dt_obs=T_exact / 24, n_slots=48, cfl=0.35)
+    # Gauge: pressure at the bottom trace node.
+    bot = op.bottom_trace.dofs[0]
+    n_steps = prop.n_substeps
+    vals = []
+    x = X
+    from repro.fem.timestep import rk4_forced_step
+
+    for _ in range(prop.n_slots):
+        for _ in range(n_steps):
+            x = rk4_forced_step(op.apply, x, prop.dt, None)
+        vals.append(float(x[op.nu + bot, 0]))
+    vals = np.array(vals)
+    t = prop.times()
+    sc = np.where(np.diff(np.sign(vals)) != 0)[0]
+    tc = np.array(
+        [t[i] - vals[i] * (t[i + 1] - t[i]) / (vals[i + 1] - vals[i]) for i in sc]
+    )
+    T_meas = 2 * float(np.diff(tc).mean())
+    assert T_meas == pytest.approx(T_exact, rel=0.02)
+
+
+def test_volume_conservation_under_uplift():
+    # Uniform uplift of the whole seafloor raises the mean surface by the
+    # uplifted amount (after seiche transients are averaged out).
+    L, H = 2.0, 0.5
+    mat = SeawaterMaterial.nondimensional(c=4.0, g=1.0)
+    mesh = StructuredMesh.ocean([np.linspace(0, L, 5)], nz=2, depth=H)
+    op = AcousticGravityOperator(mesh, order=3, material=mat, absorbing=())
+    Nt = 30
+    prop = SlotPropagator(op, dt_obs=0.25, n_slots=Nt, cfl=0.35)
+    m = np.zeros((Nt, op.n_parameters))
+    m[:4] = 0.01  # uplift rate for 1 time unit -> total uplift 0.01
+    res = prop.forward(m, record_eta=True)
+    eta_mean = float(res.eta[8:].mean())
+    assert eta_mean == pytest.approx(0.01, rel=0.05)
+
+
+def test_pressure_sign_positive_under_upward_uplift():
+    # Upward seafloor motion compresses the column: bottom pressure rises.
+    L, H = 2.0, 0.5
+    mat = SeawaterMaterial.nondimensional(c=2.0, g=1.0)
+    mesh = StructuredMesh.ocean([np.linspace(0, L, 5)], nz=2, depth=H)
+    op = AcousticGravityOperator(mesh, order=3, material=mat, absorbing=())
+    prop = SlotPropagator(op, dt_obs=0.1, n_slots=3, cfl=0.35)
+    from repro.ocean.observations import SensorArray
+
+    sens = SensorArray(op, np.array([[1.0]]))
+    m = np.full((3, op.n_parameters), 0.02)
+    d = prop.forward(m, sensors=sens).d
+    assert np.all(d > 0)
+
+
+def test_absorbing_boundary_removes_energy_after_transit():
+    # A pulse launched toward a lateral boundary must lose most of its
+    # energy after the transit time (imperfect absorption is expected).
+    L, H, c = 4.0, 0.5, 2.0
+    mat = SeawaterMaterial.nondimensional(c=c, g=1.0)
+    mesh = StructuredMesh.ocean([np.linspace(0, L, 9)], nz=2, depth=H)
+    op = AcousticGravityOperator(mesh, order=3, material=mat)
+    x0 = op.zero_state(1)
+    _, P = op.views(x0)
+    coords = op.h1.dof_coords
+    P[:, 0] = np.exp(-((coords[:, 0] - 2.0) ** 2) / 0.05)
+    T_transit = (L / 2) / c
+    prop = SlotPropagator(op, dt_obs=T_transit, n_slots=6, cfl=0.3)
+    E = prop.forward(None, x0=x0, record_energy=True).energies
+    # The impedance condition Z = rho c is exact for normally-incident
+    # acoustic waves; the gravity-wave component reflects partially, so
+    # expect substantial (not total) energy removal, monotonically.
+    assert np.all(np.diff(E) <= 1e-12 * E[0])
+    assert E[-1] < 0.65 * E[0]

@@ -1,0 +1,141 @@
+"""Slot propagator: LTI structure, kernel extraction, p2o actions."""
+
+import numpy as np
+import pytest
+
+from repro.ocean.acoustic_gravity import AcousticGravityOperator
+from repro.ocean.propagator import SlotPropagator
+
+
+class TestSetup:
+    def test_substep_selection(self, op2d):
+        p = SlotPropagator(op2d, dt_obs=0.2, n_slots=5, cfl=0.3)
+        assert p.n_substeps >= 1
+        assert p.dt == pytest.approx(0.2 / p.n_substeps)
+        assert p.total_timesteps == 5 * p.n_substeps
+        assert p.duration == pytest.approx(1.0)
+
+    def test_explicit_substeps(self, op2d):
+        p = SlotPropagator(op2d, dt_obs=0.2, n_slots=5, n_substeps=7)
+        assert p.n_substeps == 7
+
+    def test_times(self, op2d):
+        p = SlotPropagator(op2d, dt_obs=0.5, n_slots=4, n_substeps=2)
+        np.testing.assert_allclose(p.times(), [0.5, 1.0, 1.5, 2.0])
+
+    def test_validation(self, op2d):
+        with pytest.raises(ValueError):
+            SlotPropagator(op2d, dt_obs=-1.0, n_slots=5)
+        with pytest.raises(ValueError):
+            SlotPropagator(op2d, dt_obs=0.1, n_slots=0)
+
+
+class TestLTI:
+    def test_shift_invariance(self, op2d, prop2d, sensors2d, rng):
+        Nt, Nm = prop2d.n_slots, op2d.n_parameters
+        m = np.zeros((Nt, Nm))
+        m[0] = rng.standard_normal(Nm)
+        d0 = prop2d.forward(m, sensors=sensors2d).d
+        for shift in (1, 3):
+            ms = np.zeros((Nt, Nm))
+            ms[shift] = m[0]
+            ds = prop2d.forward(ms, sensors=sensors2d).d
+            scale = max(np.abs(d0).max(), 1.0)
+            np.testing.assert_allclose(ds[shift:], d0[: Nt - shift], atol=1e-12 * scale)
+            np.testing.assert_allclose(ds[:shift], 0.0, atol=1e-14)
+
+    def test_linearity(self, op2d, prop2d, sensors2d, rng):
+        Nt, Nm = prop2d.n_slots, op2d.n_parameters
+        m1 = rng.standard_normal((Nt, Nm))
+        m2 = rng.standard_normal((Nt, Nm))
+        d1 = prop2d.forward(m1, sensors=sensors2d).d
+        d2 = prop2d.forward(m2, sensors=sensors2d).d
+        d12 = prop2d.forward(2.0 * m1 - 0.5 * m2, sensors=sensors2d).d
+        np.testing.assert_allclose(d12, 2.0 * d1 - 0.5 * d2, atol=1e-11)
+
+    def test_zero_parameters_zero_data(self, op2d, prop2d, sensors2d):
+        m = np.zeros((prop2d.n_slots, op2d.n_parameters))
+        d = prop2d.forward(m, sensors=sensors2d).d
+        np.testing.assert_array_equal(d, 0.0)
+
+    def test_causality_of_kernel(self, kernel2d):
+        # kernel[k] maps slot j to slot j+k: strictly causal support only.
+        assert kernel2d.ndim == 3
+        assert np.abs(kernel2d).max() > 0
+
+
+class TestKernelExtraction:
+    def test_adjoint_equals_forward_impulses(self, prop2d, sensors2d, kernel2d):
+        T_fwd = prop2d.p2o_kernel_forward(sensors2d)
+        scale = np.abs(T_fwd).max()
+        np.testing.assert_allclose(kernel2d, T_fwd, atol=1e-11 * scale)
+
+    def test_kernel_reproduces_forward(self, op2d, prop2d, sensors2d, kernel2d, rng):
+        Nt, Nm = prop2d.n_slots, op2d.n_parameters
+        m = rng.standard_normal((Nt, Nm))
+        d_pde = prop2d.forward(m, sensors=sensors2d).d
+        d_kernel = np.zeros_like(d_pde)
+        for i in range(Nt):
+            for j in range(i + 1):
+                d_kernel[i] += kernel2d[i - j] @ m[j]
+        np.testing.assert_allclose(d_pde, d_kernel, atol=1e-11 * np.abs(d_pde).max())
+
+    def test_counter_tracks_adjoint_solves(self, op2d, sensors2d):
+        p = SlotPropagator(op2d, dt_obs=0.2, n_slots=3, n_substeps=2)
+        p.p2o_kernel(sensors2d)
+        assert p.counter.adjoint_solves == sensors2d.n
+        assert p.counter.operator_applications == 3 * 2 * 4
+
+
+class TestP2OActions:
+    def test_apply_p2o_matches_kernel(self, op2d, prop2d, sensors2d, F2d, rng):
+        m = rng.standard_normal((prop2d.n_slots, op2d.n_parameters))
+        d1 = prop2d.apply_p2o(m, sensors2d)
+        d2 = F2d.matvec(m)
+        np.testing.assert_allclose(d1, d2, atol=1e-11 * np.abs(d2).max())
+
+    def test_apply_p2o_transpose_matches_kernel(
+        self, op2d, prop2d, sensors2d, F2d, rng
+    ):
+        d = rng.standard_normal((prop2d.n_slots, sensors2d.n))
+        g1 = prop2d.apply_p2o_transpose(d, sensors2d)
+        g2 = F2d.rmatvec(d)
+        np.testing.assert_allclose(g1, g2, atol=1e-11 * np.abs(g2).max())
+
+    def test_p2o_adjoint_identity_via_pde(self, op2d, prop2d, sensors2d, rng):
+        m = rng.standard_normal((prop2d.n_slots, op2d.n_parameters))
+        d = rng.standard_normal((prop2d.n_slots, sensors2d.n))
+        lhs = float(np.sum(prop2d.apply_p2o(m, sensors2d) * d))
+        rhs = float(np.sum(m * prop2d.apply_p2o_transpose(d, sensors2d)))
+        assert lhs == pytest.approx(rhs, rel=1e-11)
+
+
+class TestRecording:
+    def test_energy_monotone_with_absorbing(self, op2d):
+        x0 = op2d.zero_state(1)
+        _, P = op2d.views(x0)
+        c = op2d.h1.dof_coords
+        P[:, 0] = np.exp(-((c[:, 0] - 2.0) ** 2) / 0.1 - (c[:, 1] + 0.4) ** 2 / 0.05)
+        p = SlotPropagator(op2d, dt_obs=0.2, n_slots=15, cfl=0.3)
+        E = p.forward(None, x0=x0, record_energy=True).energies
+        assert np.all(np.diff(E) <= 1e-12 * E[0])
+        assert E[-1] < 0.9 * E[0]  # waves reach the absorbing sides
+
+    def test_eta_recording_shape(self, op2d, prop2d, scenario2d):
+        res = prop2d.forward(scenario2d.m, record_eta=True)
+        assert res.eta.shape == (prop2d.n_slots, op2d.surface_op.n)
+
+    def test_report_keys(self, op2d, sensors2d):
+        p = SlotPropagator(op2d, dt_obs=0.2, n_slots=2, n_substeps=2)
+        p.forward(np.zeros((2, op2d.n_parameters)), sensors=sensors2d)
+        rep = p.report()
+        assert rep["forward_solves"] == 1
+        assert rep["n_substeps"] == 2
+
+    def test_requires_m_or_x0(self, prop2d):
+        with pytest.raises(ValueError):
+            prop2d.forward(None)
+
+    def test_wrong_m_shape(self, prop2d, op2d):
+        with pytest.raises(ValueError):
+            prop2d.forward(np.zeros((3, op2d.n_parameters)))

@@ -1,0 +1,104 @@
+"""Property-based tests (hypothesis) on the FEM building blocks."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fem.basis import lagrange_eval_matrix
+from repro.fem.geometry import ElementGeometry
+from repro.fem.mesh import StructuredMesh
+from repro.fem.quadrature import gauss_legendre, gauss_lobatto
+from repro.fem.timestep import cfl_timestep
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    degree=st.integers(min_value=0, max_value=19),
+)
+def test_gauss_exactness_property(n, degree):
+    """Gauss rules integrate x^d exactly iff d <= 2n-1."""
+    r = gauss_legendre(n)
+    got = float(np.sum(r.weights * r.points**degree))
+    exact = 0.0 if degree % 2 else 2.0 / (degree + 1)
+    if degree <= 2 * n - 1:
+        assert abs(got - exact) < 1e-11
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    p=st.integers(min_value=1, max_value=8),
+    pts=st.lists(
+        st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+        min_size=1,
+        max_size=12,
+    ),
+)
+def test_partition_of_unity_property(p, pts):
+    """Lagrange basis values sum to one at any evaluation point."""
+    nodes = gauss_lobatto(p + 1).points
+    B = lagrange_eval_matrix(nodes, np.array(pts))
+    np.testing.assert_allclose(B.sum(axis=1), 1.0, atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nx=st.integers(min_value=1, max_value=6),
+    nz=st.integers(min_value=1, max_value=4),
+    depth0=st.floats(min_value=0.2, max_value=5.0),
+    amp_frac=st.floats(min_value=0.0, max_value=0.4),
+    seed=st.integers(min_value=0, max_value=99),
+)
+def test_ocean_mesh_volume_property(nx, nz, depth0, amp_frac, seed):
+    """Mesh volume equals the trapezoid of the (positive) depth samples."""
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0.0, 10.0, nx + 1))
+    x[0] = 0.0
+    if np.any(np.diff(x) < 1e-3):
+        x = np.linspace(0, 10, nx + 1)
+    depths = depth0 * (1.0 + amp_frac * rng.uniform(-1, 1, nx + 1))
+    mesh = StructuredMesh.ocean(
+        [x], nz=nz, depth=lambda xx: np.interp(xx, x, depths)
+    )
+    rule = gauss_legendre(2)
+    from repro.fem.quadrature import tensor_rule
+
+    _, w = tensor_rule([rule, rule])
+    geom = ElementGeometry.compute(mesh.element_vertices(), [rule.points] * 2)
+    vol = float(np.sum(geom.volumes(w)))
+    expected = float(np.trapezoid(depths, x))
+    assert abs(vol - expected) < 1e-9 * max(expected, 1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    order=st.integers(min_value=1, max_value=8),
+    h=st.floats(min_value=1e-3, max_value=1e3),
+    c=st.floats(min_value=1e-2, max_value=1e4),
+)
+def test_cfl_positive_and_monotone(order, h, c):
+    """CFL timestep is positive, linear in h, inverse in c."""
+    dt = cfl_timestep(h, order, c)
+    assert dt > 0
+    assert cfl_timestep(2 * h, order, c) > dt
+    assert cfl_timestep(h, order, 2 * c) < dt
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    p=st.integers(min_value=1, max_value=5),
+    nx=st.integers(min_value=1, max_value=5),
+    nz=st.integers(min_value=1, max_value=3),
+)
+def test_gather_scatter_duality_property(p, nx, nz):
+    """<Ev, e> == <v, E^T e> for random v, e on any mesh/order."""
+    from repro.fem.spaces import H1Space
+
+    mesh = StructuredMesh.ocean([np.linspace(0, 2, nx + 1)], nz=nz, depth=1.0)
+    s = H1Space(mesh, p)
+    rng = np.random.default_rng(p * 100 + nx * 10 + nz)
+    v = rng.standard_normal(s.ndof)
+    e = rng.standard_normal((mesh.n_elements, s.nloc))
+    lhs = float(np.sum(s.to_evector(v) * e))
+    rhs = float(np.sum(v * s.from_evector_add(e)))
+    assert abs(lhs - rhs) < 1e-9 * (abs(lhs) + 1.0)

@@ -1,0 +1,76 @@
+"""Property-based tests on the prior's SPD structure and calibration."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inference.prior import BiLaplacianPrior, SpatioTemporalPrior
+
+
+def _axes(seed, n):
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.uniform(0, 1, n))
+    x[0], x[-1] = 0.0, 1.0
+    if np.any(np.diff(x) < 1e-4):
+        x = np.linspace(0, 1, n)
+    return [x]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=25),
+    sigma=st.floats(min_value=0.05, max_value=5.0),
+    rho=st.floats(min_value=0.05, max_value=1.0),
+    seed=st.integers(0, 99),
+)
+def test_calibration_property(n, sigma, rho, seed):
+    """from_correlation hits the requested center marginal variance."""
+    p = BiLaplacianPrior.from_correlation(_axes(seed, n), sigma, rho)
+    got = p.marginal_variance_at(p.center_index())
+    assert abs(got - sigma**2) < 1e-6 * sigma**2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=20),
+    gamma=st.floats(min_value=0.01, max_value=10.0),
+    delta=st.floats(min_value=0.01, max_value=10.0),
+    seed=st.integers(0, 99),
+)
+def test_spd_property(n, gamma, delta, seed):
+    """Any (gamma, delta) > 0 yields an SPD covariance."""
+    p = BiLaplacianPrior(_axes(seed, n), gamma, delta)
+    G = p.dense()
+    np.testing.assert_allclose(G, G.T, atol=1e-10 * np.abs(G).max())
+    assert np.linalg.eigvalsh(G).min() > 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=15),
+    seed=st.integers(0, 99),
+)
+def test_quadratic_form_consistency(n, seed):
+    """<v, Gamma^{-1} Gamma v> == <v, v> (inverse is exact)."""
+    p = BiLaplacianPrior.from_correlation(_axes(seed, n), 0.5, 0.3)
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(p.n)
+    w = p.apply_inverse(p.apply(v))
+    assert np.abs(w - v).max() < 1e-6 * (np.abs(v).max() + 1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=12),
+    nt=st.integers(min_value=1, max_value=5),
+    rho_t=st.one_of(st.none(), st.floats(min_value=0.0, max_value=0.9)),
+    seed=st.integers(0, 99),
+)
+def test_spatiotemporal_sqrt_property(n, nt, rho_t, seed):
+    """L L^T == Gamma_prior for the spatio-temporal factorization."""
+    sp = BiLaplacianPrior.from_correlation(_axes(seed, n), 0.4, 0.3)
+    st_prior = SpatioTemporalPrior(sp, nt, temporal_rho=rho_t)
+    N = nt * sp.n
+    L = st_prior.apply_sqrt(np.eye(N).reshape(nt, sp.n, N)).reshape(N, N)
+    G = st_prior.dense()
+    np.testing.assert_allclose(L @ L.T, G, atol=1e-8 * np.abs(G).max())

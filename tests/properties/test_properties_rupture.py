@@ -1,0 +1,83 @@
+"""Property-based tests on rupture kinematics invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rupture.kinematic import KinematicRupture
+from repro.rupture.source import BoxcarSTF, SmoothRampSTF, TriangleSTF
+
+STF_CLASSES = [BoxcarSTF, TriangleSTF, SmoothRampSTF]
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=30),
+    vr=st.floats(min_value=0.1, max_value=10.0),
+    rise=st.floats(min_value=0.05, max_value=3.0),
+    onset=st.floats(min_value=0.0, max_value=1.0),
+    stf_i=st.integers(0, 2),
+    seed=st.integers(0, 99),
+)
+def test_causality_property(n, vr, rise, onset, stf_i, seed):
+    """No point slips before the rupture front reaches it."""
+    rng = np.random.default_rng(seed)
+    coords = np.sort(rng.uniform(0, 5, n))
+    r = KinematicRupture(
+        coords=coords,
+        slip=np.abs(rng.standard_normal(n)),
+        hypocenter=np.array([float(coords[n // 2])]),
+        rupture_velocity=vr,
+        stf=STF_CLASSES[stf_i](rise_time=rise),
+        onset=onset,
+    )
+    ta = r.arrival_times()
+    t = np.linspace(0, float(ta.max() + rise), 40)
+    rate = r.slip_rate(t)
+    for i, ti in enumerate(t):
+        # Strictly before arrival (the STF support is [0, rise)).
+        assert np.all(rate[i, ti < ta] == 0.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=20),
+    vr=st.floats(min_value=0.5, max_value=5.0),
+    rise=st.floats(min_value=0.05, max_value=1.0),
+    dt=st.floats(min_value=0.1, max_value=1.0),
+    stf_i=st.integers(0, 2),
+    seed=st.integers(0, 99),
+)
+def test_total_slip_conservation_property(n, vr, rise, dt, stf_i, seed):
+    """dt * sum_j m_j == slip once the window covers the rupture."""
+    rng = np.random.default_rng(seed)
+    coords = np.sort(rng.uniform(0, 3, n))
+    slip = np.abs(rng.standard_normal(n)) + 0.1
+    r = KinematicRupture(
+        coords=coords,
+        slip=slip,
+        hypocenter=np.array([0.0]),
+        rupture_velocity=vr,
+        stf=STF_CLASSES[stf_i](rise_time=rise),
+    )
+    nt = int(np.ceil(r.duration() / dt)) + 1
+    m = r.slot_averages(nt=nt, dt_obs=dt)
+    np.testing.assert_allclose(dt * m.sum(axis=0), slip, atol=1e-10)
+    assert np.all(m >= -1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    rise=st.floats(min_value=0.01, max_value=10.0),
+    stf_i=st.integers(0, 2),
+    t=st.floats(min_value=-5.0, max_value=15.0),
+)
+def test_stf_cumulative_bounds_property(rise, stf_i, t):
+    """Cumulative STF lies in [0, 1] and respects causal support."""
+    stf = STF_CLASSES[stf_i](rise_time=rise)
+    c = float(stf.cumulative(np.array([t]))[0])
+    assert 0.0 <= c <= 1.0
+    if t <= 0:
+        assert c == 0.0
+    if t >= rise:
+        assert c == 1.0

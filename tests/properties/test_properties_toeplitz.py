@@ -1,0 +1,93 @@
+"""Property-based tests on the block-Toeplitz FFT algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.inference.toeplitz import BlockToeplitzOperator
+
+dims = st.tuples(
+    st.integers(min_value=1, max_value=10),  # Nt
+    st.integers(min_value=1, max_value=5),   # n_out
+    st.integers(min_value=1, max_value=6),   # n_in
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=dims, seed=st.integers(0, 999))
+def test_matvec_equals_dense(shape, seed):
+    """FFT matvec == dense block-Toeplitz matvec for any shape."""
+    nt, no, ni = shape
+    rng = np.random.default_rng(seed)
+    op = BlockToeplitzOperator(rng.standard_normal((nt, no, ni)))
+    m = rng.standard_normal((nt, ni))
+    np.testing.assert_allclose(
+        op.matvec(m).reshape(-1), op.dense() @ m.reshape(-1), atol=1e-10
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(shape=dims, seed=st.integers(0, 999))
+def test_adjoint_identity_property(shape, seed):
+    """<F m, d> == <m, F* d> for any kernel and vectors."""
+    nt, no, ni = shape
+    rng = np.random.default_rng(seed)
+    op = BlockToeplitzOperator(rng.standard_normal((nt, no, ni)))
+    m = rng.standard_normal((nt, ni))
+    d = rng.standard_normal((nt, no))
+    lhs = float(np.sum(op.matvec(m) * d))
+    rhs = float(np.sum(m * op.rmatvec(d)))
+    assert abs(lhs - rhs) < 1e-9 * (abs(lhs) + abs(rhs) + 1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=dims, seed=st.integers(0, 999), shift=st.integers(1, 5))
+def test_shift_equivariance_property(shape, seed, shift):
+    """Shifting the input in time shifts the output (causal LTI)."""
+    nt, no, ni = shape
+    if shift >= nt:
+        return
+    rng = np.random.default_rng(seed)
+    op = BlockToeplitzOperator(rng.standard_normal((nt, no, ni)))
+    m = np.zeros((nt, ni))
+    m[0] = rng.standard_normal(ni)
+    d0 = op.matvec(m)
+    ms = np.roll(m, shift, axis=0)
+    ds = op.matvec(ms)
+    np.testing.assert_allclose(ds[shift:], d0[: nt - shift], atol=1e-10)
+    np.testing.assert_allclose(ds[:shift], 0.0, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shape=dims, seed=st.integers(0, 999))
+def test_linearity_property(shape, seed):
+    """F(a m1 + b m2) == a F m1 + b F m2."""
+    nt, no, ni = shape
+    rng = np.random.default_rng(seed)
+    op = BlockToeplitzOperator(rng.standard_normal((nt, no, ni)))
+    m1 = rng.standard_normal((nt, ni))
+    m2 = rng.standard_normal((nt, ni))
+    a, b = rng.standard_normal(2)
+    lhs = op.matvec(a * m1 + b * m2)
+    rhs = a * op.matvec(m1) + b * op.matvec(m2)
+    np.testing.assert_allclose(lhs, rhs, atol=1e-9 * (np.abs(rhs).max() + 1.0))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    nt=st.integers(min_value=2, max_value=8),
+    n=st.integers(min_value=1, max_value=4),
+    seed=st.integers(0, 999),
+)
+def test_gram_psd_property(nt, n, seed):
+    """F F^T (dense, via matvecs) is symmetric positive semidefinite."""
+    rng = np.random.default_rng(seed)
+    op = BlockToeplitzOperator(rng.standard_normal((nt, n, n)))
+    N = nt * n
+    cols = np.zeros((nt, n, N))
+    for j in range(N):
+        cols[j // n, j % n, j] = 1.0
+    G = op.matvec(op.rmatvec(cols)).reshape(N, N)
+    np.testing.assert_allclose(G, G.T, atol=1e-9 * (np.abs(G).max() + 1))
+    ev = np.linalg.eigvalsh(0.5 * (G + G.T))
+    assert ev.min() > -1e-8 * max(ev.max(), 1.0)

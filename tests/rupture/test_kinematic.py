@@ -1,0 +1,120 @@
+"""Kinematic rupture: causality, slot averaging, consistency."""
+
+import numpy as np
+import pytest
+
+from repro.rupture.kinematic import KinematicRupture
+from repro.rupture.source import BoxcarSTF, SmoothRampSTF
+
+
+@pytest.fixture()
+def rupture():
+    x = np.linspace(0, 10, 21)
+    slip = 1.0 + 0.5 * np.sin(x)
+    return KinematicRupture(
+        coords=x,
+        slip=slip,
+        hypocenter=np.array([2.0]),
+        rupture_velocity=2.0,
+        stf=SmoothRampSTF(rise_time=1.0),
+        onset=0.5,
+    )
+
+
+class TestArrivals:
+    def test_arrival_times(self, rupture):
+        ta = rupture.arrival_times()
+        assert ta[4] == pytest.approx(0.5)  # the hypocenter node (x = 2)
+        assert ta[-1] == pytest.approx(0.5 + 8.0 / 2.0)
+
+    def test_duration(self, rupture):
+        assert rupture.duration() == pytest.approx(0.5 + 4.0 + 1.0)
+
+
+class TestCausality:
+    def test_no_slip_before_arrival(self, rupture):
+        ta = rupture.arrival_times()
+        t = np.linspace(0, 6, 61)
+        rate = rupture.slip_rate(t)
+        for i, ti in enumerate(t):
+            quiet = ti <= ta
+            np.testing.assert_allclose(rate[i, quiet], 0.0, atol=1e-14)
+
+    def test_slot_averages_causal(self, rupture):
+        m = rupture.slot_averages(nt=12, dt_obs=0.5)
+        ta = rupture.arrival_times()
+        edges = 0.5 * np.arange(13)
+        for j in range(12):
+            quiet = edges[j + 1] <= ta
+            np.testing.assert_allclose(m[j, quiet], 0.0, atol=1e-14)
+
+
+class TestConsistency:
+    def test_total_slip_recovered(self, rupture):
+        nt = 16  # covers duration 5.5 at dt 0.5 -> 8.0
+        m = rupture.slot_averages(nt=nt, dt_obs=0.5)
+        np.testing.assert_allclose(0.5 * m.sum(axis=0), rupture.slip, atol=1e-12)
+
+    def test_slot_average_is_exact_cumulative_increment(self, rupture):
+        m = rupture.slot_averages(nt=8, dt_obs=0.5)
+        edges = 0.5 * np.arange(9)
+        cum = rupture.cumulative_slip(edges)
+        np.testing.assert_allclose(m, np.diff(cum, axis=0) / 0.5, atol=1e-13)
+
+    def test_boxcar_constant_rate_during_rise(self):
+        x = np.array([0.0])
+        r = KinematicRupture(
+            coords=x, slip=np.array([2.0]), hypocenter=np.array([0.0]),
+            rupture_velocity=1.0, stf=BoxcarSTF(rise_time=1.0),
+        )
+        # rupture arrives at t=0; rate is 2.0 for t in [0, 1)
+        m = r.slot_averages(nt=4, dt_obs=0.5)
+        np.testing.assert_allclose(m[:2, 0], 2.0, atol=1e-13)
+        np.testing.assert_allclose(m[2:, 0], 0.0, atol=1e-13)
+
+    def test_final_displacement(self, rupture):
+        np.testing.assert_array_equal(rupture.final_displacement(), rupture.slip)
+
+
+class TestValidation:
+    def test_negative_slip_rejected(self):
+        with pytest.raises(ValueError):
+            KinematicRupture(
+                coords=np.array([0.0]), slip=np.array([-1.0]),
+                hypocenter=np.array([0.0]), rupture_velocity=1.0,
+            )
+
+    def test_dimension_mismatches(self):
+        with pytest.raises(ValueError):
+            KinematicRupture(
+                coords=np.zeros((3, 1)), slip=np.ones(2),
+                hypocenter=np.array([0.0]), rupture_velocity=1.0,
+            )
+        with pytest.raises(ValueError):
+            KinematicRupture(
+                coords=np.zeros((3, 2)), slip=np.ones(3),
+                hypocenter=np.array([0.0]), rupture_velocity=1.0,
+            )
+
+    def test_bad_velocity_or_onset(self):
+        with pytest.raises(ValueError):
+            KinematicRupture(
+                coords=np.array([0.0]), slip=np.array([1.0]),
+                hypocenter=np.array([0.0]), rupture_velocity=0.0,
+            )
+        with pytest.raises(ValueError):
+            KinematicRupture(
+                coords=np.array([0.0]), slip=np.array([1.0]),
+                hypocenter=np.array([0.0]), rupture_velocity=1.0, onset=-1.0,
+            )
+
+    def test_2d_fault_plane(self):
+        rng = np.random.default_rng(0)
+        coords = rng.uniform(0, 1, (30, 2))
+        r = KinematicRupture(
+            coords=coords, slip=np.ones(30), hypocenter=np.array([0.5, 0.5]),
+            rupture_velocity=1.0,
+        )
+        ta = r.arrival_times()
+        d = np.linalg.norm(coords - 0.5, axis=1)
+        np.testing.assert_allclose(ta, d, atol=1e-13)

@@ -1,0 +1,96 @@
+"""Random fields: normalization, spectra, interpolation, tapers."""
+
+import numpy as np
+import pytest
+
+from repro.rupture.randomfields import (
+    cosine_taper,
+    gaussian_random_field,
+    interpolate_to_points,
+    spectral_field,
+    von_karman_field,
+)
+
+
+class TestSynthesis:
+    def test_unit_variance_zero_mean(self):
+        f = von_karman_field((64, 64), (1.0, 1.0), 0.2, seed=0)
+        assert abs(float(f.mean())) < 1e-12
+        assert float(f.std()) == pytest.approx(1.0, abs=1e-12)
+
+    def test_deterministic_by_seed(self):
+        a = von_karman_field((32,), (1.0,), 0.2, seed=5)
+        b = von_karman_field((32,), (1.0,), 0.2, seed=5)
+        c = von_karman_field((32,), (1.0,), 0.2, seed=6)
+        np.testing.assert_array_equal(a, b)
+        assert not np.allclose(a, c)
+
+    def test_correlation_length_controls_smoothness(self):
+        rough = von_karman_field((256,), (1.0,), 0.01, seed=1)
+        smooth = von_karman_field((256,), (1.0,), 0.3, seed=1)
+        # mean-square increment of the smooth field is far smaller
+        assert np.mean(np.diff(smooth) ** 2) < 0.2 * np.mean(np.diff(rough) ** 2)
+
+    def test_hurst_controls_high_frequency_content(self):
+        lo_h = von_karman_field((256,), (1.0,), 0.1, hurst=0.1, seed=2)
+        hi_h = von_karman_field((256,), (1.0,), 0.1, hurst=1.0, seed=2)
+        assert np.mean(np.diff(hi_h) ** 2) < np.mean(np.diff(lo_h) ** 2)
+
+    def test_gaussian_field_smoother_than_vonkarman(self):
+        g = gaussian_random_field((256,), (1.0,), 0.1, seed=3)
+        v = von_karman_field((256,), (1.0,), 0.1, hurst=0.5, seed=3)
+        assert np.mean(np.diff(g) ** 2) < np.mean(np.diff(v) ** 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            von_karman_field((32,), (1.0,), -0.1)
+        with pytest.raises(ValueError):
+            von_karman_field((32,), (1.0,), 0.1, hurst=1.5)
+        with pytest.raises(ValueError):
+            spectral_field((8,), (1.0,), lambda k: np.zeros_like(k))
+
+
+class TestInterpolation:
+    def test_exact_at_grid_nodes(self):
+        f = von_karman_field((20, 15), (2.0, 1.0), 0.3, seed=0)
+        ax = [np.linspace(0, 2, 20), np.linspace(0, 1, 15)]
+        pts = np.stack(np.meshgrid(ax[0][::3], ax[1][::4], indexing="ij"), -1).reshape(-1, 2)
+        vals = interpolate_to_points(f, ax, pts)
+        np.testing.assert_allclose(vals, f[::3, ::4].reshape(-1), atol=1e-12)
+
+    def test_linear_fields_exact(self):
+        ax = [np.linspace(0, 1, 9), np.linspace(0, 1, 7)]
+        X, Y = np.meshgrid(ax[0], ax[1], indexing="ij")
+        f = 2 * X - 3 * Y
+        rng = np.random.default_rng(0)
+        pts = rng.uniform(0, 1, (20, 2))
+        vals = interpolate_to_points(f, ax, pts)
+        np.testing.assert_allclose(vals, 2 * pts[:, 0] - 3 * pts[:, 1], atol=1e-12)
+
+    def test_clamps_outside_points(self):
+        ax = [np.linspace(0, 1, 5)]
+        f = np.linspace(0, 1, 5)
+        vals = interpolate_to_points(f, ax, np.array([[-0.5], [1.5]]))
+        np.testing.assert_allclose(vals, [0.0, 1.0], atol=1e-12)
+
+
+class TestTaper:
+    def test_zero_at_edges_one_inside(self):
+        x = np.linspace(0, 1, 101)
+        t = cosine_taper(x, 0.2, 0.8, 0.1)
+        assert np.all(t[x <= 0.2] == 0.0)
+        assert np.all(t[x >= 0.8] == 0.0)
+        center = t[np.abs(x - 0.5) < 0.1]
+        np.testing.assert_allclose(center, 1.0, atol=1e-12)
+
+    def test_smooth_monotone_ramp(self):
+        x = np.linspace(0.2, 0.3, 50)
+        t = cosine_taper(x, 0.2, 0.8, 0.1)
+        assert np.all(np.diff(t) >= 0)
+        assert np.all((t >= 0) & (t <= 1))
+
+    def test_2d_taper_product(self):
+        pts = np.array([[0.5, 0.5], [0.0, 0.5], [0.5, 0.0]])
+        t = cosine_taper(pts, [0.0, 0.0], [1.0, 1.0], [0.2, 0.2])
+        assert t[0] == pytest.approx(1.0)
+        assert t[1] == 0.0 and t[2] == 0.0

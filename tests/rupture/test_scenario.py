@@ -1,0 +1,108 @@
+"""Margin-wide scenarios: locked zone, determinism, metadata, smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.rupture.scenario import margin_wide_scenario
+from repro.rupture.transfer import elastic_smoothing_matrix, gaussian_smoothing_1d
+
+
+class TestScenario:
+    def test_shapes_and_positivity(self, op2d):
+        sc = margin_wide_scenario(op2d.bottom_trace, nt=10, dt_obs=0.2, seed=1)
+        assert sc.m.shape == (10, op2d.bottom_trace.n)
+        assert sc.nt == 10 and sc.nm == op2d.bottom_trace.n
+        assert np.all(sc.displacement >= -1e-12)
+        assert sc.info["peak_uplift"] > 0
+
+    def test_peak_normalization(self, op2d):
+        sc = margin_wide_scenario(
+            op2d.bottom_trace, nt=10, dt_obs=0.2, peak_uplift=0.37, seed=1
+        )
+        assert sc.rupture.slip.max() == pytest.approx(0.37, rel=1e-12)
+
+    def test_deterministic(self, op2d):
+        a = margin_wide_scenario(op2d.bottom_trace, nt=8, dt_obs=0.25, seed=3)
+        b = margin_wide_scenario(op2d.bottom_trace, nt=8, dt_obs=0.25, seed=3)
+        c = margin_wide_scenario(op2d.bottom_trace, nt=8, dt_obs=0.25, seed=4)
+        np.testing.assert_array_equal(a.m, b.m)
+        assert not np.allclose(a.m, c.m)
+
+    def test_locked_zone_confinement(self, op2d):
+        sc = margin_wide_scenario(
+            op2d.bottom_trace, nt=10, dt_obs=0.2, locked_zone=(0.2, 0.5), seed=0,
+            smoothing_length_frac=0.01,
+        )
+        x = op2d.bottom_trace.coords[:, 0]
+        lo, hi = x.min(), x.max()
+        span = hi - lo
+        outside = (x < lo + 0.15 * span) | (x > lo + 0.60 * span)
+        # Slip (before smoothing leakage) is concentrated in the zone.
+        assert sc.rupture.slip[outside].max() < 0.2 * sc.rupture.slip.max()
+
+    def test_causality_against_front(self, op2d):
+        sc = margin_wide_scenario(op2d.bottom_trace, nt=12, dt_obs=0.25, seed=2)
+        ta = sc.rupture.arrival_times()
+        times = 0.25 * np.arange(1, 13)
+        for j in range(12):
+            quiet = times[j] <= ta
+            np.testing.assert_allclose(sc.m[j][quiet], 0.0, atol=1e-13)
+
+    def test_displacement_consistency_when_complete(self, op2d):
+        sc = margin_wide_scenario(
+            op2d.bottom_trace, nt=40, dt_obs=0.25, seed=2,
+            rise_time=0.5, rupture_velocity=2.0,
+        )
+        assert sc.rupture.duration() < 40 * 0.25
+        np.testing.assert_allclose(
+            sc.displacement, sc.rupture.final_displacement(), atol=1e-12
+        )
+
+    def test_magnitude_metadata(self, op2d):
+        sc = margin_wide_scenario(op2d.bottom_trace, nt=10, dt_obs=0.2, seed=0)
+        assert "mw_analog" in sc.info and np.isfinite(sc.info["mw_analog"])
+        assert sc.info["moment"] > 0
+
+    def test_3d_scenario(self, op3d):
+        sc = margin_wide_scenario(op3d.bottom_trace, nt=8, dt_obs=0.3, seed=1)
+        assert sc.m.shape == (8, op3d.bottom_trace.n)
+        assert np.all(sc.displacement >= -1e-12)
+
+    def test_validation(self, op2d):
+        with pytest.raises(ValueError):
+            margin_wide_scenario(op2d.bottom_trace, nt=0, dt_obs=0.2)
+        with pytest.raises(ValueError):
+            margin_wide_scenario(op2d.bottom_trace, nt=5, dt_obs=0.2, peak_uplift=-1.0)
+
+
+class TestElasticSmoothing:
+    def test_exact_on_constants(self):
+        x = np.sort(np.random.default_rng(0).uniform(0, 1, 20))
+        W = gaussian_smoothing_1d(x, 0.1)
+        np.testing.assert_allclose(W @ np.ones(20), 1.0, atol=1e-12)
+
+    def test_contractive_max_norm(self, rng):
+        x = np.linspace(0, 1, 30)
+        W = gaussian_smoothing_1d(x, 0.15)
+        v = rng.standard_normal(30)
+        assert np.abs(W @ v).max() <= np.abs(v).max() + 1e-12
+
+    def test_reduces_roughness(self, rng):
+        x = np.linspace(0, 1, 50)
+        W = gaussian_smoothing_1d(x, 0.1)
+        v = rng.standard_normal(50)
+        assert np.mean(np.diff(W @ v) ** 2) < 0.5 * np.mean(np.diff(v) ** 2)
+
+    def test_tensor_kron(self):
+        ax = [np.linspace(0, 1, 6), np.linspace(0, 1, 5)]
+        W = elastic_smoothing_matrix(ax, 0.2)
+        assert W.shape == (30, 30)
+        np.testing.assert_allclose(W @ np.ones(30), 1.0, atol=1e-12)
+
+    def test_single_node_identity(self):
+        W = gaussian_smoothing_1d(np.array([0.3]), 0.1)
+        np.testing.assert_array_equal(W, [[1.0]])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gaussian_smoothing_1d(np.linspace(0, 1, 5), -0.1)

@@ -1,0 +1,94 @@
+"""Source-time functions and magnitude utilities."""
+
+import numpy as np
+import pytest
+
+from repro.rupture.source import (
+    BoxcarSTF,
+    SmoothRampSTF,
+    TriangleSTF,
+    magnitude_to_moment,
+    moment_magnitude,
+    seismic_moment,
+)
+
+ALL_STFS = [BoxcarSTF, TriangleSTF, SmoothRampSTF]
+
+
+@pytest.mark.parametrize("cls", ALL_STFS)
+class TestSTFInvariants:
+    def test_rate_integrates_to_one(self, cls):
+        stf = cls(rise_time=0.7)
+        t = np.linspace(-0.2, 1.2, 20001)
+        integral = float(np.trapezoid(stf.rate(t), t))
+        assert integral == pytest.approx(1.0, abs=1e-3)
+
+    def test_cumulative_is_integral_of_rate(self, cls):
+        stf = cls(rise_time=0.5)
+        t = np.linspace(-0.1, 0.8, 2001)
+        from scipy.integrate import cumulative_trapezoid
+
+        num = cumulative_trapezoid(stf.rate(t), t, initial=0.0)
+        np.testing.assert_allclose(stf.cumulative(t), num, atol=2e-3)
+
+    def test_causal_support(self, cls):
+        stf = cls(rise_time=1.0)
+        t = np.array([-1.0, -1e-9, 1.0 + 1e-9, 5.0])
+        np.testing.assert_allclose(stf.rate(t), 0.0, atol=1e-14)
+        assert stf.cumulative(np.array([-0.5]))[0] == 0.0
+        assert stf.cumulative(np.array([2.0]))[0] == 1.0
+
+    def test_rate_nonnegative(self, cls):
+        stf = cls(rise_time=0.3)
+        t = np.linspace(-0.1, 0.5, 500)
+        assert np.all(stf.rate(t) >= 0)
+
+    def test_cumulative_monotone(self, cls):
+        stf = cls(rise_time=0.3)
+        t = np.linspace(-0.1, 0.5, 500)
+        assert np.all(np.diff(stf.cumulative(t)) >= -1e-15)
+
+    def test_validation(self, cls):
+        with pytest.raises(ValueError):
+            cls(rise_time=0.0)
+
+
+def test_triangle_peak_at_half_rise():
+    stf = TriangleSTF(rise_time=1.0)
+    t = np.linspace(0, 1, 1001)
+    r = stf.rate(t)
+    assert t[np.argmax(r)] == pytest.approx(0.5, abs=1e-2)
+    assert r.max() == pytest.approx(2.0, rel=1e-2)
+
+
+def test_smooth_ramp_is_c1():
+    stf = SmoothRampSTF(rise_time=1.0)
+    # rate is continuous at onset and arrest (zero at both)
+    eps = 1e-6
+    assert stf.rate(np.array([eps]))[0] < 1e-4
+    assert stf.rate(np.array([1.0 - eps]))[0] < 1e-4
+
+
+class TestMagnitude:
+    def test_moment_formula(self):
+        m0 = seismic_moment(np.array([2.0]), np.array([1e6]), rigidity=30e9)
+        assert m0 == pytest.approx(6e16)
+
+    def test_mw_hanks_kanamori(self):
+        # Mw 9.0 <-> M0 ~ 3.5e22 N m
+        assert moment_magnitude(3.55e22) == pytest.approx(9.0, abs=0.01)
+
+    def test_roundtrip(self):
+        for mw in (6.0, 7.5, 8.7, 9.2):
+            assert moment_magnitude(magnitude_to_moment(mw)) == pytest.approx(mw)
+
+    def test_mw87_scale(self):
+        # A margin-wide Cascadia rupture: ~1000 km x 100 km, ~10 m slip.
+        m0 = seismic_moment(np.array([10.0]), np.array([1e6 * 1e5]), rigidity=30e9)
+        assert moment_magnitude(m0) == pytest.approx(8.7, abs=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            seismic_moment(np.array([1.0]), np.array([1.0]), rigidity=-1.0)
+        with pytest.raises(ValueError):
+            moment_magnitude(0.0)

@@ -1,0 +1,74 @@
+"""Operator archive: save/load roundtrips and rebuilt online solves."""
+
+import numpy as np
+import pytest
+
+from repro.twin.archive import (
+    load_twin_archive,
+    rebuild_inversion,
+    save_twin_archive,
+)
+from repro.twin.cascadia import CascadiaTwin
+from repro.twin.config import TwinConfig
+
+
+@pytest.fixture(scope="module")
+def twin_archive(tmp_path_factory):
+    cfg = TwinConfig.demo_2d(n_slots=8, n_sensors=6)
+    twin = CascadiaTwin(cfg)
+    res = twin.run_end_to_end()
+    path = tmp_path_factory.mktemp("archive") / "twin.npz"
+    saved = save_twin_archive(path, twin.inversion, config=cfg)
+    return twin, res, saved
+
+
+class TestRoundtrip:
+    def test_file_written(self, twin_archive):
+        _, _, path = twin_archive
+        assert path.exists() and path.stat().st_size > 0
+
+    def test_kernels_restored(self, twin_archive):
+        twin, _, path = twin_archive
+        arch = load_twin_archive(path)
+        np.testing.assert_array_equal(arch["F"].kernel, twin.F.kernel)
+        np.testing.assert_array_equal(arch["Fq"].kernel, twin.Fq.kernel)
+
+    def test_config_restored(self, twin_archive):
+        twin, _, path = twin_archive
+        arch = load_twin_archive(path)
+        assert arch["config"] == twin.config
+
+    def test_prior_restored_functionally(self, twin_archive, rng):
+        twin, _, path = twin_archive
+        arch = load_twin_archive(path)
+        m = rng.standard_normal((twin.config.n_slots, twin.operator.n_parameters))
+        np.testing.assert_allclose(
+            arch["prior"].apply(m), twin.prior.apply(m), atol=1e-10
+        )
+
+    def test_online_solve_from_archive(self, twin_archive):
+        twin, res, path = twin_archive
+        inv2 = rebuild_inversion(load_twin_archive(path))
+        m2 = inv2.infer(res.d_obs)
+        np.testing.assert_allclose(m2, res.m_map, atol=1e-7 * np.abs(res.m_map).max())
+        fc2 = inv2.predict(res.d_obs)
+        np.testing.assert_allclose(fc2.mean, res.forecast.mean, atol=1e-7)
+
+    def test_uncompressed_and_mmap(self, twin_archive, tmp_path):
+        twin, res, _ = twin_archive
+        p = tmp_path / "twin_raw.npz"
+        save_twin_archive(p, twin.inversion, config=twin.config, compressed=False)
+        arch = load_twin_archive(p, mmap=True)
+        inv2 = rebuild_inversion(arch)
+        m2 = inv2.infer(res.d_obs)
+        np.testing.assert_allclose(m2, res.m_map, atol=1e-7 * np.abs(res.m_map).max())
+
+    def test_requires_phase2(self, twin_archive, tmp_path):
+        from repro.inference.bayes import ToeplitzBayesianInversion
+
+        twin, _, _ = twin_archive
+        fresh = ToeplitzBayesianInversion(
+            twin.F, twin.prior, twin.inversion.noise, Fq=twin.Fq
+        )
+        with pytest.raises(RuntimeError):
+            save_twin_archive(tmp_path / "x.npz", fresh)

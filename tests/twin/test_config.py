@@ -1,0 +1,39 @@
+"""Twin configuration: presets, validation, serialization."""
+
+import pytest
+
+from repro.twin.config import TwinConfig
+
+
+def test_demo_presets_valid():
+    for preset in (TwinConfig.demo_2d(), TwinConfig.demo_3d(), TwinConfig.cascadia_2d()):
+        assert preset.n_slots >= 1 and preset.n_sensors >= 1
+
+
+def test_overrides():
+    cfg = TwinConfig.demo_2d(n_sensors=7, n_slots=9)
+    assert cfg.n_sensors == 7 and cfg.n_slots == 9
+
+
+def test_cascadia_preset_physical_units():
+    cfg = TwinConfig.cascadia_2d()
+    assert cfg.material == "standard"
+    assert cfg.dt_obs == 1.0  # the paper's 1 Hz cadence
+    assert cfg.length_x == 100_000.0
+
+
+def test_roundtrip_dict():
+    cfg = TwinConfig.demo_2d(seed=42, temporal_rho=0.3)
+    back = TwinConfig.from_dict(cfg.as_dict())
+    assert back == cfg
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TwinConfig(dim=4)
+    with pytest.raises(ValueError):
+        TwinConfig(bathymetry="mariana")
+    with pytest.raises(ValueError):
+        TwinConfig(noise_relative=-0.01)
+    with pytest.raises(ValueError):
+        TwinConfig(sensor_layout="spiral")

@@ -1,0 +1,95 @@
+"""Greedy A-optimal sensor placement: exactness, monotonicity, dominance."""
+
+import numpy as np
+import pytest
+
+from repro.inference.bayes import ToeplitzBayesianInversion
+from repro.inference.noise import NoiseModel
+from repro.twin import CascadiaTwin, GreedySensorPlacement, TwinConfig
+
+
+@pytest.fixture(scope="module")
+def placement():
+    twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=8, n_sensors=4))
+    twin.setup()
+    twin.phase1()
+    lo, hi = twin.mesh.bounding_box()
+    cand = np.linspace(lo[0] + 0.3, hi[0] - 0.3, 10)[:, None]
+    gp = GreedySensorPlacement(
+        twin.propagator, cand, twin.Fq, twin.prior, noise_sigma=0.005
+    )
+    return twin, gp
+
+
+class TestObjective:
+    def test_empty_set_is_prior_trace(self, placement):
+        _, gp = placement
+        assert gp.objective([]) == pytest.approx(float(np.trace(gp._Pq)))
+
+    def test_objective_matches_full_inversion(self, placement):
+        """The subset objective equals trace(Gamma_post(q)) from a
+        from-scratch inversion restricted to those sensors."""
+        twin, gp = placement
+        subset = [1, 4, 8]
+        from repro.inference.toeplitz import BlockToeplitzOperator
+
+        kernel_sub = np.ascontiguousarray(gp.kernel_all[:, subset, :])
+        F_sub = BlockToeplitzOperator(kernel_sub)
+        noise = NoiseModel(gp.noise_sigma, gp.nt, len(subset))
+        inv = ToeplitzBayesianInversion(F_sub, twin.prior, noise, Fq=twin.Fq)
+        inv.assemble_data_space_hessian(method="direct")
+        out = inv.assemble_goal_oriented(method="direct")
+        ref = float(np.trace(out["qoi_covariance"]))
+        assert gp.objective(subset) == pytest.approx(ref, rel=1e-9)
+
+    def test_monotone_in_sensors(self, placement):
+        """Adding any sensor never increases the posterior trace."""
+        _, gp = placement
+        base = gp.objective([2, 6])
+        for j in (0, 4, 9):
+            assert gp.objective([2, 6, j]) <= base + 1e-12
+
+
+class TestGreedy:
+    def test_trace_monotone_decreasing(self, placement):
+        _, gp = placement
+        res = gp.select(4)
+        ot = res.objective_trace
+        assert all(b <= a + 1e-12 for a, b in zip(ot, ot[1:]))
+        assert 0.0 < res.reduction() <= 1.0
+
+    def test_no_duplicates_and_valid_indices(self, placement):
+        _, gp = placement
+        res = gp.select(5)
+        assert len(set(res.selected)) == 5
+        assert all(0 <= j < gp.n_candidates for j in res.selected)
+        assert res.positions.shape == (5, 1)
+
+    def test_first_pick_is_single_best(self, placement):
+        _, gp = placement
+        res = gp.select(1)
+        singles = [gp.objective([j]) for j in range(gp.n_candidates)]
+        assert res.selected[0] == int(np.argmin(singles))
+
+    def test_beats_or_ties_regular_layout(self, placement):
+        _, gp = placement
+        for k in (2, 4):
+            greedy, regular = gp.compare_with_regular(k)
+            assert greedy <= regular + 1e-12
+
+    def test_forced_seed(self, placement):
+        _, gp = placement
+        res = gp.select(3, forced=[0])
+        assert res.selected[0] == 0 and len(res.selected) == 3
+
+    def test_validation(self, placement):
+        twin, gp = placement
+        with pytest.raises(ValueError):
+            gp.select(0)
+        with pytest.raises(ValueError):
+            gp.select(gp.n_candidates + 1)
+        with pytest.raises(ValueError):
+            GreedySensorPlacement(
+                twin.propagator, gp.candidates, twin.Fq, twin.prior,
+                noise_sigma=-1.0,
+            )

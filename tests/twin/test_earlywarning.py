@@ -1,0 +1,113 @@
+"""Early warning: alerts, exceedance logic, streaming partial-data solves."""
+
+import numpy as np
+import pytest
+
+from repro.inference.forecast import QoIForecast
+from repro.twin.cascadia import CascadiaTwin
+from repro.twin.config import TwinConfig
+from repro.twin.earlywarning import (
+    AlertLevel,
+    StreamingInverter,
+    decide_alert,
+)
+
+
+@pytest.fixture(scope="module")
+def twin_and_result():
+    twin = CascadiaTwin(TwinConfig.demo_2d())
+    res = twin.run_end_to_end()
+    return twin, res
+
+
+class TestAlerts:
+    def test_levels_ordered(self):
+        assert AlertLevel.NONE < AlertLevel.ADVISORY < AlertLevel.WATCH < AlertLevel.WARNING
+
+    def test_strong_signal_triggers_warning(self, twin_and_result):
+        _, res = twin_and_result
+        dec = decide_alert(res.forecast, advisory=1e-4, watch=5e-4, warning=1e-3)
+        assert dec.max_level() == AlertLevel.WARNING
+
+    def test_huge_thresholds_give_no_alert(self, twin_and_result):
+        _, res = twin_and_result
+        dec = decide_alert(res.forecast, advisory=1e3, watch=2e3, warning=3e3)
+        assert dec.max_level() == AlertLevel.NONE
+
+    def test_levels_monotone_in_threshold(self, twin_and_result):
+        _, res = twin_and_result
+        low = decide_alert(res.forecast, 1e-4, 5e-4, 1e-3)
+        high = decide_alert(res.forecast, 1e-2, 5e-2, 1e-1)
+        assert np.all(low.levels >= high.levels)
+
+    def test_summary_renders(self, twin_and_result):
+        _, res = twin_and_result
+        dec = decide_alert(res.forecast, 0.001, 0.005, 0.02)
+        txt = dec.summary()
+        assert "QoI #1" in txt and "P(>" in txt
+
+    def test_threshold_validation(self, twin_and_result):
+        _, res = twin_and_result
+        with pytest.raises(ValueError):
+            decide_alert(res.forecast, 0.5, 0.1, 1.0)
+
+
+class TestStreaming:
+    def test_full_window_matches_batch(self, twin_and_result):
+        twin, res = twin_and_result
+        s = StreamingInverter(twin.inversion)
+        nt = twin.config.n_slots
+        m_full = s.infer_partial(res.d_obs, nt)
+        np.testing.assert_allclose(m_full, res.m_map, atol=1e-9 * np.abs(res.m_map).max())
+        fc = s.forecast_partial(res.d_obs, nt)
+        np.testing.assert_allclose(fc.mean, res.forecast.mean, atol=1e-9)
+        np.testing.assert_allclose(
+            fc.covariance, res.forecast.covariance, atol=1e-8
+        )
+
+    def test_partial_equals_from_scratch_subproblem(self, twin_and_result):
+        twin, res = twin_and_result
+        s = StreamingInverter(twin.inversion)
+        k = 5
+        nd = twin.sensors.n
+        m_k = s.infer_partial(res.d_obs, k)
+        Ksub = twin.inversion.K[: k * nd, : k * nd]
+        z = np.zeros((twin.config.n_slots, nd))
+        z[:k] = np.linalg.solve(Ksub, res.d_obs[:k].reshape(-1)).reshape(k, nd)
+        m_ref = twin.inversion.apply_Gstar(z)
+        np.testing.assert_allclose(m_k, m_ref, atol=1e-9 * np.abs(m_ref).max())
+
+    def test_uncertainty_shrinks_with_more_data(self, twin_and_result):
+        twin, res = twin_and_result
+        s = StreamingInverter(twin.inversion)
+        stds = []
+        for k in (2, 8, twin.config.n_slots):
+            fc = s.forecast_partial(res.d_obs, k)
+            stds.append(float(np.mean(fc.std())))
+        assert stds[0] > stds[1] > stds[2]
+
+    def test_partial_error_decreases_with_data(self, twin_and_result):
+        twin, res = twin_and_result
+        s = StreamingInverter(twin.inversion)
+        truth = res.scenario.m
+        errs = []
+        for k in (3, twin.config.n_slots):
+            m_k = s.infer_partial(res.d_obs, k)
+            errs.append(np.linalg.norm(m_k - truth) / np.linalg.norm(truth))
+        assert errs[-1] < errs[0]
+
+    def test_warning_latency_fires_before_end(self, twin_and_result):
+        twin, res = twin_and_result
+        s = StreamingInverter(twin.inversion)
+        fired, decisions = s.warning_latency(res.d_obs, 1e-4, 5e-4, 1e-3)
+        assert fired is not None
+        assert 1 <= fired < twin.config.n_slots
+        assert len(decisions) == twin.config.n_slots
+
+    def test_k_slot_validation(self, twin_and_result):
+        twin, res = twin_and_result
+        s = StreamingInverter(twin.inversion)
+        with pytest.raises(ValueError):
+            s.infer_partial(res.d_obs, 0)
+        with pytest.raises(ValueError):
+            s.infer_partial(res.d_obs, twin.config.n_slots + 1)

@@ -1,0 +1,134 @@
+"""End-to-end twin: accuracy, consistency, timers, both Hessian routes."""
+
+import numpy as np
+import pytest
+
+from repro.twin.cascadia import CascadiaTwin
+from repro.twin.config import TwinConfig
+
+
+@pytest.fixture(scope="module")
+def twin_result():
+    twin = CascadiaTwin(TwinConfig.demo_2d())
+    result = twin.run_end_to_end()
+    return twin, result
+
+
+class TestAccuracy:
+    def test_parameter_recovery(self, twin_result):
+        _, res = twin_result
+        assert res.parameter_error() < 0.6
+
+    def test_displacement_recovery(self, twin_result):
+        _, res = twin_result
+        assert res.displacement_error() < 0.4
+
+    def test_forecast_accuracy(self, twin_result):
+        _, res = twin_result
+        assert res.forecast_error() < 0.2
+
+    def test_forecast_much_better_than_prior_mean(self, twin_result):
+        # predicting zero (the prior mean) is far worse
+        _, res = twin_result
+        zero_err = 1.0
+        assert res.forecast_error() < 0.5 * zero_err
+
+    def test_displacement_std_available(self, twin_result):
+        twin, res = twin_result
+        assert res.displacement_std is not None
+        assert res.displacement_std.shape == (twin.operator.n_parameters,)
+        assert np.all(res.displacement_std >= 0)
+
+    def test_uncertainty_bounds_truth_mostly(self, twin_result):
+        # |truth - map| < 3 std at most parameter points
+        _, res = twin_result
+        err = np.abs(res.displacement_map - res.scenario.displacement)
+        frac_in = np.mean(err <= 3 * res.displacement_std + 1e-12)
+        assert frac_in > 0.8
+
+
+class TestConsistency:
+    def test_problem_summary(self, twin_result):
+        twin, _ = twin_result
+        s = twin.problem_summary()
+        cfg = twin.config
+        assert s["data_dimension"] == cfg.n_sensors * cfg.n_slots
+        assert s["parameter_dimension"] == twin.operator.n_parameters * cfg.n_slots
+
+    def test_table3_report(self, twin_result):
+        twin, _ = twin_result
+        rep = twin.table3_report()
+        assert "form K" in rep and "infer parameters" in rep
+        # Phase 4 must be far cheaper than Phase 1 (the whole point).
+        t = twin.timers.as_dict()
+        t.update(twin.inversion.timers.as_dict())
+        assert t["Phase 4: infer parameters"] < 0.2  # the paper's 0.2 s budget
+        assert t["Phase 4: infer parameters"] < 0.5 * t["Adjoint p2o"]
+
+    def test_clean_data_from_kernel_matches_pde(self, twin_result):
+        twin, res = twin_result
+        d_pde = twin.propagator.forward(res.scenario.m, sensors=twin.sensors).d
+        np.testing.assert_allclose(
+            res.d_clean, d_pde, atol=1e-10 * np.abs(d_pde).max()
+        )
+
+    def test_hessian_methods_agree(self):
+        twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=8, n_sensors=6))
+        twin.setup()
+        twin.phase1()
+        scenario, d_clean, noise, d_obs = twin.simulate_event()
+        inv_fft = twin.phase23(noise, method="fft")
+        m_fft = inv_fft.infer(d_obs)
+        inv_dir = twin.phase23(noise, method="direct")
+        m_dir = inv_dir.infer(d_obs)
+        np.testing.assert_allclose(m_fft, m_dir, atol=1e-8 * np.abs(m_dir).max())
+
+    def test_deterministic_given_seed(self):
+        r1 = CascadiaTwin(TwinConfig.demo_2d(n_slots=6, n_sensors=5)).run_end_to_end()
+        r2 = CascadiaTwin(TwinConfig.demo_2d(n_slots=6, n_sensors=5)).run_end_to_end()
+        np.testing.assert_array_equal(r1.m_map, r2.m_map)
+
+
+class TestVariants:
+    def test_3d_twin_runs(self):
+        twin = CascadiaTwin(TwinConfig.demo_3d(n_slots=8, nx=6, ny=3))
+        res = twin.run_end_to_end()
+        assert res.forecast.mean.shape == (8, twin.qoi.n)
+        assert res.parameter_error() < 1.5
+
+    def test_flat_and_ridge_bathymetry(self):
+        for bathy in ("flat", "ridge"):
+            twin = CascadiaTwin(
+                TwinConfig.demo_2d(bathymetry=bathy, n_slots=6, n_sensors=5)
+            )
+            res = twin.run_end_to_end()
+            assert np.isfinite(res.forecast_error())
+
+    def test_random_sensor_layout(self):
+        twin = CascadiaTwin(
+            TwinConfig.demo_2d(sensor_layout="random", n_slots=6, n_sensors=8)
+        )
+        res = twin.run_end_to_end()
+        assert twin.sensors.n == 8
+        assert np.isfinite(res.parameter_error())
+
+    def test_temporal_prior_extension(self):
+        twin = CascadiaTwin(
+            TwinConfig.demo_2d(temporal_rho=0.5, n_slots=6, n_sensors=5)
+        )
+        res = twin.run_end_to_end(hessian_method="fft")
+        assert np.isfinite(res.parameter_error())
+
+    def test_more_sensors_reduce_uncertainty(self):
+        stds = []
+        for ns in (3, 12):
+            twin = CascadiaTwin(TwinConfig.demo_2d(n_sensors=ns, n_slots=8))
+            res = twin.run_end_to_end()
+            stds.append(float(np.mean(res.displacement_std)))
+        assert stds[1] < stds[0]
+
+    def test_sampler_available_after_phase23(self, twin_result):
+        twin, res = twin_result
+        s = twin.sampler()
+        draws = s.sample(res.d_obs, np.random.default_rng(0), k=3)
+        assert draws.shape == (twin.config.n_slots, twin.operator.n_parameters, 3)

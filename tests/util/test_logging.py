@@ -1,0 +1,29 @@
+"""Rank-aware logging: namespacing and rank-0 conventions."""
+
+import logging
+
+from repro.util.logging import get_logger, set_verbosity
+
+
+def test_logger_namespace():
+    lg = get_logger("fem")
+    assert lg.name == "repro.fem"
+
+
+def test_rank_tagging():
+    lg = get_logger("hpc", rank=3)
+    assert lg.name == "repro.hpc.r3"
+
+
+def test_nonzero_ranks_silenced():
+    lg0 = get_logger("comm", rank=0)
+    lg1 = get_logger("comm", rank=1)
+    assert lg1.getEffectiveLevel() >= logging.ERROR
+    assert lg0.getEffectiveLevel() <= logging.WARNING or lg0.level == 0
+
+
+def test_set_verbosity():
+    set_verbosity(logging.DEBUG)
+    assert logging.getLogger("repro").level == logging.DEBUG
+    set_verbosity(logging.WARNING)
+    assert logging.getLogger("repro").level == logging.WARNING

@@ -1,0 +1,65 @@
+"""Memory tracker: ledgers, peak tracking, view-aware counting."""
+
+import numpy as np
+import pytest
+
+from repro.util.memory import GIB, MemoryTracker, array_set_nbytes, nbytes_of
+
+
+def test_nbytes_of_skips_none():
+    a = np.zeros(10)
+    assert nbytes_of(a, None, a) == 2 * a.nbytes
+
+
+class TestTracker:
+    def test_persistent_accumulates(self):
+        t = MemoryTracker()
+        a = np.zeros(100)
+        t.add_persistent("geom", a)
+        t.add_persistent("geom", a)
+        assert t.persistent["geom"] == 2 * a.nbytes
+        assert t.total_persistent == 2 * a.nbytes
+
+    def test_transient_peak(self):
+        t = MemoryTracker()
+        t.add_transient_bytes("ws", 1000)
+        t.release_transient("ws")
+        t.add_transient_bytes("ws2", 400)
+        assert t.peak_transient == 1000
+        assert t.total_transient == 400
+
+    def test_total(self):
+        t = MemoryTracker()
+        t.add_persistent("a", np.zeros(10))
+        t.add_transient("b", np.zeros(5))
+        assert t.total == t.total_persistent + t.total_transient
+
+    def test_bytes_per_dof(self):
+        t = MemoryTracker()
+        t.add_persistent("a", np.zeros(128))
+        assert t.bytes_per_dof(128) == pytest.approx(8.0)
+        assert t.bytes_per_dof(0) == 0.0
+
+    def test_report_mentions_gib(self):
+        t = MemoryTracker()
+        t.add_persistent("factors", np.zeros(1 << 10))
+        assert "GiB" in t.report() and "factors" in t.report()
+
+
+def test_array_set_counts_views_once():
+    base = np.zeros(1000)
+    v1 = base[:500]
+    v2 = base[500:]
+    count, total = array_set_nbytes([base, v1, v2])
+    assert count == 1
+    assert total == base.nbytes
+
+
+def test_array_set_distinct_buffers():
+    a, b = np.zeros(10), np.zeros(20)
+    count, total = array_set_nbytes([a, b])
+    assert count == 2 and total == a.nbytes + b.nbytes
+
+
+def test_gib_constant():
+    assert GIB == float(1 << 30)

@@ -1,0 +1,104 @@
+"""Timers: accumulation, nesting guards, registry reports."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Timer, TimerRegistry, timed
+
+
+class TestTimer:
+    def test_accumulates_intervals(self):
+        t = Timer("x")
+        for _ in range(3):
+            t.start()
+            time.sleep(0.001)
+            t.stop()
+        assert t.count == 3
+        assert t.elapsed >= 0.003
+        assert t.mean == pytest.approx(t.elapsed / 3)
+
+    def test_double_start_rejected(self):
+        t = Timer("x")
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        t.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer("x").stop()
+
+    def test_reset(self):
+        t = Timer("x")
+        with t.time():
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and t.count == 0
+
+    def test_reset_running_rejected(self):
+        t = Timer("x")
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.reset()
+        t.stop()
+
+    def test_context_manager(self):
+        t = Timer("x")
+        with t.time():
+            time.sleep(0.001)
+        assert t.elapsed > 0 and not t.running
+
+    def test_context_stops_on_exception(self):
+        t = Timer("x")
+        with pytest.raises(ValueError):
+            with t.time():
+                raise ValueError("boom")
+        assert not t.running and t.count == 1
+
+    def test_mean_zero_when_unused(self):
+        assert Timer("x").mean == 0.0
+
+
+class TestRegistry:
+    def test_table1_phases(self):
+        reg = TimerRegistry(["Initialization", "Setup", "Adjoint p2o", "I/O"])
+        with reg.time("Setup"):
+            time.sleep(0.001)
+        d = reg.as_dict()
+        assert set(d) == {"Initialization", "Setup", "Adjoint p2o", "I/O"}
+        assert d["Setup"] > 0 and d["I/O"] == 0.0
+
+    def test_breakdown_fractions_sum_to_one(self):
+        reg = TimerRegistry()
+        with reg.time("a"):
+            time.sleep(0.001)
+        with reg.time("b"):
+            time.sleep(0.002)
+        fracs = [f for _, _, f in reg.breakdown()]
+        assert sum(fracs) == pytest.approx(1.0)
+
+    def test_report_contains_percentages(self):
+        reg = TimerRegistry()
+        with reg.time("solve"):
+            time.sleep(0.001)
+        rep = reg.report("Timers")
+        assert "solve" in rep and "%" in rep and "total" in rep
+
+    def test_contains_and_getitem(self):
+        reg = TimerRegistry()
+        t = reg["new"]
+        assert "new" in reg and t is reg.add("new")
+
+    def test_reset_all(self):
+        reg = TimerRegistry(["a"])
+        with reg.time("a"):
+            pass
+        reg.reset()
+        assert reg.total == 0.0
+
+
+def test_timed_helper():
+    with timed() as t:
+        time.sleep(0.001)
+    assert t.elapsed > 0

@@ -1,0 +1,56 @@
+"""Validation helpers: clear failures on bad public-API arguments."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    as_float_array,
+    check_in,
+    check_positive,
+    check_shape,
+    require,
+)
+
+
+def test_require():
+    require(True, "fine")
+    with pytest.raises(ValueError, match="broken"):
+        require(False, "broken")
+
+
+def test_check_positive_strict():
+    assert check_positive("x", 2) == 2.0
+    with pytest.raises(ValueError):
+        check_positive("x", 0.0)
+    with pytest.raises(ValueError):
+        check_positive("x", -1.0)
+
+
+def test_check_positive_nonstrict():
+    assert check_positive("x", 0.0, strict=False) == 0.0
+    with pytest.raises(ValueError):
+        check_positive("x", -0.1, strict=False)
+
+
+def test_check_in():
+    assert check_in("mode", "fft", ("fft", "direct")) == "fft"
+    with pytest.raises(ValueError, match="mode"):
+        check_in("mode", "dense", ("fft", "direct"))
+
+
+def test_check_shape_exact_and_wildcard():
+    a = np.zeros((3, 4))
+    check_shape("a", a, (3, 4))
+    check_shape("a", a, (-1, 4))
+    with pytest.raises(ValueError):
+        check_shape("a", a, (4, 3))
+    with pytest.raises(ValueError):
+        check_shape("a", a, (3, 4, 1))
+
+
+def test_as_float_array_contiguous():
+    a = np.arange(6).reshape(2, 3)[:, ::2]
+    out = as_float_array("a", a)
+    assert out.flags["C_CONTIGUOUS"] and out.dtype == np.float64
+    with pytest.raises(ValueError):
+        as_float_array("a", np.zeros((2, 2)), ndim=1)
