@@ -1,0 +1,89 @@
+"""Serving throughput: batched vs sequential Phase-4 solves (streams/sec).
+
+The serving-layer claim: stacking ``k`` concurrent observation streams
+into one BLAS-3 pass (one ``trsm`` + one batched FFT rmatvec + one
+``gemm``) beats ``k`` sequential Phase-4 calls by a wide margin, because
+the sequential path pays per-call Python/BLAS-2 overhead ``k`` times on
+operators that are identical across streams.  Asserted: >= 5x streams/sec
+at 64 concurrent streams.  This is the baseline every future
+serving-throughput PR measures against.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import write_report
+
+from repro.inference.noise import NoiseModel
+from repro.serve import BatchedPhase4Server, ScenarioBank
+
+N_STREAMS = 64
+REPEATS = 5
+
+
+def _best_of(fn, repeats=REPEATS):
+    out = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        out.append(time.perf_counter() - t0)
+    return min(out)
+
+
+def test_batched_vs_sequential_phase4_throughput(bench_twin):
+    twin, _ = bench_twin
+    c = twin.config
+    inv = twin.inversion
+
+    bank = ScenarioBank(twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=3)
+    bank.generate(N_STREAMS)
+    d_clean, _, d_obs = bank.observation_batch(twin.F, noise_relative=c.noise_relative)
+    server = BatchedPhase4Server(inv)
+
+    def sequential():
+        for j in range(N_STREAMS):
+            inv.infer_and_predict(d_obs[:, :, j])
+
+    def batched():
+        server.infer_batch(d_obs)
+        server.predict_batch(d_obs)
+
+    sequential()
+    batched()  # warm both paths (FFT plans, memoized operators)
+    t_seq = _best_of(sequential)
+    t_bat = _best_of(batched)
+    speedup = t_seq / t_bat
+
+    # Streaming fleet path: all streams advanced through every horizon.
+    def fleet_streaming():
+        for k_slots in range(1, c.n_slots + 1):
+            server.forecast_partial_batch(d_obs, k_slots)
+
+    fleet_streaming()  # memoize the per-horizon operators
+    t_stream = _best_of(fleet_streaming)
+
+    s = twin.problem_summary()
+    lines = [
+        "SERVING THROUGHPUT - batched vs sequential Phase 4",
+        f"problem: Nd={s['n_sensors']:.0f} Nq={s['n_qoi']:.0f} "
+        f"Nt={s['n_slots']:.0f} Nm={s['parameter_points']:.0f}, "
+        f"{N_STREAMS} concurrent streams",
+        f"{'path':<34s} {'time':>10s} {'streams/sec':>14s}",
+        f"{'sequential infer+predict':<34s} {t_seq * 1e3:>8.2f} ms "
+        f"{N_STREAMS / t_seq:>14,.0f}",
+        f"{'batched (trsm + gemm)':<34s} {t_bat * 1e3:>8.2f} ms "
+        f"{N_STREAMS / t_bat:>14,.0f}",
+        f"{'fleet streaming (all horizons)':<34s} {t_stream * 1e3:>8.2f} ms "
+        f"{N_STREAMS * s['n_slots'] / t_stream:>14,.0f}",
+        f"batched speedup: {speedup:.1f}x",
+    ]
+    write_report("serve_throughput", "\n".join(lines))
+
+    # Sanity: the fast path serves the same answers.
+    m_batch = server.infer_batch(d_obs)
+    m_seq = inv.infer(d_obs[:, :, 0])
+    np.testing.assert_allclose(m_batch[:, :, 0], m_seq, rtol=0, atol=1e-10)
+
+    assert speedup >= 5.0, f"batched serving speedup {speedup:.2f}x < 5x"

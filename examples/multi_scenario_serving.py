@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Multi-scenario serving: a fleet of concurrent events through one twin.
+
+The production shape of the paper's Phase 4: a ScenarioBank generates a
+seeded library of ruptures spanning magnitude/hypocenter/kinematics, an
+OperatorCache runs Phases 2-3 once for the sensor geometry (and persists
+the factors, so re-running this script skips the offline cost), and a
+BatchedPhase4Server inverts and forecasts every stream in single BLAS-3
+passes — then sweeps the streaming early-warning horizons for the whole
+fleet at once, printing each scenario's alert latency.
+
+Runs in well under a minute on a laptop.
+
+Usage::
+
+    python examples/multi_scenario_serving.py [--streams N] [--cache-dir DIR]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.serve import BatchedPhase4Server, OperatorCache, ScenarioBank
+from repro.twin import AlertLevel, CascadiaTwin, TwinConfig
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--streams", type=int, default=32, help="concurrent events")
+    ap.add_argument("--cache-dir", default=None, help="persist Phase 2-3 operators")
+    args = ap.parse_args()
+
+    cfg = TwinConfig.demo_2d(nx=16, n_slots=24, n_sensors=16, n_qoi=4)
+    twin = CascadiaTwin(cfg).setup()
+    twin.phase1()
+
+    # 1. A seeded, stratified scenario library on the twin's trace grid.
+    bank = ScenarioBank(twin.operator.bottom_trace, cfg.n_slots, cfg.dt_obs, seed=7)
+    bank.generate(args.streams)
+    print(f"scenario bank ({len(bank)} entries):")
+    print(bank.summary_table())
+
+    # 2. Offline phases, once per geometry (cached across runs if --cache-dir).
+    # observation_batch returns the fleet noise model its draws used, so the
+    # inversion runs under exactly the noise statistics of the data.
+    d_clean, noise, d_obs = bank.observation_batch(
+        twin.F, noise_relative=cfg.noise_relative
+    )
+    cache = OperatorCache(directory=args.cache_dir)
+    t0 = time.perf_counter()
+    inv = cache.get_or_build(twin, noise)
+    print(f"\n{cache.report()}  ({time.perf_counter() - t0:.2f} s)")
+
+    # 3. One batched pass: every MAP field, every forecast, every alert.
+    server = BatchedPhase4Server(inv)
+    t0 = time.perf_counter()
+    result = server.serve(d_obs, thresholds=(0.01, 0.05, 0.10))
+    dt = time.perf_counter() - t0
+    print(
+        f"served {result.n_streams} streams in {dt * 1e3:.1f} ms "
+        f"({result.n_streams / dt:,.0f} streams/sec)"
+    )
+
+    # 4. Fleet-wide streaming early warning.
+    latencies, _ = server.warning_latencies(d_obs, 0.01, 0.05, 0.10)
+    print(f"\n{'scenario':<14s} {'Mw':>6s} {'param err':>10s} {'alert':>8s} {'latency':>9s}")
+    for j, entry in enumerate(bank):
+        truth = entry.scenario.m
+        err = np.linalg.norm(result.m_map[:, :, j] - truth) / np.linalg.norm(truth)
+        level = AlertLevel(int(result.decisions[j].max_level())).name
+        lat = f"slot {latencies[j]}" if latencies[j] is not None else "-"
+        print(f"{entry.scenario_id:<14s} {entry.mw:>6.2f} {err:>10.3f} {level:>8s} {lat:>9s}")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,9 @@ Subpackages
     Virtual-parallel substrate and the calibrated scaling study.
 ``repro.twin``
     The end-to-end ``CascadiaTwin`` and early-warning layer.
+``repro.serve``
+    Multi-scenario serving: scenario banks, geometry-keyed operator
+    caching, and the batched multi-stream Phase-4 server.
 
 Quick start::
 

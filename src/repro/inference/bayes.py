@@ -198,6 +198,16 @@ class ToeplitzBayesianInversion:
             self._K_chol = sla.cho_factor(K, lower=True)
         return K
 
+    @property
+    def phase2_complete(self) -> bool:
+        """Whether the data-space factor is available for online solves.
+
+        True after :meth:`assemble_data_space_hessian`, and also for
+        inversions rebuilt from an archived Cholesky factor (where the
+        dense ``K`` itself is never reconstructed).
+        """
+        return self._K_chol is not None
+
     def solve_K(self, rhs: np.ndarray) -> np.ndarray:
         """``K^{-1} rhs`` via the cached Cholesky factor."""
         if self._K_chol is None:
@@ -256,16 +266,24 @@ class ToeplitzBayesianInversion:
     def infer(self, d_obs: np.ndarray) -> np.ndarray:
         """Phase 4a: the MAP parameter field ``m_map = G* K^{-1} d_obs``.
 
-        Input ``(Nt, Nd)``; output ``(Nt, Nm)``.  Cost: two dense
-        triangular solves, one FFT rmatvec, one batched prior application —
-        the paper's sub-0.2-second online path.
+        Input ``(Nt, Nd)`` or a stack of streams ``(Nt, Nd, k)``; output
+        matches with ``Nd`` replaced by ``Nm``.  Cost: two dense triangular
+        solves, one FFT rmatvec, one batched prior application — the
+        paper's sub-0.2-second online path.  The batched form solves all
+        ``k`` right-hand sides against the one cached Cholesky factor
+        (BLAS-3 ``trsm`` instead of ``k`` BLAS-2 ``trsv`` sweeps), which is
+        what the multi-stream serving layer builds on.
         """
         d = np.asarray(d_obs, dtype=np.float64)
-        if d.shape != (self.nt, self.nd):
-            raise ValueError(f"d_obs must be ({self.nt},{self.nd}), got {d.shape}")
+        squeeze = d.ndim == 2
+        if d.shape[:2] != (self.nt, self.nd) or d.ndim not in (2, 3):
+            raise ValueError(
+                f"d_obs must be ({self.nt},{self.nd}[,k]), got {d.shape}"
+            )
         with self.timers.time("Phase 4: infer parameters"):
-            z = self.solve_K(d.reshape(-1)).reshape(self.nt, self.nd)
-            m_map = self.apply_Gstar(z)
+            rhs = d.reshape(self.nt * self.nd, -1)
+            z = self.solve_K(rhs[:, 0] if squeeze else rhs)
+            m_map = self.apply_Gstar(z.reshape(d.shape))
         return m_map
 
     def predict(self, d_obs: np.ndarray, times: Optional[np.ndarray] = None) -> QoIForecast:

@@ -103,7 +103,7 @@ class PosteriorSampler:
     the parameter-space covariance is ever needed)."""
 
     def __init__(self, inv: ToeplitzBayesianInversion) -> None:
-        if inv.K is None:
+        if not inv.phase2_complete:
             raise RuntimeError("Phase 2 must be complete before sampling")
         self.inv = inv
 

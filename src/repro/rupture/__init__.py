@@ -36,7 +36,11 @@ from repro.rupture.randomfields import (
     interpolate_to_points,
     von_karman_field,
 )
-from repro.rupture.scenario import RuptureScenario, margin_wide_scenario
+from repro.rupture.scenario import (
+    RuptureScenario,
+    default_rupture_velocity,
+    margin_wide_scenario,
+)
 from repro.rupture.source import (
     BoxcarSTF,
     SmoothRampSTF,
@@ -58,5 +62,6 @@ __all__ = [
     "KinematicRupture",
     "elastic_smoothing_matrix",
     "RuptureScenario",
+    "default_rupture_velocity",
     "margin_wide_scenario",
 ]

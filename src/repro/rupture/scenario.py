@@ -30,7 +30,17 @@ from repro.rupture.source import (
 from repro.rupture.transfer import elastic_smoothing_matrix
 from repro.util.validation import check_positive
 
-__all__ = ["RuptureScenario", "margin_wide_scenario"]
+__all__ = ["RuptureScenario", "default_rupture_velocity", "margin_wide_scenario"]
+
+
+def default_rupture_velocity(span: float, window: float) -> float:
+    """The default front speed: sweep the margin in ~60% of the window.
+
+    The single definition shared by :func:`margin_wide_scenario` and the
+    serving layer's scenario bank (whose ``velocity_factor`` multiplies
+    this value).
+    """
+    return float(span) / (0.6 * float(window))
 
 
 @dataclass
@@ -66,6 +76,16 @@ class RuptureScenario:
     def nm(self) -> int:
         """Number of spatial parameter points."""
         return int(self.m.shape[1])
+
+    @property
+    def mw(self) -> float:
+        """Moment-magnitude analogue (from the ``info`` metadata)."""
+        return float(self.info.get("mw_analog", np.nan))
+
+    @property
+    def hypocenter(self) -> np.ndarray:
+        """Nucleation point of the underlying kinematic rupture."""
+        return self.rupture.hypocenter
 
 
 def _trace_cell_weights(axes) -> np.ndarray:
@@ -184,7 +204,7 @@ def margin_wide_scenario(
     # 4. Rupture kinematics.
     window = nt * dt_obs
     if rupture_velocity is None:
-        rupture_velocity = float(np.max(span)) / (0.6 * window)
+        rupture_velocity = default_rupture_velocity(np.max(span), window)
     if rise_time is None:
         rise_time = 8.0 * dt_obs
     if hypocenter_frac is None:

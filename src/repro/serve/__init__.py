@@ -1,0 +1,50 @@
+"""Multi-scenario serving: scenario banks, operator caching, batched Phase 4.
+
+The paper's offline--online split makes the online solve a small dense
+problem ("deployable entirely without any HPC infrastructure", Section
+VIII).  This package turns that observation into a serving architecture —
+the single-event reproduction becomes a multi-tenant twin:
+
+``scenarios``
+    :class:`ScenarioBank` — a seeded, Halton-stratified library of rupture
+    scenarios spanning magnitude, hypocenter, and kinematics, each
+    reproducible from ``(bank seed, index)`` and runnable end-to-end
+    through the twin.
+``cache``
+    :class:`OperatorCache` — Phases 2-3 memoized by geometry fingerprint
+    (kernels + prior + noise), with optional ``.npz`` persistence so one
+    offline build serves every later process.
+``server``
+    :class:`BatchedPhase4Server` — ``k`` concurrent observation streams
+    stacked into single BLAS-3 solves (one ``trsm``/``gemm`` instead of
+    ``k`` ``trsv``/``gemv`` sweeps), for full-data MAP/forecast and for
+    streaming partial-data early warning across the whole fleet.
+
+Quick start::
+
+    from repro.serve import BatchedPhase4Server, OperatorCache, ScenarioBank
+    from repro.twin import CascadiaTwin, TwinConfig
+
+    twin = CascadiaTwin(TwinConfig.demo_2d()).setup()
+    twin.phase1()
+    bank = ScenarioBank(twin.operator.bottom_trace, twin.config.n_slots,
+                        twin.config.dt_obs, seed=7)
+    bank.generate(32)
+    d_clean, noise, d_obs = bank.observation_batch(twin.F)
+    inv = OperatorCache().get_or_build(twin, noise)
+    result = BatchedPhase4Server(inv).serve(d_obs)
+"""
+
+from repro.serve.cache import CacheStats, OperatorCache
+from repro.serve.scenarios import BankedScenario, ScenarioBank, halton_sequence
+from repro.serve.server import BatchedPhase4Server, ServeResult
+
+__all__ = [
+    "ScenarioBank",
+    "BankedScenario",
+    "halton_sequence",
+    "OperatorCache",
+    "CacheStats",
+    "BatchedPhase4Server",
+    "ServeResult",
+]

@@ -1,0 +1,151 @@
+"""OperatorCache: run the offline Phases 2-3 once per sensor geometry.
+
+The offline product of Phases 2-3 — the Cholesky factor of the data-space
+Hessian ``K`` and the data-to-QoI map ``Q`` — depends only on the *geometry*
+(p2o/p2q kernels, prior, noise statistics), not on any particular event.
+A serving deployment therefore memoizes it: the first request against a
+geometry pays the assembly cost; every later request (same sensors, same
+prior, same noise calibration) reuses the factor for the price of a dict
+lookup, or of one ``.npz`` load when a persistence directory is configured
+and the factor was built by an earlier process.
+
+Keys are content fingerprints (:mod:`repro.util.hashing`) over the kernels
+and hyperparameters, so logically identical twins built independently hit
+the same entry, and any change to the sensor network, mesh, prior, or
+noise level transparently misses to a fresh build.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.inference.bayes import ToeplitzBayesianInversion
+from repro.inference.noise import NoiseModel
+from repro.twin.archive import (
+    load_twin_archive,
+    rebuild_inversion,
+    save_twin_archive,
+)
+from repro.twin.cascadia import CascadiaTwin
+from repro.util.hashing import geometry_fingerprint
+from repro.util.timing import TimerRegistry
+
+__all__ = ["CacheStats", "OperatorCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of an :class:`OperatorCache`."""
+
+    hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+
+    @property
+    def requests(self) -> int:
+        """Total lookups."""
+        return self.hits + self.disk_hits + self.misses
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict form (for reports)."""
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "requests": self.requests,
+        }
+
+
+class OperatorCache:
+    """Memoized Phase 2-3 assembly, keyed by geometry fingerprint.
+
+    Parameters
+    ----------
+    directory:
+        Optional persistence directory.  On a miss the assembled operators
+        are archived as ``<key>.npz`` (via
+        :func:`~repro.twin.archive.save_twin_archive`); a later process
+        with the same directory rebuilds from disk instead of re-running
+        Phases 2-3.
+    """
+
+    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._memory: Dict[str, ToeplitzBayesianInversion] = {}
+        self.stats = CacheStats()
+        self.timers = TimerRegistry()
+
+    # ------------------------------------------------------------------
+    def key_for(self, twin: CascadiaTwin, noise: NoiseModel) -> str:
+        """The cache key: twin geometry fingerprint + noise statistics."""
+        return geometry_fingerprint(
+            {"geometry": twin.geometry_fingerprint()}, noise.sigma
+        )
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self.directory is None:
+            return None
+        return self.directory / f"{key[:32]}.npz"
+
+    # ------------------------------------------------------------------
+    def get_or_build(
+        self,
+        twin: CascadiaTwin,
+        noise: NoiseModel,
+        method: str = "fft",
+        chunk: int = 256,
+    ) -> ToeplitzBayesianInversion:
+        """Return the Phase 2-3 operators for this geometry, building once.
+
+        The twin must have completed Phase 1 (kernel extraction).  On any
+        form of hit the returned inversion is also installed as
+        ``twin.inversion`` so ``twin.invert()`` works as if ``phase23()``
+        had run.
+        """
+        if not twin._phase1_done:
+            twin.phase1()
+        key = self.key_for(twin, noise)
+        inv = self._memory.get(key)
+        if inv is not None:
+            self.stats.hits += 1
+            twin.inversion = inv
+            return inv
+        path = self._disk_path(key)
+        if path is not None and path.exists():
+            with self.timers.time("cache: load archive"):
+                inv = rebuild_inversion(load_twin_archive(path))
+            self.stats.disk_hits += 1
+            self._memory[key] = inv
+            twin.inversion = inv
+            return inv
+        self.stats.misses += 1
+        with self.timers.time("cache: build phases 2-3"):
+            inv = twin.phase23(noise, method=method, chunk=chunk)
+        self._memory[key] = inv
+        if path is not None:
+            with self.timers.time("cache: save archive"):
+                save_twin_archive(path, inv, config=twin.config)
+        return inv
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory
+
+    def clear_memory(self) -> None:
+        """Drop in-memory entries (on-disk archives are kept)."""
+        self._memory.clear()
+
+    def report(self) -> str:
+        """One-line stats summary."""
+        s = self.stats
+        return (
+            f"operator cache: {len(self._memory)} resident, "
+            f"{s.hits} hits, {s.disk_hits} disk hits, {s.misses} misses"
+        )

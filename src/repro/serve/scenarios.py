@@ -1,0 +1,293 @@
+"""ScenarioBank: a seeded, diverse library of rupture scenarios.
+
+Multi-scenario serving (Nomura et al. 2024's "database of diverse tsunami
+scenarios"; the ROADMAP's "as many scenarios as you can imagine") starts
+from a scenario library with controlled coverage: the bank draws each
+entry's magnitude, hypocenter, rupture speed, and rise time from a Halton
+low-discrepancy sequence, so any prefix of the bank spans the ranges
+evenly, and every entry is reproducible from ``(bank seed, index)`` alone —
+independent of how many scenarios were generated before or after it.
+
+Each :class:`BankedScenario` wraps a full
+:class:`~repro.rupture.scenario.RuptureScenario` (built by
+``margin_wide_scenario`` on the twin's bottom-trace grid) plus the design
+coordinates it was drawn at, and the bank can stack the whole library's
+synthetic observations into the ``(Nt, Nd, k)`` batches the
+:class:`~repro.serve.server.BatchedPhase4Server` consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.fem.spaces import TraceGrid
+from repro.rupture.scenario import (
+    RuptureScenario,
+    default_rupture_velocity,
+    margin_wide_scenario,
+)
+from repro.util.validation import check_positive
+
+__all__ = ["BankedScenario", "ScenarioBank", "halton_sequence"]
+
+
+_HALTON_BASES = (2, 3, 5, 7, 11)
+
+
+def _van_der_corput(index: int, base: int) -> float:
+    """Radical-inverse of ``index`` in ``base`` (the Halton 1-D kernel)."""
+    q, denom = 0.0, 1.0
+    i = index
+    while i > 0:
+        denom *= base
+        i, rem = divmod(i, base)
+        q += rem / denom
+    return q
+
+
+def halton_sequence(index: int, ndim: int) -> np.ndarray:
+    """Point ``index`` (1-based) of the ``ndim``-dimensional Halton sequence.
+
+    Deterministic and prefix-stable: point ``i`` never changes as more
+    points are requested, and any prefix is low-discrepancy in ``[0,1)^d``.
+    """
+    if not 1 <= ndim <= len(_HALTON_BASES):
+        raise ValueError(f"ndim must lie in [1, {len(_HALTON_BASES)}]")
+    return np.array(
+        [_van_der_corput(index, b) for b in _HALTON_BASES[:ndim]], dtype=np.float64
+    )
+
+
+@dataclass
+class BankedScenario:
+    """One indexed entry of a :class:`ScenarioBank`.
+
+    Attributes
+    ----------
+    scenario_id:
+        Stable identifier ``"scn-<bank seed>-<index>"``.
+    index, seed:
+        Bank index and the derived deterministic rupture seed.
+    peak_uplift, hypocenter_frac, velocity_factor, rise_time_slots:
+        The design coordinates this entry was drawn at.
+    scenario:
+        The realized rupture scenario (truth field + kinematics).
+    """
+
+    scenario_id: str
+    index: int
+    seed: int
+    peak_uplift: float
+    hypocenter_frac: Tuple[float, ...]
+    velocity_factor: float
+    rise_time_slots: float
+    scenario: RuptureScenario
+
+    @property
+    def mw(self) -> float:
+        """Moment-magnitude analogue of the realized rupture."""
+        return self.scenario.mw
+
+
+class ScenarioBank:
+    """Deterministic low-discrepancy library of margin-wide ruptures.
+
+    Parameters
+    ----------
+    trace:
+        Bottom :class:`~repro.fem.spaces.TraceGrid` of an assembled ocean
+        operator (``twin.operator.bottom_trace``).
+    nt, dt_obs:
+        Observation window of the twin the bank serves.
+    seed:
+        Bank seed; entry ``i`` uses rupture seed ``seed * 10_000 + i``.
+    peak_uplift_range:
+        Magnitude axis: final peak uplift, sampled log-uniformly.
+    hypocenter_range:
+        Along-dip nucleation range as fractions of the cross-margin axis
+        (kept inside the locked zone).
+    velocity_factor_range, rise_time_slots_range:
+        Kinematic axes: multipliers on the default front speed, and rise
+        time in units of ``dt_obs``.
+    """
+
+    def __init__(
+        self,
+        trace: TraceGrid,
+        nt: int,
+        dt_obs: float,
+        seed: int = 0,
+        peak_uplift_range: Tuple[float, float] = (0.15, 1.2),
+        hypocenter_range: Tuple[float, float] = (0.15, 0.55),
+        velocity_factor_range: Tuple[float, float] = (0.7, 1.6),
+        rise_time_slots_range: Tuple[float, float] = (4.0, 10.0),
+    ) -> None:
+        check_positive("nt", nt)
+        check_positive("dt_obs", dt_obs)
+        if peak_uplift_range[0] <= 0 or peak_uplift_range[1] <= peak_uplift_range[0]:
+            raise ValueError("peak_uplift_range must be increasing and positive")
+        self.trace = trace
+        self.nt = int(nt)
+        self.dt_obs = float(dt_obs)
+        self.seed = int(seed)
+        self.peak_uplift_range = peak_uplift_range
+        self.hypocenter_range = hypocenter_range
+        self.velocity_factor_range = velocity_factor_range
+        self.rise_time_slots_range = rise_time_slots_range
+        self._entries: List[BankedScenario] = []
+        self._by_id: Dict[str, BankedScenario] = {}
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    def _design_point(self, index: int) -> Tuple[float, Tuple[float, ...], float, float]:
+        """Design coordinates of entry ``index`` from the Halton sequence."""
+        # Offset the sequence so index 0 is not the degenerate origin.  Each
+        # design axis gets its own Halton base so no two axes are correlated.
+        u = halton_sequence(index + 1, 5)
+        lo, hi = self.peak_uplift_range
+        peak = float(np.exp(np.log(lo) + u[0] * (np.log(hi) - np.log(lo))))
+        h0, h1 = self.hypocenter_range
+        dh = len(self.trace.axes)
+        hypo = (h0 + u[1] * (h1 - h0),) + (0.2 + 0.6 * u[4],) * (dh - 1)
+        v0, v1 = self.velocity_factor_range
+        vel = float(v0 + u[2] * (v1 - v0))
+        r0, r1 = self.rise_time_slots_range
+        rise = float(r0 + u[3] * (r1 - r0))
+        return peak, hypo, vel, rise
+
+    def _build(self, index: int) -> BankedScenario:
+        peak, hypo, vel_factor, rise_slots = self._design_point(index)
+        seed = self.seed * 10_000 + index
+        window = self.nt * self.dt_obs
+        axes = [np.asarray(a, dtype=np.float64) for a in self.trace.axes]
+        span = max(float(a[-1] - a[0]) for a in axes)
+        velocity = vel_factor * default_rupture_velocity(span, window)
+        scenario = margin_wide_scenario(
+            self.trace,
+            nt=self.nt,
+            dt_obs=self.dt_obs,
+            peak_uplift=peak,
+            hypocenter_frac=hypo,
+            rupture_velocity=velocity,
+            rise_time=rise_slots * self.dt_obs,
+            seed=seed,
+        )
+        return BankedScenario(
+            scenario_id=f"scn-{self.seed:04d}-{index:04d}",
+            index=index,
+            seed=seed,
+            peak_uplift=peak,
+            hypocenter_frac=tuple(float(h) for h in hypo),
+            velocity_factor=vel_factor,
+            rise_time_slots=rise_slots,
+            scenario=scenario,
+        )
+
+    def generate(self, n: int) -> List[BankedScenario]:
+        """Ensure the bank holds ``n`` entries; returns the first ``n``.
+
+        Idempotent and incremental: entries already built are reused, and
+        entry ``i`` is identical whether built in a batch of 20 or 200.
+        If the bank has grown beyond ``n``, the return value is that
+        prefix — iterate the bank itself for the full library.
+        """
+        check_positive("n", n)
+        for index in range(len(self._entries), int(n)):
+            entry = self._build(index)
+            self._entries.append(entry)
+            self._by_id[entry.scenario_id] = entry
+        return list(self._entries[: int(n)])
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[BankedScenario]:
+        return iter(self._entries)
+
+    def __getitem__(self, key: Union[int, str]) -> BankedScenario:
+        if isinstance(key, str):
+            return self._by_id[key]
+        return self._entries[key]
+
+    def ids(self) -> List[str]:
+        """Stable identifiers of all generated entries."""
+        return [e.scenario_id for e in self._entries]
+
+    def magnitudes(self) -> np.ndarray:
+        """Mw analogues of all generated entries."""
+        return np.array([e.mw for e in self._entries])
+
+    def hypocenters(self) -> np.ndarray:
+        """Nucleation x-coordinates (fractions) of all generated entries."""
+        return np.array([e.hypocenter_frac[0] for e in self._entries])
+
+    # ------------------------------------------------------------------
+    # Serving helpers
+    # ------------------------------------------------------------------
+    def truth_batch(self) -> np.ndarray:
+        """All truth parameter fields stacked, ``(Nt, Nm, k)``."""
+        if not self._entries:
+            raise RuntimeError("generate() the bank first")
+        return np.stack([e.scenario.m for e in self._entries], axis=-1)
+
+    def observation_batch(
+        self,
+        F,
+        noise_relative: float = 0.01,
+        noise=None,
+        seed: Optional[int] = None,
+    ):
+        """Clean records, the fleet noise model, and noisy records.
+
+        One batched kernel matvec produces every stream's clean records
+        ``(Nt, Nd, k)``.  Instrument noise is a property of the sensor
+        network, not of any one event, so a *single*
+        :class:`~repro.inference.noise.NoiseModel` is used for every
+        stream: per-sensor sigma at ``noise_relative`` times the RMS
+        amplitude pooled over the whole bank (or pass an explicit
+        ``noise``).  Returning the model keeps the serving-side inversion
+        consistent with the data it is fed — inverting under a different
+        sigma than the draws would bias the shared posterior covariance
+        and every alert probability derived from it.
+
+        Returns ``(d_clean, noise, d_obs)`` — the same ordering as
+        :meth:`repro.twin.cascadia.CascadiaTwin.observe` — with draws
+        deterministic in a per-entry seed.
+        """
+        from repro.inference.noise import NoiseModel
+
+        d_clean = F.matvec(self.truth_batch())
+        nt, nd, _ = d_clean.shape
+        if noise is None:
+            # Pool the RMS over time *and* streams, per sensor (the fleet
+            # analogue of NoiseModel.relative's per-sensor calibration).
+            rms = np.sqrt(np.mean(d_clean**2, axis=(0, 2)))
+            floor = noise_relative * max(float(np.sqrt(np.mean(d_clean**2))), 1e-300)
+            noise = NoiseModel(np.maximum(noise_relative * rms, floor), nt, nd)
+        d_obs = np.empty_like(d_clean)
+        base = self.seed if seed is None else int(seed)
+        for j, entry in enumerate(self._entries):
+            rng = np.random.default_rng(base + entry.seed + 1)
+            d_obs[:, :, j] = noise.add_to(d_clean[:, :, j], rng)
+        return d_clean, noise, d_obs
+
+    def summary_table(self) -> str:
+        """Readable per-entry design/realization table."""
+        lines = [
+            f"{'id':<14s} {'Mw':>6s} {'peak':>7s} {'hypo_x':>7s} "
+            f"{'v_fac':>6s} {'rise':>6s}"
+        ]
+        for e in self._entries:
+            lines.append(
+                f"{e.scenario_id:<14s} {e.mw:>6.2f} {e.peak_uplift:>7.3f} "
+                f"{e.hypocenter_frac[0]:>7.3f} {e.velocity_factor:>6.2f} "
+                f"{e.rise_time_slots:>6.2f}"
+            )
+        return "\n".join(lines)

@@ -42,7 +42,7 @@ def save_twin_archive(
     ``P_q``, ``Gamma_post(q)``, ``Q``, the noise variance field, the
     prior's hyperparameters and axes, and the JSON-encoded configuration.
     """
-    if inv.K is None:
+    if not inv.phase2_complete:
         raise RuntimeError("Phase 2 must be complete before archiving")
     path = Path(path)
     payload: Dict[str, np.ndarray] = {
@@ -133,11 +133,12 @@ def load_twin_archive(
 def rebuild_inversion(archive: Dict[str, object]) -> ToeplitzBayesianInversion:
     """Reassemble a working :class:`ToeplitzBayesianInversion` from an archive.
 
-    The Cholesky factor is installed directly (no re-factorization); the
-    dense Phase 3 operators are restored when present.
+    The Cholesky factor is installed directly — no re-factorization, and
+    the dense ``K`` itself is *not* reconstituted (the ``L L^T`` gemm
+    would cost about twice the original factorization; every online solve
+    needs only the factor).  The dense Phase 3 operators are restored when
+    present.
     """
-    import scipy.linalg as sla
-
     F: BlockToeplitzOperator = archive["F"]  # type: ignore[assignment]
     inv = ToeplitzBayesianInversion(
         F,
@@ -146,7 +147,6 @@ def rebuild_inversion(archive: Dict[str, object]) -> ToeplitzBayesianInversion:
         Fq=archive.get("Fq"),  # type: ignore[arg-type]
     )
     L = np.asarray(archive["cholesky_lower"])
-    inv.K = L @ L.T
     inv._K_chol = (L, True)
     for name, attr in (
         ("B", "B"),

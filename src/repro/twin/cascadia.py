@@ -222,6 +222,7 @@ class CascadiaTwin:
         self.memory.add_persistent("p2o_kernel", T)
         self.memory.add_persistent("p2q_kernel", Tq)
         self._phase1_done = True
+        self._geometry_fp: Optional[str] = None  # recompute for the new kernels
         return self.F, self.Fq
 
     # ------------------------------------------------------------------
@@ -248,11 +249,59 @@ class CascadiaTwin:
             peak_uplift=peak_uplift,
             seed=seed,
         )
+        d_clean, noise, d_obs = self.observe(scenario, seed=seed)
+        return scenario, d_clean, noise, d_obs
+
+    def observe(
+        self,
+        scenario: RuptureScenario,
+        seed: Optional[int] = None,
+        noise_relative: Optional[float] = None,
+    ) -> Tuple[np.ndarray, NoiseModel, np.ndarray]:
+        """Synthetic sensor records for an externally supplied scenario.
+
+        Used by the serving layer to push :class:`ScenarioBank` entries
+        through the twin: returns ``(d_clean, noise, d_obs)`` where the
+        clean records come from the p2o kernel and the noise draw is
+        deterministic in ``seed``.
+        """
+        if not self._phase1_done:
+            self.phase1()
+        c = self.config
+        seed = c.seed if seed is None else seed
+        if noise_relative is None:
+            noise_relative = c.noise_relative
         d_clean = self.F.matvec(scenario.m)
-        noise = NoiseModel.relative(d_clean, c.noise_relative)
+        noise = NoiseModel.relative(d_clean, noise_relative)
         rng = np.random.default_rng(seed + 1)
         d_obs = noise.add_to(d_clean, rng)
-        return scenario, d_clean, noise, d_obs
+        return d_clean, noise, d_obs
+
+    def geometry_fingerprint(self) -> str:
+        """Deterministic digest of everything the offline phases depend on.
+
+        Two twins with identical fingerprints share the same p2o/p2q
+        kernels and prior, hence the same Phase 2-3 operators — the
+        memoization key of the serving layer's operator cache (noise is
+        folded in separately, since it is per-event).
+        """
+        if not self._phase1_done:
+            raise RuntimeError("run phase1() before fingerprinting the geometry")
+        if getattr(self, "_geometry_fp", None) is not None:
+            return self._geometry_fp
+        from repro.util.hashing import geometry_fingerprint
+
+        c = self.config
+        meta = {
+            "prior_sigma": c.prior_sigma,
+            "prior_correlation": c.prior_correlation,
+            "temporal_rho": c.temporal_rho,
+            "dt_obs": c.dt_obs,
+        }
+        # The kernels are immutable after phase1(), so the digest (an
+        # O(kernel bytes) SHA-256 pass) is computed once and memoized.
+        self._geometry_fp = geometry_fingerprint(meta, self.F.kernel, self.Fq.kernel)
+        return self._geometry_fp
 
     # ------------------------------------------------------------------
     # Phases 2-4

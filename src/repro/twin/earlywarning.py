@@ -34,8 +34,43 @@ __all__ = [
     "AlertLevel",
     "EarlyWarningDecision",
     "decide_alert",
+    "partial_qoi_operators",
     "StreamingInverter",
 ]
+
+
+def partial_qoi_operators(
+    inv: ToeplitzBayesianInversion,
+    k_slots: int,
+    L: Optional[np.ndarray] = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Truncated data-to-QoI map and exact partial-data QoI covariance.
+
+    ``Q_k = (K_k^{-1} B_k)^T`` from the leading ``k_slots * Nd`` block of
+    the Cholesky factor (time-major ordering makes it a leading principal
+    block of the full factor), and ``cov_k = P_q - B_k^T K_k^{-1} B_k``.
+    The one implementation shared by the single-event
+    :class:`StreamingInverter` and the batched fleet server
+    (:class:`repro.serve.server.BatchedPhase4Server`).
+    """
+    if inv.B is None or inv.Pq is None:
+        raise RuntimeError("Phase 3 must be complete")
+    if not 1 <= k_slots <= inv.nt:
+        raise ValueError(f"k_slots must lie in [1, {inv.nt}]")
+    if k_slots == inv.nt and inv.Q is not None and inv.qoi_covariance is not None:
+        # The full-data horizon is exactly the Phase 3 product; don't redo
+        # the most expensive pair of triangular solves of the sweep.
+        return inv.Q, inv.qoi_covariance
+    if L is None:
+        L = inv.cholesky_lower
+    n = k_slots * inv.nd
+    Lk = L[:n, :n]
+    Bk = inv.B[:n, :]
+    y = sla.solve_triangular(Lk, Bk, lower=True)
+    KinvB = sla.solve_triangular(Lk, y, lower=True, trans="T")
+    cov = inv.Pq - Bk.T @ KinvB
+    cov = 0.5 * (cov + cov.T)
+    return np.ascontiguousarray(KinvB.T), cov
 
 
 class AlertLevel(IntEnum):
@@ -119,7 +154,7 @@ class StreamingInverter:
     """
 
     def __init__(self, inv: ToeplitzBayesianInversion) -> None:
-        if inv.K is None:
+        if not inv.phase2_complete:
             raise RuntimeError("Phase 2 must be complete")
         self.inv = inv
         self.L = inv.cholesky_lower  # (NtNd, NtNd), lower
@@ -160,15 +195,9 @@ class StreamingInverter:
         B_k^T K_k^{-1} B_k`` with ``B_k`` the leading ``k*Nd`` rows of the
         Phase 3 operator ``B`` — all reusing precomputed factors.
         """
-        if self.inv.B is None or self.inv.Pq is None:
-            raise RuntimeError("Phase 3 must be complete")
-        n = k_slots * self.nd
         d = np.asarray(d_obs, dtype=np.float64)
-        Bk = self.inv.B[:n, :]
-        KinvB = self._solve_leading(k_slots, Bk)
-        q = KinvB.T @ d[:k_slots].reshape(-1)
-        cov = self.inv.Pq - Bk.T @ KinvB
-        cov = 0.5 * (cov + cov.T)
+        Qk, cov = partial_qoi_operators(self.inv, k_slots, L=self.L)
+        q = Qk @ d[:k_slots].reshape(-1)
         if times is None:
             times = np.arange(1, self.nt + 1, dtype=np.float64)
         return QoIForecast(

@@ -12,8 +12,12 @@ Submodules
     study (host/device split is emulated as persistent/transient).
 ``validation``
     Small argument-checking helpers used across public APIs.
+``hashing``
+    Deterministic content fingerprints (SHA-256 over arrays + metadata)
+    used by the serving layer's operator cache.
 """
 
+from repro.util.hashing import array_fingerprint, geometry_fingerprint
 from repro.util.logging import get_logger
 from repro.util.memory import MemoryTracker, nbytes_of
 from repro.util.timing import Timer, TimerRegistry, timed
@@ -35,4 +39,6 @@ __all__ = [
     "check_positive",
     "check_shape",
     "check_in",
+    "array_fingerprint",
+    "geometry_fingerprint",
 ]

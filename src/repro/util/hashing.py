@@ -1,0 +1,51 @@
+"""Stable content fingerprints for operator caching.
+
+The serving layer memoizes the expensive offline phases by *geometry*: two
+twins whose parameter-to-observable kernels, prior hyperparameters, and
+noise models agree byte-for-byte share one Cholesky factor and one
+data-to-QoI map.  The fingerprints here are deterministic across processes
+(SHA-256 over dtype/shape/bytes and canonical JSON), unlike Python's
+builtin ``hash``, so they double as on-disk cache file names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Iterable, Mapping, Optional, Union
+
+import numpy as np
+
+__all__ = ["array_fingerprint", "geometry_fingerprint"]
+
+
+def _update_with_array(h: "hashlib._Hash", arr: np.ndarray) -> None:
+    a = np.ascontiguousarray(arr)
+    h.update(str(a.dtype).encode("utf-8"))
+    h.update(str(a.shape).encode("utf-8"))
+    h.update(a.tobytes())
+
+
+def array_fingerprint(*arrays: np.ndarray) -> str:
+    """SHA-256 hex digest over the dtype, shape, and bytes of each array."""
+    h = hashlib.sha256()
+    for arr in arrays:
+        _update_with_array(h, np.asarray(arr))
+    return h.hexdigest()
+
+
+def geometry_fingerprint(
+    meta: Optional[Mapping[str, Union[float, int, str, None]]] = None,
+    *arrays: np.ndarray,
+) -> str:
+    """Digest of a metadata mapping plus any number of defining arrays.
+
+    ``meta`` is serialized as sorted-key JSON so dict ordering never leaks
+    into the key; arrays are folded in as in :func:`array_fingerprint`.
+    """
+    h = hashlib.sha256()
+    if meta is not None:
+        h.update(json.dumps(dict(meta), sort_keys=True, default=str).encode("utf-8"))
+    for arr in arrays:
+        _update_with_array(h, np.asarray(arr))
+    return h.hexdigest()

@@ -1,0 +1,47 @@
+"""Serving-layer fixtures: one small twin with completed offline phases.
+
+The serving tests exercise many streams against one geometry, so the
+expensive pieces (kernel extraction, Phase 2-3 assembly, bank generation)
+are built once per session and shared read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import ScenarioBank
+from repro.twin import CascadiaTwin, TwinConfig
+
+
+@pytest.fixture(scope="session")
+def serve_twin():
+    """A small 2D twin with Phase 1 complete."""
+    twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=12, n_sensors=10, n_qoi=3))
+    twin.setup()
+    twin.phase1()
+    return twin
+
+
+@pytest.fixture(scope="session")
+def serve_bank(serve_twin):
+    """A 24-entry scenario bank on the twin's trace grid."""
+    c = serve_twin.config
+    bank = ScenarioBank(
+        serve_twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=11
+    )
+    bank.generate(24)
+    return bank
+
+
+@pytest.fixture(scope="session")
+def serve_streams(serve_twin, serve_bank):
+    """``(d_clean, noise, d_obs)`` for the whole bank."""
+    return serve_bank.observation_batch(serve_twin.F, noise_relative=0.01)
+
+
+@pytest.fixture(scope="session")
+def serve_inversion(serve_twin, serve_streams):
+    """Phases 2-3 under the same fleet noise model the streams were drawn with."""
+    _, noise, _ = serve_streams
+    return serve_twin.phase23(noise)

@@ -1,0 +1,121 @@
+"""BatchedPhase4Server: per-stream equivalence with the sequential solves.
+
+The batched pass must be a pure restructuring of the arithmetic: every
+stream's MAP field and forecast must match a sequential
+``ToeplitzBayesianInversion.infer`` / ``predict`` on that stream alone.
+The triangular solves are bit-identical (multi-RHS ``potrs`` visits each
+column independently); the batched FFT rmatvec and ``gemm`` may round
+differently, so equivalence is asserted at ~10 ulp of the result scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchedPhase4Server
+from repro.twin.earlywarning import AlertLevel, StreamingInverter
+
+ATOL = 1e-12  # result scales are O(1); measured batched-vs-seq gap ~1e-15
+
+
+@pytest.fixture(scope="module")
+def server(serve_inversion):
+    return BatchedPhase4Server(serve_inversion)
+
+
+def test_infer_batch_matches_sequential_per_stream(server, serve_inversion, serve_streams):
+    _, _, d_obs = serve_streams
+    m_batch = server.infer_batch(d_obs)
+    assert m_batch.shape == (server.nt, server.nm, d_obs.shape[2])
+    for j in range(d_obs.shape[2]):
+        m_seq = serve_inversion.infer(d_obs[:, :, j])
+        np.testing.assert_allclose(m_batch[:, :, j], m_seq, rtol=0, atol=ATOL)
+
+
+def test_predict_batch_matches_sequential_per_stream(server, serve_inversion, serve_streams):
+    _, _, d_obs = serve_streams
+    forecasts = server.predict_batch(d_obs)
+    assert len(forecasts) == d_obs.shape[2]
+    cov0 = forecasts[0].covariance
+    for j, fc in enumerate(forecasts):
+        ref = serve_inversion.predict(d_obs[:, :, j])
+        np.testing.assert_allclose(fc.mean, ref.mean, rtol=0, atol=ATOL)
+        # Covariance is geometry-only: one shared exact matrix.
+        assert fc.covariance is cov0
+        np.testing.assert_array_equal(fc.covariance, ref.covariance)
+
+
+def test_batched_k_solve_is_bit_identical(serve_inversion, serve_streams):
+    """The data-space solve itself (the trsm) is bitwise column-independent."""
+    _, _, d_obs = serve_streams
+    n = serve_inversion.nt * serve_inversion.nd
+    rhs = d_obs.reshape(n, -1)
+    z_batch = serve_inversion.solve_K(rhs)
+    for j in range(rhs.shape[1]):
+        np.testing.assert_array_equal(z_batch[:, j], serve_inversion.solve_K(rhs[:, j]))
+
+
+def test_stream_list_input_and_validation(server, serve_streams):
+    _, _, d_obs = serve_streams
+    as_list = [d_obs[:, :, j] for j in range(5)]
+    np.testing.assert_array_equal(server.stack_streams(as_list), d_obs[:, :, :5])
+    single = server.stack_streams(d_obs[:, :, 0])
+    assert single.shape == (server.nt, server.nd, 1)
+    with pytest.raises(ValueError):
+        server.stack_streams(np.zeros((server.nt, server.nd + 1, 3)))
+
+
+def test_partial_forecasts_match_streaming_inverter(server, serve_inversion, serve_streams):
+    _, _, d_obs = serve_streams
+    si = StreamingInverter(serve_inversion)
+    for k_slots in (1, 4, server.nt):
+        fcs = server.forecast_partial_batch(d_obs, k_slots)
+        for j in (0, 9, d_obs.shape[2] - 1):
+            ref = si.forecast_partial(d_obs[:, :, j], k_slots)
+            np.testing.assert_allclose(fcs[j].mean, ref.mean, rtol=0, atol=ATOL)
+            np.testing.assert_allclose(
+                fcs[j].covariance, ref.covariance, rtol=0, atol=ATOL
+            )
+    # Horizon operators are memoized, one entry per distinct k_slots.
+    assert server.report()["partial_horizons_cached"] == 3.0
+    with pytest.raises(ValueError):
+        server.forecast_partial_batch(d_obs, server.nt + 1)
+
+
+def test_fleet_warning_latencies_match_streaming_inverter(server, serve_inversion, serve_streams):
+    _, _, d_obs = serve_streams
+    thresholds = dict(advisory=0.01, watch=0.03, warning=0.08)
+    lat, decisions = server.warning_latencies(d_obs, **thresholds)
+    assert len(lat) == d_obs.shape[2]
+    assert len(decisions) == server.nt and len(decisions[0]) == d_obs.shape[2]
+    si = StreamingInverter(serve_inversion)
+    for j in (0, 5, 17):
+        ref_lat, ref_dec = si.warning_latency(d_obs[:, :, j], **thresholds)
+        assert lat[j] == ref_lat
+        for k in range(server.nt):
+            np.testing.assert_array_equal(
+                decisions[k][j].levels, ref_dec[k].levels
+            )
+    # The bank is diverse enough that not every stream alerts identically.
+    assert len({(-1 if v is None else v) for v in lat}) > 1
+
+
+def test_serve_requires_completed_phases(serve_twin, serve_streams):
+    from repro.inference.bayes import ToeplitzBayesianInversion
+    from repro.inference.noise import NoiseModel
+
+    d_clean, _, d_obs = serve_streams
+    noise = NoiseModel.relative(d_clean[:, :, 0])
+    bare = ToeplitzBayesianInversion(
+        serve_twin.F, serve_twin.prior, noise, Fq=serve_twin.Fq
+    )
+    with pytest.raises(RuntimeError):
+        BatchedPhase4Server(bare)
+    bare.assemble_data_space_hessian()
+    server = BatchedPhase4Server(bare)  # Phase 2 alone allows MAP serving
+    assert np.all(np.isfinite(server.infer_batch(d_obs)))
+    with pytest.raises(RuntimeError):
+        server.predict_batch(d_obs)
+    with pytest.raises(RuntimeError):
+        server.forecast_partial_batch(d_obs, 2)

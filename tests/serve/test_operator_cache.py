@@ -1,0 +1,93 @@
+"""OperatorCache: hit/miss accounting, geometry keying, disk persistence."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.inference.noise import NoiseModel
+from repro.serve import OperatorCache
+from repro.twin import CascadiaTwin, TwinConfig
+
+
+@pytest.fixture(scope="module")
+def small_twin():
+    twin = CascadiaTwin(TwinConfig.demo_2d(nx=8, n_slots=8, n_sensors=6, n_qoi=2))
+    twin.setup()
+    twin.phase1()
+    return twin
+
+
+@pytest.fixture(scope="module")
+def small_noise(small_twin):
+    scenario, d_clean, noise, d_obs = small_twin.simulate_event()
+    return noise, d_obs
+
+
+def test_miss_then_hit(small_twin, small_noise):
+    noise, _ = small_noise
+    cache = OperatorCache()
+    inv1 = cache.get_or_build(small_twin, noise)
+    assert cache.stats.misses == 1 and cache.stats.hits == 0
+    inv2 = cache.get_or_build(small_twin, noise)
+    assert inv2 is inv1
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert cache.stats.requests == 2
+    assert len(cache) == 1
+    assert small_twin.inversion is inv1  # hit installs the inversion
+
+
+def test_noise_change_is_a_different_geometry(small_twin, small_noise):
+    noise, _ = small_noise
+    cache = OperatorCache()
+    cache.get_or_build(small_twin, noise)
+    louder = NoiseModel(2.0 * noise.sigma, noise.nt, noise.nd)
+    cache.get_or_build(small_twin, louder)
+    assert cache.stats.misses == 2
+    assert cache.key_for(small_twin, noise) != cache.key_for(small_twin, louder)
+    assert len(cache) == 2
+
+
+def test_identical_geometry_from_independent_twin_hits(small_twin, small_noise):
+    noise, _ = small_noise
+    cache = OperatorCache()
+    cache.get_or_build(small_twin, noise)
+    # A second, independently assembled twin with the same config shares the key.
+    clone = CascadiaTwin(TwinConfig.demo_2d(nx=8, n_slots=8, n_sensors=6, n_qoi=2))
+    clone.setup()
+    clone.phase1()
+    inv = cache.get_or_build(clone, noise)
+    assert cache.stats.hits == 1 and cache.stats.misses == 1
+    assert clone.inversion is inv
+
+
+def test_disk_persistence_round_trip(tmp_path, small_twin, small_noise):
+    noise, d_obs = small_noise
+    cache = OperatorCache(directory=tmp_path)
+    inv = cache.get_or_build(small_twin, noise)
+    key = cache.key_for(small_twin, noise)
+    archived = list(tmp_path.glob("*.npz"))
+    assert len(archived) == 1 and archived[0].stem == key[:32]
+
+    # A fresh process (fresh cache, same directory) loads instead of building.
+    cold = OperatorCache(directory=tmp_path)
+    inv2 = cold.get_or_build(small_twin, noise)
+    assert cold.stats.disk_hits == 1 and cold.stats.misses == 0
+    # The rebuilt operators reproduce the online solves.
+    m_ref, fc_ref = inv.infer_and_predict(d_obs)
+    m_new, fc_new = inv2.infer_and_predict(d_obs)
+    np.testing.assert_allclose(m_new, m_ref, rtol=0, atol=1e-10)
+    np.testing.assert_allclose(fc_new.mean, fc_ref.mean, rtol=0, atol=1e-10)
+    # And a third lookup in the same process is a memory hit.
+    cold.get_or_build(small_twin, noise)
+    assert cold.stats.hits == 1
+
+    cold.clear_memory()
+    assert len(cold) == 0 and archived[0].exists()
+    assert "disk hits" in cold.report()
+
+
+def test_fingerprint_requires_phase1():
+    twin = CascadiaTwin(TwinConfig.demo_2d(nx=8, n_slots=6, n_sensors=4, n_qoi=2))
+    with pytest.raises(RuntimeError):
+        twin.geometry_fingerprint()
