@@ -7,7 +7,12 @@ OperatorCache runs Phases 2-3 once for the sensor geometry (and persists
 the factors, so re-running this script skips the offline cost), and a
 BatchedPhase4Server inverts and forecasts every stream in single BLAS-3
 passes — then sweeps the streaming early-warning horizons for the whole
-fleet at once, printing each scenario's alert latency.
+fleet in one *incremental* pass (the
+``repro.inference.streaming.IncrementalStreamingPosterior`` engine: one
+small block solve, one gemm, and one covariance downdate per observation
+slot, never a per-horizon re-solve), printing each scenario's alert
+latency.  Finally a *ragged* fleet is served: every stream at its own
+data horizon, grouped by slot, in one batched pass.
 
 Runs in well under a minute on a laptop.
 
@@ -62,8 +67,16 @@ def main() -> None:
         f"({result.n_streams / dt:,.0f} streams/sec)"
     )
 
-    # 4. Fleet-wide streaming early warning.
+    # 4. Fleet-wide streaming early warning: one incremental sweep — the
+    # engine advances every stream one observation slot per step instead
+    # of re-solving each truncated system.
+    t0 = time.perf_counter()
     latencies, _ = server.warning_latencies(d_obs, 0.01, 0.05, 0.10)
+    dt = time.perf_counter() - t0
+    print(
+        f"\nincremental latency sweep: {cfg.n_slots} horizons x "
+        f"{result.n_streams} streams in {dt * 1e3:.1f} ms"
+    )
     print(f"\n{'scenario':<14s} {'Mw':>6s} {'param err':>10s} {'alert':>8s} {'latency':>9s}")
     for j, entry in enumerate(bank):
         truth = entry.scenario.m
@@ -71,6 +84,21 @@ def main() -> None:
         level = AlertLevel(int(result.decisions[j].max_level())).name
         lat = f"slot {latencies[j]}" if latencies[j] is not None else "-"
         print(f"{entry.scenario_id:<14s} {entry.mw:>6.2f} {err:>10.3f} {level:>8s} {lat:>9s}")
+
+    # 5. Ragged fleet: events start at different times, so each stream has
+    # its own data horizon; one batched pass serves them all, grouped by
+    # the slot being absorbed.
+    rng = np.random.default_rng(cfg.seed)
+    horizons = rng.integers(2, cfg.n_slots + 1, size=result.n_streams)
+    fleet = server.open_fleet(d_obs)
+    fleet.advance(horizons)
+    forecasts = fleet.forecasts()
+    mean_std = [float(np.mean(fc.std())) for fc in forecasts]
+    print(
+        f"\nragged fleet: horizons {int(horizons.min())}..{int(horizons.max())} "
+        f"in one pass; posterior std spans "
+        f"{min(mean_std):.4f} (most data) .. {max(mean_std):.4f} (least data)"
+    )
 
 
 if __name__ == "__main__":

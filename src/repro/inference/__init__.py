@@ -23,6 +23,12 @@ Submodules
     ``K = Gamma_noise + F Gamma_prior F*`` and its Cholesky factorization,
     the goal-oriented operators ``B``, ``Gamma_post(q)``, the data-to-QoI
     map ``Q``, and the real-time MAP/forecast solves.
+``streaming``
+    ``IncrementalStreamingPosterior`` / ``StreamingFleet`` — the
+    incremental partial-data engine: the nested forward-substituted states
+    ``Y = L^{-1} B`` (geometry, shared) and ``w = L^{-1} d`` (per stream,
+    batched across a fleet) advanced one observation slot at a time, with
+    rank-``Nd`` covariance downdates instead of per-horizon re-solves.
 ``posterior``
     Exact posterior machinery: pointwise marginal variances (slot and
     time-integrated displacement), Matheron posterior sampling.
@@ -36,6 +42,7 @@ from repro.inference.forecast import QoIForecast
 from repro.inference.noise import NoiseModel
 from repro.inference.posterior import PosteriorSampler, posterior_pointwise_variance
 from repro.inference.prior import BiLaplacianPrior, SpatioTemporalPrior
+from repro.inference.streaming import IncrementalStreamingPosterior, StreamingFleet
 from repro.inference.toeplitz import BlockToeplitzOperator
 
 __all__ = [
@@ -44,6 +51,8 @@ __all__ = [
     "SpatioTemporalPrior",
     "NoiseModel",
     "ToeplitzBayesianInversion",
+    "IncrementalStreamingPosterior",
+    "StreamingFleet",
     "PosteriorSampler",
     "posterior_pointwise_variance",
     "QoIForecast",

@@ -37,7 +37,7 @@ its Cholesky factor, which the streaming early-warning extension exploits.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 import numpy as np
 import scipy.linalg as sla
@@ -48,6 +48,9 @@ from repro.inference.prior import SpatioTemporalPrior
 from repro.inference.toeplitz import BlockToeplitzOperator
 from repro.util.timing import TimerRegistry
 from repro.util.validation import check_in
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.inference.streaming import IncrementalStreamingPosterior
 
 __all__ = ["ToeplitzBayesianInversion"]
 
@@ -96,6 +99,8 @@ class ToeplitzBayesianInversion:
 
         self.K: Optional[np.ndarray] = None
         self._K_chol: Optional[Tuple[np.ndarray, bool]] = None
+        self._L_lower: Optional[np.ndarray] = None
+        self._streaming: Optional["IncrementalStreamingPosterior"] = None
         self.B: Optional[np.ndarray] = None
         self.Pq: Optional[np.ndarray] = None
         self.qoi_covariance: Optional[np.ndarray] = None
@@ -196,6 +201,8 @@ class ToeplitzBayesianInversion:
         self.K = K
         with self.timers.time("Phase 2: factorize K"):
             self._K_chol = sla.cho_factor(K, lower=True)
+        self._L_lower = None  # derived views are stale after re-factorization
+        self._streaming = None
         return K
 
     @property
@@ -220,14 +227,21 @@ class ToeplitzBayesianInversion:
 
         Because the data ordering is time-major, ``L[:k*Nd, :k*Nd]`` is the
         factor of the first-``k``-slots subproblem — the basis of streaming
-        partial-data early warning.
+        partial-data early warning.  The ``O(n^2)`` strictly-lower copy is
+        computed once and cached contiguous (read-only): the streaming
+        engine, every :class:`~repro.twin.earlywarning.StreamingInverter`,
+        the fleet server, and archive writes all share the same array.
         """
         if self._K_chol is None:
             raise RuntimeError("call assemble_data_space_hessian() first (Phase 2)")
-        c, lower = self._K_chol
-        if not lower:  # pragma: no cover - we always factor lower
-            return c.T
-        return np.tril(c)
+        if self._L_lower is None:
+            c, lower = self._K_chol
+            if not lower:  # pragma: no cover - we always factor lower
+                c = c.T
+            L = np.ascontiguousarray(np.tril(c))
+            L.setflags(write=False)
+            self._L_lower = L
+        return self._L_lower
 
     # ------------------------------------------------------------------
     # Phase 3: goal-oriented operators
@@ -258,7 +272,32 @@ class ToeplitzBayesianInversion:
         self.Pq = Pq
         self.qoi_covariance = cov
         self.Q = Q
+        self._streaming = None  # engine state derives from B/Pq
         return {"B": B, "Pq": Pq, "qoi_covariance": cov, "Q": Q}
+
+    def streaming_state(self) -> "IncrementalStreamingPosterior":
+        """The memoized incremental streaming engine over this inversion.
+
+        One :class:`~repro.inference.streaming.IncrementalStreamingPosterior`
+        per inversion, so all consumers (single-event streamers, the fleet
+        server, latency sweeps) share the same forward-substituted geometry
+        rows ``Y = L^{-1} B`` and per-horizon covariance snapshots.
+        Requires Phases 2-3; invalidated by re-assembly.
+        """
+        if self._streaming is None:
+            from repro.inference.streaming import IncrementalStreamingPosterior
+
+            self._streaming = IncrementalStreamingPosterior(self)
+        return self._streaming
+
+    @property
+    def streaming_state_peek(self) -> Optional["IncrementalStreamingPosterior"]:
+        """The memoized streaming engine, or ``None`` if none exists yet.
+
+        Unlike :meth:`streaming_state` this never creates (or requires
+        the phases for) an engine — for reporting/introspection.
+        """
+        return self._streaming
 
     # ------------------------------------------------------------------
     # Phase 4: real-time solves

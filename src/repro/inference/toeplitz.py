@@ -177,6 +177,16 @@ class _TransposedBTO(BlockToeplitzOperator):
         self.nfft = base.nfft
         self.nf = base.nf
 
+    @property
+    def kernel_nbytes(self) -> int:
+        """Memory of the shared compact representation (owned by the base).
+
+        The view never materializes spectra of its own (``_khat`` /
+        ``_khat_ct`` live on the base operator), so the inherited property
+        would crash; delegate instead.
+        """
+        return self._base.kernel_nbytes
+
     def matvec(self, m: np.ndarray) -> np.ndarray:
         return self._base.rmatvec(m)
 

@@ -17,8 +17,11 @@ the single-event reproduction becomes a multi-tenant twin:
 ``server``
     :class:`BatchedPhase4Server` — ``k`` concurrent observation streams
     stacked into single BLAS-3 solves (one ``trsm``/``gemm`` instead of
-    ``k`` ``trsv``/``gemv`` sweeps), for full-data MAP/forecast and for
-    streaming partial-data early warning across the whole fleet.
+    ``k`` ``trsv``/``gemv`` sweeps) for full-data MAP/forecast, and
+    incremental streaming early warning across the whole fleet: per-stream
+    forward-substituted states advanced one observation slot at a time
+    (ragged per-stream horizons allowed) against the inversion's shared
+    :class:`~repro.inference.streaming.IncrementalStreamingPosterior`.
 
 Quick start::
 

@@ -12,11 +12,16 @@ near-machine precision against sequential
 :meth:`~repro.inference.bayes.ToeplitzBayesianInversion.infer` /
 ``predict`` by the test suite); only the arithmetic intensity changes.
 
-The same batching applies to the streaming early-warning path: for each
-partial-data horizon ``k_slots`` the leading Cholesky block and the
-truncated data-to-QoI map are formed once and applied to *all* streams,
-so a whole fleet of concurrent events advances one observation slot per
-pair of triangular solves.
+The streaming early-warning path is *incremental*: the server holds the
+inversion's shared :class:`~repro.inference.streaming.IncrementalStreamingPosterior`
+engine, and a fleet of concurrent events advances one observation slot per
+step — one ``Nd x Nd`` block forward-substitution row over the grouped
+streams, one gemm against the shared nested geometry rows, and one
+rank-``Nd`` covariance downdate.  No per-horizon re-solves, no memoized
+per-horizon operators, and streams may sit at *different* horizons
+(a ragged fleet): :meth:`BatchedPhase4Server.forecast_partial_batch`
+accepts per-stream horizons, and :meth:`BatchedPhase4Server.open_fleet`
+exposes the persistent per-stream states for long-lived sessions.
 """
 
 from __future__ import annotations
@@ -28,11 +33,11 @@ import numpy as np
 
 from repro.inference.bayes import ToeplitzBayesianInversion
 from repro.inference.forecast import QoIForecast
+from repro.inference.streaming import IncrementalStreamingPosterior, StreamingFleet
 from repro.twin.earlywarning import (
     AlertLevel,
     EarlyWarningDecision,
     decide_alert,
-    partial_qoi_operators,
 )
 from repro.util.timing import TimerRegistry
 
@@ -85,9 +90,6 @@ class BatchedPhase4Server:
         self.nt, self.nd, self.nm = inv.nt, inv.nd, inv.nm
         self.nq = inv.nq
         self.timers = timers if timers is not None else TimerRegistry()
-        self._L: Optional[np.ndarray] = None
-        # Per-horizon streaming operators: k_slots -> (Q_k, cov_k).
-        self._partial: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     # Input handling
@@ -168,45 +170,51 @@ class BatchedPhase4Server:
         return ServeResult(m_map=m_map, forecasts=forecasts, decisions=decisions)
 
     # ------------------------------------------------------------------
-    # Streaming partial-data serving
+    # Streaming partial-data serving (incremental engine)
     # ------------------------------------------------------------------
-    def _partial_ops(self, k_slots: int) -> Tuple[np.ndarray, np.ndarray]:
-        """Per-horizon ``(Q_k, cov_k)``, formed once and memoized.
+    def streaming_engine(self) -> IncrementalStreamingPosterior:
+        """The inversion's shared incremental engine (requires Phase 3).
 
-        ``(Q_k, cov_k)`` from
-        :func:`~repro.twin.earlywarning.partial_qoi_operators` — the same
-        implementation the single-event ``StreamingInverter`` uses — so
-        the batched and per-event streaming paths cannot diverge.
+        Deliberately not cached here: the inversion memoizes it and
+        invalidates on re-assembly, so delegating keeps the server from
+        serving posteriors of stale operators.
         """
-        cached = self._partial.get(k_slots)
-        if cached is not None:
-            return cached
-        if self._L is None:
-            self._L = self.inv.cholesky_lower
-        ops = partial_qoi_operators(self.inv, k_slots, L=self._L)
-        self._partial[k_slots] = ops
-        return ops
+        return self.inv.streaming_state()
+
+    def open_fleet(
+        self, streams: Union[np.ndarray, Sequence[np.ndarray]]
+    ) -> StreamingFleet:
+        """Attach streams as a persistent incremental fleet session.
+
+        The returned :class:`~repro.inference.streaming.StreamingFleet`
+        holds per-stream forward-substituted states against the server's
+        shared geometry; callers advance it as observations arrive
+        (``fleet.advance(horizons)``) and read exact forecasts at any mix
+        of per-stream horizons (``fleet.forecasts()``).
+        """
+        return self.streaming_engine().open_fleet(self.stack_streams(streams))
 
     def forecast_partial_batch(
         self,
         streams: Union[np.ndarray, Sequence[np.ndarray]],
-        k_slots: int,
+        k_slots: Union[int, Sequence[int], np.ndarray],
         times: Optional[np.ndarray] = None,
     ) -> List[QoIForecast]:
-        """Partial-data forecasts for every stream from one ``gemm``."""
+        """Partial-data forecasts for every stream, ragged horizons allowed.
+
+        ``k_slots`` is a single shared horizon or one horizon per stream;
+        streams are advanced through their slots in causal order (grouped
+        by slot: one small block solve + one gemm each) and their means
+        read off the shared geometry rows — no per-horizon re-solves.
+        """
+        ks = np.atleast_1d(np.asarray(k_slots, dtype=np.int64))
+        if ks.size == 0 or ks.min() < 1:
+            raise ValueError("k_slots must be >= 1 for every stream")
         D = self.stack_streams(streams)
-        Qk, cov = self._partial_ops(k_slots)
-        n = k_slots * self.nd
         with self.timers.time("serve: stream batch"):
-            qs = Qk @ D[:k_slots].reshape(n, D.shape[2])
-        if times is None:
-            times = np.arange(1, self.nt + 1, dtype=np.float64)
-        return [
-            QoIForecast(
-                times=times, mean=qs[:, j].reshape(self.nt, self.nq), covariance=cov
-            )
-            for j in range(D.shape[2])
-        ]
+            fleet = self.open_fleet(D)
+            fleet.advance(k_slots)
+            return fleet.forecasts(times=times)
 
     def warning_latencies(
         self,
@@ -217,38 +225,42 @@ class BatchedPhase4Server:
         probability: float = 0.5,
         level: AlertLevel = AlertLevel.WARNING,
     ) -> Tuple[List[Optional[int]], List[List[EarlyWarningDecision]]]:
-        """Streaming alert latency for every stream in one sweep.
+        """Streaming alert latency for every stream in one incremental sweep.
 
-        Advances all streams slot-by-slot; each horizon costs one pair of
-        triangular solves (shared) plus one ``gemm`` over the fleet.
-        Returns per-stream first-firing slots (``None`` if never) and the
-        per-slot decisions, ``decisions[slot][stream]``.
+        One fleet state absorbs one observation slot per step: a block
+        forward-substitution row over all streams, one gemm for the fleet's
+        means, and a rank-``Nd`` covariance downdate shared fleet-wide.
+        The whole sweep costs about one full-horizon solve — the seed
+        path's per-horizon re-solves are gone.  Returns per-stream
+        first-firing slots (``None`` if never) and the per-slot decisions,
+        ``decisions[slot][stream]``.
         """
         D = self.stack_streams(streams)
         k = D.shape[2]
+        fleet = self.open_fleet(D)
         latencies: List[Optional[int]] = [None] * k
         all_decisions: List[List[EarlyWarningDecision]] = []
-        for k_slots in range(1, self.nt + 1):
-            fcs = self.forecast_partial_batch(D, k_slots)
-            row = [
-                decide_alert(fc, advisory, watch, warning, probability) for fc in fcs
-            ]
-            all_decisions.append(row)
-            for j, dec in enumerate(row):
-                if latencies[j] is None and dec.max_level() >= level:
-                    latencies[j] = k_slots
+        with self.timers.time("serve: latency sweep"):
+            for k_slots in range(1, self.nt + 1):
+                fleet.advance(k_slots)
+                fcs = fleet.forecasts()
+                row = [
+                    decide_alert(fc, advisory, watch, warning, probability)
+                    for fc in fcs
+                ]
+                all_decisions.append(row)
+                for j, dec in enumerate(row):
+                    if latencies[j] is None and dec.max_level() >= level:
+                        latencies[j] = k_slots
         return latencies, all_decisions
 
     # ------------------------------------------------------------------
     def report(self) -> Dict[str, float]:
-        """Serving timers plus memoized streaming-operator footprint."""
+        """Serving timers plus the shared streaming-engine footprint."""
         out: Dict[str, float] = dict(self.timers.as_dict())
-        out["partial_horizons_cached"] = float(len(self._partial))
-        out["partial_cache_bytes"] = float(
-            sum(
-                q.nbytes + c.nbytes
-                for q, c in self._partial.values()
-                if q is not self.inv.Q  # full horizon aliases Phase 3 storage
-            )
-        )
+        # Peek at the inversion's memoized engine without creating one.
+        eng = self.inv.streaming_state_peek
+        out["streaming_slots_advanced"] = float(eng.k_geom if eng else 0)
+        out["streaming_horizons_cached"] = float(eng.horizons_cached if eng else 0)
+        out["streaming_state_bytes"] = float(eng.state_nbytes() if eng else 0)
         return out

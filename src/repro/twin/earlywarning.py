@@ -46,31 +46,25 @@ def partial_qoi_operators(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Truncated data-to-QoI map and exact partial-data QoI covariance.
 
-    ``Q_k = (K_k^{-1} B_k)^T`` from the leading ``k_slots * Nd`` block of
-    the Cholesky factor (time-major ordering makes it a leading principal
-    block of the full factor), and ``cov_k = P_q - B_k^T K_k^{-1} B_k``.
-    The one implementation shared by the single-event
-    :class:`StreamingInverter` and the batched fleet server
-    (:class:`repro.serve.server.BatchedPhase4Server`).
+    ``Q_k = (K_k^{-1} B_k)^T`` and ``cov_k = P_q - B_k^T K_k^{-1} B_k``,
+    both served by the inversion's shared incremental engine
+    (:meth:`~repro.inference.bayes.ToeplitzBayesianInversion.streaming_state`):
+    the covariance comes from the per-slot downdate cascade, and the
+    forward half of ``Q_k`` reuses the engine's nested ``Y_k = L_k^{-1}
+    B_k`` rows.  Forming the explicit ``Q_k`` still needs one backward
+    solve of size ``k_slots * Nd`` — use this only to *export* the
+    operator; streaming consumers (:class:`StreamingInverter`, the fleet
+    server) forecast without it.
+
+    ``L`` is accepted for backward compatibility and ignored — the engine
+    always uses the inversion's cached contiguous factor.
     """
     if inv.B is None or inv.Pq is None:
         raise RuntimeError("Phase 3 must be complete")
     if not 1 <= k_slots <= inv.nt:
         raise ValueError(f"k_slots must lie in [1, {inv.nt}]")
-    if k_slots == inv.nt and inv.Q is not None and inv.qoi_covariance is not None:
-        # The full-data horizon is exactly the Phase 3 product; don't redo
-        # the most expensive pair of triangular solves of the sweep.
-        return inv.Q, inv.qoi_covariance
-    if L is None:
-        L = inv.cholesky_lower
-    n = k_slots * inv.nd
-    Lk = L[:n, :n]
-    Bk = inv.B[:n, :]
-    y = sla.solve_triangular(Lk, Bk, lower=True)
-    KinvB = sla.solve_triangular(Lk, y, lower=True, trans="T")
-    cov = inv.Pq - Bk.T @ KinvB
-    cov = 0.5 * (cov + cov.T)
-    return np.ascontiguousarray(KinvB.T), cov
+    engine = inv.streaming_state()
+    return engine.qoi_map(k_slots), engine.covariance_at(k_slots)
 
 
 class AlertLevel(IntEnum):
@@ -147,17 +141,25 @@ def decide_alert(
 class StreamingInverter:
     """Partial-data inversions from the leading Cholesky blocks of ``K``.
 
+    A thin single-stream wrapper over the inversion's shared
+    :class:`~repro.inference.streaming.IncrementalStreamingPosterior`
+    engine: forecasts advance nested forward-substituted states one
+    observation slot at a time instead of re-solving each truncated
+    system from scratch.  The public API and the (mathematically exact)
+    results are unchanged from the pre-engine implementation.
+
     Parameters
     ----------
     inv:
-        A fully-assembled inversion (Phases 2-3 complete).
+        A fully-assembled inversion (Phases 2-3 complete; Phase 2 alone
+        suffices for :meth:`infer_partial`).
     """
 
     def __init__(self, inv: ToeplitzBayesianInversion) -> None:
         if not inv.phase2_complete:
             raise RuntimeError("Phase 2 must be complete")
         self.inv = inv
-        self.L = inv.cholesky_lower  # (NtNd, NtNd), lower
+        self.L = inv.cholesky_lower  # (NtNd, NtNd), lower, cached on inv
         self.nd = inv.nd
         self.nt = inv.nt
 
@@ -191,18 +193,24 @@ class StreamingInverter:
     ) -> QoIForecast:
         """QoI forecast (mean + exact covariance) from partial data.
 
-        ``q_map = B_k^T K_k^{-1} d_k`` and ``Gamma_post(q) = P_q -
-        B_k^T K_k^{-1} B_k`` with ``B_k`` the leading ``k*Nd`` rows of the
-        Phase 3 operator ``B`` — all reusing precomputed factors.
+        ``q_map = Y_k^T (L_k^{-1} d_k)`` and ``Gamma_post(q) = P_q -
+        Y_k^T Y_k`` with ``Y_k = L_k^{-1} B_k`` the engine's shared nested
+        geometry rows — the truncated data-to-QoI operator is never formed.
         """
+        if not 1 <= k_slots <= self.nt:
+            raise ValueError(f"k_slots must lie in [1, {self.nt}]")
         d = np.asarray(d_obs, dtype=np.float64)
-        Qk, cov = partial_qoi_operators(self.inv, k_slots, L=self.L)
-        q = Qk @ d[:k_slots].reshape(-1)
-        if times is None:
-            times = np.arange(1, self.nt + 1, dtype=np.float64)
-        return QoIForecast(
-            times=times, mean=q.reshape(self.nt, self.inv.nq), covariance=cov
-        )
+        if d.ndim != 2 or d.shape[0] < k_slots or d.shape[1] != self.nd:
+            raise ValueError(
+                f"d_obs must be (>= {k_slots}, {self.nd}), got {d.shape}"
+            )
+        # As in the seed API, callers may hold only the first k_slots of
+        # data; pad to the full window (later slots are never absorbed).
+        buf = np.zeros((self.nt, self.nd))
+        buf[:k_slots] = d[:k_slots]
+        fleet = self.inv.streaming_state().open_fleet(buf)
+        fleet.advance(k_slots)
+        return fleet.forecasts(times=times)[0]
 
     # ------------------------------------------------------------------
     def warning_latency(
@@ -217,12 +225,19 @@ class StreamingInverter:
         """First data slot at which the alert reaches ``level``.
 
         Returns ``(k_slots or None, decisions per slot)`` — the measured
-        detection latency of the streaming early-warning loop.
+        detection latency of the streaming early-warning loop.  The sweep
+        is incremental: one fleet state absorbs one observation slot per
+        step (block forward-substitution row + covariance downdate), so
+        the whole latency measurement costs no more than a single
+        full-horizon solve.
         """
+        d = np.asarray(d_obs, dtype=np.float64)
+        fleet = self.inv.streaming_state().open_fleet(d)
         decisions = []
         fired: Optional[int] = None
         for k in range(1, self.nt + 1):
-            fc = self.forecast_partial(d_obs, k)
+            fleet.advance(k)
+            fc = fleet.forecasts()[0]
             dec = decide_alert(fc, advisory, watch, warning, probability)
             decisions.append(dec)
             if fired is None and dec.max_level() >= level:

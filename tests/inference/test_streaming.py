@@ -1,0 +1,200 @@
+"""Incremental streaming engine: per-slot updates vs from-scratch truncation.
+
+The contract pinned here: at *every* horizon ``k``, the incrementally
+advanced quantities — forecast mean ``q_k``, QoI covariance ``cov_k``, the
+exported operator ``Q_k``, and the MAP through ``StreamingInverter`` —
+match a from-scratch solve of the truncated ``k``-slot subproblem to near
+machine precision, including ragged fleets with per-stream horizons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.inference.bayes import ToeplitzBayesianInversion
+from repro.inference.streaming import IncrementalStreamingPosterior
+
+ATOL = 1e-11
+
+
+def _truncated_reference(inv, k):
+    """From-scratch ``(Q_k, cov_k)`` of the k-slot subproblem (no nesting)."""
+    n = k * inv.nd
+    Kk = inv.K[:n, :n]
+    Bk = inv.B[:n, :]
+    KinvB = np.linalg.solve(Kk, Bk)
+    cov = inv.Pq - Bk.T @ KinvB
+    return KinvB.T, 0.5 * (cov + cov.T)
+
+
+@pytest.fixture(scope="module")
+def engine(inversion2d):
+    return IncrementalStreamingPosterior(inversion2d)
+
+
+class TestGeometryNesting:
+    def test_incremental_matches_truncated_solve_every_horizon(
+        self, inversion2d, engine, observed2d
+    ):
+        _, _, d_obs = observed2d
+        fleet = engine.open_fleet(d_obs)
+        for k in range(1, inversion2d.nt + 1):
+            fleet.advance(k)
+            fc = fleet.forecasts()[0]
+            Q_ref, cov_ref = _truncated_reference(inversion2d, k)
+            q_ref = Q_ref @ d_obs[:k].reshape(-1)
+            scale = max(np.abs(q_ref).max(), 1.0)
+            np.testing.assert_allclose(
+                fc.mean.reshape(-1), q_ref, rtol=0, atol=ATOL * scale
+            )
+            np.testing.assert_allclose(fc.covariance, cov_ref, rtol=0, atol=ATOL)
+
+    def test_qoi_map_export_every_horizon(self, inversion2d, engine):
+        for k in (1, 3, inversion2d.nt):
+            Q_ref, cov_ref = _truncated_reference(inversion2d, k)
+            np.testing.assert_allclose(engine.qoi_map(k), Q_ref, rtol=0, atol=ATOL)
+            np.testing.assert_allclose(
+                engine.covariance_at(k), cov_ref, rtol=0, atol=ATOL
+            )
+
+    def test_geometry_rows_are_forward_substituted_blocks(self, inversion2d, engine):
+        k = 4
+        n = k * inversion2d.nd
+        Y = engine.geometry_rows(k)
+        L = inversion2d.cholesky_lower
+        ref = sla.solve_triangular(L[:n, :n], inversion2d.B[:n], lower=True)
+        np.testing.assert_allclose(Y, ref, rtol=0, atol=ATOL)
+
+    def test_random_access_to_earlier_horizon(self, inversion2d, engine):
+        # Engine is already past k=2 from other tests; random access must
+        # still be exact (recomputed from the stored Y rows, no big solve).
+        engine.advance_geometry(inversion2d.nt)
+        _, cov_ref = _truncated_reference(inversion2d, 2)
+        np.testing.assert_allclose(engine.covariance_at(2), cov_ref, rtol=0, atol=ATOL)
+
+    def test_full_horizon_aliases_phase3(self, inversion2d, engine):
+        cov = engine.covariance_at(inversion2d.nt)
+        assert np.shares_memory(cov, inversion2d.qoi_covariance)
+        assert not cov.flags["WRITEABLE"]
+        assert engine.qoi_map(inversion2d.nt) is inversion2d.Q
+
+    def test_shared_state_is_read_only(self, inversion2d, engine):
+        rows = engine.geometry_rows(3)
+        assert not rows.flags["WRITEABLE"]
+        with pytest.raises(ValueError):
+            rows[0, 0] = 1.0
+        assert not engine.covariance_at(3).flags["WRITEABLE"]
+
+    def test_covariance_shrinks_monotonically(self, inversion2d, engine):
+        traces = [float(np.trace(engine.covariance_at(k)))
+                  for k in range(1, inversion2d.nt + 1)]
+        assert all(a >= b - 1e-12 for a, b in zip(traces, traces[1:]))
+
+
+class TestRaggedFleet:
+    def test_per_stream_horizons_match_single_streams(
+        self, inversion2d, engine, observed2d
+    ):
+        _, _, d_obs = observed2d
+        S = 6
+        D = np.stack([d_obs * (0.5 + 0.2 * j) for j in range(S)], axis=-1)
+        horizons = np.array([1, 3, 3, 7, inversion2d.nt, 5])
+        fleet = engine.open_fleet(D)
+        fleet.advance(horizons)
+        fcs = fleet.forecasts()
+        for j in range(S):
+            k = int(horizons[j])
+            solo = engine.open_fleet(D[:, :, j]).advance(k).forecasts()[0]
+            np.testing.assert_allclose(fcs[j].mean, solo.mean, rtol=0, atol=ATOL)
+            assert fcs[j].covariance is solo.covariance
+
+    def test_staggered_arrival_equals_one_shot(self, inversion2d, engine, observed2d):
+        _, _, d_obs = observed2d
+        D = np.stack([d_obs, 2.0 * d_obs], axis=-1)
+        staged = engine.open_fleet(D)
+        staged.advance([2, 1])
+        staged.advance([5, 1])
+        staged.advance([6, 4])
+        oneshot = engine.open_fleet(D).advance([6, 4])
+        # Group shapes differ between the two schedules, so BLAS rounding
+        # may differ by a few ulp; the states are the same to ~1e-15.
+        np.testing.assert_allclose(staged._W, oneshot._W, rtol=0, atol=1e-13)
+        for a, b in zip(staged.forecasts(), oneshot.forecasts()):
+            np.testing.assert_allclose(a.mean, b.mean, rtol=0, atol=1e-13)
+
+    def test_horizon_zero_gives_prior_predictive(self, inversion2d, engine, observed2d):
+        _, _, d_obs = observed2d
+        fleet = engine.open_fleet(d_obs)
+        fc = fleet.forecasts()[0]
+        np.testing.assert_array_equal(fc.mean, 0.0)
+        np.testing.assert_array_equal(fc.covariance, inversion2d.Pq)
+
+    def test_validation(self, inversion2d, engine, observed2d):
+        _, _, d_obs = observed2d
+        fleet = engine.open_fleet(d_obs)
+        with pytest.raises(ValueError):
+            fleet.advance(inversion2d.nt + 1)
+        with pytest.raises(ValueError):
+            fleet.advance([1, 2])  # wrong length for a single-stream fleet
+        with pytest.raises(ValueError):
+            engine.open_fleet(np.zeros((inversion2d.nt, inversion2d.nd + 1)))
+        with pytest.raises(ValueError):
+            engine.covariance_at(inversion2d.nt + 1)
+
+
+class TestLifecycle:
+    def test_requires_completed_phases(self, F2d, Fq2d, prior2d, observed2d):
+        _, noise, _ = observed2d
+        bare = ToeplitzBayesianInversion(F2d, prior2d, noise, Fq=Fq2d)
+        with pytest.raises(RuntimeError):
+            IncrementalStreamingPosterior(bare)
+        with pytest.raises(RuntimeError):
+            bare.streaming_state()
+        bare.assemble_data_space_hessian(method="direct")
+        with pytest.raises(RuntimeError):  # Phase 3 still missing
+            bare.streaming_state()
+
+    def test_streaming_state_memoized_and_invalidated(
+        self, F2d, Fq2d, prior2d, observed2d
+    ):
+        _, noise, _ = observed2d
+        inv = ToeplitzBayesianInversion(F2d, prior2d, noise, Fq=Fq2d)
+        inv.assemble_data_space_hessian(method="direct")
+        inv.assemble_goal_oriented(method="direct")
+        eng = inv.streaming_state()
+        assert inv.streaming_state() is eng  # one shared engine per inversion
+        inv.assemble_goal_oriented(method="direct")
+        assert inv.streaming_state() is not eng  # re-assembly invalidates
+
+    def test_cholesky_lower_cached_contiguous(self, inversion2d):
+        L1 = inversion2d.cholesky_lower
+        assert inversion2d.cholesky_lower is L1  # computed once
+        assert L1.flags["C_CONTIGUOUS"] and not L1.flags["WRITEABLE"]
+        np.testing.assert_allclose(
+            L1 @ L1.T, inversion2d.K, atol=1e-9 * np.abs(inversion2d.K).max()
+        )
+
+    def test_state_accounting(self, inversion2d, engine):
+        engine.advance_geometry(inversion2d.nt)
+        assert engine.k_geom == inversion2d.nt
+        assert engine.horizons_cached >= 1
+        assert engine.state_nbytes() > 0
+
+    def test_server_follows_reassembly(self, F2d, Fq2d, prior2d, observed2d):
+        """The fleet server must not hold a stale engine across re-assembly."""
+        from repro.serve import BatchedPhase4Server
+
+        _, noise, d_obs = observed2d
+        inv = ToeplitzBayesianInversion(F2d, prior2d, noise, Fq=Fq2d)
+        inv.assemble_data_space_hessian(method="direct")
+        inv.assemble_goal_oriented(method="direct")
+        server = BatchedPhase4Server(inv)
+        server.forecast_partial_batch(d_obs, 2)  # binds an engine
+        old = inv.streaming_state_peek
+        assert old is not None
+        inv.assemble_goal_oriented(method="direct")  # invalidates
+        server.forecast_partial_batch(d_obs, 2)
+        assert server.streaming_engine() is not old
+        assert server.streaming_engine() is inv.streaming_state()

@@ -100,6 +100,13 @@ class TestTransposeOperator:
         assert t.transpose_operator() is op
         assert t.n_out == op.n_in and t.n_in == op.n_out
 
+    def test_transpose_kernel_nbytes_delegates(self, op):
+        # Regression: the view stores no spectra of its own, so the
+        # inherited property used to crash with AttributeError (_khat).
+        t = op.transpose_operator()
+        assert t.kernel_nbytes == op.kernel_nbytes
+        assert t.flops_per_matvec() == op.flops_per_matvec()
+
 
 class TestScalingAndMemory:
     def test_kernel_memory_linear_in_nt(self):

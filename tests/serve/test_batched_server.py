@@ -77,10 +77,47 @@ def test_partial_forecasts_match_streaming_inverter(server, serve_inversion, ser
             np.testing.assert_allclose(
                 fcs[j].covariance, ref.covariance, rtol=0, atol=ATOL
             )
-    # Horizon operators are memoized, one entry per distinct k_slots.
-    assert server.report()["partial_horizons_cached"] == 3.0
+    # The shared incremental engine advanced to the deepest horizon asked.
+    rep = server.report()
+    assert rep["streaming_slots_advanced"] == float(server.nt)
+    assert rep["streaming_horizons_cached"] >= 3.0
     with pytest.raises(ValueError):
         server.forecast_partial_batch(d_obs, server.nt + 1)
+    with pytest.raises(ValueError):
+        server.forecast_partial_batch(d_obs, 0)
+
+
+def test_ragged_fleet_matches_per_stream_horizons(server, serve_inversion, serve_streams):
+    """Streams at different horizons in one batched pass, grouped by slot."""
+    _, _, d_obs = serve_streams
+    S = d_obs.shape[2]
+    rng = np.random.default_rng(5)
+    horizons = rng.integers(1, server.nt + 1, size=S)
+    horizons[0], horizons[-1] = 1, server.nt  # pin the extremes
+    fcs = server.forecast_partial_batch(d_obs, horizons)
+    si = StreamingInverter(serve_inversion)
+    for j in range(S):
+        ref = si.forecast_partial(d_obs[:, :, j], int(horizons[j]))
+        np.testing.assert_allclose(fcs[j].mean, ref.mean, rtol=0, atol=ATOL)
+        np.testing.assert_allclose(fcs[j].covariance, ref.covariance, rtol=0, atol=ATOL)
+    # Wrong-length horizon vectors are rejected.
+    with pytest.raises(ValueError):
+        server.forecast_partial_batch(d_obs, horizons[:-1])
+
+
+def test_open_fleet_persistent_session(server, serve_inversion, serve_streams):
+    """A long-lived fleet only moves forward and matches one-shot serving."""
+    _, _, d_obs = serve_streams
+    fleet = server.open_fleet(d_obs[:, :, :4])
+    fleet.advance(2)
+    fleet.advance([3, 2, 5, 4])  # ragged growth, monotone per stream
+    with pytest.raises(ValueError):
+        fleet.advance(1)  # horizons never rewind
+    fcs = fleet.forecasts()
+    oneshot = server.forecast_partial_batch(d_obs[:, :, :4], [3, 2, 5, 4])
+    for got, ref in zip(fcs, oneshot):
+        np.testing.assert_allclose(got.mean, ref.mean, rtol=0, atol=ATOL)
+        assert got.covariance is ref.covariance  # shared per-horizon snapshot
 
 
 def test_fleet_warning_latencies_match_streaming_inverter(server, serve_inversion, serve_streams):

@@ -104,6 +104,17 @@ class TestStreaming:
         assert 1 <= fired < twin.config.n_slots
         assert len(decisions) == twin.config.n_slots
 
+    def test_forecast_accepts_truncated_buffer(self, twin_and_result):
+        """Seed-API compatibility: callers may hold only the first k slots."""
+        twin, res = twin_and_result
+        s = StreamingInverter(twin.inversion)
+        k = 4
+        fc_full = s.forecast_partial(res.d_obs, k)
+        fc_trunc = s.forecast_partial(res.d_obs[:k], k)
+        np.testing.assert_array_equal(fc_trunc.mean, fc_full.mean)
+        with pytest.raises(ValueError):
+            s.forecast_partial(res.d_obs[: k - 1], k)  # fewer rows than asked
+
     def test_k_slot_validation(self, twin_and_result):
         twin, res = twin_and_result
         s = StreamingInverter(twin.inversion)
