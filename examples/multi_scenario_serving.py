@@ -11,8 +11,12 @@ fleet in one *incremental* pass (the
 ``repro.inference.streaming.IncrementalStreamingPosterior`` engine: one
 small block solve, one gemm, and one covariance downdate per observation
 slot, never a per-horizon re-solve), printing each scenario's alert
-latency.  Finally a *ragged* fleet is served: every stream at its own
-data horizon, grouped by slot, in one batched pass.
+latency.  A *ragged* fleet is then served: every stream at its own
+data horizon, grouped by slot, in one batched pass.  Finally, streaming
+*scenario identification* ranks every stream against the whole bank by
+exact truncated-data model evidence — posterior scenario probabilities
+``p(s | d_k)`` sharpening slot by slot — and blends the bank's
+scenario-conditioned forecasts into posterior mixture bands.
 
 Runs in well under a minute on a laptop.
 
@@ -98,6 +102,43 @@ def main() -> None:
         f"\nragged fleet: horizons {int(horizons.min())}..{int(horizons.max())} "
         f"in one pass; posterior std spans "
         f"{min(mean_std):.4f} (most data) .. {max(mean_std):.4f} (least data)"
+    )
+
+    # 6. Streaming scenario identification: "which rupture is this?" —
+    # every stream ranked against the whole bank by exact truncated-data
+    # model evidence, accumulated one observation slot at a time (a small
+    # cross-term gemm per slot, never a from-scratch Gaussian log-pdf).
+    t0 = time.perf_counter()
+    session = server.open_identification(bank, d_obs)
+    converged = np.full(result.n_streams, -1)
+    for k in range(1, cfg.n_slots + 1):
+        session.advance(k)
+        res = session.posterior()
+        now = res.map_index() == np.arange(result.n_streams)
+        converged[(converged < 0) & now] = k
+    dt = time.perf_counter() - t0
+    res = session.posterior()
+    print(
+        f"\nstreaming identification: {cfg.n_slots} horizons x "
+        f"{result.n_streams} streams x {len(bank)} scenarios in {dt * 1e3:.1f} ms"
+    )
+    n_right = int(np.sum(res.map_index() == np.arange(result.n_streams)))
+    locked = converged[converged > 0]
+    lock_on = f"{int(np.median(locked))}" if locked.size else "never"
+    print(
+        f"full-horizon MAP scenario correct for {n_right}/{result.n_streams} "
+        f"streams; median slots to lock on: {lock_on}"
+    )
+    print(f"\n{'stream truth':<14s} {'top-1 (p)':<22s} {'top-2 (p)':<22s}")
+    for j, ranked in enumerate(session.top_k(2)[:6]):
+        cells = [f"{sid} ({p:.2f})" for sid, p in ranked]
+        print(f"{bank[j].scenario_id:<14s} {cells[0]:<22s} {cells[1]:<22s}")
+    # Bank-conditioned mixture forecasts blend the scenario-conditioned
+    # posteriors by p(s | d) — wider bands while identification is ambiguous.
+    mix = session.forecast_mixture()
+    print(
+        f"mixture forecast mean posterior std (stream 0): "
+        f"{float(np.mean(mix[0].std())):.4f}"
     )
 
 

@@ -100,6 +100,7 @@ class ToeplitzBayesianInversion:
         self.K: Optional[np.ndarray] = None
         self._K_chol: Optional[Tuple[np.ndarray, bool]] = None
         self._L_lower: Optional[np.ndarray] = None
+        self._logdiag_cum: Optional[np.ndarray] = None
         self._streaming: Optional["IncrementalStreamingPosterior"] = None
         self.B: Optional[np.ndarray] = None
         self.Pq: Optional[np.ndarray] = None
@@ -202,6 +203,7 @@ class ToeplitzBayesianInversion:
         with self.timers.time("Phase 2: factorize K"):
             self._K_chol = sla.cho_factor(K, lower=True)
         self._L_lower = None  # derived views are stale after re-factorization
+        self._logdiag_cum = None
         self._streaming = None
         return K
 
@@ -242,6 +244,28 @@ class ToeplitzBayesianInversion:
             L.setflags(write=False)
             self._L_lower = L
         return self._L_lower
+
+    @property
+    def cholesky_logdiag_cum(self) -> np.ndarray:
+        """Cumulative ``log diag(L)`` per observation slot, ``(Nt + 1,)``.
+
+        ``cum[k] = sum_{i < k Nd} log L_ii``, so the truncated-data
+        log-determinant is ``log |K_k| = 2 cum[k]`` — the constant half of
+        the Gaussian model evidence at horizon ``k``, closed-form for every
+        horizon at once because ``L_k`` is the leading block of ``L``.
+        Computed once per factorization and cached read-only (the streaming
+        scenario-identification path reads it every slot).
+        """
+        if self._K_chol is None:
+            raise RuntimeError("call assemble_data_space_hessian() first (Phase 2)")
+        if self._logdiag_cum is None:
+            c, _ = self._K_chol
+            d = np.log(np.diagonal(c))
+            cum = np.zeros(self.nt + 1)
+            np.cumsum(d.reshape(self.nt, self.nd).sum(axis=1), out=cum[1:])
+            cum.setflags(write=False)
+            self._logdiag_cum = cum
+        return self._logdiag_cum
 
     # ------------------------------------------------------------------
     # Phase 3: goal-oriented operators

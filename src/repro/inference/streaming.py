@@ -59,7 +59,8 @@ verified to near machine precision in ``tests/inference/test_streaming.py``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union, TYPE_CHECKING
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Union, TYPE_CHECKING
 
 import numpy as np
 import scipy.linalg as sla
@@ -71,6 +72,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 
 __all__ = ["IncrementalStreamingPosterior", "StreamingFleet"]
 
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
 
 class IncrementalStreamingPosterior:
     """Shared incremental geometry state ``Y = L^{-1} B`` over one inversion.
@@ -81,6 +84,14 @@ class IncrementalStreamingPosterior:
         A :class:`~repro.inference.bayes.ToeplitzBayesianInversion` with
         Phases 2-3 complete (the factor ``L`` and the goal-oriented
         operators ``B``, ``P_q`` are required).
+    cov_cache_limit:
+        Maximum number of *transient* per-horizon covariance snapshots
+        kept alive (LRU).  The full dense ``(Nt Nq)^2`` snapshot at each
+        horizon would otherwise accumulate ``O(Nt)`` copies over a latency
+        sweep; the two zero-cost horizons — ``k = 0`` (a view of ``P_q``)
+        and ``k = Nt`` (a view of the Phase 3 posterior covariance) — are
+        pinned and never count against the limit.  Evicted horizons are
+        recomputed exactly from the stored ``Y`` rows on the next request.
 
     Notes
     -----
@@ -91,7 +102,13 @@ class IncrementalStreamingPosterior:
     the same geometry rows instead of each re-deriving them.
     """
 
-    def __init__(self, inv: "ToeplitzBayesianInversion") -> None:
+    DEFAULT_COV_CACHE_LIMIT = 8
+
+    def __init__(
+        self,
+        inv: "ToeplitzBayesianInversion",
+        cov_cache_limit: Optional[int] = None,
+    ) -> None:
         if not inv.phase2_complete:
             raise RuntimeError("Phase 2 must be complete before streaming")
         if inv.B is None or inv.Pq is None:
@@ -106,7 +123,14 @@ class IncrementalStreamingPosterior:
         # Running QoI covariance at horizon ``k_geom`` (downdated per slot).
         self._cov = np.array(inv.Pq, dtype=np.float64, copy=True)
         # Immutable per-horizon covariance snapshots, shared by forecasts.
-        self._cov_cache: Dict[int, np.ndarray] = {}
+        # Bounded LRU: only `cov_cache_limit` transient snapshots are held
+        # (k=0 and k=Nt are pinned aliases of Phase 3 arrays, never counted).
+        if cov_cache_limit is None:
+            cov_cache_limit = self.DEFAULT_COV_CACHE_LIMIT
+        if int(cov_cache_limit) < 0:
+            raise ValueError("cov_cache_limit must be >= 0")
+        self.cov_cache_limit = int(cov_cache_limit)
+        self._cov_cache: "OrderedDict[int, np.ndarray]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Shared geometry state
@@ -139,6 +163,16 @@ class IncrementalStreamingPosterior:
             self._cov -= Y[r0:r1].T @ Y[r0:r1]
             self.k_geom = s + 1
 
+    def _is_pinned(self, k: int) -> bool:
+        """Zero-cost horizons that never count against the cache limit."""
+        return k == 0 or k == self.nt
+
+    def _evict_cov_cache(self) -> None:
+        """Drop least-recently-used transient snapshots beyond the limit."""
+        transient = [k for k in self._cov_cache if not self._is_pinned(k)]
+        for k in transient[: max(len(transient) - self.cov_cache_limit, 0)]:
+            del self._cov_cache[k]
+
     def covariance_at(self, k_slots: int) -> np.ndarray:
         """Exact QoI posterior covariance given the first ``k_slots`` slots.
 
@@ -147,13 +181,19 @@ class IncrementalStreamingPosterior:
         symmetric rank-``k Nd`` product from the stored ``Y`` rows for
         random access to earlier horizons.  ``k_slots=0`` returns the
         prior predictive ``P_q``.  Snapshots are cached read-only and
-        shared by every forecast at that horizon.
+        shared by every forecast at that horizon, subject to the LRU bound
+        ``cov_cache_limit`` (sweep transients are evictable; evicted
+        horizons are recomputed exactly on the next request).
         """
         k = self._check_horizon(k_slots)
         cov = self._cov_cache.get(k)
         if cov is not None:
+            self._cov_cache.move_to_end(k)
             return cov
-        if k == self.nt and self.inv.qoi_covariance is not None:
+        if k == 0:
+            # Prior predictive: share the Phase 3 ``P_q`` memory directly.
+            cov = self.inv.Pq.view()
+        elif k == self.nt and self.inv.qoi_covariance is not None:
             # Full horizon is exactly the Phase 3 product; share its
             # memory through a read-only view.
             cov = self.inv.qoi_covariance.view()
@@ -167,6 +207,7 @@ class IncrementalStreamingPosterior:
             cov = 0.5 * (cov + cov.T)
         cov.setflags(write=False)
         self._cov_cache[k] = cov
+        self._evict_cov_cache()
         return cov
 
     def geometry_rows(self, k_slots: int) -> np.ndarray:
@@ -209,18 +250,31 @@ class IncrementalStreamingPosterior:
     # ------------------------------------------------------------------
     @property
     def horizons_cached(self) -> int:
-        """Number of per-horizon covariance snapshots currently held."""
+        """Number of per-horizon covariance snapshots currently held.
+
+        Bounded by ``cov_cache_limit`` transient snapshots plus the two
+        pinned zero-cost horizons (``k = 0`` and ``k = Nt``).
+        """
         return len(self._cov_cache)
+
+    def cov_cache_nbytes(self) -> int:
+        """Bytes held by transient covariance snapshots (pinned views are free).
+
+        Bounded by ``cov_cache_limit * (Nt Nq)^2 * 8`` regardless of how
+        many horizons a sweep visits.
+        """
+        phase3 = [a for a in (self.inv.qoi_covariance, self.inv.Pq) if a is not None]
+        return int(
+            sum(
+                c.nbytes
+                for c in self._cov_cache.values()
+                if not any(np.shares_memory(c, p) for p in phase3)
+            )
+        )
 
     def state_nbytes(self) -> int:
         """Memory of the incremental geometry state (``Y`` + covariances)."""
-        qc = self.inv.qoi_covariance
-        cached = sum(
-            c.nbytes
-            for c in self._cov_cache.values()
-            if qc is None or not np.shares_memory(c, qc)  # nt aliases Phase 3
-        )
-        return int(self._Y.nbytes + self._cov.nbytes + cached)
+        return int(self._Y.nbytes + self._cov.nbytes + self.cov_cache_nbytes())
 
 
 class StreamingFleet:
@@ -248,6 +302,9 @@ class StreamingFleet:
         # Running QoI means: q_j accumulates y_new^T w_new as slots are
         # absorbed, so reading the fleet's forecasts costs no large gemm.
         self._means = np.zeros((engine._nb, self.n_streams))
+        # Running whitened squared norms ||w_j||^2 = ||L_k^{-1} d_k||^2 —
+        # the quadratic half of the per-stream Gaussian model evidence.
+        self._wsq = np.zeros(self.n_streams)
         self.horizons = np.zeros(self.n_streams, dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -293,10 +350,44 @@ class StreamingFleet:
             W[r0:r1, idx] = w_new
             # Nested means: q_k = q_{k-1} + y_new^T w_new.
             self._means[:, idx] += eng._Y[r0:r1].T @ w_new
+            # Nested quadratic forms: ||w_k||^2 = ||w_{k-1}||^2 + ||w_new||^2.
+            self._wsq[idx] += np.einsum("ij,ij->j", w_new, w_new)
         self.horizons = targets
         return self
 
     # ------------------------------------------------------------------
+    @property
+    def states(self) -> np.ndarray:
+        """The per-stream forward-substituted states ``W``, read-only view.
+
+        ``W[:k_j Nd, j] = L_{k_j}^{-1} d_j``; rows beyond a stream's
+        current horizon are zero (not yet absorbed).  The scenario
+        identifier reads per-slot blocks of this to form evidence cross
+        terms without re-solving anything.
+        """
+        W = self._W.view()
+        W.setflags(write=False)
+        return W
+
+    def squared_norms(self) -> np.ndarray:
+        """Running ``||L_{k_j}^{-1} d_j||^2`` per stream, ``(n,)`` copy."""
+        return self._wsq.copy()
+
+    def log_evidence(self) -> np.ndarray:
+        """Truncated-data Gaussian log-evidence of each stream, ``(n,)``.
+
+        ``log p(d_{k_j}) = -1/2 (||L_k^{-1} d_k||^2 + log |K_k|
+        + k Nd log 2 pi)`` under the zero-mean prior predictive
+        ``d_k ~ N(0, K_k)`` — exact at every horizon, read straight off
+        the running squared norms and the inversion's cached cumulative
+        ``log diag(L)`` (no solves).  Scenario-conditioned evidences (mean
+        ``mu_s`` instead of zero) are built on top of this same state by
+        :class:`repro.serve.identify.ScenarioIdentifier`.
+        """
+        cum = self.engine.inv.cholesky_logdiag_cum
+        k = self.horizons
+        return -0.5 * self._wsq - cum[k] - 0.5 * (k * self.engine.nd) * _LOG_2PI
+
     def forecast_means(self) -> np.ndarray:
         """All fleet QoI means at the streams' current horizons, ``(NtNq, k)``.
 

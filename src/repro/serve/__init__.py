@@ -22,6 +22,14 @@ the single-event reproduction becomes a multi-tenant twin:
     forward-substituted states advanced one observation slot at a time
     (ragged per-stream horizons allowed) against the inversion's shared
     :class:`~repro.inference.streaming.IncrementalStreamingPosterior`.
+``identify``
+    :class:`ScenarioIdentifier` / :class:`IdentificationSession` —
+    streaming scenario identification: exact truncated-data model
+    evidence ``log p(d_k | s)`` for every (stream, scenario) pair,
+    accumulated incrementally from the same forward-substituted states
+    (O(Nd) per slot per pair), with posterior scenario probabilities,
+    top-``k`` rankings, and bank-conditioned forecast mixtures; surfaced
+    as ``BatchedPhase4Server.open_identification`` / ``identify_batch``.
 
 Quick start::
 
@@ -39,15 +47,29 @@ Quick start::
 """
 
 from repro.serve.cache import CacheStats, OperatorCache
-from repro.serve.scenarios import BankedScenario, ScenarioBank, halton_sequence
+from repro.serve.identify import (
+    IdentificationResult,
+    IdentificationSession,
+    ScenarioIdentifier,
+)
+from repro.serve.scenarios import (
+    BankedScenario,
+    ScenarioBank,
+    entry_seed,
+    halton_sequence,
+)
 from repro.serve.server import BatchedPhase4Server, ServeResult
 
 __all__ = [
     "ScenarioBank",
     "BankedScenario",
+    "entry_seed",
     "halton_sequence",
     "OperatorCache",
     "CacheStats",
     "BatchedPhase4Server",
     "ServeResult",
+    "ScenarioIdentifier",
+    "IdentificationSession",
+    "IdentificationResult",
 ]

@@ -87,9 +87,20 @@ class OperatorCache:
         )
 
     def _disk_path(self, key: str) -> Optional[Path]:
+        """Archive path for ``key`` — the *full* SHA-256 digest as filename.
+
+        Earlier versions truncated the digest to 32 hex chars (128 bits of
+        collision resistance thrown away for no benefit); archives written
+        under the legacy truncated name are still found and loaded.
+        """
         if self.directory is None:
             return None
-        return self.directory / f"{key[:32]}.npz"
+        path = self.directory / f"{key}.npz"
+        if not path.exists():
+            legacy = self.directory / f"{key[:32]}.npz"
+            if legacy.exists():
+                return legacy
+        return path
 
     # ------------------------------------------------------------------
     def get_or_build(
@@ -135,8 +146,22 @@ class OperatorCache:
     def __len__(self) -> int:
         return len(self._memory)
 
+    def contains(self, key: str, check_disk: bool = True) -> bool:
+        """Whether ``key`` would hit — in memory or (optionally) on disk.
+
+        ``check_disk=False`` restricts the question to resident entries
+        (the pre-fix ``in`` behavior, which wrongly reported a miss for
+        keys the next :meth:`get_or_build` would serve from an archive).
+        """
+        if key in self._memory:
+            return True
+        if not check_disk:
+            return False
+        path = self._disk_path(key)
+        return path is not None and path.exists()
+
     def __contains__(self, key: str) -> bool:
-        return key in self._memory
+        return self.contains(key, check_disk=True)
 
     def clear_memory(self) -> None:
         """Drop in-memory entries (on-disk archives are kept)."""

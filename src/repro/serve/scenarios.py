@@ -19,9 +19,13 @@ synthetic observations into the ``(Nt, Nd, k)`` batches the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.inference.streaming import StreamingFleet
+    from repro.serve.identify import ScenarioIdentifier
 
 from repro.fem.spaces import TraceGrid
 from repro.rupture.scenario import (
@@ -31,10 +35,30 @@ from repro.rupture.scenario import (
 )
 from repro.util.validation import check_positive
 
-__all__ = ["BankedScenario", "ScenarioBank", "halton_sequence"]
+__all__ = ["BankedScenario", "ScenarioBank", "entry_seed", "halton_sequence"]
 
 
-_HALTON_BASES = (2, 3, 5, 7, 11)
+_HALTON_BASES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SEED_MASK = (1 << 64) - 1
+_NOISE_STREAM_TAG = 1  # separates noise draws from rupture heterogeneity
+
+
+def entry_seed(bank_seed: int, index: int) -> int:
+    """Collision-free deterministic rupture seed for ``(bank seed, index)``.
+
+    Derived through :class:`numpy.random.SeedSequence` so distinct
+    ``(bank, index)`` pairs map to distinct (hash-mixed) seeds — the old
+    ``bank_seed * 10_000 + index`` arithmetic collided across banks as
+    soon as any index reached 10 000 (bank 0 entry 10 001 shared both the
+    rupture seed and the observation-noise stream with bank 1 entry 1).
+
+    Compatibility note: this changes every entry's realization relative to
+    pre-fix banks; entries remain reproducible from ``(bank seed, index)``
+    alone, which is the contract that matters.
+    """
+    ss = np.random.SeedSequence((int(bank_seed) & _SEED_MASK, int(index)))
+    return int(ss.generate_state(1, dtype=np.uint64)[0])
 
 
 def _van_der_corput(index: int, base: int) -> float:
@@ -103,7 +127,9 @@ class ScenarioBank:
     nt, dt_obs:
         Observation window of the twin the bank serves.
     seed:
-        Bank seed; entry ``i`` uses rupture seed ``seed * 10_000 + i``.
+        Bank seed; entry ``i`` uses the rupture seed
+        :func:`entry_seed(seed, i) <entry_seed>` (SeedSequence-derived, so
+        seeds never collide across banks).
     peak_uplift_range:
         Magnitude axis: final peak uplift, sampled log-uniformly.
     hypocenter_range:
@@ -146,13 +172,20 @@ class ScenarioBank:
     def _design_point(self, index: int) -> Tuple[float, Tuple[float, ...], float, float]:
         """Design coordinates of entry ``index`` from the Halton sequence."""
         # Offset the sequence so index 0 is not the degenerate origin.  Each
-        # design axis gets its own Halton base so no two axes are correlated.
-        u = halton_sequence(index + 1, 5)
+        # design axis gets its own Halton base so no two axes are correlated
+        # — including one base per *extra* hypocenter dimension on >= 3-D
+        # trace grids (a single shared coordinate would make all cross-dip
+        # nucleation points perfectly correlated, collapsing the design
+        # space to a line).  Halton prefixes are stable, so adding
+        # dimensions never changes the first four axes.
+        dh = len(self.trace.axes)
+        u = halton_sequence(index + 1, 4 + max(dh - 1, 0))
         lo, hi = self.peak_uplift_range
         peak = float(np.exp(np.log(lo) + u[0] * (np.log(hi) - np.log(lo))))
         h0, h1 = self.hypocenter_range
-        dh = len(self.trace.axes)
-        hypo = (h0 + u[1] * (h1 - h0),) + (0.2 + 0.6 * u[4],) * (dh - 1)
+        hypo = (h0 + u[1] * (h1 - h0),) + tuple(
+            0.2 + 0.6 * u[4 + i] for i in range(dh - 1)
+        )
         v0, v1 = self.velocity_factor_range
         vel = float(v0 + u[2] * (v1 - v0))
         r0, r1 = self.rise_time_slots_range
@@ -161,7 +194,7 @@ class ScenarioBank:
 
     def _build(self, index: int) -> BankedScenario:
         peak, hypo, vel_factor, rise_slots = self._design_point(index)
-        seed = self.seed * 10_000 + index
+        seed = entry_seed(self.seed, index)
         window = self.nt * self.dt_obs
         axes = [np.asarray(a, dtype=np.float64) for a in self.trace.axes]
         span = max(float(a[-1] - a[0]) for a in axes)
@@ -237,6 +270,33 @@ class ScenarioBank:
             raise RuntimeError("generate() the bank first")
         return np.stack([e.scenario.m for e in self._entries], axis=-1)
 
+    def clean_records(self, operator) -> np.ndarray:
+        """Noise-free records of every entry under ``operator``, ``(Nt, n_out, k)``.
+
+        One batched kernel matvec.  With the twin's p2o operator this is
+        the bank's clean sensor library (the ``mu_s`` of streaming scenario
+        identification); with the p2q operator, the clean QoI trajectories
+        used by bank-conditioned forecast mixtures.
+        """
+        return operator.matvec(self.truth_batch())
+
+    def clean_fleet(self, engine) -> "StreamingFleet":
+        """Fully-advanced streaming fleet over the bank's clean sensor records.
+
+        The bank side of streaming identification: per-scenario
+        forward-substituted states ``w(mu_s) = L^{-1} mu_s`` against the
+        engine's shared geometry, advanced to the full horizon (block
+        solves only).  :class:`~repro.serve.identify.ScenarioIdentifier`
+        builds on exactly this export.
+        """
+        return engine.open_fleet(self.clean_records(engine.inv.F)).advance(engine.nt)
+
+    def identifier(self, engine, prior_weights=None) -> "ScenarioIdentifier":
+        """A :class:`~repro.serve.identify.ScenarioIdentifier` over this bank."""
+        from repro.serve.identify import ScenarioIdentifier
+
+        return ScenarioIdentifier.from_bank(engine, self, prior_weights=prior_weights)
+
     def observation_batch(
         self,
         F,
@@ -259,11 +319,14 @@ class ScenarioBank:
 
         Returns ``(d_clean, noise, d_obs)`` — the same ordering as
         :meth:`repro.twin.cascadia.CascadiaTwin.observe` — with draws
-        deterministic in a per-entry seed.
+        deterministic in a per-entry seed: the noise stream is spawned
+        from ``SeedSequence((base, entry seed, noise tag))``, so it never
+        collides across banks or with the rupture-heterogeneity draws
+        (realizations differ from the pre-fix additive-seed scheme).
         """
         from repro.inference.noise import NoiseModel
 
-        d_clean = F.matvec(self.truth_batch())
+        d_clean = self.clean_records(F)
         nt, nd, _ = d_clean.shape
         if noise is None:
             # Pool the RMS over time *and* streams, per sensor (the fleet
@@ -274,8 +337,10 @@ class ScenarioBank:
         d_obs = np.empty_like(d_clean)
         base = self.seed if seed is None else int(seed)
         for j, entry in enumerate(self._entries):
-            rng = np.random.default_rng(base + entry.seed + 1)
-            d_obs[:, :, j] = noise.add_to(d_clean[:, :, j], rng)
+            ss = np.random.SeedSequence(
+                (base & _SEED_MASK, entry.seed, _NOISE_STREAM_TAG)
+            )
+            d_obs[:, :, j] = noise.add_to(d_clean[:, :, j], np.random.default_rng(ss))
         return d_clean, noise, d_obs
 
     def summary_table(self) -> str:

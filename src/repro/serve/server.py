@@ -26,6 +26,7 @@ exposes the persistent per-stream states for long-lived sessions.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -34,6 +35,11 @@ import numpy as np
 from repro.inference.bayes import ToeplitzBayesianInversion
 from repro.inference.forecast import QoIForecast
 from repro.inference.streaming import IncrementalStreamingPosterior, StreamingFleet
+from repro.serve.identify import (
+    IdentificationResult,
+    IdentificationSession,
+    ScenarioIdentifier,
+)
 from repro.twin.earlywarning import (
     AlertLevel,
     EarlyWarningDecision,
@@ -90,6 +96,12 @@ class BatchedPhase4Server:
         self.nt, self.nd, self.nm = inv.nt, inv.nd, inv.nm
         self.nq = inv.nq
         self.timers = timers if timers is not None else TimerRegistry()
+        # Bank-side identification state, memoized per (bank, engine, bank
+        # size) and bounded LRU; a strong bank reference keeps id() stable
+        # for the dict key.
+        self._identifiers: "OrderedDict[int, Tuple[object, object, int, ScenarioIdentifier]]" = (
+            OrderedDict()
+        )
 
     # ------------------------------------------------------------------
     # Input handling
@@ -255,6 +267,78 @@ class BatchedPhase4Server:
         return latencies, all_decisions
 
     # ------------------------------------------------------------------
+    # Streaming scenario identification (incremental model evidence)
+    # ------------------------------------------------------------------
+    IDENTIFIER_CACHE_LIMIT = 4
+
+    def scenario_identifier(self, bank) -> ScenarioIdentifier:
+        """The memoized bank-side identification state for ``bank``.
+
+        Building one costs a single full-horizon clean-record fleet
+        advance over the bank (block solves only); every later call for
+        the same bank against the same live engine is a dict lookup.
+        Invalidation is by engine identity (re-assembling the inversion
+        replaces the engine) *and* bank size (``generate()`` growing the
+        bank in place must re-rank against the new entries).  The memo is
+        a small LRU (``IDENTIFIER_CACHE_LIMIT`` banks) so a long-lived
+        server rotating through many banks stays bounded.  Prior weights
+        are deliberately not part of the state — they enter at
+        posterior-read time (see :meth:`open_identification`).
+        """
+        engine = self.streaming_engine()
+        cached = self._identifiers.get(id(bank))
+        if cached is not None and cached[1] is engine and cached[2] == len(bank):
+            self._identifiers.move_to_end(id(bank))
+            return cached[3]
+        ident = ScenarioIdentifier.from_bank(engine, bank)
+        self._identifiers[id(bank)] = (bank, engine, len(bank), ident)
+        self._identifiers.move_to_end(id(bank))
+        while len(self._identifiers) > self.IDENTIFIER_CACHE_LIMIT:
+            self._identifiers.popitem(last=False)
+        return ident
+
+    def open_identification(
+        self,
+        bank,
+        streams: Union[np.ndarray, Sequence[np.ndarray]],
+        prior_weights: Optional[np.ndarray] = None,
+    ) -> IdentificationSession:
+        """Attach streams for persistent streaming identification.
+
+        The returned :class:`~repro.serve.identify.IdentificationSession`
+        ranks every stream against the whole bank as observation slots are
+        absorbed (``session.advance(horizons)``, ragged allowed): per slot
+        one ``Nd``-block fleet solve plus one cross-term gemm — O(Nd) per
+        slot per (stream, scenario) pair, never a from-scratch Gaussian.
+        ``prior_weights`` is a session-level override applied at
+        posterior-read time — it never rebuilds the memoized bank-side
+        state.
+        """
+        return self.scenario_identifier(bank).open(
+            self.stack_streams(streams), prior_weights=prior_weights
+        )
+
+    def identify_batch(
+        self,
+        bank,
+        streams: Union[np.ndarray, Sequence[np.ndarray]],
+        k_slots: Union[int, Sequence[int], np.ndarray],
+        prior_weights: Optional[np.ndarray] = None,
+    ) -> IdentificationResult:
+        """One-shot posterior scenario ranking at the given horizons.
+
+        ``k_slots`` is a shared horizon or one per stream (ragged);
+        returns posterior scenario probabilities ``p(s | d_k)``, log
+        evidences, and top-``k`` rankings for every stream.
+        """
+        with self.timers.time("serve: identify batch"):
+            session = self.open_identification(
+                bank, streams, prior_weights=prior_weights
+            )
+            session.advance(k_slots)
+            return session.posterior()
+
+    # ------------------------------------------------------------------
     def report(self) -> Dict[str, float]:
         """Serving timers plus the shared streaming-engine footprint."""
         out: Dict[str, float] = dict(self.timers.as_dict())
@@ -262,5 +346,8 @@ class BatchedPhase4Server:
         eng = self.inv.streaming_state_peek
         out["streaming_slots_advanced"] = float(eng.k_geom if eng else 0)
         out["streaming_horizons_cached"] = float(eng.horizons_cached if eng else 0)
+        out["streaming_cov_cache_limit"] = float(eng.cov_cache_limit if eng else 0)
+        out["streaming_cov_cache_bytes"] = float(eng.cov_cache_nbytes() if eng else 0)
         out["streaming_state_bytes"] = float(eng.state_nbytes() if eng else 0)
+        out["identifier_banks_cached"] = float(len(self._identifiers))
         return out

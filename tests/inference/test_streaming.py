@@ -144,6 +144,61 @@ class TestRaggedFleet:
             engine.covariance_at(inversion2d.nt + 1)
 
 
+class TestCovarianceCacheBound:
+    """The per-horizon snapshot cache must not grow O(Nt) over a sweep."""
+
+    def test_sweep_memory_is_bounded_by_the_configured_limit(self, inversion2d):
+        limit = 3
+        eng = IncrementalStreamingPosterior(inversion2d, cov_cache_limit=limit)
+        nb = inversion2d.nt * inversion2d.nq
+        for k in range(0, inversion2d.nt + 1):  # a full latency sweep
+            eng.covariance_at(k)
+        # Transient snapshots are capped; k=0 / k=Nt are pinned free views.
+        assert eng.horizons_cached <= limit + 2
+        assert eng.cov_cache_nbytes() <= limit * nb * nb * 8
+        assert eng.state_nbytes() <= eng._Y.nbytes + eng._cov.nbytes + limit * nb * nb * 8
+
+    def test_pinned_horizons_survive_eviction_as_free_views(self, inversion2d):
+        eng = IncrementalStreamingPosterior(inversion2d, cov_cache_limit=1)
+        c0 = eng.covariance_at(0)
+        cnt = eng.covariance_at(inversion2d.nt)
+        for k in range(1, inversion2d.nt):
+            eng.covariance_at(k)
+        assert eng.covariance_at(0) is c0
+        assert eng.covariance_at(inversion2d.nt) is cnt
+        assert np.shares_memory(c0, inversion2d.Pq)
+        assert np.shares_memory(cnt, inversion2d.qoi_covariance)
+        assert eng.cov_cache_nbytes() <= 1 * (inversion2d.nt * inversion2d.nq) ** 2 * 8
+
+    def test_evicted_horizons_recompute_exactly(self, inversion2d):
+        eng = IncrementalStreamingPosterior(inversion2d, cov_cache_limit=1)
+        first = eng.covariance_at(2).copy()
+        for k in range(3, inversion2d.nt):
+            eng.covariance_at(k)  # evicts k=2
+        assert 2 not in eng._cov_cache
+        # Recomputed from the stored Y rows: same math, different rounding
+        # path than the running downdate — exact against the reference.
+        again = eng.covariance_at(2)
+        np.testing.assert_allclose(again, first, rtol=0, atol=ATOL)
+        _, cov_ref = _truncated_reference(inversion2d, 2)
+        np.testing.assert_allclose(again, cov_ref, rtol=0, atol=ATOL)
+
+    def test_lru_keeps_recently_used_snapshots(self, inversion2d):
+        eng = IncrementalStreamingPosterior(inversion2d, cov_cache_limit=2)
+        c2 = eng.covariance_at(2)
+        eng.covariance_at(3)
+        assert eng.covariance_at(2) is c2  # touch 2 -> 3 is now LRU
+        eng.covariance_at(4)  # evicts 3, not 2
+        assert eng.covariance_at(2) is c2
+        assert 3 not in eng._cov_cache
+
+    def test_limit_validation_and_default(self, inversion2d):
+        with pytest.raises(ValueError):
+            IncrementalStreamingPosterior(inversion2d, cov_cache_limit=-1)
+        eng = IncrementalStreamingPosterior(inversion2d)
+        assert eng.cov_cache_limit == IncrementalStreamingPosterior.DEFAULT_COV_CACHE_LIMIT
+
+
 class TestLifecycle:
     def test_requires_completed_phases(self, F2d, Fq2d, prior2d, observed2d):
         _, noise, _ = observed2d

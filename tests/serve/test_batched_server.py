@@ -138,6 +138,26 @@ def test_fleet_warning_latencies_match_streaming_inverter(server, serve_inversio
     assert len({(-1 if v is None else v) for v in lat}) > 1
 
 
+def test_latency_sweep_memory_bounded_for_large_fleet(serve_inversion, serve_streams):
+    """A full ``warning_latencies`` sweep over a 64-stream fleet must hold
+    at most the configured number of covariance snapshots — not one dense
+    ``(Nt Nq)^2`` copy per horizon (the pre-fix O(Nt) blow-up)."""
+    _, _, d_obs = serve_streams
+    reps = -(-64 // d_obs.shape[2])
+    D = np.tile(d_obs, (1, 1, reps))[:, :, :64]  # a 64-stream fleet
+    server = BatchedPhase4Server(serve_inversion)
+    eng = server.streaming_engine()
+    limit = eng.cov_cache_limit
+    nb = serve_inversion.nt * serve_inversion.nq
+    latencies, decisions = server.warning_latencies(D, 0.01, 0.05, 0.10)
+    assert len(latencies) == 64 and len(decisions) == server.nt
+    assert eng.horizons_cached <= limit + 2
+    assert eng.cov_cache_nbytes() <= limit * nb * nb * 8
+    rep = server.report()
+    assert rep["streaming_cov_cache_limit"] == float(limit)
+    assert rep["streaming_cov_cache_bytes"] <= limit * nb * nb * 8
+
+
 def test_serve_requires_completed_phases(serve_twin, serve_streams):
     from repro.inference.bayes import ToeplitzBayesianInversion
     from repro.inference.noise import NoiseModel

@@ -1,0 +1,340 @@
+"""Streaming scenario identification: exactness, ranking, mixtures.
+
+The contract pinned here: at *every* horizon ``k`` — shared or ragged —
+the incrementally accumulated truncated-data log-evidence
+``log p(d_k | s)`` matches a from-scratch
+``scipy.stats.multivariate_normal`` log-pdf with mean ``mu_{s,k}`` and
+covariance ``K_k`` to near machine precision, and everything built on it
+(posterior probabilities, rankings, forecast mixtures) is consistent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy.stats import multivariate_normal
+
+from repro.serve import BatchedPhase4Server, ScenarioIdentifier
+
+ATOL = 1e-9  # log-evidences are O(1e2-1e3); observed gap ~1e-13
+
+
+@pytest.fixture(scope="module")
+def server(serve_inversion):
+    return BatchedPhase4Server(serve_inversion)
+
+
+@pytest.fixture(scope="module")
+def mu_flat(serve_twin, serve_bank, serve_inversion):
+    """Clean records of the whole bank, flattened time-major (Nt*Nd, S)."""
+    mu = serve_bank.clean_records(serve_inversion.F)
+    return mu.reshape(serve_inversion.nt * serve_inversion.nd, -1)
+
+
+def _reference_log_evidence(inv, mu_flat, d_flat, k, s):
+    """From-scratch truncated Gaussian log-pdf (no nesting, no reuse)."""
+    n = k * inv.nd
+    rv = multivariate_normal(mean=mu_flat[:n, s], cov=inv.K[:n, :n])
+    return rv.logpdf(d_flat[:n].T)
+
+
+class TestEvidenceEquivalence:
+    def test_streaming_matches_scipy_every_horizon(
+        self, server, serve_bank, serve_streams, serve_inversion, mu_flat
+    ):
+        _, _, d_obs = serve_streams
+        D = d_obs[:, :, :6]
+        d_flat = D.reshape(serve_inversion.nt * serve_inversion.nd, -1)
+        session = server.open_identification(serve_bank, D)
+        for k in range(1, serve_inversion.nt + 1):
+            session.advance(k)
+            ev = session.log_evidence()
+            assert ev.shape == (6, len(serve_bank))
+            for s in (0, 7, len(serve_bank) - 1):
+                ref = _reference_log_evidence(
+                    serve_inversion, mu_flat, d_flat, k, s
+                )
+                np.testing.assert_allclose(ev[:, s], ref, rtol=0, atol=ATOL)
+
+    def test_ragged_horizons_match_scipy(
+        self, server, serve_bank, serve_streams, serve_inversion, mu_flat
+    ):
+        _, _, d_obs = serve_streams
+        D = d_obs[:, :, :5]
+        d_flat = D.reshape(serve_inversion.nt * serve_inversion.nd, -1)
+        horizons = np.array([1, 3, 7, 12, 5])
+        res = server.identify_batch(serve_bank, D, horizons)
+        np.testing.assert_array_equal(res.horizons, horizons)
+        for j, k in enumerate(horizons):
+            for s in (0, 11, 23):
+                ref = _reference_log_evidence(
+                    serve_inversion, mu_flat, d_flat[:, [j]], int(k), s
+                )
+                np.testing.assert_allclose(
+                    res.log_evidence[j, s], ref, rtol=0, atol=ATOL
+                )
+
+    def test_staged_advance_equals_one_shot(self, server, serve_bank, serve_streams):
+        _, _, d_obs = serve_streams
+        D = d_obs[:, :, :4]
+        staged = server.open_identification(serve_bank, D)
+        staged.advance([2, 1, 1, 3]).advance([5, 1, 4, 3]).advance([6, 4, 4, 8])
+        oneshot = server.open_identification(serve_bank, D).advance([6, 4, 4, 8])
+        np.testing.assert_allclose(
+            staged.log_evidence(), oneshot.log_evidence(), rtol=0, atol=1e-10
+        )
+
+    def test_adopting_a_mid_stream_fleet_catches_up(
+        self, server, serve_bank, serve_streams
+    ):
+        """open() on a fleet that already absorbed slots folds them in."""
+        _, _, d_obs = serve_streams
+        D = d_obs[:, :, :3]
+        fleet = server.open_fleet(D)
+        fleet.advance([4, 2, 6])
+        adopted = server.scenario_identifier(serve_bank).open(fleet)
+        fresh = server.open_identification(serve_bank, D).advance([4, 2, 6])
+        np.testing.assert_allclose(
+            adopted.log_evidence(), fresh.log_evidence(), rtol=0, atol=1e-10
+        )
+
+    def test_fleet_zero_mean_log_evidence(self, server, serve_streams, serve_inversion):
+        """StreamingFleet.log_evidence is the mu = 0 special case."""
+        _, _, d_obs = serve_streams
+        D = d_obs[:, :, :3]
+        fleet = server.open_fleet(D)
+        fleet.advance([2, 6, serve_inversion.nt])
+        ev = fleet.log_evidence()
+        d_flat = D.reshape(serve_inversion.nt * serve_inversion.nd, -1)
+        for j, k in enumerate((2, 6, serve_inversion.nt)):
+            n = k * serve_inversion.nd
+            rv = multivariate_normal(
+                mean=np.zeros(n), cov=serve_inversion.K[:n, :n]
+            )
+            np.testing.assert_allclose(
+                ev[j], rv.logpdf(d_flat[:n, j]), rtol=0, atol=ATOL
+            )
+
+    def test_logdiag_cum_matches_truncated_logdets(self, serve_inversion):
+        cum = serve_inversion.cholesky_logdiag_cum
+        assert cum.shape == (serve_inversion.nt + 1,)
+        assert cum[0] == 0.0 and not cum.flags["WRITEABLE"]
+        assert serve_inversion.cholesky_logdiag_cum is cum  # cached
+        for k in (1, 5, serve_inversion.nt):
+            n = k * serve_inversion.nd
+            _, ref = np.linalg.slogdet(serve_inversion.K[:n, :n])
+            np.testing.assert_allclose(2.0 * cum[k], ref, rtol=1e-10, atol=0)
+
+
+class TestPosteriorRanking:
+    def test_probabilities_normalize_and_identify_truth(
+        self, server, serve_bank, serve_streams, serve_inversion
+    ):
+        """Each bank stream's own scenario wins at the full horizon."""
+        _, _, d_obs = serve_streams
+        res = server.identify_batch(serve_bank, d_obs, serve_inversion.nt)
+        np.testing.assert_allclose(
+            res.probabilities.sum(axis=1), 1.0, rtol=0, atol=1e-12
+        )
+        np.testing.assert_array_equal(
+            res.map_index(), np.arange(len(serve_bank))
+        )
+        assert res.map_ids() == serve_bank.ids()
+        assert res.n_streams == len(serve_bank)
+        assert res.n_scenarios == len(serve_bank)
+
+    def test_evidence_sharpens_with_data(self, server, serve_bank, serve_streams):
+        """The true scenario's posterior mass grows from early to full horizon."""
+        _, _, d_obs = serve_streams
+        D = d_obs[:, :, :8]
+        early = server.identify_batch(serve_bank, D, 2)
+        late = server.identify_batch(serve_bank, D, server.nt)
+        own_early = np.diagonal(early.probabilities[:, :8])
+        own_late = np.diagonal(late.probabilities[:, :8])
+        assert np.mean(own_late) > np.mean(own_early)
+
+    def test_top_k_is_sorted_and_consistent(self, server, serve_bank, serve_streams):
+        _, _, d_obs = serve_streams
+        session = server.open_identification(serve_bank, d_obs[:, :, :4])
+        session.advance(6)
+        ranked = session.top_k(3)
+        res = session.posterior()
+        assert len(ranked) == 4 and all(len(r) == 3 for r in ranked)
+        for j, rows in enumerate(ranked):
+            probs = [p for _, p in rows]
+            assert probs == sorted(probs, reverse=True)
+            assert rows[0][0] == res.map_ids()[j]
+        with pytest.raises(ValueError):
+            res.top_k(0)
+
+    def test_prior_weights_bias_and_exclude(self, server, serve_bank, serve_streams):
+        _, _, d_obs = serve_streams
+        S = len(serve_bank)
+        session = server.open_identification(serve_bank, d_obs[:, :, :2])
+        session.advance(server.nt)
+        uniform = session.probabilities()
+        w = np.ones(S)
+        w[0] = 0.0  # excluding the true scenario of stream 0 re-ranks it
+        excl = session.probabilities(prior_weights=w)
+        assert excl[0, 0] == 0.0
+        np.testing.assert_allclose(excl.sum(axis=1), 1.0, rtol=0, atol=1e-12)
+        assert np.argmax(excl[0]) != 0 or uniform[0, 0] == 0.0
+        with pytest.raises(ValueError):
+            session.probabilities(prior_weights=np.ones(S - 1))
+        with pytest.raises(ValueError):
+            session.probabilities(prior_weights=np.zeros(S))
+        with pytest.raises(ValueError):
+            session.probabilities(prior_weights=-w)
+
+    def test_horizon_zero_ranking_is_the_prior(self, server, serve_bank, serve_streams):
+        _, _, d_obs = serve_streams
+        session = server.open_identification(serve_bank, d_obs[:, :, :2])
+        res = session.posterior()  # nothing absorbed yet
+        np.testing.assert_array_equal(res.log_evidence, 0.0)
+        np.testing.assert_allclose(
+            res.probabilities, 1.0 / len(serve_bank), rtol=0, atol=1e-12
+        )
+
+
+class TestForecastMixture:
+    def test_mixture_blends_scenario_conditioned_means(
+        self, server, serve_bank, serve_streams, serve_inversion
+    ):
+        _, _, d_obs = serve_streams
+        D = d_obs[:, :, :3]
+        session = server.open_identification(serve_bank, D)
+        session.advance([4, 9, serve_inversion.nt])
+        mix = session.forecast_mixture()
+        assert len(mix) == 3
+        eng = serve_inversion.streaming_state()
+        probs = session.probabilities()
+        means = session.fleet.forecast_means()
+        mu_states = server.scenario_identifier(serve_bank)._Wmu
+        qoi = server.scenario_identifier(serve_bank)._qoi
+        for j, k in enumerate((4, 9, serve_inversion.nt)):
+            n = k * serve_inversion.nd
+            Y = eng.geometry_rows(k)
+            cond = qoi - Y.T @ mu_states[:n] + means[:, j][:, None]
+            ref_mean = cond @ probs[j]
+            np.testing.assert_allclose(
+                mix[j].mean.reshape(-1), ref_mean, rtol=0, atol=1e-10
+            )
+            # Moment-matched covariance >= within-scenario covariance (psd
+            # between-scenario spread added on the diagonal).
+            within = np.diag(eng.covariance_at(int(k)))
+            assert np.all(np.diag(mix[j].covariance) >= within - 1e-12)
+
+    def test_mixture_requires_qoi_records(self, serve_inversion, serve_bank, serve_streams):
+        _, _, d_obs = serve_streams
+        eng = serve_inversion.streaming_state()
+        ident = ScenarioIdentifier(
+            eng, serve_bank.clean_records(serve_inversion.F)
+        )
+        session = ident.open(d_obs[:, :, :2]).advance(3)
+        with pytest.raises(RuntimeError):
+            session.forecast_mixture()
+
+
+class TestConstructionAndCaching:
+    def test_from_bank_equals_manual_construction(
+        self, server, serve_bank, serve_streams, serve_inversion
+    ):
+        _, _, d_obs = serve_streams
+        eng = serve_inversion.streaming_state()
+        manual = ScenarioIdentifier(
+            eng,
+            serve_bank.clean_records(serve_inversion.F),
+            ids=serve_bank.ids(),
+            qoi_records=serve_bank.clean_records(serve_inversion.Fq),
+        )
+        via_bank = serve_bank.identifier(eng)
+        np.testing.assert_array_equal(manual._Wmu, via_bank._Wmu)
+        np.testing.assert_array_equal(manual._musq_cum, via_bank._musq_cum)
+        assert manual.ids == via_bank.ids
+        a = manual.open(d_obs[:, :, :2]).advance(5).log_evidence()
+        b = via_bank.open(d_obs[:, :, :2]).advance(5).log_evidence()
+        np.testing.assert_array_equal(a, b)
+
+    def test_clean_fleet_export(self, serve_bank, serve_inversion):
+        eng = serve_inversion.streaming_state()
+        fleet = serve_bank.clean_fleet(eng)
+        assert fleet.n_streams == len(serve_bank)
+        assert np.all(fleet.horizons == serve_inversion.nt)
+        mu = serve_bank.clean_records(serve_inversion.F)
+        # Full-horizon states solve L w = mu exactly.
+        L = serve_inversion.cholesky_lower
+        np.testing.assert_allclose(
+            L @ fleet.states,
+            mu.reshape(-1, len(serve_bank)),
+            rtol=0,
+            atol=1e-9,
+        )
+
+    def test_server_memoizes_identifier_per_bank(
+        self, server, serve_bank, serve_streams
+    ):
+        a = server.scenario_identifier(serve_bank)
+        assert server.scenario_identifier(serve_bank) is a
+        assert server.report()["identifier_banks_cached"] >= 1.0
+        # Custom priors are session-level overrides: the expensive
+        # bank-side state is reused, only the posterior softmax changes.
+        _, _, d_obs = serve_streams
+        w = np.arange(1.0, len(serve_bank) + 1.0)
+        session = server.open_identification(serve_bank, d_obs[:, :, :2], w)
+        assert session.identifier is a
+        session.advance(3)
+        ref = server.open_identification(serve_bank, d_obs[:, :, :2]).advance(3)
+        np.testing.assert_allclose(
+            session.probabilities(),
+            ref.probabilities(prior_weights=w),
+            rtol=0,
+            atol=1e-13,
+        )
+
+    def test_growing_the_bank_invalidates_the_memoized_identifier(
+        self, server, serve_twin, serve_inversion
+    ):
+        """generate() is incremental; new entries must be ranked, not ignored."""
+        from repro.serve import ScenarioBank
+
+        c = serve_twin.config
+        bank = ScenarioBank(
+            serve_twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=31
+        )
+        bank.generate(3)
+        d = bank.clean_records(serve_inversion.F)
+        assert server.identify_batch(bank, d, 4).n_scenarios == 3
+        bank.generate(6)  # grow in place
+        res = server.identify_batch(bank, bank.clean_records(serve_inversion.F), 4)
+        assert res.n_scenarios == 6
+        assert res.ids == bank.ids()
+
+    def test_identifier_memo_is_lru_bounded(self, server, serve_twin, serve_inversion):
+        from repro.serve import ScenarioBank
+
+        c = serve_twin.config
+        banks = []
+        for s in range(server.IDENTIFIER_CACHE_LIMIT + 2):
+            b = ScenarioBank(
+                serve_twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=100 + s
+            )
+            b.generate(1)
+            banks.append(b)
+            server.scenario_identifier(b)
+        assert len(server._identifiers) <= server.IDENTIFIER_CACHE_LIMIT
+
+    def test_validation(self, server, serve_bank, serve_streams, serve_inversion):
+        _, _, d_obs = serve_streams
+        eng = serve_inversion.streaming_state()
+        mu = serve_bank.clean_records(serve_inversion.F)
+        with pytest.raises(ValueError):
+            ScenarioIdentifier(eng, mu, ids=["only-one"])
+        with pytest.raises(ValueError):
+            ScenarioIdentifier(eng, mu, qoi_records=np.zeros((3, 3, 2)))
+        # A fleet from a different engine cannot be adopted.
+        from repro.inference.streaming import IncrementalStreamingPosterior
+
+        other = IncrementalStreamingPosterior(serve_inversion)
+        foreign = other.open_fleet(d_obs[:, :, :1])
+        with pytest.raises(ValueError):
+            server.scenario_identifier(serve_bank).open(foreign)

@@ -67,7 +67,8 @@ def test_disk_persistence_round_trip(tmp_path, small_twin, small_noise):
     inv = cache.get_or_build(small_twin, noise)
     key = cache.key_for(small_twin, noise)
     archived = list(tmp_path.glob("*.npz"))
-    assert len(archived) == 1 and archived[0].stem == key[:32]
+    # Filenames carry the full SHA-256 digest (no truncated 32-char keys).
+    assert len(archived) == 1 and archived[0].stem == key
 
     # A fresh process (fresh cache, same directory) loads instead of building.
     cold = OperatorCache(directory=tmp_path)
@@ -85,6 +86,47 @@ def test_disk_persistence_round_trip(tmp_path, small_twin, small_noise):
     cold.clear_memory()
     assert len(cold) == 0 and archived[0].exists()
     assert "disk hits" in cold.report()
+
+
+def test_contains_is_disk_aware(tmp_path, small_twin, small_noise):
+    """``key in cache`` must see on-disk archives a ``get_or_build`` would use."""
+    noise, _ = small_noise
+    warm = OperatorCache(directory=tmp_path)
+    warm.get_or_build(small_twin, noise)
+    key = warm.key_for(small_twin, noise)
+    assert key in warm  # resident
+
+    # A fresh cache over the same directory: nothing resident, but the
+    # archive exists — membership must not report a miss the next
+    # get_or_build would serve from disk.
+    cold = OperatorCache(directory=tmp_path)
+    assert len(cold) == 0
+    assert key in cold
+    assert cold.contains(key, check_disk=True)
+    assert not cold.contains(key, check_disk=False)  # memory-only question
+    assert "missing" not in cold
+    cold.get_or_build(small_twin, noise)
+    assert cold.stats.disk_hits == 1
+    assert cold.contains(key, check_disk=False)
+
+    # No directory configured: membership is memory-only either way.
+    memonly = OperatorCache()
+    assert key not in memonly
+    assert not memonly.contains(key, check_disk=True)
+
+
+def test_legacy_truncated_archive_is_still_found(tmp_path, small_twin, small_noise):
+    """Archives written under the old 32-char names load transparently."""
+    noise, _ = small_noise
+    warm = OperatorCache(directory=tmp_path)
+    warm.get_or_build(small_twin, noise)
+    key = warm.key_for(small_twin, noise)
+    (tmp_path / f"{key}.npz").rename(tmp_path / f"{key[:32]}.npz")
+
+    cold = OperatorCache(directory=tmp_path)
+    assert key in cold
+    cold.get_or_build(small_twin, noise)
+    assert cold.stats.disk_hits == 1 and cold.stats.misses == 0
 
 
 def test_fingerprint_requires_phase1():

@@ -2,11 +2,13 @@
 
 from __future__ import annotations
 
+from types import SimpleNamespace
+
 import numpy as np
 import pytest
 
-from repro.serve import BatchedPhase4Server, ScenarioBank
-from repro.serve.scenarios import halton_sequence
+from repro.serve import BatchedPhase4Server, ScenarioBank, entry_seed
+from repro.serve.scenarios import _HALTON_BASES, halton_sequence
 
 
 def test_bank_generates_twenty_plus_distinct_scenarios(serve_bank):
@@ -110,4 +112,77 @@ def test_halton_sequence_is_low_discrepancy_prefix():
         hist, _ = np.histogram(pts[:16, axis], bins=4, range=(0, 1))
         assert np.all(hist > 0)
     with pytest.raises(ValueError):
-        halton_sequence(1, 9)
+        halton_sequence(1, len(_HALTON_BASES) + 1)
+
+
+def test_entry_seeds_never_collide_across_banks():
+    """Regression: ``seed * 10_000 + index`` collided once any index hit 10k.
+
+    The canonical collision — bank 0 entry 10 001 vs bank 1 entry 1 shared
+    both the rupture seed and the observation-noise stream — plus a broad
+    uniqueness property over many (bank, index) pairs, checked on the seed
+    derivation alone (no scenarios built).
+    """
+    assert 0 * 10_000 + 10_001 == 1 * 10_000 + 1  # the old scheme's collision
+    assert entry_seed(0, 10_001) != entry_seed(1, 1)
+    seeds = {
+        entry_seed(bank, index)
+        for bank in range(5)
+        for index in range(2_000)
+    }
+    assert len(seeds) == 5 * 2_000
+
+
+def test_noise_draws_differ_across_banks(serve_twin):
+    """Two banks' observation noise streams are decorrelated by bank seed."""
+    c = serve_twin.config
+    banks = [
+        ScenarioBank(serve_twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=s)
+        for s in (21, 22)
+    ]
+    for b in banks:
+        b.generate(2)
+    draws = []
+    for b in banks:
+        d_clean, noise, d_obs = b.observation_batch(serve_twin.F, noise_relative=0.01)
+        draws.append(d_obs - d_clean)
+    assert not np.allclose(draws[0], draws[1])
+    # ...and within one bank, entries get independent noise streams.
+    assert not np.allclose(draws[0][:, :, 0], draws[0][:, :, 1])
+
+
+def test_design_axes_decorrelated_on_higher_dim_trace_grids():
+    """Regression: every extra hypocenter axis must get its own Halton base.
+
+    On a >= 3-D trace grid the old code reused one radical-inverse
+    coordinate for *all* cross-dip nucleation axes, making them identical
+    (perfectly correlated) and collapsing the design space to a line.
+    """
+    fake_axes = [np.linspace(0.0, 1.0, 4)] * 3  # 3 horizontal axes
+    bank = ScenarioBank.__new__(ScenarioBank)
+    bank.trace = SimpleNamespace(axes=fake_axes)
+    bank.peak_uplift_range = (0.15, 1.2)
+    bank.hypocenter_range = (0.15, 0.55)
+    bank.velocity_factor_range = (0.7, 1.6)
+    bank.rise_time_slots_range = (4.0, 10.0)
+    hypo = np.array([bank._design_point(i)[1] for i in range(64)])
+    assert hypo.shape == (64, 3)
+    c1, c2 = hypo[:, 1], hypo[:, 2]
+    assert not np.allclose(c1, c2)  # the old bug: c1 == c2 exactly
+    corr = np.corrcoef(c1, c2)[0, 1]
+    assert abs(corr) < 0.5
+    # Prefix stability: extra dimensions never change the first four axes.
+    bank2d = ScenarioBank.__new__(ScenarioBank)
+    bank2d.trace = SimpleNamespace(axes=fake_axes[:1])
+    for name in (
+        "peak_uplift_range",
+        "hypocenter_range",
+        "velocity_factor_range",
+        "rise_time_slots_range",
+    ):
+        setattr(bank2d, name, getattr(bank, name))
+    for i in (0, 7, 31):
+        p3, h3, v3, r3 = bank._design_point(i)
+        p1, h1, v1, r1 = bank2d._design_point(i)
+        assert (p3, v3, r3) == (p1, v1, r1)
+        assert h3[0] == h1[0]
