@@ -6,7 +6,10 @@ phases are precomputed; then, as observation slots stream in, the leading
 blocks of the data-space Cholesky factor give *exact* partial-data
 posteriors for the cost of two triangular solves.  The script prints, slot
 by slot, the evolving forecast, its uncertainty, the alert level, and the
-final measured warning latency.
+final measured warning latency — then asks the second operational question,
+*which rupture is this*, by ranking the stream against a small scenario
+bank (printed through the shared serving-report helper, the same formatter
+``examples/multi_scenario_serving.py`` and the fabric CLI use).
 
 Usage::
 
@@ -17,6 +20,7 @@ import time
 
 import numpy as np
 
+from repro.serve import ScenarioBank, print_identification
 from repro.twin import (
     AlertLevel,
     CascadiaTwin,
@@ -75,6 +79,19 @@ def main() -> None:
     m_stream = stream.infer_partial(result.d_obs, config.n_slots)
     err = np.abs(m_stream - result.m_map).max()
     print(f"final streaming MAP == batch MAP (max abs diff {err:.2e})")
+
+    # Which rupture is this?  Rank the stream against a small scenario
+    # bank by exact streaming model evidence at the mid-event horizon.
+    bank = ScenarioBank(
+        twin.operator.bottom_trace, config.n_slots, config.dt_obs, seed=5
+    )
+    bank.generate(8)
+    server_k = config.n_slots // 2
+    session = twin.inversion.streaming_state()
+    ident = bank.identifier(session)
+    ranking = ident.open(result.d_obs[:, :, None]).advance(server_k).posterior()
+    print(f"\nscenario identification at horizon {server_k} (8-entry bank):")
+    print_identification(ranking, top=3)
 
 
 if __name__ == "__main__":

@@ -303,8 +303,11 @@ class StreamingFleet:
         # absorbed, so reading the fleet's forecasts costs no large gemm.
         self._means = np.zeros((engine._nb, self.n_streams))
         # Running whitened squared norms ||w_j||^2 = ||L_k^{-1} d_k||^2 —
-        # the quadratic half of the per-stream Gaussian model evidence.
+        # the quadratic half of the per-stream Gaussian model evidence —
+        # plus their per-slot blocks ||w_{new}||^2 (the coarse-screen proxy
+        # state the hierarchical identification fabric reads).
         self._wsq = np.zeros(self.n_streams)
+        self._slot_wsq = np.zeros((engine.nt, self.n_streams))
         self.horizons = np.zeros(self.n_streams, dtype=np.int64)
 
     # ------------------------------------------------------------------
@@ -351,7 +354,9 @@ class StreamingFleet:
             # Nested means: q_k = q_{k-1} + y_new^T w_new.
             self._means[:, idx] += eng._Y[r0:r1].T @ w_new
             # Nested quadratic forms: ||w_k||^2 = ||w_{k-1}||^2 + ||w_new||^2.
-            self._wsq[idx] += np.einsum("ij,ij->j", w_new, w_new)
+            blk = np.einsum("ij,ij->j", w_new, w_new)
+            self._wsq[idx] += blk
+            self._slot_wsq[s, idx] = blk
         self.horizons = targets
         return self
 
@@ -372,6 +377,22 @@ class StreamingFleet:
     def squared_norms(self) -> np.ndarray:
         """Running ``||L_{k_j}^{-1} d_j||^2`` per stream, ``(n,)`` copy."""
         return self._wsq.copy()
+
+    def slot_squared_norms(self) -> np.ndarray:
+        """Per-slot whitened norm blocks ``||w_new(slot, j)||^2``, ``(Nt, n)``.
+
+        Row ``s`` holds each stream's squared norm of the slot-``s`` block
+        of its forward-substituted state (zero for slots the stream has not
+        absorbed yet); columns sum to :meth:`squared_norms`.  This is the
+        stream-side *coarse-proxy state* of hierarchical scenario
+        identification: together with the bank side's per-slot norms it
+        bounds the evidence contribution of any subset of slots without
+        touching the ``Nd``-dimensional states themselves (read-only view,
+        maintained incrementally by :meth:`advance` at no extra solves).
+        """
+        v = self._slot_wsq.view()
+        v.setflags(write=False)
+        return v
 
     def log_evidence(self) -> np.ndarray:
         """Truncated-data Gaussian log-evidence of each stream, ``(n,)``.

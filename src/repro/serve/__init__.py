@@ -1,4 +1,4 @@
-"""Multi-scenario serving: scenario banks, operator caching, batched Phase 4.
+"""Multi-scenario serving: banks, caching, batched Phase 4, and the fabric.
 
 The paper's offline--online split makes the online solve a small dense
 problem ("deployable entirely without any HPC infrastructure", Section
@@ -13,7 +13,9 @@ the single-event reproduction becomes a multi-tenant twin:
 ``cache``
     :class:`OperatorCache` — Phases 2-3 memoized by geometry fingerprint
     (kernels + prior + noise), with optional ``.npz`` persistence so one
-    offline build serves every later process.
+    offline build serves every later process, and an optional
+    :class:`~repro.util.memory.MemoryBudget` that evicts the coldest
+    resident operator sets under memory pressure.
 ``server``
     :class:`BatchedPhase4Server` — ``k`` concurrent observation streams
     stacked into single BLAS-3 solves (one ``trsm``/``gemm`` instead of
@@ -30,6 +32,21 @@ the single-event reproduction becomes a multi-tenant twin:
     (O(Nd) per slot per pair), with posterior scenario probabilities,
     top-``k`` rankings, and bank-conditioned forecast mixtures; surfaced
     as ``BatchedPhase4Server.open_identification`` / ``identify_batch``.
+``fabric``
+    :class:`ServingFabric` — the 1000+-scenario scale-out: banks sharded
+    across a worker-process pool with shared-memory kernel/Cholesky
+    buffers, a micro-batching admission queue (:class:`FabricTicket`),
+    two-stage hierarchical identification (a certified coarse screen that
+    prunes the bank before the exact evidence runs on survivors only),
+    graceful degradation on worker loss, and heat-prioritized bank
+    eviction under a global :class:`~repro.util.memory.MemoryBudget`;
+    surfaced as ``BatchedPhase4Server.fabric()`` and the
+    ``python -m repro.serve.fabric`` CLI.  Operator guide:
+    ``docs/SERVING.md``.
+``reporting``
+    :func:`format_identification` / :func:`format_fabric_report` — the
+    shared operator-readable report formatting used by the examples, the
+    fabric CLI, and the benchmarks.
 
 Quick start::
 
@@ -43,14 +60,29 @@ Quick start::
     bank.generate(32)
     d_clean, noise, d_obs = bank.observation_batch(twin.F)
     inv = OperatorCache().get_or_build(twin, noise)
-    result = BatchedPhase4Server(inv).serve(d_obs)
+    server = BatchedPhase4Server(inv)
+    result = server.serve(d_obs)
+    with server.fabric([bank], n_workers=4) as fabric:   # sharded + screened
+        ranking = fabric.identify(d_obs, k_slots=8)
 """
 
 from repro.serve.cache import CacheStats, OperatorCache
+from repro.serve.fabric import (
+    FabricConfig,
+    FabricReport,
+    FabricTicket,
+    ServingFabric,
+)
 from repro.serve.identify import (
     IdentificationResult,
     IdentificationSession,
     ScenarioIdentifier,
+    normalize_log_prior,
+)
+from repro.serve.reporting import (
+    format_fabric_report,
+    format_identification,
+    print_identification,
 )
 from repro.serve.scenarios import (
     BankedScenario,
@@ -61,15 +93,29 @@ from repro.serve.scenarios import (
 from repro.serve.server import BatchedPhase4Server, ServeResult
 
 __all__ = [
+    # scenario banks
     "ScenarioBank",
     "BankedScenario",
     "entry_seed",
     "halton_sequence",
+    # operator caching
     "OperatorCache",
     "CacheStats",
+    # batched serving
     "BatchedPhase4Server",
     "ServeResult",
+    # streaming identification
     "ScenarioIdentifier",
     "IdentificationSession",
     "IdentificationResult",
+    "normalize_log_prior",
+    # sharded serving fabric
+    "ServingFabric",
+    "FabricConfig",
+    "FabricReport",
+    "FabricTicket",
+    # report formatting
+    "format_identification",
+    "format_fabric_report",
+    "print_identification",
 ]

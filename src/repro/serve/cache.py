@@ -17,6 +17,7 @@ noise level transparently misses to a fresh build.
 
 from __future__ import annotations
 
+import secrets
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -30,6 +31,7 @@ from repro.twin.archive import (
 )
 from repro.twin.cascadia import CascadiaTwin
 from repro.util.hashing import geometry_fingerprint
+from repro.util.memory import MemoryBudget
 from repro.util.timing import TimerRegistry
 
 __all__ = ["CacheStats", "OperatorCache"]
@@ -37,11 +39,12 @@ __all__ = ["CacheStats", "OperatorCache"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of an :class:`OperatorCache`."""
+    """Hit/miss/eviction counters of an :class:`OperatorCache`."""
 
     hits: int = 0
     disk_hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     @property
     def requests(self) -> int:
@@ -54,6 +57,7 @@ class CacheStats:
             "hits": self.hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "requests": self.requests,
         }
 
@@ -69,15 +73,81 @@ class OperatorCache:
         :func:`~repro.twin.archive.save_twin_archive`); a later process
         with the same directory rebuilds from disk instead of re-running
         Phases 2-3.
+    memory_budget:
+        ``None`` (unlimited), a byte ceiling, or a shared
+        :class:`~repro.util.memory.MemoryBudget` (e.g. the one governing a
+        :class:`~repro.serve.fabric.ServingFabric`, so cache and fabric
+        draw on one global number).  While resident operator sets exceed
+        the budget, the *coldest* geometry is evicted first — heat is the
+        number of times a geometry has been served, with recency breaking
+        ties.  Eviction drops only the in-memory entry: with a persistence
+        directory configured the archive stays on disk and the next
+        request is a cheap disk hit rather than a Phase 2-3 rebuild.
     """
 
-    def __init__(self, directory: Optional[Union[str, Path]] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        memory_budget: Union[None, int, MemoryBudget] = None,
+    ) -> None:
         self.directory = Path(directory) if directory is not None else None
         if self.directory is not None:
             self.directory.mkdir(parents=True, exist_ok=True)
         self._memory: Dict[str, ToeplitzBayesianInversion] = {}
+        self.budget = MemoryBudget.ensure(memory_budget)
+        # Per-instance ledger namespace: several caches/fabrics may share
+        # one budget without colliding on entry names.
+        self.budget_prefix = f"opcache-{secrets.token_hex(3)}"
+
+        self._heat: Dict[str, int] = {}
+        self._last_used: Dict[str, int] = {}
+        self._clock = 0
         self.stats = CacheStats()
         self.timers = TimerRegistry()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def operator_nbytes(inv: ToeplitzBayesianInversion) -> int:
+        """Resident bytes of one assembled operator set.
+
+        Counts the dense Phase 2-3 products (``K`` or its Cholesky factor,
+        ``B``, ``P_q``, ``Q``, the QoI covariance) plus the p2o/p2q
+        kernels — the arrays an eviction actually frees.
+        """
+        arrays = [inv.K, inv.B, inv.Pq, inv.Q, inv.qoi_covariance]
+        if inv._K_chol is not None:
+            arrays.append(inv._K_chol[0])
+        arrays.append(inv.F.kernel)
+        if inv.Fq is not None:
+            arrays.append(inv.Fq.kernel)
+        return sum(int(a.nbytes) for a in arrays if a is not None)
+
+    def _touch(self, key: str) -> None:
+        """Record a serve of ``key`` (heat + recency, for eviction order)."""
+        self._clock += 1
+        self._heat[key] = self._heat.get(key, 0) + 1
+        self._last_used[key] = self._clock
+
+    def _admit(self, key: str, inv: ToeplitzBayesianInversion) -> None:
+        """Insert ``key`` and evict coldest entries while over budget."""
+        self._memory[key] = inv
+        self.budget.register(f"{self.budget_prefix}:{key[:16]}", self.operator_nbytes(inv))
+        self._touch(key)
+        while self.budget.over_budget() and len(self._memory) > 1:
+            coldest = min(
+                (k for k in self._memory if k != key),
+                key=lambda k: (self._heat.get(k, 0), self._last_used.get(k, 0)),
+            )
+            self.evict(coldest)
+
+    def evict(self, key: str) -> bool:
+        """Drop a resident entry (disk archives are kept); True if present."""
+        inv = self._memory.pop(key, None)
+        if inv is None:
+            return False
+        self.budget.release(f"{self.budget_prefix}:{key[:16]}")
+        self.stats.evictions += 1
+        return True
 
     # ------------------------------------------------------------------
     def key_for(self, twin: CascadiaTwin, noise: NoiseModel) -> str:
@@ -123,6 +193,7 @@ class OperatorCache:
         inv = self._memory.get(key)
         if inv is not None:
             self.stats.hits += 1
+            self._touch(key)
             twin.inversion = inv
             return inv
         path = self._disk_path(key)
@@ -130,13 +201,13 @@ class OperatorCache:
             with self.timers.time("cache: load archive"):
                 inv = rebuild_inversion(load_twin_archive(path))
             self.stats.disk_hits += 1
-            self._memory[key] = inv
+            self._admit(key, inv)
             twin.inversion = inv
             return inv
         self.stats.misses += 1
         with self.timers.time("cache: build phases 2-3"):
             inv = twin.phase23(noise, method=method, chunk=chunk)
-        self._memory[key] = inv
+        self._admit(key, inv)
         if path is not None:
             with self.timers.time("cache: save archive"):
                 save_twin_archive(path, inv, config=twin.config)
@@ -164,13 +235,30 @@ class OperatorCache:
         return self.contains(key, check_disk=True)
 
     def clear_memory(self) -> None:
-        """Drop in-memory entries (on-disk archives are kept)."""
-        self._memory.clear()
+        """Drop in-memory entries (on-disk archives are kept).
+
+        Heat/recency counters reset too: a full clear is a cold start, and
+        stale heat would otherwise outrank genuinely hot entries admitted
+        after the clear, inverting the eviction order.
+        """
+        for key in list(self._memory):
+            self._memory.pop(key)
+            self.budget.release(f"{self.budget_prefix}:{key[:16]}")
+        self._heat.clear()
+        self._last_used.clear()
+
+    def resident_nbytes(self) -> int:
+        """Bytes held by resident operator sets (budget-ledger view)."""
+        return sum(
+            self.budget.nbytes_of(f"{self.budget_prefix}:{k[:16]}") for k in self._memory
+        )
 
     def report(self) -> str:
         """One-line stats summary."""
         s = self.stats
         return (
-            f"operator cache: {len(self._memory)} resident, "
-            f"{s.hits} hits, {s.disk_hits} disk hits, {s.misses} misses"
+            f"operator cache: {len(self._memory)} resident "
+            f"({self.resident_nbytes() / float(1 << 20):.1f} MiB), "
+            f"{s.hits} hits, {s.disk_hits} disk hits, {s.misses} misses, "
+            f"{s.evictions} evictions"
         )

@@ -50,9 +50,42 @@ from scipy.special import log_softmax
 from repro.inference.forecast import QoIForecast
 from repro.inference.streaming import IncrementalStreamingPosterior, StreamingFleet
 
-__all__ = ["IdentificationResult", "IdentificationSession", "ScenarioIdentifier"]
+__all__ = [
+    "IdentificationResult",
+    "IdentificationSession",
+    "ScenarioIdentifier",
+    "normalize_log_prior",
+]
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
+
+#: Column block size for bank-side accumulation.  Both the bank-state
+#: build and the per-slot cross-term gemms are chunked on *absolute*
+#: multiples of this, which makes the arithmetic **shard-invariant**: a
+#: worker holding scenario columns ``[c0, c1)`` (block-aligned) issues
+#: bitwise the same BLAS calls as the flat identifier does for those
+#: columns, so sharded and single-process results agree exactly — by
+#: construction, independent of how a particular BLAS blocks wide gemms.
+COL_BLOCK = 256
+
+
+def normalize_log_prior(weights: Optional[np.ndarray], n: int) -> np.ndarray:
+    """Log prior probabilities over ``n`` scenarios.
+
+    ``None`` means uniform; otherwise non-negative weights with a positive
+    sum (normalized internally; zeros map to ``-inf``, excluding the
+    scenario).  Shared by :class:`ScenarioIdentifier` and the serving
+    fabric so priors behave identically across the flat and sharded paths.
+    """
+    if weights is None:
+        return np.full(n, -np.log(n))
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape != (n,):
+        raise ValueError(f"prior_weights must be ({n},), got {w.shape}")
+    if np.any(w < 0) or not np.any(w > 0):
+        raise ValueError("prior_weights must be >= 0 with a positive sum")
+    with np.errstate(divide="ignore"):
+        return np.log(w / w.sum())
 
 
 @dataclass
@@ -149,11 +182,28 @@ class ScenarioIdentifier:
         qoi_records: Optional[np.ndarray] = None,
     ) -> None:
         self.engine = engine
-        bank_fleet = engine.open_fleet(clean_records).advance(engine.nt)
-        self.n_scenarios = bank_fleet.n_streams
-        # w(mu_s) for every scenario, (Nt*Nd, S), read-only.
-        self._Wmu = bank_fleet.states
-        # Cumulative per-horizon squared norms ||w_k(mu_s)||^2, (Nt+1, S).
+        records = np.asarray(clean_records, dtype=np.float64)
+        if records.ndim == 2:
+            records = records[:, :, None]
+        if records.ndim != 3 or records.shape[:2] != (engine.nt, engine.nd):
+            raise ValueError(
+                f"clean_records must be ({engine.nt},{engine.nd},S), "
+                f"got {records.shape}"
+            )
+        self.n_scenarios = int(records.shape[2])
+        # w(mu_s) for every scenario, (Nt*Nd, S), read-only.  Built in
+        # COL_BLOCK column chunks so a block-aligned shard of the bank
+        # (the serving fabric's workers) reproduces these states bitwise.
+        Wmu = np.empty((engine.nt * engine.nd, self.n_scenarios))
+        for c0 in range(0, self.n_scenarios, COL_BLOCK):
+            c1 = min(c0 + COL_BLOCK, self.n_scenarios)
+            block = engine.open_fleet(records[:, :, c0:c1]).advance(engine.nt)
+            Wmu[:, c0:c1] = block.states
+        Wmu.setflags(write=False)
+        self._Wmu = Wmu
+        # Per-slot squared norm blocks ||w_slot(mu_s)||^2, (Nt, S) — the
+        # bank-side coarse-proxy state (see slot_squared_norms) — and their
+        # per-horizon cumulative sums ||w_k(mu_s)||^2, (Nt+1, S).
         blocks = np.einsum(
             "tds,tds->ts",
             self._Wmu.reshape(engine.nt, engine.nd, self.n_scenarios),
@@ -161,7 +211,9 @@ class ScenarioIdentifier:
         )
         musq = np.zeros((engine.nt + 1, self.n_scenarios))
         np.cumsum(blocks, axis=0, out=musq[1:])
+        blocks.setflags(write=False)
         musq.setflags(write=False)
+        self._slot_musq = blocks
         self._musq_cum = musq
         if ids is None:
             ids = [f"s{j}" for j in range(self.n_scenarios)]
@@ -188,18 +240,8 @@ class ScenarioIdentifier:
 
     # ------------------------------------------------------------------
     def _normalize_prior(self, weights: Optional[np.ndarray]) -> np.ndarray:
-        """Log prior over scenarios (uniform default; zeros -> ``-inf``)."""
-        if weights is None:
-            return np.full(self.n_scenarios, -np.log(self.n_scenarios))
-        w = np.asarray(weights, dtype=np.float64)
-        if w.shape != (self.n_scenarios,):
-            raise ValueError(
-                f"prior_weights must be ({self.n_scenarios},), got {w.shape}"
-            )
-        if np.any(w < 0) or not np.any(w > 0):
-            raise ValueError("prior_weights must be >= 0 with a positive sum")
-        with np.errstate(divide="ignore"):
-            return np.log(w / w.sum())
+        """Log prior over this bank's scenarios (see :func:`normalize_log_prior`)."""
+        return normalize_log_prior(weights, self.n_scenarios)
 
     @classmethod
     def from_bank(
@@ -247,9 +289,33 @@ class ScenarioIdentifier:
             fleet = self.engine.open_fleet(streams)
         return IdentificationSession(self, fleet, prior_weights=prior_weights)
 
+    @property
+    def states(self) -> np.ndarray:
+        """The bank-side forward-substituted states ``w(mu_s)``, read-only.
+
+        Shape ``(Nt * Nd, S)``, column ``s`` holding ``L^{-1} mu_s`` at the
+        full horizon.  The serving fabric shards columns of exactly this
+        array across workers.
+        """
+        return self._Wmu
+
+    def slot_squared_norms(self) -> np.ndarray:
+        """Per-slot norm blocks ``||w_slot(mu_s)||^2``, ``(Nt, S)``, read-only.
+
+        The bank-side coarse-proxy state: combined with a fleet's
+        :meth:`~repro.inference.streaming.StreamingFleet.slot_squared_norms`
+        it yields certified evidence bounds over any subset of observation
+        slots (the hierarchical screen of :mod:`repro.serve.fabric`).
+        """
+        return self._slot_musq
+
+    def cumulative_squared_norms(self) -> np.ndarray:
+        """Cumulative per-horizon ``||w_k(mu_s)||^2``, ``(Nt + 1, S)``, read-only."""
+        return self._musq_cum
+
     def state_nbytes(self) -> int:
         """Memory of the bank-side state (``w(mu_s)`` + norms + QoI records)."""
-        n = self._Wmu.nbytes + self._musq_cum.nbytes
+        n = self._Wmu.nbytes + self._musq_cum.nbytes + self._slot_musq.nbytes
         if self._qoi is not None:
             n += self._qoi.nbytes
         return int(n)
@@ -295,18 +361,27 @@ class IdentificationSession:
         return self.fleet.horizons
 
     def _fold_new_slots(self) -> None:
-        """Accumulate cross terms for slots the fleet absorbed since last fold."""
+        """Accumulate cross terms for slots the fleet absorbed since last fold.
+
+        The per-slot gemm is chunked on absolute ``COL_BLOCK`` scenario
+        columns — the same chunks a block-aligned shard would issue — so
+        evidences are identical whether a bank is ranked flat or sharded.
+        """
         h = self.fleet.horizons
         if np.array_equal(h, self._folded):
             return
         nd = self.fleet.engine.nd
+        S = self.identifier.n_scenarios
         W, Wmu = self.fleet.states, self.identifier._Wmu
         for s in range(int(self._folded.min()), int(h.max())):
             idx = np.nonzero((self._folded <= s) & (h > s))[0]
             if not idx.size:
                 continue
             r0, r1 = s * nd, (s + 1) * nd
-            self._cross[idx] += W[r0:r1, idx].T @ Wmu[r0:r1]
+            Wd_s = W[r0:r1, idx].T
+            for c0 in range(0, S, COL_BLOCK):
+                c1 = min(c0 + COL_BLOCK, S)
+                self._cross[idx, c0:c1] += Wd_s @ Wmu[r0:r1, c0:c1]
         self._folded = h.copy()
 
     def advance(

@@ -1,0 +1,122 @@
+"""Shared report formatting for the serving layer.
+
+Every surface that shows identification output — the examples, the fabric
+CLI, the benchmarks — used to hand-roll its own table.  This module is the
+single place that turns an
+:class:`~repro.serve.identify.IdentificationResult` (or a fabric run) into
+operator-readable text, so the format stays consistent and tested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.serve.identify import IdentificationResult
+
+__all__ = [
+    "format_identification",
+    "format_fabric_report",
+    "print_identification",
+]
+
+
+def format_identification(
+    result: IdentificationResult,
+    truth_ids: Optional[List[str]] = None,
+    top: int = 2,
+    max_rows: int = 8,
+) -> str:
+    """Readable per-stream ranking table for an identification result.
+
+    Parameters
+    ----------
+    result:
+        The posterior ranking to print.
+    truth_ids:
+        Optional ground-truth scenario id per stream; adds a truth column
+        and a correct-MAP summary line.
+    top:
+        How many ranked ``(scenario, probability)`` columns to show.
+    max_rows:
+        Streams beyond this are elided (the summary still covers all).
+    """
+    top = max(1, min(int(top), result.n_scenarios))
+    ranked = result.top_k(top)
+    header = f"{'stream':<8s}"
+    if truth_ids is not None:
+        header += f" {'truth':<16s}"
+    header += f" {'horizon':>7s}"
+    for r in range(top):
+        header += f" {f'top-{r + 1} (p)':<24s}"
+    lines = [header]
+    n_shown = min(result.n_streams, max_rows)
+    for j in range(n_shown):
+        row = f"{j:<8d}"
+        if truth_ids is not None:
+            row += f" {truth_ids[j]:<16s}"
+        row += f" {int(result.horizons[j]):>7d}"
+        for sid, p in ranked[j]:
+            row += f" {f'{sid} ({p:.3f})':<24s}"
+        lines.append(row)
+    if result.n_streams > n_shown:
+        lines.append(f"... ({result.n_streams - n_shown} more streams)")
+    if truth_ids is not None:
+        n_right = sum(
+            m == t for m, t in zip(result.map_ids(), truth_ids)
+        )
+        lines.append(
+            f"MAP scenario correct for {n_right}/{result.n_streams} streams"
+        )
+    return "\n".join(lines)
+
+
+def format_fabric_report(
+    last, counters: Optional[Dict[str, float]] = None
+) -> str:
+    """One-paragraph summary of a fabric request + aggregate counters.
+
+    ``last`` is a :class:`~repro.serve.fabric.FabricReport`; ``counters``
+    the dict from :meth:`~repro.serve.fabric.ServingFabric.report`.
+    """
+    mode = "exact (no screen)"
+    if last.screened:
+        mode = "certified screen" if last.certified else "heuristic screen"
+        if getattr(last, "screen_fallback", False):
+            mode += ", fell back to full exact"
+    lines = [
+        f"fabric request [{last.bank_key}]: {last.n_streams} streams x "
+        f"{last.n_scenarios} scenarios, {mode}",
+        f"  candidates after screen: {last.n_candidates} "
+        f"({100.0 * last.pruned_fraction:.1f}% pruned)",
+        f"  stage times: fleet {last.t_fleet * 1e3:.1f} ms, "
+        f"screen {last.t_screen * 1e3:.1f} ms, "
+        f"exact {last.t_exact * 1e3:.1f} ms, "
+        f"total {last.t_total * 1e3:.1f} ms",
+    ]
+    if last.workers_lost:
+        lines.append(
+            f"  DEGRADED: {last.workers_lost} worker(s) lost; shards "
+            f"recomputed in the parent (results remain exact)"
+        )
+    if counters:
+        alive = int(counters.get("fabric_workers_alive", 0))
+        total = int(counters.get("fabric_workers", 0))
+        lines.append(
+            f"  fabric: {alive}/{total} workers alive, "
+            f"{int(counters.get('fabric_requests', 0))} requests / "
+            f"{int(counters.get('fabric_streams_served', 0))} streams served, "
+            f"{int(counters.get('fabric_banks_attached', 0))} banks resident "
+            f"({counters.get('fabric_shared_bytes', 0.0) / float(1 << 20):.1f} "
+            f"MiB shared), {int(counters.get('fabric_banks_evicted', 0))} evicted"
+        )
+    return "\n".join(lines)
+
+
+def print_identification(
+    result: IdentificationResult,
+    truth_ids: Optional[List[str]] = None,
+    top: int = 2,
+    max_rows: int = 8,
+) -> None:
+    """``print`` wrapper around :func:`format_identification`."""
+    print(format_identification(result, truth_ids=truth_ids, top=top, max_rows=max_rows))

@@ -339,6 +339,27 @@ class BatchedPhase4Server:
             return session.posterior()
 
     # ------------------------------------------------------------------
+    # Sharded serving fabric
+    # ------------------------------------------------------------------
+    def fabric(self, banks=(), **config):
+        """A :class:`~repro.serve.fabric.ServingFabric` over this inversion.
+
+        The sharded, hierarchical scale-out of the identification path:
+        banks are split across a worker-process pool with shared-memory
+        kernel/Cholesky buffers, streams are admitted through a
+        micro-batching queue, and identification runs a certified coarse
+        screen before the exact evidence (see :mod:`repro.serve.fabric`
+        and ``docs/SERVING.md``).  Keyword arguments populate a
+        :class:`~repro.serve.fabric.FabricConfig`
+        (``server.fabric([bank], n_workers=4, memory_budget=2 << 30)``).
+        The caller owns the fabric's lifecycle — use it as a context
+        manager or ``close()`` it.
+        """
+        from repro.serve.fabric import ServingFabric
+
+        return ServingFabric(self.inv, banks, **config)
+
+    # ------------------------------------------------------------------
     def report(self) -> Dict[str, float]:
         """Serving timers plus the shared streaming-engine footprint."""
         out: Dict[str, float] = dict(self.timers.as_dict())

@@ -18,11 +18,12 @@ stage vectors, quadrature-point scratch).  The solver exposes a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Tuple
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 import numpy as np
 
 GIB = float(1 << 30)
+MIB = float(1 << 20)
 
 
 def nbytes_of(*arrays: np.ndarray) -> int:
@@ -93,6 +94,98 @@ class MemoryTracker:
             f"(persistent {self.total_persistent / GIB:.6f}, "
             f"transient {self.total_transient / GIB:.6f})"
         )
+        return "\n".join(lines)
+
+
+class MemoryBudget:
+    """A global byte budget shared by serving components.
+
+    The serving layer holds several classes of large, long-lived buffers —
+    Phase 2-3 operator sets in an :class:`~repro.serve.cache.OperatorCache`,
+    per-bank identification state in a
+    :class:`~repro.serve.fabric.ServingFabric` — and an operator wants *one*
+    number to reason about ("this box has 4 GiB for the twin").  A
+    ``MemoryBudget`` is that number plus a named ledger: components
+    :meth:`register` what they hold, :meth:`release` what they evict, and
+    consult :meth:`fits` / :attr:`remaining` before admitting new state.
+    One instance may be shared by several components (cache + fabric), in
+    which case eviction pressure in one frees room for the other.
+
+    The budget does not hook the allocator and cannot *enforce* anything by
+    itself — components that accept one are expected to evict their own
+    coldest entries while over budget (see
+    ``OperatorCache(memory_budget=...)`` and
+    ``FabricConfig.memory_budget``).
+
+    Parameters
+    ----------
+    total_bytes:
+        The budget ceiling; ``None`` means unlimited (the ledger still
+        tracks usage for reporting).
+    """
+
+    def __init__(self, total_bytes: Optional[int] = None) -> None:
+        if total_bytes is not None and int(total_bytes) <= 0:
+            raise ValueError("total_bytes must be positive (or None)")
+        self.total_bytes = int(total_bytes) if total_bytes is not None else None
+        self._ledger: Dict[str, int] = {}
+
+    @classmethod
+    def ensure(
+        cls, budget: Union[None, int, "MemoryBudget"]
+    ) -> "MemoryBudget":
+        """Coerce ``None`` / a byte count / an existing budget to a budget."""
+        if isinstance(budget, MemoryBudget):
+            return budget
+        return cls(total_bytes=budget)
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, nbytes: int) -> None:
+        """Record (or update) a named allocation of ``nbytes``."""
+        if int(nbytes) < 0:
+            raise ValueError("nbytes must be >= 0")
+        self._ledger[name] = int(nbytes)
+
+    def release(self, name: str) -> int:
+        """Drop a named allocation; returns the bytes freed (0 if absent)."""
+        return self._ledger.pop(name, 0)
+
+    def nbytes_of(self, name: str) -> int:
+        """Bytes currently registered under ``name`` (0 if absent)."""
+        return self._ledger.get(name, 0)
+
+    @property
+    def used(self) -> int:
+        """Total bytes currently registered."""
+        return sum(self._ledger.values())
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Bytes left under the ceiling (may be negative); None if unlimited."""
+        if self.total_bytes is None:
+            return None
+        return self.total_bytes - self.used
+
+    def over_budget(self) -> bool:
+        """Whether registered usage exceeds the ceiling."""
+        return self.total_bytes is not None and self.used > self.total_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        """Whether an additional ``nbytes`` would stay within the ceiling."""
+        if self.total_bytes is None:
+            return True
+        return self.used + int(nbytes) <= self.total_bytes
+
+    def report(self) -> str:
+        """Readable ledger, largest entries first."""
+        cap = (
+            "unlimited"
+            if self.total_bytes is None
+            else f"{self.total_bytes / MIB:.1f} MiB"
+        )
+        lines = [f"memory budget: {self.used / MIB:.1f} MiB used of {cap}"]
+        for name, b in sorted(self._ledger.items(), key=lambda kv: -kv[1]):
+            lines.append(f"  {name:<40s} {b / MIB:10.2f} MiB")
         return "\n".join(lines)
 
 

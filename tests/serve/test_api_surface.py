@@ -1,0 +1,59 @@
+"""The public ``repro.serve`` API surface: ``help(repro.serve)`` is law.
+
+The serving layer is the part of the repo operators script against, so its
+``__all__`` must be complete (everything documented is importable),
+truthful (everything importable-by-name exists and is documented), and
+the package docstring must mention every submodule it federates.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro.serve as serve
+
+
+def test_all_names_resolve_and_are_documented():
+    assert serve.__all__ == sorted(set(serve.__all__), key=serve.__all__.index)
+    for name in serve.__all__:
+        obj = getattr(serve, name)  # raises if missing
+        doc = inspect.getdoc(obj)
+        assert doc, f"public name {name} has no docstring"
+        assert len(doc.splitlines()[0]) > 10, f"{name}: one-liner too thin"
+
+
+def test_submodule_exports_are_reexported():
+    """Every submodule ``__all__`` entry is reachable from the package."""
+    from repro.serve import cache, fabric, identify, reporting, scenarios, server
+
+    for mod in (cache, fabric, identify, reporting, scenarios, server):
+        for name in mod.__all__:
+            assert hasattr(serve, name), (
+                f"{mod.__name__}.{name} is public but not exported by repro.serve"
+            )
+            assert name in serve.__all__, (
+                f"{mod.__name__}.{name} missing from repro.serve.__all__"
+            )
+
+
+def test_package_docstring_names_every_submodule():
+    doc = serve.__doc__
+    for section in ("scenarios", "cache", "server", "identify", "fabric", "reporting"):
+        assert f"``{section}``" in doc, f"package docstring lacks a {section} section"
+
+
+def test_public_classes_document_their_methods():
+    """Public serving classes: every public method carries a docstring."""
+    for cls in (
+        serve.ScenarioBank,
+        serve.OperatorCache,
+        serve.BatchedPhase4Server,
+        serve.ScenarioIdentifier,
+        serve.IdentificationSession,
+        serve.ServingFabric,
+        serve.FabricTicket,
+    ):
+        for name, member in vars(cls).items():
+            if name.startswith("_") or not callable(member):
+                continue
+            assert inspect.getdoc(member), f"{cls.__name__}.{name} lacks a docstring"

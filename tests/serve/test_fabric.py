@@ -1,0 +1,388 @@
+"""ServingFabric: sharded/hierarchical identification equivalence and ops.
+
+What must hold:
+
+* **Sharded == flat, bitwise.**  With the screen disabled, the fabric's
+  evidences/posteriors are ``np.array_equal`` to
+  ``BatchedPhase4Server.identify_batch`` (and its forecasts to
+  ``forecast_partial_batch``) — guaranteed structurally by the
+  ``COL_BLOCK``-aligned accumulation, not by BLAS luck.
+* **Certified screen == exhaustive ranking**, while the heuristic screen
+  can be fooled by an adversarial bank (constructed here) — the reason the
+  certified mode exists.
+* **Worker loss degrades gracefully**: results stay exact, the report says
+  degraded.
+* **Micro-batching, budget-driven bank eviction, and re-attach** behave.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.serve.identify as identify_mod
+from repro.serve import BatchedPhase4Server, ScenarioIdentifier, ServingFabric
+from repro.util.memory import MemoryBudget
+
+
+@pytest.fixture()
+def small_blocks(monkeypatch):
+    """Shrink COL_BLOCK so a 24-entry bank spans several blocks/shards.
+
+    The bitwise shard-equivalence guarantee is *structural* (both paths
+    chunk on the same absolute block boundaries), so exercising it with a
+    small block at a small bank is exactly as strong as the default 256 at
+    1024 — and actually covers the multi-shard alignment logic.
+    """
+    monkeypatch.setattr(identify_mod, "COL_BLOCK", 8)
+
+
+@pytest.fixture()
+def server(serve_inversion):
+    return BatchedPhase4Server(serve_inversion)
+
+
+# ----------------------------------------------------------------------
+# Sharded equivalence
+# ----------------------------------------------------------------------
+def test_sharded_bitmatch_identify(server, serve_bank, serve_streams, small_blocks):
+    _, _, d_obs = serve_streams
+    nt = server.nt
+    ref = server.identify_batch(serve_bank, d_obs, k_slots=6)
+    with server.fabric([serve_bank], n_workers=2, screen=False, max_batch=32) as fab:
+        state = fab._resolve_bank(serve_bank)
+        assert len(state.shards) == 2  # the bank really is sharded
+        got = fab.identify(d_obs, k_slots=6)
+        assert np.array_equal(got.log_evidence, ref.log_evidence)
+        assert np.array_equal(got.log_posterior, ref.log_posterior)
+        assert np.array_equal(got.probabilities, ref.probabilities)
+        assert got.ids == ref.ids
+
+        # Ragged horizons, same guarantee.
+        rng = np.random.default_rng(7)
+        hz = rng.integers(1, nt + 1, size=d_obs.shape[2])
+        ref_r = server.identify_batch(serve_bank, d_obs, k_slots=hz)
+        got_r = fab.identify(d_obs, hz)
+        assert np.array_equal(got_r.log_evidence, ref_r.log_evidence)
+        assert np.array_equal(got_r.horizons, ref_r.horizons)
+
+
+def test_sharded_bank_state_bitmatch(server, serve_bank, small_blocks):
+    """Worker-built shard states equal the flat identifier's, bitwise."""
+    ident = server.scenario_identifier(serve_bank)
+    with server.fabric([serve_bank], n_workers=2) as fab:
+        v = fab._resolve_bank(serve_bank).views
+        assert np.array_equal(v["wmu"], ident.states)
+        assert np.array_equal(v["musq_cum"], ident.cumulative_squared_norms())
+        assert np.array_equal(v["slot_musq"], ident.slot_squared_norms())
+
+
+def test_in_process_fabric_matches_workers(server, serve_bank, serve_streams, small_blocks):
+    """``n_workers=0`` (no processes at all) is the same arithmetic."""
+    _, _, d_obs = serve_streams
+    ref = server.identify_batch(serve_bank, d_obs, k_slots=5)
+    with server.fabric([serve_bank], n_workers=0, screen=False) as fab:
+        got = fab.identify(d_obs, k_slots=5)
+        assert np.array_equal(got.log_evidence, ref.log_evidence)
+
+
+def test_forecast_bitmatch(server, serve_bank, serve_streams):
+    _, _, d_obs = serve_streams
+    ref = server.forecast_partial_batch(d_obs, k_slots=4)
+    with server.fabric([serve_bank], n_workers=0) as fab:
+        got = fab.forecast(d_obs, k_slots=4)
+        for f_ref, f_got in zip(ref, got):
+            assert np.array_equal(f_got.mean, f_ref.mean)
+            assert np.array_equal(f_got.covariance, f_ref.covariance)
+
+
+# ----------------------------------------------------------------------
+# Hierarchical screen
+# ----------------------------------------------------------------------
+def test_certified_screen_matches_exhaustive(server, serve_bank, serve_streams):
+    _, _, d_obs = serve_streams
+    nt = server.nt
+    ref = server.identify_batch(serve_bank, d_obs, k_slots=nt)
+    with server.fabric(
+        [serve_bank], n_workers=2, screen_stride=2, screen_top=3,
+        screen_min_scenarios=1,
+    ) as fab:
+        # Single-stream requests keep candidate sets sharp.
+        for j in range(6):
+            got = fab.identify(d_obs[:, :, j : j + 1], k_slots=nt)
+            assert fab.last_report.screened
+            top_ref = [s for s, _ in ref.top_k(3)[j]]
+            top_got = [s for s, _ in got.top_k(3)[0]]
+            assert top_got == top_ref
+
+
+def test_certified_screen_actually_prunes(server, serve_bank, serve_streams):
+    """On a well-separated stream the certified screen must drop scenarios."""
+    d_clean, _, _ = serve_streams
+    nt = server.nt
+    with server.fabric(
+        [serve_bank], n_workers=0, screen_stride=2, screen_top=1,
+        screen_min_scenarios=1,
+    ) as fab:
+        # Noise-free record of entry 0: evidence gaps are as large as this
+        # bank can produce, so the certified bounds must exclude somebody.
+        fab.identify(d_clean[:, :, :1], k_slots=nt)
+        rep = fab.last_report
+        assert rep.screened and not rep.screen_fallback
+        assert rep.n_candidates < rep.n_scenarios
+        assert rep.pruned_fraction > 0.0
+
+
+def test_screen_fallback_on_weak_pruning(server, serve_bank, serve_streams):
+    """A diverse batch unions its candidates; the fabric then runs exact."""
+    _, _, d_obs = serve_streams
+    ref = server.identify_batch(serve_bank, d_obs, k_slots=3)
+    with server.fabric(
+        [serve_bank], n_workers=0, screen_stride=3, screen_top=12,
+        screen_min_scenarios=1,
+    ) as fab:
+        got = fab.identify(d_obs, k_slots=3)  # shallow horizon: loose bounds
+        rep = fab.last_report
+        if rep.screen_fallback:  # everything went exact: full equality
+            assert np.array_equal(got.log_evidence, ref.log_evidence)
+            # ...and the report reflects the unpruned reality.
+            assert rep.n_candidates == rep.n_scenarios
+            assert rep.pruned_fraction == 0.0
+        for j in range(d_obs.shape[2]):
+            assert got.map_ids()[j] == ref.map_ids()[j]
+
+
+def test_invalid_prior_does_not_leak_segments(server, serve_bank):
+    """attach_bank must validate before allocating shared memory."""
+    with server.fabric([], n_workers=0) as fab:
+        before = fab.budget.used
+        with pytest.raises(ValueError, match="prior_weights"):
+            fab.attach_bank(serve_bank, prior_weights=np.ones(3))
+        assert fab.banks() == []
+        assert fab.budget.used == before  # nothing registered, nothing leaked
+
+
+def _whitened_scenario(L, nt, nd, slot0, tail):
+    """Records whose whitened states are ``slot0`` at slot 0, ``tail`` after."""
+    w = np.zeros(nt * nd)
+    w[:nd] = slot0
+    for s in range(1, nt):
+        w[s * nd : (s + 1) * nd] = tail[s - 1]
+    return (L @ w).reshape(nt, nd)
+
+
+def test_certified_catches_adversarial_misranking(server):
+    """A loose-bound scenario fools the heuristic screen, never the certified.
+
+    Constructed in whitened space (records are ``L w``): every scenario
+    matches the data on the single screened (highest-energy) slot, so the
+    coarse proxy alone cannot order them; the omitted slots carry the
+    truth.  ``loose`` has its tail *anti-aligned* with the data — largest
+    possible gap between its evidence upper bound and its exact evidence —
+    so the heuristic (fixed top-1 by upper bound) ranks it far too high,
+    while the certified screen keeps every contender and reproduces the
+    exhaustive ordering exactly.
+    """
+    inv = server.inv
+    nt, nd = server.nt, server.nd
+    L = np.asarray(inv.cholesky_lower)
+    rng = np.random.default_rng(13)
+    e = np.zeros(nd)
+    e[0] = 10.0  # slot 0 dominates the energy -> it is the screened slot
+    f = [v / np.linalg.norm(v) for v in rng.standard_normal((nt - 1, nd))]
+
+    d_stream = _whitened_scenario(L, nt, nd, e, f)
+    truth = _whitened_scenario(L, nt, nd, e, f)  # exact match
+    # Anti-aligned tail, doubled: exact evidence is poor, but the
+    # norm-only bounds cannot see the sign -> wildly optimistic ub.
+    loose = _whitened_scenario(L, nt, nd, e, [-2.0 * v for v in f])
+    # Aligned tails: bounds are tight (ub == exact evidence).
+    mid = _whitened_scenario(L, nt, nd, e + 4.0 * np.eye(nd)[1], f)
+    far = _whitened_scenario(L, nt, nd, e, [6.0 * v for v in f])
+
+    records = np.stack([truth, loose, mid, far], axis=-1)
+    ref = ScenarioIdentifier(inv.streaming_state(), records)
+    sess = ref.open(d_stream[:, :, None])
+    sess.advance(nt)
+    exhaustive = [s for s, _ in sess.posterior().top_k(4)[0]]
+    assert exhaustive == ["s0", "s2", "s1", "s3"]  # truth, mid, loose, far
+
+    with server.fabric(
+        [records], n_workers=2, screen_stride=nt, screen_top=1,
+        screen_min_scenarios=1,
+    ) as fab:
+        heur = fab.identify(d_stream, nt, certified=False)
+        heur_order = [s for s, _ in heur.top_k(4)[0]]
+        assert heur_order != exhaustive  # the hazard is real
+        assert heur_order.index("s1") < exhaustive.index("s1")  # inflated
+
+        cert = fab.identify(d_stream, nt, certified=True)
+        # (At S=4 the certified survivors trip the >=S/2 fallback, so the
+        # request runs fully exact — which is exactly what certification
+        # promises to preserve.)
+        assert fab.last_report.screened
+        assert [s for s, _ in cert.top_k(4)[0]] == exhaustive
+        survivors = [0, 1, 2]  # everything the certified screen kept
+        assert np.allclose(
+            cert.log_evidence[0, survivors],
+            sess.log_evidence()[0, survivors],
+            rtol=0, atol=1e-9,
+        )
+
+
+# ----------------------------------------------------------------------
+# Degradation, micro-batching, lifecycle
+# ----------------------------------------------------------------------
+def test_worker_crash_degrades_gracefully(server, serve_bank, serve_streams, small_blocks):
+    _, _, d_obs = serve_streams
+    ref = server.identify_batch(serve_bank, d_obs, k_slots=6)
+    with server.fabric([serve_bank], n_workers=2, screen=False) as fab:
+        fab._workers[0].process.kill()
+        fab._workers[0].process.join()
+        got = fab.identify(d_obs, k_slots=6)
+        assert np.array_equal(got.log_evidence, ref.log_evidence)
+        assert fab.last_report.degraded
+        assert fab.last_report.workers_lost == 1
+        assert fab.report()["fabric_workers_alive"] == 1.0
+        # The retired worker stays retired; later requests still succeed.
+        got2 = fab.identify(d_obs, k_slots=8)
+        ref2 = server.identify_batch(serve_bank, d_obs, k_slots=8)
+        assert np.array_equal(got2.log_evidence, ref2.log_evidence)
+
+
+def test_microbatch_queue_tickets(server, serve_bank, serve_streams, small_blocks):
+    _, _, d_obs = serve_streams
+    ref = server.identify_batch(serve_bank, d_obs[:, :, :5], k_slots=6)
+    with server.fabric(
+        [serve_bank], n_workers=0, screen=False, max_batch=4
+    ) as fab:
+        tickets = [fab.submit(d_obs[:, :, j], 6) for j in range(5)]
+        # max_batch=4: the first four were auto-flushed, the fifth waits.
+        assert all(t.done for t in tickets[:4]) and not tickets[4].done
+        for j, t in enumerate(tickets):
+            row = t.result()  # resolves the pending one via flush()
+            assert row.log_evidence.shape[0] == 1
+            assert np.array_equal(row.log_evidence[0], ref.log_evidence[j])
+            assert row.map_ids()[0] == ref.map_ids()[j]
+
+        # Forecast tickets ride the same queue.
+        fc_ref = server.forecast_partial_batch(d_obs[:, :, :3], k_slots=6)
+        fts = [fab.submit(d_obs[:, :, j], 6, op="forecast") for j in range(3)]
+        assert fab.flush() == 3
+        for t, f in zip(fts, fc_ref):
+            assert np.array_equal(t.result().mean, f.mean)
+
+        # A bad horizon is rejected at submit time — it must never join
+        # (and poison) a batch other tickets are riding in.
+        good = fab.submit(d_obs[:, :, 0], 6)
+        with pytest.raises(ValueError):
+            fab.submit(d_obs[:, :, 1], 0)
+        with pytest.raises(ValueError):
+            fab.submit(d_obs[:, :, 1], server.nt + 1)
+        # (allclose, not array_equal: `good` flushes as a 1-stream batch,
+        # and the bitwise guarantee is per identical batch shape.)
+        assert np.allclose(
+            good.result().log_evidence[0], ref.log_evidence[0],
+            rtol=0, atol=1e-10,
+        )
+
+
+def test_chunked_identify_merges_reports(server, serve_bank, serve_streams, small_blocks):
+    """identify() above max_batch aggregates the chunk reports."""
+    _, _, d_obs = serve_streams
+    with server.fabric(
+        [serve_bank], n_workers=2, screen=False, max_batch=4
+    ) as fab:
+        fab._workers[1].process.kill()
+        fab._workers[1].process.join()
+        got = fab.identify(d_obs[:, :, :10], k_slots=6)  # 3 chunks
+        assert got.n_streams == 10
+        rep = fab.last_report
+        assert rep.n_streams == 10
+        # The loss happened in chunk 1; the merged report must not hide it
+        # behind the final chunk (counted as distinct workers, not events).
+        assert rep.workers_lost == 1 and rep.degraded
+        ref = server.identify_batch(serve_bank, d_obs[:, :, :10], k_slots=6)
+        # allclose, not array_equal: chunks advance 4-stream fleets while
+        # the reference advances one 10-stream fleet (bitwise equality is
+        # guaranteed per identical batch shape only).
+        assert np.allclose(got.log_evidence, ref.log_evidence, rtol=0, atol=1e-10)
+
+
+def test_shared_budget_between_fabrics_is_namespaced(server, serve_bank):
+    """Two fabrics on one budget must not double-book or cross-release."""
+    budget = MemoryBudget(total_bytes=1 << 30)
+    with server.fabric([serve_bank], n_workers=0, memory_budget=budget) as f1:
+        used_one = budget.used
+        assert used_one > 0
+        with server.fabric([serve_bank], n_workers=0, memory_budget=budget) as f2:
+            assert f1.budget_prefix != f2.budget_prefix
+            assert budget.used == pytest.approx(2 * used_one, rel=0.01)
+        # Closing f2 releases only f2's entries.
+        assert budget.used == used_one
+    assert budget.used == 0
+
+
+def test_memory_budget_evicts_coldest_bank(server, serve_twin, serve_bank):
+    from repro.serve import ScenarioBank
+
+    c = serve_twin.config
+    other = ScenarioBank(
+        serve_twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=99
+    )
+    other.generate(24)
+    d_obs = serve_bank.observation_batch(serve_twin.F)[2]
+
+    budget = MemoryBudget(total_bytes=64 << 20)
+    with server.fabric([serve_bank], n_workers=0, memory_budget=budget) as fab:
+        key_a = fab.banks()[0]
+        fab.identify(d_obs, k_slots=4)  # heat bank A
+        bank_bytes = budget.nbytes_of(f"{fab.budget_prefix}:bank:{key_a}")
+        assert bank_bytes > 0
+        # Shrink the ceiling so two banks cannot coexist (the transient
+        # clean-records segment counts while a bank attaches).
+        mu_bytes = server.nt * server.nd * len(other) * 8
+        budget.total_bytes = budget.used + mu_bytes + bank_bytes // 2
+        key_b = fab.attach_bank(other)
+        assert fab.banks() == [key_b]  # A (cold relative to the ask) evicted
+        assert fab.report()["fabric_banks_evicted"] == 1.0
+        assert budget.nbytes_of(f"{fab.budget_prefix}:bank:{key_a}") == 0
+
+        # Evicted banks re-attach transparently on next use (and that may
+        # evict B in turn under the same pressure).
+        res = fab.identify(d_obs, k_slots=4, bank=key_a)
+        assert res.n_scenarios == len(serve_bank)
+        assert key_a in fab.banks()
+
+    # close() released everything it registered.
+    assert budget.used == 0
+
+
+def test_budget_too_small_raises(server, serve_bank):
+    with pytest.raises(RuntimeError, match="memory budget"):
+        with server.fabric([serve_bank], n_workers=0, memory_budget=1024):
+            pass  # pragma: no cover
+
+
+def test_fabric_lifecycle_and_validation(server, serve_bank, serve_streams):
+    _, _, d_obs = serve_streams
+    fab = server.fabric([serve_bank], n_workers=0)
+    with pytest.raises(ValueError):
+        fab.identify(d_obs[:1], k_slots=2)  # wrong stream shape
+    with pytest.raises(ValueError):
+        fab.identify(d_obs, k_slots=0)  # horizons start at 1
+    with pytest.raises(KeyError):
+        fab.identify(d_obs, k_slots=2, bank="nope")
+    with pytest.raises(ValueError):
+        fab.submit(d_obs[:, :, 0], 2, op="retrodict")
+    with pytest.raises(ValueError, match="screen_top"):
+        fab.identify(d_obs, k_slots=2, screen=True, screen_top=0)
+    fab.close()
+    fab.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        fab.identify(d_obs, k_slots=2)
+
+
+def test_fabric_requires_config_fields(serve_inversion):
+    with pytest.raises(TypeError):
+        ServingFabric(serve_inversion, [], not_a_knob=3)

@@ -133,3 +133,82 @@ def test_fingerprint_requires_phase1():
     twin = CascadiaTwin(TwinConfig.demo_2d(nx=8, n_slots=6, n_sensors=4, n_qoi=2))
     with pytest.raises(RuntimeError):
         twin.geometry_fingerprint()
+
+
+def test_memory_budget_evicts_coldest_geometry(tmp_path, small_noise):
+    """Under a byte ceiling the least-served geometry is evicted first."""
+    from repro.util.memory import MemoryBudget
+
+    noise, _ = small_noise
+    twins = []
+    for nd in (6, 5, 4):  # three distinct geometries
+        t = CascadiaTwin(TwinConfig.demo_2d(nx=8, n_slots=8, n_sensors=nd, n_qoi=2))
+        t.setup()
+        t.phase1()
+        twins.append(t)
+
+    budget = MemoryBudget()  # unlimited first: learn real sizes
+    cache = OperatorCache(directory=tmp_path, memory_budget=budget)
+    noises = []
+    for t in twins:
+        _, _, n, _ = t.simulate_event()
+        noises.append(n)
+        cache.get_or_build(t, n)
+    sizes = [
+        budget.nbytes_of(f"{cache.budget_prefix}:{cache.key_for(t, n)[:16]}")
+        for t, n in zip(twins, noises)
+    ]
+    assert all(s > 0 for s in sizes)
+    assert cache.resident_nbytes() == sum(sizes)
+
+    # Heat geometries 0 and 2; geometry 1 stays cold.
+    cache.get_or_build(twins[0], noises[0])
+    cache.get_or_build(twins[2], noises[2])
+
+    # Now cap the budget just below current usage and admit a *smaller*
+    # geometry: evicting the one cold entry must be enough, so the hot
+    # geometries stay resident.
+    budget.total_bytes = budget.used - 1
+    fourth = CascadiaTwin(TwinConfig.demo_2d(nx=8, n_slots=8, n_sensors=3, n_qoi=2))
+    fourth.setup()
+    fourth.phase1()
+    _, _, n4, _ = fourth.simulate_event()
+    cache.get_or_build(fourth, n4)
+    assert cache.stats.evictions >= 1
+    assert cache.contains(cache.key_for(twins[0], noises[0]), check_disk=False)
+    assert not cache.contains(cache.key_for(twins[1], noises[1]), check_disk=False)
+
+    # Eviction kept the archive: the next request is a disk hit, not a build.
+    before = cache.stats.misses
+    cache.get_or_build(twins[1], noises[1])
+    assert cache.stats.misses == before
+    assert cache.stats.disk_hits >= 1
+    assert "evictions" in cache.stats.as_dict()
+    assert "eviction" in cache.report()
+
+
+def test_clear_memory_releases_budget(small_twin, small_noise):
+    from repro.util.memory import MemoryBudget
+
+    noise, _ = small_noise
+    budget = MemoryBudget(total_bytes=1 << 30)
+    cache = OperatorCache(memory_budget=budget)
+    cache.get_or_build(small_twin, noise)
+    assert budget.used > 0
+    cache.clear_memory()
+    assert budget.used == 0 and len(cache) == 0
+
+
+def test_clear_memory_resets_heat(tmp_path, small_twin, small_noise):
+    """A full clear is a cold start — stale heat must not outrank new entries."""
+    from repro.util.memory import MemoryBudget
+
+    noise, _ = small_noise
+    budget = MemoryBudget()
+    cache = OperatorCache(directory=tmp_path, memory_budget=budget)
+    for _ in range(5):
+        cache.get_or_build(small_twin, noise)  # heat it up
+    key = cache.key_for(small_twin, noise)
+    assert cache._heat[key] == 5
+    cache.clear_memory()
+    assert cache._heat == {} and cache._last_used == {}

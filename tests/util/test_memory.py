@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.util.memory import GIB, MemoryTracker, array_set_nbytes, nbytes_of
+from repro.util.memory import (
+    GIB,
+    MIB,
+    MemoryBudget,
+    MemoryTracker,
+    array_set_nbytes,
+    nbytes_of,
+)
 
 
 def test_nbytes_of_skips_none():
@@ -63,3 +70,45 @@ def test_array_set_distinct_buffers():
 
 def test_gib_constant():
     assert GIB == float(1 << 30)
+
+
+class TestMemoryBudget:
+    def test_ledger_and_remaining(self):
+        b = MemoryBudget(total_bytes=1000)
+        b.register("a", 400)
+        b.register("b", 300)
+        assert b.used == 700 and b.remaining == 300
+        assert b.fits(300) and not b.fits(301)
+        assert not b.over_budget()
+        b.register("a", 800)  # re-register replaces, never accumulates
+        assert b.used == 1100 and b.over_budget()
+        assert b.release("a") == 800
+        assert b.release("a") == 0  # idempotent
+        assert b.used == 300 and b.nbytes_of("b") == 300
+
+    def test_unlimited_budget(self):
+        b = MemoryBudget()
+        b.register("huge", 10 * int(GIB))
+        assert b.remaining is None
+        assert b.fits(10 ** 15) and not b.over_budget()
+
+    def test_ensure_coerces(self):
+        b = MemoryBudget(total_bytes=int(MIB))
+        assert MemoryBudget.ensure(b) is b
+        assert MemoryBudget.ensure(None).total_bytes is None
+        assert MemoryBudget.ensure(2048).total_bytes == 2048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryBudget(total_bytes=0)
+        b = MemoryBudget(total_bytes=10)
+        with pytest.raises(ValueError):
+            b.register("x", -1)
+
+    def test_report_lists_largest_first(self):
+        b = MemoryBudget(total_bytes=int(GIB))
+        b.register("small", 1 << 20)
+        b.register("large", 8 << 20)
+        rep = b.report()
+        assert rep.index("large") < rep.index("small")
+        assert "MiB" in rep

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repo markdown links.
+
+Scans every ``*.md`` file in the repository for inline links and
+reference-style definitions whose targets are *relative paths* (external
+``scheme://`` URLs and pure ``#fragment`` anchors are skipped), resolves
+each against the file's directory, and exits non-zero listing every target
+that does not exist.  Run by the CI docs job::
+
+    python tools/check_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline [text](target) plus reference-style "[label]: target" definitions.
+_INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+
+
+def _targets(text: str):
+    seen = set()
+    for match in _INLINE.finditer(text):
+        yield match.group(1)
+        seen.add(match.group(1))
+    for match in _REFDEF.finditer(text):
+        if match.group(1) not in seen:
+            yield match.group(1)
+
+
+def _is_relative(target: str) -> bool:
+    if target.startswith("#") or target.startswith("mailto:"):
+        return False
+    if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*://", target):
+        return False
+    return True
+
+
+def check(root: Path):
+    """Return ``[(md_file, target), ...]`` for every broken relative link."""
+    broken = []
+    for md in sorted(root.rglob("*.md")):
+        if any(part in _SKIP_DIRS for part in md.parts):
+            continue
+        for target in _targets(md.read_text(encoding="utf-8")):
+            if not _is_relative(target):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                broken.append((md.relative_to(root), target))
+    return broken
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).parent.parent
+    broken = check(root.resolve())
+    if broken:
+        print(f"{len(broken)} broken intra-repo markdown link(s):")
+        for md, target in broken:
+            print(f"  {md}: {target}")
+        return 1
+    print("all intra-repo markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
