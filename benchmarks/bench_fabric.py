@@ -15,13 +15,25 @@ shared memory under a stated :class:`~repro.util.memory.MemoryBudget`.
 Measured here, against a >= 1024-scenario bank:
 
 * end-to-end request throughput (streams/sec), fabric (4 workers,
-  certified screen) vs single-process exact identification — asserted
-  >= 3x (the gain compounds micro-batch fusion with hierarchical pruning;
-  on multi-core hosts shard parallelism adds on top);
+  certified sketch screen) vs single-process exact identification —
+  asserted >= 3x (the gain compounds micro-batch fusion with
+  hierarchical pruning; on multi-core hosts shard parallelism adds on
+  top);
 * certified equivalence: the fabric's certified top-k is *identical* to
-  the exhaustive exact ranking for every request — asserted;
-* certified pruning power on single-stream requests (diverse batches
-  union their candidate sets, single streams keep them sharp).
+  the exhaustive exact ranking for every request — asserted, with the
+  sketch screen enabled;
+* the **certified fallback rate on a diverse-batch workload**: batches of
+  streams drawn from across the bank union their candidate sets, and the
+  norm-only brackets routinely union them past the full-exact fallback
+  threshold (``FabricReport.screen_fallback``).  The sketch-tightened
+  brackets (:mod:`repro.serve.sketch`) keep the candidate sets sharp —
+  asserted: the fallback rate drops by >= 2x vs the norm-only screen on
+  the same fabric and the same requests.
+
+Everything is also emitted machine-readably to
+``benchmarks/reports/BENCH_fabric.json`` (throughput, certified fallback
+rates, sketch rank) — CI uploads it so the perf trajectory is tracked
+across PRs.
 
 Run standalone (the CI smoke path) or under pytest::
 
@@ -40,7 +52,7 @@ from typing import Dict
 import numpy as np
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
-from conftest import write_report  # noqa: E402
+from conftest import write_json, write_report  # noqa: E402
 
 from repro.serve import BatchedPhase4Server, ScenarioBank  # noqa: E402
 from repro.twin import CascadiaTwin, TwinConfig  # noqa: E402
@@ -49,12 +61,15 @@ from repro.util.memory import MIB  # noqa: E402
 FULL = dict(
     nt=64, nx=12, nd=16, nq=3, scenarios=1024, requests=128,
     horizon=16, workers=4, max_batch=32, budget_mib=64, top=8,
+    sketch_rank=12, diverse_batches=8, diverse_batch_size=8,
 )
 TINY = dict(
     nt=10, nx=6, nd=6, nq=2, scenarios=32, requests=8,
     horizon=5, workers=2, max_batch=4, budget_mib=16, top=3,
+    sketch_rank=4, diverse_batches=2, diverse_batch_size=3,
 )
 MIN_SPEEDUP = 3.0
+MIN_FALLBACK_IMPROVEMENT = 2.0
 
 
 def _build(nt, nx, nd, nq, scenarios):
@@ -97,9 +112,28 @@ def fabric_serve(fabric, d_obs, requests, horizon):
     return [t.result() for t in tickets]
 
 
+def fallback_rate(fabric, d_obs, horizon, n_batches, batch_size, use_sketch):
+    """Certified fallback rate over a diverse-batch workload.
+
+    Each batch stacks ``batch_size`` streams of *different* scenarios
+    (spread across the bank), the traffic shape that unions per-stream
+    candidate sets toward the whole bank.  Returns the fraction of
+    batches the certified screen abandoned for the full exact pass.
+    """
+    n_avail = d_obs.shape[2]
+    stride = max(n_avail // (n_batches * batch_size), 1)
+    fallbacks = 0
+    for b in range(n_batches):
+        cols = [(b * batch_size + j) * stride % n_avail for j in range(batch_size)]
+        fabric.identify(d_obs[:, :, cols], k_slots=horizon, sketch=use_sketch)
+        fallbacks += bool(fabric.last_report.screen_fallback)
+    return fallbacks / n_batches
+
+
 def run_bench(
     nt, nx, nd, nq, scenarios, requests, horizon, workers, max_batch,
-    budget_mib, top, tiny=False,
+    budget_mib, top, sketch_rank, diverse_batches, diverse_batch_size,
+    tiny=False,
 ) -> Dict[str, float]:
     inv, bank, d_obs = _build(nt, nx, nd, nq, scenarios)
     server = BatchedPhase4Server(inv)
@@ -107,7 +141,8 @@ def run_bench(
     budget = int(budget_mib * MIB)
     with server.fabric(
         [bank], n_workers=workers, max_batch=max_batch, screen_top=top,
-        certified=True, screen_stride=4, memory_budget=budget,
+        certified=True, screen_stride=4, sketch_rank=sketch_rank,
+        memory_budget=budget,
     ) as fabric:
         assert fabric.state_nbytes() <= budget, "fabric exceeds stated budget"
 
@@ -124,29 +159,42 @@ def run_bench(
         t_fab = time.perf_counter() - t0
         batch_report = fabric.last_report
 
-        # Certified equivalence: fabric top-k identical to the exhaustive
-        # exact ranking, for every request.
+        # Certified equivalence: fabric top-k (sketch screen enabled)
+        # identical to the exhaustive exact ranking, for every request.
         for b, f in zip(base, fab):
             bk = [s for s, _ in b.top_k(top)[0]]
             fk = [s for s, _ in f.top_k(top)[0]]
             assert bk == fk, f"certified top-{top} diverged: {bk} vs {fk}"
 
+        # Diverse-batch workload: certified fallback rate, norm-only
+        # brackets vs the sketch-tightened ones (same fabric, same
+        # requests — `sketch=` is a per-call override).
+        fb_norm = fallback_rate(
+            fabric, d_obs, horizon, diverse_batches, diverse_batch_size, False
+        )
+        fb_sketch = fallback_rate(
+            fabric, d_obs, horizon, diverse_batches, diverse_batch_size, True
+        )
+
         # Certified pruning on single-stream requests (sharp candidate
-        # sets; batches of diverse streams union theirs away).
+        # sets), norm vs sketch.
         fabric.config.screen_stride = 2
+        fabric.identify(d_obs[:, :, :1], k_slots=horizon, sketch=False)
+        single_norm = fabric.last_report
         fabric.identify(d_obs[:, :, :1], k_slots=horizon)
-        single_report = fabric.last_report
+        single_sketch = fabric.last_report
 
         shared_mib = fabric.state_nbytes() / MIB
         workers_alive = fabric.report()["fabric_workers_alive"]
 
     speedup = t_base / t_fab
+    improvement = fb_norm / fb_sketch if fb_sketch > 0 else float("inf")
     lines = [
         "SERVING FABRIC - sharded hierarchical identification vs flat exact",
         f"problem: Nt={nt} Nd={nd} nx={nx}, bank of {scenarios} scenarios, "
         f"{requests} single-stream requests at horizon {horizon}",
         f"fabric: {workers} workers ({workers_alive:.0f} alive), micro-batch "
-        f"{max_batch}, certified screen (top-{top}), "
+        f"{max_batch}, certified sketch screen (top-{top}, r={sketch_rank}), "
         f"{shared_mib:.1f} MiB shared of {budget_mib} MiB budget",
         f"{'path':<46s} {'time':>10s} {'throughput':>14s}",
         f"{'single-process exact (per-request sessions)':<46s} "
@@ -157,17 +205,61 @@ def run_bench(
         f"exhaustive on all {requests} requests)",
         f"batched screen: {batch_report.n_candidates}/{scenarios} candidates"
         + (" (fell back to full exact)" if batch_report.screen_fallback else ""),
-        f"single-stream certified screen: {single_report.n_candidates}/"
-        f"{scenarios} candidates ({100 * single_report.pruned_fraction:.0f}% "
-        f"pruned, certified)",
+        f"diverse-batch certified fallback rate "
+        f"({diverse_batches} x {diverse_batch_size}-stream batches): "
+        f"norm-only {100 * fb_norm:.0f}% -> sketch {100 * fb_sketch:.0f}% "
+        f"({improvement:.1f}x fewer fallbacks)"
+        if np.isfinite(improvement)
+        else f"diverse-batch certified fallback rate: norm-only "
+        f"{100 * fb_norm:.0f}% -> sketch 0% (fallbacks eliminated)",
+        f"single-stream certified screen: norm-only "
+        f"{single_norm.n_candidates}/{scenarios} candidates "
+        f"({100 * single_norm.pruned_fraction:.0f}% pruned) -> sketch "
+        f"{single_sketch.n_candidates}/{scenarios} "
+        f"({100 * single_sketch.pruned_fraction:.0f}% pruned)",
     ]
     write_report("fabric", "\n".join(lines))
+    write_json("fabric", {
+        "bench": "fabric",
+        "scenarios": scenarios,
+        "requests": requests,
+        "horizon": horizon,
+        "workers": workers,
+        "max_batch": max_batch,
+        "sketch_rank": sketch_rank,
+        "throughput_rps_exact": requests / t_base,
+        "throughput_rps_fabric": requests / t_fab,
+        "speedup": speedup,
+        "certified_topk_identical": True,
+        "certified_fallback_rate_norm": fb_norm,
+        "certified_fallback_rate_sketch": fb_sketch,
+        "fallback_improvement": improvement if np.isfinite(improvement) else None,
+        "single_stream_pruned_fraction_norm": single_norm.pruned_fraction,
+        "single_stream_pruned_fraction_sketch": single_sketch.pruned_fraction,
+        "shared_mib": shared_mib,
+        "budget_mib": budget_mib,
+        "tiny": tiny,
+    })
     return {
         "t_base": t_base,
         "t_fabric": t_fab,
         "speedup": speedup,
-        "single_pruned": single_report.pruned_fraction,
+        "fallback_norm": fb_norm,
+        "fallback_sketch": fb_sketch,
+        "single_pruned": single_sketch.pruned_fraction,
     }
+
+
+def _check_fallback_improvement(r) -> None:
+    """The sketch screen must at least halve the certified fallback rate."""
+    assert r["fallback_norm"] > 0, (
+        "diverse-batch workload never tripped the norm-only fallback; "
+        "the comparison is vacuous — grow the batches"
+    )
+    assert r["fallback_sketch"] * MIN_FALLBACK_IMPROVEMENT <= r["fallback_norm"], (
+        f"sketch screen fallback rate {r['fallback_sketch']:.2f} not "
+        f">= {MIN_FALLBACK_IMPROVEMENT}x below norm-only {r['fallback_norm']:.2f}"
+    )
 
 
 def test_fabric_throughput():
@@ -175,6 +267,7 @@ def test_fabric_throughput():
     assert r["speedup"] >= MIN_SPEEDUP, (
         f"fabric speedup {r['speedup']:.2f}x < {MIN_SPEEDUP}x"
     )
+    _check_fallback_improvement(r)
 
 
 def main() -> None:
@@ -183,12 +276,14 @@ def main() -> None:
         "--tiny",
         action="store_true",
         help="smoke-test sizes (CI): correctness/equivalence only, no "
-        "speedup assertion",
+        "speedup or fallback-rate assertion",
     )
     args = ap.parse_args()
     r = run_bench(**(TINY if args.tiny else FULL), tiny=args.tiny)
-    if not args.tiny and r["speedup"] < MIN_SPEEDUP:
-        raise SystemExit(f"speedup {r['speedup']:.2f}x < {MIN_SPEEDUP}x")
+    if not args.tiny:
+        if r["speedup"] < MIN_SPEEDUP:
+            raise SystemExit(f"speedup {r['speedup']:.2f}x < {MIN_SPEEDUP}x")
+        _check_fallback_improvement(r)
 
 
 if __name__ == "__main__":

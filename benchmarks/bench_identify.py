@@ -32,7 +32,7 @@ import numpy as np
 import scipy.linalg as sla
 
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
-from conftest import write_report  # noqa: E402
+from conftest import write_json, write_report  # noqa: E402
 
 from repro.serve import ScenarioBank, ScenarioIdentifier  # noqa: E402
 from repro.twin import CascadiaTwin, TwinConfig  # noqa: E402
@@ -133,6 +133,18 @@ def run_bench(
         f"speedup: {speedup:.1f}x   (final-horizon evidence agreement: {err:.1e})",
     ]
     write_report("identify", "\n".join(lines))
+    write_json("identify", {
+        "bench": "identify",
+        "nt": nt,
+        "nd": nd,
+        "scenarios": scenarios,
+        "streams": streams,
+        "t_scratch_ms": t_scratch * 1e3,
+        "t_incremental_ms": t_inc * 1e3,
+        "speedup": speedup,
+        "sweeps_per_sec": 1.0 / t_inc,
+        "final_horizon_evidence_agreement": err,
+    })
     return {"t_scratch": t_scratch, "t_incremental": t_inc, "speedup": speedup}
 
 

@@ -10,6 +10,7 @@ is asserted; absolute numbers are recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import numpy as np
@@ -26,6 +27,19 @@ def write_report(name: str, text: str) -> None:
     REPORT_DIR.mkdir(exist_ok=True)
     (REPORT_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+
+def write_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist machine-readable results as ``reports/BENCH_<name>.json``.
+
+    CI uploads these as artifacts so the performance trajectory
+    (throughput, certified fallback rates, sketch ranks, speedups) is
+    tracked across PRs without parsing the human-readable tables.
+    """
+    REPORT_DIR.mkdir(exist_ok=True)
+    path = REPORT_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 @pytest.fixture(scope="session")

@@ -309,6 +309,12 @@ class StreamingFleet:
         self._wsq = np.zeros(self.n_streams)
         self._slot_wsq = np.zeros((engine.nt, self.n_streams))
         self.horizons = np.zeros(self.n_streams, dtype=np.int64)
+        # Optional low-rank sketch state (attach_sketch): per-slot
+        # projections P_t w_t(d) and their squared norms, maintained
+        # incrementally alongside the norms above.
+        self._sketch_P: Optional[np.ndarray] = None
+        self._slot_proj: Optional[np.ndarray] = None
+        self._slot_psq: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def _targets(self, k_slots: Union[int, Sequence[int], np.ndarray]) -> np.ndarray:
@@ -357,8 +363,91 @@ class StreamingFleet:
             blk = np.einsum("ij,ij->j", w_new, w_new)
             self._wsq[idx] += blk
             self._slot_wsq[s, idx] = blk
+            if self._sketch_P is not None:
+                self._project_slot(s, w_new, idx)
         self.horizons = targets
         return self
+
+    # ------------------------------------------------------------------
+    # Low-rank sketch state (the serving layer's certified screen)
+    # ------------------------------------------------------------------
+    def _project_slot(self, s: int, w_block: np.ndarray, idx: np.ndarray) -> None:
+        """Fold one slot's states into the running sketch for streams ``idx``."""
+        r = self._sketch_P.shape[1]
+        pb = self._sketch_P[s] @ w_block
+        self._slot_proj[s * r : (s + 1) * r, idx] = pb
+        self._slot_psq[s, idx] = np.einsum("ij,ij->j", pb, pb)
+
+    def attach_sketch(self, projections: np.ndarray) -> "StreamingFleet":
+        """Maintain per-slot low-rank projections ``P_t w_t(d)`` incrementally.
+
+        ``projections`` stacks one ``(r, Nd)`` projection per observation
+        slot — either ``(Nt, r, Nd)`` or flattened ``(Nt * r, Nd)`` (the
+        layout of :attr:`repro.serve.sketch.SlotSketch.projections`).
+        Slots the fleet has already absorbed are folded in one catch-up
+        pass from the stored states; every slot absorbed afterwards costs
+        one extra ``(r, Nd) x (Nd, n_active)`` gemm inside
+        :meth:`advance`.  Re-attaching replaces the previous sketch.
+        The exports — :meth:`slot_projections` /
+        :meth:`slot_projection_norms` — are the stream-side inputs of the
+        serving layer's certified sketch screen
+        (:func:`repro.serve.sketch.certified_bounds`), exactly as
+        :meth:`slot_squared_norms` feeds its norm-only brackets.
+        """
+        eng = self.engine
+        P = np.asarray(projections, dtype=np.float64)
+        if P.ndim == 2:
+            if P.shape[0] % eng.nt or P.shape[1] != eng.nd:
+                raise ValueError(
+                    f"projections must stack to ({eng.nt}, r, {eng.nd}), "
+                    f"got {P.shape}"
+                )
+            P = P.reshape(eng.nt, -1, eng.nd)
+        if P.ndim != 3 or P.shape[0] != eng.nt or P.shape[2] != eng.nd:
+            raise ValueError(
+                f"projections must be ({eng.nt}, r, {eng.nd}), got {P.shape}"
+            )
+        r = P.shape[1]
+        self._sketch_P = P
+        self._slot_proj = np.zeros((eng.nt * r, self.n_streams))
+        self._slot_psq = np.zeros((eng.nt, self.n_streams))
+        for s in range(int(self.horizons.max(initial=0))):
+            idx = np.nonzero(self.horizons > s)[0]
+            if idx.size:
+                # Column-axis fancy index: an F-ordered copy, the same
+                # operand layout the incremental path's solve output has.
+                r0 = s * eng.nd
+                self._project_slot(s, self._W[r0 : r0 + eng.nd][:, idx], idx)
+        return self
+
+    @property
+    def sketch_projections(self) -> Optional[np.ndarray]:
+        """The attached per-slot projections ``(Nt, r, Nd)``, or ``None``."""
+        return self._sketch_P
+
+    def slot_projections(self) -> np.ndarray:
+        """Per-slot sketches ``P_t w_t(d)`` stacked ``(Nt * r, n)``, read-only.
+
+        Rows ``t*r:(t+1)*r`` hold each stream's slot-``t`` sketch (zero
+        for slots not yet absorbed).  Requires :meth:`attach_sketch`.
+        """
+        if self._slot_proj is None:
+            raise RuntimeError("no sketch attached (call attach_sketch first)")
+        v = self._slot_proj.view()
+        v.setflags(write=False)
+        return v
+
+    def slot_projection_norms(self) -> np.ndarray:
+        """Per-slot ``||P_t w_t(d)||^2``, ``(Nt, n)``, read-only.
+
+        The sketched counterpart of :meth:`slot_squared_norms`; requires
+        :meth:`attach_sketch`.
+        """
+        if self._slot_psq is None:
+            raise RuntimeError("no sketch attached (call attach_sketch first)")
+        v = self._slot_psq.view()
+        v.setflags(write=False)
+        return v
 
     # ------------------------------------------------------------------
     @property

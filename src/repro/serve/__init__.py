@@ -32,15 +32,30 @@ the single-event reproduction becomes a multi-tenant twin:
     (O(Nd) per slot per pair), with posterior scenario probabilities,
     top-``k`` rankings, and bank-conditioned forecast mixtures; surfaced
     as ``BatchedPhase4Server.open_identification`` / ``identify_batch``.
+``sketch``
+    :class:`SlotSketch` / :func:`certified_bounds` — the shared
+    certified-screen layer: seeded per-slot low-rank projections of
+    whitened states and the interval arithmetic that brackets every
+    scenario's log-evidence from partial slot information (norm-only
+    triangle brackets, or sketch-tightened brackets whose projected
+    residual is exact).  The flat identifier
+    (``IdentificationSession.evidence_interval``), the streaming fleet
+    (``StreamingFleet.attach_sketch``), and the fabric's coarse screen
+    all route through this one module, so certified decisions are
+    identical by construction across paths.
 ``fabric``
     :class:`ServingFabric` — the 1000+-scenario scale-out: banks sharded
     across a worker-process pool with shared-memory kernel/Cholesky
-    buffers, a micro-batching admission queue (:class:`FabricTicket`),
-    two-stage hierarchical identification (a certified coarse screen that
-    prunes the bank before the exact evidence runs on survivors only),
-    graceful degradation on worker loss, and heat-prioritized bank
-    eviction under a global :class:`~repro.util.memory.MemoryBudget`;
-    surfaced as ``BatchedPhase4Server.fabric()`` and the
+    buffers, a micro-batching admission queue (:class:`FabricTicket`,
+    with an optional ``max_queue_ms`` deadline flush), two-stage
+    hierarchical identification (a certified coarse screen — optionally
+    sketch-tightened via ``sketch_rank`` — that prunes the bank before
+    the exact evidence runs on survivors only), sharded bank-conditioned
+    forecast mixtures (``forecast_mixture``), graceful degradation on
+    worker loss with ``respawn_workers()`` recovery, and
+    heat-prioritized bank eviction under a global
+    :class:`~repro.util.memory.MemoryBudget`; surfaced as
+    ``BatchedPhase4Server.fabric()`` and the
     ``python -m repro.serve.fabric`` CLI.  Operator guide:
     ``docs/SERVING.md``.
 ``reporting``
@@ -91,6 +106,12 @@ from repro.serve.scenarios import (
     halton_sequence,
 )
 from repro.serve.server import BatchedPhase4Server, ServeResult
+from repro.serve.sketch import (
+    COL_BLOCK,
+    SlotSketch,
+    certified_bounds,
+    select_screen_slots,
+)
 
 __all__ = [
     # scenario banks
@@ -109,6 +130,11 @@ __all__ = [
     "IdentificationSession",
     "IdentificationResult",
     "normalize_log_prior",
+    # certified sketch-screen layer
+    "SlotSketch",
+    "certified_bounds",
+    "select_screen_slots",
+    "COL_BLOCK",
     # sharded serving fabric
     "ServingFabric",
     "FabricConfig",

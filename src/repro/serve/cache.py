@@ -17,10 +17,12 @@ noise level transparently misses to a fresh build.
 
 from __future__ import annotations
 
+import os
 import secrets
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Sequence, Union
 
 from repro.inference.bayes import ToeplitzBayesianInversion
 from repro.inference.noise import NoiseModel
@@ -122,11 +124,29 @@ class OperatorCache:
             arrays.append(inv.Fq.kernel)
         return sum(int(a.nbytes) for a in arrays if a is not None)
 
+    #: Archive-mtime refresh throttle (seconds): memory hits are hot, so
+    #: the LRU recency signal for :meth:`prune_disk` is refreshed at most
+    #: this often per archive.
+    ARCHIVE_TOUCH_INTERVAL = 3600.0
+
     def _touch(self, key: str) -> None:
-        """Record a serve of ``key`` (heat + recency, for eviction order)."""
+        """Record a serve of ``key`` (heat + recency, for eviction order).
+
+        Also refreshes the on-disk archive's mtime (throttled) so a
+        geometry served from *memory* still looks recently used to
+        :meth:`prune_disk` — otherwise the hottest resident geometries
+        would carry the stalest archives and be pruned first.
+        """
         self._clock += 1
         self._heat[key] = self._heat.get(key, 0) + 1
         self._last_used[key] = self._clock
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                if path.stat().st_mtime < time.time() - self.ARCHIVE_TOUCH_INTERVAL:
+                    os.utime(path)
+            except OSError:
+                pass
 
     def _admit(self, key: str, inv: ToeplitzBayesianInversion) -> None:
         """Insert ``key`` and evict coldest entries while over budget."""
@@ -200,6 +220,12 @@ class OperatorCache:
         if path is not None and path.exists():
             with self.timers.time("cache: load archive"):
                 inv = rebuild_inversion(load_twin_archive(path))
+            # Refresh the archive's mtime: prune_disk orders by last use,
+            # and a disk hit is a use.
+            try:
+                os.utime(path)
+            except OSError:  # pragma: no cover - read-only media
+                pass
             self.stats.disk_hits += 1
             self._admit(key, inv)
             twin.inversion = inv
@@ -253,6 +279,81 @@ class OperatorCache:
             self.budget.nbytes_of(f"{self.budget_prefix}:{k[:16]}") for k in self._memory
         )
 
+    # ------------------------------------------------------------------
+    def disk_nbytes(self) -> int:
+        """Total bytes of ``.npz`` archives in the persistence directory."""
+        if self.directory is None:
+            return 0
+        return sum(p.stat().st_size for p in self.directory.glob("*.npz"))
+
+    def prune_disk(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_days: Optional[float] = None,
+        dry_run: bool = False,
+    ) -> Dict[str, int]:
+        """LRU-prune on-disk ``.npz`` archives; returns what was done.
+
+        Persistence directories otherwise grow without bound — resident
+        eviction under a :class:`~repro.util.memory.MemoryBudget` never
+        touches disk.  This walks every ``*.npz`` in the directory
+        (legacy truncated-digest filenames included — any archive the
+        cache can load, it can prune), ordered by *least-recent use*
+        (file mtime; refreshed on every disk hit and save), and removes:
+
+        * archives older than ``max_age_days``, then
+        * the least-recently-used archives until the directory's total
+          drops to ``max_bytes``.
+
+        ``None`` disables the corresponding criterion; with both ``None``
+        this is a no-op.  Resident in-memory entries are untouched — a
+        pruned geometry simply misses to a Phase 2-3 rebuild next time.
+        ``dry_run=True`` reports without deleting.  Exposed on the CLI as
+        ``python -m repro.serve.cache <dir> --max-bytes ... --max-age-days ...``.
+
+        Returns a dict with ``files_removed`` / ``bytes_freed`` /
+        ``files_kept`` / ``bytes_kept``.
+        """
+        out = {"files_removed": 0, "bytes_freed": 0, "files_kept": 0, "bytes_kept": 0}
+        if self.directory is None:
+            return out
+        entries = []
+        for path in self.directory.glob("*.npz"):
+            try:
+                st = path.stat()
+            except OSError:  # pragma: no cover - raced with another pruner
+                continue
+            entries.append((st.st_mtime, int(st.st_size), path))
+        entries.sort()  # oldest (least recently used) first
+
+        drop: Dict[Path, int] = {}
+        if max_age_days is not None:
+            cutoff = time.time() - float(max_age_days) * 86400.0
+            for mtime, size, path in entries:
+                if mtime < cutoff:
+                    drop[path] = size
+        if max_bytes is not None:
+            total = sum(s for _, s, _ in entries) - sum(drop.values())
+            for mtime, size, path in entries:
+                if total <= int(max_bytes):
+                    break
+                if path not in drop:
+                    drop[path] = size
+                    total -= size
+        for _, size, path in entries:
+            if path in drop:
+                if not dry_run:
+                    try:
+                        path.unlink()
+                    except OSError:  # pragma: no cover - raced
+                        continue
+                out["files_removed"] += 1
+                out["bytes_freed"] += size
+            else:
+                out["files_kept"] += 1
+                out["bytes_kept"] += size
+        return out
+
     def report(self) -> str:
         """One-line stats summary."""
         s = self.stats
@@ -262,3 +363,56 @@ class OperatorCache:
             f"{s.hits} hits, {s.disk_hits} disk hits, {s.misses} misses, "
             f"{s.evictions} evictions"
         )
+
+
+# ----------------------------------------------------------------------
+# CLI: on-disk archive garbage collection
+# ----------------------------------------------------------------------
+def _parse_size(text: str) -> int:
+    """``'512M'`` / ``'2G'`` / ``'1024'`` -> bytes."""
+    t = text.strip().upper()
+    scale = 1
+    for suffix, s in (("K", 1 << 10), ("M", 1 << 20), ("G", 1 << 30)):
+        if t.endswith(suffix):
+            t, scale = t[:-1], s
+            break
+    return int(float(t) * scale)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Prune a cache persistence directory (``python -m repro.serve.cache``)."""
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        description="LRU-prune OperatorCache .npz archives (disk GC)"
+    )
+    ap.add_argument("directory", help="cache persistence directory")
+    ap.add_argument(
+        "--max-bytes", type=_parse_size, default=None, metavar="N[K|M|G]",
+        help="prune least-recently-used archives down to this total size",
+    )
+    ap.add_argument(
+        "--max-age-days", type=float, default=None,
+        help="prune archives not used for this many days",
+    )
+    ap.add_argument(
+        "--dry-run", action="store_true", help="report only, delete nothing"
+    )
+    args = ap.parse_args(argv)
+    if args.max_bytes is None and args.max_age_days is None:
+        ap.error("nothing to do: pass --max-bytes and/or --max-age-days")
+    cache = OperatorCache(args.directory)
+    r = cache.prune_disk(
+        max_bytes=args.max_bytes, max_age_days=args.max_age_days,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {r['files_removed']} archive(s) "
+        f"({r['bytes_freed'] / float(1 << 20):.1f} MiB); "
+        f"kept {r['files_kept']} ({r['bytes_kept'] / float(1 << 20):.1f} MiB)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -35,12 +35,17 @@ three behind one object:
     maintains (:meth:`~repro.inference.streaming.StreamingFleet.slot_squared_norms`)
     plus their bank-side counterparts.  Stage 2 runs PR 3's *exact*
     truncated-data evidence, but only on the surviving candidate columns.
-    For the slots the screen omits, the triangle inequality bounds each
-    scenario's whitened residual block by
-    ``(‖w_t(d)‖ − ‖w_t(mu_s)‖)² ≤ ‖w_t(d) − w_t(mu_s)‖² ≤ (‖w_t(d)‖ + ‖w_t(mu_s)‖)²``,
-    which turns the proxy into a *certified interval* ``[lb, ub]`` around
-    the exact log-evidence at a cost of two ``(n, Nt) x (Nt, S)`` gemms on
-    scalar norms — no ``Nd``-dimensional work for pruned scenarios.
+    For the slots the screen omits, the shared certified-screen layer
+    (:mod:`repro.serve.sketch`) brackets each scenario's whitened
+    residual block — by the triangle inequality on per-slot norms alone,
+    or, with ``sketch_rank > 0``, by the *sketch-tightened* interval:
+    seeded per-slot low-rank projections make the projected residual
+    (inner products included) exact and leave only the orthogonal
+    remainder to the norm bracket, so diverse micro-batches keep sharp
+    candidate sets instead of unioning into the full-exact fallback.
+    Either way the proxy becomes a *certified interval* ``[lb, ub]``
+    around the exact log-evidence with no ``Nd``-dimensional work for
+    pruned scenarios.
 
 **Certified equivalence.**
     In ``certified=True`` mode (the default) a scenario is pruned only if
@@ -91,6 +96,7 @@ from __future__ import annotations
 
 import os
 import secrets
+import threading
 import time
 from dataclasses import dataclass, replace
 from multiprocessing import connection as mp_connection
@@ -103,8 +109,9 @@ from scipy.special import log_softmax
 
 from repro.inference.bayes import ToeplitzBayesianInversion
 from repro.inference.forecast import QoIForecast
-from repro.serve import identify as _identify
+from repro.serve import sketch as _sketch
 from repro.serve.identify import IdentificationResult, normalize_log_prior
+from repro.serve.sketch import SlotSketch, certified_bounds, strip_sketch
 from repro.util.memory import MemoryBudget
 
 __all__ = [
@@ -197,19 +204,26 @@ def _build_shard(
     nd: int,
     c0: int,
     c1: int,
+    sketch: Optional[SlotSketch] = None,
+    pmu: Optional[np.ndarray] = None,
+    slot_psq: Optional[np.ndarray] = None,
 ) -> None:
     """Build bank-state columns ``[c0, c1)`` from the shared Cholesky factor.
 
     Replicates the incremental per-slot forward substitution of
     :meth:`~repro.inference.streaming.StreamingFleet.advance` in
-    :data:`~repro.serve.identify.COL_BLOCK` column chunks — the same
+    :data:`~repro.serve.sketch.COL_BLOCK` column chunks — the same
     chunks, on the same absolute boundaries, with the same operand layouts
     as the flat :class:`~repro.serve.identify.ScenarioIdentifier` build —
     so the shard states are *bitwise identical* to a single-process build
-    (``c0`` is block-aligned by construction of the shard map).
+    (``c0`` is block-aligned by construction of the shard map).  With a
+    ``sketch``, the per-slot low-rank projections are built in the same
+    pass through the shared
+    :meth:`~repro.serve.sketch.SlotSketch.project_bank_columns` — again
+    bitwise equal to the flat :meth:`ScenarioIdentifier.sketch` build.
     """
     nt = slot_musq.shape[0]
-    block = _identify.COL_BLOCK
+    block = _sketch.COL_BLOCK
     for b0 in range(c0, c1, block):
         b1 = min(b0 + block, c1)
         W = np.zeros((nt * nd, b1 - b0))
@@ -238,6 +252,8 @@ def _build_shard(
         slot_musq[:, b0:b1] = blocks
         musq_cum[0, b0:b1] = 0.0
         np.cumsum(blocks, axis=0, out=musq_cum[1:, b0:b1])
+    if sketch is not None:
+        sketch.project_bank_columns(wmu, pmu, slot_psq, c0, c1)
 
 
 def _screen_shard(
@@ -248,51 +264,23 @@ def _screen_shard(
     slots: Tuple[int, ...],
     c0: int,
     c1: int,
+    use_sketch: bool = True,
 ) -> None:
     """Stage 1: certified evidence bounds for columns ``[c0, c1)``.
 
-    Screened slots contribute their exact whitened residual via one small
-    gemm per slot; omitted slots are bracketed by the triangle inequality
-    on per-slot norm blocks — scalar work per (stream, scenario, slot),
-    never ``Nd``-dimensional.  Writes ``lb``/``ub`` in place.
+    A thin dispatch into the shared certified-screen layer
+    (:func:`repro.serve.sketch.certified_bounds`) — the *same* function
+    the flat path's
+    :meth:`~repro.serve.identify.IdentificationSession.evidence_interval`
+    executes, so flat and sharded certified decisions are identical by
+    construction.  ``use_sketch=False`` strips the sketch arrays and
+    forces the norm-only brackets (per-request override, benchmark
+    baselines).  Writes ``lb``/``ub`` in place.
     """
-    Wd = static["wd"]
-    hz = static["hz"][:J]
-    nt = bankv["slot_musq"].shape[0]
-    wmu = bankv["wmu"][:, c0:c1]
-    b2 = bankv["slot_musq"][:, c0:c1]  # (Nt, w)
-    a2 = static["wd_slot"][:, :J].T  # (J, Nt)
-
-    in_screen = np.zeros(nt, dtype=bool)
-    in_screen[list(slots)] = True
-    absorbed = np.arange(nt)[None, :] < hz[:, None]  # (J, Nt)
-    m_scr = absorbed & in_screen[None, :]
-    m_omit = absorbed & ~in_screen[None, :]
-
-    # Exact contribution of the screened slots.
-    cross = np.zeros((J, c1 - c0))
-    for s in slots:
-        idx = np.nonzero(hz > s)[0]
-        if not idx.size:
-            continue
-        r0, r1 = s * nd, (s + 1) * nd
-        cross[idx] += Wd[r0:r1, idx].T @ wmu[r0:r1]
-    quad_scr = (
-        (m_scr * a2).sum(axis=1)[:, None] + (m_scr.astype(np.float64) @ b2)
-        - 2.0 * cross
-    )
-
-    # Certified bracket for the omitted slots: sum_t (a_t -+ b_ts)^2.
-    a = np.sqrt(a2)
-    b = np.sqrt(b2)
-    sq_terms = (m_omit * a2).sum(axis=1)[:, None] + (m_omit.astype(np.float64) @ b2)
-    ab = (m_omit * a) @ b
-    lo_add = sq_terms - 2.0 * ab
-    hi_add = sq_terms + 2.0 * ab
-
-    c_k = static["logdiag"][hz] + 0.5 * (hz * nd) * _LOG_2PI
-    bankv["ub"][:J, c0:c1] = -0.5 * (quad_scr + lo_add) - c_k[:, None]
-    bankv["lb"][:J, c0:c1] = -0.5 * (quad_scr + hi_add) - c_k[:, None]
+    if not use_sketch:
+        bankv = strip_sketch(dict(bankv))
+        static = strip_sketch(dict(static))
+    certified_bounds(static, bankv, nd, J, slots, c0, c1)
 
 
 def _exact_shard(
@@ -307,7 +295,7 @@ def _exact_shard(
     """Stage 2: exact truncated-data log-evidence for (a subset of) columns.
 
     Accumulates the cross terms slot-by-slot in causal order, chunked on
-    the same absolute :data:`~repro.serve.identify.COL_BLOCK` column
+    the same absolute :data:`~repro.serve.sketch.COL_BLOCK` column
     boundaries as
     :meth:`~repro.serve.identify.IdentificationSession._fold_new_slots` —
     so an unscreened pass is bitwise identical to the flat identifier.
@@ -322,7 +310,7 @@ def _exact_shard(
     if cols is None:
         wmu_full = bankv["wmu"]
         musq = bankv["musq_cum"][:, c0:c1]
-        block = _identify.COL_BLOCK
+        block = _sketch.COL_BLOCK
         cross = np.zeros((J, c1 - c0))
         for s in range(int(hz.max(initial=0))):
             idx = np.nonzero(hz > s)[0]
@@ -355,6 +343,51 @@ def _exact_shard(
         bankv["ev"][:J, cols] = ev
 
 
+def _mixture_shard(
+    Y: np.ndarray,
+    static: Dict[str, np.ndarray],
+    bankv: Dict[str, np.ndarray],
+    outv: Dict[str, np.ndarray],
+    nd: int,
+    J: int,
+    shard_idx: int,
+    c0: int,
+    c1: int,
+) -> None:
+    """Partial forecast-mixture moments over scenario columns ``[c0, c1)``.
+
+    Per stream ``j`` at horizon ``k``, the scenario-conditioned forecast
+    offsets of this shard's columns are ``delta_s = q_s - Y_k^T
+    w_k(mu_s)`` (one gemm per distinct horizon against the shared
+    geometry rows ``Y``, a lazily-created segment whose spec rides the
+    mixture message), and the shard's contribution to the moment-matched
+    mixture is the weighted partial moments
+
+    ``m0 = sum_s p_js``, ``m1 = sum_s p_js delta_s``,
+    ``m2 = sum_s p_js delta_s delta_s^T``
+
+    written into this shard's slot of the transient output segments.  The
+    parent gathers: mixture mean ``= m0 q(d_j) + m1`` and
+    between-scenario covariance ``= sum m2 - m1 m1^T`` added to the
+    horizon's within-scenario posterior covariance — exactly the flat
+    :meth:`~repro.serve.identify.IdentificationSession.forecast_mixture`
+    moments, sharded.
+    """
+    hz = static["hz"][:J]
+    qoi = bankv["qoi"][:, c0:c1]
+    wmu = bankv["wmu"][:, c0:c1]
+    probs = bankv["pr"][:J, c0:c1]
+    for k in np.unique(hz):
+        k = int(k)
+        n_rows = k * nd
+        delta = qoi - Y[:n_rows].T @ wmu[:n_rows]  # (Nb, w)
+        for j in np.nonzero(hz == k)[0]:
+            p = probs[j]
+            outv["m0"][shard_idx, j] = p.sum()
+            outv["m1"][shard_idx, :, j] = delta @ p
+            outv["m2"][shard_idx, j] = (delta * p) @ delta.T
+
+
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
@@ -373,6 +406,14 @@ def _worker_main(worker_id, conn, static_specs, nd):
     """
     static_arrs = _attach_all(static_specs)
     static = _views(static_arrs)
+    # Rehydrate the fabric's slot sketch from the shared projection matrix
+    # (nt falls out of the cumulative log-diagonal's length).
+    sketch = None
+    if "P" in static:
+        nt = static["logdiag"].shape[0] - 1
+        sketch = SlotSketch(
+            nt, nd, static["P"].shape[0] // nt, matrix=static["P"]
+        )
     banks: Dict[str, Tuple[Dict[str, _SharedArray], int, int]] = {}
     try:
         while True:
@@ -392,24 +433,49 @@ def _worker_main(worker_id, conn, static_specs, nd):
                     _build_shard(
                         static["L"], mu.array, v["wmu"], v["slot_musq"],
                         v["musq_cum"], nd, c0, c1,
+                        sketch=sketch if "pmu" in v else None,
+                        pmu=v.get("pmu"), slot_psq=v.get("slot_psq"),
                     )
                     mu.close()
                     banks[key] = (arrs, c0, c1)
                     conn.send(("done", ("attach", key)))
+                elif tag == "adopt":
+                    # Re-registration into *already built* shared segments
+                    # (worker re-spawn): attach only, never rebuild.
+                    _, key, specs, c0, c1 = msg
+                    banks[key] = (_attach_all(specs), c0, c1)
                 elif tag == "detach":
                     _, key = msg
                     arrs, _, _ = banks.pop(key, ({}, 0, 0))
                     for a in arrs.values():
                         a.close()
                 elif tag == "screen":
-                    _, req_id, key, J, slots = msg
+                    _, req_id, key, J, slots, use_sketch = msg
                     arrs, c0, c1 = banks[key]
-                    _screen_shard(static, _views(arrs), nd, J, slots, c0, c1)
+                    _screen_shard(
+                        static, _views(arrs), nd, J, slots, c0, c1,
+                        use_sketch=use_sketch,
+                    )
                     conn.send(("done", req_id))
                 elif tag == "exact":
                     _, req_id, key, J, cols = msg
                     arrs, c0, c1 = banks[key]
                     _exact_shard(static, _views(arrs), nd, J, cols, c0, c1)
+                    conn.send(("done", req_id))
+                elif tag == "mixture":
+                    _, req_id, key, J, y_spec, out_specs, shard_idx = msg
+                    arrs, c0, c1 = banks[key]
+                    y = _SharedArray.attach(y_spec)
+                    out_arrs = _attach_all(out_specs)
+                    try:
+                        _mixture_shard(
+                            y.array, static, _views(arrs), _views(out_arrs),
+                            nd, J, shard_idx, c0, c1,
+                        )
+                    finally:
+                        y.close()
+                        for a in out_arrs.values():
+                            a.close()
                     conn.send(("done", req_id))
             except Exception as exc:  # noqa: BLE001 - reported to the parent
                 req = msg[1] if len(msg) > 1 else None
@@ -462,6 +528,27 @@ class FabricConfig:
     screen_min_scenarios:
         Banks smaller than this skip the screen entirely (overhead would
         exceed the pruned work).
+    sketch_rank:
+        Low-rank sketch rank ``r`` per observation slot (``0`` disables,
+        keeping the norm-only triangle-inequality brackets).  With
+        ``r > 0`` every bank shard additionally stores seeded ``r``-dim
+        projections of its whitened slot blocks
+        (:class:`~repro.serve.sketch.SlotSketch`) and the certified
+        screen brackets only the *orthogonal residual* — far tighter
+        intervals for the same certificate, which is what keeps diverse
+        micro-batches from unioning their candidate sets into a
+        full-exact fallback.  ``r = Nd`` makes the screen bounds exact.
+    sketch_seed:
+        Seed of the sketch projections (per-slot draws are derived from
+        ``(sketch_seed, slot)``); the flat identifier reproduces the same
+        sketch from the same pair.
+    max_queue_ms:
+        Micro-batch queueing deadline in milliseconds (``None`` = off).
+        When set, a background timer thread flushes pending tickets at
+        most this long after the first one was admitted, bounding queue
+        latency without waiting for ``max_batch`` — dispatch stays
+        serialized through the fabric's internal lock, so the
+        single-dispatcher invariant holds.
     memory_budget:
         ``None`` (unlimited), a byte count, or a shared
         :class:`~repro.util.memory.MemoryBudget`.  Attaching a bank under
@@ -482,6 +569,9 @@ class FabricConfig:
     screen_top: int = 8
     screen_stride: int = 8
     screen_min_scenarios: int = 32
+    sketch_rank: int = 0
+    sketch_seed: int = 0
+    max_queue_ms: Optional[float] = None
     memory_budget: Union[None, int, MemoryBudget] = None
     start_method: Optional[str] = None
     worker_timeout: float = 60.0
@@ -497,6 +587,7 @@ class FabricReport:
     screened: bool = False
     certified: bool = False
     screen_fallback: bool = False
+    sketch_rank: int = 0
     n_candidates: int = 0
     pruned_fraction: float = 0.0
     workers_used: int = 0
@@ -653,6 +744,10 @@ class ServingFabric:
             raise ValueError("n_workers must be >= 0 and max_batch >= 1")
         if cfg.screen_stride < 1 or cfg.screen_top < 1:
             raise ValueError("screen_stride and screen_top must be >= 1")
+        if cfg.sketch_rank < 0 or cfg.sketch_rank > inv.nd:
+            raise ValueError(f"sketch_rank must lie in [0, {inv.nd}]")
+        if cfg.max_queue_ms is not None and cfg.max_queue_ms <= 0:
+            raise ValueError("max_queue_ms must be positive (or None)")
         self.config = cfg
         self.inv = inv
         self.engine = inv.streaming_state()
@@ -673,9 +768,18 @@ class ServingFabric:
         self._requests_served = 0
         self._streams_served = 0
         self._banks_evicted = 0
+        self._workers_respawned = 0
+        self._request_fleet = None
+        # All dispatch (submit/flush/identify/forecast) serializes through
+        # this lock, so the optional queue-deadline timer thread can flush
+        # without breaking the single-dispatcher invariant.
+        self._dispatch_lock = threading.RLock()
+        self._flush_timer: Optional[threading.Timer] = None
 
         # Shared static state: the Cholesky factor, its cumulative
-        # log-diagonal, and the per-request scratch block.
+        # log-diagonal, the geometry rows (for sharded forecast
+        # mixtures), the per-request scratch block, and — when the sketch
+        # screen is on — the slot projections plus sketch scratch.
         n_rows = self.nt * self.nd
         jmax = cfg.max_batch
         self._static_arrs = {
@@ -686,6 +790,22 @@ class ServingFabric:
             "wsq": _SharedArray.create("wq", (jmax,)),
             "hz": _SharedArray.create("hz", (jmax,), dtype=np.int64),
         }
+        # Geometry rows for sharded forecast mixtures are *lazy*: created
+        # (and budget-registered) at the first forecast_mixture call, and
+        # shipped to workers by spec inside the mixture message — fabrics
+        # that only identify never pay the segment or the full-horizon
+        # geometry advance.
+        self._Y_arr: Optional[_SharedArray] = None
+        self._sketch: Optional[SlotSketch] = None
+        if cfg.sketch_rank > 0:
+            self._sketch = SlotSketch(
+                self.nt, self.nd, cfg.sketch_rank, seed=cfg.sketch_seed
+            )
+            nr = self.nt * cfg.sketch_rank
+            self._static_arrs["P"] = _SharedArray.create("P", (nr, self.nd))
+            self._static_arrs["wd_p"] = _SharedArray.create("wp", (nr, jmax))
+            self._static_arrs["wd_psq"] = _SharedArray.create("wn", (self.nt, jmax))
+            self._static_arrs["P"].array[:] = self._sketch.projections
         self._static_arrs["L"].array[:] = inv.cholesky_lower
         self._static_arrs["logdiag"].array[:] = inv.cholesky_logdiag_cum
         self._static = _views(self._static_arrs)
@@ -699,36 +819,46 @@ class ServingFabric:
         # writer semaphore would wedge its siblings' acks forever, while
         # a dead pipe is just an EOF on one channel (see _worker_main).
         self._workers: List[_Worker] = []
+        self._worker_specs = {k: a.spec for k, a in self._static_arrs.items()}
+        self._mp_context = None
         if cfg.n_workers > 0:
             method = cfg.start_method
             if method is None:
                 import multiprocessing as mp
 
                 method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-            ctx = get_context(method)
-            specs = {k: a.spec for k, a in self._static_arrs.items()}
+            self._mp_context = get_context(method)
             for wid in range(cfg.n_workers):
-                parent_conn, child_conn = ctx.Pipe(duplex=True)
-                proc = ctx.Process(
-                    target=_worker_main,
-                    args=(wid, child_conn, specs, self.nd),
-                    daemon=True,
-                )
-                proc.start()
-                child_conn.close()  # child's end lives in the child now
-                self._workers.append(_Worker(proc, parent_conn))
+                self._workers.append(self._spawn_worker(wid))
 
         for bank in banks:
             self.attach_bank(bank)
 
+    def _spawn_worker(self, wid: int) -> "_Worker":
+        """Launch one worker process attached to the static segments."""
+        ctx = self._mp_context
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(wid, child_conn, self._worker_specs, self.nd),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # child's end lives in the child now
+        return _Worker(proc, parent_conn)
+
     # ------------------------------------------------------------------
     # Bank lifecycle
     # ------------------------------------------------------------------
-    def _bank_nbytes(self, n_scenarios: int) -> int:
+    def _bank_nbytes(self, n_scenarios: int, has_qoi: bool = False) -> int:
         """Resident shared bytes for a bank of ``n_scenarios`` columns."""
         n_rows = self.nt * self.nd
         jmax = self.config.max_batch
         per_col = n_rows + (self.nt + 1) + self.nt + 3 * jmax
+        if self.config.sketch_rank > 0:
+            per_col += self.nt * self.config.sketch_rank + self.nt
+        if has_qoi:
+            per_col += self.engine._nb + jmax
         return 8 * per_col * n_scenarios
 
     def attach_bank(
@@ -740,14 +870,28 @@ class ServingFabric:
         """Shard a bank (or raw clean records) across the worker pool.
 
         ``bank`` is a :class:`~repro.serve.scenarios.ScenarioBank` (clean
-        sensor records are computed through the inversion's p2o operator)
-        or a raw ``(Nt, Nd, S)`` array of clean records.  Every worker
-        builds its own column shard of the bank-side state from the shared
-        Cholesky factor; the clean records travel through a transient
-        shared segment that is unlinked as soon as the build completes.
-        Returns the bank key used by :meth:`identify`/:meth:`submit`.
+        sensor records are computed through the inversion's p2o operator;
+        clean QoI trajectories through the p2q operator when one exists,
+        enabling sharded :meth:`forecast_mixture`) or a raw
+        ``(Nt, Nd, S)`` array of clean records.  Every worker builds its
+        own column shard of the bank-side state — and, with
+        ``sketch_rank > 0``, of the bank's low-rank sketch — from the
+        shared Cholesky factor; the clean records travel through a
+        transient shared segment that is unlinked as soon as the build
+        completes.  Returns the bank key used by
+        :meth:`identify`/:meth:`submit`.
         """
+        with self._dispatch_lock:
+            return self._attach_bank_locked(bank, key, prior_weights)
+
+    def _attach_bank_locked(
+        self,
+        bank,
+        key: Optional[str] = None,
+        prior_weights: Optional[np.ndarray] = None,
+    ) -> str:
         self._check_open()
+        qoi_records: Optional[np.ndarray] = None
         if isinstance(bank, np.ndarray):
             records = np.asarray(bank, dtype=np.float64)
             if records.ndim != 3 or records.shape[:2] != (self.nt, self.nd):
@@ -760,6 +904,8 @@ class ServingFabric:
             records = bank.clean_records(self.inv.F)
             ids = bank.ids()
             source = bank
+            if self.inv.Fq is not None:
+                qoi_records = bank.clean_records(self.inv.Fq)
         S = records.shape[2]
         if S < 1:
             raise ValueError("cannot attach an empty bank")
@@ -773,7 +919,7 @@ class ServingFabric:
         # a late ValueError must not leak untracked /dev/shm allocations.
         log_prior = normalize_log_prior(prior_weights, S)
         mu_flat = records.reshape(self.nt * self.nd, S)
-        need = self._bank_nbytes(S) + mu_flat.nbytes
+        need = self._bank_nbytes(S, has_qoi=qoi_records is not None) + mu_flat.nbytes
         self._make_room(need)
 
         mu = _SharedArray.create("mu", mu_flat.shape)
@@ -788,12 +934,21 @@ class ServingFabric:
             "ub": _SharedArray.create("ub", (jmax, S)),
             "ev": _SharedArray.create("ev", (jmax, S)),
         }
+        if self._sketch is not None:
+            arrs["pmu"] = _SharedArray.create(
+                "pm", (self.nt * self.config.sketch_rank, S)
+            )
+            arrs["slot_psq"] = _SharedArray.create("pq", (self.nt, S))
+        if qoi_records is not None:
+            arrs["qoi"] = _SharedArray.create("qi", (self.engine._nb, S))
+            arrs["qoi"].array[:] = qoi_records.reshape(-1, S)
+            arrs["pr"] = _SharedArray.create("pr", (jmax, S))
         # Shard boundaries land on COL_BLOCK multiples: inside a block the
         # flat identifier and a shard issue identical BLAS calls, so
         # block-aligned shards keep sharded results bitwise equal to the
         # single-process path.
         n_shards = max(len(self._workers), 1)
-        blk = _identify.COL_BLOCK
+        blk = _sketch.COL_BLOCK
         n_blocks = -(-S // blk)
         bounds = [min(round(i * n_blocks / n_shards) * blk, S) for i in range(n_shards + 1)]
         bounds[-1] = S
@@ -812,6 +967,9 @@ class ServingFabric:
             lambda c0, c1: _build_shard(
                 self._static["L"], mu.array, arrs["wmu"].array,
                 arrs["slot_musq"].array, arrs["musq_cum"].array, self.nd, c0, c1,
+                sketch=self._sketch,
+                pmu=arrs["pmu"].array if self._sketch is not None else None,
+                slot_psq=arrs["slot_psq"].array if self._sketch is not None else None,
             ),
         )
         mu.close()
@@ -821,12 +979,17 @@ class ServingFabric:
         self.budget.register(f"{self.budget_prefix}:bank:{key}", state.nbytes)
         return key
 
-    def _make_room(self, need: int) -> None:
-        """Evict coldest banks until ``need`` extra bytes fit the budget."""
-        while not self.budget.fits(need) and self._banks:
-            coldest = min(
-                self._banks.values(), key=lambda b: (b.heat, b.last_used)
-            )
+    def _make_room(self, need: int, exclude: Optional[str] = None) -> None:
+        """Evict coldest banks until ``need`` extra bytes fit the budget.
+
+        ``exclude`` protects one bank key (the bank a request is actively
+        using) from being evicted to make its own room.
+        """
+        while not self.budget.fits(need):
+            candidates = [b for b in self._banks.values() if b.key != exclude]
+            if not candidates:
+                break
+            coldest = min(candidates, key=lambda b: (b.heat, b.last_used))
             self.evict_bank(coldest.key)
         if not self.budget.fits(need):
             raise RuntimeError(
@@ -836,6 +999,10 @@ class ServingFabric:
 
     def evict_bank(self, key: str) -> None:
         """Release a bank's shared segments (re-attached on next use)."""
+        with self._dispatch_lock:
+            self._evict_bank_locked(key)
+
+    def _evict_bank_locked(self, key: str) -> None:
         state = self._banks.pop(key, None)
         if state is None:
             return
@@ -938,17 +1105,18 @@ class ServingFabric:
 
         The certified bounds are valid for *any* slot subset, so the
         selection is free to be data-adaptive: slack comes only from the
-        omitted slots (``2 sum_t ||w_t(d)|| ||w_t(mu_s)||``), and whitened
-        signal energy is concentrated around the wavefront arrivals —
-        screening where ``||w_t(d)||^2`` is largest leaves the
-        low-information slots to the (cheap, scalar) bounds and keeps them
-        tight.  Energy is read off the fleet's per-slot norms already in
-        the shared scratch block; nothing new is computed.
+        omitted slots, and whitened signal energy is concentrated around
+        the wavefront arrivals — screening where ``||w_t(d)||^2`` is
+        largest leaves the low-information slots to the (cheap) brackets
+        and keeps them tight.  Energy is read off the fleet's per-slot
+        norms already in the shared scratch block; the selection itself
+        is the shared :func:`repro.serve.sketch.select_screen_slots`.
         """
-        k_max = int(horizons.max())
-        n_screen = max(1, -(-k_max // self.config.screen_stride))
-        energy = self._static["wd_slot"][:k_max, : horizons.size].sum(axis=1)
-        return tuple(sorted(np.argsort(-energy)[:n_screen].tolist()))
+        return _sketch.select_screen_slots(
+            self._static["wd_slot"][:, : horizons.size].sum(axis=1),
+            int(horizons.max()),
+            self.config.screen_stride,
+        )
 
     # ------------------------------------------------------------------
     # Identification
@@ -962,16 +1130,19 @@ class ServingFabric:
         screen: Optional[bool] = None,
         certified: Optional[bool] = None,
         screen_top: Optional[int] = None,
+        sketch: Optional[bool] = None,
     ) -> IdentificationResult:
         """Hierarchical posterior scenario ranking at the given horizons.
 
         The sharded, two-stage analogue of
         :meth:`~repro.serve.server.BatchedPhase4Server.identify_batch`:
         ragged ``k_slots`` allowed, per-call overrides for the screen
-        knobs.  With ``screen=False`` the result is bit-identical to the
-        flat identifier; with the (default) certified screen the
-        top-``screen_top`` ranking is provably the exhaustive one and the
-        remaining entries carry their certified evidence upper bound.
+        knobs (``sketch=False`` forces the norm-only brackets on a fabric
+        built with ``sketch_rank > 0``).  With ``screen=False`` the
+        result is bit-identical to the flat identifier; with the
+        (default) certified screen the top-``screen_top`` ranking is
+        provably the exhaustive one and the remaining entries carry their
+        certified evidence upper bound.
 
         When the screen actually prunes, the *probabilities* are therefore
         a mix: the posterior softmax normalizer includes the pruned
@@ -985,30 +1156,55 @@ class ServingFabric:
         Batches larger than ``max_batch`` are processed in chunks.
         Inspect ``self.last_report`` for pruning/degradation details.
         """
-        self._check_open()
-        D = self._stack(streams)
-        targets = self._targets(k_slots, D.shape[2])
-        state = self._resolve_bank(bank)
-        results = []
-        chunk_reports = []
-        for j0 in range(0, D.shape[2], self.config.max_batch):
-            j1 = min(j0 + self.config.max_batch, D.shape[2])
-            results.append(
-                self._identify_batch(
-                    D[:, :, j0:j1], targets[j0:j1], state,
-                    prior_weights, screen, certified, screen_top,
+        with self._dispatch_lock:
+            self._check_open()
+            D = self._stack(streams)
+            targets = self._targets(k_slots, D.shape[2])
+            state = self._resolve_bank(bank)
+            results = []
+            chunk_reports = []
+            for j0 in range(0, D.shape[2], self.config.max_batch):
+                j1 = min(j0 + self.config.max_batch, D.shape[2])
+                results.append(
+                    self._identify_batch(
+                        D[:, :, j0:j1], targets[j0:j1], state,
+                        prior_weights, screen, certified, screen_top, sketch,
+                    )
                 )
-            )
-            chunk_reports.append(self.last_report)
-        if len(results) == 1:
-            return results[0]
-        # A chunked request must not hide degradation or pruning stats
-        # from earlier chunks behind the last one's report.
-        self.last_report = _merge_reports(chunk_reports)
-        return _concat_results(results)
+                chunk_reports.append(self.last_report)
+            # The per-request fleet is scratch, not serving state — drop
+            # it rather than pin max_batch streams of states until the
+            # next request.
+            self._request_fleet = None
+            if len(results) == 1:
+                return results[0]
+            # A chunked request must not hide degradation or pruning stats
+            # from earlier chunks behind the last one's report.
+            self.last_report = _merge_reports(chunk_reports)
+            return _concat_results(results)
+
+    def _open_request_fleet(self, D, targets, use_sketch: bool):
+        """Advance one request's fleet and publish it to the shared scratch."""
+        J = D.shape[2]
+        fleet = self.engine.open_fleet(D)
+        if use_sketch:
+            fleet.attach_sketch(self._sketch.projections)
+        fleet.advance(targets)
+        self._static["wd"][:, :J] = fleet.states
+        self._static["wd_slot"][:, :J] = fleet.slot_squared_norms()
+        self._static["wsq"][:J] = fleet.squared_norms()
+        self._static["hz"][:J] = fleet.horizons
+        if use_sketch:
+            self._static["wd_p"][:, :J] = fleet.slot_projections()
+            self._static["wd_psq"][:, :J] = fleet.slot_projection_norms()
+        # Kept for same-request reuse (the sharded mixture path reads the
+        # fleet's running forecast means after identification).
+        self._request_fleet = fleet
+        return fleet
 
     def _identify_batch(
-        self, D, targets, state, prior_weights, screen, certified, screen_top
+        self, D, targets, state, prior_weights, screen, certified, screen_top,
+        sketch=None,
     ) -> IdentificationResult:
         cfg = self.config
         t_start = time.monotonic()
@@ -1019,24 +1215,23 @@ class ServingFabric:
             raise ValueError("screen_top must be >= 1")
         S, J = state.n_scenarios, D.shape[2]
         screen = screen and S >= max(cfg.screen_min_scenarios, 1) and S > top
+        use_sketch = (
+            self._sketch is not None and screen and (sketch is None or sketch)
+        )
         state.heat += 1
         self._clock += 1.0
         state.last_used = self._clock
         report = FabricReport(
             bank_key=state.key, n_streams=J, n_scenarios=S,
             screened=screen, certified=screen and certified,
+            sketch_rank=cfg.sketch_rank if use_sketch else 0,
             workers_used=sum(w.alive for w in self._workers),
         )
 
         # Stream-side states: one incremental fleet advance, written once
         # into the shared scratch block for every shard to read.
         t0 = time.monotonic()
-        fleet = self.engine.open_fleet(D)
-        fleet.advance(targets)
-        self._static["wd"][:, :J] = fleet.states
-        self._static["wd_slot"][:, :J] = fleet.slot_squared_norms()
-        self._static["wsq"][:J] = fleet.squared_norms()
-        self._static["hz"][:J] = fleet.horizons
+        fleet = self._open_request_fleet(D, targets, use_sketch)
         report.t_fleet = time.monotonic() - t0
 
         hz = fleet.horizons
@@ -1050,9 +1245,10 @@ class ServingFabric:
             slots = self._screen_slots(hz)
             lost += self._run_stage(
                 state, "screen", req_id,
-                lambda c0, c1: ("screen", req_id, state.key, J, slots),
+                lambda c0, c1: ("screen", req_id, state.key, J, slots, use_sketch),
                 lambda c0, c1: _screen_shard(
-                    self._static, bankv, self.nd, J, slots, c0, c1
+                    self._static, bankv, self.nd, J, slots, c0, c1,
+                    use_sketch=use_sketch,
                 ),
             )
             lb, ub = bankv["lb"][:J], bankv["ub"][:J]
@@ -1162,12 +1358,31 @@ class ServingFabric:
             # Reject now, not at flush time — a bad horizon must not be
             # able to poison the batch its ticket would have joined.
             raise ValueError(f"k_slots must lie in [1, {self.nt}]")
-        key = "" if op == "forecast" else self._resolve_bank(bank).key
-        ticket = FabricTicket(self)
-        self._pending.append((key, ticket, d, int(k_slots), op))
-        if len(self._pending) >= self.config.max_batch:
-            self.flush()
+        with self._dispatch_lock:
+            key = "" if op == "forecast" else self._resolve_bank(bank).key
+            ticket = FabricTicket(self)
+            self._pending.append((key, ticket, d, int(k_slots), op))
+            if len(self._pending) >= self.config.max_batch:
+                self.flush()
+            elif self.config.max_queue_ms is not None and self._flush_timer is None:
+                # Queueing deadline: a timer thread flushes this partial
+                # batch if nothing else does first.  The timer fires into
+                # the dispatch lock, so it can never interleave with a
+                # foreground request (single-dispatcher invariant).
+                t = threading.Timer(
+                    self.config.max_queue_ms / 1e3, self._deadline_flush
+                )
+                t.daemon = True
+                self._flush_timer = t
+                t.start()
         return ticket
+
+    def _deadline_flush(self) -> None:
+        """Timer-thread entry: flush whatever is pending at the deadline."""
+        with self._dispatch_lock:
+            self._flush_timer = None
+            if not self._closed and self._pending:
+                self.flush()
 
     def flush(self) -> int:
         """Process all pending tickets; returns the number resolved.
@@ -1181,6 +1396,13 @@ class ServingFabric:
         error channel, so a successful ticket's ``result()`` can never
         surface another group's exception.
         """
+        with self._dispatch_lock:
+            if self._flush_timer is not None:
+                self._flush_timer.cancel()
+                self._flush_timer = None
+            return self._flush_locked()
+
+    def _flush_locked(self) -> int:
         pending, self._pending = self._pending, []
         groups: Dict[Tuple[str, str], List] = {}
         for item in pending:
@@ -1222,6 +1444,164 @@ class ServingFabric:
         fleet.advance(self._targets(k_slots, D.shape[2]))
         return fleet.forecasts(times=times)
 
+    def forecast_mixture(
+        self,
+        streams: Union[np.ndarray, Sequence[np.ndarray]],
+        k_slots: Union[int, Sequence[int], np.ndarray],
+        bank=None,
+        times: Optional[np.ndarray] = None,
+        prior_weights: Optional[np.ndarray] = None,
+    ) -> List[QoIForecast]:
+        """Bank-conditioned forecast mixtures, sharded across the workers.
+
+        The fabric-side analogue of
+        :meth:`~repro.serve.identify.IdentificationSession.forecast_mixture`:
+        per stream, the scenario-conditioned forecasts ``E[q | d_k, s] =
+        q_s + Y_k^T (w_k(d) - w_k(mu_s))`` mixed over the *exhaustive*
+        posterior ``p(s | d_k)`` and moment-matched to one Gaussian whose
+        covariance adds the between-scenario spread to the horizon's
+        posterior covariance.  The per-scenario QoI records were
+        distributed to the shards at :meth:`attach_bank` (requires a
+        :class:`~repro.serve.scenarios.ScenarioBank` and a p2q operator);
+        each shard scatters its partial mixture moments into a transient
+        shared segment and the parent gathers the moment-matched bands —
+        matching the flat single-process path to machine precision
+        (pinned in ``tests/serve/test_sketch.py``).  Worker loss degrades
+        exactly like identification: missing shard moments are computed
+        in the parent.
+        """
+        with self._dispatch_lock:
+            self._check_open()
+            D = self._stack(streams)
+            targets = self._targets(k_slots, D.shape[2])
+            state = self._resolve_bank(bank)
+            if "qoi" not in state.arrs:
+                raise RuntimeError(
+                    "bank was attached without QoI records; no forecast mixture "
+                    "(attach a ScenarioBank with a p2q-complete inversion)"
+                )
+            out: List[Optional[QoIForecast]] = [None] * D.shape[2]
+            for j0 in range(0, D.shape[2], self.config.max_batch):
+                j1 = min(j0 + self.config.max_batch, D.shape[2])
+                self._mixture_batch(
+                    D[:, :, j0:j1], targets[j0:j1], state,
+                    out, j0, times, prior_weights,
+                )
+            return out  # type: ignore[return-value]
+
+    def _ensure_geometry_segment(self, exclude: str) -> _SharedArray:
+        """The shared geometry-rows segment ``Y``, created on first use."""
+        if self._Y_arr is None:
+            n_rows = self.nt * self.nd
+            nbytes = 8 * n_rows * self.engine._nb
+            self._make_room(nbytes, exclude=exclude)
+            self._Y_arr = _SharedArray.create("Y", (n_rows, self.engine._nb))
+            self._Y_arr.array[:] = self.engine.geometry_rows(self.nt)
+            self.budget.register(f"{self.budget_prefix}:geometry", nbytes)
+        return self._Y_arr
+
+    def _mixture_batch(
+        self, D, targets, state, out, j0, times, prior_weights
+    ) -> None:
+        """One micro-batch of sharded mixture forecasts into ``out[j0:]``."""
+        eng = self.engine
+        J = D.shape[2]
+        nb = eng._nb
+        Y = self._ensure_geometry_segment(exclude=state.key)
+        # Exhaustive probabilities (bitwise equal to the flat session's)
+        # written where every shard can read them; identification leaves
+        # the request fleet's states in the shared scratch block.
+        result = self._identify_batch(
+            D, targets, state, prior_weights,
+            screen=False, certified=None, screen_top=None,
+        )
+        state.views["pr"][:J] = result.probabilities
+        means = self._request_fleet.forecast_means()
+        self._request_fleet = None
+
+        n_shards = len(state.shards)
+        need = 8 * n_shards * (J + nb * J + J * nb * nb)
+        self._make_room(need, exclude=state.key)
+        self.budget.register(f"{self.budget_prefix}:mixture", need)
+        outs = {
+            "m0": _SharedArray.create("m0", (n_shards, J)),
+            "m1": _SharedArray.create("m1", (n_shards, nb, J)),
+            "m2": _SharedArray.create("m2", (n_shards, J, nb, nb)),
+        }
+        try:
+            out_specs = {k: a.spec for k, a in outs.items()}
+            outv = _views(outs)
+            bankv = state.views
+            req_id = self._req_counter
+            self._req_counter += 1
+            shard_of = {c: i for i, c in enumerate(state.shards)}
+            self._run_stage(
+                state, "mixture", req_id,
+                lambda c0, c1: (
+                    "mixture", req_id, state.key, J, Y.spec, out_specs,
+                    shard_of[(c0, c1)],
+                ),
+                lambda c0, c1: _mixture_shard(
+                    Y.array, self._static, bankv, outv, self.nd, J,
+                    shard_of[(c0, c1)], c0, c1,
+                ),
+            )
+            if times is None:
+                times = np.arange(1, self.nt + 1, dtype=np.float64)
+            hz = self._static["hz"][:J]
+            for j in range(J):
+                k = int(hz[j])
+                s0 = float(outv["m0"][:, j].sum())
+                s1 = outv["m1"][:, :, j].sum(axis=0)
+                s2 = outv["m2"][:, j].sum(axis=0)
+                mix_mean = s0 * means[:, j] + s1
+                cov = eng.covariance_at(k) + (s2 - np.outer(s1, s1))
+                out[j0 + j] = QoIForecast(
+                    times=times,
+                    mean=mix_mean.reshape(eng.nt, eng.nq),
+                    covariance=cov,
+                )
+        finally:
+            for a in outs.values():
+                a.close()
+                a.unlink()
+            self.budget.release(f"{self.budget_prefix}:mixture")
+
+    def respawn_workers(self) -> int:
+        """Re-launch retired workers into the existing shared segments.
+
+        Lost workers normally stay retired (their shards run in the
+        parent, results stay exact but parallelism shrinks).  This
+        relaunches a fresh process for every dead slot, re-attaching it
+        to the static segments and re-registering every attached bank's
+        shard via an ``adopt`` message — *no state is rebuilt*: the shard
+        arrays are still in shared memory, exactly as the lost worker
+        left them (the parent recomputed any half-written stage at the
+        time of loss).  Returns the number of workers respawned;
+        parallelism is restored without a fabric restart.
+        """
+        with self._dispatch_lock:
+            self._check_open()
+            respawned = 0
+            for wid, w in enumerate(self._workers):
+                if w.alive and w.process.is_alive():
+                    continue
+                w.retire()
+                try:
+                    w.conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                fresh = self._spawn_worker(wid)
+                self._workers[wid] = fresh
+                for state in self._banks.values():
+                    if wid < len(state.shards):
+                        c0, c1 = state.shards[wid]
+                        specs = {k: a.spec for k, a in state.arrs.items()}
+                        fresh.send(("adopt", state.key, specs, c0, c1))
+                respawned += 1
+            self._workers_respawned += respawned
+            return respawned
+
     # ------------------------------------------------------------------
     # Introspection / lifecycle
     # ------------------------------------------------------------------
@@ -1233,6 +1613,8 @@ class ServingFabric:
             "fabric_workers_alive": float(
                 sum(w.alive and w.process.is_alive() for w in self._workers)
             ),
+            "fabric_workers_respawned": float(self._workers_respawned),
+            "fabric_sketch_rank": float(self.config.sketch_rank),
             "fabric_requests": float(self._requests_served),
             "fabric_streams_served": float(self._streams_served),
             "fabric_banks_attached": float(len(self._banks)),
@@ -1244,8 +1626,10 @@ class ServingFabric:
         }
 
     def state_nbytes(self) -> int:
-        """Bytes held in shared segments (static + all attached banks)."""
+        """Bytes held in shared segments (static + geometry + attached banks)."""
         n = sum(a.nbytes for a in self._static_arrs.values())
+        if self._Y_arr is not None:
+            n += self._Y_arr.nbytes
         return n + sum(b.nbytes for b in self._banks.values())
 
     def banks(self) -> List[str]:
@@ -1253,10 +1637,23 @@ class ServingFabric:
         return list(self._banks)
 
     def close(self) -> None:
-        """Stop the workers and unlink every shared segment (idempotent)."""
+        """Stop the workers and unlink every shared segment (idempotent).
+
+        Serializes through the dispatch lock: a deadline-flush timer
+        callback already past its ``cancel()`` point either completes
+        before teardown starts or observes ``_closed`` and does nothing —
+        it can never race worker pipes or half-unlinked segments.
+        """
+        with self._dispatch_lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
         if self._closed:
             return
         self._closed = True
+        if self._flush_timer is not None:
+            self._flush_timer.cancel()
+            self._flush_timer = None
         for w in self._workers:
             try:
                 w.send(("stop",))
@@ -1281,6 +1678,11 @@ class ServingFabric:
             a.close()
             a.unlink()
         self.budget.release(f"{self.budget_prefix}:static")
+        if self._Y_arr is not None:
+            self._Y_arr.close()
+            self._Y_arr.unlink()
+            self._Y_arr = None
+            self.budget.release(f"{self.budget_prefix}:geometry")
 
     def __enter__(self) -> "ServingFabric":
         return self
@@ -1355,6 +1757,7 @@ def _merge_reports(reports: List[FabricReport]) -> FabricReport:
         screened=any(r.screened for r in reports),
         certified=any(r.certified for r in reports),
         screen_fallback=any(r.screen_fallback for r in reports),
+        sketch_rank=max(r.sketch_rank for r in reports),
         n_candidates=max(r.n_candidates for r in reports),
         pruned_fraction=min(r.pruned_fraction for r in reports),
         workers_used=max(r.workers_used for r in reports),
@@ -1389,6 +1792,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     ap.add_argument("--horizon", type=int, default=8, help="slots observed")
     ap.add_argument("--stride", type=int, default=8, help="coarse-screen stride")
     ap.add_argument(
+        "--sketch-rank", type=int, default=0,
+        help="per-slot sketch rank r (0 = norm-only screen brackets)",
+    )
+    ap.add_argument(
         "--budget-mib", type=float, default=512.0, help="shared-memory budget"
     )
     ap.add_argument(
@@ -1412,6 +1819,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         [bank],
         n_workers=args.workers,
         screen_stride=args.stride,
+        sketch_rank=args.sketch_rank,
         certified=not args.no_certify,
         max_batch=min(args.streams, 32),
         memory_budget=int(args.budget_mib * (1 << 20)),

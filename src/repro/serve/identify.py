@@ -49,6 +49,8 @@ from scipy.special import log_softmax
 
 from repro.inference.forecast import QoIForecast
 from repro.inference.streaming import IncrementalStreamingPosterior, StreamingFleet
+from repro.serve import sketch as _sketch
+from repro.serve.sketch import SlotSketch
 
 __all__ = [
     "IdentificationResult",
@@ -58,15 +60,6 @@ __all__ = [
 ]
 
 _LOG_2PI = float(np.log(2.0 * np.pi))
-
-#: Column block size for bank-side accumulation.  Both the bank-state
-#: build and the per-slot cross-term gemms are chunked on *absolute*
-#: multiples of this, which makes the arithmetic **shard-invariant**: a
-#: worker holding scenario columns ``[c0, c1)`` (block-aligned) issues
-#: bitwise the same BLAS calls as the flat identifier does for those
-#: columns, so sharded and single-process results agree exactly — by
-#: construction, independent of how a particular BLAS blocks wide gemms.
-COL_BLOCK = 256
 
 
 def normalize_log_prior(weights: Optional[np.ndarray], n: int) -> np.ndarray:
@@ -195,8 +188,8 @@ class ScenarioIdentifier:
         # COL_BLOCK column chunks so a block-aligned shard of the bank
         # (the serving fabric's workers) reproduces these states bitwise.
         Wmu = np.empty((engine.nt * engine.nd, self.n_scenarios))
-        for c0 in range(0, self.n_scenarios, COL_BLOCK):
-            c1 = min(c0 + COL_BLOCK, self.n_scenarios)
+        for c0 in range(0, self.n_scenarios, _sketch.COL_BLOCK):
+            c1 = min(c0 + _sketch.COL_BLOCK, self.n_scenarios)
             block = engine.open_fleet(records[:, :, c0:c1]).advance(engine.nt)
             Wmu[:, c0:c1] = block.states
         Wmu.setflags(write=False)
@@ -223,6 +216,8 @@ class ScenarioIdentifier:
             )
         self.ids = list(ids)
         self.log_prior = self._normalize_prior(prior_weights)
+        # Bank-side low-rank sketches, memoized per (rank, seed).
+        self._sketches: dict = {}
         self._qoi: Optional[np.ndarray] = None
         if qoi_records is not None:
             q = np.asarray(qoi_records, dtype=np.float64)
@@ -313,11 +308,41 @@ class ScenarioIdentifier:
         """Cumulative per-horizon ``||w_k(mu_s)||^2``, ``(Nt + 1, S)``, read-only."""
         return self._musq_cum
 
+    def sketch(
+        self, rank: int, seed: int = 0
+    ) -> Tuple[SlotSketch, np.ndarray, np.ndarray]:
+        """The bank-side low-rank sketch at ``(rank, seed)``, built once.
+
+        Returns ``(sketch, projected, slot_norms)``: the
+        :class:`~repro.serve.sketch.SlotSketch` (whose projections the
+        stream side attaches via
+        :meth:`~repro.inference.streaming.StreamingFleet.attach_sketch`),
+        the per-slot projected bank states ``P_t w_t(mu_s)`` stacked
+        ``(Nt * r, S)``, and their squared norms ``(Nt, S)`` — the
+        bank-side inputs of the certified sketch screen
+        (:func:`~repro.serve.sketch.certified_bounds`).  Built through
+        the same :data:`~repro.serve.sketch.COL_BLOCK`-chunked
+        :meth:`~repro.serve.sketch.SlotSketch.project_bank_columns` the
+        fabric's workers use, so a block-aligned shard of this sketch is
+        bitwise identical to the flat build.  Memoized per ``(rank,
+        seed)``.
+        """
+        key = (int(rank), int(seed))
+        cached = self._sketches.get(key)
+        if cached is None:
+            eng = self.engine
+            sk = SlotSketch(eng.nt, eng.nd, rank, seed=seed)
+            proj, psq = sk.project_bank(self._Wmu)
+            cached = self._sketches[key] = (sk, proj, psq)
+        return cached
+
     def state_nbytes(self) -> int:
-        """Memory of the bank-side state (``w(mu_s)`` + norms + QoI records)."""
+        """Memory of the bank-side state (``w(mu_s)`` + norms + QoI + sketches)."""
         n = self._Wmu.nbytes + self._musq_cum.nbytes + self._slot_musq.nbytes
         if self._qoi is not None:
             n += self._qoi.nbytes
+        for sk, proj, psq in self._sketches.values():
+            n += sk.nbytes + proj.nbytes + psq.nbytes
         return int(n)
 
 
@@ -363,9 +388,10 @@ class IdentificationSession:
     def _fold_new_slots(self) -> None:
         """Accumulate cross terms for slots the fleet absorbed since last fold.
 
-        The per-slot gemm is chunked on absolute ``COL_BLOCK`` scenario
-        columns — the same chunks a block-aligned shard would issue — so
-        evidences are identical whether a bank is ranked flat or sharded.
+        The per-slot gemm is chunked on absolute
+        :data:`~repro.serve.sketch.COL_BLOCK` scenario columns — the same
+        chunks a block-aligned shard would issue — so evidences are
+        identical whether a bank is ranked flat or sharded.
         """
         h = self.fleet.horizons
         if np.array_equal(h, self._folded):
@@ -373,14 +399,15 @@ class IdentificationSession:
         nd = self.fleet.engine.nd
         S = self.identifier.n_scenarios
         W, Wmu = self.fleet.states, self.identifier._Wmu
+        block = _sketch.COL_BLOCK
         for s in range(int(self._folded.min()), int(h.max())):
             idx = np.nonzero((self._folded <= s) & (h > s))[0]
             if not idx.size:
                 continue
             r0, r1 = s * nd, (s + 1) * nd
             Wd_s = W[r0:r1, idx].T
-            for c0 in range(0, S, COL_BLOCK):
-                c1 = min(c0 + COL_BLOCK, S)
+            for c0 in range(0, S, block):
+                c1 = min(c0 + block, S)
                 self._cross[idx, c0:c1] += Wd_s @ Wmu[r0:r1, c0:c1]
         self._folded = h.copy()
 
@@ -448,6 +475,62 @@ class IdentificationSession:
     ) -> List[List[Tuple[str, float]]]:
         """Per stream, the ``k`` most probable ``(scenario_id, probability)``."""
         return self.posterior(prior_weights=prior_weights).top_k(k)
+
+    # ------------------------------------------------------------------
+    def evidence_interval(
+        self,
+        slots: Optional[Sequence[int]] = None,
+        stride: int = 8,
+        sketch_rank: int = 0,
+        sketch_seed: int = 0,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Certified brackets ``(lb, ub)`` on every ``log p(d_k | s)``.
+
+        The flat-path entry into the shared certified-screen layer
+        (:func:`repro.serve.sketch.certified_bounds`) — exactly the
+        bounds the serving fabric's coarse screen computes, without any
+        fabric.  ``slots`` is the subset of observation slots evaluated
+        exactly (default: the ``1/stride`` highest-energy absorbed slots,
+        via :func:`~repro.serve.sketch.select_screen_slots`); the rest
+        are bracketed — with ``sketch_rank > 0``, through the bank's
+        seeded low-rank sketch (:meth:`ScenarioIdentifier.sketch`), which
+        tightens the interval from ``±2 Σ ||w_t(d)|| ||w_t(mu_s)||`` to
+        the orthogonal residual product.  Both arrays are ``(n, S)`` and
+        always contain :meth:`log_evidence` entrywise.
+        """
+        ident = self.identifier
+        eng = self.fleet.engine
+        hz = self.fleet.horizons
+        k_max = int(hz.max())
+        if k_max < 1:
+            raise RuntimeError("no observation slots absorbed yet")
+        if slots is None:
+            energy = self.fleet.slot_squared_norms().sum(axis=1)
+            slots = _sketch.select_screen_slots(energy, k_max, stride)
+        J, S = self.n_streams, ident.n_scenarios
+        static = {
+            "wd": self.fleet.states,
+            "wd_slot": self.fleet.slot_squared_norms(),
+            "hz": hz,
+            "logdiag": eng.inv.cholesky_logdiag_cum,
+        }
+        bankv = {
+            "wmu": ident._Wmu,
+            "slot_musq": ident._slot_musq,
+            "lb": np.empty((J, S)),
+            "ub": np.empty((J, S)),
+        }
+        if sketch_rank:
+            sk, proj, psq = ident.sketch(sketch_rank, seed=sketch_seed)
+            fp = self.fleet.sketch_projections
+            if fp is None or (fp is not sk.P and fp.base is not sk.P):
+                self.fleet.attach_sketch(sk.projections)
+            static["wd_p"] = self.fleet.slot_projections()
+            static["wd_psq"] = self.fleet.slot_projection_norms()
+            bankv["pmu"] = proj
+            bankv["slot_psq"] = psq
+        _sketch.certified_bounds(static, bankv, eng.nd, J, tuple(slots), 0, S)
+        return bankv["lb"], bankv["ub"]
 
     # ------------------------------------------------------------------
     def forecast_mixture(

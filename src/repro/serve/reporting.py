@@ -81,6 +81,9 @@ def format_fabric_report(
     mode = "exact (no screen)"
     if last.screened:
         mode = "certified screen" if last.certified else "heuristic screen"
+        rank = getattr(last, "sketch_rank", 0)
+        if rank:
+            mode += f" (sketch r={rank})"
         if getattr(last, "screen_fallback", False):
             mode += ", fell back to full exact"
     lines = [

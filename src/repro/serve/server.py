@@ -347,13 +347,16 @@ class BatchedPhase4Server:
         The sharded, hierarchical scale-out of the identification path:
         banks are split across a worker-process pool with shared-memory
         kernel/Cholesky buffers, streams are admitted through a
-        micro-batching queue, and identification runs a certified coarse
-        screen before the exact evidence (see :mod:`repro.serve.fabric`
-        and ``docs/SERVING.md``).  Keyword arguments populate a
-        :class:`~repro.serve.fabric.FabricConfig`
-        (``server.fabric([bank], n_workers=4, memory_budget=2 << 30)``).
-        The caller owns the fabric's lifecycle — use it as a context
-        manager or ``close()`` it.
+        micro-batching queue (deadline-flushed when ``max_queue_ms`` is
+        set), and identification runs a certified coarse screen —
+        tightened by shared low-rank slot sketches when ``sketch_rank``
+        is set — before the exact evidence; bank-conditioned forecast
+        mixtures run sharded too (see :mod:`repro.serve.fabric`,
+        :mod:`repro.serve.sketch`, and ``docs/SERVING.md``).  Keyword
+        arguments populate a :class:`~repro.serve.fabric.FabricConfig`
+        (``server.fabric([bank], n_workers=4, sketch_rank=12,
+        memory_budget=2 << 30)``).  The caller owns the fabric's
+        lifecycle — use it as a context manager or ``close()`` it.
         """
         from repro.serve.fabric import ServingFabric
 

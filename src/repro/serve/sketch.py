@@ -1,0 +1,337 @@
+"""Certified sketch-screen layer: interval arithmetic on whitened states.
+
+This module is the *one* place the serving layer brackets truncated-data
+log-evidences from partial information — the screening/bounding machinery
+that used to live inline in :mod:`repro.serve.fabric`, refactored out so
+the flat identifier (:mod:`repro.serve.identify`), the incremental fleet
+(:mod:`repro.inference.streaming`), and the sharded fabric all route
+through the same functions and therefore make *identical certified
+decisions by construction*.
+
+Two bounding regimes, one implementation (:func:`certified_bounds`):
+
+**Norm-only brackets (PR 4).**
+    For an observation slot ``t`` the screen omits, the triangle
+    inequality on the per-slot whitened norms ``a_t = ||w_t(d)||``,
+    ``b_ts = ||w_t(mu_s)||`` brackets the residual block::
+
+        (a_t - b_ts)^2  <=  ||w_t(d) - w_t(mu_s)||^2  <=  (a_t + b_ts)^2
+
+    — scalar work per (stream, scenario, slot), but blind to the residual
+    *direction*: the interval width is ``4 a_t b_ts`` however aligned the
+    states are, and diverse micro-batches union their candidate sets away
+    (``FabricReport.screen_fallback``).
+
+**Sketch-tightened brackets (this PR).**
+    A :class:`SlotSketch` holds one seeded ``r x Nd`` projection per slot
+    with *orthonormal rows* ``P_t`` (QR of a Gaussian draw — the
+    Johnson–Lindenstrauss shape, made deterministic).  Orthonormality
+    splits every whitened vector exactly::
+
+        ||v||^2 = ||P_t v||^2 + ||v_perp||^2,   v_perp = (I - P_t^T P_t) v
+
+    so for the residual ``v = w_t(d) - w_t(mu_s)`` the projected part
+    ``||P_t w_t(d) - P_t w_t(mu_s)||^2`` is computed *exactly* from the
+    ``r``-dimensional sketches (inner products included — this is where
+    the direction information lives), and only the orthogonal remainder
+    is bracketed by the triangle inequality on the *residual* norms
+    ``alpha_t = sqrt(a_t^2 - ||P_t w_t(d)||^2)`` (resp. ``beta_ts``).
+    The bracket width shrinks from ``4 a_t b_ts`` to
+    ``4 alpha_t beta_ts`` — a deterministic certificate, valid for every
+    draw of ``P``; the seed only controls how much residual energy the
+    sketch captures (``~ r/Nd`` of it for isotropic residuals, more when
+    energy concentrates).  Cost: ``O(r)`` per (stream, scenario, slot)
+    instead of ``O(Nd)`` exact work.
+
+Everything bank-indexed is chunked on absolute :data:`COL_BLOCK` column
+boundaries, so a shard holding scenario columns ``[c0, c1)``
+(block-aligned) issues bitwise the same BLAS calls as a flat pass over
+those columns — certified decisions cannot depend on the shard layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "COL_BLOCK",
+    "SlotSketch",
+    "certified_bounds",
+    "select_screen_slots",
+]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+#: Column block size for all bank-side accumulation (state builds, sketch
+#: builds, per-slot cross gemms, screen bounds).  Chunking on *absolute*
+#: multiples of this makes the arithmetic **shard-invariant**: a worker
+#: holding scenario columns ``[c0, c1)`` (block-aligned) issues bitwise
+#: the same BLAS calls as the flat identifier does for those columns, so
+#: sharded and single-process results — evidences *and* certified screen
+#: decisions — agree exactly by construction, independent of how a
+#: particular BLAS blocks wide gemms.
+COL_BLOCK = 256
+
+
+class SlotSketch:
+    """Seeded per-slot orthonormal projections of whitened state blocks.
+
+    Parameters
+    ----------
+    nt, nd:
+        Observation-slot count and per-slot sensor dimension of the
+        whitened state space.
+    rank:
+        Sketch rank ``r`` per slot, ``1 <= r <= Nd``.  ``r = Nd`` makes
+        the screen bounds exact (the orthogonal remainder vanishes).
+    seed:
+        Seed of the projection draw.  Slot ``t`` uses
+        ``SeedSequence((seed, t))``, so sketches are reproducible across
+        processes — the fabric's workers and the flat identifier build
+        *the same* projections from ``(nt, nd, rank, seed)`` alone.
+    matrix:
+        Internal: adopt an existing stacked projection ``(nt * r, nd)``
+        (e.g. a shared-memory view in a fabric worker) instead of
+        drawing one.
+
+    Notes
+    -----
+    Each ``P_t`` has orthonormal *rows* (QR of a Gaussian ``(Nd, r)``
+    draw, transposed), so ``||P_t v|| <= ||v||`` with equality exhausted
+    at ``r = Nd`` — the property :func:`certified_bounds` relies on.
+    """
+
+    def __init__(
+        self,
+        nt: int,
+        nd: int,
+        rank: int,
+        seed: int = 0,
+        matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        if not 1 <= int(rank) <= int(nd):
+            raise ValueError(f"sketch rank must lie in [1, {nd}], got {rank}")
+        self.nt, self.nd, self.rank, self.seed = int(nt), int(nd), int(rank), int(seed)
+        if matrix is not None:
+            P = np.asarray(matrix, dtype=np.float64)
+            if P.shape != (self.nt * self.rank, self.nd):
+                raise ValueError(
+                    f"projection matrix must be ({self.nt * self.rank},{self.nd}), "
+                    f"got {P.shape}"
+                )
+        else:
+            P = np.empty((self.nt * self.rank, self.nd))
+            for t in range(self.nt):
+                rng = np.random.default_rng(np.random.SeedSequence((self.seed, t)))
+                G = rng.standard_normal((self.nd, self.rank))
+                Q, _ = np.linalg.qr(G)  # (Nd, r), orthonormal columns
+                P[t * self.rank : (t + 1) * self.rank] = Q.T
+        self.P = P
+
+    # ------------------------------------------------------------------
+    @property
+    def projections(self) -> np.ndarray:
+        """The stacked projection ``(Nt * r, Nd)``; rows ``t*r:(t+1)*r`` are ``P_t``."""
+        return self.P
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the projection matrix."""
+        return int(self.P.nbytes)
+
+    def slot(self, t: int) -> np.ndarray:
+        """The slot-``t`` projection ``P_t``, ``(r, Nd)`` view."""
+        r = self.rank
+        return self.P[t * r : (t + 1) * r]
+
+    # ------------------------------------------------------------------
+    def project_bank_columns(
+        self,
+        W: np.ndarray,
+        out_proj: np.ndarray,
+        out_psq: np.ndarray,
+        c0: int,
+        c1: int,
+    ) -> None:
+        """Sketch bank-state columns ``[c0, c1)`` of ``W`` into the outputs.
+
+        ``W`` is a bank-side state block ``(Nt * Nd, S)``; writes the
+        per-slot sketches ``P_t w_t`` into ``out_proj`` (``(Nt * r, S)``)
+        and their squared norms ``||P_t w_t||^2`` into ``out_psq``
+        (``(Nt, S)``).  Chunked on absolute :data:`COL_BLOCK` boundaries
+        with a contiguous per-block operand, so the flat identifier and a
+        block-aligned fabric shard produce bitwise-identical sketches —
+        this is the *single* bank-sketch build both paths call.
+        """
+        nt, nd, r = self.nt, self.nd, self.rank
+        for b0 in range(c0, c1, COL_BLOCK):
+            b1 = min(b0 + COL_BLOCK, c1)
+            Wb = np.ascontiguousarray(W[:, b0:b1])
+            for t in range(nt):
+                pb = self.P[t * r : (t + 1) * r] @ Wb[t * nd : (t + 1) * nd]
+                out_proj[t * r : (t + 1) * r, b0:b1] = pb
+                out_psq[t, b0:b1] = np.einsum("ij,ij->j", pb, pb)
+
+    def project_bank(self, W: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Sketch a full bank state: returns ``(projected, slot_norms)``.
+
+        ``projected`` is ``(Nt * r, S)`` and ``slot_norms`` the per-slot
+        ``||P_t w_t(mu_s)||^2`` profile ``(Nt, S)``, both read-only.
+        """
+        S = W.shape[1]
+        proj = np.empty((self.nt * self.rank, S))
+        psq = np.empty((self.nt, S))
+        self.project_bank_columns(W, proj, psq, 0, S)
+        proj.setflags(write=False)
+        psq.setflags(write=False)
+        return proj, psq
+
+
+def select_screen_slots(
+    slot_energy: np.ndarray, k_max: int, stride: int
+) -> Tuple[int, ...]:
+    """The ``1/stride`` highest-energy absorbed slots (data-adaptive screen).
+
+    ``slot_energy`` is a per-slot energy profile (e.g. a fleet's
+    :meth:`~repro.inference.streaming.StreamingFleet.slot_squared_norms`
+    summed over streams); any subset keeps the certified bounds valid, so
+    the selection is free to chase the wavefront arrivals — screening
+    where the whitened energy concentrates leaves only low-information
+    slots to the (cheap) brackets.  Shared by the fabric and the flat
+    :meth:`~repro.serve.identify.IdentificationSession.evidence_interval`.
+    """
+    k_max = int(k_max)
+    n_screen = max(1, -(-k_max // int(stride)))
+    energy = np.asarray(slot_energy, dtype=np.float64)[:k_max]
+    return tuple(sorted(np.argsort(-energy)[:n_screen].tolist()))
+
+
+def certified_bounds(
+    static: Mapping[str, np.ndarray],
+    bankv: Mapping[str, np.ndarray],
+    nd: int,
+    J: int,
+    slots: Sequence[int],
+    c0: int,
+    c1: int,
+) -> None:
+    """Certified evidence intervals ``[lb, ub]`` for bank columns ``[c0, c1)``.
+
+    The one screen implementation both the flat path and every fabric
+    shard (worker *and* in-parent fallback) execute.  Inputs are dict
+    views over (shared or local) arrays:
+
+    ``static`` (stream side)
+        ``wd`` ``(Nt*Nd, >=J)`` fleet states, ``wd_slot`` ``(Nt, >=J)``
+        per-slot squared norms, ``hz`` ``(>=J,)`` horizons, ``logdiag``
+        ``(Nt+1,)`` cumulative ``log diag L``; optionally ``wd_p``
+        ``(Nt*r, >=J)`` per-slot sketches and ``wd_psq`` ``(Nt, >=J)``
+        their squared norms.
+    ``bankv`` (bank side)
+        ``wmu`` ``(Nt*Nd, S)``, ``slot_musq`` ``(Nt, S)``, outputs ``lb``
+        / ``ub`` ``(>=J, S)``; optionally ``pmu`` ``(Nt*r, S)`` and
+        ``slot_psq`` ``(Nt, S)``.
+
+    Slots in ``slots`` contribute their exact whitened residual (one
+    small ``Nd`` gemm per slot); omitted slots are bracketed — sketch
+    regime when the sketch arrays are present in *both* dicts, norm-only
+    otherwise (see the module docstring for the arithmetic).  All
+    bank-indexed products chunk on absolute :data:`COL_BLOCK` boundaries,
+    so the written intervals are bitwise independent of the shard layout.
+    Writes ``lb``/``ub`` rows ``[:J]``, columns ``[c0, c1)``, in place.
+    """
+    Wd = static["wd"]
+    hz = static["hz"][:J]
+    nt = bankv["slot_musq"].shape[0]
+    a2 = static["wd_slot"][:, :J].T  # (J, Nt)
+
+    use_sketch = "pmu" in bankv and "wd_p" in static
+    in_screen = np.zeros(nt, dtype=bool)
+    in_screen[list(slots)] = True
+    absorbed = np.arange(nt)[None, :] < hz[:, None]  # (J, Nt)
+    m_scr = absorbed & in_screen[None, :]
+    m_omit = (absorbed & ~in_screen[None, :]).astype(np.float64)
+
+    w = c1 - c0
+    quad_scr = np.zeros((J, w))
+    cross = np.zeros((J, w))
+    lo_add = np.zeros((J, w))
+    hi_add = np.zeros((J, w))
+
+    if use_sketch:
+        Pd = static["wd_p"]
+        r = Pd.shape[0] // nt
+        p2d = static["wd_psq"][:, :J].T  # (J, Nt)
+        # Orthogonal-remainder norms (clip rounding: ||P v|| <= ||v||).
+        a2o = np.maximum(a2 - p2d, 0.0)
+        ao = np.sqrt(a2o)
+        sq_d_omit = (m_omit * a2o).sum(axis=1)[:, None]
+        proj_d_omit = (m_omit * p2d).sum(axis=1)[:, None]
+    else:
+        ao = np.sqrt(a2)
+        sq_d_omit = (m_omit * a2).sum(axis=1)[:, None]
+
+    for b0 in range(c0, c1, COL_BLOCK):
+        b1 = min(b0 + COL_BLOCK, c1)
+        sl = slice(b0 - c0, b1 - c0)
+        b2 = bankv["slot_musq"][:, b0:b1]  # (Nt, wb)
+
+        # Exact contribution of the screened slots.
+        for s in slots:
+            idx = np.nonzero(hz > s)[0]
+            if not idx.size:
+                continue
+            r0, r1 = s * nd, (s + 1) * nd
+            cross[idx, sl] += Wd[r0:r1, idx].T @ bankv["wmu"][r0:r1, b0:b1]
+        quad_scr[:, sl] = (m_scr * a2).sum(axis=1)[:, None] + (
+            m_scr.astype(np.float64) @ b2
+        )
+
+        if use_sketch:
+            # Exact projected residual over the omitted slots: the full
+            # cumulative sketch cross term (slots beyond a stream's
+            # horizon hold zero sketches, so they drop out for free)
+            # minus the screened slots' blocks.
+            p2b = bankv["slot_psq"][:, b0:b1]
+            cross_p = Pd[:, :J].T @ bankv["pmu"][:, b0:b1]
+            for s in slots:
+                idx = np.nonzero(hz > s)[0]
+                if not idx.size:
+                    continue
+                q0, q1 = s * r, (s + 1) * r
+                cross_p[idx] -= Pd[q0:q1, idx].T @ bankv["pmu"][q0:q1, b0:b1]
+            proj_omit = (
+                proj_d_omit + (m_omit @ p2b) - 2.0 * cross_p
+            )
+            # Triangle-inequality bracket on the orthogonal remainder.
+            b2o = np.maximum(b2 - p2b, 0.0)
+            bo = np.sqrt(b2o)
+            sq_terms = sq_d_omit + (m_omit @ b2o)
+            ab = (m_omit * ao) @ bo
+            lo_add[:, sl] = np.maximum(proj_omit + sq_terms - 2.0 * ab, 0.0)
+            hi_add[:, sl] = proj_omit + sq_terms + 2.0 * ab
+        else:
+            b = np.sqrt(b2)
+            sq_terms = sq_d_omit + (m_omit @ b2)
+            ab = (m_omit * ao) @ b
+            lo_add[:, sl] = sq_terms - 2.0 * ab
+            hi_add[:, sl] = sq_terms + 2.0 * ab
+
+    quad_scr -= 2.0 * cross
+    c_k = static["logdiag"][hz] + 0.5 * (hz * nd) * _LOG_2PI
+    bankv["ub"][:J, c0:c1] = -0.5 * (quad_scr + lo_add) - c_k[:, None]
+    bankv["lb"][:J, c0:c1] = -0.5 * (quad_scr + hi_add) - c_k[:, None]
+
+
+def strip_sketch(views: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """A copy of an array-view dict without the sketch keys.
+
+    Feeding the result to :func:`certified_bounds` forces the norm-only
+    regime — used for per-request ``sketch=False`` overrides and for
+    apples-to-apples fallback-rate measurements in the benchmarks.
+    """
+    return {
+        k: v for k, v in views.items() if k not in ("pmu", "slot_psq", "wd_p", "wd_psq")
+    }

@@ -24,9 +24,17 @@ def test_all_names_resolve_and_are_documented():
 
 def test_submodule_exports_are_reexported():
     """Every submodule ``__all__`` entry is reachable from the package."""
-    from repro.serve import cache, fabric, identify, reporting, scenarios, server
+    from repro.serve import (
+        cache,
+        fabric,
+        identify,
+        reporting,
+        scenarios,
+        server,
+        sketch,
+    )
 
-    for mod in (cache, fabric, identify, reporting, scenarios, server):
+    for mod in (cache, fabric, identify, reporting, scenarios, server, sketch):
         for name in mod.__all__:
             assert hasattr(serve, name), (
                 f"{mod.__name__}.{name} is public but not exported by repro.serve"
@@ -38,7 +46,9 @@ def test_submodule_exports_are_reexported():
 
 def test_package_docstring_names_every_submodule():
     doc = serve.__doc__
-    for section in ("scenarios", "cache", "server", "identify", "fabric", "reporting"):
+    for section in (
+        "scenarios", "cache", "server", "identify", "sketch", "fabric", "reporting"
+    ):
         assert f"``{section}``" in doc, f"package docstring lacks a {section} section"
 
 

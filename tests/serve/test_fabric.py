@@ -20,7 +20,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-import repro.serve.identify as identify_mod
+import repro.serve.sketch as sketch_mod
 from repro.serve import BatchedPhase4Server, ScenarioIdentifier, ServingFabric
 from repro.util.memory import MemoryBudget
 
@@ -33,8 +33,10 @@ def small_blocks(monkeypatch):
     chunk on the same absolute block boundaries), so exercising it with a
     small block at a small bank is exactly as strong as the default 256 at
     1024 — and actually covers the multi-shard alignment logic.
+    ``COL_BLOCK`` lives in the shared sketch layer (``repro.serve.sketch``),
+    which every chunked path reads dynamically.
     """
-    monkeypatch.setattr(identify_mod, "COL_BLOCK", 8)
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
 
 
 @pytest.fixture()
@@ -307,6 +309,68 @@ def test_chunked_identify_merges_reports(server, serve_bank, serve_streams, smal
         # the reference advances one 10-stream fleet (bitwise equality is
         # guaranteed per identical batch shape only).
         assert np.allclose(got.log_evidence, ref.log_evidence, rtol=0, atol=1e-10)
+
+
+def test_background_flush_timer(server, serve_bank, serve_streams):
+    """max_queue_ms flushes a partial batch without any explicit flush."""
+    import time as _time
+
+    _, _, d_obs = serve_streams
+    ref = server.identify_batch(serve_bank, d_obs[:, :, :1], k_slots=6)
+    with server.fabric(
+        [serve_bank], n_workers=0, screen=False, max_batch=16,
+        max_queue_ms=50.0,
+    ) as fab:
+        t0 = _time.monotonic()
+        ticket = fab.submit(d_obs[:, :, 0], 6)
+        # Only assert "not flushed yet" if we got here before the
+        # deadline could possibly have fired (CI preemption-proof).
+        if _time.monotonic() - t0 < 0.05:
+            assert not ticket.done
+        deadline = _time.monotonic() + 5.0
+        while not ticket.done and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        assert ticket.done, "deadline flush never fired"
+        assert np.array_equal(ticket.result().log_evidence[0], ref.log_evidence[0])
+        # The timer re-arms for later partial batches.
+        t2 = fab.submit(d_obs[:, :, 1], 6)
+        deadline = _time.monotonic() + 5.0
+        while not t2.done and _time.monotonic() < deadline:
+            _time.sleep(0.01)
+        assert t2.done
+    with pytest.raises(ValueError, match="max_queue_ms"):
+        server.fabric([serve_bank], n_workers=0, max_queue_ms=0.0)
+
+
+def test_respawn_workers_restores_parallelism(
+    server, serve_bank, serve_streams, small_blocks
+):
+    """Respawned workers adopt the existing shards — no rebuild, exact results."""
+    _, _, d_obs = serve_streams
+    ref = server.identify_batch(serve_bank, d_obs, k_slots=6)
+    with server.fabric([serve_bank], n_workers=2, screen=False) as fab:
+        assert fab.respawn_workers() == 0  # nothing to do while healthy
+        fab._workers[0].process.kill()
+        fab._workers[0].process.join()
+        got = fab.identify(d_obs, k_slots=6)
+        assert fab.last_report.workers_lost == 1
+        assert np.array_equal(got.log_evidence, ref.log_evidence)
+
+        assert fab.respawn_workers() == 1
+        assert fab.report()["fabric_workers_alive"] == 2.0
+        assert fab.report()["fabric_workers_respawned"] == 1.0
+        got2 = fab.identify(d_obs, k_slots=8)
+        # Parallelism is back: no loss, no degradation, exact results.
+        assert fab.last_report.workers_lost == 0
+        assert not fab.last_report.degraded
+        ref2 = server.identify_batch(serve_bank, d_obs, k_slots=8)
+        assert np.array_equal(got2.log_evidence, ref2.log_evidence)
+
+        # A bank attached after the respawn is sharded to the new worker.
+        key = fab.attach_bank(serve_bank.clean_records(server.inv.F))
+        got3 = fab.identify(d_obs, k_slots=6, bank=key)
+        assert np.array_equal(got3.log_evidence, ref.log_evidence)
+        assert fab.last_report.workers_lost == 0
 
 
 def test_shared_budget_between_fabrics_is_namespaced(server, serve_bank):

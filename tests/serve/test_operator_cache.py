@@ -129,6 +129,91 @@ def test_legacy_truncated_archive_is_still_found(tmp_path, small_twin, small_noi
     assert cold.stats.disk_hits == 1 and cold.stats.misses == 0
 
 
+def _fake_archive(directory, name, nbytes, age_days):
+    """A dummy .npz-shaped file with a backdated mtime."""
+    import os
+    import time
+
+    path = directory / f"{name}.npz"
+    path.write_bytes(b"\0" * nbytes)
+    stamp = time.time() - age_days * 86400.0
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_prune_disk_by_age_and_size(tmp_path):
+    """LRU pruning honors both criteria; legacy truncated names included."""
+    cache = OperatorCache(directory=tmp_path)
+    old = _fake_archive(tmp_path, "a" * 64, 1000, age_days=40)
+    legacy = _fake_archive(tmp_path, "b" * 32, 1000, age_days=10)  # truncated name
+    mid = _fake_archive(tmp_path, "c" * 64, 1000, age_days=5)
+    fresh = _fake_archive(tmp_path, "d" * 64, 1000, age_days=0)
+    assert cache.disk_nbytes() == 4000
+
+    # Dry run deletes nothing.
+    r = cache.prune_disk(max_age_days=30, dry_run=True)
+    assert r["files_removed"] == 1 and old.exists()
+
+    # Age criterion drops only the 40-day archive.
+    r = cache.prune_disk(max_age_days=30)
+    assert r["files_removed"] == 1 and r["bytes_freed"] == 1000
+    assert not old.exists() and legacy.exists()
+
+    # Size criterion prunes least-recently-used first: the legacy-named
+    # archive is oldest of the survivors and goes before mid/fresh.
+    r = cache.prune_disk(max_bytes=2000)
+    assert r["files_removed"] == 1 and not legacy.exists()
+    assert mid.exists() and fresh.exists()
+    assert r["files_kept"] == 2 and r["bytes_kept"] == 2000
+    assert cache.disk_nbytes() == 2000
+
+    # No criteria / no directory: clean no-ops.
+    assert cache.prune_disk() == {
+        "files_removed": 0, "bytes_freed": 0, "files_kept": 2, "bytes_kept": 2000,
+    }
+    assert OperatorCache().prune_disk(max_bytes=0)["files_kept"] == 0
+
+
+def test_disk_hit_refreshes_lru_order(tmp_path, small_twin, small_noise):
+    """A disk hit is a use: the archive must survive a later LRU prune."""
+    import os
+    import time
+
+    noise, _ = small_noise
+    warm = OperatorCache(directory=tmp_path)
+    warm.get_or_build(small_twin, noise)
+    key = warm.key_for(small_twin, noise)
+    real = tmp_path / f"{key}.npz"
+    stamp = time.time() - 20 * 86400.0
+    os.utime(real, (stamp, stamp))  # backdate the real archive
+    decoy = _fake_archive(tmp_path, "e" * 64, real.stat().st_size, age_days=1)
+
+    # Loading from disk refreshes the real archive's recency...
+    cold = OperatorCache(directory=tmp_path)
+    cold.get_or_build(small_twin, noise)
+    assert cold.stats.disk_hits == 1
+    # ...so pruning to one archive's worth keeps it and drops the decoy.
+    cold.prune_disk(max_bytes=real.stat().st_size)
+    assert real.exists() and not decoy.exists()
+
+
+def test_prune_disk_cli(tmp_path, capsys):
+    from repro.serve import cache as cache_mod
+
+    _fake_archive(tmp_path, "f" * 64, 2048, age_days=50)
+    _fake_archive(tmp_path, "g" * 64, 2048, age_days=0)
+    cache_mod.main([str(tmp_path), "--max-age-days", "30"])
+    assert "removed 1 archive(s)" in capsys.readouterr().out
+    assert len(list(tmp_path.glob("*.npz"))) == 1
+
+    # Size suffixes parse; a no-criteria invocation is refused.
+    assert cache_mod._parse_size("2K") == 2048
+    assert cache_mod._parse_size("1.5M") == int(1.5 * (1 << 20))
+    assert cache_mod._parse_size("1G") == 1 << 30
+    with pytest.raises(SystemExit):
+        cache_mod.main([str(tmp_path)])
+
+
 def test_fingerprint_requires_phase1():
     twin = CascadiaTwin(TwinConfig.demo_2d(nx=8, n_slots=6, n_sensors=4, n_qoi=2))
     with pytest.raises(RuntimeError):

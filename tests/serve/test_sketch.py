@@ -1,0 +1,327 @@
+"""Certified sketch-screen layer: tightness, safety, and shard equivalence.
+
+What must hold:
+
+* **The brackets are certified.**  ``IdentificationSession.evidence_interval``
+  always contains the exact log-evidence, ragged fleets included, with or
+  without a sketch — and the sketch interval is never wider than the
+  norm-only one.
+* **Certified top-k == exhaustive under the sketch screen**, on ragged
+  fleets, through the fabric.
+* **An adversarial bank can mis-rank the sketch inner product** (the
+  residual energy hides in the projection's orthogonal complement), but
+  the certified bracket refuses to prune the mis-ranked scenario — the
+  final ranking stays exhaustive.
+* **Shard-built sketches are bitwise equal to the flat build**, like the
+  bank states themselves.
+* **Sharded forecast mixtures match the flat single-process path** to
+  machine precision, degraded workers included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.serve.sketch as sketch_mod
+from repro.serve import BatchedPhase4Server, ScenarioIdentifier, SlotSketch
+
+
+@pytest.fixture()
+def small_blocks(monkeypatch):
+    """Shrink COL_BLOCK so small banks span several blocks/shards."""
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+
+
+@pytest.fixture()
+def server(serve_inversion):
+    return BatchedPhase4Server(serve_inversion)
+
+
+# ----------------------------------------------------------------------
+# SlotSketch primitives
+# ----------------------------------------------------------------------
+def test_slot_sketch_is_orthonormal_and_seeded():
+    sk = SlotSketch(nt=6, nd=8, rank=3, seed=42)
+    for t in range(6):
+        P = sk.slot(t)
+        np.testing.assert_allclose(P @ P.T, np.eye(3), atol=1e-12)
+    again = SlotSketch(nt=6, nd=8, rank=3, seed=42)
+    np.testing.assert_array_equal(sk.projections, again.projections)
+    other = SlotSketch(nt=6, nd=8, rank=3, seed=43)
+    assert not np.array_equal(sk.projections, other.projections)
+    # Distinct slots draw distinct projections.
+    assert not np.array_equal(sk.slot(0), sk.slot(1))
+    with pytest.raises(ValueError):
+        SlotSketch(nt=6, nd=8, rank=9)
+    with pytest.raises(ValueError):
+        SlotSketch(nt=6, nd=8, rank=0)
+
+
+def test_projection_never_grows_energy():
+    sk = SlotSketch(nt=4, nd=10, rank=4, seed=1)
+    rng = np.random.default_rng(0)
+    W = rng.standard_normal((40, 13))
+    proj, psq = sk.project_bank(W)
+    full = np.einsum(
+        "tds,tds->ts", W.reshape(4, 10, 13), W.reshape(4, 10, 13)
+    )
+    assert np.all(psq <= full + 1e-12)
+    # Full rank captures everything: the sketch becomes lossless.
+    full_rank = SlotSketch(nt=4, nd=10, rank=10, seed=1)
+    _, psq_full = full_rank.project_bank(W)
+    np.testing.assert_allclose(psq_full, full, rtol=1e-12)
+
+
+def test_fleet_incremental_projection_matches_catchup(serve_inversion, serve_streams):
+    """attach-then-advance (incremental) == advance-then-attach (catch-up)."""
+    _, _, d_obs = serve_streams
+    eng = serve_inversion.streaming_state()
+    sk = SlotSketch(eng.nt, eng.nd, rank=4, seed=7)
+    hz = [3, 8, eng.nt, 1, 6]
+
+    inc = eng.open_fleet(d_obs[:, :, :5])
+    inc.attach_sketch(sk.projections)
+    inc.advance(hz)
+
+    post = eng.open_fleet(d_obs[:, :, :5])
+    post.advance(hz)
+    post.attach_sketch(sk.projections)
+
+    np.testing.assert_allclose(
+        inc.slot_projections(), post.slot_projections(), rtol=0, atol=1e-13
+    )
+    # Direct check against the states themselves.
+    W = inc.states
+    for s in range(eng.nt):
+        expect = sk.slot(s) @ W[s * eng.nd : (s + 1) * eng.nd]
+        np.testing.assert_allclose(
+            inc.slot_projections()[s * 4 : (s + 1) * 4], expect, atol=1e-12
+        )
+    # Norm export is consistent and zero beyond each horizon.
+    psq = inc.slot_projection_norms()
+    for j, k in enumerate(hz):
+        assert np.all(psq[k:, j] == 0.0)
+    with pytest.raises(RuntimeError):
+        eng.open_fleet(d_obs[:, :, :1]).slot_projections()
+
+
+# ----------------------------------------------------------------------
+# Certified brackets (flat path)
+# ----------------------------------------------------------------------
+def test_evidence_interval_contains_exact_and_sketch_tightens(
+    server, serve_bank, serve_streams
+):
+    _, _, d_obs = serve_streams
+    nt = server.nt
+    session = server.open_identification(serve_bank, d_obs[:, :, :6])
+    rng = np.random.default_rng(3)
+    hz = rng.integers(1, nt + 1, size=6)
+    session.advance(hz)
+    ev = session.log_evidence()
+
+    lb_n, ub_n = session.evidence_interval(stride=3)
+    assert np.all(lb_n <= ev + 1e-9) and np.all(ev <= ub_n + 1e-9)
+
+    for rank in (2, server.nd):
+        lb_s, ub_s = session.evidence_interval(stride=3, sketch_rank=rank)
+        assert np.all(lb_s <= ev + 1e-9) and np.all(ev <= ub_s + 1e-9)
+        width_s = ub_s - lb_s
+        width_n = ub_n - lb_n
+        assert np.all(width_s <= width_n + 1e-9)
+    # Full-rank sketch: the bracket collapses onto the exact evidence.
+    np.testing.assert_allclose(lb_s, ev, rtol=0, atol=1e-8)
+    np.testing.assert_allclose(ub_s, ev, rtol=0, atol=1e-8)
+
+
+def test_bank_sketch_is_memoized(server, serve_bank):
+    ident = server.scenario_identifier(serve_bank)
+    a = ident.sketch(3, seed=5)
+    assert ident.sketch(3, seed=5) is a
+    assert ident.sketch(3, seed=6) is not a
+    assert ident.state_nbytes() > a[1].nbytes  # sketches counted
+
+
+# ----------------------------------------------------------------------
+# Fabric: certified sketch screen == exhaustive, ragged fleets
+# ----------------------------------------------------------------------
+def test_certified_sketch_screen_matches_exhaustive_ragged(
+    server, serve_bank, serve_streams, small_blocks
+):
+    _, _, d_obs = serve_streams
+    nt = server.nt
+    rng = np.random.default_rng(17)
+    hz = rng.integers(2, nt + 1, size=8)
+    ref = server.identify_batch(serve_bank, d_obs[:, :, :8], k_slots=hz)
+    with server.fabric(
+        [serve_bank], n_workers=2, sketch_rank=4, screen_stride=2,
+        screen_top=3, screen_min_scenarios=1,
+    ) as fab:
+        got = fab.identify(d_obs[:, :, :8], hz)
+        assert fab.last_report.screened
+        assert fab.last_report.sketch_rank == 4
+        for j in range(8):
+            top_ref = [s for s, _ in ref.top_k(3)[j]]
+            top_got = [s for s, _ in got.top_k(3)[j]]
+            assert top_got == top_ref
+        # Single-stream requests too (sharp candidate sets).
+        for j in range(4):
+            one = fab.identify(d_obs[:, :, j : j + 1], k_slots=int(hz[j]))
+            assert [s for s, _ in one.top_k(3)[0]] == [
+                s for s, _ in ref.top_k(3)[j]
+            ]
+
+
+def test_sketch_prunes_more_than_norm_screen(server, serve_bank, serve_streams):
+    """Same fabric, same request: sketch brackets must not prune less."""
+    d_clean, _, _ = serve_streams
+    nt = server.nt
+    with server.fabric(
+        [serve_bank], n_workers=0, sketch_rank=6, screen_stride=2,
+        screen_top=1, screen_min_scenarios=1,
+    ) as fab:
+        fab.identify(d_clean[:, :, :1], k_slots=nt, sketch=False)
+        norm_candidates = fab.last_report.n_candidates
+        assert fab.last_report.sketch_rank == 0
+        fab.identify(d_clean[:, :, :1], k_slots=nt)
+        sketch_candidates = fab.last_report.n_candidates
+        assert fab.last_report.sketch_rank == 6
+        assert sketch_candidates <= norm_candidates
+        assert fab.last_report.pruned_fraction > 0.0
+
+
+def test_sharded_bank_sketch_bitmatch(server, serve_bank, small_blocks):
+    """Worker-built shard sketches equal the flat identifier's, bitwise."""
+    ident = server.scenario_identifier(serve_bank)
+    _, proj, psq = ident.sketch(3, seed=9)
+    with server.fabric(
+        [serve_bank], n_workers=2, sketch_rank=3, sketch_seed=9
+    ) as fab:
+        v = fab._resolve_bank(serve_bank).views
+        assert np.array_equal(v["pmu"], proj)
+        assert np.array_equal(v["slot_psq"], psq)
+
+
+# ----------------------------------------------------------------------
+# Adversarial: sketch inner product mis-ranks, certified bracket refuses
+# ----------------------------------------------------------------------
+def test_certified_refuses_to_prune_sketch_misranking(server):
+    """Residual energy hidden in the sketch's orthogonal complement.
+
+    The bank is built in whitened space so that, on every *omitted* slot,
+    scenario ``decoy``'s residual lies entirely inside the sketch's
+    orthogonal complement (the projected residual — the sketch inner
+    product's view — is exactly zero, so by sketch-projection alone
+    ``decoy`` looks like a perfect match and outranks the true scenario),
+    while ``truth`` carries a small visible residual.  The certified
+    bracket cannot be fooled: the orthogonal-remainder norms keep
+    ``decoy``'s interval wide, it survives the screen, and stage 2's
+    exact evidence restores the exhaustive order.
+    """
+    inv = server.inv
+    nt, nd = server.nt, server.nd
+    L = np.asarray(inv.cholesky_lower)
+    rank = 2
+    seed = 31
+    sk = SlotSketch(nt, nd, rank, seed=seed)
+
+    rng = np.random.default_rng(5)
+    w_d = np.zeros(nt * nd)
+    w_d[:nd] = 10.0 * rng.standard_normal(nd)  # slot 0 dominates -> screened
+    for s in range(1, nt):
+        w_d[s * nd : (s + 1) * nd] = rng.standard_normal(nd)
+
+    def perp_component(s, v):
+        P = sk.slot(s)
+        return v - P.T @ (P @ v)
+
+    # decoy: matches the data exactly on the screened slot and in every
+    # sketch direction; its (large) residual is invisible to projections.
+    w_decoy = w_d.copy()
+    for s in range(1, nt):
+        v = rng.standard_normal(nd)
+        w_decoy[s * nd : (s + 1) * nd] += 3.0 * perp_component(s, v)
+    # truth: tiny fully-visible residual everywhere.
+    w_truth = w_d + 0.05 * rng.standard_normal(nt * nd)
+
+    W = np.stack([w_truth, w_decoy], axis=-1)
+    records = (L @ W).reshape(nt, nd, 2)
+    d_stream = (L @ w_d).reshape(nt, nd)
+
+    ident = ScenarioIdentifier(inv.streaming_state(), records)
+    sess = ident.open(d_stream[:, :, None])
+    sess.advance(nt)
+    exhaustive = [s for s, _ in sess.posterior().top_k(2)[0]]
+    assert exhaustive == ["s0", "s1"]  # truth first: the decoy's residual is real
+
+    # The sketch's own view genuinely mis-ranks: decoy's projected
+    # residual is ~zero while truth's is not.
+    _, proj, psq = ident.sketch(rank, seed=seed)
+    fleet = inv.streaming_state().open_fleet(d_stream[:, :, None])
+    fleet.attach_sketch(sk.projections)
+    fleet.advance(nt)
+    pd = fleet.slot_projections()[:, 0]
+    proj_resid = ((proj - pd[:, None]) ** 2).sum(axis=0)
+    assert proj_resid[1] < proj_resid[0]  # decoy looks *better* to the sketch
+
+    with server.fabric(
+        [records], n_workers=0, sketch_rank=rank, sketch_seed=seed,
+        screen_stride=nt, screen_top=1, screen_min_scenarios=1,
+    ) as fab:
+        cert = fab.identify(d_stream, nt, certified=True)
+        assert fab.last_report.screened
+        assert [s for s, _ in cert.top_k(2)[0]] == exhaustive
+        np.testing.assert_allclose(
+            cert.log_evidence[0], sess.log_evidence()[0], rtol=0, atol=1e-9
+        )
+
+
+# ----------------------------------------------------------------------
+# Sharded forecast mixtures
+# ----------------------------------------------------------------------
+def test_sharded_forecast_mixture_matches_flat(
+    server, serve_bank, serve_streams, small_blocks
+):
+    _, _, d_obs = serve_streams
+    nt = server.nt
+    hz = [3, nt, 7, 1, 9, 5]
+    session = server.open_identification(serve_bank, d_obs[:, :, :6])
+    session.advance(hz)
+    flat = session.forecast_mixture()
+    with server.fabric([serve_bank], n_workers=2) as fab:
+        got = fab.forecast_mixture(d_obs[:, :, :6], hz)
+        assert len(got) == 6
+        for f, g in zip(flat, got):
+            np.testing.assert_allclose(g.mean, f.mean, rtol=0, atol=1e-11)
+            scale = max(float(np.abs(f.covariance).max()), 1e-30)
+            assert np.abs(g.covariance - f.covariance).max() / scale < 1e-10
+            np.testing.assert_array_equal(g.times, f.times)
+
+
+def test_mixture_degrades_gracefully_and_chunks(
+    server, serve_bank, serve_streams, small_blocks
+):
+    _, _, d_obs = serve_streams
+    session = server.open_identification(serve_bank, d_obs[:, :, :6])
+    session.advance(4)
+    flat = session.forecast_mixture()
+    with server.fabric(
+        [serve_bank], n_workers=2, max_batch=4  # 6 streams -> 2 chunks
+    ) as fab:
+        fab._workers[0].process.kill()
+        fab._workers[0].process.join()
+        got = fab.forecast_mixture(d_obs[:, :, :6], 4)
+        for f, g in zip(flat, got):
+            np.testing.assert_allclose(g.mean, f.mean, rtol=0, atol=1e-11)
+            scale = max(float(np.abs(f.covariance).max()), 1e-30)
+            assert np.abs(g.covariance - f.covariance).max() / scale < 1e-10
+        # The transient mixture scratch was released.
+        assert fab.budget.nbytes_of(f"{fab.budget_prefix}:mixture") == 0
+
+
+def test_mixture_requires_qoi_capable_bank(server, serve_bank, serve_streams):
+    _, _, d_obs = serve_streams
+    records = serve_bank.clean_records(server.inv.F)
+    with server.fabric([records], n_workers=0) as fab:
+        with pytest.raises(RuntimeError, match="QoI"):
+            fab.forecast_mixture(d_obs[:, :, :2], 4)
