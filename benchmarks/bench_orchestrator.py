@@ -1,0 +1,181 @@
+"""Event-driven chaos replay: end-to-end KPIs through the serving fabric.
+
+Every other benchmark scores isolated requests; this one scores the
+paper's actual claim — *time to a correct, calibrated answer during an
+event* — by replaying a seeded chaos script (overlapping events, sensor
+dropout, noise bursts, worker kills and respawns) through a live
+:class:`~repro.serve.fabric.ServingFabric` via the
+:class:`~repro.twin.orchestrator.TwinOrchestrator`, and recording the
+per-event KPI trajectory the same way throughput is tracked for the
+fabric:
+
+* **time-to-correct-identification** — first horizon where the true
+  scenario enters the certified top-k and stays;
+* **warning lead time** — alert-fire horizon vs the truth's
+  threshold-crossing slot;
+* **forecast interval calibration** — empirical coverage of the
+  moment-matched mixture bands against the true clean QoI trajectory.
+
+Two hard gates (enforced in tiny/CI mode too):
+
+* every event is identified — a chaos replay that loses an event
+  entirely fails the run;
+* the replay is **deterministic**: the script is replayed twice on
+  fresh fabrics and both runs must produce byte-identical KPI payloads
+  (wall-clock timings live outside the compared section of
+  ``benchmarks/reports/BENCH_orchestrator.json``).
+
+Run standalone (the CI smoke path) or under pytest::
+
+    PYTHONPATH=src python benchmarks/bench_orchestrator.py [--tiny]
+    PYTHONPATH=src python -m pytest benchmarks/bench_orchestrator.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from conftest import write_json, write_report  # noqa: E402
+
+from repro.serve import BatchedPhase4Server, ScenarioBank  # noqa: E402
+from repro.serve.reporting import format_orchestrator_report  # noqa: E402
+from repro.twin import CascadiaTwin, TwinConfig  # noqa: E402
+from repro.twin.orchestrator import (  # noqa: E402
+    EventScript,
+    OrchestratorConfig,
+    TwinOrchestrator,
+)
+
+# ``kill_workers`` bounds the kill schedule's worker ids: shards are
+# assigned from worker 0 upward, so restricting kills to the low ids
+# guarantees every scripted kill hits a shard-bearing worker even when
+# the bank spans fewer shards than the fleet has workers.
+FULL = dict(
+    nt=16, nx=10, nd=12, nq=3, scenarios=512, n_events=10,
+    workers=4, kill_workers=2, n_kills=2, tick_stride=4, seed=2025,
+    sketch_rank=8, screen_top=4,
+)
+TINY = dict(
+    nt=10, nx=6, nd=8, nq=3, scenarios=24, n_events=8,
+    workers=2, kill_workers=1, n_kills=1, tick_stride=2, seed=2025,
+    sketch_rank=4, screen_top=4,
+)
+
+
+def _build(nt, nx, nd, nq, scenarios):
+    cfg = TwinConfig.demo_2d(nx=nx, n_slots=nt, n_sensors=nd, n_qoi=nq)
+    twin = CascadiaTwin(cfg).setup()
+    twin.phase1()
+    bank = ScenarioBank(twin.operator.bottom_trace, cfg.n_slots, cfg.dt_obs, seed=29)
+    bank.generate(scenarios)
+    _, noise, _ = bank.observation_batch(twin.F, noise_relative=cfg.noise_relative)
+    inv = twin.phase23(noise)
+    return BatchedPhase4Server(inv), bank
+
+
+def run_bench(
+    nt, nx, nd, nq, scenarios, n_events, workers, kill_workers, n_kills,
+    tick_stride, seed, sketch_rank, screen_top, tiny=False,
+) -> Dict[str, object]:
+    server, bank = _build(nt, nx, nd, nq, scenarios)
+    script = EventScript.generate(
+        bank, nt=nt, nd=nd, n_events=n_events, seed=seed,
+        n_workers=kill_workers, n_kills=n_kills, respawn_after=2,
+    )
+    cfg = OrchestratorConfig(tick_stride=tick_stride)
+
+    # The determinism gate: the same script on two fresh fabrics must
+    # reproduce the KPI payload byte-for-byte, kills and all.
+    payloads, results, walls = [], [], []
+    for _ in range(2):
+        with server.fabric(
+            [bank], n_workers=workers, screen_top=screen_top,
+            sketch_rank=sketch_rank, screen_stride=2,
+        ) as fabric:
+            orch = TwinOrchestrator(fabric, bank, script, cfg)
+            t0 = time.perf_counter()
+            res = orch.run()
+            walls.append(time.perf_counter() - t0)
+            results.append(res)
+            payloads.append(json.dumps(res.kpi_payload(), sort_keys=True))
+
+    res = results[0]
+    deterministic = payloads[0] == payloads[1]
+    assert deterministic, "same-seed chaos replays produced different KPIs"
+    assert res.all_identified, (
+        "chaos replay lost an event entirely:\n"
+        + format_orchestrator_report(res)
+    )
+
+    s = res.summary
+    lines = [
+        "TWIN ORCHESTRATOR - chaos replay KPIs through the live fabric",
+        f"problem: Nt={nt} Nd={nd} nx={nx}, bank of {scenarios} scenarios; "
+        f"{n_events} overlapping events (dropout + bursts), "
+        f"{n_kills} worker kill(s) + respawn, {workers} workers, "
+        f"stride {tick_stride}",
+        "",
+        format_orchestrator_report(res),
+        "",
+        f"determinism: two same-seed replays byte-identical = {deterministic}",
+        f"wall per replay: {walls[0]:.2f} s / {walls[1]:.2f} s",
+    ]
+    write_report("orchestrator", "\n".join(lines))
+    write_json("orchestrator", {
+        "bench": "orchestrator",
+        "tiny": tiny,
+        "problem": {
+            "nt": nt, "nd": nd, "nx": nx, "nq": nq,
+            "scenarios": scenarios, "n_events": n_events,
+            "workers": workers, "n_kills": n_kills,
+            "tick_stride": tick_stride, "seed": seed,
+            "sketch_rank": sketch_rank, "screen_top": screen_top,
+        },
+        # The deterministic section: byte-identical across same-seed runs.
+        "kpis": res.kpi_payload(),
+        "deterministic_across_reruns": deterministic,
+        # Wall timings live OUTSIDE the compared section by design.
+        "wall_s": walls[0],
+        "wall_s_repeat": walls[1],
+    })
+    return {
+        "all_identified": res.all_identified,
+        "deterministic": deterministic,
+        "n_events": s["n_events"],
+        "mean_tti_slots": s["mean_tti_slots"],
+        "mean_coverage": s["mean_coverage"],
+        "degraded_requests": s["degraded_requests"],
+        "wall_s": walls[0],
+    }
+
+
+def test_orchestrator_chaos_replay():
+    r = run_bench(**FULL)
+    assert r["all_identified"] and r["deterministic"]
+    assert r["degraded_requests"] > 0, "the kill schedule never degraded a request"
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--tiny",
+        action="store_true",
+        help="smoke-test sizes (CI): 8 events, 2 workers, 1 injected kill; "
+        "identification and determinism gates still enforced",
+    )
+    args = ap.parse_args()
+    r = run_bench(**(TINY if args.tiny else FULL), tiny=args.tiny)
+    if not r["all_identified"]:
+        raise SystemExit("an event missed identification entirely")
+    if not r["deterministic"]:
+        raise SystemExit("same-seed replays diverged")
+
+
+if __name__ == "__main__":
+    main()

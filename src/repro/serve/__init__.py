@@ -59,7 +59,8 @@ the single-event reproduction becomes a multi-tenant twin:
     ``python -m repro.serve.fabric`` CLI.  Operator guide:
     ``docs/SERVING.md``.
 ``reporting``
-    :func:`format_identification` / :func:`format_fabric_report` — the
+    :func:`format_identification` / :func:`format_fabric_report` /
+    :func:`format_orchestrator_report` — the
     shared operator-readable report formatting used by the examples, the
     fabric CLI, and the benchmarks.
 
@@ -97,6 +98,7 @@ from repro.serve.identify import (
 from repro.serve.reporting import (
     format_fabric_report,
     format_identification,
+    format_orchestrator_report,
     print_identification,
 )
 from repro.serve.scenarios import (
@@ -143,5 +145,6 @@ __all__ = [
     # report formatting
     "format_identification",
     "format_fabric_report",
+    "format_orchestrator_report",
     "print_identification",
 ]

@@ -112,6 +112,7 @@ from repro.inference.forecast import QoIForecast
 from repro.serve import sketch as _sketch
 from repro.serve.identify import IdentificationResult, normalize_log_prior
 from repro.serve.sketch import SlotSketch, certified_bounds, strip_sketch
+from repro.util.clock import Clock, ensure_clock
 from repro.util.memory import MemoryBudget
 
 __all__ = [
@@ -549,6 +550,12 @@ class FabricConfig:
         latency without waiting for ``max_batch`` — dispatch stays
         serialized through the fabric's internal lock, so the
         single-dispatcher invariant holds.
+    clock:
+        Time source for the deadline-flush timer
+        (:class:`~repro.util.clock.Clock`; ``None`` = the shared wall
+        clock).  Tests and deterministic replays inject a
+        :class:`~repro.util.clock.ManualClock` so the deadline fires on
+        *virtual* time — no sleeps, no timing flakes.
     memory_budget:
         ``None`` (unlimited), a byte count, or a shared
         :class:`~repro.util.memory.MemoryBudget`.  Attaching a bank under
@@ -572,6 +579,7 @@ class FabricConfig:
     sketch_rank: int = 0
     sketch_seed: int = 0
     max_queue_ms: Optional[float] = None
+    clock: Optional[Clock] = None
     memory_budget: Union[None, int, MemoryBudget] = None
     start_method: Optional[str] = None
     worker_timeout: float = 60.0
@@ -774,7 +782,8 @@ class ServingFabric:
         # this lock, so the optional queue-deadline timer thread can flush
         # without breaking the single-dispatcher invariant.
         self._dispatch_lock = threading.RLock()
-        self._flush_timer: Optional[threading.Timer] = None
+        self._timesource = ensure_clock(cfg.clock)
+        self._flush_timer = None  # handle from self._timesource.timer()
 
         # Shared static state: the Cholesky factor, its cumulative
         # log-diagonal, the geometry rows (for sharded forecast
@@ -1346,11 +1355,21 @@ class ServingFabric:
         Pending tickets are fused into one stacked pass — one fleet
         advance, one sharded identification (or forecast) — when
         ``max_batch`` of them accumulate or :meth:`flush` is called.
-        ``op`` is ``"identify"`` or ``"forecast"``.
+        ``op`` is ``"identify"``, ``"forecast"``, or ``"forecast_mixture"``
+        — every fabric operation rides this one admission path, so an
+        event-driven caller (the twin orchestrator) can interleave
+        identification and bank-conditioned mixture forecasts in the same
+        micro-batch queue.  Mixture tickets resolve to the same
+        :class:`~repro.inference.forecast.QoIForecast` a direct
+        :meth:`forecast_mixture` call returns (pinned by the
+        queue-equivalence suite in ``tests/serve/test_fabric.py``).
         """
         self._check_open()
-        if op not in ("identify", "forecast"):
-            raise ValueError(f"op must be 'identify' or 'forecast', got {op!r}")
+        if op not in ("identify", "forecast", "forecast_mixture"):
+            raise ValueError(
+                "op must be 'identify', 'forecast', or 'forecast_mixture', "
+                f"got {op!r}"
+            )
         d = np.asarray(stream, dtype=np.float64)
         if d.shape != (self.nt, self.nd):
             raise ValueError(f"stream must be ({self.nt},{self.nd}), got {d.shape}")
@@ -1359,22 +1378,33 @@ class ServingFabric:
             # able to poison the batch its ticket would have joined.
             raise ValueError(f"k_slots must lie in [1, {self.nt}]")
         with self._dispatch_lock:
-            key = "" if op == "forecast" else self._resolve_bank(bank).key
+            if op == "forecast":
+                key = ""  # bank-free: plain partial-data forecasts
+            else:
+                state = self._resolve_bank(bank)
+                if op == "forecast_mixture" and "qoi" not in state.arrs:
+                    # Reject at admission, not at flush — a QoI-less bank
+                    # must not poison the batch its ticket would join.
+                    raise RuntimeError(
+                        "bank was attached without QoI records; no forecast "
+                        "mixture (attach a ScenarioBank with a p2q-complete "
+                        "inversion)"
+                    )
+                key = state.key
             ticket = FabricTicket(self)
             self._pending.append((key, ticket, d, int(k_slots), op))
             if len(self._pending) >= self.config.max_batch:
                 self.flush()
             elif self.config.max_queue_ms is not None and self._flush_timer is None:
-                # Queueing deadline: a timer thread flushes this partial
-                # batch if nothing else does first.  The timer fires into
-                # the dispatch lock, so it can never interleave with a
-                # foreground request (single-dispatcher invariant).
-                t = threading.Timer(
+                # Queueing deadline: a timer flushes this partial batch if
+                # nothing else does first.  The timer fires into the
+                # dispatch lock, so it can never interleave with a
+                # foreground request (single-dispatcher invariant) — true
+                # for the wall clock's background thread and for a
+                # ManualClock firing from the advancing thread alike.
+                self._flush_timer = self._timesource.timer(
                     self.config.max_queue_ms / 1e3, self._deadline_flush
                 )
-                t.daemon = True
-                self._flush_timer = t
-                t.start()
         return ticket
 
     def _deadline_flush(self) -> None:
@@ -1415,6 +1445,10 @@ class ServingFabric:
                     fleet = self.engine.open_fleet(D)
                     fleet.advance(ks)
                     for (_, ticket, _, _, _), fc in zip(items, fleet.forecasts()):
+                        ticket._resolve(fc)
+                elif op == "forecast_mixture":
+                    fcs = self.forecast_mixture(D, ks, bank=key)
+                    for (_, ticket, _, _, _), fc in zip(items, fcs):
                         ticket._resolve(fc)
                 else:
                     result = self.identify(D, ks, bank=key)
@@ -1535,7 +1569,7 @@ class ServingFabric:
             req_id = self._req_counter
             self._req_counter += 1
             shard_of = {c: i for i, c in enumerate(state.shards)}
-            self._run_stage(
+            lost = self._run_stage(
                 state, "mixture", req_id,
                 lambda c0, c1: (
                     "mixture", req_id, state.key, J, Y.spec, out_specs,
@@ -1546,6 +1580,10 @@ class ServingFabric:
                     shard_of[(c0, c1)], c0, c1,
                 ),
             )
+            # The internal exhaustive identification already published its
+            # report; a worker lost during the mixture scatter itself must
+            # be accounted there too, or the degradation is invisible.
+            self.last_report.workers_lost += lost
             if times is None:
                 times = np.arange(1, self.nt + 1, dtype=np.float64)
             hz = self._static["hz"][:J]
@@ -1566,6 +1604,32 @@ class ServingFabric:
                 a.close()
                 a.unlink()
             self.budget.release(f"{self.budget_prefix}:mixture")
+
+    def kill_worker(self, wid: int) -> bool:
+        """Chaos fault point: hard-kill one worker process (SIGKILL-style).
+
+        The injectable failure the chaos suites and the twin orchestrator
+        replay mid-event: the process is killed without warning — no
+        drain, no farewell message — exactly like an OOM kill or node
+        loss.  Subsequent requests observe the dead pipe, recompute the
+        worker's shards in the parent (results stay exact), and count the
+        loss in ``FabricReport.workers_lost``;
+        :meth:`respawn_workers` restores parallelism.  Returns whether
+        the worker was alive to kill (idempotent on dead slots).
+        """
+        with self._dispatch_lock:
+            self._check_open()
+            if not 0 <= wid < len(self._workers):
+                raise IndexError(
+                    f"worker id {wid} out of range [0, {len(self._workers)})"
+                )
+            w = self._workers[wid]
+            was_alive = w.alive and w.process.is_alive()
+            if w.process.is_alive():
+                w.process.kill()
+                w.process.join(timeout=5.0)
+            w.alive = False
+            return bool(was_alive)
 
     def respawn_workers(self) -> int:
         """Re-launch retired workers into the existing shared segments.

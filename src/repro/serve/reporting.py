@@ -16,6 +16,7 @@ from repro.serve.identify import IdentificationResult
 __all__ = [
     "format_identification",
     "format_fabric_report",
+    "format_orchestrator_report",
     "print_identification",
 ]
 
@@ -112,6 +113,50 @@ def format_fabric_report(
             f"({counters.get('fabric_shared_bytes', 0.0) / float(1 << 20):.1f} "
             f"MiB shared), {int(counters.get('fabric_banks_evicted', 0))} evicted"
         )
+    return "\n".join(lines)
+
+
+def _fmt_opt(value, fmt: str = "{}", none: str = "-") -> str:
+    """Render an optional KPI value (None = not applicable/never)."""
+    return none if value is None else fmt.format(value)
+
+
+def format_orchestrator_report(result) -> str:
+    """Operator-readable KPI table for one chaos replay.
+
+    ``result`` is a :class:`~repro.twin.orchestrator.OrchestratorResult`.
+    One row per event: identification outcome, time-to-identification,
+    warning lead, calibration coverage, and how many degraded requests
+    the event rode through; a summary paragraph closes the table.
+    """
+    s = result.summary
+    header = (
+        f"{'event':<8s} {'scenario':<16s} {'ok':<4s} {'tti':>5s} "
+        f"{'alert@':>7s} {'lead':>5s} {'cover':>6s} {'degr':>5s}"
+    )
+    lines = [header]
+    for k in result.events:
+        lines.append(
+            f"{k.event_id:<8s} {k.scenario_id:<16s} "
+            f"{'yes' if k.identified else 'NO':<4s} "
+            f"{_fmt_opt(k.tti_slots):>5s} {_fmt_opt(k.alert_horizon):>7s} "
+            f"{_fmt_opt(k.lead_slots):>5s} "
+            f"{_fmt_opt(k.coverage, '{:.3f}'):>6s} {k.degraded_requests:>5d}"
+        )
+    lines.append(
+        f"{s['n_identified']}/{s['n_events']} events identified "
+        f"(top-{s['top_k']}; {s['n_map_correct']} MAP-correct); mean tti "
+        f"{_fmt_opt(s['mean_tti_slots'], '{:.1f}')} slots; "
+        f"{s['n_alerts_fired']} warnings fired, mean lead "
+        f"{_fmt_opt(s['mean_lead_slots'], '{:.1f}')} slots; mean "
+        f"{s['coverage_level']:.0%} band coverage "
+        f"{_fmt_opt(s['mean_coverage'], '{:.3f}')}"
+    )
+    lines.append(
+        f"replay: {result.n_ticks} ticks, {result.kills_applied} worker "
+        f"kill(s), {result.respawns_applied} respawn(s), "
+        f"{result.wall_s:.2f} s wall"
+    )
     return "\n".join(lines)
 
 

@@ -338,6 +338,31 @@ class BatchedPhase4Server:
             session.advance(k_slots)
             return session.posterior()
 
+    def forecast_mixture_batch(
+        self,
+        bank,
+        streams: Union[np.ndarray, Sequence[np.ndarray]],
+        k_slots: Union[int, Sequence[int], np.ndarray],
+        times: Optional[np.ndarray] = None,
+        prior_weights: Optional[np.ndarray] = None,
+    ) -> List[QoIForecast]:
+        """Bank-conditioned forecast mixtures at the given horizons.
+
+        The one-shot flat counterpart of
+        :meth:`~repro.serve.fabric.ServingFabric.forecast_mixture` (and of
+        ``fabric.submit(op="forecast_mixture")`` tickets): per stream,
+        scenario-conditioned forecasts mixed over the exhaustive posterior
+        ``p(s | d_k)`` and moment-matched to one Gaussian.  Requires the
+        bank to carry QoI records (a p2q-complete inversion).  The fabric
+        paths are pinned against this one in the queue-equivalence suite.
+        """
+        with self.timers.time("serve: mixture batch"):
+            session = self.open_identification(
+                bank, streams, prior_weights=prior_weights
+            )
+            session.advance(k_slots)
+            return session.forecast_mixture(times=times)
+
     # ------------------------------------------------------------------
     # Sharded serving fabric
     # ------------------------------------------------------------------

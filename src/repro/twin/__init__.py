@@ -17,6 +17,13 @@ during the event).
 ``archive`` persists all Phase 1-3 operators to a compressed ``.npz`` so a
 warning center can load the precomputed twin without recomputation
 (optionally memory-mapped).
+
+``orchestrator`` + ``kpi`` close the loop at the system level: a clocked,
+deterministic event engine replays many concurrent synthetic events
+(overlapping ruptures, sensor dropout, noise bursts, worker kills)
+through a live serving fabric while a KPI tracker scores each event's
+time-to-correct-identification, warning lead time, and forecast interval
+calibration — the end-to-end metrics the paper's claims are judged on.
 """
 
 from repro.twin.archive import (
@@ -33,6 +40,15 @@ from repro.twin.earlywarning import (
     StreamingInverter,
     decide_alert,
 )
+from repro.twin.kpi import EventKPI, KPITracker, first_exceedance_slot
+from repro.twin.orchestrator import (
+    EventScript,
+    OrchestratorConfig,
+    OrchestratorResult,
+    SyntheticEvent,
+    TwinOrchestrator,
+    corrupt_stream,
+)
 
 __all__ = [
     "TwinConfig",
@@ -44,6 +60,15 @@ __all__ = [
     "EarlyWarningDecision",
     "decide_alert",
     "StreamingInverter",
+    "EventKPI",
+    "KPITracker",
+    "first_exceedance_slot",
+    "SyntheticEvent",
+    "EventScript",
+    "OrchestratorConfig",
+    "OrchestratorResult",
+    "TwinOrchestrator",
+    "corrupt_stream",
     "save_twin_archive",
     "load_twin_archive",
     "rebuild_inversion",

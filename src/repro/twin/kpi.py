@@ -1,0 +1,263 @@
+"""End-to-end KPI scoring for event replays through the serving fabric.
+
+The paper's claim is end-to-end — from first pressure readings to a
+calibrated forecast fast enough to beat the wave — and Nomura et al.'s
+sequential-update work makes the operational metric explicit: a scenario
+database is judged on *time-to-correct-identification*, not raw
+throughput.  This module scores exactly that, per synthetic event:
+
+``time-to-identification (tti)``
+    The first observation horizon at which the true scenario enters the
+    certified top-``k`` **and stays there** for every later recorded
+    horizon.  A transient that flaps back out does not count — the
+    warning center cannot act on a ranking it cannot trust to persist.
+``warning lead time``
+    Slots between the alert first reaching WARNING (per
+    :func:`repro.twin.earlywarning.decide_alert` on the bank-conditioned
+    mixture forecast) and the true clean QoI trajectory first crossing
+    the warning threshold.  Positive lead means the alert beat the wave.
+``forecast calibration``
+    Mean empirical coverage of the mixture forecast's pointwise credible
+    band against the true clean QoI trajectory
+    (:meth:`repro.inference.forecast.QoIForecast.coverage`), averaged
+    over recorded horizons.
+
+Everything recorded here is derived from seeded inputs, and every value
+in :meth:`EventKPI.to_dict` / :meth:`KPITracker.summary` is JSON-native
+and wall-clock-free — two same-seed chaos replays must serialize to
+byte-identical KPI payloads (the determinism gate of
+``benchmarks/bench_orchestrator.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["EventKPI", "KPITracker", "first_exceedance_slot"]
+
+
+def first_exceedance_slot(qoi_clean: np.ndarray, threshold: float) -> Optional[int]:
+    """First time slot where the max-over-locations QoI crosses ``threshold``.
+
+    ``qoi_clean`` is one event's noise-free QoI trajectory ``(Nt, Nq)``
+    (from :meth:`repro.serve.scenarios.ScenarioBank.clean_records` with
+    the p2q operator).  Returns ``None`` if the trajectory never crosses
+    — the ground truth against which warning lead time is measured.
+    """
+    q = np.asarray(qoi_clean, dtype=np.float64)
+    if q.ndim != 2:
+        raise ValueError(f"qoi_clean must be (Nt, Nq), got {q.shape}")
+    hits = np.flatnonzero(np.max(q, axis=1) >= float(threshold))
+    return int(hits[0]) if hits.size else None
+
+
+@dataclass
+class EventKPI:
+    """Scored KPIs for one replayed event (all fields JSON-native)."""
+
+    event_id: str
+    scenario_id: str
+    #: true scenario in the top-k at the final recorded horizon
+    identified: bool = False
+    #: true scenario is the MAP (rank 1) at the final recorded horizon
+    map_correct: bool = False
+    #: first horizon where the truth enters the top-k and stays (slots)
+    tti_slots: Optional[int] = None
+    #: final recorded horizon (slots of data absorbed)
+    final_horizon: Optional[int] = None
+    #: first horizon at which the alert reached WARNING
+    alert_horizon: Optional[int] = None
+    #: slot where the true clean QoI first crosses the warning threshold
+    truth_crossing_slot: Optional[int] = None
+    #: truth_crossing_slot - alert_horizon (positive = alert beat the wave)
+    lead_slots: Optional[int] = None
+    #: mean empirical coverage of the mixture credible band over horizons
+    coverage: Optional[float] = None
+    #: number of recorded identification horizons
+    n_horizons: int = 0
+    #: total workers_lost accounted across this event's requests
+    degraded_requests: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict (None stays None; floats rounded nowhere)."""
+        return {
+            "event_id": self.event_id,
+            "scenario_id": self.scenario_id,
+            "identified": bool(self.identified),
+            "map_correct": bool(self.map_correct),
+            "tti_slots": self.tti_slots,
+            "final_horizon": self.final_horizon,
+            "alert_horizon": self.alert_horizon,
+            "truth_crossing_slot": self.truth_crossing_slot,
+            "lead_slots": self.lead_slots,
+            "coverage": self.coverage,
+            "n_horizons": self.n_horizons,
+            "degraded_requests": self.degraded_requests,
+        }
+
+
+@dataclass
+class _EventLog:
+    """Raw per-event observations accumulated during a replay."""
+
+    scenario_id: str
+    truth_crossing_slot: Optional[int] = None
+    #: horizon -> ranked scenario ids (ascending insertion order)
+    rankings: Dict[int, List[str]] = field(default_factory=dict)
+    #: horizon -> alert level (int)
+    alerts: Dict[int, int] = field(default_factory=dict)
+    #: horizon -> credible-band coverage
+    coverages: Dict[int, float] = field(default_factory=dict)
+    degraded: int = 0
+
+
+class KPITracker:
+    """Accumulates per-horizon observations and scores them into KPIs.
+
+    The orchestrator records one identification ranking, one alert
+    decision, and one coverage figure per (event, horizon); tests may
+    drive the tracker directly.  ``finalize`` is idempotent and
+    side-effect-free — the raw logs stay intact, so it can be called
+    mid-replay for a progress snapshot.
+
+    Parameters
+    ----------
+    top_k:
+        Rank window for "correct identification" (``1`` = MAP match).
+    warning_level:
+        Alert level (``int``) that counts as the warning firing —
+        defaults to ``AlertLevel.WARNING``.
+    coverage_level:
+        Credible level the recorded coverages were measured at (carried
+        into the summary for report readers).
+    """
+
+    def __init__(
+        self,
+        top_k: int = 1,
+        warning_level: int = 3,
+        coverage_level: float = 0.95,
+    ) -> None:
+        if top_k < 1:
+            raise ValueError("top_k must be >= 1")
+        self.top_k = int(top_k)
+        self.warning_level = int(warning_level)
+        self.coverage_level = float(coverage_level)
+        self._events: Dict[str, _EventLog] = {}
+        self._order: List[str] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def register_event(
+        self,
+        event_id: str,
+        scenario_id: str,
+        truth_crossing_slot: Optional[int] = None,
+    ) -> None:
+        """Declare an event before its first horizon is recorded."""
+        if event_id in self._events:
+            raise ValueError(f"event {event_id!r} already registered")
+        self._events[event_id] = _EventLog(
+            scenario_id=scenario_id, truth_crossing_slot=truth_crossing_slot
+        )
+        self._order.append(event_id)
+
+    def _log(self, event_id: str) -> _EventLog:
+        try:
+            return self._events[event_id]
+        except KeyError:
+            raise KeyError(f"unknown event {event_id!r}; register_event first")
+
+    def record_identification(
+        self, event_id: str, horizon: int, ranked_ids: Sequence[str]
+    ) -> None:
+        """Record the certified ranking observed at ``horizon`` slots."""
+        self._log(event_id).rankings[int(horizon)] = [str(s) for s in ranked_ids]
+
+    def record_alert(self, event_id: str, horizon: int, level: int) -> None:
+        """Record the alert level decided at ``horizon`` slots."""
+        self._log(event_id).alerts[int(horizon)] = int(level)
+
+    def record_coverage(self, event_id: str, horizon: int, coverage: float) -> None:
+        """Record the mixture band's empirical coverage at ``horizon``."""
+        self._log(event_id).coverages[int(horizon)] = float(coverage)
+
+    def record_degradation(self, event_id: str, workers_lost: int) -> None:
+        """Account workers lost while serving this event's requests."""
+        if workers_lost:
+            self._log(event_id).degraded += int(workers_lost)
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _score(self, event_id: str, log: _EventLog) -> EventKPI:
+        kpi = EventKPI(
+            event_id=event_id,
+            scenario_id=log.scenario_id,
+            truth_crossing_slot=log.truth_crossing_slot,
+            degraded_requests=log.degraded,
+        )
+        horizons = sorted(log.rankings)
+        kpi.n_horizons = len(horizons)
+        if horizons:
+            kpi.final_horizon = horizons[-1]
+            in_topk = [
+                log.scenario_id in log.rankings[h][: self.top_k] for h in horizons
+            ]
+            kpi.identified = bool(in_topk[-1])
+            final_ranking = log.rankings[horizons[-1]]
+            kpi.map_correct = bool(
+                final_ranking and final_ranking[0] == log.scenario_id
+            )
+            # Enters-and-stays: the latest horizon after which membership
+            # never lapses.  A ranking that flaps (in, out, in) scores the
+            # re-entry, not the transient.
+            tti = None
+            for h, ok in zip(reversed(horizons), reversed(in_topk)):
+                if not ok:
+                    break
+                tti = h
+            kpi.tti_slots = tti
+        fired = sorted(
+            h for h, lvl in log.alerts.items() if lvl >= self.warning_level
+        )
+        if fired:
+            kpi.alert_horizon = fired[0]
+        if kpi.alert_horizon is not None and log.truth_crossing_slot is not None:
+            kpi.lead_slots = int(log.truth_crossing_slot) - int(kpi.alert_horizon)
+        if log.coverages:
+            kpi.coverage = float(
+                np.mean([log.coverages[h] for h in sorted(log.coverages)])
+            )
+        return kpi
+
+    def finalize(self) -> List[EventKPI]:
+        """Score every registered event, in registration order."""
+        return [self._score(eid, self._events[eid]) for eid in self._order]
+
+    def summary(self) -> Dict[str, object]:
+        """Aggregate KPI dict (JSON-native, wall-clock-free)."""
+        kpis = self.finalize()
+        n = len(kpis)
+        identified = [k for k in kpis if k.identified]
+        ttis = [k.tti_slots for k in kpis if k.tti_slots is not None]
+        leads = [k.lead_slots for k in kpis if k.lead_slots is not None]
+        covs = [k.coverage for k in kpis if k.coverage is not None]
+        return {
+            "n_events": n,
+            "n_identified": len(identified),
+            "identification_rate": (len(identified) / n) if n else None,
+            "n_map_correct": sum(k.map_correct for k in kpis),
+            "mean_tti_slots": float(np.mean(ttis)) if ttis else None,
+            "max_tti_slots": int(max(ttis)) if ttis else None,
+            "n_alerts_fired": sum(k.alert_horizon is not None for k in kpis),
+            "mean_lead_slots": float(np.mean(leads)) if leads else None,
+            "mean_coverage": float(np.mean(covs)) if covs else None,
+            "degraded_requests": sum(k.degraded_requests for k in kpis),
+            "top_k": self.top_k,
+            "coverage_level": self.coverage_level,
+        }

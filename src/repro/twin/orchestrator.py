@@ -1,0 +1,518 @@
+"""Event-driven twin orchestrator: clocked chaos replays over the fabric.
+
+Every benchmark before this module scored isolated requests.  The paper's
+claim is end-to-end — from first pressure readings to a calibrated
+forecast fast enough to beat the wave — so the honest system-level test
+replays *many concurrent events* through the live
+:class:`~repro.serve.fabric.ServingFabric`: overlapping ruptures and
+aftershocks (staggered start ticks), sensor dropout windows, noise
+bursts, and worker kills/respawns mid-event, while a
+:class:`~repro.twin.kpi.KPITracker` scores per-event KPIs
+(time-to-correct-identification, warning lead time, forecast interval
+calibration).
+
+The engine is a *clocked replay*, not a simulator: virtual time advances
+in discrete ticks; at tick ``t`` every in-flight event has absorbed
+``(t - start_tick + 1) * tick_stride`` observation slots, and the
+orchestrator submits one identification and one bank-conditioned mixture
+forecast per active event — by default through the fabric's
+micro-batching ticket queue, so concurrent events genuinely fuse into
+shared micro-batches exactly as a warning center's request stream would.
+
+Determinism is the design constraint: every stochastic element (scenario
+draw, start ticks, dropout masks, burst amplitudes and draws, kill
+schedule) derives from ``np.random.SeedSequence`` tuples, and the scored
+KPI payload contains no wall-clock values — two same-seed chaos replays
+serialize to byte-identical KPI JSON even when worker kills force
+parent-side recomputation (sharded results are bitwise equal to flat by
+construction).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.twin.earlywarning import AlertLevel, decide_alert
+from repro.twin.kpi import EventKPI, KPITracker, first_exceedance_slot
+from repro.util.clock import Clock, ensure_clock
+
+__all__ = [
+    "SyntheticEvent",
+    "EventScript",
+    "OrchestratorConfig",
+    "OrchestratorResult",
+    "TwinOrchestrator",
+    "corrupt_stream",
+]
+
+_SEED_MASK = (1 << 63) - 1
+# Domain tags keeping the script's seed streams disjoint from each other
+# and from the bank's rupture/noise streams (which use small tags).
+_TAG_SCENARIO = 0x6F5C01
+_TAG_TIMING = 0x6F5C02
+_TAG_DROPOUT = 0x6F5C03
+_TAG_BURST = 0x6F5C04
+_TAG_KILLS = 0x6F5C05
+
+
+@dataclass(frozen=True)
+class SyntheticEvent:
+    """One scripted event: a bank scenario plus its corruption plan.
+
+    ``start_tick`` staggers events so several are always in flight;
+    dropout zeroes a sensor subset over a slot window (a cabled array
+    segment going dark); the burst adds seeded Gaussian noise scaled by
+    ``burst_amplitude`` times the stream RMS over its own window (a ship
+    passing over the pressure gauges).  ``corruption_seed`` is the
+    entropy of the burst draw — the whole corruption is reproducible
+    from the event record alone.
+    """
+
+    event_id: str
+    scenario_index: int
+    scenario_id: str
+    start_tick: int
+    dropout_sensors: Tuple[int, ...] = ()
+    dropout_t0: int = 0
+    dropout_t1: int = 0
+    burst_amplitude: float = 0.0
+    burst_t0: int = 0
+    burst_t1: int = 0
+    corruption_seed: int = 0
+
+
+def corrupt_stream(d_obs: np.ndarray, event: SyntheticEvent) -> np.ndarray:
+    """Apply one event's scripted corruption to its observation stream.
+
+    Returns a corrupted *copy* of ``d_obs`` ``(Nt, Nd)``: the dropout
+    window's sensors are zeroed (dead channel, not missing-data — the
+    inversion still absorbs the zeros, which is the operationally honest
+    failure mode for a cabled array), then the seeded noise burst is
+    added.  Deterministic in ``event.corruption_seed``.
+    """
+    d = np.array(d_obs, dtype=np.float64)
+    if event.dropout_sensors and event.dropout_t1 > event.dropout_t0:
+        d[event.dropout_t0 : event.dropout_t1, list(event.dropout_sensors)] = 0.0
+    if event.burst_amplitude > 0.0 and event.burst_t1 > event.burst_t0:
+        rng = np.random.default_rng(
+            np.random.SeedSequence((_TAG_BURST, event.corruption_seed & _SEED_MASK))
+        )
+        rms = float(np.sqrt(np.mean(np.asarray(d_obs, dtype=np.float64) ** 2)))
+        scale = event.burst_amplitude * (rms if rms > 0.0 else 1.0)
+        window = (event.burst_t1 - event.burst_t0, d.shape[1])
+        d[event.burst_t0 : event.burst_t1] += scale * rng.standard_normal(window)
+    return d
+
+
+@dataclass
+class EventScript:
+    """A seeded chaos script: events plus the worker kill/respawn plan.
+
+    ``kills`` is a list of ``(tick, worker_id)`` hard kills applied at
+    the *start* of the tick (before that tick's requests), ``respawns``
+    the ticks at which every dead worker slot is relaunched.  Build one
+    with :meth:`generate`; the script is plain data, so tests can also
+    author one by hand for targeted cases.
+    """
+
+    events: List[SyntheticEvent]
+    kills: List[Tuple[int, int]] = field(default_factory=list)
+    respawns: List[int] = field(default_factory=list)
+    seed: int = 0
+
+    @classmethod
+    def generate(
+        cls,
+        bank,
+        nt: int,
+        nd: int,
+        n_events: int = 8,
+        seed: int = 0,
+        n_workers: int = 2,
+        n_kills: int = 1,
+        respawn_after: Optional[int] = 2,
+        max_start_tick: Optional[int] = None,
+        p_dropout: float = 0.5,
+        p_burst: float = 0.5,
+    ) -> "EventScript":
+        """Draw a reproducible chaos script against ``bank``.
+
+        Scenarios are sampled without replacement while the bank lasts
+        (wrapping only when ``n_events > len(bank)``); start ticks are
+        staggered over ``[0, max_start_tick]`` (default ``n_events // 2``)
+        so events overlap; each event independently draws a dropout mask
+        and a noise burst with the given probabilities.  Kills land on
+        ticks ``[1, max_start_tick + 1]`` — while events are in flight —
+        and each kill schedules a fleet respawn ``respawn_after`` ticks
+        later (``None`` = never respawn).  Every draw comes from
+        ``SeedSequence((seed, tag, ...))`` streams, so two calls with the
+        same arguments return identical scripts.
+        """
+        if n_events < 1:
+            raise ValueError("n_events must be >= 1")
+        S = len(bank)
+        ids = bank.ids()
+        base = int(seed) & _SEED_MASK
+        rng_sc = np.random.default_rng(np.random.SeedSequence((base, _TAG_SCENARIO)))
+        rng_t = np.random.default_rng(np.random.SeedSequence((base, _TAG_TIMING)))
+        rng_dr = np.random.default_rng(np.random.SeedSequence((base, _TAG_DROPOUT)))
+        rng_bu = np.random.default_rng(np.random.SeedSequence((base, _TAG_BURST)))
+
+        # Without-replacement while the bank lasts: distinct events should
+        # stress distinct scenarios, not re-identify one.
+        picks: List[int] = []
+        while len(picks) < n_events:
+            block = rng_sc.permutation(S)[: n_events - len(picks)]
+            picks.extend(int(j) for j in block)
+
+        max_start = (
+            max(1, n_events // 2) if max_start_tick is None else int(max_start_tick)
+        )
+        events: List[SyntheticEvent] = []
+        for i, j in enumerate(picks):
+            start = int(rng_t.integers(0, max_start + 1))
+            dropout: Tuple[int, ...] = ()
+            d0 = d1 = 0
+            if rng_dr.random() < p_dropout:
+                # A short outage on a small sensor subset: a dead channel
+                # is a signal-sized perturbation on its own, so the
+                # default keeps it survivable (identification must still
+                # succeed; the chaos is in the serving path, not a
+                # designed-to-fail inverse problem).
+                n_drop = int(rng_dr.integers(1, max(2, nd // 8) + 1))
+                dropout = tuple(
+                    int(s) for s in sorted(rng_dr.permutation(nd)[:n_drop])
+                )
+                d0 = int(rng_dr.integers(0, max(1, nt // 2)))
+                d1 = min(nt, d0 + int(rng_dr.integers(1, max(2, nt // 3))))
+            amp = 0.0
+            b0 = b1 = 0
+            if rng_bu.random() < p_burst:
+                # 2-8x the 1%-relative instrument noise (amplitude is in
+                # units of the stream RMS): clearly above the modeled
+                # noise floor, clearly below signal scale.
+                amp = float(rng_bu.uniform(0.02, 0.08))
+                b0 = int(rng_bu.integers(0, max(1, nt // 2)))
+                b1 = min(nt, b0 + int(rng_bu.integers(1, max(2, nt // 2))))
+            events.append(
+                SyntheticEvent(
+                    event_id=f"ev{i:03d}",
+                    scenario_index=j,
+                    scenario_id=ids[j],
+                    start_tick=start,
+                    dropout_sensors=dropout,
+                    dropout_t0=d0,
+                    dropout_t1=d1,
+                    burst_amplitude=amp,
+                    burst_t0=b0,
+                    burst_t1=b1,
+                    corruption_seed=int(
+                        np.random.SeedSequence((base, _TAG_BURST, i)).generate_state(
+                            1, np.uint64
+                        )[0]
+                    ),
+                )
+            )
+
+        rng_k = np.random.default_rng(np.random.SeedSequence((base, _TAG_KILLS)))
+        kills: List[Tuple[int, int]] = []
+        respawns: List[int] = []
+        for _ in range(int(n_kills)):
+            tick = int(rng_k.integers(1, max_start + 2))
+            wid = int(rng_k.integers(0, max(1, n_workers)))
+            kills.append((tick, wid))
+            if respawn_after is not None:
+                respawns.append(tick + int(respawn_after))
+        return cls(events=events, kills=kills, respawns=sorted(set(respawns)),
+                   seed=int(seed))
+
+
+@dataclass
+class OrchestratorConfig:
+    """Replay knobs for :class:`TwinOrchestrator`.
+
+    Attributes
+    ----------
+    tick_stride:
+        Observation slots absorbed per virtual tick (the replay's data
+        cadence).
+    top_k:
+        Rank window for "correct identification" (must not exceed the
+        fabric's certified ``screen_top``).  The default ``3`` matches
+        operational practice — a warning center acts on a short certified
+        candidate list, and a scripted sensor-dropout window is a
+        signal-sized model violation that can legitimately demote the
+        truth below MAP while it stays in the leading ranks.  MAP
+        correctness is additionally scored per event
+        (:attr:`~repro.twin.kpi.EventKPI.map_correct`).
+    use_queue:
+        ``True`` (default) admits every request through
+        :meth:`~repro.serve.fabric.ServingFabric.submit` tickets so
+        concurrent events fuse into micro-batches; ``False`` issues one
+        stacked direct call per tick — same results (queue equivalence),
+        useful as a cross-check.
+    advisory / watch / warning:
+        Absolute alert thresholds on the QoI wave height.  ``None``
+        derives them from the bank's clean QoI library: ``warning`` is
+        half the median per-scenario peak, ``watch``/``advisory`` are
+        60%/30% of ``warning`` — scale-free defaults that fire for
+        typical bank members without being trivially always-on.
+    alert_probability:
+        Posterior exceedance probability that triggers a level.
+    coverage_level:
+        Credible level of the calibration KPI's bands.
+    observation_seed:
+        Seed for the bank's noisy observation draws (``None`` = bank
+        seed).
+    times:
+        Optional forecast time grid passed through to the mixture call.
+    """
+
+    tick_stride: int = 2
+    top_k: int = 3
+    use_queue: bool = True
+    advisory: Optional[float] = None
+    watch: Optional[float] = None
+    warning: Optional[float] = None
+    alert_probability: float = 0.5
+    coverage_level: float = 0.95
+    observation_seed: Optional[int] = None
+    times: Optional[np.ndarray] = None
+
+
+@dataclass
+class OrchestratorResult:
+    """Outcome of one replay: scored KPIs plus run accounting."""
+
+    events: List[EventKPI]
+    summary: Dict[str, object]
+    thresholds: Dict[str, float]
+    n_ticks: int
+    kills_applied: int
+    respawns_applied: int
+    wall_s: float
+    fabric_counters: Dict[str, float]
+
+    @property
+    def all_identified(self) -> bool:
+        """Every event's true scenario in the top-k at its final horizon."""
+        return all(k.identified for k in self.events)
+
+    def kpi_payload(self) -> Dict[str, object]:
+        """The deterministic KPI payload (no wall-clock values).
+
+        This is the section of ``BENCH_orchestrator.json`` that two
+        same-seed replays must reproduce byte-for-byte; ``wall_s`` and
+        the fabric byte counters live *outside* it.
+        """
+        return {
+            "summary": dict(self.summary),
+            "thresholds": {k: float(v) for k, v in self.thresholds.items()},
+            "n_ticks": self.n_ticks,
+            "kills_applied": self.kills_applied,
+            "respawns_applied": self.respawns_applied,
+            "events": [k.to_dict() for k in self.events],
+        }
+
+
+class TwinOrchestrator:
+    """Replays an :class:`EventScript` through a live serving fabric.
+
+    Parameters
+    ----------
+    fabric:
+        An open :class:`~repro.serve.fabric.ServingFabric` whose
+        inversion is p2q-complete (mixture forecasts are a scored KPI).
+    bank:
+        The :class:`~repro.serve.scenarios.ScenarioBank` the script was
+        generated against (attached on first use if not already).
+    script:
+        The seeded chaos script to replay.
+    config:
+        Replay knobs (default :class:`OrchestratorConfig`).
+    clock:
+        Wall-time source for the run's throughput accounting only — KPI
+        values never depend on it.  Tests inject a
+        :class:`~repro.util.clock.ManualClock`.
+    """
+
+    def __init__(
+        self,
+        fabric,
+        bank,
+        script: EventScript,
+        config: Optional[OrchestratorConfig] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if not script.events:
+            raise ValueError("script has no events")
+        self.fabric = fabric
+        self.bank = bank
+        self.script = script
+        self.config = config or OrchestratorConfig()
+        if self.config.tick_stride < 1:
+            raise ValueError("tick_stride must be >= 1")
+        if fabric.inv.Fq is None:
+            raise RuntimeError(
+                "orchestrator KPIs need mixture forecasts; the fabric's "
+                "inversion must be p2q-complete"
+            )
+        self._clock = ensure_clock(clock)
+
+    # ------------------------------------------------------------------
+    def _thresholds(self, qoi_clean: np.ndarray) -> Dict[str, float]:
+        """Resolve alert thresholds (config overrides, bank-derived else)."""
+        cfg = self.config
+        if cfg.warning is not None:
+            warn = float(cfg.warning)
+        else:
+            peaks = np.max(qoi_clean, axis=(0, 1))  # per-scenario peak QoI
+            warn = 0.5 * float(np.median(peaks))
+        watch = float(cfg.watch) if cfg.watch is not None else 0.6 * warn
+        adv = float(cfg.advisory) if cfg.advisory is not None else 0.3 * warn
+        return {"advisory": adv, "watch": watch, "warning": warn}
+
+    def _horizon(self, event: SyntheticEvent, tick: int, nt: int) -> int:
+        return min((tick - event.start_tick + 1) * self.config.tick_stride, nt)
+
+    # ------------------------------------------------------------------
+    def run(self) -> OrchestratorResult:
+        """Replay the script to completion and score every event."""
+        t_start = self._clock.monotonic()
+        cfg = self.config
+        fab = self.fabric
+        inv = fab.inv
+        nt = fab.nt
+        qoi_clean = self.bank.clean_records(inv.Fq)  # (Nt, Nq, S)
+        th = self._thresholds(qoi_clean)
+
+        # Observation streams: bank-wide draws under the inversion's own
+        # noise model (the identification evidence assumes it), then each
+        # event's scripted corruption on its own copy.
+        _, _, d_obs = self.bank.observation_batch(
+            inv.F, noise=inv.noise, seed=cfg.observation_seed
+        )
+        streams: Dict[str, np.ndarray] = {}
+        truths: Dict[str, np.ndarray] = {}
+        tracker = KPITracker(
+            top_k=cfg.top_k,
+            warning_level=int(AlertLevel.WARNING),
+            coverage_level=cfg.coverage_level,
+        )
+        for ev in self.script.events:
+            streams[ev.event_id] = corrupt_stream(d_obs[:, :, ev.scenario_index], ev)
+            truth = qoi_clean[:, :, ev.scenario_index]
+            truths[ev.event_id] = truth
+            tracker.register_event(
+                ev.event_id,
+                ev.scenario_id,
+                truth_crossing_slot=first_exceedance_slot(truth, th["warning"]),
+            )
+
+        kills_by_tick: Dict[int, List[int]] = {}
+        for tick, wid in self.script.kills:
+            kills_by_tick.setdefault(int(tick), []).append(int(wid))
+        respawn_ticks = set(int(t) for t in self.script.respawns)
+        n_ticks = max(ev.start_tick for ev in self.script.events) + math.ceil(
+            nt / cfg.tick_stride
+        )
+        kills_applied = 0
+        respawns_applied = 0
+        done: Dict[str, bool] = {ev.event_id: False for ev in self.script.events}
+
+        for tick in range(n_ticks):
+            # Fault plan first: kills and respawns land between request
+            # waves, exactly like node loss between arriving data slots.
+            for wid in kills_by_tick.get(tick, ()):
+                if 0 <= wid < len(fab._workers):
+                    kills_applied += int(fab.kill_worker(wid))
+            if tick in respawn_ticks:
+                respawns_applied += fab.respawn_workers()
+
+            active = [
+                ev
+                for ev in self.script.events
+                if ev.start_tick <= tick and not done[ev.event_id]
+            ]
+            if not active:
+                continue
+            horizons = [self._horizon(ev, tick, nt) for ev in active]
+            results, forecasts = self._serve(active, horizons, streams)
+            lost = int(fab.last_report.workers_lost)
+            for ev, k, res, fc in zip(active, horizons, results, forecasts):
+                ranked = [sid for sid, _ in res.top_k(max(cfg.top_k, 1))[0]]
+                tracker.record_identification(ev.event_id, k, ranked)
+                dec = decide_alert(
+                    fc,
+                    advisory=th["advisory"],
+                    watch=th["watch"],
+                    warning=th["warning"],
+                    probability=cfg.alert_probability,
+                )
+                tracker.record_alert(ev.event_id, k, int(dec.max_level()))
+                tracker.record_coverage(
+                    ev.event_id, k, fc.coverage(truths[ev.event_id], cfg.coverage_level)
+                )
+                if lost:
+                    tracker.record_degradation(ev.event_id, lost)
+                if k >= nt:
+                    done[ev.event_id] = True
+
+        wall_s = self._clock.monotonic() - t_start
+        return OrchestratorResult(
+            events=tracker.finalize(),
+            summary=tracker.summary(),
+            thresholds=th,
+            n_ticks=n_ticks,
+            kills_applied=kills_applied,
+            respawns_applied=respawns_applied,
+            wall_s=float(wall_s),
+            fabric_counters=fab.report(),
+        )
+
+    # ------------------------------------------------------------------
+    def _serve(
+        self,
+        active: Sequence[SyntheticEvent],
+        horizons: Sequence[int],
+        streams: Dict[str, np.ndarray],
+    ):
+        """One tick's requests: identifications + mixture forecasts.
+
+        Queue mode interleaves both ops through ``submit`` and flushes
+        once — concurrent events fuse into per-(bank, op) micro-batches.
+        Direct mode issues the two stacked calls; the results are pinned
+        identical by the queue-equivalence tests.
+        """
+        fab = self.fabric
+        cfg = self.config
+        if cfg.use_queue:
+            id_tk = [
+                fab.submit(streams[ev.event_id], k, bank=self.bank, op="identify")
+                for ev, k in zip(active, horizons)
+            ]
+            mx_tk = [
+                fab.submit(
+                    streams[ev.event_id], k, bank=self.bank, op="forecast_mixture"
+                )
+                for ev, k in zip(active, horizons)
+            ]
+            fab.flush()
+            return [t.result() for t in id_tk], [t.result() for t in mx_tk]
+        D = np.stack([streams[ev.event_id] for ev in active], axis=-1)
+        ks = np.asarray(horizons, dtype=np.int64)
+        res = fab.identify(D, ks, bank=self.bank)
+        fcs = fab.forecast_mixture(D, ks, bank=self.bank, times=cfg.times)
+        rows = [_row(res, j) for j in range(len(active))]
+        return rows, fcs
+
+
+def _row(result, j: int):
+    """One stream's view of a stacked ``IdentificationResult``."""
+    from repro.serve.fabric import _slice_result
+
+    return _slice_result(result, j)

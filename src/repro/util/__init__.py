@@ -10,6 +10,10 @@ Submodules
 ``memory``
     Array memory accounting used for the Section VII-B memory-optimization
     study (host/device split is emulated as persistent/transient).
+``clock``
+    Injectable time sources: the wall clock for production, a manually
+    advanced virtual clock for timing-independent tests (the fabric's
+    deadline flush and the twin orchestrator take either).
 ``validation``
     Small argument-checking helpers used across public APIs.
 ``hashing``
@@ -17,6 +21,7 @@ Submodules
     used by the serving layer's operator cache.
 """
 
+from repro.util.clock import Clock, ManualClock, WallClock, ensure_clock
 from repro.util.hashing import array_fingerprint, geometry_fingerprint
 from repro.util.logging import get_logger
 from repro.util.memory import MemoryTracker, nbytes_of
@@ -41,4 +46,8 @@ __all__ = [
     "check_in",
     "array_fingerprint",
     "geometry_fingerprint",
+    "Clock",
+    "WallClock",
+    "ManualClock",
+    "ensure_clock",
 ]

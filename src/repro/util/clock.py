@@ -1,0 +1,143 @@
+"""Injectable clocks: wall time for production, virtual time for tests.
+
+Two consumers in the serving stack depend on the passage of time: the
+fabric's micro-batch *deadline flush* (``FabricConfig.max_queue_ms`` arms a
+timer that flushes a partial batch), and the twin orchestrator's replay
+loop (wall-clock throughput accounting).  Testing either against the real
+clock means sleeping — slow at best, flaky under CI preemption at worst.
+
+This module is the seam: everything time-dependent takes a :class:`Clock`
+(``monotonic()`` + one-shot ``timer()``), defaulting to the process-wide
+:data:`WALL` :class:`WallClock`.  Tests inject a :class:`ManualClock`
+instead and *advance virtual time explicitly* — due timers fire
+synchronously inside :meth:`ManualClock.advance`, in the calling thread,
+so there is nothing to poll and nothing to race.  The fabric's deadline
+flush serializes through its dispatch lock either way, so firing from the
+test thread preserves the single-dispatcher invariant exactly like the
+background timer thread does.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+__all__ = ["Clock", "ManualClock", "WallClock", "WALL", "ensure_clock"]
+
+
+class Clock:
+    """Interface: a monotonic time source plus one-shot timers.
+
+    Subclasses implement :meth:`monotonic` and :meth:`timer`.  Timer
+    handles expose ``cancel()`` (idempotent, best-effort: a timer already
+    firing may still complete).
+    """
+
+    def monotonic(self) -> float:
+        """Seconds on a monotonic axis (origin unspecified)."""
+        raise NotImplementedError
+
+    def timer(self, delay: float, fn: Callable[[], None]):
+        """Arm a one-shot timer calling ``fn`` after ``delay`` seconds.
+
+        Returns a handle with ``cancel()``.
+        """
+        raise NotImplementedError
+
+
+class WallClock(Clock):
+    """The real clock: :func:`time.monotonic` + daemon ``threading.Timer``."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def timer(self, delay: float, fn: Callable[[], None]) -> threading.Timer:
+        t = threading.Timer(delay, fn)
+        t.daemon = True
+        t.start()
+        return t
+
+
+class _ManualTimer:
+    """Handle for one pending :class:`ManualClock` timer."""
+
+    __slots__ = ("deadline", "fn", "cancelled", "seq")
+
+    def __init__(self, deadline: float, fn: Callable[[], None], seq: int) -> None:
+        self.deadline = deadline
+        self.fn = fn
+        self.cancelled = False
+        self.seq = seq
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class ManualClock(Clock):
+    """A virtual clock advanced explicitly by the test (or replay driver).
+
+    ``monotonic()`` returns the virtual time; ``timer()`` registers a
+    deadline; :meth:`advance` moves time forward and fires every due,
+    uncancelled timer *synchronously in the calling thread*, in deadline
+    order (ties broken by arming order).  Virtual time is stepped to each
+    timer's own deadline before its callback runs, so a callback reading
+    ``monotonic()`` observes the time it was scheduled for — and a
+    callback arming a new timer whose deadline still falls inside the
+    same ``advance`` window fires within that same call.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self._timers: List[_ManualTimer] = []
+        self._seq = 0
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def timer(self, delay: float, fn: Callable[[], None]) -> _ManualTimer:
+        if delay < 0:
+            raise ValueError("delay must be >= 0")
+        t = _ManualTimer(self._now + float(delay), fn, self._seq)
+        self._seq += 1
+        self._timers.append(t)
+        return t
+
+    def pending(self) -> int:
+        """Number of armed, uncancelled timers."""
+        return sum(not t.cancelled for t in self._timers)
+
+    def advance(self, dt: float) -> int:
+        """Move virtual time forward by ``dt`` seconds; fire due timers.
+
+        Returns the number of callbacks fired.
+        """
+        if dt < 0:
+            raise ValueError("dt must be >= 0")
+        target = self._now + float(dt)
+        fired = 0
+        while True:
+            due: Optional[_ManualTimer] = None
+            for t in self._timers:
+                if t.cancelled or t.deadline > target:
+                    continue
+                if due is None or (t.deadline, t.seq) < (due.deadline, due.seq):
+                    due = t
+            if due is None:
+                break
+            self._timers.remove(due)
+            self._now = max(self._now, due.deadline)
+            due.fn()
+            fired += 1
+        self._timers = [t for t in self._timers if not t.cancelled]
+        self._now = target
+        return fired
+
+
+WALL = WallClock()
+"""Process-wide default wall clock."""
+
+
+def ensure_clock(clock: Optional[Clock]) -> Clock:
+    """``None`` means the shared :data:`WALL` clock."""
+    return WALL if clock is None else clock

@@ -1,0 +1,132 @@
+"""System-level chaos replay: the acceptance gate of the twin orchestrator.
+
+A seeded chaos script with 8+ overlapping events — sensor dropout
+windows, noise bursts, a worker hard-kill with a mid-event respawn — is
+replayed through a live sharded fabric.  What must hold:
+
+* every event's true scenario is identified (enters the certified top-k
+  and stays), with KPIs reported per event;
+* two same-seed replays serialize to **byte-identical** KPI payloads,
+  kill and all (sharded results are bitwise equal to flat even when the
+  parent recomputes a dead worker's shards);
+* the fabric's counters account for the chaos: degraded requests are
+  counted, the respawn is recorded, and the fleet ends healthy.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import BatchedPhase4Server, ScenarioBank
+from repro.serve.reporting import format_orchestrator_report
+from repro.twin import CascadiaTwin, TwinConfig
+from repro.twin.orchestrator import (
+    EventScript,
+    OrchestratorConfig,
+    TwinOrchestrator,
+)
+from repro.util.clock import ManualClock
+
+N_EVENTS = 8
+SEED = 2025
+
+
+@pytest.fixture(scope="module")
+def chaos_setup():
+    # Shrink the shard block so the 16-entry bank really spans both
+    # workers — otherwise the single COL_BLOCK-aligned shard lives on
+    # worker 0 and a scripted kill of worker 1 degrades nothing.
+    import repro.serve.sketch as sketch_mod
+
+    old_block = sketch_mod.COL_BLOCK
+    sketch_mod.COL_BLOCK = 8
+    twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=10, n_sensors=8, n_qoi=3))
+    twin.setup()
+    twin.phase1()
+    c = twin.config
+    bank = ScenarioBank(twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=11)
+    bank.generate(16)
+    _, noise, _ = bank.observation_batch(twin.F, noise_relative=0.01)
+    server = BatchedPhase4Server(twin.phase23(noise))
+    script = EventScript.generate(
+        bank, nt=server.nt, nd=server.nd, n_events=N_EVENTS, seed=SEED,
+        n_workers=2, n_kills=1, respawn_after=2,
+    )
+    yield server, bank, script
+    sketch_mod.COL_BLOCK = old_block
+
+
+def _replay(server, bank, script):
+    with server.fabric(
+        [bank], n_workers=2, screen_min_scenarios=1, screen_top=4,
+    ) as fab:
+        orch = TwinOrchestrator(
+            fab, bank, script, OrchestratorConfig(), clock=ManualClock()
+        )
+        result = orch.run()
+        counters = fab.report()
+    return result, counters
+
+
+@pytest.fixture(scope="module")
+def chaos_replays(chaos_setup):
+    """Two same-seed replays (each on a fresh fabric)."""
+    server, bank, script = chaos_setup
+    return _replay(server, bank, script), _replay(server, bank, script)
+
+
+class TestChaosReplay:
+    def test_script_actually_exercises_chaos(self, chaos_setup):
+        _, _, script = chaos_setup
+        assert len(script.events) == N_EVENTS
+        # Overlap: at least two events share some in-flight tick.
+        starts = sorted(ev.start_tick for ev in script.events)
+        assert starts[1] <= starts[0] + 1
+        assert any(ev.dropout_sensors for ev in script.events)
+        assert any(ev.burst_amplitude > 0 for ev in script.events)
+        assert len(script.kills) >= 1 and len(script.respawns) >= 1
+
+    def test_every_event_identified_with_kpis(self, chaos_replays):
+        (res, _), _ = chaos_replays
+        assert len(res.events) == N_EVENTS
+        assert res.all_identified, format_orchestrator_report(res)
+        for kpi in res.events:
+            assert kpi.tti_slots is not None
+            assert kpi.final_horizon == 10  # replayed to the full horizon
+            assert kpi.coverage is not None and 0.0 <= kpi.coverage <= 1.0
+        s = res.summary
+        assert s["n_identified"] == N_EVENTS
+        assert s["identification_rate"] == 1.0
+        assert s["mean_tti_slots"] is not None
+
+    def test_kill_and_respawn_mid_event(self, chaos_replays):
+        (res, counters), _ = chaos_replays
+        assert res.kills_applied == 1
+        assert res.respawns_applied == 1
+        # The kill degraded at least one event's requests, and the
+        # degradation is attributed in the per-event KPIs.
+        assert res.summary["degraded_requests"] > 0
+        assert any(k.degraded_requests > 0 for k in res.events)
+        # Fleet ends healthy: the respawn restored both workers.
+        assert counters["fabric_workers_alive"] == 2.0
+        assert counters["fabric_workers_respawned"] == 1.0
+        assert counters["fabric_requests"] > 0
+        assert counters["fabric_streams_served"] >= N_EVENTS
+
+    def test_same_seed_payloads_byte_identical(self, chaos_replays):
+        (a, _), (b, _) = chaos_replays
+        blob_a = json.dumps(a.kpi_payload(), sort_keys=True)
+        blob_b = json.dumps(b.kpi_payload(), sort_keys=True)
+        assert blob_a == blob_b
+        # And the payload is wall-clock-free by construction.
+        assert "wall" not in blob_a
+
+    def test_report_formats(self, chaos_replays):
+        (res, _), _ = chaos_replays
+        text = format_orchestrator_report(res)
+        assert f"{N_EVENTS}/{N_EVENTS} events identified" in text
+        assert "1 worker kill(s), 1 respawn(s)" in text
+        for kpi in res.events:
+            assert kpi.event_id in text

@@ -140,3 +140,126 @@ class TestNumericalEdgeCases:
         res = twin.run_end_to_end()
         assert np.all(np.isfinite(res.m_map))
         assert res.forecast.mean.shape == (2, 1)
+
+
+# ----------------------------------------------------------------------
+# Fabric-level chaos: kills at the worst possible moments
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fabric_setup():
+    """A sharded serving stack whose bank really spans both workers."""
+    import repro.serve.sketch as sketch_mod
+    from repro.serve import BatchedPhase4Server, ScenarioBank
+
+    old_block = sketch_mod.COL_BLOCK
+    sketch_mod.COL_BLOCK = 8
+    twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=10, n_sensors=8, n_qoi=3))
+    twin.setup()
+    twin.phase1()
+    c = twin.config
+    bank = ScenarioBank(twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=7)
+    bank.generate(24)
+    _, noise, d_obs = bank.observation_batch(twin.F, noise_relative=0.01)
+    server = BatchedPhase4Server(twin.phase23(noise))
+    yield server, bank, d_obs
+    sketch_mod.COL_BLOCK = old_block
+
+
+class TestFabricChaos:
+    """Worker kills injected *between* and *inside* request stages.
+
+    The graceful-degradation contract is stage-by-stage: whenever a
+    worker dies, the parent recomputes its shards from the same shared
+    buffers, so the results stay exact and ``FabricReport`` counters
+    account for every degradation.  These tests kill at the worst
+    moments — between the certified screen and the exact stage, and
+    during a ``forecast_mixture`` scatter — which no steady-state kill
+    test reaches.
+    """
+
+    @staticmethod
+    def _kill_after_stage(fab, stage_name, wid=0):
+        """Arm a one-shot kill firing right after ``stage_name`` completes."""
+        orig = fab._run_stage
+        armed = {"live": True}
+
+        def hooked(state, name, ack_id, make_msg, local_fn):
+            lost = orig(state, name, ack_id, make_msg, local_fn)
+            if armed["live"] and name == stage_name:
+                armed["live"] = False
+                fab.kill_worker(wid)
+            return lost
+
+        fab._run_stage = hooked
+        return armed
+
+    def test_kill_between_screen_and_exact(self, fabric_setup):
+        server, bank, d_obs = fabric_setup
+        ref = server.identify_batch(bank, d_obs[:, :, :4], k_slots=8)
+        with server.fabric(
+            [bank], n_workers=2, screen_min_scenarios=1, screen_top=4,
+            screen_stride=2,
+        ) as fab:
+            armed = self._kill_after_stage(fab, "screen", wid=0)
+            got = fab.identify(d_obs[:, :, :4], k_slots=8)
+            assert not armed["live"]  # the kill really fired mid-request
+            rep = fab.last_report
+            assert rep.screened and rep.workers_lost == 1 and rep.degraded
+            # Certified ranking survives the mid-request loss, exactly.
+            for j in range(4):
+                assert [s for s, _ in got.top_k(4)[j]] == [
+                    s for s, _ in ref.top_k(4)[j]
+                ]
+            # Counters: one dead worker, loss visible in the aggregate.
+            counters = fab.report()
+            assert counters["fabric_workers_alive"] == 1.0
+            assert counters["fabric_last_workers_lost"] == 1.0
+
+    def test_kill_during_mixture_scatter(self, fabric_setup):
+        server, bank, d_obs = fabric_setup
+        ref = server.forecast_mixture_batch(bank, d_obs[:, :, :3], k_slots=6)
+        with server.fabric([bank], n_workers=2) as fab:
+            # Exhaustive identification (screen=False) runs its stages
+            # first; the hook kills a worker right after the *exact*
+            # stage, so the loss lands inside the mixture scatter itself.
+            armed = self._kill_after_stage(fab, "exact", wid=1)
+            got = fab.forecast_mixture(d_obs[:, :, :3], k_slots=6)
+            assert not armed["live"]
+            # The parent recomputed the dead worker's partial moments:
+            # mixtures match the flat path to machine precision.
+            for fg, fr in zip(got, ref):
+                assert np.allclose(fg.mean, fr.mean, rtol=0, atol=1e-10)
+                assert np.allclose(
+                    fg.covariance, fr.covariance, rtol=0, atol=1e-9
+                )
+            # The scatter-stage loss is accounted, not swallowed.
+            assert fab.last_report.workers_lost >= 1
+            assert fab.report()["fabric_workers_alive"] == 1.0
+
+    def test_respawn_mid_event(self, fabric_setup):
+        """An in-flight stream keeps identical results across kill+respawn."""
+        server, bank, d_obs = fabric_setup
+        stream = d_obs[:, :, 5]
+        ref = server.identify_batch(bank, stream[:, :, None], k_slots=10)
+        with server.fabric(
+            [bank], n_workers=2, screen=False, max_batch=8
+        ) as fab:
+            evid = {}
+            for k in range(2, 11, 2):  # one event, advancing horizons
+                if k == 6:
+                    assert fab.kill_worker(0)  # mid-event node loss
+                    assert not fab.kill_worker(0)  # idempotent on dead slots
+                if k == 8:
+                    assert fab.respawn_workers() == 1  # mid-event recovery
+                got = fab.identify(stream[:, :, None], k_slots=k)
+                evid[k] = got.log_evidence[0].copy()
+                expected_lost = 1 if k == 6 else 0
+                assert fab.last_report.workers_lost == expected_lost
+            # The full-horizon evidence equals the flat path bitwise,
+            # straight through the kill and the respawn.
+            assert np.array_equal(evid[10], ref.log_evidence[0])
+            counters = fab.report()
+            assert counters["fabric_workers_alive"] == 2.0
+            assert counters["fabric_workers_respawned"] == 1.0
+            with pytest.raises(IndexError):
+                fab.kill_worker(99)

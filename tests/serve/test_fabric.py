@@ -312,34 +312,87 @@ def test_chunked_identify_merges_reports(server, serve_bank, serve_streams, smal
 
 
 def test_background_flush_timer(server, serve_bank, serve_streams):
-    """max_queue_ms flushes a partial batch without any explicit flush."""
-    import time as _time
+    """max_queue_ms flushes a partial batch on the *injected* clock.
+
+    Virtual time only — no sleeps, no polling, no CI-preemption window:
+    the ManualClock fires the deadline synchronously inside ``advance``,
+    which exercises the same ``_deadline_flush`` path the wall clock's
+    timer thread takes (both serialize through the dispatch lock).
+    """
+    from repro.util.clock import ManualClock
 
     _, _, d_obs = serve_streams
     ref = server.identify_batch(serve_bank, d_obs[:, :, :1], k_slots=6)
+    clk = ManualClock()
     with server.fabric(
         [serve_bank], n_workers=0, screen=False, max_batch=16,
-        max_queue_ms=50.0,
+        max_queue_ms=50.0, clock=clk,
     ) as fab:
-        t0 = _time.monotonic()
         ticket = fab.submit(d_obs[:, :, 0], 6)
-        # Only assert "not flushed yet" if we got here before the
-        # deadline could possibly have fired (CI preemption-proof).
-        if _time.monotonic() - t0 < 0.05:
-            assert not ticket.done
-        deadline = _time.monotonic() + 5.0
-        while not ticket.done and _time.monotonic() < deadline:
-            _time.sleep(0.01)
+        assert not ticket.done and clk.pending() == 1
+        clk.advance(0.049)
+        assert not ticket.done  # deadline is 50 ms, virtual time says 49
+        clk.advance(0.002)
         assert ticket.done, "deadline flush never fired"
         assert np.array_equal(ticket.result().log_evidence[0], ref.log_evidence[0])
         # The timer re-arms for later partial batches.
         t2 = fab.submit(d_obs[:, :, 1], 6)
-        deadline = _time.monotonic() + 5.0
-        while not t2.done and _time.monotonic() < deadline:
-            _time.sleep(0.01)
+        assert not t2.done and clk.pending() == 1
+        clk.advance(0.050)
         assert t2.done
+        # An explicit flush resolves the batch and cancels the deadline.
+        t3 = fab.submit(d_obs[:, :, 2], 6)
+        fab.flush()
+        assert t3.done and clk.pending() == 0
+        clk.advance(1.0)  # nothing armed; must be a no-op
     with pytest.raises(ValueError, match="max_queue_ms"):
         server.fabric([serve_bank], n_workers=0, max_queue_ms=0.0)
+
+
+def test_submit_forecast_mixture_queue_equivalence(
+    server, serve_bank, serve_streams, small_blocks
+):
+    """Mixture tickets == direct fabric mixtures == the flat server path.
+
+    All three fabric ops now ride the one admission path; this pins the
+    ``op="forecast_mixture"`` tickets to
+    :meth:`ServingFabric.forecast_mixture` (bitwise — same stacked batch)
+    and to :meth:`BatchedPhase4Server.forecast_mixture_batch` (machine
+    precision), and checks mixed-op queues group correctly.
+    """
+    _, _, d_obs = serve_streams
+    ks = [4, 6, 3, 6]
+    with server.fabric([serve_bank], n_workers=2, max_batch=16) as fab:
+        tickets = [
+            fab.submit(d_obs[:, :, j], k, op="forecast_mixture")
+            for j, k in enumerate(ks)
+        ]
+        assert fab.flush() == len(ks)
+        direct = fab.forecast_mixture(d_obs[:, :, : len(ks)], ks)
+        flat = server.forecast_mixture_batch(serve_bank, d_obs[:, :, : len(ks)], ks)
+        for t, fd, ff in zip(tickets, direct, flat):
+            fc = t.result()
+            assert np.array_equal(fc.mean, fd.mean)
+            assert np.array_equal(fc.covariance, fd.covariance)
+            assert np.allclose(fc.mean, ff.mean, rtol=0, atol=1e-10)
+            assert np.allclose(fc.covariance, ff.covariance, rtol=0, atol=1e-9)
+
+        # Interleaved ops fuse into per-(bank, op) groups in one flush.
+        ti = fab.submit(d_obs[:, :, 0], 5, op="identify")
+        tm = fab.submit(d_obs[:, :, 0], 5, op="forecast_mixture")
+        fab.flush()
+        ref_i = fab.identify(d_obs[:, :, :1], k_slots=5)
+        assert np.array_equal(ti.result().log_evidence[0], ref_i.log_evidence[0])
+        ref_m = fab.forecast_mixture(d_obs[:, :, :1], 5)[0]
+        assert np.array_equal(tm.result().mean, ref_m.mean)
+        assert np.array_equal(tm.result().covariance, ref_m.covariance)
+
+        # A QoI-less bank is rejected at admission, not at flush.
+        key = fab.attach_bank(serve_bank.clean_records(server.inv.F))
+        with pytest.raises(RuntimeError, match="QoI"):
+            fab.submit(d_obs[:, :, 0], 4, bank=key, op="forecast_mixture")
+        with pytest.raises(ValueError, match="op must be"):
+            fab.submit(d_obs[:, :, 0], 4, op="mixture")
 
 
 def test_respawn_workers_restores_parallelism(

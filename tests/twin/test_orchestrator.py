@@ -1,0 +1,290 @@
+"""Twin orchestrator: KPI scoring rules, scripted chaos, determinism.
+
+Three layers:
+
+* **KPITracker unit semantics** — time-to-identification is
+  enters-AND-stays (flapping scores the re-entry), lead time is signed,
+  coverage averages over horizons, everything serializes to JSON.
+* **EventScript** — seeded generation is reproducible and scenario-
+  diverse; corruption application is deterministic in the event record.
+* **End-to-end replays** over a live fabric — every event identified,
+  queue and direct modes agree, same-seed runs produce byte-identical
+  KPI payloads even with a worker kill mid-replay, and the wall clock is
+  injectable (no KPI depends on it).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchedPhase4Server, ScenarioBank
+from repro.twin import CascadiaTwin, TwinConfig
+from repro.twin.kpi import EventKPI, KPITracker, first_exceedance_slot
+from repro.twin.orchestrator import (
+    EventScript,
+    OrchestratorConfig,
+    SyntheticEvent,
+    TwinOrchestrator,
+    corrupt_stream,
+)
+from repro.util.clock import ManualClock
+
+
+# ----------------------------------------------------------------------
+# KPI scoring rules (no fabric involved)
+# ----------------------------------------------------------------------
+class TestKPITracker:
+    def test_first_exceedance_slot(self):
+        q = np.zeros((6, 2))
+        assert first_exceedance_slot(q, 0.5) is None
+        q[4, 1] = 0.7
+        assert first_exceedance_slot(q, 0.5) == 4
+        q[2, 0] = 0.5  # boundary counts
+        assert first_exceedance_slot(q, 0.5) == 2
+        with pytest.raises(ValueError):
+            first_exceedance_slot(np.zeros(6), 0.5)
+
+    def test_tti_is_enters_and_stays(self):
+        tr = KPITracker(top_k=1)
+        tr.register_event("ev", "s2")
+        # In at 2, flaps out at 4, re-enters at 6 and stays.
+        tr.record_identification("ev", 2, ["s2", "s0"])
+        tr.record_identification("ev", 4, ["s1", "s2"])
+        tr.record_identification("ev", 6, ["s2", "s1"])
+        tr.record_identification("ev", 8, ["s2", "s1"])
+        (kpi,) = tr.finalize()
+        assert kpi.identified and kpi.map_correct
+        assert kpi.tti_slots == 6  # the transient at 2 does not count
+        assert kpi.final_horizon == 8 and kpi.n_horizons == 4
+
+    def test_never_identified(self):
+        tr = KPITracker(top_k=1)
+        tr.register_event("ev", "s9")
+        tr.record_identification("ev", 2, ["s0"])
+        tr.record_identification("ev", 4, ["s1"])
+        (kpi,) = tr.finalize()
+        assert not kpi.identified and not kpi.map_correct
+        assert kpi.tti_slots is None
+
+    def test_top_k_window_vs_map(self):
+        tr = KPITracker(top_k=3)
+        tr.register_event("ev", "s2")
+        tr.record_identification("ev", 5, ["s0", "s1", "s2"])
+        (kpi,) = tr.finalize()
+        assert kpi.identified and not kpi.map_correct
+        assert kpi.tti_slots == 5
+
+    def test_lead_time_and_alerts(self):
+        tr = KPITracker(top_k=1, warning_level=3)
+        tr.register_event("a", "s0", truth_crossing_slot=7)
+        tr.record_alert("a", 2, 1)  # advisory: does not fire the warning
+        tr.record_alert("a", 4, 3)
+        tr.record_alert("a", 6, 3)
+        tr.register_event("b", "s1", truth_crossing_slot=3)
+        tr.record_alert("b", 5, 3)  # fired after the crossing: negative lead
+        tr.register_event("c", "s2")  # truth never crosses
+        tr.record_alert("c", 2, 3)
+        kpis = {k.event_id: k for k in tr.finalize()}
+        assert kpis["a"].alert_horizon == 4 and kpis["a"].lead_slots == 3
+        assert kpis["b"].lead_slots == -2
+        assert kpis["c"].alert_horizon == 2 and kpis["c"].lead_slots is None
+
+    def test_coverage_mean_and_degradation(self):
+        tr = KPITracker()
+        tr.register_event("ev", "s0")
+        tr.record_coverage("ev", 2, 1.0)
+        tr.record_coverage("ev", 4, 0.5)
+        tr.record_degradation("ev", 2)
+        tr.record_degradation("ev", 0)  # no-op
+        (kpi,) = tr.finalize()
+        assert kpi.coverage == pytest.approx(0.75)
+        assert kpi.degraded_requests == 2
+
+    def test_registration_errors(self):
+        tr = KPITracker()
+        tr.register_event("ev", "s0")
+        with pytest.raises(ValueError):
+            tr.register_event("ev", "s0")
+        with pytest.raises(KeyError):
+            tr.record_identification("ghost", 2, ["s0"])
+        with pytest.raises(ValueError):
+            KPITracker(top_k=0)
+
+    def test_summary_and_json_round_trip(self):
+        tr = KPITracker(top_k=2)
+        tr.register_event("a", "s0", truth_crossing_slot=6)
+        tr.record_identification("a", 4, ["s0", "s1"])
+        tr.record_alert("a", 4, 3)
+        tr.record_coverage("a", 4, 0.9)
+        tr.register_event("b", "s5")
+        tr.record_identification("b", 4, ["s1", "s2"])
+        s = tr.summary()
+        assert s["n_events"] == 2 and s["n_identified"] == 1
+        assert s["identification_rate"] == pytest.approx(0.5)
+        assert s["n_map_correct"] == 1
+        assert s["mean_tti_slots"] == pytest.approx(4.0)
+        assert s["mean_lead_slots"] == pytest.approx(2.0)
+        # The whole payload must be JSON-native (the bench gate relies
+        # on byte-identical serialization of same-seed runs).
+        blob = json.dumps(
+            {"summary": s, "events": [k.to_dict() for k in tr.finalize()]},
+            sort_keys=True,
+        )
+        assert json.loads(blob)["summary"]["n_events"] == 2
+
+
+# ----------------------------------------------------------------------
+# Event scripts and corruption
+# ----------------------------------------------------------------------
+class _FakeBank:
+    def __init__(self, n):
+        self._n = n
+
+    def __len__(self):
+        return self._n
+
+    def ids(self):
+        return [f"s{j}" for j in range(self._n)]
+
+
+class TestEventScript:
+    def test_generation_is_deterministic_and_diverse(self):
+        bank = _FakeBank(16)
+        a = EventScript.generate(bank, nt=10, nd=8, n_events=8, seed=3,
+                                 n_workers=2, n_kills=2)
+        b = EventScript.generate(bank, nt=10, nd=8, n_events=8, seed=3,
+                                 n_workers=2, n_kills=2)
+        assert a == b
+        # Without replacement while the bank lasts.
+        assert len({ev.scenario_index for ev in a.events}) == 8
+        assert len(a.kills) == 2 and len(a.respawns) >= 1
+        for tick, wid in a.kills:
+            assert tick >= 1 and 0 <= wid < 2
+        c = EventScript.generate(bank, nt=10, nd=8, n_events=8, seed=4,
+                                 n_workers=2, n_kills=2)
+        assert c != a  # the seed is the identity
+
+    def test_generation_wraps_when_bank_is_small(self):
+        script = EventScript.generate(_FakeBank(3), nt=10, nd=8, n_events=7,
+                                      seed=0)
+        assert len(script.events) == 7
+        assert {ev.scenario_index for ev in script.events} == {0, 1, 2}
+
+    def test_corrupt_stream_dropout_and_burst(self):
+        rng = np.random.default_rng(0)
+        d = rng.normal(size=(10, 8))
+        ev = SyntheticEvent(
+            event_id="ev", scenario_index=0, scenario_id="s0", start_tick=0,
+            dropout_sensors=(1, 4), dropout_t0=2, dropout_t1=5,
+            burst_amplitude=0.5, burst_t0=6, burst_t1=9, corruption_seed=42,
+        )
+        got = corrupt_stream(d, ev)
+        assert got is not d  # a copy; the base stream is untouched
+        assert np.all(got[2:5, [1, 4]] == 0.0)
+        assert np.array_equal(got[:2], d[:2])  # outside both windows
+        assert not np.array_equal(got[6:9], d[6:9])  # burst added
+        # Deterministic in the event record alone.
+        assert np.array_equal(got, corrupt_stream(d, ev))
+        # A quiet event passes through unchanged.
+        calm = SyntheticEvent(
+            event_id="q", scenario_index=0, scenario_id="s0", start_tick=0
+        )
+        assert np.array_equal(corrupt_stream(d, calm), d)
+
+
+# ----------------------------------------------------------------------
+# End-to-end replays over a live fabric
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def orch_setup():
+    # Small shard blocks so the bank spans both workers and a scripted
+    # kill is guaranteed to hit a shard-bearing worker.
+    import repro.serve.sketch as sketch_mod
+
+    old_block = sketch_mod.COL_BLOCK
+    sketch_mod.COL_BLOCK = 8
+    twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=10, n_sensors=8, n_qoi=3))
+    twin.setup()
+    twin.phase1()
+    c = twin.config
+    bank = ScenarioBank(twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=11)
+    bank.generate(12)
+    _, noise, _ = bank.observation_batch(twin.F, noise_relative=0.01)
+    server = BatchedPhase4Server(twin.phase23(noise))
+    script = EventScript.generate(
+        bank, nt=server.nt, nd=server.nd, n_events=4, seed=5,
+        n_workers=2, n_kills=1,
+    )
+    yield server, bank, script
+    sketch_mod.COL_BLOCK = old_block
+
+
+def _replay(server, bank, script, **cfg_kw):
+    with server.fabric(
+        [bank], n_workers=2, screen_min_scenarios=1, screen_top=4
+    ) as fab:
+        orch = TwinOrchestrator(
+            fab, bank, script, OrchestratorConfig(**cfg_kw),
+            clock=ManualClock(),
+        )
+        return orch.run()
+
+
+class TestTwinOrchestrator:
+    def test_chaos_replay_identifies_every_event(self, orch_setup):
+        server, bank, script = orch_setup
+        res = _replay(server, bank, script)
+        assert res.all_identified
+        assert len(res.events) == len(script.events)
+        assert res.kills_applied == len(script.kills)
+        assert res.respawns_applied >= 1
+        assert res.summary["n_events"] == len(script.events)
+        # The kill really degraded some requests, and KPIs still scored.
+        assert any(k.degraded_requests > 0 for k in res.events)
+        assert all(k.n_horizons > 0 for k in res.events)
+        assert all(k.coverage is not None for k in res.events)
+        # Injected ManualClock: no wall time elapsed on the virtual axis.
+        assert res.wall_s == 0.0
+
+    def test_same_seed_runs_are_byte_identical(self, orch_setup):
+        server, bank, script = orch_setup
+        a = _replay(server, bank, script)
+        b = _replay(server, bank, script)
+        assert json.dumps(a.kpi_payload(), sort_keys=True) == json.dumps(
+            b.kpi_payload(), sort_keys=True
+        )
+
+    def test_queue_and_direct_modes_agree(self, orch_setup):
+        server, bank, script = orch_setup
+        q = _replay(server, bank, script, use_queue=True)
+        d = _replay(server, bank, script, use_queue=False)
+        assert json.dumps(q.kpi_payload(), sort_keys=True) == json.dumps(
+            d.kpi_payload(), sort_keys=True
+        )
+
+    def test_threshold_overrides_and_validation(self, orch_setup):
+        server, bank, script = orch_setup
+        res = _replay(server, bank, script, warning=1e9)
+        # An impossible warning threshold: no alert ever fires, and the
+        # tracker says so rather than crashing.
+        assert res.summary["n_alerts_fired"] == 0
+        assert all(k.alert_horizon is None for k in res.events)
+        assert res.thresholds["warning"] == 1e9
+
+        with server.fabric([bank], n_workers=0, screen_min_scenarios=1) as fab:
+            with pytest.raises(ValueError, match="events"):
+                TwinOrchestrator(fab, bank, EventScript(events=[]))
+            with pytest.raises(ValueError, match="tick_stride"):
+                TwinOrchestrator(
+                    fab, bank, script, OrchestratorConfig(tick_stride=0)
+                )
+
+    def test_kpi_payload_excludes_wall_time(self, orch_setup):
+        server, bank, script = orch_setup
+        res = _replay(server, bank, script)
+        blob = json.dumps(res.kpi_payload())
+        assert "wall" not in blob
+        assert "t_total" not in blob

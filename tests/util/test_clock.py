@@ -1,0 +1,97 @@
+"""Injectable clock seam: ManualClock semantics and WallClock contract.
+
+The fabric's deadline flush and the twin orchestrator both take a
+:class:`~repro.util.clock.Clock`; timing-independent tests depend on the
+ManualClock's firing rules being exact — deadline order, ties by arming
+order, synchronous firing in the advancing thread, cancellation, and
+callbacks that re-arm within the same ``advance`` window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.clock import WALL, Clock, ManualClock, WallClock, ensure_clock
+
+
+def test_ensure_clock_defaults_to_shared_wall():
+    assert ensure_clock(None) is WALL
+    clk = ManualClock()
+    assert ensure_clock(clk) is clk
+    assert isinstance(WALL, WallClock)
+
+
+def test_base_class_is_abstract():
+    with pytest.raises(NotImplementedError):
+        Clock().monotonic()
+    with pytest.raises(NotImplementedError):
+        Clock().timer(0.0, lambda: None)
+
+
+def test_manual_clock_advances_and_fires_in_deadline_order():
+    clk = ManualClock()
+    fired = []
+    clk.timer(0.30, lambda: fired.append("late"))
+    clk.timer(0.10, lambda: fired.append("early"))
+    clk.timer(0.10, lambda: fired.append("early-tie"))  # tie: arming order
+    assert clk.pending() == 3
+    assert clk.advance(0.05) == 0
+    assert fired == [] and clk.monotonic() == pytest.approx(0.05)
+    assert clk.advance(0.10) == 2
+    assert fired == ["early", "early-tie"]
+    assert clk.advance(1.0) == 1
+    assert fired == ["early", "early-tie", "late"]
+    assert clk.pending() == 0
+    assert clk.monotonic() == pytest.approx(1.15)
+
+
+def test_manual_clock_callback_sees_its_own_deadline():
+    clk = ManualClock(start=2.0)
+    seen = []
+    clk.timer(0.5, lambda: seen.append(clk.monotonic()))
+    clk.advance(3.0)
+    assert seen == [pytest.approx(2.5)]
+    assert clk.monotonic() == pytest.approx(5.0)
+
+
+def test_manual_clock_cancel_and_rearm_within_window():
+    clk = ManualClock()
+    fired = []
+    t = clk.timer(0.1, lambda: fired.append("cancelled"))
+    t.cancel()
+    t.cancel()  # idempotent
+
+    # A callback arming a timer whose deadline still falls inside the
+    # same advance window fires within that same call (the fabric's
+    # re-armed deadline flush relies on this).
+    def chain():
+        fired.append("first")
+        clk.timer(0.1, lambda: fired.append("second"))
+
+    clk.timer(0.2, chain)
+    assert clk.advance(0.5) == 2
+    assert fired == ["first", "second"]
+    assert clk.pending() == 0
+
+
+def test_manual_clock_rejects_negative_inputs():
+    clk = ManualClock()
+    with pytest.raises(ValueError):
+        clk.timer(-0.1, lambda: None)
+    with pytest.raises(ValueError):
+        clk.advance(-1.0)
+
+
+def test_wall_clock_timer_fires_and_cancels():
+    import threading
+
+    clk = WallClock()
+    t0 = clk.monotonic()
+    event = threading.Event()
+    handle = clk.timer(0.01, event.set)
+    assert event.wait(timeout=5.0)
+    assert clk.monotonic() >= t0
+    handle.cancel()  # already fired: cancel is a no-op
+
+    never = clk.timer(60.0, lambda: None)
+    never.cancel()  # cancelled long before its deadline
