@@ -33,7 +33,13 @@ Measured here, against a >= 1024-scenario bank:
 Everything is also emitted machine-readably to
 ``benchmarks/reports/BENCH_fabric.json`` (throughput, certified fallback
 rates, sketch rank) — CI uploads it so the perf trajectory is tracked
-across PRs.
+across PRs.  The JSON also carries a ``backend`` section: the fabric's
+parent-side array backend (``FabricConfig.backend``), its declared screen
+rtol, and the fabric-serve phase priced against that backend's online
+roofline (:data:`repro.hpc.perfmodel.ONLINE_ROOFLINES`) as an achieved
+fraction-of-attainable — the analytic kernel floor of the fused
+fleet-advance + cross-term work, so routing regressions surface as an
+efficiency drop even when raw times drift with the host.
 
 Run standalone (the CI smoke path) or under pytest::
 
@@ -54,6 +60,7 @@ import numpy as np
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 from conftest import write_json, write_report  # noqa: E402
 
+from repro.hpc.perfmodel import gemm_spec, roofline_for, trsm_spec  # noqa: E402
 from repro.serve import BatchedPhase4Server, ScenarioBank  # noqa: E402
 from repro.twin import CascadiaTwin, TwinConfig  # noqa: E402
 from repro.util.memory import MIB  # noqa: E402
@@ -130,6 +137,27 @@ def fallback_rate(fabric, d_obs, horizon, n_batches, batch_size, use_sketch):
     return fallbacks / n_batches
 
 
+def _serve_spec(nd, nb, requests, S, horizon):
+    """Analytic kernel floor of serving every request to ``horizon``.
+
+    The fused work the fabric cannot avoid, regardless of batching or
+    screening: per absorbed slot, the fleet-advance history gemm, the
+    ``Nd x Nd`` blocked trsm, the running-means gemm, and the evidence
+    cross-term gemm against the full bank — counted once per request
+    (micro-batch fusion shares the calls, not the flops).  Screening
+    only *removes* bank columns from the cross terms, so this is a
+    floor and the achieved fraction-of-attainable stays <= 1.
+    """
+    spec = trsm_spec(nd, requests)  # slot 0 has no history gemm
+    spec = spec + gemm_spec(nb, requests, nd) + gemm_spec(requests, S, nd)
+    for s in range(1, horizon):
+        spec = spec + gemm_spec(nd, requests, s * nd)  # history gemm
+        spec = spec + trsm_spec(nd, requests)  # diagonal-block solve
+        spec = spec + gemm_spec(nb, requests, nd)  # means: Y^T w_new
+        spec = spec + gemm_spec(requests, S, nd)  # cross terms vs the bank
+    return spec
+
+
 def run_bench(
     nt, nx, nd, nq, scenarios, requests, horizon, workers, max_batch,
     budget_mib, top, sketch_rank, diverse_batches, diverse_batch_size,
@@ -187,6 +215,21 @@ def run_bench(
         shared_mib = fabric.state_nbytes() / MIB
         workers_alive = fabric.report()["fabric_workers_alive"]
 
+        # Price the fabric-serve phase against the parent backend's
+        # online roofline (kernel floor of the fused identification work).
+        roof = roofline_for(fabric.backend.name)
+        spec = _serve_spec(nd, fabric.engine._nb, requests, scenarios, horizon)
+        backend_info = {
+            "name": fabric.backend.name,
+            "device": roof.device,
+            "screen_rtol": float(fabric.backend.screen_rtol),
+            "is_exact": bool(fabric.backend.is_exact),
+            "kernel_gflop": spec.flops / 1e9,
+            "arithmetic_intensity": spec.arithmetic_intensity(),
+            "attainable_ms": roof.attainable_seconds(spec) * 1e3,
+            "fraction_of_attainable": roof.fraction_of_attainable(spec, t_fab),
+        }
+
     speedup = t_base / t_fab
     improvement = fb_norm / fb_sketch if fb_sketch > 0 else float("inf")
     lines = [
@@ -217,6 +260,10 @@ def run_bench(
         f"({100 * single_norm.pruned_fraction:.0f}% pruned) -> sketch "
         f"{single_sketch.n_candidates}/{scenarios} "
         f"({100 * single_sketch.pruned_fraction:.0f}% pruned)",
+        f"backend: {backend_info['name']} ({backend_info['device']}, "
+        f"screen rtol {backend_info['screen_rtol']:.1e}) — serve phase "
+        f"{t_fab * 1e3:.1f} ms vs {backend_info['attainable_ms']:.2f} ms "
+        f"attainable ({backend_info['fraction_of_attainable']:.3f} of roofline)",
     ]
     write_report("fabric", "\n".join(lines))
     write_json("fabric", {
@@ -238,6 +285,8 @@ def run_bench(
         "single_stream_pruned_fraction_sketch": single_sketch.pruned_fraction,
         "shared_mib": shared_mib,
         "budget_mib": budget_mib,
+        "backend": backend_info,
+        "report_backend": batch_report.backend,
         "tiny": tiny,
     })
     return {

@@ -14,6 +14,14 @@ slot per (stream, scenario) pair, about ``Nt`` times less work.
 Asserted: >= 5x wall-clock speedup at Nt = 64 on a 16-scenario bank (the
 gap grows ~linearly with Nt), with identical evidences to ~1e-10.
 
+Additionally, the streaming sweep is re-run once per *available* array
+backend (``repro.backend``: numpy always; torch when importable) and each
+measured time is priced against that backend's online roofline
+(:data:`repro.hpc.perfmodel.ONLINE_ROOFLINES`): the JSON report carries a
+``backends`` section with the achieved fraction-of-attainable per
+backend, so regressions in kernel routing show up as an efficiency drop
+rather than only as a raw-time change.
+
 Run standalone (the CI smoke path) or under pytest::
 
     PYTHONPATH=src python benchmarks/bench_identify.py [--tiny]
@@ -34,6 +42,8 @@ import scipy.linalg as sla
 sys.path.insert(0, str(pathlib.Path(__file__).parent))
 from conftest import write_json, write_report  # noqa: E402
 
+from repro.backend import available_backends  # noqa: E402
+from repro.hpc.perfmodel import gemm_spec, roofline_for, trsm_spec  # noqa: E402
 from repro.serve import ScenarioBank, ScenarioIdentifier  # noqa: E402
 from repro.twin import CascadiaTwin, TwinConfig  # noqa: E402
 
@@ -98,6 +108,66 @@ def streaming_sweep(identifier, D):
     return ev
 
 
+def _sweep_spec(nt: int, nd: int, nb: int, J: int, S: int):
+    """Analytic kernel footprint of one full streaming identification sweep.
+
+    Per absorbed slot ``s``: the fleet-advance gemm against the rows
+    already computed, the ``Nd x Nd`` blocked trsm, the running-mean
+    accumulation gemm, and the evidence cross-term gemm against the bank.
+    Matches the actual calls in ``StreamingFleet.advance`` and
+    ``IdentificationSession._fold_new_slots``.
+    """
+    spec = trsm_spec(nd, J)  # slot 0 has no history gemm
+    spec = spec + gemm_spec(nb, J, nd) + gemm_spec(J, S, nd)
+    for s in range(1, nt):
+        spec = spec + gemm_spec(nd, J, s * nd)  # history gemm
+        spec = spec + trsm_spec(nd, J)  # diagonal-block solve
+        spec = spec + gemm_spec(nb, J, nd)  # means: Y^T w_new
+        spec = spec + gemm_spec(J, S, nd)  # cross terms vs the bank
+    return spec
+
+
+def _constructible_backends():
+    """Backend names the local interpreter can actually run (CPU only)."""
+    names = []
+    for name in available_backends():
+        if name == "cupy":  # CUDA-only; detection != a usable device
+            continue
+        try:
+            from repro.backend import get_backend
+
+            get_backend(name)
+        except Exception:  # noqa: BLE001 - e.g. torch without a device
+            continue
+        names.append(name)
+    return names
+
+
+def backend_roofline_sweeps(inv, bank, d_obs, repeats):
+    """Streaming sweep per available backend, priced against its roofline."""
+    nt, nd = inv.nt, inv.nd
+    J = d_obs.shape[2]
+    out = {}
+    for name in _constructible_backends():
+        engine = inv.streaming_state(backend=name)
+        identifier = ScenarioIdentifier.from_bank(engine, bank)
+        S = identifier.n_scenarios
+        t_sweep, ev = _best_of(lambda: streaming_sweep(identifier, d_obs), repeats)
+        spec = _sweep_spec(nt, nd, engine._nb, J, S)
+        roof = roofline_for(engine.backend.name)
+        out[name] = {
+            "device": roof.device,
+            "t_sweep_ms": t_sweep * 1e3,
+            "kernel_gflop": spec.flops / 1e9,
+            "arithmetic_intensity": spec.arithmetic_intensity(),
+            "attainable_ms": roof.attainable_seconds(spec) * 1e3,
+            "fraction_of_attainable": roof.fraction_of_attainable(spec, t_sweep),
+            "screen_rtol": float(engine.backend.screen_rtol),
+            "evidence": ev,
+        }
+    return out
+
+
 def _best_of(fn, repeats):
     out = []
     for _ in range(repeats):
@@ -122,6 +192,17 @@ def run_bench(
     err = float(np.abs(ev_inc - ev_scratch).max()) / scale
     assert err < 1e-10, f"evidence sweeps diverged: {err:.2e}"
 
+    # Per-backend roofline pricing of the same sweep (numpy always; torch
+    # when importable).  Every backend must reproduce the numpy evidences
+    # within its declared tolerance contract.
+    backends = backend_roofline_sweeps(inv, bank, d_obs, repeats)
+    for name, b in backends.items():
+        ev_b = b.pop("evidence")
+        tol = max(b["screen_rtol"] * 1e3, 1e-10)
+        b_err = float(np.abs(ev_b - ev_scratch).max()) / scale
+        assert b_err < tol, f"{name} evidence diverged: {b_err:.2e} (tol {tol:.1e})"
+        b["evidence_agreement"] = b_err
+
     speedup = t_scratch / t_inc
     lines = [
         "SCENARIO IDENTIFICATION - streaming evidence vs from-scratch log-pdfs",
@@ -131,7 +212,14 @@ def run_bench(
         f"{'from-scratch (re-whiten every horizon)':<42s} {t_scratch * 1e3:>10.2f} ms",
         f"{'streaming (block solve + cross gemm/slot)':<42s} {t_inc * 1e3:>10.2f} ms",
         f"speedup: {speedup:.1f}x   (final-horizon evidence agreement: {err:.1e})",
+        "",
+        f"{'backend':<12s} {'sweep':>10s} {'attainable':>11s} {'roofline frac':>14s}",
     ]
+    for name, b in backends.items():
+        lines.append(
+            f"{name:<12s} {b['t_sweep_ms']:>8.2f} ms {b['attainable_ms']:>8.2f} ms "
+            f"{b['fraction_of_attainable']:>13.3f}"
+        )
     write_report("identify", "\n".join(lines))
     write_json("identify", {
         "bench": "identify",
@@ -144,8 +232,14 @@ def run_bench(
         "speedup": speedup,
         "sweeps_per_sec": 1.0 / t_inc,
         "final_horizon_evidence_agreement": err,
+        "backends": backends,
     })
-    return {"t_scratch": t_scratch, "t_incremental": t_inc, "speedup": speedup}
+    return {
+        "t_scratch": t_scratch,
+        "t_incremental": t_inc,
+        "speedup": speedup,
+        "backends": backends,
+    }
 
 
 def test_identification_sweep_speedup():
@@ -153,6 +247,10 @@ def test_identification_sweep_speedup():
     assert r["speedup"] >= MIN_SPEEDUP, (
         f"identification sweep speedup {r['speedup']:.2f}x < {MIN_SPEEDUP}x"
     )
+    # The roofline gate: the numpy sweep must report a sane achieved
+    # fraction of its attainable throughput (> 0, <= 1 up to timer noise).
+    frac = r["backends"]["numpy"]["fraction_of_attainable"]
+    assert 0.0 < frac <= 1.5, f"numpy roofline fraction out of range: {frac}"
 
 
 def main() -> None:

@@ -1,0 +1,459 @@
+"""Array-API backend seam for the online hot paths.
+
+The online phase — streaming inversion, bank identification, sketch
+screening — is dominated by a handful of dense kernels: blocked
+``trsm``/``gemm`` advances on ``Nd x Nd`` slot blocks, bank-column gemms,
+per-slot sketch projections, and FFT block-Toeplitz applies.  This module
+gives each of those kernels a single dispatch point: a :class:`Backend`
+object carrying the array namespace, the device, the dtype policy, a
+kernel table (``solve_triangular`` / ``qr`` / ``einsum`` / ``matmul`` /
+``rfft``), and host<->device transfer helpers.
+
+Two contracts, depending on the backend:
+
+**numpy (default): bitwise identity.**  The numpy backend's kernel table
+entries delegate to the *very same* library functions the hot paths
+called before the seam existed (``scipy.linalg.solve_triangular``,
+``np.einsum``, ``np.fft.rfft``, ``np.matmul``, ...) with identical
+arguments, so routing through the seam reproduces today's results
+BLAS-call-for-BLAS-call.  The fabric's shard-layout-independence and
+sketch-certificate tests depend on this; every ``rtol`` budget on the
+numpy backend is exactly ``0.0`` and :attr:`Backend.is_exact` is True.
+
+**torch / cupy: tolerance certification.**  Accelerated backends may
+reorder reductions, so each kernel declares an explicit relative-error
+budget (:class:`KernelBudget`).  The certified sketch screen inflates its
+brackets by the aggregate :attr:`Backend.screen_rtol` so that screening
+decisions stay provably safe relative to the numpy-exact evidence, and
+``tests/backend/`` asserts (a) torch-CPU results agree with numpy within
+the declared budgets and (b) inflated brackets still contain the exact
+evidence under random-bank sweeps.
+
+Backends are auto-detected: ``torch`` and ``cupy`` appear in
+:func:`available_backends` only when importable.  Nothing here imports
+them at module load — construction is lazy and guarded, so the package
+works on a numpy-only interpreter.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = [
+    "Backend",
+    "BackendUnavailable",
+    "KernelBudget",
+    "available_backends",
+    "default_backend",
+    "get_backend",
+    "resolve_backend",
+]
+
+
+class BackendUnavailable(RuntimeError):
+    """Requested backend's library (or device) is not importable/usable."""
+
+
+@dataclass(frozen=True)
+class KernelBudget:
+    """Per-kernel relative-error budgets versus the numpy reference.
+
+    All zero on the numpy backend (bitwise contract).  Non-numpy budgets
+    are deliberately generous upper bounds on fp64 reduction-reordering
+    error for the online problem sizes (Nd, Nt*Nd up to a few hundred);
+    they exist to make the tolerance contract *explicit and testable*,
+    not to be tight.
+    """
+
+    gemm: float = 0.0
+    trsm: float = 0.0
+    fft: float = 0.0
+    qr: float = 0.0
+
+    def combined(self) -> float:
+        """Aggregate budget for a quantity touched by every kernel once."""
+        return self.gemm + self.trsm + self.fft + self.qr
+
+
+class Backend:
+    """One array backend: namespace + device + dtype policy + kernel table.
+
+    Subclasses fill in the kernel table.  All kernels take/return the
+    backend's native arrays; ``asarray`` moves host (numpy) data in and
+    ``to_numpy`` moves results back.  For the numpy backend both transfers
+    are identity (no copy unless requested), and every kernel is the
+    original library function.
+    """
+
+    name: str = "abstract"
+    device: str = "cpu"
+    is_numpy: bool = False
+    budget: KernelBudget = KernelBudget()
+
+    # -- identity / policy -------------------------------------------------
+    @property
+    def is_exact(self) -> bool:
+        """True iff this backend honours the bitwise-identity contract."""
+        return self.budget.combined() == 0.0
+
+    @property
+    def screen_rtol(self) -> float:
+        """Relative inflation applied to certified sketch brackets.
+
+        The screened quadratic touches gemm (state advance + cross terms),
+        trsm (the blocked solve) and the sketch gemm; the bracket padding
+        uses the combined budget so a single knob covers the chain.
+        """
+        return self.budget.combined()
+
+    @property
+    def dtype_name(self) -> str:
+        return "float64"
+
+    def key(self) -> Tuple[str, str, str]:
+        """Hashable identity for memo keys: (name, device, dtype)."""
+        return (self.name, self.device, self.dtype_name)
+
+    # -- transfers / creation ---------------------------------------------
+    def asarray(self, x: Any) -> Any:
+        raise NotImplementedError
+
+    def ascomplex(self, x: Any) -> Any:
+        """Move a complex host array (e.g. an FFT spectrum) to the device."""
+        raise NotImplementedError
+
+    def to_numpy(self, x: Any, copy: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def is_native(self, x: Any) -> bool:
+        raise NotImplementedError
+
+    def empty(self, shape: Tuple[int, ...]) -> Any:
+        raise NotImplementedError
+
+    def zeros(self, shape: Tuple[int, ...]) -> Any:
+        raise NotImplementedError
+
+    def copy(self, x: Any) -> Any:
+        raise NotImplementedError
+
+    def index(self, idx: np.ndarray) -> Any:
+        """Convert a host integer index array for fancy indexing."""
+        raise NotImplementedError
+
+    # -- kernel table ------------------------------------------------------
+    def solve_triangular(self, a: Any, b: Any, lower: bool = True) -> Any:
+        raise NotImplementedError
+
+    def qr(self, a: Any) -> Tuple[Any, Any]:
+        raise NotImplementedError
+
+    def einsum(self, eq: str, *ops: Any) -> Any:
+        raise NotImplementedError
+
+    def matmul(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def rfft(self, x: Any, n: Optional[int] = None, axis: int = -1) -> Any:
+        raise NotImplementedError
+
+    def irfft(self, x: Any, n: Optional[int] = None, axis: int = -1) -> Any:
+        raise NotImplementedError
+
+    def moveaxis(self, x: Any, src: int, dst: int) -> Any:
+        raise NotImplementedError
+
+    def ascontiguousarray(self, x: Any) -> Any:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Backend({self.name!r}, device={self.device!r}, dtype={self.dtype_name})"
+
+
+class _NumpyBackend(Backend):
+    """The reference backend: every kernel is the original library call."""
+
+    name = "numpy"
+    device = "cpu"
+    is_numpy = True
+    budget = KernelBudget()  # all zero: bitwise contract
+
+    def asarray(self, x):
+        return np.asarray(x, dtype=np.float64)
+
+    def ascomplex(self, x):
+        return np.asarray(x)
+
+    def to_numpy(self, x, copy=False):
+        return np.array(x, copy=True) if copy else np.asarray(x)
+
+    def is_native(self, x):
+        return isinstance(x, np.ndarray)
+
+    def empty(self, shape):
+        return np.empty(shape)
+
+    def zeros(self, shape):
+        return np.zeros(shape)
+
+    def copy(self, x):
+        return np.array(x, copy=True)
+
+    def index(self, idx):
+        return idx
+
+    def solve_triangular(self, a, b, lower=True):
+        return sla.solve_triangular(a, b, lower=lower)
+
+    def qr(self, a):
+        return np.linalg.qr(a)
+
+    def einsum(self, eq, *ops):
+        return np.einsum(eq, *ops)
+
+    def matmul(self, a, b):
+        return np.matmul(a, b)
+
+    def rfft(self, x, n=None, axis=-1):
+        return np.fft.rfft(x, n=n, axis=axis)
+
+    def irfft(self, x, n=None, axis=-1):
+        return np.fft.irfft(x, n=n, axis=axis)
+
+    def moveaxis(self, x, src, dst):
+        return np.moveaxis(x, src, dst)
+
+    def ascontiguousarray(self, x):
+        return np.ascontiguousarray(x)
+
+
+# Generous fp64 reduction-reorder budgets for accelerated backends.  The
+# equivalence suite asserts torch-CPU stays well inside these; GPU execution
+# (torch-cuda / cupy) shares them because the error source is the same
+# (reduction order), not the silicon.
+_ACCEL_BUDGET = KernelBudget(gemm=1e-9, trsm=1e-9, fft=1e-9, qr=1e-8)
+
+
+class _TorchBackend(Backend):
+    name = "torch"
+    budget = _ACCEL_BUDGET
+
+    def __init__(self, device: str = "cpu"):
+        try:
+            import torch
+        except ImportError as exc:  # pragma: no cover - guarded by detection
+            raise BackendUnavailable("torch is not importable") from exc
+        if device.startswith("cuda") and not torch.cuda.is_available():
+            raise BackendUnavailable("torch reports no CUDA device")
+        self._torch = torch
+        self.device = device
+
+    @property
+    def xp(self):
+        return self._torch
+
+    def asarray(self, x):
+        t = self._torch
+        if isinstance(x, t.Tensor):
+            return x.to(device=self.device, dtype=t.float64)
+        return t.as_tensor(np.ascontiguousarray(np.asarray(x, dtype=np.float64)),
+                           dtype=t.float64, device=self.device)
+
+    def ascomplex(self, x):
+        t = self._torch
+        if isinstance(x, t.Tensor):
+            return x.to(device=self.device)
+        return t.as_tensor(np.ascontiguousarray(x), device=self.device)
+
+    def to_numpy(self, x, copy=False):
+        if isinstance(x, self._torch.Tensor):
+            arr = x.detach().cpu().numpy()
+            return arr.copy() if copy else arr
+        return np.array(x, copy=True) if copy else np.asarray(x)
+
+    def is_native(self, x):
+        return isinstance(x, self._torch.Tensor)
+
+    def empty(self, shape):
+        return self._torch.empty(shape, dtype=self._torch.float64, device=self.device)
+
+    def zeros(self, shape):
+        return self._torch.zeros(shape, dtype=self._torch.float64, device=self.device)
+
+    def copy(self, x):
+        return x.clone()
+
+    def index(self, idx):
+        return self._torch.as_tensor(np.ascontiguousarray(idx), device=self.device)
+
+    def solve_triangular(self, a, b, lower=True):
+        t = self._torch
+        b2 = b if b.ndim == 2 else b.unsqueeze(-1)
+        out = t.linalg.solve_triangular(a, b2, upper=not lower)
+        return out if b.ndim == 2 else out.squeeze(-1)
+
+    def qr(self, a):
+        return self._torch.linalg.qr(a)
+
+    def einsum(self, eq, *ops):
+        return self._torch.einsum(eq, *ops)
+
+    def matmul(self, a, b):
+        return self._torch.matmul(a, b)
+
+    def rfft(self, x, n=None, axis=-1):
+        return self._torch.fft.rfft(x, n=n, dim=axis)
+
+    def irfft(self, x, n=None, axis=-1):
+        return self._torch.fft.irfft(x, n=n, dim=axis)
+
+    def moveaxis(self, x, src, dst):
+        return self._torch.movedim(x, src, dst)
+
+    def ascontiguousarray(self, x):
+        return x.contiguous()
+
+
+class _CupyBackend(Backend):  # pragma: no cover - requires a CUDA runtime
+    name = "cupy"
+    device = "cuda"
+    budget = _ACCEL_BUDGET
+
+    def __init__(self):
+        try:
+            import cupy
+            import cupyx.scipy.linalg as cpx_sla
+        except ImportError as exc:
+            raise BackendUnavailable("cupy is not importable") from exc
+        try:
+            cupy.cuda.runtime.getDeviceCount()
+        except Exception as exc:
+            raise BackendUnavailable("cupy found no CUDA device") from exc
+        self._cp = cupy
+        self._sla = cpx_sla
+
+    @property
+    def xp(self):
+        return self._cp
+
+    def asarray(self, x):
+        return self._cp.asarray(x, dtype=self._cp.float64)
+
+    def ascomplex(self, x):
+        return self._cp.asarray(x)
+
+    def to_numpy(self, x, copy=False):
+        if isinstance(x, self._cp.ndarray):
+            return self._cp.asnumpy(x)
+        return np.array(x, copy=True) if copy else np.asarray(x)
+
+    def is_native(self, x):
+        return isinstance(x, self._cp.ndarray)
+
+    def empty(self, shape):
+        return self._cp.empty(shape, dtype=self._cp.float64)
+
+    def zeros(self, shape):
+        return self._cp.zeros(shape, dtype=self._cp.float64)
+
+    def copy(self, x):
+        return x.copy()
+
+    def index(self, idx):
+        return self._cp.asarray(idx)
+
+    def solve_triangular(self, a, b, lower=True):
+        return self._sla.solve_triangular(a, b, lower=lower)
+
+    def qr(self, a):
+        return self._cp.linalg.qr(a)
+
+    def einsum(self, eq, *ops):
+        return self._cp.einsum(eq, *ops)
+
+    def matmul(self, a, b):
+        return self._cp.matmul(a, b)
+
+    def rfft(self, x, n=None, axis=-1):
+        return self._cp.fft.rfft(x, n=n, axis=axis)
+
+    def irfft(self, x, n=None, axis=-1):
+        return self._cp.fft.irfft(x, n=n, axis=axis)
+
+    def moveaxis(self, x, src, dst):
+        return self._cp.moveaxis(x, src, dst)
+
+    def ascontiguousarray(self, x):
+        return self._cp.ascontiguousarray(x)
+
+
+_NUMPY = _NumpyBackend()
+_CACHE: Dict[str, Backend] = {"numpy": _NUMPY}
+
+_ALIASES = {
+    "np": "numpy",
+    "torch-cpu": "torch",
+    "pytorch": "torch",
+}
+
+
+def default_backend() -> Backend:
+    """The numpy reference backend (always available, bitwise-exact)."""
+    return _NUMPY
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names constructible on this interpreter, numpy first.
+
+    Detection is by import-spec only (cheap, no import side effects);
+    construction may still raise :class:`BackendUnavailable` for GPU
+    backends on machines without a device (e.g. cupy installed, no CUDA).
+    """
+    names = ["numpy"]
+    if importlib.util.find_spec("torch") is not None:
+        names.append("torch")
+    if importlib.util.find_spec("cupy") is not None:
+        names.append("cupy")
+    return tuple(names)
+
+
+def get_backend(name: Optional[str] = None) -> Backend:
+    """Resolve a backend by name; None/"numpy" return the exact default.
+
+    Accepted names: ``numpy``, ``torch`` (CPU), ``torch-cuda``, ``cupy``.
+    Constructed backends are cached per name so repeated lookups share
+    device context.
+    """
+    if name is None:
+        return _NUMPY
+    key = _ALIASES.get(name.lower(), name.lower())
+    if key in _CACHE:
+        return _CACHE[key]
+    if key == "torch":
+        bk: Backend = _TorchBackend("cpu")
+    elif key in ("torch-cuda", "torch-gpu"):
+        bk = _TorchBackend("cuda")
+        key = "torch-cuda"
+    elif key == "cupy":
+        bk = _CupyBackend()
+    else:
+        raise ValueError(
+            f"unknown backend {name!r}; expected one of "
+            "'numpy', 'torch', 'torch-cuda', 'cupy'"
+        )
+    _CACHE[key] = bk
+    return bk
+
+
+def resolve_backend(backend: Union[Backend, str, None]) -> Backend:
+    """Accept a Backend instance, a name, or None (numpy default)."""
+    if backend is None:
+        return _NUMPY
+    if isinstance(backend, Backend):
+        return backend
+    return get_backend(backend)

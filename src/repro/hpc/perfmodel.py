@@ -35,7 +35,19 @@ from typing import Dict, Optional, Tuple
 
 from repro.hpc.machine import DOF_PER_ELEMENT, MachineSpec, ScalingConfig
 
-__all__ = ["KernelSpec", "KERNEL_LADDER", "NetworkModel", "PerformanceModel"]
+__all__ = [
+    "KernelSpec",
+    "KERNEL_LADDER",
+    "NetworkModel",
+    "PerformanceModel",
+    "OnlineKernelSpec",
+    "BackendRoofline",
+    "ONLINE_ROOFLINES",
+    "gemm_spec",
+    "trsm_spec",
+    "rfft_spec",
+    "roofline_for",
+]
 
 
 @dataclass(frozen=True)
@@ -78,6 +90,118 @@ KERNEL_LADDER: Tuple[KernelSpec, ...] = (
     KernelSpec("Fused PA", 24.0, 23.5, 57.0, 137.0),
     KernelSpec("Fused MF", 21.4, 20.8, 22.2, 162.0),
 )
+
+
+@dataclass(frozen=True)
+class OnlineKernelSpec:
+    """Arithmetic footprint of one *online-phase* kernel call.
+
+    The online hot paths (``repro.inference.streaming``,
+    ``repro.serve.identify`` / ``sketch``, ``repro.inference.toeplitz``)
+    reduce to three kernel families — gemm, blocked trsm, batched real
+    FFT — whose FLOP and byte counts are analytic.  This mirrors
+    :class:`KernelSpec` (the paper's Fig. 7 per-DOF ladder) for the
+    serving side: per-*call* totals instead of per-DOF rates, built by
+    :func:`gemm_spec` / :func:`trsm_spec` / :func:`rfft_spec` and priced
+    against a :class:`BackendRoofline`.
+    """
+
+    name: str
+    flops: float
+    bytes: float
+
+    def arithmetic_intensity(self) -> float:
+        """FLOP per byte moved (assuming each operand streams once)."""
+        return self.flops / max(self.bytes, 1.0)
+
+    def __add__(self, other: "OnlineKernelSpec") -> "OnlineKernelSpec":
+        return OnlineKernelSpec(
+            name=f"{self.name}+{other.name}",
+            flops=self.flops + other.flops,
+            bytes=self.bytes + other.bytes,
+        )
+
+
+def gemm_spec(m: int, n: int, k: int, dtype_bytes: int = 8) -> OnlineKernelSpec:
+    """``(m, k) @ (k, n)`` dense multiply-accumulate: ``2 m n k`` flops."""
+    flops = 2.0 * m * n * k
+    bytes_ = float(dtype_bytes) * (m * k + k * n + m * n)
+    return OnlineKernelSpec(f"gemm[{m}x{k}x{n}]", flops, bytes_)
+
+
+def trsm_spec(n: int, nrhs: int, dtype_bytes: int = 8) -> OnlineKernelSpec:
+    """Triangular solve of an ``(n, n)`` system with ``nrhs`` right-hand sides."""
+    flops = float(n) * n * nrhs  # n^2 MACs per rhs (forward substitution)
+    bytes_ = float(dtype_bytes) * (n * (n + 1) / 2.0 + 2.0 * n * nrhs)
+    return OnlineKernelSpec(f"trsm[{n}x{nrhs}]", flops, bytes_)
+
+
+def rfft_spec(nfft: int, batch: int, dtype_bytes: int = 8) -> OnlineKernelSpec:
+    """Batched real FFT of length ``nfft``: ``2.5 n log2 n`` flops each."""
+    flops = 2.5 * nfft * math.log2(max(nfft, 2)) * batch
+    bytes_ = float(dtype_bytes) * 2.0 * nfft * batch
+    return OnlineKernelSpec(f"rfft[{nfft}x{batch}]", flops, bytes_)
+
+
+@dataclass(frozen=True)
+class BackendRoofline:
+    """Peak FLOP rate + memory bandwidth of one array backend's device.
+
+    ``attainable = min(peak, bandwidth * intensity)`` is the classic
+    roofline; :meth:`fraction_of_attainable` turns a measured wall time
+    into the benchmark gate metric "fraction of attainable" — comparable
+    across backends in a way raw speedups are not.  The numbers are
+    deliberately conservative single-device figures (one CPU core's fp64
+    FMA pipe; a mid-range fp64 GPU) — they price an *upper bound*, so
+    fractions are honest lower bounds on efficiency.
+    """
+
+    backend: str
+    device: str
+    peak_gflops: float
+    mem_bw_gbs: float
+
+    def attainable_gflops(self, intensity: float) -> float:
+        """Roofline-attainable GFLOP/s at a given arithmetic intensity."""
+        return min(self.peak_gflops, self.mem_bw_gbs * max(intensity, 0.0))
+
+    def attainable_seconds(self, spec: OnlineKernelSpec) -> float:
+        """Lower-bound wall time of one spec'd call on this backend."""
+        gf = self.attainable_gflops(spec.arithmetic_intensity())
+        return spec.flops / (gf * 1e9)
+
+    def fraction_of_attainable(
+        self, spec: OnlineKernelSpec, measured_seconds: float
+    ) -> float:
+        """Achieved / attainable throughput for a measured kernel run."""
+        if measured_seconds <= 0.0:
+            return 0.0
+        return self.attainable_seconds(spec) / measured_seconds
+
+
+#: Conservative per-backend device rooflines for the online kernels.
+#: CPU entries assume one core of a modern x86 (AVX2 fp64 FMA, ~3 GHz)
+#: and its share of memory bandwidth; the CUDA entries are an A100-class
+#: fp64 device.  Keys match ``repro.backend`` names.
+ONLINE_ROOFLINES: Dict[str, BackendRoofline] = {
+    "numpy": BackendRoofline("numpy", "cpu", peak_gflops=48.0, mem_bw_gbs=20.0),
+    "torch": BackendRoofline("torch", "cpu", peak_gflops=48.0, mem_bw_gbs=20.0),
+    "torch-cuda": BackendRoofline(
+        "torch-cuda", "cuda", peak_gflops=9700.0, mem_bw_gbs=1555.0
+    ),
+    "cupy": BackendRoofline("cupy", "cuda", peak_gflops=9700.0, mem_bw_gbs=1555.0),
+}
+
+
+def roofline_for(backend: str) -> BackendRoofline:
+    """The :class:`BackendRoofline` for a ``repro.backend`` name."""
+    try:
+        return ONLINE_ROOFLINES[backend]
+    except KeyError:
+        raise ValueError(
+            f"no roofline registered for backend {backend!r}; "
+            f"known: {sorted(ONLINE_ROOFLINES)}"
+        ) from None
 
 
 class NetworkModel:

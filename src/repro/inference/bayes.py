@@ -101,7 +101,8 @@ class ToeplitzBayesianInversion:
         self._K_chol: Optional[Tuple[np.ndarray, bool]] = None
         self._L_lower: Optional[np.ndarray] = None
         self._logdiag_cum: Optional[np.ndarray] = None
-        self._streaming: Optional["IncrementalStreamingPosterior"] = None
+        # Streaming engines memoized per backend key (numpy, torch, ...).
+        self._streaming: Dict[tuple, "IncrementalStreamingPosterior"] = {}
         self.B: Optional[np.ndarray] = None
         self.Pq: Optional[np.ndarray] = None
         self.qoi_covariance: Optional[np.ndarray] = None
@@ -204,7 +205,7 @@ class ToeplitzBayesianInversion:
             self._K_chol = sla.cho_factor(K, lower=True)
         self._L_lower = None  # derived views are stale after re-factorization
         self._logdiag_cum = None
-        self._streaming = None
+        self._streaming.clear()
         return K
 
     @property
@@ -296,32 +297,42 @@ class ToeplitzBayesianInversion:
         self.Pq = Pq
         self.qoi_covariance = cov
         self.Q = Q
-        self._streaming = None  # engine state derives from B/Pq
+        self._streaming.clear()  # engine state derives from B/Pq
         return {"B": B, "Pq": Pq, "qoi_covariance": cov, "Q": Q}
 
-    def streaming_state(self) -> "IncrementalStreamingPosterior":
+    def streaming_state(self, backend=None) -> "IncrementalStreamingPosterior":
         """The memoized incremental streaming engine over this inversion.
 
         One :class:`~repro.inference.streaming.IncrementalStreamingPosterior`
-        per inversion, so all consumers (single-event streamers, the fleet
-        server, latency sweeps) share the same forward-substituted geometry
-        rows ``Y = L^{-1} B`` and per-horizon covariance snapshots.
-        Requires Phases 2-3; invalidated by re-assembly.
+        per inversion *and backend*, so all consumers of a backend
+        (single-event streamers, the fleet server, latency sweeps) share
+        the same forward-substituted geometry rows ``Y = L^{-1} B`` and
+        per-horizon covariance snapshots.  ``backend`` is a
+        :class:`repro.backend.Backend`, a name, or ``None`` for the
+        bitwise numpy default.  Requires Phases 2-3; invalidated by
+        re-assembly.
         """
-        if self._streaming is None:
+        from repro.backend import resolve_backend
+
+        bk = resolve_backend(backend)
+        engine = self._streaming.get(bk.key())
+        if engine is None:
             from repro.inference.streaming import IncrementalStreamingPosterior
 
-            self._streaming = IncrementalStreamingPosterior(self)
-        return self._streaming
+            engine = IncrementalStreamingPosterior(self, backend=bk)
+            self._streaming[bk.key()] = engine
+        return engine
 
     @property
     def streaming_state_peek(self) -> Optional["IncrementalStreamingPosterior"]:
-        """The memoized streaming engine, or ``None`` if none exists yet.
+        """The memoized *numpy* streaming engine, or ``None`` if none exists.
 
         Unlike :meth:`streaming_state` this never creates (or requires
         the phases for) an engine — for reporting/introspection.
         """
-        return self._streaming
+        from repro.backend import default_backend
+
+        return self._streaming.get(default_backend().key())
 
     # ------------------------------------------------------------------
     # Phase 4: real-time solves

@@ -55,6 +55,16 @@ Two objects implement this:
 
 Everything is exact — the same truncated-data posterior the seed computed,
 verified to near machine precision in ``tests/inference/test_streaming.py``.
+
+Both classes route their dense kernels (the blocked ``trsm``/``gemm``
+advances, the per-slot sketch projections) through a
+:class:`repro.backend.Backend` seam.  On the default numpy backend the
+kernel table delegates to the very same library calls this module made
+before the seam existed, so results are bitwise-identical; non-numpy
+backends (torch / cupy) hold the hot state on the device and export all
+public quantities back to host numpy under the backend's declared
+tolerance budget (see ``repro.backend``).  Control flow — horizons,
+targets, slot masks — always stays on the host.
 """
 
 from __future__ import annotations
@@ -65,6 +75,7 @@ from typing import List, Optional, Sequence, Union, TYPE_CHECKING
 import numpy as np
 import scipy.linalg as sla
 
+from repro.backend import Backend, resolve_backend
 from repro.inference.forecast import QoIForecast
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -100,6 +111,12 @@ class IncrementalStreamingPosterior:
     so the single-event :class:`~repro.twin.earlywarning.StreamingInverter`
     and the fleet :class:`~repro.serve.server.BatchedPhase4Server` share
     the same geometry rows instead of each re-deriving them.
+
+    The optional ``backend`` selects the array backend for the hot state
+    (``Y``, the running covariance) and kernels; ``None`` is the bitwise
+    numpy default.  One engine serves one backend — mixed-backend
+    consumers obtain one engine per backend through
+    ``ToeplitzBayesianInversion.streaming_state(backend=...)``.
     """
 
     DEFAULT_COV_CACHE_LIMIT = 8
@@ -108,20 +125,28 @@ class IncrementalStreamingPosterior:
         self,
         inv: "ToeplitzBayesianInversion",
         cov_cache_limit: Optional[int] = None,
+        backend: Union[Backend, str, None] = None,
     ) -> None:
         if not inv.phase2_complete:
             raise RuntimeError("Phase 2 must be complete before streaming")
         if inv.B is None or inv.Pq is None:
             raise RuntimeError("Phase 3 must be complete before streaming")
         self.inv = inv
+        self.backend = resolve_backend(backend)
+        bk = self.backend
         self.L = inv.cholesky_lower
         self.nt, self.nd, self.nq = inv.nt, inv.nd, inv.nq
         self._nb = inv.B.shape[1]  # Nt * Nq flattened QoI dimension
+        # Device-resident operands.  On numpy these are the Phase 2/3
+        # arrays themselves (asarray is identity for float64 ndarrays).
+        self._L_dev = bk.asarray(self.L)
+        self._B_dev = bk.asarray(inv.B)
+        self._Pq_dev = bk.asarray(inv.Pq)
         # Geometry rows Y = L^{-1} B, filled to k_geom * Nd rows.
-        self._Y = np.empty((self.nt * self.nd, self._nb))
+        self._Y = bk.empty((self.nt * self.nd, self._nb))
         self.k_geom = 0
         # Running QoI covariance at horizon ``k_geom`` (downdated per slot).
-        self._cov = np.array(inv.Pq, dtype=np.float64, copy=True)
+        self._cov = bk.copy(self._Pq_dev)
         # Immutable per-horizon covariance snapshots, shared by forecasts.
         # Bounded LRU: only `cov_cache_limit` transient snapshots are held
         # (k=0 and k=Nt are pinned aliases of Phase 3 arrays, never counted).
@@ -150,15 +175,16 @@ class IncrementalStreamingPosterior:
         reached.
         """
         k = self._check_horizon(k_slots)
-        nd, L, B, Y = self.nd, self.L, self.inv.B, self._Y
+        bk = self.backend
+        nd, L, B, Y = self.nd, self._L_dev, self._B_dev, self._Y
         while self.k_geom < k:
             s = self.k_geom
             r0, r1 = s * nd, (s + 1) * nd
             if s:
                 rhs = B[r0:r1] - L[r0:r1, :r0] @ Y[:r0]
             else:
-                rhs = np.array(B[r0:r1], copy=True)
-            Y[r0:r1] = sla.solve_triangular(L[r0:r1, r0:r1], rhs, lower=True)
+                rhs = bk.copy(B[r0:r1])
+            Y[r0:r1] = bk.solve_triangular(L[r0:r1, r0:r1], rhs, lower=True)
             # Rank-Nd downdate: cov_k = cov_{k-1} - y_new^T y_new.
             self._cov -= Y[r0:r1].T @ Y[r0:r1]
             self.k_geom = s + 1
@@ -198,12 +224,13 @@ class IncrementalStreamingPosterior:
             # memory through a read-only view.
             cov = self.inv.qoi_covariance.view()
         else:
+            bk = self.backend
             self.advance_geometry(k)
             if k == self.k_geom:
-                cov = self._cov.copy()
+                cov = bk.to_numpy(self._cov, copy=True)
             else:  # geometry already past k: recompute from the stored rows
                 n = k * self.nd
-                cov = self.inv.Pq - self._Y[:n].T @ self._Y[:n]
+                cov = bk.to_numpy(self._Pq_dev - self._Y[:n].T @ self._Y[:n])
             cov = 0.5 * (cov + cov.T)
         cov.setflags(write=False)
         self._cov_cache[k] = cov
@@ -215,6 +242,8 @@ class IncrementalStreamingPosterior:
         k = self._check_horizon(k_slots)
         self.advance_geometry(k)
         rows = self._Y[: k * self.nd]
+        if not self.backend.is_numpy:
+            rows = self.backend.to_numpy(rows)
         rows.setflags(write=False)  # view only; the engine's buffer stays live
         return rows
 
@@ -296,25 +325,28 @@ class StreamingFleet:
                 f"streams must stack to ({engine.nt},{engine.nd},k), got {D.shape}"
             )
         self.engine = engine
+        bk = engine.backend
         self.D = D
+        self._D_dev = bk.asarray(D)
         self.n_streams = int(D.shape[2])
-        self._W = np.zeros((engine.nt * engine.nd, self.n_streams))
+        self._W = bk.zeros((engine.nt * engine.nd, self.n_streams))
         # Running QoI means: q_j accumulates y_new^T w_new as slots are
         # absorbed, so reading the fleet's forecasts costs no large gemm.
-        self._means = np.zeros((engine._nb, self.n_streams))
+        self._means = bk.zeros((engine._nb, self.n_streams))
         # Running whitened squared norms ||w_j||^2 = ||L_k^{-1} d_k||^2 —
         # the quadratic half of the per-stream Gaussian model evidence —
         # plus their per-slot blocks ||w_{new}||^2 (the coarse-screen proxy
         # state the hierarchical identification fabric reads).
-        self._wsq = np.zeros(self.n_streams)
-        self._slot_wsq = np.zeros((engine.nt, self.n_streams))
+        self._wsq = bk.zeros((self.n_streams,))
+        self._slot_wsq = bk.zeros((engine.nt, self.n_streams))
         self.horizons = np.zeros(self.n_streams, dtype=np.int64)
         # Optional low-rank sketch state (attach_sketch): per-slot
         # projections P_t w_t(d) and their squared norms, maintained
         # incrementally alongside the norms above.
-        self._sketch_P: Optional[np.ndarray] = None
-        self._slot_proj: Optional[np.ndarray] = None
-        self._slot_psq: Optional[np.ndarray] = None
+        self._sketch_P: Optional[np.ndarray] = None  # host (Nt, r, Nd)
+        self._sketch_P_dev = None
+        self._slot_proj = None
+        self._slot_psq = None
 
     # ------------------------------------------------------------------
     def _targets(self, k_slots: Union[int, Sequence[int], np.ndarray]) -> np.ndarray:
@@ -342,7 +374,8 @@ class StreamingFleet:
         """
         targets = self._targets(k_slots)
         eng = self.engine
-        nd, L, W = eng.nd, eng.L, self._W
+        bk = eng.backend
+        nd, L, W = eng.nd, eng._L_dev, self._W
         lo = int(self.horizons.min())
         hi = int(targets.max())
         eng.advance_geometry(hi)
@@ -350,17 +383,17 @@ class StreamingFleet:
             sel = (self.horizons <= s) & (targets > s)
             if not sel.any():
                 continue
-            idx = np.nonzero(sel)[0]
+            idx = bk.index(np.nonzero(sel)[0])
             r0, r1 = s * nd, (s + 1) * nd
-            rhs = self.D[s][:, idx]
+            rhs = self._D_dev[s][:, idx]
             if s:
                 rhs = rhs - L[r0:r1, :r0] @ W[:r0, idx]
-            w_new = sla.solve_triangular(L[r0:r1, r0:r1], rhs, lower=True)
+            w_new = bk.solve_triangular(L[r0:r1, r0:r1], rhs, lower=True)
             W[r0:r1, idx] = w_new
             # Nested means: q_k = q_{k-1} + y_new^T w_new.
             self._means[:, idx] += eng._Y[r0:r1].T @ w_new
             # Nested quadratic forms: ||w_k||^2 = ||w_{k-1}||^2 + ||w_new||^2.
-            blk = np.einsum("ij,ij->j", w_new, w_new)
+            blk = bk.einsum("ij,ij->j", w_new, w_new)
             self._wsq[idx] += blk
             self._slot_wsq[s, idx] = blk
             if self._sketch_P is not None:
@@ -373,10 +406,11 @@ class StreamingFleet:
     # ------------------------------------------------------------------
     def _project_slot(self, s: int, w_block: np.ndarray, idx: np.ndarray) -> None:
         """Fold one slot's states into the running sketch for streams ``idx``."""
+        bk = self.engine.backend
         r = self._sketch_P.shape[1]
-        pb = self._sketch_P[s] @ w_block
+        pb = self._sketch_P_dev[s] @ w_block
         self._slot_proj[s * r : (s + 1) * r, idx] = pb
-        self._slot_psq[s, idx] = np.einsum("ij,ij->j", pb, pb)
+        self._slot_psq[s, idx] = bk.einsum("ij,ij->j", pb, pb)
 
     def attach_sketch(self, projections: np.ndarray) -> "StreamingFleet":
         """Maintain per-slot low-rank projections ``P_t w_t(d)`` incrementally.
@@ -407,18 +441,28 @@ class StreamingFleet:
             raise ValueError(
                 f"projections must be ({eng.nt}, r, {eng.nd}), got {P.shape}"
             )
+        bk = eng.backend
         r = P.shape[1]
         self._sketch_P = P
-        self._slot_proj = np.zeros((eng.nt * r, self.n_streams))
-        self._slot_psq = np.zeros((eng.nt, self.n_streams))
+        self._sketch_P_dev = bk.asarray(P)
+        self._slot_proj = bk.zeros((eng.nt * r, self.n_streams))
+        self._slot_psq = bk.zeros((eng.nt, self.n_streams))
         for s in range(int(self.horizons.max(initial=0))):
             idx = np.nonzero(self.horizons > s)[0]
             if idx.size:
                 # Column-axis fancy index: an F-ordered copy, the same
                 # operand layout the incremental path's solve output has.
                 r0 = s * eng.nd
+                idx = bk.index(idx)
                 self._project_slot(s, self._W[r0 : r0 + eng.nd][:, idx], idx)
         return self
+
+    def _host_view(self, x) -> np.ndarray:
+        """Read-only host export of backend state (zero-copy on numpy)."""
+        bk = self.engine.backend
+        v = x.view() if bk.is_numpy else bk.to_numpy(x)
+        v.setflags(write=False)
+        return v
 
     @property
     def sketch_projections(self) -> Optional[np.ndarray]:
@@ -433,9 +477,7 @@ class StreamingFleet:
         """
         if self._slot_proj is None:
             raise RuntimeError("no sketch attached (call attach_sketch first)")
-        v = self._slot_proj.view()
-        v.setflags(write=False)
-        return v
+        return self._host_view(self._slot_proj)
 
     def slot_projection_norms(self) -> np.ndarray:
         """Per-slot ``||P_t w_t(d)||^2``, ``(Nt, n)``, read-only.
@@ -445,9 +487,7 @@ class StreamingFleet:
         """
         if self._slot_psq is None:
             raise RuntimeError("no sketch attached (call attach_sketch first)")
-        v = self._slot_psq.view()
-        v.setflags(write=False)
-        return v
+        return self._host_view(self._slot_psq)
 
     # ------------------------------------------------------------------
     @property
@@ -459,13 +499,11 @@ class StreamingFleet:
         identifier reads per-slot blocks of this to form evidence cross
         terms without re-solving anything.
         """
-        W = self._W.view()
-        W.setflags(write=False)
-        return W
+        return self._host_view(self._W)
 
     def squared_norms(self) -> np.ndarray:
         """Running ``||L_{k_j}^{-1} d_j||^2`` per stream, ``(n,)`` copy."""
-        return self._wsq.copy()
+        return self.engine.backend.to_numpy(self._wsq, copy=True)
 
     def slot_squared_norms(self) -> np.ndarray:
         """Per-slot whitened norm blocks ``||w_new(slot, j)||^2``, ``(Nt, n)``.
@@ -479,9 +517,7 @@ class StreamingFleet:
         touching the ``Nd``-dimensional states themselves (read-only view,
         maintained incrementally by :meth:`advance` at no extra solves).
         """
-        v = self._slot_wsq.view()
-        v.setflags(write=False)
-        return v
+        return self._host_view(self._slot_wsq)
 
     def log_evidence(self) -> np.ndarray:
         """Truncated-data Gaussian log-evidence of each stream, ``(n,)``.
@@ -496,7 +532,8 @@ class StreamingFleet:
         """
         cum = self.engine.inv.cholesky_logdiag_cum
         k = self.horizons
-        return -0.5 * self._wsq - cum[k] - 0.5 * (k * self.engine.nd) * _LOG_2PI
+        wsq = self.engine.backend.to_numpy(self._wsq)
+        return -0.5 * wsq - cum[k] - 0.5 * (k * self.engine.nd) * _LOG_2PI
 
     def forecast_means(self) -> np.ndarray:
         """All fleet QoI means at the streams' current horizons, ``(NtNq, k)``.
@@ -506,7 +543,7 @@ class StreamingFleet:
         or large products.  Streams still at horizon 0 carry the prior
         mean (zero).
         """
-        return self._means.copy()
+        return self.engine.backend.to_numpy(self._means, copy=True)
 
     def forecasts(self, times: Optional[np.ndarray] = None) -> List[QoIForecast]:
         """One exact :class:`QoIForecast` per stream at its current horizon.

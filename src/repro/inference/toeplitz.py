@@ -24,11 +24,12 @@ benchmark ``bench_ablation_gridtune.py`` measures the difference.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 from scipy.fft import next_fast_len
 
+from repro.backend import Backend, resolve_backend
 from repro.util.validation import check_in
 
 __all__ = ["BlockToeplitzOperator"]
@@ -47,6 +48,12 @@ class BlockToeplitzOperator:
         ``"time-major"`` (strided FFT axis).
     dtype:
         Working dtype (double precision throughout, as in the paper).
+    backend:
+        Array backend for the FFT applies (``None`` = numpy, bitwise).
+        The kernel spectra are always computed on the host at setup; for
+        a non-numpy backend they are mirrored to the device lazily, host
+        inputs are round-tripped (in, apply, out), and device-native
+        inputs stay on the device.
     """
 
     def __init__(
@@ -54,11 +61,13 @@ class BlockToeplitzOperator:
         kernel: np.ndarray,
         layout: str = "space-major",
         dtype: np.dtype = np.float64,
+        backend: Union[Backend, str, None] = None,
     ) -> None:
         kernel = np.asarray(kernel, dtype=dtype)
         if kernel.ndim != 3:
             raise ValueError(f"kernel must be (Nt, n_out, n_in), got {kernel.shape}")
         check_in("layout", layout, ("space-major", "time-major"))
+        self.backend = resolve_backend(backend)
         self.kernel = np.ascontiguousarray(kernel)
         self.nt, self.n_out, self.n_in = kernel.shape
         self.layout = layout
@@ -70,6 +79,8 @@ class BlockToeplitzOperator:
             khat.conj().transpose(0, 2, 1)
         )  # (Nf, n_in, n_out)
         self.nf = self._khat.shape[0]
+        self._khat_dev = None  # lazy device mirrors (non-numpy backends)
+        self._khat_ct_dev = None
 
     # ------------------------------------------------------------------
     @property
@@ -85,22 +96,42 @@ class BlockToeplitzOperator:
     # ------------------------------------------------------------------
     # FFT helpers with the two data layouts
     # ------------------------------------------------------------------
-    def _rfft_time(self, x: np.ndarray) -> np.ndarray:
+    def _rfft_time(self, x: np.ndarray, bk: Optional[Backend] = None) -> np.ndarray:
         """Real FFT along axis 0 (time), padded to ``nfft`` -> (Nf, n, k)."""
+        if bk is None:
+            if self.layout == "time-major":
+                return np.fft.rfft(x, n=self.nfft, axis=0)
+            # space-major: make time the contiguous last axis, FFT, restore.
+            xt = np.ascontiguousarray(np.moveaxis(x, 0, -1))
+            yt = np.fft.rfft(xt, n=self.nfft, axis=-1)
+            return np.ascontiguousarray(np.moveaxis(yt, -1, 0))
         if self.layout == "time-major":
-            return np.fft.rfft(x, n=self.nfft, axis=0)
-        # space-major: make time the contiguous last axis, FFT, restore.
-        xt = np.ascontiguousarray(np.moveaxis(x, 0, -1))
-        yt = np.fft.rfft(xt, n=self.nfft, axis=-1)
-        return np.ascontiguousarray(np.moveaxis(yt, -1, 0))
+            return bk.rfft(x, n=self.nfft, axis=0)
+        xt = bk.ascontiguousarray(bk.moveaxis(x, 0, -1))
+        yt = bk.rfft(xt, n=self.nfft, axis=-1)
+        return bk.ascontiguousarray(bk.moveaxis(yt, -1, 0))
 
-    def _irfft_time(self, xhat: np.ndarray) -> np.ndarray:
+    def _irfft_time(self, xhat: np.ndarray, bk: Optional[Backend] = None) -> np.ndarray:
         """Inverse of :meth:`_rfft_time`, truncated to the causal window."""
+        if bk is None:
+            if self.layout == "time-major":
+                return np.fft.irfft(xhat, n=self.nfft, axis=0)[: self.nt]
+            xt = np.ascontiguousarray(np.moveaxis(xhat, 0, -1))
+            yt = np.fft.irfft(xt, n=self.nfft, axis=-1)
+            return np.ascontiguousarray(np.moveaxis(yt, -1, 0))[: self.nt]
         if self.layout == "time-major":
-            return np.fft.irfft(xhat, n=self.nfft, axis=0)[: self.nt]
-        xt = np.ascontiguousarray(np.moveaxis(xhat, 0, -1))
-        yt = np.fft.irfft(xt, n=self.nfft, axis=-1)
-        return np.ascontiguousarray(np.moveaxis(yt, -1, 0))[: self.nt]
+            return bk.irfft(xhat, n=self.nfft, axis=0)[: self.nt]
+        xt = bk.ascontiguousarray(bk.moveaxis(xhat, 0, -1))
+        yt = bk.irfft(xt, n=self.nfft, axis=-1)
+        return bk.ascontiguousarray(bk.moveaxis(yt, -1, 0))[: self.nt]
+
+    def _device_spectra(self):
+        """Lazily mirror the kernel spectra to the non-numpy device."""
+        if self._khat_dev is None:
+            bk = self.backend
+            self._khat_dev = bk.ascomplex(self._khat)
+            self._khat_ct_dev = bk.ascomplex(self._khat_ct)
+        return self._khat_dev, self._khat_ct_dev
 
     # ------------------------------------------------------------------
     # Operator actions
@@ -117,9 +148,18 @@ class BlockToeplitzOperator:
             raise ValueError(
                 f"m must be (Nt={self.nt}, n_in={self.n_in}[, k]), got {m.shape}"
             )
-        mhat = self._rfft_time(mm)  # (Nf, n_in, k)
-        dhat = np.matmul(self._khat, mhat)  # (Nf, n_out, k)
-        d = self._irfft_time(dhat)
+        bk = self.backend
+        if bk.is_numpy:
+            mhat = self._rfft_time(mm)  # (Nf, n_in, k)
+            dhat = np.matmul(self._khat, mhat)  # (Nf, n_out, k)
+            d = self._irfft_time(dhat)
+        else:
+            khat, _ = self._device_spectra()
+            native = bk.is_native(mm)
+            x = mm if native else bk.asarray(mm)
+            d = self._irfft_time(bk.matmul(khat, self._rfft_time(x, bk)), bk)
+            if not native:
+                d = bk.to_numpy(d, copy=True)
         return d[:, :, 0] if squeeze else d
 
     def rmatvec(self, d: np.ndarray) -> np.ndarray:
@@ -130,9 +170,18 @@ class BlockToeplitzOperator:
             raise ValueError(
                 f"d must be (Nt={self.nt}, n_out={self.n_out}[, k]), got {d.shape}"
             )
-        dhat = self._rfft_time(dd)  # (Nf, n_out, k)
-        ghat = np.matmul(self._khat_ct, dhat)  # (Nf, n_in, k)
-        g = self._irfft_time(ghat)
+        bk = self.backend
+        if bk.is_numpy:
+            dhat = self._rfft_time(dd)  # (Nf, n_out, k)
+            ghat = np.matmul(self._khat_ct, dhat)  # (Nf, n_in, k)
+            g = self._irfft_time(ghat)
+        else:
+            _, khat_ct = self._device_spectra()
+            native = bk.is_native(dd)
+            x = dd if native else bk.asarray(dd)
+            g = self._irfft_time(bk.matmul(khat_ct, self._rfft_time(x, bk)), bk)
+            if not native:
+                g = bk.to_numpy(g, copy=True)
         return g[:, :, 0] if squeeze else g
 
     # ------------------------------------------------------------------
@@ -171,6 +220,7 @@ class _TransposedBTO(BlockToeplitzOperator):
         self._base = base
         # Mirror the public metadata without recomputing spectra.
         self.kernel = base.kernel
+        self.backend = base.backend
         self.nt = base.nt
         self.n_out, self.n_in = base.n_in, base.n_out
         self.layout = base.layout

@@ -107,6 +107,7 @@ import numpy as np
 import scipy.linalg as sla
 from scipy.special import log_softmax
 
+from repro.backend import resolve_backend
 from repro.inference.bayes import ToeplitzBayesianInversion
 from repro.inference.forecast import QoIForecast
 from repro.serve import sketch as _sketch
@@ -266,6 +267,7 @@ def _screen_shard(
     c0: int,
     c1: int,
     use_sketch: bool = True,
+    rtol: float = 0.0,
 ) -> None:
     """Stage 1: certified evidence bounds for columns ``[c0, c1)``.
 
@@ -276,12 +278,14 @@ def _screen_shard(
     executes, so flat and sharded certified decisions are identical by
     construction.  ``use_sketch=False`` strips the sketch arrays and
     forces the norm-only brackets (per-request override, benchmark
-    baselines).  Writes ``lb``/``ub`` in place.
+    baselines).  ``rtol`` inflates the brackets by the fleet backend's
+    certified kernel-error budget (``0`` on the bitwise numpy backend).
+    Writes ``lb``/``ub`` in place.
     """
     if not use_sketch:
         bankv = strip_sketch(dict(bankv))
         static = strip_sketch(dict(static))
-    certified_bounds(static, bankv, nd, J, slots, c0, c1)
+    certified_bounds(static, bankv, nd, J, slots, c0, c1, rtol=rtol)
 
 
 def _exact_shard(
@@ -392,7 +396,7 @@ def _mixture_shard(
 # ----------------------------------------------------------------------
 # Worker process
 # ----------------------------------------------------------------------
-def _worker_main(worker_id, conn, static_specs, nd):
+def _worker_main(worker_id, conn, static_specs, nd, screen_rtol=0.0):
     """Worker loop: attach shared state, serve screen/exact shard tasks.
 
     All bulk data arrives through shared memory; the per-worker duplex
@@ -455,7 +459,7 @@ def _worker_main(worker_id, conn, static_specs, nd):
                     arrs, c0, c1 = banks[key]
                     _screen_shard(
                         static, _views(arrs), nd, J, slots, c0, c1,
-                        use_sketch=use_sketch,
+                        use_sketch=use_sketch, rtol=screen_rtol,
                     )
                     conn.send(("done", req_id))
                 elif tag == "exact":
@@ -567,6 +571,15 @@ class FabricConfig:
     worker_timeout:
         Seconds to wait for a worker ack before declaring it lost and
         recomputing its shard in the parent.
+    backend:
+        Array backend for the *parent-side* fleet advance (the online
+        hot path): ``"numpy"`` (default, bitwise-reproducible),
+        ``"torch"``, ``"torch-cuda"``, or ``"cupy"``
+        (:func:`repro.backend.get_backend` names).  Shard workers always
+        operate on host shared memory; a non-exact backend's certified
+        kernel-error budget automatically inflates the screen brackets
+        (:func:`~repro.serve.sketch.certified_bounds` ``rtol``) so the
+        certificate survives the backend's tolerance contract.
     """
 
     n_workers: int = 2
@@ -583,6 +596,7 @@ class FabricConfig:
     memory_budget: Union[None, int, MemoryBudget] = None
     start_method: Optional[str] = None
     worker_timeout: float = 60.0
+    backend: str = "numpy"
 
 
 @dataclass
@@ -596,6 +610,7 @@ class FabricReport:
     certified: bool = False
     screen_fallback: bool = False
     sketch_rank: int = 0
+    backend: str = "numpy"
     n_candidates: int = 0
     pruned_fraction: float = 0.0
     workers_used: int = 0
@@ -758,7 +773,12 @@ class ServingFabric:
             raise ValueError("max_queue_ms must be positive (or None)")
         self.config = cfg
         self.inv = inv
-        self.engine = inv.streaming_state()
+        self.backend = resolve_backend(cfg.backend)
+        # Non-exact backends carry a certified per-kernel error budget;
+        # the screen brackets are inflated by it everywhere (parent
+        # fallbacks and workers alike) so certified pruning stays sound.
+        self._screen_rtol = float(self.backend.screen_rtol)
+        self.engine = inv.streaming_state(backend=self.backend)
         self.nt, self.nd = inv.nt, inv.nd
         self.budget = MemoryBudget.ensure(cfg.memory_budget)
         # Ledger names are namespaced per instance so several fabrics (and
@@ -849,7 +869,7 @@ class ServingFabric:
         parent_conn, child_conn = ctx.Pipe(duplex=True)
         proc = ctx.Process(
             target=_worker_main,
-            args=(wid, child_conn, self._worker_specs, self.nd),
+            args=(wid, child_conn, self._worker_specs, self.nd, self._screen_rtol),
             daemon=True,
         )
         proc.start()
@@ -1234,6 +1254,7 @@ class ServingFabric:
             bank_key=state.key, n_streams=J, n_scenarios=S,
             screened=screen, certified=screen and certified,
             sketch_rank=cfg.sketch_rank if use_sketch else 0,
+            backend=self.backend.name,
             workers_used=sum(w.alive for w in self._workers),
         )
 
@@ -1257,7 +1278,7 @@ class ServingFabric:
                 lambda c0, c1: ("screen", req_id, state.key, J, slots, use_sketch),
                 lambda c0, c1: _screen_shard(
                     self._static, bankv, self.nd, J, slots, c0, c1,
-                    use_sketch=use_sketch,
+                    use_sketch=use_sketch, rtol=self._screen_rtol,
                 ),
             )
             lb, ub = bankv["lb"][:J], bankv["ub"][:J]
@@ -1822,6 +1843,7 @@ def _merge_reports(reports: List[FabricReport]) -> FabricReport:
         certified=any(r.certified for r in reports),
         screen_fallback=any(r.screen_fallback for r in reports),
         sketch_rank=max(r.sketch_rank for r in reports),
+        backend=first.backend,
         n_candidates=max(r.n_candidates for r in reports),
         pruned_fraction=min(r.pruned_fraction for r in reports),
         workers_used=max(r.workers_used for r in reports),

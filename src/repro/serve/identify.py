@@ -184,24 +184,30 @@ class ScenarioIdentifier:
                 f"got {records.shape}"
             )
         self.n_scenarios = int(records.shape[2])
+        bk = engine.backend
         # w(mu_s) for every scenario, (Nt*Nd, S), read-only.  Built in
         # COL_BLOCK column chunks so a block-aligned shard of the bank
         # (the serving fabric's workers) reproduces these states bitwise.
-        Wmu = np.empty((engine.nt * engine.nd, self.n_scenarios))
+        # The build runs on the engine's backend; on numpy the device
+        # array *is* the host export.
+        Wmu_dev = bk.empty((engine.nt * engine.nd, self.n_scenarios))
         for c0 in range(0, self.n_scenarios, _sketch.COL_BLOCK):
             c1 = min(c0 + _sketch.COL_BLOCK, self.n_scenarios)
             block = engine.open_fleet(records[:, :, c0:c1]).advance(engine.nt)
-            Wmu[:, c0:c1] = block.states
+            Wmu_dev[:, c0:c1] = block._W
+        self._Wmu_dev = Wmu_dev
+        Wmu = bk.to_numpy(Wmu_dev) if bk.is_numpy else bk.to_numpy(Wmu_dev, copy=True)
         Wmu.setflags(write=False)
         self._Wmu = Wmu
         # Per-slot squared norm blocks ||w_slot(mu_s)||^2, (Nt, S) — the
         # bank-side coarse-proxy state (see slot_squared_norms) — and their
         # per-horizon cumulative sums ||w_k(mu_s)||^2, (Nt+1, S).
-        blocks = np.einsum(
+        blocks = bk.einsum(
             "tds,tds->ts",
-            self._Wmu.reshape(engine.nt, engine.nd, self.n_scenarios),
-            self._Wmu.reshape(engine.nt, engine.nd, self.n_scenarios),
+            Wmu_dev.reshape(engine.nt, engine.nd, self.n_scenarios),
+            Wmu_dev.reshape(engine.nt, engine.nd, self.n_scenarios),
         )
+        blocks = bk.to_numpy(blocks) if bk.is_numpy else bk.to_numpy(blocks, copy=True)
         musq = np.zeros((engine.nt + 1, self.n_scenarios))
         np.cumsum(blocks, axis=0, out=musq[1:])
         blocks.setflags(write=False)
@@ -324,15 +330,18 @@ class ScenarioIdentifier:
         the same :data:`~repro.serve.sketch.COL_BLOCK`-chunked
         :meth:`~repro.serve.sketch.SlotSketch.project_bank_columns` the
         fabric's workers use, so a block-aligned shard of this sketch is
-        bitwise identical to the flat build.  Memoized per ``(rank,
-        seed)``.
+        bitwise identical to the flat build.  Memoized per ``(rank, seed,
+        backend, dtype)`` — the backend identity is part of the key so a
+        server switching backends can never be handed arrays produced by
+        (or resident on) a different backend/device.
         """
-        key = (int(rank), int(seed))
+        eng = self.engine
+        key = (int(rank), int(seed)) + eng.backend.key()
         cached = self._sketches.get(key)
         if cached is None:
-            eng = self.engine
-            sk = SlotSketch(eng.nt, eng.nd, rank, seed=seed)
-            proj, psq = sk.project_bank(self._Wmu)
+            sk = SlotSketch(eng.nt, eng.nd, rank, seed=seed, backend=eng.backend)
+            bank = self._Wmu if eng.backend.is_numpy else self._Wmu_dev
+            proj, psq = sk.project_bank(bank)
             cached = self._sketches[key] = (sk, proj, psq)
         return cached
 
@@ -370,7 +379,9 @@ class IdentificationSession:
             if prior_weights is None
             else identifier._normalize_prior(prior_weights)
         )
-        self._cross = np.zeros((fleet.n_streams, identifier.n_scenarios))
+        self._cross = fleet.engine.backend.zeros(
+            (fleet.n_streams, identifier.n_scenarios)
+        )
         self._folded = np.zeros(fleet.n_streams, dtype=np.int64)
         self._fold_new_slots()  # adopt a fleet already mid-stream
 
@@ -396,14 +407,17 @@ class IdentificationSession:
         h = self.fleet.horizons
         if np.array_equal(h, self._folded):
             return
-        nd = self.fleet.engine.nd
+        eng = self.fleet.engine
+        bk = eng.backend
+        nd = eng.nd
         S = self.identifier.n_scenarios
-        W, Wmu = self.fleet.states, self.identifier._Wmu
+        W, Wmu = self.fleet._W, self.identifier._Wmu_dev
         block = _sketch.COL_BLOCK
         for s in range(int(self._folded.min()), int(h.max())):
             idx = np.nonzero((self._folded <= s) & (h > s))[0]
             if not idx.size:
                 continue
+            idx = bk.index(idx)
             r0, r1 = s * nd, (s + 1) * nd
             Wd_s = W[r0:r1, idx].T
             for c0 in range(0, S, block):
@@ -434,10 +448,11 @@ class IdentificationSession:
         self._fold_new_slots()  # the fleet may have been advanced directly
         eng = self.fleet.engine
         k = self.fleet.horizons
+        cross = eng.backend.to_numpy(self._cross)
         quad = (
             self.fleet.squared_norms()[:, None]
             + self.identifier._musq_cum[k]
-            - 2.0 * self._cross
+            - 2.0 * cross
         )
         logdet_half = eng.inv.cholesky_logdiag_cum[k]
         const = 0.5 * (k * eng.nd) * _LOG_2PI
@@ -529,7 +544,13 @@ class IdentificationSession:
             static["wd_psq"] = self.fleet.slot_projection_norms()
             bankv["pmu"] = proj
             bankv["slot_psq"] = psq
-        _sketch.certified_bounds(static, bankv, eng.nd, J, tuple(slots), 0, S)
+        # Non-numpy backends widen the brackets by their declared kernel
+        # budget (tolerance-certified contract); numpy passes rtol=0 and
+        # stays bitwise-identical.
+        _sketch.certified_bounds(
+            static, bankv, eng.nd, J, tuple(slots), 0, S,
+            rtol=eng.backend.screen_rtol,
+        )
         return bankv["lb"], bankv["ub"]
 
     # ------------------------------------------------------------------

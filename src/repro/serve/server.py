@@ -83,16 +83,25 @@ class BatchedPhase4Server:
     inv:
         A fully-assembled inversion (Phases 2-3 complete), e.g. from an
         :class:`~repro.serve.cache.OperatorCache`.
+    backend:
+        Array backend for the streaming/identification hot paths — a
+        :class:`repro.backend.Backend`, a name (``"numpy"``, ``"torch"``,
+        ``"torch-cuda"``, ``"cupy"``), or ``None`` for the bitwise numpy
+        default.  Surfaced as :attr:`backend` and in :meth:`report`.
     """
 
     def __init__(
         self,
         inv: ToeplitzBayesianInversion,
         timers: Optional[TimerRegistry] = None,
+        backend=None,
     ) -> None:
         if not inv.phase2_complete:
             raise RuntimeError("Phase 2 must be complete before serving")
+        from repro.backend import resolve_backend
+
         self.inv = inv
+        self.backend = resolve_backend(backend)
         self.nt, self.nd, self.nm = inv.nt, inv.nd, inv.nm
         self.nq = inv.nq
         self.timers = timers if timers is not None else TimerRegistry()
@@ -187,11 +196,11 @@ class BatchedPhase4Server:
     def streaming_engine(self) -> IncrementalStreamingPosterior:
         """The inversion's shared incremental engine (requires Phase 3).
 
-        Deliberately not cached here: the inversion memoizes it and
-        invalidates on re-assembly, so delegating keeps the server from
-        serving posteriors of stale operators.
+        Deliberately not cached here: the inversion memoizes it (per
+        backend) and invalidates on re-assembly, so delegating keeps the
+        server from serving posteriors of stale operators.
         """
-        return self.inv.streaming_state()
+        return self.inv.streaming_state(backend=self.backend)
 
     def open_fleet(
         self, streams: Union[np.ndarray, Sequence[np.ndarray]]
@@ -391,8 +400,10 @@ class BatchedPhase4Server:
     def report(self) -> Dict[str, float]:
         """Serving timers plus the shared streaming-engine footprint."""
         out: Dict[str, float] = dict(self.timers.as_dict())
-        # Peek at the inversion's memoized engine without creating one.
-        eng = self.inv.streaming_state_peek
+        # Peek at this server's memoized engine without creating one.
+        eng = self.inv._streaming.get(self.backend.key())
+        out["backend_is_exact"] = float(self.backend.is_exact)
+        out["backend_screen_rtol"] = float(self.backend.screen_rtol)
         out["streaming_slots_advanced"] = float(eng.k_geom if eng else 0)
         out["streaming_horizons_cached"] = float(eng.horizons_cached if eng else 0)
         out["streaming_cov_cache_limit"] = float(eng.cov_cache_limit if eng else 0)

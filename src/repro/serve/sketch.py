@@ -51,9 +51,11 @@ those columns — certified decisions cannot depend on the shard layout.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
+
+from repro.backend import Backend, resolve_backend
 
 __all__ = [
     "COL_BLOCK",
@@ -95,6 +97,12 @@ class SlotSketch:
         Internal: adopt an existing stacked projection ``(nt * r, nd)``
         (e.g. a shared-memory view in a fabric worker) instead of
         drawing one.
+    backend:
+        Array backend for the bank-projection gemms (``None`` = numpy).
+        The projection *draw* is always a host numpy QR regardless of the
+        backend, so ``(nt, nd, rank, seed)`` reproduce identical
+        projections everywhere; only the ``P_t @ W`` products move to the
+        device, and :meth:`project_bank` always exports host arrays.
 
     Notes
     -----
@@ -110,7 +118,10 @@ class SlotSketch:
         rank: int,
         seed: int = 0,
         matrix: Optional[np.ndarray] = None,
+        backend: Union[Backend, str, None] = None,
     ) -> None:
+        self.backend = resolve_backend(backend)
+        self._P_dev = None  # lazy device copy for non-numpy backends
         if not 1 <= int(rank) <= int(nd):
             raise ValueError(f"sketch rank must lie in [1, {nd}], got {rank}")
         self.nt, self.nd, self.rank, self.seed = int(nt), int(nd), int(rank), int(seed)
@@ -160,30 +171,67 @@ class SlotSketch:
         ``W`` is a bank-side state block ``(Nt * Nd, S)``; writes the
         per-slot sketches ``P_t w_t`` into ``out_proj`` (``(Nt * r, S)``)
         and their squared norms ``||P_t w_t||^2`` into ``out_psq``
-        (``(Nt, S)``).  Chunked on absolute :data:`COL_BLOCK` boundaries
-        with a contiguous per-block operand, so the flat identifier and a
-        block-aligned fabric shard produce bitwise-identical sketches —
-        this is the *single* bank-sketch build both paths call.
+        (``(Nt, S)``).  Chunked on absolute :data:`COL_BLOCK` boundaries,
+        so the flat identifier and a block-aligned fabric shard produce
+        bitwise-identical sketches — this is the *single* bank-sketch
+        build both paths call.
+
+        All ``Nt`` slots of a block are projected by **one** batched gemm
+        on the stacked projection reshaped ``(Nt, r, Nd)`` against the
+        contiguous-staged block reshaped ``(Nt, Nd, block)`` — no
+        per-slot Python loop.  The staging copy is the *same* copy the
+        historical slot-by-slot build made, and on it the batched product
+        issues the identical per-slot gemms, so the outputs are
+        bitwise-identical to the historical loop (pinned, staging copy
+        and all, by the regression test in
+        ``tests/backend/test_project_bank.py`` — a strided no-copy
+        operand is *not* bitwise-safe for degenerate block widths).  When
+        the sketch carries a non-numpy backend *and* ``W`` is a device
+        array, the same batched products run through the backend kernel
+        table instead, under the backend's tolerance contract.
         """
         nt, nd, r = self.nt, self.nd, self.rank
+        bk = self.backend
+        native = (not bk.is_numpy) and bk.is_native(W)
+        if native:
+            if self._P_dev is None:
+                self._P_dev = bk.asarray(self.P)
+            P3 = self._P_dev.reshape(nt, r, nd)
+            for b0 in range(c0, c1, COL_BLOCK):
+                b1 = min(b0 + COL_BLOCK, c1)
+                Wb = bk.ascontiguousarray(W[:, b0:b1]).reshape(nt, nd, b1 - b0)
+                pb = bk.matmul(P3, Wb)  # (Nt, r, block)
+                out_proj[:, b0:b1] = pb.reshape(nt * r, b1 - b0)
+                out_psq[:, b0:b1] = bk.einsum("trj,trj->tj", pb, pb)
+            return
+        P3 = self.P.reshape(nt, r, nd)
         for b0 in range(c0, c1, COL_BLOCK):
             b1 = min(b0 + COL_BLOCK, c1)
-            Wb = np.ascontiguousarray(W[:, b0:b1])
-            for t in range(nt):
-                pb = self.P[t * r : (t + 1) * r] @ Wb[t * nd : (t + 1) * nd]
-                out_proj[t * r : (t + 1) * r, b0:b1] = pb
-                out_psq[t, b0:b1] = np.einsum("ij,ij->j", pb, pb)
+            Wb = np.ascontiguousarray(W[:, b0:b1]).reshape(nt, nd, b1 - b0)
+            pb = np.matmul(P3, Wb)  # (Nt, r, block)
+            out_proj[:, b0:b1] = pb.reshape(nt * r, b1 - b0)
+            out_psq[:, b0:b1] = np.einsum("trj,trj->tj", pb, pb)
 
     def project_bank(self, W: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Sketch a full bank state: returns ``(projected, slot_norms)``.
 
         ``projected`` is ``(Nt * r, S)`` and ``slot_norms`` the per-slot
-        ``||P_t w_t(mu_s)||^2`` profile ``(Nt, S)``, both read-only.
+        ``||P_t w_t(mu_s)||^2`` profile ``(Nt, S)``, both read-only host
+        arrays (device banks are projected on the device, then exported).
         """
+        bk = self.backend
         S = W.shape[1]
-        proj = np.empty((self.nt * self.rank, S))
-        psq = np.empty((self.nt, S))
-        self.project_bank_columns(W, proj, psq, 0, S)
+        native = (not bk.is_numpy) and bk.is_native(W)
+        if native:
+            proj = bk.empty((self.nt * self.rank, S))
+            psq = bk.empty((self.nt, S))
+            self.project_bank_columns(W, proj, psq, 0, S)
+            proj = bk.to_numpy(proj, copy=True)
+            psq = bk.to_numpy(psq, copy=True)
+        else:
+            proj = np.empty((self.nt * self.rank, S))
+            psq = np.empty((self.nt, S))
+            self.project_bank_columns(W, proj, psq, 0, S)
         proj.setflags(write=False)
         psq.setflags(write=False)
         return proj, psq
@@ -216,6 +264,7 @@ def certified_bounds(
     slots: Sequence[int],
     c0: int,
     c1: int,
+    rtol: float = 0.0,
 ) -> None:
     """Certified evidence intervals ``[lb, ub]`` for bank columns ``[c0, c1)``.
 
@@ -241,6 +290,15 @@ def certified_bounds(
     bank-indexed products chunk on absolute :data:`COL_BLOCK` boundaries,
     so the written intervals are bitwise independent of the shard layout.
     Writes ``lb``/``ub`` rows ``[:J]``, columns ``[c0, c1)``, in place.
+
+    ``rtol`` is the tolerance-certified contract for non-numpy backends:
+    when the whitened states feeding this screen were produced by a
+    backend with a nonzero kernel budget (``Backend.screen_rtol``), the
+    brackets are widened by ``rtol * (|quad| + hi_add + |c_k| + 1)`` —
+    the magnitude of every term entering the bound — so that screening
+    decisions remain provably safe relative to the numpy-exact evidence.
+    ``rtol = 0`` (the numpy contract) performs no extra arithmetic and is
+    bitwise-identical to the historical screen.
     """
     Wd = static["wd"]
     hz = static["hz"][:J]
@@ -323,6 +381,15 @@ def certified_bounds(
     c_k = static["logdiag"][hz] + 0.5 * (hz * nd) * _LOG_2PI
     bankv["ub"][:J, c0:c1] = -0.5 * (quad_scr + lo_add) - c_k[:, None]
     bankv["lb"][:J, c0:c1] = -0.5 * (quad_scr + hi_add) - c_k[:, None]
+    if rtol:
+        # Tolerance-certified inflation (non-numpy backends only): pad by
+        # the declared relative budget times the magnitude of every term
+        # that entered the bound.  hi_add >= |lo_add| always, so one pad
+        # covers both sides.  Skipped entirely at rtol == 0 to keep the
+        # numpy path bitwise-identical.
+        pad = float(rtol) * (np.abs(quad_scr) + hi_add + np.abs(c_k)[:, None] + 1.0)
+        bankv["ub"][:J, c0:c1] += pad
+        bankv["lb"][:J, c0:c1] -= pad
 
 
 def strip_sketch(views: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:

@@ -1,0 +1,46 @@
+"""Backend-seam fixtures: one small twin inversion plus a scenario bank.
+
+The equivalence suite drives the *routed* online hot paths (streaming
+fleet advances, bank identification, sketch screens, Toeplitz applies)
+under different array backends, so the offline phases are built once per
+session and shared read-only — exactly like the serving fixtures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import ScenarioBank
+from repro.twin import CascadiaTwin, TwinConfig
+
+
+@pytest.fixture(scope="session")
+def bk_twin():
+    """A small 2D twin with Phase 1 complete."""
+    twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=8, n_sensors=6, n_qoi=2))
+    twin.setup()
+    twin.phase1()
+    return twin
+
+
+@pytest.fixture(scope="session")
+def bk_bank(bk_twin):
+    """A 16-entry scenario bank on the twin's trace grid."""
+    c = bk_twin.config
+    bank = ScenarioBank(bk_twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=7)
+    bank.generate(16)
+    return bank
+
+
+@pytest.fixture(scope="session")
+def bk_streams(bk_twin, bk_bank):
+    """``(d_clean, noise, d_obs)`` for the whole bank."""
+    return bk_bank.observation_batch(bk_twin.F, noise_relative=0.01)
+
+
+@pytest.fixture(scope="session")
+def bk_inversion(bk_twin, bk_streams):
+    """Phases 2-3 under the same fleet noise model the streams were drawn with."""
+    _, noise, _ = bk_streams
+    return bk_twin.phase23(noise)

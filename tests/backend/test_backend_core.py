@@ -1,0 +1,158 @@
+"""Backend registry, contracts, and the numpy kernel table's literal identity.
+
+What must hold:
+
+* The numpy backend is the always-available default, carries an all-zero
+  kernel budget (``is_exact``, ``screen_rtol == 0``), and its transfer
+  helpers are identity on float64 host arrays — no hidden copies on the
+  hot path.
+* Every numpy kernel-table entry produces **bitwise** the same array as
+  the library call it wraps (that is the whole bitwise-identity
+  contract: routing through the seam may not change a single BLAS call).
+* Name resolution: aliases, caching, ``resolve_backend`` passthrough,
+  and a clear error for unknown names.
+* Accelerated backends are *detected* without being imported and carry a
+  nonzero declared budget.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+import scipy.linalg as sla
+
+from repro.backend import (
+    Backend,
+    BackendUnavailable,
+    KernelBudget,
+    available_backends,
+    default_backend,
+    get_backend,
+    resolve_backend,
+)
+
+HAVE_TORCH = importlib.util.find_spec("torch") is not None
+
+
+# ----------------------------------------------------------------------
+# Registry / resolution
+# ----------------------------------------------------------------------
+def test_default_backend_is_exact_numpy_singleton():
+    bk = default_backend()
+    assert bk.name == "numpy"
+    assert bk.is_numpy
+    assert bk.is_exact
+    assert bk.screen_rtol == 0.0
+    assert bk.budget == KernelBudget()
+    assert bk.key() == ("numpy", "cpu", "float64")
+    assert get_backend() is bk
+    assert get_backend("numpy") is bk
+    assert resolve_backend(None) is bk
+    assert resolve_backend("numpy") is bk
+    assert resolve_backend(bk) is bk
+
+
+def test_aliases_resolve_to_canonical_backends():
+    assert get_backend("np") is get_backend("numpy")
+    if HAVE_TORCH:
+        assert get_backend("pytorch") is get_backend("torch")
+        assert get_backend("torch-cpu") is get_backend("torch")
+    else:
+        with pytest.raises(BackendUnavailable):
+            get_backend("torch")
+
+
+def test_unknown_backend_name_raises():
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_backend("tensorflow")
+
+
+def test_available_backends_reports_numpy_first():
+    names = available_backends()
+    assert names[0] == "numpy"
+    assert ("torch" in names) == HAVE_TORCH
+
+
+def test_kernel_budget_combined_sums_all_kernels():
+    b = KernelBudget(gemm=1e-9, trsm=2e-9, fft=3e-9, qr=4e-9)
+    assert b.combined() == pytest.approx(1e-8)
+    assert KernelBudget().combined() == 0.0
+
+
+def test_abstract_backend_kernels_are_unimplemented():
+    bk = Backend()
+    x = np.ones(3)
+    for call in (
+        lambda: bk.asarray(x),
+        lambda: bk.to_numpy(x),
+        lambda: bk.matmul(x, x),
+        lambda: bk.solve_triangular(np.eye(3), x),
+    ):
+        with pytest.raises(NotImplementedError):
+            call()
+
+
+# ----------------------------------------------------------------------
+# Numpy transfers: identity, no hidden copies
+# ----------------------------------------------------------------------
+def test_numpy_asarray_is_identity_for_float64():
+    bk = default_backend()
+    x = np.random.default_rng(0).standard_normal((4, 5))
+    assert bk.asarray(x) is x
+    assert bk.to_numpy(x) is x
+    assert bk.is_native(x)
+    y = bk.to_numpy(x, copy=True)
+    assert y is not x
+    np.testing.assert_array_equal(y, x)
+    idx = np.array([2, 0, 1])
+    assert bk.index(idx) is idx
+
+
+def test_numpy_copy_and_allocators():
+    bk = default_backend()
+    x = np.arange(6.0).reshape(2, 3)
+    c = bk.copy(x)
+    assert c is not x and not np.shares_memory(c, x)
+    np.testing.assert_array_equal(c, x)
+    assert bk.zeros((2, 2)).sum() == 0.0
+    assert bk.empty((3, 1)).shape == (3, 1)
+
+
+# ----------------------------------------------------------------------
+# Numpy kernel table: bitwise equal to the literal library calls
+# ----------------------------------------------------------------------
+def test_numpy_kernels_are_bitwise_the_library_calls():
+    bk = default_backend()
+    rng = np.random.default_rng(3)
+    a = np.tril(rng.standard_normal((7, 7))) + 7.0 * np.eye(7)
+    b = rng.standard_normal((7, 4))
+    np.testing.assert_array_equal(
+        bk.solve_triangular(a, b, lower=True),
+        sla.solve_triangular(a, b, lower=True),
+    )
+    np.testing.assert_array_equal(
+        bk.solve_triangular(a.T, b, lower=False),
+        sla.solve_triangular(a.T, b, lower=False),
+    )
+    np.testing.assert_array_equal(bk.matmul(a, b), np.matmul(a, b))
+    np.testing.assert_array_equal(
+        bk.einsum("ij,ij->j", b, b), np.einsum("ij,ij->j", b, b)
+    )
+    q, r = bk.qr(b)
+    q_ref, r_ref = np.linalg.qr(b)
+    np.testing.assert_array_equal(q, q_ref)
+    np.testing.assert_array_equal(r, r_ref)
+    x = rng.standard_normal((5, 3, 2))
+    np.testing.assert_array_equal(
+        bk.rfft(x, n=8, axis=0), np.fft.rfft(x, n=8, axis=0)
+    )
+    xhat = np.fft.rfft(x, n=8, axis=0)
+    np.testing.assert_array_equal(
+        bk.irfft(xhat, n=8, axis=0), np.fft.irfft(xhat, n=8, axis=0)
+    )
+    np.testing.assert_array_equal(bk.moveaxis(x, 0, -1), np.moveaxis(x, 0, -1))
+    assert bk.ascontiguousarray(x.T).flags["C_CONTIGUOUS"]
+    z = np.fft.rfft(np.arange(8.0))
+    assert bk.ascomplex(z) is z

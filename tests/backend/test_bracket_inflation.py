@@ -1,0 +1,124 @@
+"""Tolerance-certified bracket inflation: the ``rtol`` contract of the screen.
+
+:func:`repro.serve.sketch.certified_bounds` grows its certified intervals
+by ``rtol * (|quad| + hi_add + |c_k| + 1)`` when the whitened states were
+produced by a backend with a nonzero kernel budget.  What must hold:
+
+* ``rtol = 0`` is the historical screen, bitwise (the default argument).
+* The certified property itself: brackets from *clean* inputs contain the
+  exact evidence, with or without a sketch, for any slot subset.
+* Inflation is one-sided outward and strictly positive at ``rtol > 0``.
+* The point of the contract: brackets computed from *perturbed* states
+  (relative perturbations well inside the declared budget — a stand-in
+  for an accelerated backend's reduction reordering) still contain the
+  numpy-exact evidence once inflated by the budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.serve.sketch as sketch_mod
+from repro.serve.sketch import SlotSketch, certified_bounds
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+def _random_problem(seed, nt=5, nd=6, J=4, S=20, rank=0):
+    """Synthetic whitened states + the dict views certified_bounds eats."""
+    rng = np.random.default_rng(seed)
+    wd = rng.standard_normal((nt * nd, J))
+    wmu = rng.standard_normal((nt * nd, S))
+    # One stream shadows a bank column closely (near-cancelling quad).
+    wd[:, 0] = wmu[:, 0] + 1e-6 * rng.standard_normal(nt * nd)
+    hz = rng.integers(1, nt + 1, size=J)
+    # Zero out slots beyond each stream's horizon, as the fleet would.
+    for j in range(J):
+        wd[hz[j] * nd :, j] = 0.0
+    logdiag = np.cumsum(np.abs(rng.standard_normal(nt + 1)))
+    logdiag[0] = 0.0
+
+    def views(wd_, wmu_):
+        static = {
+            "wd": wd_,
+            "wd_slot": np.einsum(
+                "tdj,tdj->tj", wd_.reshape(nt, nd, J), wd_.reshape(nt, nd, J)
+            ),
+            "hz": hz,
+            "logdiag": logdiag,
+        }
+        bankv = {
+            "wmu": wmu_,
+            "slot_musq": np.einsum(
+                "tds,tds->ts", wmu_.reshape(nt, nd, S), wmu_.reshape(nt, nd, S)
+            ),
+            "lb": np.empty((J, S)),
+            "ub": np.empty((J, S)),
+        }
+        if rank:
+            sk = SlotSketch(nt, nd, rank, seed=seed)
+            bankv["pmu"], bankv["slot_psq"] = sk.project_bank(wmu_)
+            static["wd_p"], static["wd_psq"] = sk.project_bank(wd_)
+        return static, bankv
+
+    # Exact truncated-data evidence, brute force.
+    ev = np.empty((J, S))
+    for j in range(J):
+        n = hz[j] * nd
+        quad = ((wd[:n, j : j + 1] - wmu[:n]) ** 2).sum(axis=0)
+        ev[j] = -0.5 * quad - (logdiag[hz[j]] + 0.5 * hz[j] * nd * _LOG_2PI)
+    return wd, wmu, hz, views, ev
+
+
+@pytest.mark.parametrize("rank", [0, 2])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_clean_brackets_contain_exact_evidence(seed, rank, monkeypatch):
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+    nt, nd, J, S = 5, 6, 4, 20
+    wd, wmu, _, views, ev = _random_problem(seed, nt, nd, J, S, rank=rank)
+    for slots in [(0,), (1, 3), tuple(range(nt))]:
+        static, bankv = views(wd, wmu)
+        certified_bounds(static, bankv, nd, J, slots, 0, S)
+        tol = 1e-9 * np.maximum(1.0, np.abs(ev))
+        assert (bankv["lb"] <= ev + tol).all()
+        assert (bankv["ub"] >= ev - tol).all()
+
+
+@pytest.mark.parametrize("rank", [0, 2])
+def test_inflation_is_strictly_outward(rank, monkeypatch):
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+    nt, nd, J, S = 5, 6, 4, 20
+    wd, wmu, _, views, _ = _random_problem(3, nt, nd, J, S, rank=rank)
+    static0, bankv0 = views(wd, wmu)
+    certified_bounds(static0, bankv0, nd, J, (0, 2), 0, S)
+    static1, bankv1 = views(wd, wmu)
+    certified_bounds(static1, bankv1, nd, J, (0, 2), 0, S, rtol=1e-8)
+    assert (bankv1["ub"] > bankv0["ub"]).all()
+    assert (bankv1["lb"] < bankv0["lb"]).all()
+    # rtol=0 is the default: bitwise identical to not passing it.
+    static2, bankv2 = views(wd, wmu)
+    certified_bounds(static2, bankv2, nd, J, (0, 2), 0, S, rtol=0.0)
+    np.testing.assert_array_equal(bankv2["lb"], bankv0["lb"])
+    np.testing.assert_array_equal(bankv2["ub"], bankv0["ub"])
+
+
+@pytest.mark.parametrize("rank", [0, 2])
+@pytest.mark.parametrize("seed", range(5))
+def test_perturbed_states_with_budget_inflation_still_contain_exact(
+    seed, rank, monkeypatch
+):
+    """A backend perturbing states inside its budget cannot break the screen."""
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+    nt, nd, J, S = 5, 6, 4, 20
+    rtol = 1e-6
+    eps = rtol / 100.0  # perturbation well inside the declared budget
+    wd, wmu, hz, views, ev = _random_problem(seed, nt, nd, J, S, rank=rank)
+    rng = np.random.default_rng(1000 + seed)
+    wd_p = wd * (1.0 + eps * rng.uniform(-1.0, 1.0, wd.shape))
+    wmu_p = wmu * (1.0 + eps * rng.uniform(-1.0, 1.0, wmu.shape))
+    for slots in [(0,), (1, 3), tuple(range(nt))]:
+        static, bankv = views(wd_p, wmu_p)
+        certified_bounds(static, bankv, nd, J, slots, 0, S, rtol=rtol)
+        assert (bankv["lb"] <= ev).all()
+        assert (bankv["ub"] >= ev).all()

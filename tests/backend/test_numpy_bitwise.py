@@ -1,0 +1,104 @@
+"""The routed hot paths on the numpy backend are bitwise the un-routed ones.
+
+The seam's numpy contract is *identity*, not tolerance: an explicitly
+requested numpy backend must produce byte-for-byte the results of the
+default path (which is itself the pre-seam arithmetic, pinned by the
+whole existing serve/inference suite).  These tests drive the routed
+surfaces — streaming engine, fleet, Toeplitz applies, certified screen —
+under ``backend="numpy"`` and assert exact equality against the default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import default_backend
+from repro.inference.streaming import IncrementalStreamingPosterior
+from repro.inference.toeplitz import BlockToeplitzOperator
+from repro.serve import ScenarioIdentifier
+
+
+def test_engine_with_explicit_numpy_backend_matches_default(bk_inversion, bk_streams):
+    inv = bk_inversion
+    _, _, d_obs = bk_streams
+    eng_a = IncrementalStreamingPosterior(inv)
+    eng_b = IncrementalStreamingPosterior(inv, backend="numpy")
+    eng_a.advance_geometry(inv.nt)
+    eng_b.advance_geometry(inv.nt)
+    np.testing.assert_array_equal(
+        eng_a.geometry_rows(inv.nt), eng_b.geometry_rows(inv.nt)
+    )
+    np.testing.assert_array_equal(
+        eng_a.covariance_at(inv.nt - 1), eng_b.covariance_at(inv.nt - 1)
+    )
+    fa = eng_a.open_fleet(d_obs[:, :, :5]).advance(inv.nt)
+    fb = eng_b.open_fleet(d_obs[:, :, :5]).advance(inv.nt)
+    np.testing.assert_array_equal(fa.states, fb.states)
+    np.testing.assert_array_equal(fa.squared_norms(), fb.squared_norms())
+    np.testing.assert_array_equal(fa.log_evidence(), fb.log_evidence())
+    np.testing.assert_array_equal(fa.forecast_means(), fb.forecast_means())
+
+
+def test_ragged_fleet_sketch_state_bitwise(bk_inversion, bk_streams):
+    inv = bk_inversion
+    _, _, d_obs = bk_streams
+    from repro.serve.sketch import SlotSketch
+
+    sk = SlotSketch(inv.nt, inv.nd, rank=2, seed=3)
+    targets = np.array([2, 5, inv.nt, 3, 7])[: min(5, d_obs.shape[2])]
+    fa = IncrementalStreamingPosterior(inv).open_fleet(d_obs[:, :, : targets.size])
+    fb = IncrementalStreamingPosterior(inv, backend="numpy").open_fleet(
+        d_obs[:, :, : targets.size]
+    )
+    fa.attach_sketch(sk.projections)
+    fb.attach_sketch(sk.projections)
+    fa.advance(targets)
+    fb.advance(targets)
+    np.testing.assert_array_equal(fa.slot_projections(), fb.slot_projections())
+    np.testing.assert_array_equal(
+        fa.slot_projection_norms(), fb.slot_projection_norms()
+    )
+    np.testing.assert_array_equal(fa.slot_squared_norms(), fb.slot_squared_norms())
+
+
+def test_toeplitz_applies_bitwise_under_explicit_numpy_backend():
+    rng = np.random.default_rng(11)
+    kernel = rng.standard_normal((6, 4, 3))
+    for layout in ("space-major", "time-major"):
+        op_a = BlockToeplitzOperator(kernel, layout=layout)
+        op_b = BlockToeplitzOperator(kernel, layout=layout, backend="numpy")
+        m = rng.standard_normal((6, 3, 2))
+        d = rng.standard_normal((6, 4, 2))
+        np.testing.assert_array_equal(op_a.matvec(m), op_b.matvec(m))
+        np.testing.assert_array_equal(op_a.rmatvec(d), op_b.rmatvec(d))
+        tb = op_b.transpose_operator()
+        assert tb.backend is op_b.backend
+        np.testing.assert_array_equal(op_a.transpose_operator().matvec(d), tb.matvec(d))
+
+
+def test_identifier_and_screen_bitwise_under_explicit_numpy(bk_inversion, bk_bank, bk_streams):
+    inv = bk_inversion
+    _, _, d_obs = bk_streams
+    ident_a = ScenarioIdentifier.from_bank(inv.streaming_state(), bk_bank)
+    ident_b = ScenarioIdentifier.from_bank(inv.streaming_state(backend="numpy"), bk_bank)
+    np.testing.assert_array_equal(ident_a._Wmu, ident_b._Wmu)
+    sess_a = ident_a.open(d_obs[:, :, :4]).advance(inv.nt)
+    sess_b = ident_b.open(d_obs[:, :, :4]).advance(inv.nt)
+    np.testing.assert_array_equal(sess_a.log_evidence(), sess_b.log_evidence())
+    np.testing.assert_array_equal(
+        sess_a.posterior().log_posterior, sess_b.posterior().log_posterior
+    )
+    la, ua = sess_a.evidence_interval(sketch_rank=2)
+    lb_, ub_ = sess_b.evidence_interval(sketch_rank=2)
+    np.testing.assert_array_equal(la, lb_)
+    np.testing.assert_array_equal(ua, ub_)
+
+
+def test_streaming_state_default_is_the_numpy_engine(bk_inversion):
+    inv = bk_inversion
+    eng = inv.streaming_state()
+    assert eng is inv.streaming_state(backend="numpy")
+    assert eng is inv.streaming_state(backend=default_backend())
+    assert eng.backend is default_backend()
+    assert inv.streaming_state_peek is eng

@@ -1,0 +1,81 @@
+"""Bitwise regression for the batched bank-sketch build (satellite of PR 7).
+
+:meth:`repro.serve.sketch.SlotSketch.project_bank_columns` replaced a
+per-slot Python loop over ``P_t @ W_t`` (with a contiguous staging copy of
+every column block) by **one** batched gemm per block on the stacked
+``(Nt, r, Nd) @ (Nt, Nd, block)`` operands.  The fabric's
+shard-layout-independence guarantee pins the *old* arithmetic, so the new
+build must be bitwise identical to it — this file reimplements the
+historical loop verbatim and asserts exact equality, block boundaries,
+partial column ranges and all.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.serve.sketch as sketch_mod
+from repro.serve.sketch import SlotSketch
+
+
+def _legacy_project(sk: SlotSketch, W, out_proj, out_psq, c0, c1, col_block):
+    """The pre-batching per-slot loop, verbatim (contiguous staging copy)."""
+    nt, nd, r = sk.nt, sk.nd, sk.rank
+    for b0 in range(c0, c1, col_block):
+        b1 = min(b0 + col_block, c1)
+        Wb = np.ascontiguousarray(W[:, b0:b1])
+        for t in range(nt):
+            pb = sk.P[t * r : (t + 1) * r] @ Wb[t * nd : (t + 1) * nd]
+            out_proj[t * r : (t + 1) * r, b0:b1] = pb
+            out_psq[t, b0:b1] = np.einsum("ij,ij->j", pb, pb)
+
+
+@pytest.mark.parametrize("nt,nd,rank,S", [(6, 8, 3, 37), (4, 5, 5, 12), (3, 7, 1, 9)])
+def test_batched_build_bitwise_equals_legacy_loop(nt, nd, rank, S, monkeypatch):
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+    sk = SlotSketch(nt, nd, rank, seed=13)
+    W = np.random.default_rng(5).standard_normal((nt * nd, S))
+
+    new_proj = np.empty((nt * rank, S))
+    new_psq = np.empty((nt, S))
+    sk.project_bank_columns(W, new_proj, new_psq, 0, S)
+
+    ref_proj = np.empty((nt * rank, S))
+    ref_psq = np.empty((nt, S))
+    _legacy_project(sk, W, ref_proj, ref_psq, 0, S, sketch_mod.COL_BLOCK)
+
+    np.testing.assert_array_equal(new_proj, ref_proj)
+    np.testing.assert_array_equal(new_psq, ref_psq)
+
+
+def test_partial_column_range_matches_legacy_bitwise(monkeypatch):
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+    nt, nd, rank, S = 5, 6, 2, 40
+    sk = SlotSketch(nt, nd, rank, seed=2)
+    W = np.random.default_rng(9).standard_normal((nt * nd, S))
+    # Block-aligned shard [16, 40), the fabric's shard shape.
+    c0, c1 = 16, 40
+    new_proj = np.zeros((nt * rank, S))
+    new_psq = np.zeros((nt, S))
+    sk.project_bank_columns(W, new_proj, new_psq, c0, c1)
+    ref_proj = np.zeros((nt * rank, S))
+    ref_psq = np.zeros((nt, S))
+    _legacy_project(sk, W, ref_proj, ref_psq, c0, c1, sketch_mod.COL_BLOCK)
+    np.testing.assert_array_equal(new_proj, ref_proj)
+    np.testing.assert_array_equal(new_psq, ref_psq)
+    # Columns outside the range were never touched.
+    assert not new_proj[:, :c0].any() and not new_psq[:, :c0].any()
+
+
+def test_project_bank_full_matches_columns_and_is_readonly():
+    nt, nd, rank, S = 4, 6, 3, 20
+    sk = SlotSketch(nt, nd, rank, seed=0)
+    W = np.random.default_rng(1).standard_normal((nt * nd, S))
+    proj, psq = sk.project_bank(W)
+    ref_proj = np.empty((nt * rank, S))
+    ref_psq = np.empty((nt, S))
+    sk.project_bank_columns(W, ref_proj, ref_psq, 0, S)
+    np.testing.assert_array_equal(proj, ref_proj)
+    np.testing.assert_array_equal(psq, ref_psq)
+    assert not proj.flags.writeable and not psq.flags.writeable

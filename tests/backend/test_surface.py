@@ -1,0 +1,86 @@
+"""Backend surface through the serving stack: memo keys, config, reports.
+
+The seam is only safe if every cache that stores backend-produced arrays
+keys on the backend identity, and only *useful* if operators can see
+which backend served a request.  What must hold:
+
+* ``ToeplitzBayesianInversion.streaming_state`` memoizes one engine per
+  backend key and re-assembly invalidates all of them.
+* ``ScenarioIdentifier.sketch`` keys its memo on ``(rank, seed, backend,
+  device, dtype)`` — the PR-7 fix for the backend-blind ``(rank, seed)``
+  key.
+* ``BatchedPhase4Server`` accepts a backend, hands it to the engine, and
+  reports ``backend_is_exact`` / ``backend_screen_rtol``.
+* ``FabricConfig`` grows a ``backend`` knob; ``FabricReport`` carries the
+  backend name; on numpy the fabric's screen rtol is exactly zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backend import default_backend
+from repro.serve import BatchedPhase4Server, ScenarioIdentifier
+from repro.serve.fabric import FabricConfig, FabricReport, ServingFabric
+
+
+def test_streaming_state_memo_is_per_backend_key(bk_inversion):
+    inv = bk_inversion
+    eng = inv.streaming_state()
+    assert inv._streaming[default_backend().key()] is eng
+    # Same key -> same engine, every spelling.
+    assert inv.streaming_state(backend="np") is eng
+    assert inv.streaming_state(backend=default_backend()) is eng
+
+
+def test_sketch_memo_key_includes_backend_identity(bk_inversion, bk_bank):
+    inv = bk_inversion
+    ident = ScenarioIdentifier.from_bank(inv.streaming_state(), bk_bank)
+    sk1 = ident.sketch(2, seed=1)
+    sk2 = ident.sketch(2, seed=1)
+    assert sk1 is sk2
+    key = (2, 1) + default_backend().key()
+    assert key in ident._sketches
+    # Different (rank, seed) -> different entries under the same backend.
+    ident.sketch(3, seed=1)
+    assert (3, 1) + default_backend().key() in ident._sketches
+    assert len(ident._sketches) == 2
+
+
+def test_server_surfaces_backend_and_report_keys(bk_inversion):
+    server = BatchedPhase4Server(bk_inversion)
+    assert server.backend is default_backend()
+    eng = server.streaming_engine()
+    assert eng is bk_inversion.streaming_state()
+    rep = server.report()
+    assert rep["backend_is_exact"] == 1.0
+    assert rep["backend_screen_rtol"] == 0.0
+    with pytest.raises(ValueError):
+        BatchedPhase4Server(bk_inversion, backend="not-a-backend")
+
+
+def test_fabric_config_backend_knob_and_report(bk_inversion, bk_bank, bk_streams):
+    _, _, d_obs = bk_streams
+    assert FabricConfig().backend == "numpy"
+    assert FabricReport().backend == "numpy"
+    with ServingFabric(
+        bk_inversion, [bk_bank], n_workers=0, screen_min_scenarios=4,
+        screen_top=2, sketch_rank=2,
+    ) as fabric:
+        assert fabric.backend is default_backend()
+        assert fabric._screen_rtol == 0.0
+        assert fabric.engine is bk_inversion.streaming_state()
+        res = fabric.identify(d_obs[:, :, :3], k_slots=bk_inversion.nt)
+        assert fabric.last_report.backend == "numpy"
+        # Certified sharded result equals the flat identifier's.
+        ident = ScenarioIdentifier.from_bank(
+            bk_inversion.streaming_state(), bk_bank
+        )
+        sess = ident.open(d_obs[:, :, :3]).advance(bk_inversion.nt)
+        np.testing.assert_allclose(
+            res.log_evidence, sess.log_evidence(), rtol=0, atol=1e-10
+        )
+
+    with pytest.raises(ValueError):
+        ServingFabric(bk_inversion, n_workers=0, backend="no-such-backend").close()

@@ -1,0 +1,195 @@
+"""torch-CPU equivalence: routed hot paths agree with numpy within budget.
+
+Skipped wholesale when torch is not importable (the local toolchain is
+numpy-only; CI runs these under a CPU-only torch install).  Every
+assertion tolerance is the backend's *declared* kernel budget — the suite
+is the executable form of the tolerance-certified contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+torch = pytest.importorskip("torch")
+
+from repro.backend import get_backend
+from repro.inference.streaming import IncrementalStreamingPosterior
+from repro.inference.toeplitz import BlockToeplitzOperator
+from repro.serve import ScenarioIdentifier
+
+
+@pytest.fixture(scope="module")
+def tbk():
+    return get_backend("torch")
+
+
+# ----------------------------------------------------------------------
+# Kernel table
+# ----------------------------------------------------------------------
+def test_torch_backend_identity_and_transfers(tbk):
+    assert tbk.name == "torch" and tbk.device == "cpu"
+    assert not tbk.is_numpy and not tbk.is_exact
+    assert tbk.screen_rtol > 0.0
+    assert tbk.key() == ("torch", "cpu", "float64")
+    x = np.random.default_rng(0).standard_normal((3, 4))
+    t = tbk.asarray(x)
+    assert tbk.is_native(t) and not tbk.is_native(x)
+    assert t.dtype == torch.float64
+    np.testing.assert_array_equal(tbk.to_numpy(t), x)
+    y = tbk.to_numpy(t, copy=True)
+    assert not np.shares_memory(y, tbk.to_numpy(t))
+
+
+def test_torch_kernels_within_declared_budgets(tbk):
+    rng = np.random.default_rng(4)
+    budget = tbk.budget
+    a = np.tril(rng.standard_normal((12, 12))) + 12.0 * np.eye(12)
+    b = rng.standard_normal((12, 7))
+    import scipy.linalg as sla
+
+    ref = sla.solve_triangular(a, b, lower=True)
+    got = tbk.to_numpy(tbk.solve_triangular(tbk.asarray(a), tbk.asarray(b)))
+    np.testing.assert_allclose(got, ref, rtol=budget.trsm, atol=1e-12)
+    # 1-D right-hand side round-trips through the unsqueeze path.
+    got1 = tbk.to_numpy(tbk.solve_triangular(tbk.asarray(a), tbk.asarray(b[:, 0])))
+    np.testing.assert_allclose(got1, ref[:, 0], rtol=budget.trsm, atol=1e-12)
+    np.testing.assert_allclose(
+        tbk.to_numpy(tbk.matmul(tbk.asarray(a), tbk.asarray(b))),
+        a @ b,
+        rtol=budget.gemm,
+        atol=1e-12,
+    )
+    np.testing.assert_allclose(
+        tbk.to_numpy(tbk.einsum("ij,ij->j", tbk.asarray(b), tbk.asarray(b))),
+        np.einsum("ij,ij->j", b, b),
+        rtol=budget.gemm,
+        atol=1e-12,
+    )
+    x = rng.standard_normal((6, 3, 2))
+    np.testing.assert_allclose(
+        tbk.to_numpy(tbk.rfft(tbk.asarray(x), n=8, axis=0)),
+        np.fft.rfft(x, n=8, axis=0),
+        rtol=budget.fft,
+        atol=1e-12,
+    )
+
+
+# ----------------------------------------------------------------------
+# Routed hot paths
+# ----------------------------------------------------------------------
+def test_streaming_engine_matches_numpy_within_budget(bk_inversion, bk_streams, tbk):
+    inv = bk_inversion
+    _, _, d_obs = bk_streams
+    rtol = max(tbk.screen_rtol, 1e-10)
+    eng_np = IncrementalStreamingPosterior(inv)
+    eng_t = IncrementalStreamingPosterior(inv, backend=tbk)
+    eng_np.advance_geometry(inv.nt)
+    eng_t.advance_geometry(inv.nt)
+    np.testing.assert_allclose(
+        eng_t.geometry_rows(inv.nt), eng_np.geometry_rows(inv.nt), rtol=rtol, atol=1e-10
+    )
+    np.testing.assert_allclose(
+        eng_t.covariance_at(inv.nt - 2),
+        eng_np.covariance_at(inv.nt - 2),
+        rtol=rtol,
+        atol=1e-10,
+    )
+    targets = np.array([2, inv.nt, 4, inv.nt - 1])[: min(4, d_obs.shape[2])]
+    fn = eng_np.open_fleet(d_obs[:, :, : targets.size]).advance(targets)
+    ft = eng_t.open_fleet(d_obs[:, :, : targets.size]).advance(targets)
+    np.testing.assert_allclose(ft.states, fn.states, rtol=rtol, atol=1e-10)
+    np.testing.assert_allclose(
+        ft.squared_norms(), fn.squared_norms(), rtol=rtol, atol=1e-10
+    )
+    np.testing.assert_allclose(
+        ft.slot_squared_norms(), fn.slot_squared_norms(), rtol=rtol, atol=1e-10
+    )
+    np.testing.assert_allclose(
+        ft.forecast_means(), fn.forecast_means(), rtol=rtol, atol=1e-10
+    )
+    np.testing.assert_allclose(
+        ft.log_evidence(), fn.log_evidence(), rtol=rtol, atol=1e-8
+    )
+
+
+def test_fleet_sketch_state_matches_numpy(bk_inversion, bk_streams, tbk):
+    inv = bk_inversion
+    _, _, d_obs = bk_streams
+    from repro.serve.sketch import SlotSketch
+
+    rtol = max(tbk.screen_rtol, 1e-10)
+    sk = SlotSketch(inv.nt, inv.nd, rank=2, seed=5)
+    fn = IncrementalStreamingPosterior(inv).open_fleet(d_obs[:, :, :3])
+    ft = IncrementalStreamingPosterior(inv, backend=tbk).open_fleet(d_obs[:, :, :3])
+    for f in (fn, ft):
+        f.attach_sketch(sk.projections)
+        f.advance(np.array([3, inv.nt, 5]))
+    np.testing.assert_allclose(
+        ft.slot_projections(), fn.slot_projections(), rtol=rtol, atol=1e-10
+    )
+    np.testing.assert_allclose(
+        ft.slot_projection_norms(), fn.slot_projection_norms(), rtol=rtol, atol=1e-10
+    )
+
+
+def test_toeplitz_applies_match_numpy_within_budget(tbk):
+    rng = np.random.default_rng(8)
+    kernel = rng.standard_normal((7, 5, 4))
+    for layout in ("space-major", "time-major"):
+        op_np = BlockToeplitzOperator(kernel, layout=layout)
+        op_t = BlockToeplitzOperator(kernel, layout=layout, backend=tbk)
+        m = rng.standard_normal((7, 4, 3))
+        d = rng.standard_normal((7, 5, 3))
+        np.testing.assert_allclose(
+            op_t.matvec(m), op_np.matvec(m), rtol=1e-8, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            op_t.rmatvec(d), op_np.rmatvec(d), rtol=1e-8, atol=1e-10
+        )
+        # Host inputs come back as host numpy arrays.
+        assert isinstance(op_t.matvec(m), np.ndarray)
+        # Device-native inputs stay on the device.
+        out = op_t.matvec(tbk.asarray(m))
+        assert tbk.is_native(out)
+        np.testing.assert_allclose(
+            tbk.to_numpy(out), op_np.matvec(m), rtol=1e-8, atol=1e-10
+        )
+
+
+def test_identification_and_certified_screen_on_torch(bk_inversion, bk_bank, bk_streams, tbk):
+    inv = bk_inversion
+    _, _, d_obs = bk_streams
+    eng_t = inv.streaming_state(backend=tbk)
+    eng_np = inv.streaming_state()
+    ident_t = ScenarioIdentifier.from_bank(eng_t, bk_bank)
+    ident_np = ScenarioIdentifier.from_bank(eng_np, bk_bank)
+    np.testing.assert_allclose(
+        ident_t._Wmu, ident_np._Wmu, rtol=max(tbk.screen_rtol, 1e-10), atol=1e-10
+    )
+    sess_t = ident_t.open(d_obs[:, :, :4]).advance(inv.nt)
+    sess_np = ident_np.open(d_obs[:, :, :4]).advance(inv.nt)
+    ev_t = sess_t.log_evidence()
+    ev_np = sess_np.log_evidence()
+    np.testing.assert_allclose(ev_t, ev_np, rtol=1e-7, atol=1e-7)
+    # Same argmax ranking on a well-separated bank.
+    np.testing.assert_array_equal(ev_t.argmax(axis=1), ev_np.argmax(axis=1))
+    # The torch session's certified interval is budget-inflated and must
+    # contain the numpy-exact evidence.
+    lb, ub = sess_t.evidence_interval(sketch_rank=2)
+    assert (lb <= ev_np + 1e-12).all()
+    assert (ub >= ev_np - 1e-12).all()
+    # Sketch memo keys are backend-scoped: one entry per backend identity.
+    ident_t.sketch(2)
+    ident_t.sketch(2)
+    assert len(ident_t._sketches) == 1
+    assert (2, 0) + tbk.key() in ident_t._sketches
+
+
+def test_streaming_state_memoizes_per_backend(bk_inversion, tbk):
+    inv = bk_inversion
+    eng_np = inv.streaming_state()
+    eng_t = inv.streaming_state(backend="torch")
+    assert eng_t is not eng_np
+    assert eng_t is inv.streaming_state(backend=tbk)
+    assert inv.streaming_state_peek is eng_np
