@@ -1,0 +1,233 @@
+"""Ingest-gateway load generator: sustained req/s, dedup, rate limiting.
+
+The gateway (:mod:`repro.serve.gateway`) is the admission tier in front
+of the fabric's micro-batching queue — its job is to make *concurrency
+control*, not math, the serving ceiling.  This load generator drives it
+the way a warning deployment would and publishes the numbers CI tracks:
+
+* **Throughput**: a closed-loop asyncio swarm of unique-key requests
+  against a live fabric; sustained req/s asserted ``>= 200`` on the tiny
+  profile, with p50/p99 admission-to-settlement latency.
+* **Idempotency**: a retry storm (every key submitted several times)
+  must be answered with exactly one fabric computation per key — the
+  duplicates are served from the TTL cache's shared futures
+  (``gateway_deduplicated`` counts them, and the fabric's request
+  counter proves nothing was recomputed).
+* **Rate limiting**: a burst fired at a tightly-bucketed gateway must
+  reject the overflow before it touches the fabric
+  (``gateway_rate_limited``), while everything under the limit succeeds.
+
+Results go to ``benchmarks/reports/BENCH_gateway.json`` (sustained_rps,
+latency_p50_ms, latency_p99_ms, deduplicated, rate_limited) — uploaded
+by CI alongside the identify/fabric/orchestrator artifacts.
+
+Run standalone (the CI smoke path) or under pytest::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py [--tiny]
+    PYTHONPATH=src python -m pytest benchmarks/bench_gateway.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import pathlib
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from conftest import write_json, write_report  # noqa: E402
+
+from repro.serve import ScenarioBank, ServingFabric  # noqa: E402
+from repro.serve.gateway import IngestGateway  # noqa: E402
+from repro.twin import CascadiaTwin, TwinConfig  # noqa: E402
+
+FULL = dict(
+    nt=24, nx=10, nd=10, nq=3, scenarios=256, requests=512,
+    horizon=8, workers=2, max_batch=32, dedup_keys=16, dedup_repeat=4,
+)
+TINY = dict(
+    nt=10, nx=8, nd=8, nq=3, scenarios=48, requests=160,
+    horizon=5, workers=2, max_batch=16, dedup_keys=8, dedup_repeat=3,
+)
+MIN_RPS = 200.0
+
+
+def _build(nt, nx, nd, nq, scenarios):
+    cfg = TwinConfig.demo_2d(nx=nx, n_slots=nt, n_sensors=nd, n_qoi=nq)
+    twin = CascadiaTwin(cfg).setup()
+    twin.phase1()
+    bank = ScenarioBank(twin.operator.bottom_trace, cfg.n_slots, cfg.dt_obs, seed=41)
+    bank.generate(scenarios)
+    d_clean, noise, d_obs = bank.observation_batch(
+        twin.F, noise_relative=cfg.noise_relative
+    )
+    inv = twin.phase23(noise)
+    return inv, bank, d_obs
+
+
+async def _throughput_phase(gateway, d_obs, requests, horizon):
+    """Closed-loop swarm of unique-key requests; returns (rps, latencies)."""
+    n_avail = d_obs.shape[2]
+    t0 = time.perf_counter()
+    responses = await asyncio.gather(
+        *(
+            gateway.submit(
+                d_obs[:, :, j % n_avail], horizon,
+                idempotency_key=f"load-{j}",
+            )
+            for j in range(requests)
+        )
+    )
+    wall = time.perf_counter() - t0
+    assert all(r.status == "ok" for r in responses), (
+        "throughput phase saw non-ok responses: "
+        f"{sorted({r.status for r in responses})}"
+    )
+    lat_ms = np.array([r.latency_s for r in responses]) * 1e3
+    return requests / wall, lat_ms
+
+
+async def _dedup_phase(gateway, d_obs, horizon, keys, repeat):
+    """Retry storm: each key submitted ``repeat`` times concurrently."""
+    fabric_before = gateway.fabric.report()["fabric_requests"]
+    dedup_before = gateway.counters.deduplicated
+    n_avail = d_obs.shape[2]
+    responses = await asyncio.gather(
+        *(
+            gateway.submit(
+                d_obs[:, :, k % n_avail], horizon,
+                idempotency_key=f"dedup-{k}",
+            )
+            for k in range(keys)
+            for _ in range(repeat)
+        )
+    )
+    assert all(r.status == "ok" for r in responses)
+    deduplicated = gateway.counters.deduplicated - dedup_before
+    assert deduplicated >= keys * (repeat - 1), (
+        f"expected >= {keys * (repeat - 1)} deduplicated retries, "
+        f"counted {deduplicated}"
+    )
+    # Retries share the original's result object — no recomputation.
+    by_key: Dict[str, set] = {}
+    for k_idx, resp in zip(
+        [k for k in range(keys) for _ in range(repeat)], responses
+    ):
+        by_key.setdefault(f"dedup-{k_idx}", set()).add(id(resp.result))
+    assert all(len(s) == 1 for s in by_key.values()), (
+        "duplicate keys resolved to distinct result objects"
+    )
+    return int(deduplicated), gateway.fabric.report()["fabric_requests"] - fabric_before
+
+
+async def _rate_limit_phase(inv, bank, d_obs, horizon, max_batch):
+    """Overflow burst against a tight bucket: overflow rejected pre-fabric."""
+    with ServingFabric(inv, [bank], n_workers=0, max_batch=max_batch) as fab:
+        gateway = IngestGateway(fab, rate_rps=100.0, burst=8, flush_ms=2.0)
+        fired = 40
+        responses = await asyncio.gather(
+            *(
+                gateway.submit(d_obs[:, :, 0], horizon, idempotency_key=f"rl-{j}")
+                for j in range(fired)
+            )
+        )
+        accepted = sum(r.status == "ok" for r in responses)
+        rejected = sum(r.status == "rejected" for r in responses)
+        assert rejected == fired - accepted
+        assert rejected > 0, "burst never exceeded the bucket; tighten it"
+        assert accepted >= 8, "bucket rejected within-burst requests"
+        assert gateway.counters.rate_limited == rejected
+        return accepted, rejected
+
+
+def run_bench(
+    nt, nx, nd, nq, scenarios, requests, horizon, workers, max_batch,
+    dedup_keys, dedup_repeat, tiny=False,
+) -> Dict[str, float]:
+    inv, bank, d_obs = _build(nt, nx, nd, nq, scenarios)
+
+    async def _run():
+        with ServingFabric(
+            inv, [bank], n_workers=workers, max_batch=max_batch,
+            screen_min_scenarios=1,
+        ) as fab:
+            gateway = IngestGateway(fab, flush_ms=2.0)
+            rps, lat_ms = await _throughput_phase(
+                gateway, d_obs, requests, horizon
+            )
+            deduplicated, dedup_fabric_reqs = await _dedup_phase(
+                gateway, d_obs, horizon, dedup_keys, dedup_repeat
+            )
+            metrics_lines = gateway.metrics_text().count("\n")
+        accepted, rejected = await _rate_limit_phase(
+            inv, bank, d_obs, horizon, max_batch
+        )
+        return rps, lat_ms, deduplicated, dedup_fabric_reqs, \
+            metrics_lines, accepted, rejected
+
+    rps, lat_ms, deduplicated, dedup_fabric_reqs, metrics_lines, \
+        accepted, rejected = asyncio.run(_run())
+
+    r = {
+        "sustained_rps": float(rps),
+        "latency_p50_ms": float(np.percentile(lat_ms, 50)),
+        "latency_p99_ms": float(np.percentile(lat_ms, 99)),
+        "requests": int(requests),
+        "deduplicated": int(deduplicated),
+        "dedup_fabric_requests": float(dedup_fabric_reqs),
+        "rate_limit_accepted": int(accepted),
+        "rate_limited": int(rejected),
+        "scenarios": int(scenarios),
+        "max_batch": int(max_batch),
+        "tiny": bool(tiny),
+    }
+    write_json("gateway", r)
+    write_report(
+        "gateway",
+        "\n".join(
+            [
+                "ingest gateway load generation "
+                f"({requests} requests x {scenarios} scenarios)",
+                f"  sustained throughput: {rps:8.1f} req/s "
+                f"(p50 {r['latency_p50_ms']:.2f} ms, "
+                f"p99 {r['latency_p99_ms']:.2f} ms)",
+                f"  idempotency: {deduplicated} retries deduplicated "
+                f"across {dedup_keys} keys x{dedup_repeat} "
+                f"({int(dedup_fabric_reqs)} fabric batch(es) computed)",
+                f"  rate limiting: {rejected}/{accepted + rejected} "
+                "over-limit requests rejected pre-fabric "
+                "(rate 100 req/s, burst 8)",
+                f"  metrics endpoint: {metrics_lines} exposition lines",
+            ]
+        ),
+    )
+    return r
+
+
+def test_gateway_load():
+    r = run_bench(**TINY, tiny=True)
+    assert r["sustained_rps"] >= MIN_RPS, (
+        f"gateway sustained {r['sustained_rps']:.0f} req/s < {MIN_RPS:.0f}"
+    )
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test sizes (CI): same assertions, smaller workload",
+    )
+    args = ap.parse_args()
+    r = run_bench(**(TINY if args.tiny else FULL), tiny=args.tiny)
+    if r["sustained_rps"] < MIN_RPS:
+        raise SystemExit(
+            f"gateway sustained {r['sustained_rps']:.0f} req/s < {MIN_RPS:.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -43,11 +43,35 @@ the single-event reproduction becomes a multi-tenant twin:
     (``StreamingFleet.attach_sketch``), and the fabric's coarse screen
     all route through this one module, so certified decisions are
     identical by construction across paths.
+``protocol``
+    The typed, versioned shard wire protocol: one frozen dataclass per
+    stage message (:class:`BuildShard`, :class:`ScreenStage`,
+    :class:`ExactStage`, :class:`MixtureStage`, ..., :class:`Ack` /
+    :class:`ErrorReply`), the framing codec
+    (:func:`encode_message` / :func:`decode_message`, version skew →
+    :class:`ProtocolError`), and the per-request scratch packing
+    (:func:`pack_scratch` / :func:`scratch_nbytes`).
+``shardops``
+    The pure per-shard stage kernels (:func:`build_shard`,
+    :func:`screen_shard`, :func:`exact_shard`, :func:`mixture_shard`) —
+    one implementation executed identically by shared-memory workers,
+    TCP shard servers, and the parent's degradation fallback, which is
+    what makes results transport-independent by construction.
+``transport``
+    :class:`ShardTransport` — where shard state lives and how stage
+    messages move.  :class:`SharedMemoryTransport` is the single-host
+    path (worker processes over named shared memory, bitwise identical
+    to the pre-seam fabric); :class:`TcpTransport` serves shards from
+    :class:`ShardServer` peers over length-prefixed sockets
+    (``start_local_shards`` for loopback testing, ``python -m
+    repro.serve.transport --serve/--smoke`` standalone).  Both expose
+    the same fault surface, so chaos scripts replay against either.
 ``fabric``
     :class:`ServingFabric` — the 1000+-scenario scale-out: banks sharded
-    across a worker-process pool with shared-memory kernel/Cholesky
-    buffers, a micro-batching admission queue (:class:`FabricTicket`,
-    with an optional ``max_queue_ms`` deadline flush), two-stage
+    across transport channels (``FabricConfig.transport`` selects the
+    seam), a micro-batching admission queue (:class:`FabricTicket`,
+    with an optional ``max_queue_ms`` deadline flush, cancellation via
+    :class:`TicketCancelled`), two-stage
     hierarchical identification (a certified coarse screen — optionally
     sketch-tightened via ``sketch_rank`` — that prunes the bank before
     the exact evidence runs on survivors only), sharded bank-conditioned
@@ -58,6 +82,13 @@ the single-event reproduction becomes a multi-tenant twin:
     ``BatchedPhase4Server.fabric()`` and the
     ``python -m repro.serve.fabric`` CLI.  Operator guide:
     ``docs/SERVING.md``.
+``gateway``
+    :class:`IngestGateway` — the async ingest tier over the fabric's
+    ticket queue: TTL idempotency cache (retries join the original
+    request's future), :class:`TokenBucket` rate limiting ahead of the
+    queue, deadline flushing, and Prometheus-text metrics with a
+    minimal ``/metrics`` endpoint.  Load generation:
+    ``benchmarks/bench_gateway.py``.
 ``reporting``
     :func:`format_identification` / :func:`format_fabric_report` /
     :func:`format_orchestrator_report` — the
@@ -88,6 +119,13 @@ from repro.serve.fabric import (
     FabricReport,
     FabricTicket,
     ServingFabric,
+    TicketCancelled,
+)
+from repro.serve.gateway import (
+    GatewayResponse,
+    IdempotencyCache,
+    IngestGateway,
+    TokenBucket,
 )
 from repro.serve.identify import (
     IdentificationResult,
@@ -95,11 +133,46 @@ from repro.serve.identify import (
     ScenarioIdentifier,
     normalize_log_prior,
 )
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    Ack,
+    AdoptShard,
+    BuildShard,
+    DetachBank,
+    ErrorReply,
+    ExactStage,
+    Hello,
+    KillChannel,
+    MixtureStage,
+    ProtocolError,
+    ScreenStage,
+    Stop,
+    decode_message,
+    encode_message,
+    pack_scratch,
+    scratch_nbytes,
+)
 from repro.serve.reporting import (
     format_fabric_report,
     format_identification,
     format_orchestrator_report,
+    parse_prometheus,
     print_identification,
+    to_prometheus,
+)
+from repro.serve.shardops import (
+    build_shard,
+    exact_shard,
+    mixture_shard,
+    screen_shard,
+)
+from repro.serve.transport import (
+    ShardServer,
+    ShardTransport,
+    SharedMemoryTransport,
+    StageContext,
+    TcpTransport,
+    start_local_shards,
 )
 from repro.serve.scenarios import (
     BankedScenario,
@@ -137,14 +210,52 @@ __all__ = [
     "certified_bounds",
     "select_screen_slots",
     "COL_BLOCK",
+    # shard wire protocol
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Hello",
+    "BuildShard",
+    "AdoptShard",
+    "DetachBank",
+    "ScreenStage",
+    "ExactStage",
+    "MixtureStage",
+    "KillChannel",
+    "Stop",
+    "Ack",
+    "ErrorReply",
+    "encode_message",
+    "decode_message",
+    "pack_scratch",
+    "scratch_nbytes",
+    # per-shard stage kernels
+    "build_shard",
+    "screen_shard",
+    "exact_shard",
+    "mixture_shard",
+    # shard transports
+    "ShardTransport",
+    "SharedMemoryTransport",
+    "TcpTransport",
+    "ShardServer",
+    "StageContext",
+    "start_local_shards",
     # sharded serving fabric
     "ServingFabric",
     "FabricConfig",
     "FabricReport",
     "FabricTicket",
+    "TicketCancelled",
+    # async ingest gateway
+    "IngestGateway",
+    "GatewayResponse",
+    "IdempotencyCache",
+    "TokenBucket",
     # report formatting
     "format_identification",
     "format_fabric_report",
     "format_orchestrator_report",
     "print_identification",
+    "to_prometheus",
+    "parse_prometheus",
 ]

@@ -8,22 +8,26 @@ tsunami scenarios) — 1000+ scenarios per bank, several banks resident — a
 serving deployment needs three more things, and this module provides all
 three behind one object:
 
-**Sharding over a process pool with shared memory.**
-    A :class:`ServingFabric` splits each bank's column space across worker
-    processes.  All bulk state lives in *named shared memory* segments
-    (:mod:`multiprocessing.shared_memory`): the data-space Cholesky factor
-    ``L`` and its cumulative log-diagonal, a per-request scratch block for
-    the fleet states, and per-bank segments holding the bank-side states
-    ``w(mu_s) = L^{-1} mu_s`` with their per-slot/per-horizon norms.
-    Workers attach read-only views by segment name — the per-worker
-    control pipes carry only small tuples, never arrays, and are never
-    shared between workers (a crashed sibling cannot wedge them) — and
-    each worker *builds its own
-    shard* of the bank state from the shared factor at attach time (the
-    offline bank build is sharded too).  Because every byte of shard state
-    is parent-visible, a crashed worker degrades gracefully: the parent
-    recomputes the missing shard in-process from the same shared buffers
-    and the request still returns exact results (see
+**Sharding over a transport seam.**
+    A :class:`ServingFabric` splits each bank's column space into shards
+    and drives them through a
+    :class:`~repro.serve.transport.ShardTransport` — the *where* of shard
+    state and the *how* of message delivery live entirely behind that
+    seam.  The default
+    :class:`~repro.serve.transport.SharedMemoryTransport` is the
+    historical single-host path: worker processes over named
+    shared-memory segments holding the data-space Cholesky factor ``L``,
+    a per-request scratch block for the fleet states, and per-bank
+    segments with the bank-side states ``w(mu_s) = L^{-1} mu_s`` and
+    their per-slot/per-horizon norms; each worker builds its own shard
+    from the shared factor at attach time.  A
+    :class:`~repro.serve.transport.TcpTransport` spans hosts instead:
+    the same typed stage messages (:mod:`repro.serve.protocol`) framed
+    over length-prefixed sockets, with parent-built state slices shipped
+    at attach and per-shard results scattered back from the acks.
+    Either way every byte of shard state is parent-visible, so a lost
+    channel degrades gracefully: the parent recomputes the missing shard
+    in-process and the request still returns exact results (see
     ``FabricReport.workers_lost``).
 
 **Two-stage hierarchical identification.**
@@ -66,7 +70,9 @@ into one stacked fleet advance + one sharded identification pass when the
 batch fills (``max_batch``) or :meth:`flush` is called.  Because the
 per-request cost is dominated by fixed overheads at small ``n``, fusing
 single-stream requests is worth several times more than any per-scenario
-trick — the two compose in :mod:`benchmarks.bench_fabric`.
+trick — the two compose in :mod:`benchmarks.bench_fabric`.  The async
+ingest tier (:mod:`repro.serve.gateway`) rides the same queue for
+network-facing admission.
 
 Memory is governed by a :class:`~repro.util.memory.MemoryBudget` (which may
 be shared with an :class:`~repro.serve.cache.OperatorCache`): every shared
@@ -94,25 +100,39 @@ operator guide is ``docs/SERVING.md``.
 
 from __future__ import annotations
 
-import os
 import secrets
 import threading
 import time
+import weakref
 from dataclasses import dataclass, replace
-from multiprocessing import connection as mp_connection
-from multiprocessing import get_context, shared_memory
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
-import scipy.linalg as sla
 from scipy.special import log_softmax
 
 from repro.backend import resolve_backend
 from repro.inference.bayes import ToeplitzBayesianInversion
 from repro.inference.forecast import QoIForecast
+from repro.serve import protocol
 from repro.serve import sketch as _sketch
 from repro.serve.identify import IdentificationResult, normalize_log_prior
-from repro.serve.sketch import SlotSketch, certified_bounds, strip_sketch
+from repro.serve.shardops import (
+    build_shard as _build_shard,
+    exact_shard as _exact_shard,
+    mixture_shard as _mixture_shard,
+    screen_shard as _screen_shard,
+)
+from repro.serve.sketch import SlotSketch
+from repro.serve.transport import (  # noqa: F401 - compat re-exports
+    ShardTransport,
+    SharedMemoryTransport,
+    StageContext,
+    TcpTransport,
+    _SharedArray,
+    _views,
+    _Worker,
+    _worker_main,
+)
 from repro.util.clock import Clock, ensure_clock
 from repro.util.memory import MemoryBudget
 
@@ -121,379 +141,8 @@ __all__ = [
     "FabricReport",
     "FabricTicket",
     "ServingFabric",
+    "TicketCancelled",
 ]
-
-_LOG_2PI = float(np.log(2.0 * np.pi))
-
-
-# ----------------------------------------------------------------------
-# Shared-memory plumbing
-# ----------------------------------------------------------------------
-def _unique_name(label: str) -> str:
-    """A short collision-safe shared-memory segment name."""
-    return f"rf{os.getpid():x}-{secrets.token_hex(4)}-{label}"
-
-
-class _SharedArray:
-    """A numpy array backed by a named shared-memory segment.
-
-    The parent :meth:`create`\\ s segments; workers :meth:`attach` by the
-    ``(name, shape, dtype)`` spec carried in control messages.  Attached
-    instances :meth:`close` their mapping; only the creator :meth:`unlink`.
-    """
-
-    def __init__(self, shm: shared_memory.SharedMemory, shape, dtype, owner: bool):
-        self._shm = shm
-        self.array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
-        self.owner = owner
-
-    @classmethod
-    def create(cls, label: str, shape, dtype=np.float64) -> "_SharedArray":
-        nbytes = max(int(np.prod(shape)) * np.dtype(dtype).itemsize, 1)
-        shm = shared_memory.SharedMemory(
-            create=True, size=nbytes, name=_unique_name(label)
-        )
-        out = cls(shm, shape, dtype, owner=True)
-        out.array.fill(0)
-        return out
-
-    @property
-    def spec(self) -> Tuple[str, tuple, str]:
-        return (self._shm.name, tuple(self.array.shape), self.array.dtype.str)
-
-    @classmethod
-    def attach(cls, spec: Tuple[str, tuple, str]) -> "_SharedArray":
-        name, shape, dtype = spec
-        return cls(shared_memory.SharedMemory(name=name), shape, dtype, owner=False)
-
-    @property
-    def nbytes(self) -> int:
-        return int(self.array.nbytes)
-
-    def close(self) -> None:
-        try:
-            self._shm.close()
-        except (OSError, BufferError):  # pragma: no cover - defensive
-            pass
-
-    def unlink(self) -> None:
-        if self.owner:
-            try:
-                self._shm.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-
-
-def _attach_all(specs: Dict[str, Tuple[str, tuple, str]]) -> Dict[str, _SharedArray]:
-    return {k: _SharedArray.attach(v) for k, v in specs.items()}
-
-
-def _views(arrs: Dict[str, _SharedArray]) -> Dict[str, np.ndarray]:
-    return {k: v.array for k, v in arrs.items()}
-
-
-# ----------------------------------------------------------------------
-# Shard computations (pure functions over shared views; used by workers
-# AND by the parent's in-process fallback — graceful degradation means
-# there is exactly one implementation of each stage)
-# ----------------------------------------------------------------------
-def _build_shard(
-    L: np.ndarray,
-    mu: np.ndarray,
-    wmu: np.ndarray,
-    slot_musq: np.ndarray,
-    musq_cum: np.ndarray,
-    nd: int,
-    c0: int,
-    c1: int,
-    sketch: Optional[SlotSketch] = None,
-    pmu: Optional[np.ndarray] = None,
-    slot_psq: Optional[np.ndarray] = None,
-) -> None:
-    """Build bank-state columns ``[c0, c1)`` from the shared Cholesky factor.
-
-    Replicates the incremental per-slot forward substitution of
-    :meth:`~repro.inference.streaming.StreamingFleet.advance` in
-    :data:`~repro.serve.sketch.COL_BLOCK` column chunks — the same
-    chunks, on the same absolute boundaries, with the same operand layouts
-    as the flat :class:`~repro.serve.identify.ScenarioIdentifier` build —
-    so the shard states are *bitwise identical* to a single-process build
-    (``c0`` is block-aligned by construction of the shard map).  With a
-    ``sketch``, the per-slot low-rank projections are built in the same
-    pass through the shared
-    :meth:`~repro.serve.sketch.SlotSketch.project_bank_columns` — again
-    bitwise equal to the flat :meth:`ScenarioIdentifier.sketch` build.
-    """
-    nt = slot_musq.shape[0]
-    block = _sketch.COL_BLOCK
-    for b0 in range(c0, c1, block):
-        b1 = min(b0 + block, c1)
-        W = np.zeros((nt * nd, b1 - b0))
-        idx = np.arange(b1 - b0)
-        mu3 = mu[:, b0:b1].reshape(nt, nd, b1 - b0)
-        for s in range(nt):
-            r0, r1 = s * nd, (s + 1) * nd
-            # The all-columns fancy index looks redundant next to a plain
-            # slice, but it is load-bearing: advanced indexing on the
-            # column axis yields an F-ordered copy — the exact operand
-            # layout StreamingFleet.advance feeds its gemm — and BLAS
-            # results differ bitwise between C- and F-ordered operands.
-            # Mirroring the fleet's operands op-for-op is what makes the
-            # shard states bitwise equal to the flat identifier's
-            # (regression: tests/serve/test_fabric.py bitmatch suite).
-            rhs = mu3[s][:, idx]
-            if s:
-                rhs = rhs - L[r0:r1, :r0] @ W[:r0, idx]
-            W[r0:r1, idx] = sla.solve_triangular(L[r0:r1, r0:r1], rhs, lower=True)
-        wmu[:, b0:b1] = W
-        blocks = np.einsum(
-            "tds,tds->ts",
-            W.reshape(nt, nd, b1 - b0),
-            W.reshape(nt, nd, b1 - b0),
-        )
-        slot_musq[:, b0:b1] = blocks
-        musq_cum[0, b0:b1] = 0.0
-        np.cumsum(blocks, axis=0, out=musq_cum[1:, b0:b1])
-    if sketch is not None:
-        sketch.project_bank_columns(wmu, pmu, slot_psq, c0, c1)
-
-
-def _screen_shard(
-    static: Dict[str, np.ndarray],
-    bankv: Dict[str, np.ndarray],
-    nd: int,
-    J: int,
-    slots: Tuple[int, ...],
-    c0: int,
-    c1: int,
-    use_sketch: bool = True,
-    rtol: float = 0.0,
-) -> None:
-    """Stage 1: certified evidence bounds for columns ``[c0, c1)``.
-
-    A thin dispatch into the shared certified-screen layer
-    (:func:`repro.serve.sketch.certified_bounds`) — the *same* function
-    the flat path's
-    :meth:`~repro.serve.identify.IdentificationSession.evidence_interval`
-    executes, so flat and sharded certified decisions are identical by
-    construction.  ``use_sketch=False`` strips the sketch arrays and
-    forces the norm-only brackets (per-request override, benchmark
-    baselines).  ``rtol`` inflates the brackets by the fleet backend's
-    certified kernel-error budget (``0`` on the bitwise numpy backend).
-    Writes ``lb``/``ub`` in place.
-    """
-    if not use_sketch:
-        bankv = strip_sketch(dict(bankv))
-        static = strip_sketch(dict(static))
-    certified_bounds(static, bankv, nd, J, slots, c0, c1, rtol=rtol)
-
-
-def _exact_shard(
-    static: Dict[str, np.ndarray],
-    bankv: Dict[str, np.ndarray],
-    nd: int,
-    J: int,
-    cols: Optional[np.ndarray],
-    c0: int,
-    c1: int,
-) -> None:
-    """Stage 2: exact truncated-data log-evidence for (a subset of) columns.
-
-    Accumulates the cross terms slot-by-slot in causal order, chunked on
-    the same absolute :data:`~repro.serve.sketch.COL_BLOCK` column
-    boundaries as
-    :meth:`~repro.serve.identify.IdentificationSession._fold_new_slots` —
-    so an unscreened pass is bitwise identical to the flat identifier.
-    ``cols`` restricts the work to surviving candidate columns (stage 2
-    after a screen).  Writes into ``ev`` in place.
-    """
-    Wd = static["wd"]
-    hz = static["hz"][:J]
-    wsq = static["wsq"][:J]
-    if cols is not None and cols.size == 0:
-        return
-    if cols is None:
-        wmu_full = bankv["wmu"]
-        musq = bankv["musq_cum"][:, c0:c1]
-        block = _sketch.COL_BLOCK
-        cross = np.zeros((J, c1 - c0))
-        for s in range(int(hz.max(initial=0))):
-            idx = np.nonzero(hz > s)[0]
-            if not idx.size:
-                continue
-            r0, r1 = s * nd, (s + 1) * nd
-            Wd_s = Wd[r0:r1, idx].T
-            for b0 in range(c0, c1, block):
-                b1 = min(b0 + block, c1)
-                cross[idx, b0 - c0 : b1 - c0] += Wd_s @ wmu_full[r0:r1, b0:b1]
-    else:
-        # Survivor columns only: copy each slot's (Nd, n_cols) block on the
-        # fly instead of materializing the whole (Nt*Nd, n_cols) selection.
-        wmu_full = bankv["wmu"]
-        musq = bankv["musq_cum"][:, cols]
-        cross = np.zeros((J, cols.size))
-        for s in range(int(hz.max(initial=0))):
-            idx = np.nonzero(hz > s)[0]
-            if not idx.size:
-                continue
-            r0, r1 = s * nd, (s + 1) * nd
-            cross[idx] += Wd[r0:r1, idx].T @ wmu_full[r0:r1, cols]
-    quad = wsq[:, None] + musq[hz] - 2.0 * cross
-    logdet_half = static["logdiag"][hz]
-    const = 0.5 * (hz * nd) * _LOG_2PI
-    ev = -0.5 * quad - (logdet_half + const)[:, None]
-    if cols is None:
-        bankv["ev"][:J, c0:c1] = ev
-    else:
-        bankv["ev"][:J, cols] = ev
-
-
-def _mixture_shard(
-    Y: np.ndarray,
-    static: Dict[str, np.ndarray],
-    bankv: Dict[str, np.ndarray],
-    outv: Dict[str, np.ndarray],
-    nd: int,
-    J: int,
-    shard_idx: int,
-    c0: int,
-    c1: int,
-) -> None:
-    """Partial forecast-mixture moments over scenario columns ``[c0, c1)``.
-
-    Per stream ``j`` at horizon ``k``, the scenario-conditioned forecast
-    offsets of this shard's columns are ``delta_s = q_s - Y_k^T
-    w_k(mu_s)`` (one gemm per distinct horizon against the shared
-    geometry rows ``Y``, a lazily-created segment whose spec rides the
-    mixture message), and the shard's contribution to the moment-matched
-    mixture is the weighted partial moments
-
-    ``m0 = sum_s p_js``, ``m1 = sum_s p_js delta_s``,
-    ``m2 = sum_s p_js delta_s delta_s^T``
-
-    written into this shard's slot of the transient output segments.  The
-    parent gathers: mixture mean ``= m0 q(d_j) + m1`` and
-    between-scenario covariance ``= sum m2 - m1 m1^T`` added to the
-    horizon's within-scenario posterior covariance — exactly the flat
-    :meth:`~repro.serve.identify.IdentificationSession.forecast_mixture`
-    moments, sharded.
-    """
-    hz = static["hz"][:J]
-    qoi = bankv["qoi"][:, c0:c1]
-    wmu = bankv["wmu"][:, c0:c1]
-    probs = bankv["pr"][:J, c0:c1]
-    for k in np.unique(hz):
-        k = int(k)
-        n_rows = k * nd
-        delta = qoi - Y[:n_rows].T @ wmu[:n_rows]  # (Nb, w)
-        for j in np.nonzero(hz == k)[0]:
-            p = probs[j]
-            outv["m0"][shard_idx, j] = p.sum()
-            outv["m1"][shard_idx, :, j] = delta @ p
-            outv["m2"][shard_idx, j] = (delta * p) @ delta.T
-
-
-# ----------------------------------------------------------------------
-# Worker process
-# ----------------------------------------------------------------------
-def _worker_main(worker_id, conn, static_specs, nd, screen_rtol=0.0):
-    """Worker loop: attach shared state, serve screen/exact shard tasks.
-
-    All bulk data arrives through shared memory; the per-worker duplex
-    pipe carries only small control tuples.  The pipe is deliberately NOT
-    a shared queue: ``multiprocessing.Queue`` serializes writers through a
-    shared semaphore, and a sibling killed while holding it (SIGKILL,
-    OOM) would wedge every other worker's acks forever — with one private
-    pipe per worker, a dead worker can only break its own channel, which
-    the parent observes as EOF and routes around.  Any exception is
-    reported and the worker keeps serving (the parent decides whether to
-    retire it).
-    """
-    static_arrs = _attach_all(static_specs)
-    static = _views(static_arrs)
-    # Rehydrate the fabric's slot sketch from the shared projection matrix
-    # (nt falls out of the cumulative log-diagonal's length).
-    sketch = None
-    if "P" in static:
-        nt = static["logdiag"].shape[0] - 1
-        sketch = SlotSketch(
-            nt, nd, static["P"].shape[0] // nt, matrix=static["P"]
-        )
-    banks: Dict[str, Tuple[Dict[str, _SharedArray], int, int]] = {}
-    try:
-        while True:
-            try:
-                msg = conn.recv()
-            except (EOFError, OSError):  # parent is gone
-                break
-            tag = msg[0]
-            if tag == "stop":
-                break
-            try:
-                if tag == "attach":
-                    _, key, specs, mu_spec, c0, c1 = msg
-                    arrs = _attach_all(specs)
-                    mu = _SharedArray.attach(mu_spec)
-                    v = _views(arrs)
-                    _build_shard(
-                        static["L"], mu.array, v["wmu"], v["slot_musq"],
-                        v["musq_cum"], nd, c0, c1,
-                        sketch=sketch if "pmu" in v else None,
-                        pmu=v.get("pmu"), slot_psq=v.get("slot_psq"),
-                    )
-                    mu.close()
-                    banks[key] = (arrs, c0, c1)
-                    conn.send(("done", ("attach", key)))
-                elif tag == "adopt":
-                    # Re-registration into *already built* shared segments
-                    # (worker re-spawn): attach only, never rebuild.
-                    _, key, specs, c0, c1 = msg
-                    banks[key] = (_attach_all(specs), c0, c1)
-                elif tag == "detach":
-                    _, key = msg
-                    arrs, _, _ = banks.pop(key, ({}, 0, 0))
-                    for a in arrs.values():
-                        a.close()
-                elif tag == "screen":
-                    _, req_id, key, J, slots, use_sketch = msg
-                    arrs, c0, c1 = banks[key]
-                    _screen_shard(
-                        static, _views(arrs), nd, J, slots, c0, c1,
-                        use_sketch=use_sketch, rtol=screen_rtol,
-                    )
-                    conn.send(("done", req_id))
-                elif tag == "exact":
-                    _, req_id, key, J, cols = msg
-                    arrs, c0, c1 = banks[key]
-                    _exact_shard(static, _views(arrs), nd, J, cols, c0, c1)
-                    conn.send(("done", req_id))
-                elif tag == "mixture":
-                    _, req_id, key, J, y_spec, out_specs, shard_idx = msg
-                    arrs, c0, c1 = banks[key]
-                    y = _SharedArray.attach(y_spec)
-                    out_arrs = _attach_all(out_specs)
-                    try:
-                        _mixture_shard(
-                            y.array, static, _views(arrs), _views(out_arrs),
-                            nd, J, shard_idx, c0, c1,
-                        )
-                    finally:
-                        y.close()
-                        for a in out_arrs.values():
-                            a.close()
-                    conn.send(("done", req_id))
-            except Exception as exc:  # noqa: BLE001 - reported to the parent
-                req = msg[1] if len(msg) > 1 else None
-                try:
-                    conn.send(("error", req, repr(exc)))
-                except (OSError, BrokenPipeError):
-                    break
-    finally:
-        for arrs, _, _ in banks.values():
-            for a in arrs.values():
-                a.close()
-        for a in static_arrs.values():
-            a.close()
 
 
 # ----------------------------------------------------------------------
@@ -506,9 +155,11 @@ class FabricConfig:
     Attributes
     ----------
     n_workers:
-        Worker processes the banks are sharded across.  ``0`` keeps all
-        shard computation in the parent process (still hierarchical, still
-        micro-batched) — useful where forking is unavailable.
+        Worker processes the banks are sharded across (shared-memory
+        transport only; a custom ``transport`` brings its own channel
+        count).  ``0`` keeps all shard computation in the parent process
+        (still hierarchical, still micro-batched) — useful where forking
+        is unavailable.
     max_batch:
         Micro-batch capacity: :meth:`ServingFabric.submit` auto-flushes
         when this many tickets are pending, and sizes the shared
@@ -565,12 +216,12 @@ class FabricConfig:
         :class:`~repro.util.memory.MemoryBudget`.  Attaching a bank under
         pressure evicts the coldest resident bank first.
     start_method:
-        Multiprocessing start method; ``None`` picks ``fork`` when the
-        platform offers it (cheapest; shared segments are attached by name
-        either way).
+        Multiprocessing start method of the shared-memory transport;
+        ``None`` picks ``fork`` when the platform offers it (cheapest;
+        shared segments are attached by name either way).
     worker_timeout:
-        Seconds to wait for a worker ack before declaring it lost and
-        recomputing its shard in the parent.
+        Seconds to wait for a shard-channel ack before declaring it lost
+        and recomputing its shard in the parent.
     backend:
         Array backend for the *parent-side* fleet advance (the online
         hot path): ``"numpy"`` (default, bitwise-reproducible),
@@ -580,6 +231,15 @@ class FabricConfig:
         kernel-error budget automatically inflates the screen brackets
         (:func:`~repro.serve.sketch.certified_bounds` ``rtol``) so the
         certificate survives the backend's tolerance contract.
+    transport:
+        Where the shards live: ``None`` / ``"shared_memory"`` builds the
+        default single-host
+        :class:`~repro.serve.transport.SharedMemoryTransport` from
+        ``n_workers``/``start_method``, or pass a ready
+        :class:`~repro.serve.transport.ShardTransport` instance (e.g. a
+        :class:`~repro.serve.transport.TcpTransport` over shard-server
+        addresses).  The fabric owns the instance from then on: it is
+        started against the static arrays and closed with the fabric.
     """
 
     n_workers: int = 2
@@ -597,6 +257,7 @@ class FabricConfig:
     start_method: Optional[str] = None
     worker_timeout: float = 60.0
     backend: str = "numpy"
+    transport: Union[None, str, ShardTransport] = None
 
 
 @dataclass
@@ -611,6 +272,7 @@ class FabricReport:
     screen_fallback: bool = False
     sketch_rank: int = 0
     backend: str = "numpy"
+    transport: str = "shared_memory"
     n_candidates: int = 0
     pruned_fraction: float = 0.0
     workers_used: int = 0
@@ -626,6 +288,10 @@ class FabricReport:
         return self.workers_lost > 0
 
 
+class TicketCancelled(RuntimeError):
+    """Raised by :meth:`FabricTicket.result` on a cancelled ticket."""
+
+
 class FabricTicket:
     """Handle for one stream admitted through the micro-batching queue.
 
@@ -633,6 +299,13 @@ class FabricTicket:
     :class:`~repro.serve.identify.IdentificationResult` (or
     :class:`~repro.inference.forecast.QoIForecast` for forecast tickets),
     flushing the queue first if the batch has not been processed yet.
+    ``result(timeout=...)`` instead *waits* for another dispatcher (a
+    deadline-flush timer, a gateway executor) to settle the ticket,
+    raising ``TimeoutError`` if the stage stalls past the deadline.
+    :meth:`on_done` registers completion callbacks (the async gateway's
+    bridge into its event loop), and :meth:`cancel` withdraws a pending
+    ticket — a cancelled ticket never resolves, not even after the batch
+    it would have joined is flushed or the workers are respawned.
     """
 
     def __init__(self, fabric: "ServingFabric") -> None:
@@ -640,58 +313,101 @@ class FabricTicket:
         self._value = None
         self._error: Optional[BaseException] = None
         self._done = False
+        self._cancelled = False
+        self._lock = threading.Lock()
+        self._event = threading.Event()
+        self._callbacks: List = []
 
     @property
     def done(self) -> bool:
         """Whether the batch containing this ticket has been processed."""
         return self._done
 
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` withdrew this ticket before it settled."""
+        return self._cancelled
+
+    def _settle(self, value, error: Optional[BaseException]) -> None:
+        with self._lock:
+            if self._done or self._cancelled:
+                return
+            self._value = value
+            self._error = error
+            self._done = True
+            callbacks, self._callbacks = self._callbacks, []
+        self._event.set()
+        for fn in callbacks:
+            try:
+                fn(self)
+            except Exception:  # noqa: BLE001 - callbacks must not break flush
+                pass
+
     def _resolve(self, value) -> None:
-        self._value = value
-        self._done = True
+        self._settle(value, None)
 
     def _fail(self, exc: BaseException) -> None:
-        self._error = exc
-        self._done = True
+        self._settle(None, exc)
 
-    def result(self):
+    def on_done(self, fn) -> "FabricTicket":
+        """Call ``fn(ticket)`` once settled (immediately if already done).
+
+        Callbacks run on whichever thread settles the ticket — the async
+        gateway uses this to hop results back into its event loop via
+        ``call_soon_threadsafe``.  Returns ``self`` for chaining.
+        """
+        with self._lock:
+            if not self._done:
+                self._callbacks.append(fn)
+                return self
+        fn(self)
+        return self
+
+    def cancel(self) -> bool:
+        """Withdraw a still-pending ticket; returns whether it was live.
+
+        A cancelled ticket is removed from the admission queue, never
+        resolves (even across :meth:`ServingFabric.respawn_workers` and
+        later flushes), and its :meth:`result` raises
+        :class:`TicketCancelled`.  Settled tickets cannot be cancelled.
+        """
+        fabric = self._fabric
+        with fabric._dispatch_lock:
+            with self._lock:
+                if self._done or self._cancelled:
+                    return False
+                self._cancelled = True
+            fabric._pending = [
+                item for item in fabric._pending if item[1] is not self
+            ]
+        return True
+
+    def result(self, timeout: Optional[float] = None):
         """This stream's result, flushing pending micro-batches if needed.
 
-        Re-raises the batch's failure if the group this ticket was fused
-        into errored during :meth:`ServingFabric.flush`.
+        With the default ``timeout=None`` the calling thread *drives* the
+        queue: pending micro-batches are flushed synchronously.  With a
+        numeric ``timeout`` the call only *waits* — some other dispatcher
+        must flush — and raises ``TimeoutError`` if the ticket has not
+        settled in time (e.g. a stalled shard stage).  Re-raises the
+        batch's failure if the group this ticket was fused into errored
+        during :meth:`ServingFabric.flush`; raises
+        :class:`TicketCancelled` after :meth:`cancel`.
         """
+        if self._cancelled:
+            raise TicketCancelled("ticket was cancelled")
         if not self._done:
-            self._fabric.flush()
+            if timeout is None:
+                self._fabric.flush()
+            elif not self._event.wait(timeout):
+                raise TimeoutError(
+                    f"ticket did not settle within {timeout} s"
+                )
+        if self._cancelled:
+            raise TicketCancelled("ticket was cancelled")
         if self._error is not None:
             raise self._error
         return self._value
-
-
-class _Worker:
-    """Parent-side handle for one worker process and its private pipe."""
-
-    def __init__(self, process, conn) -> None:
-        self.process = process
-        self.conn = conn
-        self.alive = True
-
-    def send(self, msg) -> bool:
-        if not (self.alive and self.process.is_alive()):
-            self.alive = False
-            return False
-        try:
-            self.conn.send(msg)
-        except (OSError, BrokenPipeError, ValueError):
-            self.alive = False
-            return False
-        return True
-
-    def retire(self) -> None:
-        """Mark dead and stop the process so it can never race on buffers."""
-        self.alive = False
-        if self.process.is_alive():
-            self.process.terminate()
-            self.process.join(timeout=1.0)
 
 
 class _BankState:
@@ -702,7 +418,7 @@ class _BankState:
         self.source = source  # ScenarioBank or raw records, for re-attach
         self.ids = ids
         self.log_prior = log_prior
-        self.arrs: Dict[str, _SharedArray] = arrs
+        self.arrs: Dict[str, object] = arrs
         self.shards: List[Tuple[int, int]] = shards
         self.heat = 0
         self.last_used = 0.0
@@ -720,6 +436,15 @@ class _BankState:
         return sum(a.nbytes for a in self.arrs.values())
 
 
+def _release_transport(transport: ShardTransport) -> None:
+    """`weakref.finalize` backstop: close the transport at GC/interpreter
+    exit so no shared segment outlives an un-``close()``-d fabric."""
+    try:
+        transport.close()
+    except Exception:  # noqa: BLE001 - teardown best-effort
+        pass
+
+
 # ----------------------------------------------------------------------
 # The fabric
 # ----------------------------------------------------------------------
@@ -733,22 +458,26 @@ class ServingFabric:
         :class:`~repro.inference.bayes.ToeplitzBayesianInversion` (e.g.
         from an :class:`~repro.serve.cache.OperatorCache`); the fabric
         shares its incremental streaming engine and publishes its Cholesky
-        factor to the workers through shared memory.
+        factor to the shard channels through the transport.
     banks:
         Scenario banks (or raw clean-record arrays ``(Nt, Nd, S)``) to
         attach up front; more can be attached later with
         :meth:`attach_bank`.
     config:
         A :class:`FabricConfig`; keyword arguments override its fields
-        (``ServingFabric(inv, banks, n_workers=4)``).
+        (``ServingFabric(inv, banks, n_workers=4)`` or
+        ``ServingFabric(inv, banks, transport=TcpTransport(addrs))``).
 
     Notes
     -----
     The fabric is a single-dispatcher object: requests are serialized
     through the parent (which owns the stream-side fleet states), and the
-    workers parallelize the per-*scenario* work.  Use one fabric per
-    serving process; it is not thread-safe.  Always :meth:`close` (or use
-    it as a context manager) so shared segments are unlinked.
+    shard channels parallelize the per-*scenario* work.  Use one fabric
+    per serving process; it is not thread-safe.  Always :meth:`close` (or
+    use it as a context manager) so shared segments are unlinked — though
+    a ``weakref.finalize`` backstop closes the transport at garbage
+    collection or interpreter exit, so even an abandoned fabric leaks no
+    segments.
     """
 
     def __init__(
@@ -776,7 +505,8 @@ class ServingFabric:
         self.backend = resolve_backend(cfg.backend)
         # Non-exact backends carry a certified per-kernel error budget;
         # the screen brackets are inflated by it everywhere (parent
-        # fallbacks and workers alike) so certified pruning stays sound.
+        # fallbacks and shard channels alike) so certified pruning stays
+        # sound.
         self._screen_rtol = float(self.backend.screen_rtol)
         self.engine = inv.streaming_state(backend=self.backend)
         self.nt, self.nd = inv.nt, inv.nd
@@ -805,35 +535,45 @@ class ServingFabric:
         self._timesource = ensure_clock(cfg.clock)
         self._flush_timer = None  # handle from self._timesource.timer()
 
+        # The transport owns every fabric array (its ledger is the leak
+        # backstop) and the shard channels.  The finalizer is registered
+        # *before* anything can fail, so even a half-constructed fabric
+        # releases its segments at GC / interpreter exit.
+        self._transport = self._resolve_transport(cfg)
+        self._finalizer = weakref.finalize(
+            self, _release_transport, self._transport
+        )
+
         # Shared static state: the Cholesky factor, its cumulative
         # log-diagonal, the geometry rows (for sharded forecast
         # mixtures), the per-request scratch block, and — when the sketch
         # screen is on — the slot projections plus sketch scratch.
         n_rows = self.nt * self.nd
         jmax = cfg.max_batch
+        alloc = self._transport.alloc
         self._static_arrs = {
-            "L": _SharedArray.create("L", (n_rows, n_rows)),
-            "logdiag": _SharedArray.create("ld", (self.nt + 1,)),
-            "wd": _SharedArray.create("wd", (n_rows, jmax)),
-            "wd_slot": _SharedArray.create("ws", (self.nt, jmax)),
-            "wsq": _SharedArray.create("wq", (jmax,)),
-            "hz": _SharedArray.create("hz", (jmax,), dtype=np.int64),
+            "L": alloc("L", (n_rows, n_rows)),
+            "logdiag": alloc("ld", (self.nt + 1,)),
+            "wd": alloc("wd", (n_rows, jmax)),
+            "wd_slot": alloc("ws", (self.nt, jmax)),
+            "wsq": alloc("wq", (jmax,)),
+            "hz": alloc("hz", (jmax,), np.int64),
         }
         # Geometry rows for sharded forecast mixtures are *lazy*: created
         # (and budget-registered) at the first forecast_mixture call, and
-        # shipped to workers by spec inside the mixture message — fabrics
-        # that only identify never pay the segment or the full-horizon
+        # shipped to the shards inside the mixture message — fabrics that
+        # only identify never pay the segment or the full-horizon
         # geometry advance.
-        self._Y_arr: Optional[_SharedArray] = None
+        self._Y_arr = None
         self._sketch: Optional[SlotSketch] = None
         if cfg.sketch_rank > 0:
             self._sketch = SlotSketch(
                 self.nt, self.nd, cfg.sketch_rank, seed=cfg.sketch_seed
             )
             nr = self.nt * cfg.sketch_rank
-            self._static_arrs["P"] = _SharedArray.create("P", (nr, self.nd))
-            self._static_arrs["wd_p"] = _SharedArray.create("wp", (nr, jmax))
-            self._static_arrs["wd_psq"] = _SharedArray.create("wn", (self.nt, jmax))
+            self._static_arrs["P"] = alloc("P", (nr, self.nd))
+            self._static_arrs["wd_p"] = alloc("wp", (nr, jmax))
+            self._static_arrs["wd_psq"] = alloc("wn", (self.nt, jmax))
             self._static_arrs["P"].array[:] = self._sketch.projections
         self._static_arrs["L"].array[:] = inv.cholesky_lower
         self._static_arrs["logdiag"].array[:] = inv.cholesky_logdiag_cum
@@ -843,38 +583,49 @@ class ServingFabric:
             sum(a.nbytes for a in self._static_arrs.values()),
         )
 
-        # Worker pool.  One private duplex pipe per worker — never a
-        # shared queue: a worker killed while holding a shared queue's
-        # writer semaphore would wedge its siblings' acks forever, while
-        # a dead pipe is just an EOF on one channel (see _worker_main).
-        self._workers: List[_Worker] = []
-        self._worker_specs = {k: a.spec for k, a in self._static_arrs.items()}
-        self._mp_context = None
-        if cfg.n_workers > 0:
-            method = cfg.start_method
-            if method is None:
-                import multiprocessing as mp
+        try:
+            self._transport.start(
+                self._static_arrs,
+                nd=self.nd,
+                nt=self.nt,
+                screen_rtol=self._screen_rtol,
+                sketch_rank=cfg.sketch_rank,
+            )
+            for bank in banks:
+                self.attach_bank(bank)
+        except Exception:
+            # A failed bring-up (unreachable TCP shard, bad bank) must not
+            # leak: drain the transport's ledger and mark the fabric dead.
+            self.close()
+            raise
 
-                method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
-            self._mp_context = get_context(method)
-            for wid in range(cfg.n_workers):
-                self._workers.append(self._spawn_worker(wid))
+    @staticmethod
+    def _resolve_transport(cfg: FabricConfig) -> ShardTransport:
+        """Map ``cfg.transport`` to a ready-to-start transport instance."""
+        t = cfg.transport
+        if t is None or (isinstance(t, str) and t == "shared_memory"):
+            return SharedMemoryTransport(cfg.n_workers, cfg.start_method)
+        if isinstance(t, str):
+            raise ValueError(
+                f"unknown transport name {t!r} (named transports: "
+                "'shared_memory'; pass a ShardTransport instance for others)"
+            )
+        return t
 
-        for bank in banks:
-            self.attach_bank(bank)
+    @property
+    def _workers(self):
+        """Single-host worker handles (empty on networked transports).
 
-    def _spawn_worker(self, wid: int) -> "_Worker":
-        """Launch one worker process attached to the static segments."""
-        ctx = self._mp_context
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        proc = ctx.Process(
-            target=_worker_main,
-            args=(wid, child_conn, self._worker_specs, self.nd, self._screen_rtol),
-            daemon=True,
-        )
-        proc.start()
-        child_conn.close()  # child's end lives in the child now
-        return _Worker(proc, parent_conn)
+        Kept for the chaos suites that reach into worker processes
+        directly; transport-agnostic callers use :meth:`inject_fault` /
+        :attr:`n_worker_slots` instead.
+        """
+        return getattr(self._transport, "workers", [])
+
+    @property
+    def n_worker_slots(self) -> int:
+        """Shard channels of the transport (worker slots / connections)."""
+        return self._transport.n_channels
 
     # ------------------------------------------------------------------
     # Bank lifecycle
@@ -896,18 +647,20 @@ class ServingFabric:
         key: Optional[str] = None,
         prior_weights: Optional[np.ndarray] = None,
     ) -> str:
-        """Shard a bank (or raw clean records) across the worker pool.
+        """Shard a bank (or raw clean records) across the shard channels.
 
         ``bank`` is a :class:`~repro.serve.scenarios.ScenarioBank` (clean
         sensor records are computed through the inversion's p2o operator;
         clean QoI trajectories through the p2q operator when one exists,
         enabling sharded :meth:`forecast_mixture`) or a raw
-        ``(Nt, Nd, S)`` array of clean records.  Every worker builds its
-        own column shard of the bank-side state — and, with
-        ``sketch_rank > 0``, of the bank's low-rank sketch — from the
-        shared Cholesky factor; the clean records travel through a
-        transient shared segment that is unlinked as soon as the build
-        completes.  Returns the bank key used by
+        ``(Nt, Nd, S)`` array of clean records.  Over shared memory every
+        worker builds its own column shard of the bank-side state — and,
+        with ``sketch_rank > 0``, of the bank's low-rank sketch — from
+        the shared Cholesky factor; networked transports receive
+        parent-built slices instead.  The clean records travel through a
+        transient allocation that is released as soon as the build
+        completes — on success *and* on failure: a crash mid-attach frees
+        every segment this call created.  Returns the bank key used by
         :meth:`identify`/:meth:`submit`.
         """
         with self._dispatch_lock:
@@ -951,58 +704,93 @@ class ServingFabric:
         need = self._bank_nbytes(S, has_qoi=qoi_records is not None) + mu_flat.nbytes
         self._make_room(need)
 
-        mu = _SharedArray.create("mu", mu_flat.shape)
-        mu.array[:] = mu_flat
-        n_rows = self.nt * self.nd
-        jmax = self.config.max_batch
-        arrs = {
-            "wmu": _SharedArray.create("wm", (n_rows, S)),
-            "musq_cum": _SharedArray.create("mc", (self.nt + 1, S)),
-            "slot_musq": _SharedArray.create("sm", (self.nt, S)),
-            "lb": _SharedArray.create("lb", (jmax, S)),
-            "ub": _SharedArray.create("ub", (jmax, S)),
-            "ev": _SharedArray.create("ev", (jmax, S)),
-        }
-        if self._sketch is not None:
-            arrs["pmu"] = _SharedArray.create(
-                "pm", (self.nt * self.config.sketch_rank, S)
+        T = self._transport
+        mu = T.alloc("mu", mu_flat.shape)
+        arrs: Dict[str, object] = {}
+        try:
+            mu.array[:] = mu_flat
+            n_rows = self.nt * self.nd
+            jmax = self.config.max_batch
+            arrs.update(
+                {
+                    "wmu": T.alloc("wm", (n_rows, S)),
+                    "musq_cum": T.alloc("mc", (self.nt + 1, S)),
+                    "slot_musq": T.alloc("sm", (self.nt, S)),
+                    "lb": T.alloc("lb", (jmax, S)),
+                    "ub": T.alloc("ub", (jmax, S)),
+                    "ev": T.alloc("ev", (jmax, S)),
+                }
             )
-            arrs["slot_psq"] = _SharedArray.create("pq", (self.nt, S))
-        if qoi_records is not None:
-            arrs["qoi"] = _SharedArray.create("qi", (self.engine._nb, S))
-            arrs["qoi"].array[:] = qoi_records.reshape(-1, S)
-            arrs["pr"] = _SharedArray.create("pr", (jmax, S))
-        # Shard boundaries land on COL_BLOCK multiples: inside a block the
-        # flat identifier and a shard issue identical BLAS calls, so
-        # block-aligned shards keep sharded results bitwise equal to the
-        # single-process path.
-        n_shards = max(len(self._workers), 1)
-        blk = _sketch.COL_BLOCK
-        n_blocks = -(-S // blk)
-        bounds = [min(round(i * n_blocks / n_shards) * blk, S) for i in range(n_shards + 1)]
-        bounds[-1] = S
-        shards = [
-            (int(bounds[i]), int(bounds[i + 1]))
-            for i in range(n_shards)
-            if bounds[i] < bounds[i + 1]
-        ]
-        state = _BankState(key, source, ids, log_prior, arrs, shards)
-        specs = {k: a.spec for k, a in arrs.items()}
-        self._run_stage(
-            state,
-            "attach",
-            ("attach", key),
-            lambda c0, c1: ("attach", key, specs, mu.spec, c0, c1),
-            lambda c0, c1: _build_shard(
-                self._static["L"], mu.array, arrs["wmu"].array,
-                arrs["slot_musq"].array, arrs["musq_cum"].array, self.nd, c0, c1,
-                sketch=self._sketch,
-                pmu=arrs["pmu"].array if self._sketch is not None else None,
-                slot_psq=arrs["slot_psq"].array if self._sketch is not None else None,
-            ),
-        )
-        mu.close()
-        mu.unlink()
+            if self._sketch is not None:
+                arrs["pmu"] = T.alloc(
+                    "pm", (self.nt * self.config.sketch_rank, S)
+                )
+                arrs["slot_psq"] = T.alloc("pq", (self.nt, S))
+            if qoi_records is not None:
+                arrs["qoi"] = T.alloc("qi", (self.engine._nb, S))
+                arrs["qoi"].array[:] = qoi_records.reshape(-1, S)
+                arrs["pr"] = T.alloc("pr", (jmax, S))
+            # Shard boundaries land on COL_BLOCK multiples: inside a block
+            # the flat identifier and a shard issue identical BLAS calls,
+            # so block-aligned shards keep sharded results bitwise equal
+            # to the single-process path.
+            n_shards = max(T.n_channels, 1)
+            blk = _sketch.COL_BLOCK
+            n_blocks = -(-S // blk)
+            bounds = [
+                min(round(i * n_blocks / n_shards) * blk, S)
+                for i in range(n_shards + 1)
+            ]
+            bounds[-1] = S
+            shards = [
+                (int(bounds[i]), int(bounds[i + 1]))
+                for i in range(n_shards)
+                if bounds[i] < bounds[i + 1]
+            ]
+            state = _BankState(key, source, ids, log_prior, arrs, shards)
+            ctx = StageContext(bank=arrs, mu=mu)
+
+            def local_build(c0, c1):
+                _build_shard(
+                    self._static["L"], mu.array, arrs["wmu"].array,
+                    arrs["slot_musq"].array, arrs["musq_cum"].array,
+                    self.nd, c0, c1,
+                    sketch=self._sketch,
+                    pmu=arrs["pmu"].array if self._sketch is not None else None,
+                    slot_psq=arrs["slot_psq"].array
+                    if self._sketch is not None else None,
+                )
+
+            if T.remote_builds:
+                # Shared memory: each channel builds its own shard from
+                # the shared factor; lost channels fall back to the parent.
+                self._run_stage(
+                    state, "attach", ("attach", key),
+                    lambda c0, c1: (
+                        protocol.BuildShard(key=key, c0=c0, c1=c1), ctx
+                    ),
+                    local_build,
+                )
+            else:
+                # Networked: the parent builds the full state once (it
+                # needs it anyway for graceful degradation) and ships each
+                # channel its built slices inside the build frame.
+                local_build(0, S)
+                self._run_stage(
+                    state, "attach", ("attach", key),
+                    lambda c0, c1: (
+                        protocol.BuildShard(key=key, c0=c0, c1=c1), ctx
+                    ),
+                    lambda c0, c1: None,
+                )
+        except Exception:
+            # Crash mid-attach: free every allocation this call made, so
+            # no orphan segment (or resource_tracker warning) survives.
+            for a in arrs.values():
+                T.free(a)
+            T.free(mu)
+            raise
+        T.free(mu)
         self._banks[key] = state
         self._evicted.pop(key, None)
         self.budget.register(f"{self.budget_prefix}:bank:{key}", state.nbytes)
@@ -1039,11 +827,9 @@ class ServingFabric:
             state.log_prior, -np.log(state.n_scenarios)
         ) else np.exp(state.log_prior)
         self._evicted[key] = (state.source, prior)
-        for w in self._workers:
-            w.send(("detach", key))
+        self._transport.broadcast(protocol.DetachBank(key=key))
         for a in state.arrs.values():
-            a.close()
-            a.unlink()
+            self._transport.free(a)
         self.budget.release(f"{self.budget_prefix}:bank:{key}")
         self._banks_evicted += 1
 
@@ -1078,28 +864,34 @@ class ServingFabric:
     # Dispatch machinery
     # ------------------------------------------------------------------
     def _run_stage(self, state, name, ack_id, make_msg, local_fn) -> int:
-        """Run one stage over all shards; returns the number of lost workers.
+        """Run one stage over all shards; returns the number of lost channels.
 
-        Live workers get a control message per shard; shards whose worker
-        is missing/dead — and shards whose ack never arrives — are computed
-        in the parent from the same shared buffers (graceful degradation).
-        A worker that errors or times out is retired (terminated) so it can
-        never write to shared buffers again.
+        ``make_msg(c0, c1)`` produces ``(protocol message, StageContext)``
+        for the transport; live channels get one message per shard, and
+        shards whose channel is missing/dead — and shards whose ack never
+        arrives — are computed in the parent from the same buffers
+        (graceful degradation).  A channel that errors or times out is
+        retired so its peer can never write to shared state again.
         """
+        T = self._transport
         pending: Dict[int, Tuple[int, int]] = {}
         lost = 0
         for i, (c0, c1) in enumerate(state.shards):
-            w = self._workers[i] if i < len(self._workers) else None
-            if w is not None and w.send(make_msg(c0, c1)):
+            in_range = i < T.n_channels
+            sent = False
+            if in_range:
+                msg, ctx = make_msg(c0, c1)
+                sent = T.send_stage(i, msg, ctx)
+            if sent:
                 pending[i] = (c0, c1)
             else:
                 local_fn(c0, c1)
-                lost += w is not None
+                lost += in_range
 
         def _fail(wid: int) -> None:
             nonlocal lost
             c0, c1 = pending.pop(wid)
-            self._workers[wid].retire()
+            T.retire(wid)
             local_fn(c0, c1)
             lost += 1
 
@@ -1110,21 +902,18 @@ class ServingFabric:
                 for wid in list(pending):
                     _fail(wid)
                 break
-            by_conn = {self._workers[wid].conn: wid for wid in pending}
-            ready = mp_connection.wait(list(by_conn), timeout=remaining)
-            if not ready:
+            events = T.wait(list(pending), remaining)
+            if not events:
                 continue  # loop re-checks the deadline
-            for conn in ready:
-                wid = by_conn[conn]
-                try:
-                    msg = conn.recv()
-                except (EOFError, OSError):  # worker died mid-task
-                    _fail(wid)
+            for wid, reply in events:
+                if wid not in pending:
                     continue
-                if msg[0] == "done" and msg[1] == ack_id:
+                if reply is None or isinstance(reply, protocol.ErrorReply):
+                    _fail(wid)  # channel died / peer errored mid-task
+                elif (
+                    isinstance(reply, protocol.Ack) and reply.req_id == ack_id
+                ):
                     del pending[wid]
-                elif msg[0] == "error":
-                    _fail(wid)
                 # stale ack for an abandoned request: ignore, keep waiting
         return lost
 
@@ -1255,7 +1044,8 @@ class ServingFabric:
             screened=screen, certified=screen and certified,
             sketch_rank=cfg.sketch_rank if use_sketch else 0,
             backend=self.backend.name,
-            workers_used=sum(w.alive for w in self._workers),
+            transport=self._transport.name,
+            workers_used=self._transport.alive_count(),
         )
 
         # Stream-side states: one incremental fleet advance, written once
@@ -1269,13 +1059,20 @@ class ServingFabric:
         self._req_counter += 1
         lost = 0
         bankv = state.views
+        ctx = StageContext(bank=state.arrs)
         cols = None
         if screen:
             t0 = time.monotonic()
             slots = self._screen_slots(hz)
             lost += self._run_stage(
                 state, "screen", req_id,
-                lambda c0, c1: ("screen", req_id, state.key, J, slots, use_sketch),
+                lambda c0, c1: (
+                    protocol.ScreenStage(
+                        req_id=req_id, key=state.key, n_streams=J,
+                        slots=slots, use_sketch=use_sketch, c0=c0, c1=c1,
+                    ),
+                    ctx,
+                ),
                 lambda c0, c1: _screen_shard(
                     self._static, bankv, self.nd, J, slots, c0, c1,
                     use_sketch=use_sketch, rtol=self._screen_rtol,
@@ -1315,8 +1112,11 @@ class ServingFabric:
             lost += self._run_stage(
                 state, "exact", req_id,
                 lambda c0, c1: (
-                    "exact", req_id, state.key, J,
-                    cols[(cols >= c0) & (cols < c1)],
+                    protocol.ExactStage(
+                        req_id=req_id, key=state.key, n_streams=J,
+                        cols=cols[(cols >= c0) & (cols < c1)], c0=c0, c1=c1,
+                    ),
+                    ctx,
                 ),
                 lambda c0, c1: _exact_shard(
                     self._static, bankv, self.nd, J,
@@ -1332,7 +1132,13 @@ class ServingFabric:
             self._req_counter += 1
             lost += self._run_stage(
                 state, "exact", req_id,
-                lambda c0, c1: ("exact", req_id, state.key, J, None),
+                lambda c0, c1: (
+                    protocol.ExactStage(
+                        req_id=req_id, key=state.key, n_streams=J,
+                        cols=None, c0=c0, c1=c1,
+                    ),
+                    ctx,
+                ),
                 lambda c0, c1: _exact_shard(
                     self._static, bankv, self.nd, J, None, c0, c1
                 ),
@@ -1378,9 +1184,10 @@ class ServingFabric:
         ``max_batch`` of them accumulate or :meth:`flush` is called.
         ``op`` is ``"identify"``, ``"forecast"``, or ``"forecast_mixture"``
         — every fabric operation rides this one admission path, so an
-        event-driven caller (the twin orchestrator) can interleave
-        identification and bank-conditioned mixture forecasts in the same
-        micro-batch queue.  Mixture tickets resolve to the same
+        event-driven caller (the twin orchestrator, the async ingest
+        gateway) can interleave identification and bank-conditioned
+        mixture forecasts in the same micro-batch queue.  Mixture tickets
+        resolve to the same
         :class:`~repro.inference.forecast.QoIForecast` a direct
         :meth:`forecast_mixture` call returns (pinned by the
         queue-equivalence suite in ``tests/serve/test_fabric.py``).
@@ -1507,7 +1314,7 @@ class ServingFabric:
         times: Optional[np.ndarray] = None,
         prior_weights: Optional[np.ndarray] = None,
     ) -> List[QoIForecast]:
-        """Bank-conditioned forecast mixtures, sharded across the workers.
+        """Bank-conditioned forecast mixtures, sharded across the channels.
 
         The fabric-side analogue of
         :meth:`~repro.serve.identify.IdentificationSession.forecast_mixture`:
@@ -1519,11 +1326,11 @@ class ServingFabric:
         distributed to the shards at :meth:`attach_bank` (requires a
         :class:`~repro.serve.scenarios.ScenarioBank` and a p2q operator);
         each shard scatters its partial mixture moments into a transient
-        shared segment and the parent gathers the moment-matched bands —
+        allocation and the parent gathers the moment-matched bands —
         matching the flat single-process path to machine precision
-        (pinned in ``tests/serve/test_sketch.py``).  Worker loss degrades
-        exactly like identification: missing shard moments are computed
-        in the parent.
+        (pinned in ``tests/serve/test_sketch.py``).  Channel loss
+        degrades exactly like identification: missing shard moments are
+        computed in the parent.
         """
         with self._dispatch_lock:
             self._check_open()
@@ -1544,13 +1351,13 @@ class ServingFabric:
                 )
             return out  # type: ignore[return-value]
 
-    def _ensure_geometry_segment(self, exclude: str) -> _SharedArray:
-        """The shared geometry-rows segment ``Y``, created on first use."""
+    def _ensure_geometry_segment(self, exclude: str):
+        """The shared geometry-rows allocation ``Y``, created on first use."""
         if self._Y_arr is None:
             n_rows = self.nt * self.nd
             nbytes = 8 * n_rows * self.engine._nb
             self._make_room(nbytes, exclude=exclude)
-            self._Y_arr = _SharedArray.create("Y", (n_rows, self.engine._nb))
+            self._Y_arr = self._transport.alloc("Y", (n_rows, self.engine._nb))
             self._Y_arr.array[:] = self.engine.geometry_rows(self.nt)
             self.budget.register(f"{self.budget_prefix}:geometry", nbytes)
         return self._Y_arr
@@ -1574,27 +1381,31 @@ class ServingFabric:
         means = self._request_fleet.forecast_means()
         self._request_fleet = None
 
+        T = self._transport
         n_shards = len(state.shards)
         need = 8 * n_shards * (J + nb * J + J * nb * nb)
         self._make_room(need, exclude=state.key)
         self.budget.register(f"{self.budget_prefix}:mixture", need)
         outs = {
-            "m0": _SharedArray.create("m0", (n_shards, J)),
-            "m1": _SharedArray.create("m1", (n_shards, nb, J)),
-            "m2": _SharedArray.create("m2", (n_shards, J, nb, nb)),
+            "m0": T.alloc("m0", (n_shards, J)),
+            "m1": T.alloc("m1", (n_shards, nb, J)),
+            "m2": T.alloc("m2", (n_shards, J, nb, nb)),
         }
         try:
-            out_specs = {k: a.spec for k, a in outs.items()}
             outv = _views(outs)
             bankv = state.views
+            ctx = StageContext(bank=state.arrs, outs=outs, geometry=Y)
             req_id = self._req_counter
             self._req_counter += 1
             shard_of = {c: i for i, c in enumerate(state.shards)}
             lost = self._run_stage(
                 state, "mixture", req_id,
                 lambda c0, c1: (
-                    "mixture", req_id, state.key, J, Y.spec, out_specs,
-                    shard_of[(c0, c1)],
+                    protocol.MixtureStage(
+                        req_id=req_id, key=state.key, n_streams=J,
+                        shard_idx=shard_of[(c0, c1)], c0=c0, c1=c1,
+                    ),
+                    ctx,
                 ),
                 lambda c0, c1: _mixture_shard(
                     Y.array, self._static, bankv, outv, self.nd, J,
@@ -1602,7 +1413,7 @@ class ServingFabric:
                 ),
             )
             # The internal exhaustive identification already published its
-            # report; a worker lost during the mixture scatter itself must
+            # report; a channel lost during the mixture scatter itself must
             # be accounted there too, or the degradation is invisible.
             self.last_report.workers_lost += lost
             if times is None:
@@ -1622,67 +1433,65 @@ class ServingFabric:
                 )
         finally:
             for a in outs.values():
-                a.close()
-                a.unlink()
+                T.free(a)
             self.budget.release(f"{self.budget_prefix}:mixture")
 
-    def kill_worker(self, wid: int) -> bool:
-        """Chaos fault point: hard-kill one worker process (SIGKILL-style).
+    def inject_fault(self, wid: int) -> bool:
+        """Chaos fault point: hard-fault one shard channel.
 
         The injectable failure the chaos suites and the twin orchestrator
-        replay mid-event: the process is killed without warning — no
+        replay mid-event, expressed at the transport seam: over shared
+        memory the worker process is killed without warning (SIGKILL — no
         drain, no farewell message — exactly like an OOM kill or node
-        loss.  Subsequent requests observe the dead pipe, recompute the
-        worker's shards in the parent (results stay exact), and count the
-        loss in ``FabricReport.workers_lost``;
+        loss); over TCP the shard connection is dropped abruptly
+        mid-stream.  Subsequent requests observe the dead channel,
+        recompute its shards in the parent (results stay exact), and
+        count the loss in ``FabricReport.workers_lost``;
         :meth:`respawn_workers` restores parallelism.  Returns whether
-        the worker was alive to kill (idempotent on dead slots).
+        the channel was alive to fault (idempotent on dead channels).
         """
         with self._dispatch_lock:
             self._check_open()
-            if not 0 <= wid < len(self._workers):
-                raise IndexError(
-                    f"worker id {wid} out of range [0, {len(self._workers)})"
-                )
-            w = self._workers[wid]
-            was_alive = w.alive and w.process.is_alive()
-            if w.process.is_alive():
-                w.process.kill()
-                w.process.join(timeout=5.0)
-            w.alive = False
-            return bool(was_alive)
+            n = self._transport.n_channels
+            if not 0 <= wid < n:
+                raise IndexError(f"worker id {wid} out of range [0, {n})")
+            return self._transport.inject_fault(wid)
+
+    def kill_worker(self, wid: int) -> bool:
+        """Alias of :meth:`inject_fault` (the historical single-host name)."""
+        return self.inject_fault(wid)
 
     def respawn_workers(self) -> int:
-        """Re-launch retired workers into the existing shared segments.
+        """Restore dead shard channels into the existing bank state.
 
-        Lost workers normally stay retired (their shards run in the
+        Lost channels normally stay retired (their shards run in the
         parent, results stay exact but parallelism shrinks).  This
-        relaunches a fresh process for every dead slot, re-attaching it
-        to the static segments and re-registering every attached bank's
-        shard via an ``adopt`` message — *no state is rebuilt*: the shard
-        arrays are still in shared memory, exactly as the lost worker
-        left them (the parent recomputed any half-written stage at the
-        time of loss).  Returns the number of workers respawned;
-        parallelism is restored without a fabric restart.
+        relaunches/reconnects every dead channel and re-registers every
+        attached bank's shard via an ``adopt`` message — over shared
+        memory *no state is rebuilt* (the shard arrays are still in
+        shared memory, exactly as the lost worker left them; the parent
+        recomputed any half-written stage at the time of loss), while a
+        reconnected TCP shard receives its built slices again inside the
+        adopt frame.  Returns the number of channels restored;
+        parallelism returns without a fabric restart.
         """
         with self._dispatch_lock:
             self._check_open()
+            T = self._transport
             respawned = 0
-            for wid, w in enumerate(self._workers):
-                if w.alive and w.process.is_alive():
+            for wid in range(T.n_channels):
+                if T.healthy(wid):
                     continue
-                w.retire()
-                try:
-                    w.conn.close()
-                except OSError:  # pragma: no cover - defensive
-                    pass
-                fresh = self._spawn_worker(wid)
-                self._workers[wid] = fresh
+                if not T.respawn(wid):
+                    continue
                 for state in self._banks.values():
                     if wid < len(state.shards):
                         c0, c1 = state.shards[wid]
-                        specs = {k: a.spec for k, a in state.arrs.items()}
-                        fresh.send(("adopt", state.key, specs, c0, c1))
+                        T.send_stage(
+                            wid,
+                            protocol.AdoptShard(key=state.key, c0=c0, c1=c1),
+                            StageContext(bank=state.arrs),
+                        )
                 respawned += 1
             self._workers_respawned += respawned
             return respawned
@@ -1694,10 +1503,8 @@ class ServingFabric:
         """Aggregate fabric counters (matching the server's report style)."""
         last = self.last_report
         return {
-            "fabric_workers": float(len(self._workers)),
-            "fabric_workers_alive": float(
-                sum(w.alive and w.process.is_alive() for w in self._workers)
-            ),
+            "fabric_workers": float(self._transport.n_channels),
+            "fabric_workers_alive": float(self._transport.healthy_count()),
             "fabric_workers_respawned": float(self._workers_respawned),
             "fabric_sketch_rank": float(self.config.sketch_rank),
             "fabric_requests": float(self._requests_served),
@@ -1722,12 +1529,15 @@ class ServingFabric:
         return list(self._banks)
 
     def close(self) -> None:
-        """Stop the workers and unlink every shared segment (idempotent).
+        """Stop the channels and unlink every shared segment (idempotent).
 
         Serializes through the dispatch lock: a deadline-flush timer
         callback already past its ``cancel()`` point either completes
         before teardown starts or observes ``_closed`` and does nothing —
-        it can never race worker pipes or half-unlinked segments.
+        it can never race shard channels or half-unlinked segments.
+        Double-close is a no-op, and the transport's allocation ledger is
+        drained last, so even allocations an error path failed to free
+        individually are released exactly once.
         """
         with self._dispatch_lock:
             self._close_locked()
@@ -1739,35 +1549,24 @@ class ServingFabric:
         if self._flush_timer is not None:
             self._flush_timer.cancel()
             self._flush_timer = None
-        for w in self._workers:
-            try:
-                w.send(("stop",))
-            except (OSError, ValueError):  # pragma: no cover - defensive
-                pass
-        for w in self._workers:
-            w.process.join(timeout=2.0)
-            if w.process.is_alive():
-                w.process.terminate()
-                w.process.join(timeout=1.0)
-            try:
-                w.conn.close()
-            except OSError:  # pragma: no cover - defensive
-                pass
+        T = self._transport
+        T.shutdown_channels()
         for state in list(self._banks.values()):
             for a in state.arrs.values():
-                a.close()
-                a.unlink()
+                T.free(a)
             self.budget.release(f"{self.budget_prefix}:bank:{state.key}")
         self._banks.clear()
         for a in self._static_arrs.values():
-            a.close()
-            a.unlink()
+            T.free(a)
         self.budget.release(f"{self.budget_prefix}:static")
         if self._Y_arr is not None:
-            self._Y_arr.close()
-            self._Y_arr.unlink()
+            T.free(self._Y_arr)
             self._Y_arr = None
             self.budget.release(f"{self.budget_prefix}:geometry")
+        # Ledger backstop: anything an error path allocated but never
+        # freed individually goes now, and the GC finalizer stands down.
+        T.release_all()
+        self._finalizer.detach()
 
     def __enter__(self) -> "ServingFabric":
         return self
@@ -1844,6 +1643,7 @@ def _merge_reports(reports: List[FabricReport]) -> FabricReport:
         screen_fallback=any(r.screen_fallback for r in reports),
         sketch_rank=max(r.sketch_rank for r in reports),
         backend=first.backend,
+        transport=first.transport,
         n_candidates=max(r.n_candidates for r in reports),
         pruned_fraction=min(r.pruned_fraction for r in reports),
         workers_used=max(r.workers_used for r in reports),

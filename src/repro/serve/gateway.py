@@ -1,0 +1,436 @@
+"""Async ingest gateway: network-facing admission over the fabric queue.
+
+The fabric (:mod:`repro.serve.fabric`) already fuses concurrent streams
+into micro-batches behind :class:`~repro.serve.fabric.FabricTicket`; what
+a deployment facing "millions of users" still needs is an *admission
+tier* in front of it — the paper's real-time claim holds only if
+concurrency control, not math, sets the ceiling.  This module is that
+tier, with no dependencies beyond the standard library:
+
+**Idempotency.**
+    Tsunami-warning clients retry aggressively (lossy links, impatient
+    upstreams).  A request carrying an ``idempotency_key`` the gateway
+    has seen within the TTL window joins the *original* request's future
+    instead of being recomputed or re-admitted — duplicates cost one
+    dictionary lookup, converge to the same result (or the same error),
+    and are counted in ``gateway_deduplicated``.
+
+**Rate limiting.**
+    A token bucket (``rate_rps`` sustained, ``burst`` headroom) bounds
+    admission; over-limit requests are rejected *before* touching the
+    fabric queue with ``status="rejected"`` and counted in
+    ``gateway_rate_limited``.  Deduplicated retries never spend a token
+    — retrying a request that is already in flight is free.
+
+**Observability.**
+    :meth:`IngestGateway.metrics_text` renders the gateway's own
+    counters plus the fabric's
+    (:meth:`~repro.serve.fabric.ServingFabric.report`) in Prometheus
+    text exposition format
+    (:func:`~repro.serve.reporting.to_prometheus`);
+    :meth:`IngestGateway.serve_metrics` exposes them on a minimal
+    ``/metrics`` HTTP endpoint.
+
+The bridge into asyncio is :meth:`FabricTicket.on_done` →
+``loop.call_soon_threadsafe``: admission happens inline on the event
+loop (cheap — the fabric only computes when a batch fills), and partial
+batches are flushed after ``flush_ms`` from a worker thread so the loop
+never blocks on shard computation.  Time is injectable
+(:class:`~repro.util.clock.Clock`) so the bucket and the TTL cache are
+tested on virtual time, without sleeps.
+
+Load generator: ``python -m benchmarks.bench_gateway`` (tiny profile in
+CI publishes ``BENCH_gateway.json`` with sustained req/s and p50/p99
+latency).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.reporting import to_prometheus
+from repro.util.clock import Clock, ensure_clock
+
+__all__ = [
+    "GatewayResponse",
+    "IdempotencyCache",
+    "IngestGateway",
+    "TokenBucket",
+]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s sustained, ``burst`` capacity.
+
+    ``allow()`` spends one token if available.  Refill is computed lazily
+    from the injected clock's monotonic axis, so a
+    :class:`~repro.util.clock.ManualClock` drives it deterministically in
+    tests.  Thread-safe (admission may be probed from loop and executor
+    threads alike).
+    """
+
+    def __init__(
+        self, rate: float, burst: int, clock: Optional[Clock] = None
+    ) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError("rate must be > 0 and burst >= 1")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = ensure_clock(clock)
+        self._tokens = float(burst)
+        self._stamp = self._clock.monotonic()
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        """Spend one token if the bucket holds one; never blocks."""
+        with self._lock:
+            now = self._clock.monotonic()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            return False
+
+
+class IdempotencyCache:
+    """TTL map of idempotency key → in-flight/settled request future.
+
+    Entries expire ``ttl_s`` after *insertion* (not last access — a
+    retry storm must not pin its key forever), on the injected clock's
+    monotonic axis.  Expired entries are purged opportunistically on
+    every access, so the cache never grows beyond the keys of one TTL
+    window.
+    """
+
+    def __init__(self, ttl_s: float, clock: Optional[Clock] = None) -> None:
+        if ttl_s <= 0:
+            raise ValueError("ttl_s must be positive")
+        self.ttl_s = float(ttl_s)
+        self._clock = ensure_clock(clock)
+        self._entries: Dict[str, Tuple[float, object]] = {}
+
+    def _purge(self) -> None:
+        now = self._clock.monotonic()
+        dead = [k for k, (exp, _) in self._entries.items() if exp <= now]
+        for k in dead:
+            del self._entries[k]
+
+    def get(self, key: str):
+        """The live entry for ``key``, or ``None`` past its TTL."""
+        self._purge()
+        hit = self._entries.get(key)
+        return None if hit is None else hit[1]
+
+    def put(self, key: str, value) -> None:
+        self._purge()
+        self._entries[key] = (self._clock.monotonic() + self.ttl_s, value)
+
+    def __len__(self) -> int:
+        self._purge()
+        return len(self._entries)
+
+
+@dataclass
+class GatewayResponse:
+    """What one admitted (or rejected) request resolved to.
+
+    ``status`` is ``"ok"``, ``"rejected"`` (token bucket; ``result`` is
+    ``None``), or ``"error"`` (the fused batch failed; ``reason`` carries
+    the repr).  ``deduplicated`` marks responses served from another
+    request's future via the idempotency cache; ``latency_s`` is
+    admission-to-settlement on the gateway's clock.
+    """
+
+    status: str = "ok"
+    reason: str = ""
+    result: object = None
+    deduplicated: bool = False
+    latency_s: float = 0.0
+
+
+@dataclass
+class _Counters:
+    requests: float = 0.0
+    accepted: float = 0.0
+    deduplicated: float = 0.0
+    rate_limited: float = 0.0
+    errors: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "gateway_requests": self.requests,
+            "gateway_accepted": self.accepted,
+            "gateway_deduplicated": self.deduplicated,
+            "gateway_rate_limited": self.rate_limited,
+            "gateway_errors": self.errors,
+        }
+
+
+@dataclass
+class _Inflight:
+    """Cache entry: the shared future plus its admission timestamp."""
+
+    future: asyncio.Future
+    t_admit: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+
+class IngestGateway:
+    """Async admission tier over one :class:`~repro.serve.fabric.ServingFabric`.
+
+    Parameters
+    ----------
+    fabric:
+        The (open) fabric requests are admitted into.  The gateway does
+        not own it — closing the gateway leaves the fabric up.
+    rate_rps, burst:
+        Token-bucket knobs; ``rate_rps=None`` disables rate limiting.
+        ``burst`` defaults to ``max(1, ceil(rate_rps))``.
+    idempotency_ttl_s:
+        TTL of the idempotency-key cache (seconds on the gateway clock).
+    flush_ms:
+        How long a *partial* micro-batch may queue before the gateway
+        flushes it from a worker thread.  Full batches flush themselves
+        (``FabricConfig.max_batch``); this bounds tail latency under
+        light load.
+    clock:
+        Injectable time source for the bucket, the TTL cache, and
+        latency accounting (``None`` = wall clock).  The flush delay
+        itself runs on the event loop's clock.
+
+    All coroutine methods must be called from a single running event
+    loop (the loop is captured on first use).
+    """
+
+    def __init__(
+        self,
+        fabric,
+        rate_rps: Optional[float] = None,
+        burst: Optional[int] = None,
+        idempotency_ttl_s: float = 60.0,
+        flush_ms: float = 5.0,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if flush_ms <= 0:
+            raise ValueError("flush_ms must be positive")
+        self.fabric = fabric
+        self._clock = ensure_clock(clock)
+        self.bucket = (
+            None
+            if rate_rps is None
+            else TokenBucket(
+                rate_rps,
+                burst if burst is not None else max(1, int(np.ceil(rate_rps))),
+                clock=self._clock,
+            )
+        )
+        self.cache = IdempotencyCache(idempotency_ttl_s, clock=self._clock)
+        self.flush_ms = float(flush_ms)
+        self.counters = _Counters()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._flush_handle = None
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    async def submit(
+        self,
+        stream: np.ndarray,
+        k_slots: int,
+        bank=None,
+        op: str = "identify",
+        idempotency_key: Optional[str] = None,
+    ) -> GatewayResponse:
+        """Admit one stream and await its fused result.
+
+        Order of checks — dedup *before* the bucket, so retries of an
+        in-flight request are free; bucket *before* the fabric, so
+        over-limit requests never enter the queue:
+
+        1. ``idempotency_key`` hit within TTL → await the original
+           request's shared future (``deduplicated=True``).
+        2. Token bucket (when configured) → ``status="rejected"``.
+        3. ``fabric.submit`` → ticket; the response future settles when
+           the micro-batch the ticket was fused into flushes.
+
+        A failed batch resolves every rider of the key to
+        ``status="error"`` with the failure's repr — errors are
+        idempotent too, by design: the retry that would recompute is the
+        retry that would re-fail.
+        """
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        self.counters.requests += 1
+        t0 = self._clock.monotonic()
+
+        if idempotency_key is not None:
+            hit = self.cache.get(idempotency_key)
+            if hit is not None:
+                self.counters.deduplicated += 1
+                resp = await asyncio.shield(hit.future)
+                return GatewayResponse(
+                    status=resp.status,
+                    reason=resp.reason,
+                    result=resp.result,
+                    deduplicated=True,
+                    latency_s=self._clock.monotonic() - t0,
+                )
+
+        if self.bucket is not None and not self.bucket.allow():
+            self.counters.rate_limited += 1
+            return GatewayResponse(
+                status="rejected",
+                reason="rate limit exceeded",
+                latency_s=self._clock.monotonic() - t0,
+            )
+
+        fut: asyncio.Future = loop.create_future()
+        entry = _Inflight(future=fut, t_admit=t0)
+        if idempotency_key is not None:
+            self.cache.put(idempotency_key, entry)
+
+        def _settle(ticket) -> None:
+            # Runs on whichever thread flushed the batch; hop back into
+            # the loop.  The ticket is settled, so result() is immediate.
+            def _apply() -> None:
+                if fut.done():
+                    return
+                try:
+                    value = ticket.result(timeout=0)
+                except BaseException as exc:  # noqa: BLE001 - routed to resp
+                    self.counters.errors += 1
+                    fut.set_result(
+                        GatewayResponse(
+                            status="error",
+                            reason=repr(exc),
+                            latency_s=self._clock.monotonic() - entry.t_admit,
+                        )
+                    )
+                    return
+                fut.set_result(
+                    GatewayResponse(
+                        status="ok",
+                        result=value,
+                        latency_s=self._clock.monotonic() - entry.t_admit,
+                    )
+                )
+
+            loop.call_soon_threadsafe(_apply)
+
+        try:
+            ticket = self.fabric.submit(stream, k_slots, bank=bank, op=op)
+        except Exception as exc:  # noqa: BLE001 - admission-time rejection
+            self.counters.errors += 1
+            resp = GatewayResponse(
+                status="error",
+                reason=repr(exc),
+                latency_s=self._clock.monotonic() - t0,
+            )
+            if not fut.done():
+                fut.set_result(resp)  # riders of the key see it too
+            return resp
+        self.counters.accepted += 1
+        ticket.on_done(_settle)
+        if not ticket.done:
+            self._arm_flush(loop)
+        return await asyncio.shield(fut)
+
+    def _arm_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Flush partial batches after ``flush_ms``, off the event loop.
+
+        One timer at a time: every admission while a flush is armed rides
+        the same deadline (the batch they joined flushes together), and
+        the fabric's own ``max_batch`` auto-flush covers the full-batch
+        case without any timer.
+        """
+        if self._flush_handle is not None:
+            return
+
+        def _fire() -> None:
+            self._flush_handle = None
+            loop.run_in_executor(None, self._flush_once)
+
+        self._flush_handle = loop.call_later(self.flush_ms / 1e3, _fire)
+
+    def _flush_once(self) -> None:
+        try:
+            self.fabric.flush()
+        except Exception:  # noqa: BLE001 - flush errors ride the tickets
+            pass
+
+    async def drain(self) -> None:
+        """Flush any queued partial batch now (worker thread) and return."""
+        loop = asyncio.get_running_loop()
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        await loop.run_in_executor(None, self._flush_once)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> Dict[str, float]:
+        """Gateway counters + live fabric counters, one flat dict."""
+        out = self.counters.as_dict()
+        out["gateway_idempotency_keys"] = float(len(self.cache))
+        out.update(self.fabric.report())
+        return out
+
+    def metrics_text(self) -> str:
+        """:meth:`metrics` in Prometheus text exposition format."""
+        return to_prometheus(self.metrics())
+
+    async def serve_metrics(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> Tuple[asyncio.AbstractServer, str, int]:
+        """Expose ``GET /metrics`` on a minimal HTTP endpoint.
+
+        Plain asyncio, no web framework: one request per connection,
+        ``text/plain; version=0.0.4`` body from :meth:`metrics_text`,
+        404 on any other path.  Returns ``(server, host, port)``; callers
+        own the server (``server.close()``).
+        """
+
+        async def _handle(reader, writer) -> None:
+            try:
+                request = await reader.readline()
+                while True:  # drain headers
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                parts = request.decode("latin-1").split()
+                path = parts[1] if len(parts) > 1 else ""
+                if path.split("?")[0] == "/metrics":
+                    body = self.metrics_text().encode("utf-8")
+                    head = (
+                        "HTTP/1.1 200 OK\r\n"
+                        "Content-Type: text/plain; version=0.0.4; "
+                        "charset=utf-8\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        "Connection: close\r\n\r\n"
+                    )
+                else:
+                    body = b"not found\n"
+                    head = (
+                        "HTTP/1.1 404 Not Found\r\n"
+                        "Content-Type: text/plain\r\n"
+                        f"Content-Length: {len(body)}\r\n"
+                        "Connection: close\r\n\r\n"
+                    )
+                writer.write(head.encode("latin-1") + body)
+                await writer.drain()
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(_handle, host, port)
+        bound = server.sockets[0].getsockname()
+        return server, bound[0], bound[1]

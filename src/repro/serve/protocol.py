@@ -1,0 +1,342 @@
+"""Typed, versioned stage messages and the shard wire codec.
+
+The fabric's control plane is a handful of small messages — bank-state
+build/adopt/detach, the screen/exact/mixture stages, channel kill/stop,
+and the ack/error replies.  This module gives each one a typed,
+versioned dataclass plus one codec that frames a message together with
+its data-plane arrays:
+
+``[magic][u32 header length][JSON header][raw array bytes...]``
+
+The JSON header carries the protocol version, the message type tag, the
+scalar fields, and an ordered array manifest ``(name, dtype, shape)``;
+the array bytes follow contiguously in manifest order.  Transports add
+their own outer framing (length prefix on sockets; shared-memory
+channels skip the codec entirely and pass segment *specs* instead —
+pure data either way, no processes or sockets live here).
+
+The per-request scratch block — fleet states + per-slot norms + slot
+sketches, the only per-stream payload a remote shard needs — is packed
+by :func:`pack_scratch`; :func:`scratch_nbytes` sizes it (the
+``docs/SERVING.md`` wire-payload table is computed from it).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import struct
+from dataclasses import dataclass
+from typing import ClassVar, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Ack",
+    "AdoptShard",
+    "BuildShard",
+    "DetachBank",
+    "ErrorReply",
+    "ExactStage",
+    "Hello",
+    "KillChannel",
+    "MixtureStage",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ScreenStage",
+    "Stop",
+    "decode_message",
+    "encode_message",
+    "pack_scratch",
+    "scratch_nbytes",
+]
+
+PROTOCOL_VERSION = 1
+
+_MAGIC = b"RSPC"  # Repro Shard Protocol Codec
+
+
+class ProtocolError(RuntimeError):
+    """A frame that cannot be decoded: bad magic, version, or type tag."""
+
+
+_MESSAGE_TYPES: Dict[str, type] = {}
+
+
+def _register(cls):
+    _MESSAGE_TYPES[cls.TYPE] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of every wire message (scalar fields only; arrays ride
+    the frame's data plane)."""
+
+    TYPE: ClassVar[str] = ""
+    # Fields holding optional numpy arrays; the codec moves them into the
+    # data plane under a reserved "@field" name and restores them on decode.
+    _array_fields: ClassVar[Tuple[str, ...]] = ()
+
+
+@_register
+@dataclass(frozen=True)
+class Hello(Message):
+    """Channel handshake: versions, geometry, and screen tolerance.
+
+    Sent once per connection before any stage; its frame carries the
+    static arrays (Cholesky factor, cumulative log-diagonal, sketch
+    projections) the shard needs to serve every later stage.
+    """
+
+    TYPE: ClassVar[str] = "hello"
+    nd: int = 0
+    nt: int = 0
+    screen_rtol: float = 0.0
+    sketch_rank: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class BuildShard(Message):
+    """Attach bank ``key`` columns ``[c0, c1)`` to this channel.
+
+    Over shared memory the frame is translated to segment specs and the
+    worker *builds* its shard from the shared factor; over TCP the frame
+    ships the parent-built state slices (the parent always builds the
+    full state for its graceful-degradation fallback, and shipping the
+    built slices keeps remote state bitwise equal to it).
+    """
+
+    TYPE: ClassVar[str] = "build"
+    key: str = ""
+    c0: int = 0
+    c1: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class AdoptShard(Message):
+    """Re-register an *already built* shard after a channel respawn
+    (fire-and-forget; never rebuilds)."""
+
+    TYPE: ClassVar[str] = "adopt"
+    key: str = ""
+    c0: int = 0
+    c1: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class DetachBank(Message):
+    """Drop bank ``key`` from the channel (eviction; fire-and-forget)."""
+
+    TYPE: ClassVar[str] = "detach"
+    key: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class ScreenStage(Message):
+    """Stage 1: certified evidence bounds over this channel's columns."""
+
+    TYPE: ClassVar[str] = "screen"
+    req_id: int = 0
+    key: str = ""
+    n_streams: int = 0
+    slots: Tuple[int, ...] = ()
+    use_sketch: bool = True
+    c0: int = 0
+    c1: int = 0
+
+
+@_register
+@dataclass(frozen=True, eq=False)
+class ExactStage(Message):
+    """Stage 2: exact log-evidence over surviving columns (``cols`` is an
+    absolute column index array, or ``None`` for the whole shard)."""
+
+    TYPE: ClassVar[str] = "exact"
+    _array_fields: ClassVar[Tuple[str, ...]] = ("cols",)
+    req_id: int = 0
+    key: str = ""
+    n_streams: int = 0
+    cols: Optional[np.ndarray] = None
+    c0: int = 0
+    c1: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class MixtureStage(Message):
+    """Partial forecast-mixture moments over this channel's columns."""
+
+    TYPE: ClassVar[str] = "mixture"
+    req_id: int = 0
+    key: str = ""
+    n_streams: int = 0
+    shard_idx: int = 0
+    c0: int = 0
+    c1: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class KillChannel(Message):
+    """Chaos fault: the peer drops the channel without replying."""
+
+    TYPE: ClassVar[str] = "kill"
+
+
+@_register
+@dataclass(frozen=True)
+class Stop(Message):
+    """Graceful channel shutdown."""
+
+    TYPE: ClassVar[str] = "stop"
+
+
+@_register
+@dataclass(frozen=True)
+class Ack(Message):
+    """Stage completion; ``req_id`` echoes the request (an ``int`` for
+    stages, ``("attach", key)`` for builds).  A TCP ack's frame carries
+    the stage's result arrays (bounds / evidence / moments) for the
+    transport to scatter."""
+
+    TYPE: ClassVar[str] = "ack"
+    req_id: object = None
+
+
+@_register
+@dataclass(frozen=True)
+class ErrorReply(Message):
+    """Stage failure on the peer; the parent retires the channel and
+    recomputes the shard locally."""
+
+    TYPE: ClassVar[str] = "error"
+    req_id: object = None
+    message: str = ""
+
+
+# ----------------------------------------------------------------------
+# Codec
+# ----------------------------------------------------------------------
+def encode_message(
+    msg: Message, arrays: Optional[Mapping[str, np.ndarray]] = None
+) -> bytes:
+    """Frame one message plus its data-plane arrays into bytes.
+
+    Array-typed message fields (e.g. ``ExactStage.cols``) are moved into
+    the data plane automatically; ``arrays`` adds the stage payload
+    (scratch block, state slices, result arrays).  The frame is
+    self-delimiting given its total length — transports add the outer
+    length prefix.
+    """
+    fields = {}
+    payload: Dict[str, np.ndarray] = {}
+    for f in dataclasses.fields(msg):
+        v = getattr(msg, f.name)
+        if f.name in msg._array_fields:
+            if v is not None:
+                payload["@" + f.name] = np.ascontiguousarray(v)
+        else:
+            fields[f.name] = v
+    for k, v in (arrays or {}).items():
+        payload[k] = np.ascontiguousarray(v)
+    manifest = [
+        {"name": k, "dtype": a.dtype.str, "shape": list(a.shape)}
+        for k, a in payload.items()
+    ]
+    header = json.dumps(
+        {
+            "v": PROTOCOL_VERSION,
+            "type": msg.TYPE,
+            "fields": fields,
+            "arrays": manifest,
+        },
+        separators=(",", ":"),
+    ).encode("utf-8")
+    parts = [_MAGIC, struct.pack(">I", len(header)), header]
+    parts.extend(a.tobytes() for a in payload.values())
+    return b"".join(parts)
+
+
+def _detuple(value):
+    """JSON round-trips tuples as lists; messages only ever carry tuples."""
+    if isinstance(value, list):
+        return tuple(_detuple(v) for v in value)
+    return value
+
+
+def decode_message(frame: bytes) -> Tuple[Message, Dict[str, np.ndarray]]:
+    """Inverse of :func:`encode_message`.
+
+    Returns ``(message, arrays)`` with freshly-copied writable arrays.
+    Raises :class:`ProtocolError` on bad magic, a protocol version
+    mismatch, or an unknown message type — version skew between fabric
+    and shard hosts must fail loudly at the first frame, not corrupt
+    state mid-stage.
+    """
+    if frame[:4] != _MAGIC:
+        raise ProtocolError(f"bad frame magic {frame[:4]!r}")
+    (hlen,) = struct.unpack(">I", frame[4:8])
+    header = json.loads(frame[8 : 8 + hlen].decode("utf-8"))
+    if header.get("v") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: peer speaks {header.get('v')!r}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+    cls = _MESSAGE_TYPES.get(header.get("type"))
+    if cls is None:
+        raise ProtocolError(f"unknown message type {header.get('type')!r}")
+    arrays: Dict[str, np.ndarray] = {}
+    off = 8 + hlen
+    for ent in header["arrays"]:
+        dtype = np.dtype(ent["dtype"])
+        shape = tuple(ent["shape"])
+        count = int(np.prod(shape)) if shape else 1
+        arr = np.frombuffer(frame, dtype=dtype, count=count, offset=off)
+        arrays[ent["name"]] = arr.reshape(shape).copy()
+        off += count * dtype.itemsize
+    fields = {k: _detuple(v) for k, v in header["fields"].items()}
+    for name in cls._array_fields:
+        fields[name] = arrays.pop("@" + name, None)
+    return cls(**fields), arrays
+
+
+# ----------------------------------------------------------------------
+# Per-request scratch block
+# ----------------------------------------------------------------------
+_SCRATCH_COLKEYS = ("wd", "wd_slot")
+_SKETCH_COLKEYS = ("wd_p", "wd_psq")
+
+
+def pack_scratch(
+    static: Mapping[str, np.ndarray], J: int, use_sketch: bool
+) -> Dict[str, np.ndarray]:
+    """The per-request scratch block for ``J`` streams, as codec arrays.
+
+    Fleet states ``wd``, per-slot norms ``wd_slot``, total norms ``wsq``,
+    horizons ``hz`` — plus the slot-sketch projections ``wd_p`` /
+    ``wd_psq`` when the sketch screen is active.  This is everything a
+    remote shard needs per request; bank state was shipped at attach.
+    """
+    out = {
+        "wd": static["wd"][:, :J],
+        "wd_slot": static["wd_slot"][:, :J],
+        "wsq": static["wsq"][:J],
+        "hz": static["hz"][:J],
+    }
+    if use_sketch and "wd_p" in static:
+        out["wd_p"] = static["wd_p"][:, :J]
+        out["wd_psq"] = static["wd_psq"][:, :J]
+    return out
+
+
+def scratch_nbytes(nt: int, nd: int, J: int, sketch_rank: int = 0) -> int:
+    """Bytes of the packed per-request scratch block for ``J`` streams."""
+    n = 8 * (nt * nd * J + nt * J + J) + 8 * J  # wd + wd_slot + wsq + hz
+    if sketch_rank > 0:
+        n += 8 * (nt * sketch_rank * J + nt * J)  # wd_p + wd_psq
+    return n

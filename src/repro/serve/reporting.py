@@ -17,7 +17,9 @@ __all__ = [
     "format_identification",
     "format_fabric_report",
     "format_orchestrator_report",
+    "parse_prometheus",
     "print_identification",
+    "to_prometheus",
 ]
 
 
@@ -158,6 +160,60 @@ def format_orchestrator_report(result) -> str:
         f"{result.wall_s:.2f} s wall"
     )
     return "\n".join(lines)
+
+
+def _prometheus_name(name: str, prefix: str = "") -> str:
+    """Sanitize a counter key into a legal Prometheus metric name."""
+    full = f"{prefix}{name}"
+    out = [
+        c if (c.isascii() and (c.isalnum() or c in "_:")) else "_"
+        for c in full
+    ]
+    if out and out[0].isdigit():
+        out.insert(0, "_")
+    return "".join(out)
+
+
+def to_prometheus(
+    counters: Dict[str, float],
+    prefix: str = "",
+    help_text: Optional[Dict[str, str]] = None,
+) -> str:
+    """Render a counter dict in Prometheus text exposition format.
+
+    One gauge per key (the fabric and gateway counters are point-in-time
+    values, so ``gauge`` is the honest type), in sorted name order with
+    ``# HELP`` / ``# TYPE`` comment lines, terminated by a newline —
+    scrape-ready for the gateway's ``/metrics`` endpoint.  Values are
+    written with ``repr`` so :func:`parse_prometheus` round-trips every
+    float exactly.
+    """
+    help_text = help_text or {}
+    lines: List[str] = []
+    for key in sorted(counters):
+        name = _prometheus_name(key, prefix)
+        doc = help_text.get(key, key.replace("_", " "))
+        lines.append(f"# HELP {name} {doc}")
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {float(counters[key])!r}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Parse text exposition back to ``{metric_name: value}``.
+
+    The inverse of :func:`to_prometheus` for the formats it emits
+    (comment lines skipped, no labels) — used by the round-trip test and
+    by the bench load generator to read the gateway's own counters.
+    """
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.partition(" ")
+        out[name] = float(value)
+    return out
 
 
 def print_identification(

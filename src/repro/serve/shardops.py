@@ -1,0 +1,233 @@
+"""Shard stage kernels: pure functions over array views.
+
+Each fabric stage — bank-state build, certified screen, exact evidence,
+forecast-mixture moments — is one pure function over plain numpy views,
+with **exactly one implementation** shared by every execution site:
+
+* shared-memory workers (:func:`repro.serve.transport._worker_main`),
+* TCP shard servers (:class:`repro.serve.transport.ShardServer`),
+* the parent's in-process fallback when a shard's channel is lost
+  (graceful degradation in :class:`repro.serve.fabric.ServingFabric`).
+
+The functions chunk all bank-indexed gemms on *absolute*
+:data:`repro.serve.sketch.COL_BLOCK` column boundaries, so any
+block-aligned shard of the column space issues the same BLAS calls as
+the flat single-process path — the root of the fabric's bitwise
+equivalence contract.  They carry no transport or process state, which
+is what lets the transport layer ship their inputs over shared memory
+or sockets interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.serve import sketch as _sketch
+from repro.serve.sketch import SlotSketch, certified_bounds, strip_sketch
+
+__all__ = [
+    "build_shard",
+    "exact_shard",
+    "mixture_shard",
+    "screen_shard",
+]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+def build_shard(
+    L: np.ndarray,
+    mu: np.ndarray,
+    wmu: np.ndarray,
+    slot_musq: np.ndarray,
+    musq_cum: np.ndarray,
+    nd: int,
+    c0: int,
+    c1: int,
+    sketch: Optional[SlotSketch] = None,
+    pmu: Optional[np.ndarray] = None,
+    slot_psq: Optional[np.ndarray] = None,
+) -> None:
+    """Build bank-state columns ``[c0, c1)`` from the shared Cholesky factor.
+
+    Replicates the incremental per-slot forward substitution of
+    :meth:`~repro.inference.streaming.StreamingFleet.advance` in
+    :data:`~repro.serve.sketch.COL_BLOCK` column chunks — the same
+    chunks, on the same absolute boundaries, with the same operand layouts
+    as the flat :class:`~repro.serve.identify.ScenarioIdentifier` build —
+    so the shard states are *bitwise identical* to a single-process build
+    (``c0`` is block-aligned by construction of the shard map).  With a
+    ``sketch``, the per-slot low-rank projections are built in the same
+    pass through the shared
+    :meth:`~repro.serve.sketch.SlotSketch.project_bank_columns` — again
+    bitwise equal to the flat :meth:`ScenarioIdentifier.sketch` build.
+    """
+    nt = slot_musq.shape[0]
+    block = _sketch.COL_BLOCK
+    for b0 in range(c0, c1, block):
+        b1 = min(b0 + block, c1)
+        W = np.zeros((nt * nd, b1 - b0))
+        idx = np.arange(b1 - b0)
+        mu3 = mu[:, b0:b1].reshape(nt, nd, b1 - b0)
+        for s in range(nt):
+            r0, r1 = s * nd, (s + 1) * nd
+            # The all-columns fancy index looks redundant next to a plain
+            # slice, but it is load-bearing: advanced indexing on the
+            # column axis yields an F-ordered copy — the exact operand
+            # layout StreamingFleet.advance feeds its gemm — and BLAS
+            # results differ bitwise between C- and F-ordered operands.
+            # Mirroring the fleet's operands op-for-op is what makes the
+            # shard states bitwise equal to the flat identifier's
+            # (regression: tests/serve/test_fabric.py bitmatch suite).
+            rhs = mu3[s][:, idx]
+            if s:
+                rhs = rhs - L[r0:r1, :r0] @ W[:r0, idx]
+            W[r0:r1, idx] = sla.solve_triangular(L[r0:r1, r0:r1], rhs, lower=True)
+        wmu[:, b0:b1] = W
+        blocks = np.einsum(
+            "tds,tds->ts",
+            W.reshape(nt, nd, b1 - b0),
+            W.reshape(nt, nd, b1 - b0),
+        )
+        slot_musq[:, b0:b1] = blocks
+        musq_cum[0, b0:b1] = 0.0
+        np.cumsum(blocks, axis=0, out=musq_cum[1:, b0:b1])
+    if sketch is not None:
+        sketch.project_bank_columns(wmu, pmu, slot_psq, c0, c1)
+
+
+def screen_shard(
+    static: Dict[str, np.ndarray],
+    bankv: Dict[str, np.ndarray],
+    nd: int,
+    J: int,
+    slots: Tuple[int, ...],
+    c0: int,
+    c1: int,
+    use_sketch: bool = True,
+    rtol: float = 0.0,
+) -> None:
+    """Stage 1: certified evidence bounds for columns ``[c0, c1)``.
+
+    A thin dispatch into the shared certified-screen layer
+    (:func:`repro.serve.sketch.certified_bounds`) — the *same* function
+    the flat path's
+    :meth:`~repro.serve.identify.IdentificationSession.evidence_interval`
+    executes, so flat and sharded certified decisions are identical by
+    construction.  ``use_sketch=False`` strips the sketch arrays and
+    forces the norm-only brackets (per-request override, benchmark
+    baselines).  ``rtol`` inflates the brackets by the fleet backend's
+    certified kernel-error budget (``0`` on the bitwise numpy backend).
+    Writes ``lb``/``ub`` in place.
+    """
+    if not use_sketch:
+        bankv = strip_sketch(dict(bankv))
+        static = strip_sketch(dict(static))
+    certified_bounds(static, bankv, nd, J, slots, c0, c1, rtol=rtol)
+
+
+def exact_shard(
+    static: Dict[str, np.ndarray],
+    bankv: Dict[str, np.ndarray],
+    nd: int,
+    J: int,
+    cols: Optional[np.ndarray],
+    c0: int,
+    c1: int,
+) -> None:
+    """Stage 2: exact truncated-data log-evidence for (a subset of) columns.
+
+    Accumulates the cross terms slot-by-slot in causal order, chunked on
+    the same absolute :data:`~repro.serve.sketch.COL_BLOCK` column
+    boundaries as
+    :meth:`~repro.serve.identify.IdentificationSession._fold_new_slots` —
+    so an unscreened pass is bitwise identical to the flat identifier.
+    ``cols`` restricts the work to surviving candidate columns (stage 2
+    after a screen).  Writes into ``ev`` in place.
+    """
+    Wd = static["wd"]
+    hz = static["hz"][:J]
+    wsq = static["wsq"][:J]
+    if cols is not None and cols.size == 0:
+        return
+    if cols is None:
+        wmu_full = bankv["wmu"]
+        musq = bankv["musq_cum"][:, c0:c1]
+        block = _sketch.COL_BLOCK
+        cross = np.zeros((J, c1 - c0))
+        for s in range(int(hz.max(initial=0))):
+            idx = np.nonzero(hz > s)[0]
+            if not idx.size:
+                continue
+            r0, r1 = s * nd, (s + 1) * nd
+            Wd_s = Wd[r0:r1, idx].T
+            for b0 in range(c0, c1, block):
+                b1 = min(b0 + block, c1)
+                cross[idx, b0 - c0 : b1 - c0] += Wd_s @ wmu_full[r0:r1, b0:b1]
+    else:
+        # Survivor columns only: copy each slot's (Nd, n_cols) block on the
+        # fly instead of materializing the whole (Nt*Nd, n_cols) selection.
+        wmu_full = bankv["wmu"]
+        musq = bankv["musq_cum"][:, cols]
+        cross = np.zeros((J, cols.size))
+        for s in range(int(hz.max(initial=0))):
+            idx = np.nonzero(hz > s)[0]
+            if not idx.size:
+                continue
+            r0, r1 = s * nd, (s + 1) * nd
+            cross[idx] += Wd[r0:r1, idx].T @ wmu_full[r0:r1, cols]
+    quad = wsq[:, None] + musq[hz] - 2.0 * cross
+    logdet_half = static["logdiag"][hz]
+    const = 0.5 * (hz * nd) * _LOG_2PI
+    ev = -0.5 * quad - (logdet_half + const)[:, None]
+    if cols is None:
+        bankv["ev"][:J, c0:c1] = ev
+    else:
+        bankv["ev"][:J, cols] = ev
+
+
+def mixture_shard(
+    Y: np.ndarray,
+    static: Dict[str, np.ndarray],
+    bankv: Dict[str, np.ndarray],
+    outv: Dict[str, np.ndarray],
+    nd: int,
+    J: int,
+    shard_idx: int,
+    c0: int,
+    c1: int,
+) -> None:
+    """Partial forecast-mixture moments over scenario columns ``[c0, c1)``.
+
+    Per stream ``j`` at horizon ``k``, the scenario-conditioned forecast
+    offsets of this shard's columns are ``delta_s = q_s - Y_k^T
+    w_k(mu_s)`` (one gemm per distinct horizon against the shared
+    geometry rows ``Y``), and the shard's contribution to the
+    moment-matched mixture is the weighted partial moments
+
+    ``m0 = sum_s p_js``, ``m1 = sum_s p_js delta_s``,
+    ``m2 = sum_s p_js delta_s delta_s^T``
+
+    written into this shard's slot of the transient output arrays.  The
+    parent gathers: mixture mean ``= m0 q(d_j) + m1`` and
+    between-scenario covariance ``= sum m2 - m1 m1^T`` added to the
+    horizon's within-scenario posterior covariance — exactly the flat
+    :meth:`~repro.serve.identify.IdentificationSession.forecast_mixture`
+    moments, sharded.
+    """
+    hz = static["hz"][:J]
+    qoi = bankv["qoi"][:, c0:c1]
+    wmu = bankv["wmu"][:, c0:c1]
+    probs = bankv["pr"][:J, c0:c1]
+    for k in np.unique(hz):
+        k = int(k)
+        n_rows = k * nd
+        delta = qoi - Y[:n_rows].T @ wmu[:n_rows]  # (Nb, w)
+        for j in np.nonzero(hz == k)[0]:
+            p = probs[j]
+            outv["m0"][shard_idx, j] = p.sum()
+            outv["m1"][shard_idx, :, j] = delta @ p
+            outv["m2"][shard_idx, j] = (delta * p) @ delta.T

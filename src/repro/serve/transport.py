@@ -1,0 +1,1232 @@
+"""Shard transports: how stage messages and bank state reach the shards.
+
+The fabric (:mod:`repro.serve.fabric`) orchestrates stages; *where* the
+shards live and *how* bytes reach them is this module's job, behind one
+seam — :class:`ShardTransport` — with two implementations:
+
+:class:`SharedMemoryTransport`
+    The historical single-host path, extracted verbatim: a pool of
+    worker processes over named shared-memory segments
+    (:mod:`multiprocessing.shared_memory`), one private duplex pipe per
+    worker carrying small control tuples (never a shared queue — a
+    sibling killed while holding a shared queue's writer semaphore would
+    wedge every other worker's acks forever; a dead pipe is just an EOF
+    on one channel).  Workers build their own bank shards from the
+    shared Cholesky factor; results land directly in shared arrays, so
+    there is no gather step.  Bitwise-identical to the pre-seam fabric.
+
+:class:`TcpTransport`
+    The same typed protocol (:mod:`repro.serve.protocol`) framed over
+    length-prefixed sockets to :class:`ShardServer` peers — loopback
+    "multi-host" shards in tests and CI, real hosts in deployment.  The
+    parent builds the full bank state locally (it needs it anyway for
+    graceful-degradation fallback) and ships each shard its built column
+    slices at attach; per request only the small scratch block travels,
+    and the transport scatters each ack's result arrays (bounds /
+    evidence / moments) back into the parent's arrays.
+
+Both transports expose the same fault surface: ``inject_fault`` is a
+SIGKILL on the worker process or an abrupt connection drop, ``respawn``
+relaunches or reconnects — so the chaos suites and the twin
+orchestrator exercise either transport unchanged.
+
+``python -m repro.serve.transport --serve PORT`` runs a shard server;
+``--smoke`` runs the loopback certified==exhaustive self-test CI gates
+on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import secrets
+import selectors
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field
+from multiprocessing import connection as mp_connection
+from multiprocessing import get_context, shared_memory
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve import protocol
+from repro.serve.shardops import (
+    build_shard as _build_shard,
+    exact_shard as _exact_shard,
+    mixture_shard as _mixture_shard,
+    screen_shard as _screen_shard,
+)
+from repro.serve.sketch import SlotSketch
+
+__all__ = [
+    "ShardServer",
+    "ShardTransport",
+    "SharedMemoryTransport",
+    "StageContext",
+    "TcpTransport",
+    "start_local_shards",
+]
+
+_FRAME_PREFIX = struct.Struct(">Q")
+
+
+# ----------------------------------------------------------------------
+# Shared-memory plumbing (verbatim single-host path)
+# ----------------------------------------------------------------------
+def _unique_name(label: str) -> str:
+    """A short collision-safe shared-memory segment name."""
+    return f"rf{os.getpid():x}-{secrets.token_hex(4)}-{label}"
+
+
+class _SharedArray:
+    """A numpy array backed by a named shared-memory segment.
+
+    The parent :meth:`create`\\ s segments; workers :meth:`attach` by the
+    ``(name, shape, dtype)`` spec carried in control messages.  Attached
+    instances :meth:`close` their mapping; only the creator :meth:`unlink`.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, shape, dtype, owner: bool):
+        self._shm = shm
+        self.array = np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+        self.owner = owner
+
+    @classmethod
+    def create(cls, label: str, shape, dtype=np.float64) -> "_SharedArray":
+        nbytes = max(int(np.prod(shape)) * np.dtype(dtype).itemsize, 1)
+        shm = shared_memory.SharedMemory(
+            create=True, size=nbytes, name=_unique_name(label)
+        )
+        out = cls(shm, shape, dtype, owner=True)
+        out.array.fill(0)
+        return out
+
+    @property
+    def spec(self) -> Tuple[str, tuple, str]:
+        return (self._shm.name, tuple(self.array.shape), self.array.dtype.str)
+
+    @classmethod
+    def attach(cls, spec: Tuple[str, tuple, str]) -> "_SharedArray":
+        name, shape, dtype = spec
+        return cls(shared_memory.SharedMemory(name=name), shape, dtype, owner=False)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - defensive
+            pass
+
+    def unlink(self) -> None:
+        if self.owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+
+class _LocalArray:
+    """Plain-numpy stand-in for :class:`_SharedArray` on networked
+    transports (no segment exists; remote shards get byte copies)."""
+
+    def __init__(self, shape, dtype=np.float64):
+        self.array = np.zeros(shape, dtype=dtype)
+        self.owner = True
+
+    @property
+    def spec(self) -> Tuple[str, tuple, str]:
+        return ("", tuple(self.array.shape), self.array.dtype.str)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def close(self) -> None:
+        pass
+
+    def unlink(self) -> None:
+        pass
+
+
+def _attach_all(specs: Dict[str, Tuple[str, tuple, str]]) -> Dict[str, _SharedArray]:
+    return {k: _SharedArray.attach(v) for k, v in specs.items()}
+
+
+def _views(arrs: Mapping[str, object]) -> Dict[str, np.ndarray]:
+    return {k: v.array for k, v in arrs.items()}
+
+
+# ----------------------------------------------------------------------
+# Worker process (shared-memory channel peer)
+# ----------------------------------------------------------------------
+def _worker_main(worker_id, conn, static_specs, nd, screen_rtol=0.0):
+    """Worker loop: attach shared state, serve screen/exact shard tasks.
+
+    All bulk data arrives through shared memory; the per-worker duplex
+    pipe carries only small control tuples.  The pipe is deliberately NOT
+    a shared queue: ``multiprocessing.Queue`` serializes writers through a
+    shared semaphore, and a sibling killed while holding it (SIGKILL,
+    OOM) would wedge every other worker's acks forever — with one private
+    pipe per worker, a dead worker can only break its own channel, which
+    the parent observes as EOF and routes around.  Any exception is
+    reported and the worker keeps serving (the parent decides whether to
+    retire it).
+    """
+    static_arrs = _attach_all(static_specs)
+    static = _views(static_arrs)
+    # Rehydrate the fabric's slot sketch from the shared projection matrix
+    # (nt falls out of the cumulative log-diagonal's length).
+    sketch = None
+    if "P" in static:
+        nt = static["logdiag"].shape[0] - 1
+        sketch = SlotSketch(
+            nt, nd, static["P"].shape[0] // nt, matrix=static["P"]
+        )
+    banks: Dict[str, Tuple[Dict[str, _SharedArray], int, int]] = {}
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):  # parent is gone
+                break
+            tag = msg[0]
+            if tag == "stop":
+                break
+            try:
+                if tag == "attach":
+                    _, key, specs, mu_spec, c0, c1 = msg
+                    arrs = _attach_all(specs)
+                    mu = _SharedArray.attach(mu_spec)
+                    v = _views(arrs)
+                    _build_shard(
+                        static["L"], mu.array, v["wmu"], v["slot_musq"],
+                        v["musq_cum"], nd, c0, c1,
+                        sketch=sketch if "pmu" in v else None,
+                        pmu=v.get("pmu"), slot_psq=v.get("slot_psq"),
+                    )
+                    mu.close()
+                    banks[key] = (arrs, c0, c1)
+                    conn.send(("done", ("attach", key)))
+                elif tag == "adopt":
+                    # Re-registration into *already built* shared segments
+                    # (worker re-spawn): attach only, never rebuild.
+                    _, key, specs, c0, c1 = msg
+                    banks[key] = (_attach_all(specs), c0, c1)
+                elif tag == "detach":
+                    _, key = msg
+                    arrs, _, _ = banks.pop(key, ({}, 0, 0))
+                    for a in arrs.values():
+                        a.close()
+                elif tag == "screen":
+                    _, req_id, key, J, slots, use_sketch = msg
+                    arrs, c0, c1 = banks[key]
+                    _screen_shard(
+                        static, _views(arrs), nd, J, slots, c0, c1,
+                        use_sketch=use_sketch, rtol=screen_rtol,
+                    )
+                    conn.send(("done", req_id))
+                elif tag == "exact":
+                    _, req_id, key, J, cols = msg
+                    arrs, c0, c1 = banks[key]
+                    _exact_shard(static, _views(arrs), nd, J, cols, c0, c1)
+                    conn.send(("done", req_id))
+                elif tag == "mixture":
+                    _, req_id, key, J, y_spec, out_specs, shard_idx = msg
+                    arrs, c0, c1 = banks[key]
+                    y = _SharedArray.attach(y_spec)
+                    out_arrs = _attach_all(out_specs)
+                    try:
+                        _mixture_shard(
+                            y.array, static, _views(arrs), _views(out_arrs),
+                            nd, J, shard_idx, c0, c1,
+                        )
+                    finally:
+                        y.close()
+                        for a in out_arrs.values():
+                            a.close()
+                    conn.send(("done", req_id))
+            except Exception as exc:  # noqa: BLE001 - reported to the parent
+                req = msg[1] if len(msg) > 1 else None
+                try:
+                    conn.send(("error", req, repr(exc)))
+                except (OSError, BrokenPipeError):
+                    break
+    finally:
+        for arrs, _, _ in banks.values():
+            for a in arrs.values():
+                a.close()
+        for a in static_arrs.values():
+            a.close()
+
+
+class _Worker:
+    """Parent-side handle for one worker process and its private pipe."""
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.alive = True
+
+    def send(self, msg) -> bool:
+        if not (self.alive and self.process.is_alive()):
+            self.alive = False
+            return False
+        try:
+            self.conn.send(msg)
+        except (OSError, BrokenPipeError, ValueError):
+            self.alive = False
+            return False
+        return True
+
+    def retire(self) -> None:
+        """Mark dead and stop the process so it can never race on buffers."""
+        self.alive = False
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=1.0)
+
+
+# ----------------------------------------------------------------------
+# The transport seam
+# ----------------------------------------------------------------------
+@dataclass
+class StageContext:
+    """Array handles a stage message may need at the transport boundary.
+
+    The fabric passes the relevant handles with every
+    :meth:`ShardTransport.send_stage` call; each transport picks what it
+    needs — segment specs over shared memory, sliced byte payloads and
+    scatter targets over TCP.
+    """
+
+    bank: Optional[Mapping[str, object]] = None
+    mu: Optional[object] = None
+    outs: Optional[Mapping[str, object]] = None
+    geometry: Optional[object] = None
+
+
+class ShardTransport:
+    """Abstract seam between the fabric and its shard channels.
+
+    A transport owns two things.  **Array allocation**: every fabric
+    array (static, bank, scratch, transient) is allocated through
+    :meth:`alloc`, so the single-host transport can hand out named
+    shared-memory segments while networked transports hand out plain
+    local arrays — and every live handle sits in an internal ledger that
+    :meth:`close` drains, making teardown leak-free even on error paths.
+    **Stage channels**: :meth:`send_stage`/:meth:`wait` move typed
+    protocol messages to ``n_channels`` shard peers and surface replies
+    (or channel death) to the fabric's stage loop; ``retire`` /
+    ``inject_fault`` / ``respawn`` give every transport the same
+    fault-injection surface the chaos suites drive.
+
+    ``remote_builds`` declares whether shards build bank state
+    themselves from the shared factor (shared memory) or receive
+    parent-built slices (TCP).
+    """
+
+    name = "abstract"
+    remote_builds = False
+
+    def __init__(self) -> None:
+        self._handles: List[object] = []
+        self._started = False
+        self._channels_down = False
+
+    # -- array seam ----------------------------------------------------
+    def alloc(self, label: str, shape, dtype=np.float64):
+        """Allocate one fabric array; the handle joins the leak ledger."""
+        h = self._alloc(label, shape, dtype)
+        self._handles.append(h)
+        return h
+
+    def _alloc(self, label, shape, dtype):
+        raise NotImplementedError
+
+    def free(self, handle) -> None:
+        """Close + unlink one handle and drop it from the leak ledger."""
+        handle.close()
+        handle.unlink()
+        try:
+            self._handles.remove(handle)
+        except ValueError:  # pragma: no cover - already freed
+            pass
+
+    def release_all(self) -> None:
+        """Backstop: close + unlink every still-ledgered handle."""
+        handles, self._handles = self._handles, []
+        for h in handles:
+            h.close()
+            h.unlink()
+
+    # -- channel lifecycle ---------------------------------------------
+    def start(self, static: Mapping[str, object], *, nd: int, nt: int,
+              screen_rtol: float = 0.0, sketch_rank: int = 0) -> None:
+        """Bring up the shard channels against the static arrays."""
+        if self._started:
+            raise RuntimeError("transport already serves a fabric")
+        self._started = True
+        self._static_handles = dict(static)
+        self._nd, self._nt = nd, nt
+        self._screen_rtol = float(screen_rtol)
+        self._sketch_rank = int(sketch_rank)
+
+    @property
+    def n_channels(self) -> int:
+        """Number of shard channels (worker slots / shard connections)."""
+        raise NotImplementedError
+
+    def alive(self, i: int) -> bool:
+        """Whether channel ``i`` is still marked usable."""
+        raise NotImplementedError
+
+    def healthy(self, i: int) -> bool:
+        """Like :meth:`alive`, but probing the peer's actual liveness."""
+        return self.alive(i)
+
+    def alive_count(self) -> int:
+        """Channels still marked usable."""
+        return sum(self.alive(i) for i in range(self.n_channels))
+
+    def healthy_count(self) -> int:
+        """Channels whose peer probes as actually live."""
+        return sum(self.healthy(i) for i in range(self.n_channels))
+
+    # -- stages --------------------------------------------------------
+    def send_stage(self, i: int, msg: protocol.Message,
+                   ctx: Optional[StageContext] = None) -> bool:
+        """Dispatch one stage message to channel ``i``; False if it is
+        dead (the fabric then computes that shard locally)."""
+        raise NotImplementedError
+
+    def broadcast(self, msg: protocol.Message,
+                  ctx: Optional[StageContext] = None) -> None:
+        """Best-effort fire-and-forget send to every live channel."""
+        for i in range(self.n_channels):
+            if self.alive(i):
+                self.send_stage(i, msg, ctx)
+
+    def wait(self, channel_ids: Sequence[int],
+             timeout: float) -> List[Tuple[int, Optional[protocol.Message]]]:
+        """Collect replies from the given channels for up to ``timeout``
+        seconds.  Returns ``(channel, Ack | ErrorReply | None)`` events —
+        ``None`` means the channel died (EOF)."""
+        raise NotImplementedError
+
+    # -- faults --------------------------------------------------------
+    def retire(self, i: int) -> None:
+        """Mark channel ``i`` dead and stop its peer racing on state."""
+        raise NotImplementedError
+
+    def inject_fault(self, i: int) -> bool:
+        """Chaos hook: hard-fault channel ``i`` (SIGKILL / connection
+        drop).  Returns whether it was alive to fault."""
+        raise NotImplementedError
+
+    def respawn(self, i: int) -> bool:
+        """Restore a dead channel (relaunch / reconnect); False if the
+        channel was healthy or restoration failed."""
+        raise NotImplementedError
+
+    def shutdown_channels(self) -> None:
+        """Gracefully stop every channel (idempotent)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Stop channels and drain the array ledger (idempotent)."""
+        self.shutdown_channels()
+        self.release_all()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory transport
+# ----------------------------------------------------------------------
+class SharedMemoryTransport(ShardTransport):
+    """Single-host transport: worker processes over named shared memory.
+
+    The extracted-verbatim historical path: arrays are
+    :class:`_SharedArray` segments, stage messages become the exact
+    control tuples :func:`_worker_main` has always served, and workers
+    build their own bank shards from the shared Cholesky factor
+    (``remote_builds``).  Results land in the shared arrays directly —
+    there is no scatter step, which is what keeps this path bitwise
+    identical to the pre-seam fabric.
+    """
+
+    name = "shared_memory"
+    remote_builds = True
+
+    def __init__(self, n_workers: int = 2,
+                 start_method: Optional[str] = None) -> None:
+        super().__init__()
+        if n_workers < 0:
+            raise ValueError("n_workers must be >= 0")
+        self._n_workers = int(n_workers)
+        self._start_method = start_method
+        self._mp_context = None
+        self.workers: List[_Worker] = []
+
+    def _alloc(self, label, shape, dtype):
+        return _SharedArray.create(label, shape, dtype)
+
+    def start(self, static, *, nd, nt, screen_rtol=0.0, sketch_rank=0):
+        """Spawn the worker pool attached to the static segments."""
+        super().start(static, nd=nd, nt=nt, screen_rtol=screen_rtol,
+                      sketch_rank=sketch_rank)
+        self._specs = {k: a.spec for k, a in static.items()}
+        if self._n_workers > 0:
+            method = self._start_method
+            if method is None:
+                import multiprocessing as mp
+
+                method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+            self._mp_context = get_context(method)
+            for wid in range(self._n_workers):
+                self.workers.append(self._spawn(wid))
+
+    def _spawn(self, wid: int) -> _Worker:
+        ctx = self._mp_context
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(wid, child_conn, self._specs, self._nd, self._screen_rtol),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # child's end lives in the child now
+        return _Worker(proc, parent_conn)
+
+    @property
+    def n_channels(self) -> int:
+        """Worker slots in the pool."""
+        return len(self.workers)
+
+    def alive(self, i: int) -> bool:
+        """The worker's flag-level liveness (as last observed)."""
+        return self.workers[i].alive
+
+    def healthy(self, i: int) -> bool:
+        """Flag-level liveness AND the process actually running."""
+        w = self.workers[i]
+        return w.alive and w.process.is_alive()
+
+    def send_stage(self, i, msg, ctx=None):
+        """Translate the typed message to a control tuple and pipe it."""
+        return self.workers[i].send(self._to_tuple(msg, ctx))
+
+    def _to_tuple(self, msg, ctx):
+        if isinstance(msg, protocol.BuildShard):
+            specs = {k: a.spec for k, a in ctx.bank.items()}
+            return ("attach", msg.key, specs, ctx.mu.spec, msg.c0, msg.c1)
+        if isinstance(msg, protocol.AdoptShard):
+            specs = {k: a.spec for k, a in ctx.bank.items()}
+            return ("adopt", msg.key, specs, msg.c0, msg.c1)
+        if isinstance(msg, protocol.DetachBank):
+            return ("detach", msg.key)
+        if isinstance(msg, protocol.ScreenStage):
+            return ("screen", msg.req_id, msg.key, msg.n_streams,
+                    msg.slots, msg.use_sketch)
+        if isinstance(msg, protocol.ExactStage):
+            return ("exact", msg.req_id, msg.key, msg.n_streams, msg.cols)
+        if isinstance(msg, protocol.MixtureStage):
+            out_specs = {k: a.spec for k, a in ctx.outs.items()}
+            return ("mixture", msg.req_id, msg.key, msg.n_streams,
+                    ctx.geometry.spec, out_specs, msg.shard_idx)
+        if isinstance(msg, protocol.Stop):
+            return ("stop",)
+        raise TypeError(f"no shared-memory encoding for {type(msg).__name__}")
+
+    def wait(self, channel_ids, timeout):
+        """Wait on the pending workers' pipes; EOF means a dead worker."""
+        by_conn = {self.workers[i].conn: i for i in channel_ids}
+        events: List[Tuple[int, Optional[protocol.Message]]] = []
+        ready = mp_connection.wait(list(by_conn), timeout=timeout)
+        for conn in ready:
+            wid = by_conn[conn]
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):  # worker died mid-task
+                events.append((wid, None))
+                continue
+            if msg[0] == "done":
+                events.append((wid, protocol.Ack(req_id=msg[1])))
+            elif msg[0] == "error":
+                events.append(
+                    (wid, protocol.ErrorReply(req_id=msg[1], message=msg[2]))
+                )
+        return events
+
+    def retire(self, i: int) -> None:
+        """Terminate the worker so it can never race on shared buffers."""
+        self.workers[i].retire()
+
+    def inject_fault(self, i: int) -> bool:
+        """Hard-kill the worker process (SIGKILL-style, no drain)."""
+        w = self.workers[i]
+        was_alive = w.alive and w.process.is_alive()
+        if w.process.is_alive():
+            w.process.kill()
+            w.process.join(timeout=5.0)
+        w.alive = False
+        return bool(was_alive)
+
+    def respawn(self, i: int) -> bool:
+        """Relaunch a dead worker slot into the existing segments."""
+        w = self.workers[i]
+        if w.alive and w.process.is_alive():
+            return False
+        w.retire()
+        try:
+            w.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        self.workers[i] = self._spawn(i)
+        return True
+
+    def shutdown_channels(self) -> None:
+        """Stop every worker: polite stop message, then terminate."""
+        if self._channels_down:
+            return
+        self._channels_down = True
+        for w in self.workers:
+            try:
+                w.send(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+        for w in self.workers:
+            w.process.join(timeout=2.0)
+            if w.process.is_alive():
+                w.process.terminate()
+                w.process.join(timeout=1.0)
+            try:
+                w.conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+
+# ----------------------------------------------------------------------
+# TCP transport
+# ----------------------------------------------------------------------
+class _TcpChannel:
+    """One parent-side shard connection: framing, buffering, liveness."""
+
+    def __init__(self, address: Tuple[str, int]) -> None:
+        self.address = address
+        self.sock: Optional[socket.socket] = None
+        self.alive = False
+        self.sent_geometry = False
+        self._rbuf = b""
+
+    def connect(self, timeout: float) -> None:
+        self.sock = socket.create_connection(self.address, timeout=timeout)
+        self.sock.settimeout(None)
+        self.alive = True
+        self.sent_geometry = False
+        self._rbuf = b""
+
+    def send(self, frame: bytes) -> bool:
+        if not self.alive or self.sock is None:
+            return False
+        try:
+            self.sock.sendall(_FRAME_PREFIX.pack(len(frame)) + frame)
+        except OSError:
+            self.close()
+            return False
+        return True
+
+    def feed(self, chunk: bytes) -> None:
+        self._rbuf += chunk
+
+    def take_frames(self) -> List[bytes]:
+        frames = []
+        while len(self._rbuf) >= 8:
+            (n,) = _FRAME_PREFIX.unpack(self._rbuf[:8])
+            if len(self._rbuf) < 8 + n:
+                break
+            frames.append(self._rbuf[8 : 8 + n])
+            self._rbuf = self._rbuf[8 + n :]
+        return frames
+
+    def recv_frame(self, timeout: float) -> bytes:
+        """Blocking single-frame read (handshake only)."""
+        assert self.sock is not None
+        self.sock.settimeout(timeout)
+        try:
+            while True:
+                frames = self.take_frames()
+                if frames:
+                    return frames[0]
+                chunk = self.sock.recv(1 << 20)
+                if not chunk:
+                    raise ConnectionError("shard closed during handshake")
+                self.feed(chunk)
+        finally:
+            if self.alive and self.sock is not None:
+                self.sock.settimeout(None)
+
+    def close(self) -> None:
+        self.alive = False
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            self.sock = None
+
+
+class TcpTransport(ShardTransport):
+    """Networked transport: length-prefixed frames to shard servers.
+
+    ``addresses`` lists the shard peers (``(host, port)`` tuples or
+    ``"host:port"`` strings) — one channel each, typically
+    :class:`ShardServer` instances (loopback in tests, real hosts in
+    deployment).  The parent builds bank state locally
+    (``remote_builds`` is False) and ships built column slices at
+    attach; per request only the scratch block travels, and each ack's
+    result arrays are scattered back into the parent arrays recorded at
+    send time.  A dead connection surfaces as an EOF event and the
+    fabric recomputes that shard locally — the same graceful degradation
+    as a killed worker process.
+    """
+
+    name = "tcp"
+    remote_builds = False
+
+    def __init__(self, addresses: Sequence, connect_timeout: float = 10.0) -> None:
+        super().__init__()
+        if not addresses:
+            raise ValueError("TcpTransport needs at least one shard address")
+        parsed = []
+        for a in addresses:
+            if isinstance(a, str):
+                host, _, port = a.rpartition(":")
+                parsed.append((host or "127.0.0.1", int(port)))
+            else:
+                parsed.append((a[0], int(a[1])))
+        self._channels = [_TcpChannel(a) for a in parsed]
+        self._connect_timeout = float(connect_timeout)
+        self._inflight: Dict[Tuple[int, object], Tuple[protocol.Message, StageContext]] = {}
+
+    def _alloc(self, label, shape, dtype):
+        return _LocalArray(shape, dtype)
+
+    def start(self, static, *, nd, nt, screen_rtol=0.0, sketch_rank=0):
+        """Connect and handshake every shard channel."""
+        super().start(static, nd=nd, nt=nt, screen_rtol=screen_rtol,
+                      sketch_rank=sketch_rank)
+        self._static_views = {k: a.array for k, a in static.items()}
+        for ch in self._channels:
+            ch.connect(self._connect_timeout)
+            self._handshake(ch)
+
+    def _handshake(self, ch: _TcpChannel) -> None:
+        hello = protocol.Hello(
+            nd=self._nd, nt=self._nt, screen_rtol=self._screen_rtol,
+            sketch_rank=self._sketch_rank,
+        )
+        # Only the cumulative log-diagonal is static on the wire: builds
+        # happen parent-side, so the factor L and the sketch projections
+        # never travel.
+        if not ch.send(protocol.encode_message(
+            hello, {"logdiag": self._static_views["logdiag"]}
+        )):
+            raise ConnectionError(f"shard {ch.address} rejected the handshake")
+        msg, _ = protocol.decode_message(ch.recv_frame(self._connect_timeout))
+        if not (isinstance(msg, protocol.Ack) and msg.req_id == "hello"):
+            raise protocol.ProtocolError(
+                f"shard {ch.address} answered the handshake with {msg!r}"
+            )
+
+    @property
+    def n_channels(self) -> int:
+        """Configured shard connections."""
+        return len(self._channels)
+
+    def alive(self, i: int) -> bool:
+        """Whether connection ``i`` is still up."""
+        return self._channels[i].alive
+
+    @staticmethod
+    def _state_slices(bank, c0, c1):
+        out = {}
+        for k in ("wmu", "musq_cum", "slot_musq", "pmu", "slot_psq", "qoi"):
+            h = bank.get(k)
+            if h is not None:
+                out[k] = h.array[:, c0:c1]
+        return out
+
+    def send_stage(self, i, msg, ctx=None):
+        """Frame the message with its data plane and record the scatter
+        target for the eventual ack."""
+        ch = self._channels[i]
+        if not ch.alive:
+            return False
+        arrays: Dict[str, np.ndarray] = {}
+        rid = None
+        if isinstance(msg, (protocol.BuildShard, protocol.AdoptShard)):
+            arrays = self._state_slices(ctx.bank, msg.c0, msg.c1)
+            if isinstance(msg, protocol.BuildShard):
+                rid = ("attach", msg.key)
+        elif isinstance(msg, protocol.ScreenStage):
+            arrays = protocol.pack_scratch(
+                self._static_views, msg.n_streams, msg.use_sketch
+            )
+            rid = msg.req_id
+        elif isinstance(msg, protocol.ExactStage):
+            arrays = protocol.pack_scratch(self._static_views, msg.n_streams, False)
+            rid = msg.req_id
+        elif isinstance(msg, protocol.MixtureStage):
+            J = msg.n_streams
+            arrays = {
+                "hz": self._static_views["hz"][:J],
+                "pr": ctx.bank["pr"].array[:J, msg.c0 : msg.c1],
+            }
+            if not ch.sent_geometry:
+                arrays["Y"] = ctx.geometry.array
+            rid = msg.req_id
+        ok = ch.send(protocol.encode_message(msg, arrays))
+        if ok:
+            if isinstance(msg, protocol.MixtureStage):
+                ch.sent_geometry = True
+            if rid is not None:
+                self._inflight[(i, rid)] = (msg, ctx)
+        return ok
+
+    def wait(self, channel_ids, timeout):
+        """Select over the pending connections, scatter ack payloads."""
+        events: List[Tuple[int, Optional[protocol.Message]]] = []
+        # Frames already buffered by a previous recv come first.
+        for i in channel_ids:
+            for frame in self._channels[i].take_frames():
+                events.append((i, self._handle_reply(i, frame)))
+        if events:
+            return events
+        sel = selectors.DefaultSelector()
+        registered = False
+        for i in channel_ids:
+            ch = self._channels[i]
+            if ch.alive and ch.sock is not None:
+                sel.register(ch.sock, selectors.EVENT_READ, i)
+                registered = True
+            else:
+                events.append((i, None))
+        if not registered:
+            sel.close()
+            return events
+        ready = sel.select(timeout)
+        sel.close()
+        for key, _ in ready:
+            i = key.data
+            ch = self._channels[i]
+            try:
+                chunk = ch.sock.recv(1 << 20)
+            except OSError:
+                chunk = b""
+            if not chunk:
+                ch.close()
+                events.append((i, None))
+                continue
+            ch.feed(chunk)
+            for frame in ch.take_frames():
+                events.append((i, self._handle_reply(i, frame)))
+        return events
+
+    def _handle_reply(self, i, frame):
+        try:
+            msg, arrays = protocol.decode_message(frame)
+        except protocol.ProtocolError as exc:
+            self._channels[i].close()
+            return protocol.ErrorReply(req_id=None, message=repr(exc))
+        if isinstance(msg, protocol.Ack):
+            sent = self._inflight.pop((i, msg.req_id), None)
+            if sent is not None:
+                self._scatter(sent[0], sent[1], arrays)
+        elif isinstance(msg, protocol.ErrorReply):
+            self._inflight.pop((i, msg.req_id), None)
+        return msg
+
+    @staticmethod
+    def _scatter(msg, ctx, arrays):
+        J = getattr(msg, "n_streams", 0)
+        if isinstance(msg, protocol.ScreenStage):
+            ctx.bank["lb"].array[:J, msg.c0 : msg.c1] = arrays["lb"]
+            ctx.bank["ub"].array[:J, msg.c0 : msg.c1] = arrays["ub"]
+        elif isinstance(msg, protocol.ExactStage):
+            if msg.cols is None:
+                ctx.bank["ev"].array[:J, msg.c0 : msg.c1] = arrays["ev"]
+            elif msg.cols.size:
+                ctx.bank["ev"].array[:J][:, msg.cols] = arrays["ev"]
+        elif isinstance(msg, protocol.MixtureStage):
+            ctx.outs["m0"].array[msg.shard_idx, :J] = arrays["m0"]
+            ctx.outs["m1"].array[msg.shard_idx, :, :J] = arrays["m1"]
+            ctx.outs["m2"].array[msg.shard_idx, :J] = arrays["m2"]
+
+    def retire(self, i: int) -> None:
+        """Close the connection; the shard's per-connection state dies
+        with it (no shared buffers to race on)."""
+        self._channels[i].close()
+
+    def inject_fault(self, i: int) -> bool:
+        """Drop the shard connection mid-stream (chaos hook): a
+        best-effort kill frame, then an abrupt local close."""
+        ch = self._channels[i]
+        was_alive = ch.alive
+        if ch.alive:
+            ch.send(protocol.encode_message(protocol.KillChannel()))
+        ch.close()
+        return bool(was_alive)
+
+    def respawn(self, i: int) -> bool:
+        """Reconnect + re-handshake a dead channel (the fabric re-ships
+        bank state via adopt messages afterwards)."""
+        ch = self._channels[i]
+        if ch.alive:
+            return False
+        try:
+            ch.connect(self._connect_timeout)
+            self._handshake(ch)
+        except (OSError, protocol.ProtocolError, ConnectionError):
+            ch.close()
+            return False
+        return True
+
+    def shutdown_channels(self) -> None:
+        """Polite stop frame to every live shard, then close sockets."""
+        if self._channels_down:
+            return
+        self._channels_down = True
+        stop = protocol.encode_message(protocol.Stop())
+        for ch in self._channels:
+            if ch.alive:
+                ch.send(stop)
+            ch.close()
+        self._inflight.clear()
+
+
+# ----------------------------------------------------------------------
+# TCP shard server
+# ----------------------------------------------------------------------
+@dataclass
+class _ShardSession:
+    """Per-connection shard state: handshake statics + attached banks.
+
+    State is deliberately connection-scoped: a reconnecting parent
+    re-handshakes and re-ships bank slices (adopt), so a dropped
+    connection cannot leave stale state behind.
+    """
+
+    nd: int = 0
+    screen_rtol: float = 0.0
+    static: Dict[str, np.ndarray] = field(default_factory=dict)
+    banks: Dict[str, Tuple[Dict[str, np.ndarray], int, int]] = field(
+        default_factory=dict
+    )
+    Y: Optional[np.ndarray] = None
+
+    def dispatch(self, msg, arrays):
+        """Serve one decoded message; returns ``(reply | None, arrays)``."""
+        if isinstance(msg, protocol.Hello):
+            self.nd = msg.nd
+            self.screen_rtol = msg.screen_rtol
+            self.static = {"logdiag": arrays["logdiag"]}
+            return protocol.Ack(req_id="hello"), {}
+        if isinstance(msg, (protocol.BuildShard, protocol.AdoptShard)):
+            self.banks[msg.key] = (arrays, msg.c0, msg.c1)
+            if isinstance(msg, protocol.BuildShard):
+                return protocol.Ack(req_id=("attach", msg.key)), {}
+            return None, {}
+        if isinstance(msg, protocol.DetachBank):
+            self.banks.pop(msg.key, None)
+            return None, {}
+        bankv, c0, c1 = self.banks[msg.key]
+        w = c1 - c0
+        J = msg.n_streams
+        if isinstance(msg, protocol.ScreenStage):
+            static = {**self.static, **arrays}
+            local = {**bankv, "lb": np.zeros((J, w)), "ub": np.zeros((J, w))}
+            # Shard-local arrays start at relative column 0; absolute c0 is
+            # COL_BLOCK-aligned, so the relative chunking is identical.
+            _screen_shard(static, local, self.nd, J, msg.slots, 0, w,
+                          use_sketch=msg.use_sketch, rtol=self.screen_rtol)
+            return (protocol.Ack(req_id=msg.req_id),
+                    {"lb": local["lb"], "ub": local["ub"]})
+        if isinstance(msg, protocol.ExactStage):
+            static = {**self.static, **arrays}
+            local = {**bankv, "ev": np.zeros((J, w))}
+            cols_local = None if msg.cols is None else msg.cols - c0
+            _exact_shard(static, local, self.nd, J, cols_local, 0, w)
+            ev = local["ev"] if cols_local is None else local["ev"][:, cols_local]
+            return protocol.Ack(req_id=msg.req_id), {"ev": ev}
+        if isinstance(msg, protocol.MixtureStage):
+            if "Y" in arrays:
+                self.Y = arrays["Y"]
+            if self.Y is None:
+                raise RuntimeError("mixture stage before geometry rows arrived")
+            nb = bankv["qoi"].shape[0]
+            local = {**bankv, "pr": arrays["pr"]}
+            outv = {
+                "m0": np.zeros((1, J)),
+                "m1": np.zeros((1, nb, J)),
+                "m2": np.zeros((1, J, nb, nb)),
+            }
+            _mixture_shard(self.Y, {"hz": arrays["hz"]}, local, outv,
+                           self.nd, J, 0, 0, w)
+            return (protocol.Ack(req_id=msg.req_id),
+                    {"m0": outv["m0"][0], "m1": outv["m1"][0], "m2": outv["m2"][0]})
+        raise protocol.ProtocolError(f"unserved message type {msg.TYPE!r}")
+
+
+class ShardServer:
+    """Asyncio shard peer for :class:`TcpTransport` connections.
+
+    Serves the typed stage protocol over length-prefixed frames; all
+    state is per-connection (:class:`_ShardSession`), so parent
+    reconnects are self-contained and a dropped parent leaks nothing.
+    :meth:`start_background` runs the event loop in a daemon thread and
+    returns the bound address — the loopback "multi-host" harness used
+    by tests, CI, and the ``--smoke`` CLI.  ``python -m
+    repro.serve.transport --serve PORT`` runs one in the foreground for
+    real multi-host deployments.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (final port known after start)."""
+        return (self.host, self.port)
+
+    async def _reply(self, writer, msg, arrays=None):
+        frame = protocol.encode_message(msg, arrays)
+        writer.write(_FRAME_PREFIX.pack(len(frame)) + frame)
+        await writer.drain()
+
+    async def _handle(self, reader, writer):
+        session = _ShardSession()
+        try:
+            while True:
+                try:
+                    hdr = await reader.readexactly(8)
+                    (n,) = _FRAME_PREFIX.unpack(hdr)
+                    frame = await reader.readexactly(n)
+                except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+                    break
+                try:
+                    msg, arrays = protocol.decode_message(frame)
+                except protocol.ProtocolError as exc:
+                    # Version skew / garbage: answer once, then hang up.
+                    try:
+                        await self._reply(
+                            writer,
+                            protocol.ErrorReply(req_id=None, message=repr(exc)),
+                        )
+                    except (ConnectionResetError, OSError):
+                        pass
+                    break
+                if isinstance(msg, (protocol.Stop, protocol.KillChannel)):
+                    break
+                try:
+                    reply, out = session.dispatch(msg, arrays)
+                except Exception as exc:  # noqa: BLE001 - reported to parent
+                    reply = protocol.ErrorReply(
+                        req_id=getattr(msg, "req_id", None), message=repr(exc)
+                    )
+                    out = {}
+                if reply is not None:
+                    try:
+                        await self._reply(writer, reply, out)
+                    except (ConnectionResetError, OSError):
+                        break
+        finally:
+            try:
+                writer.close()
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                pass
+
+    async def serve(self) -> None:
+        """Run the server in the current event loop until cancelled."""
+        server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = server.sockets[0].getsockname()[1]
+        self._server = server
+        self._ready.set()
+        async with server:
+            await server.serve_forever()
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+        server = loop.run_until_complete(
+            asyncio.start_server(self._handle, self.host, self.port)
+        )
+        self._server = server
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            server.close()
+            loop.run_until_complete(server.wait_closed())
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()
+
+    def start_background(self) -> Tuple[str, int]:
+        """Serve from a daemon thread; returns the bound address."""
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-shard-server"
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("shard server failed to start")
+        return self.address
+
+    def stop(self) -> None:
+        """Stop a background server and join its thread."""
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+            except RuntimeError:  # pragma: no cover - loop already closed
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+
+def start_local_shards(n: int, host: str = "127.0.0.1") -> List[ShardServer]:
+    """Start ``n`` loopback shard servers (daemon threads); the caller
+    builds a :class:`TcpTransport` from their ``.address`` attributes and
+    stops them with :meth:`ShardServer.stop` when done."""
+    servers = []
+    for _ in range(n):
+        s = ShardServer(host=host)
+        s.start_background()
+        servers.append(s)
+    return servers
+
+
+# ----------------------------------------------------------------------
+# CLI: foreground shard server + loopback smoke test
+# ----------------------------------------------------------------------
+def _smoke(args) -> None:
+    import time
+
+    from repro.serve import sketch as sketch_mod
+    from repro.serve.fabric import ServingFabric
+    from repro.serve.scenarios import ScenarioBank
+    from repro.twin.cascadia import CascadiaTwin
+    from repro.twin.config import TwinConfig
+
+    # Shrink the shard block so a modest smoke bank truly spans every
+    # shard server (shared consistently by the flat and fabric paths).
+    sketch_mod.COL_BLOCK = 64
+
+    cfg = TwinConfig.demo_2d(nx=10, n_slots=16, n_sensors=10, n_qoi=3)
+    twin = CascadiaTwin(cfg).setup()
+    twin.phase1()
+    bank = ScenarioBank(twin.operator.bottom_trace, cfg.n_slots, cfg.dt_obs, seed=7)
+    bank.generate(args.scenarios)
+    _, noise, d_obs = bank.observation_batch(
+        twin.F, noise_relative=cfg.noise_relative
+    )
+    inv = twin.phase23(noise)
+
+    servers = start_local_shards(args.shards)
+    transport = TcpTransport([s.address for s in servers])
+    streams = d_obs[:, :, : args.streams]
+    try:
+        with ServingFabric(
+            inv, [bank], transport=transport, sketch_rank=4,
+            screen_min_scenarios=1, screen_top=4, max_batch=args.streams,
+        ) as fab:
+            t0 = time.perf_counter()
+            certified = fab.identify(streams, k_slots=args.horizon)
+            dt = time.perf_counter() - t0
+            rep = fab.last_report
+            exhaustive = fab.identify(streams, k_slots=args.horizon, screen=False)
+            k = 4
+            for j in range(args.streams):
+                top_c = set(np.argsort(-certified.log_evidence[j])[:k])
+                top_e = set(np.argsort(-exhaustive.log_evidence[j])[:k])
+                assert top_c == top_e, (
+                    f"certified top-{k} diverged from exhaustive on stream {j}"
+                )
+            print(
+                f"tcp smoke: {args.streams} streams x {args.scenarios} scenarios "
+                f"over {args.shards} TCP shards in {dt * 1e3:.1f} ms "
+                f"(pruned {rep.pruned_fraction:.0%}, transport={rep.transport})"
+            )
+            # Mid-stream fault: drop one shard connection and require the
+            # degraded request to stay correct and accounted.
+            fab.inject_fault(0)
+            degraded = fab.identify(streams, k_slots=args.horizon, screen=False)
+            lost = fab.last_report.workers_lost
+            assert lost > 0, "drop was not accounted"
+            np.testing.assert_allclose(
+                degraded.log_evidence, exhaustive.log_evidence, rtol=1e-12
+            )
+            assert fab.respawn_workers() == 1
+            again = fab.identify(streams, k_slots=args.horizon, screen=False)
+            np.testing.assert_allclose(
+                again.log_evidence, exhaustive.log_evidence, rtol=1e-12
+            )
+            print(
+                "tcp smoke: mid-stream shard drop degraded gracefully "
+                f"(workers_lost={lost} on the drop request), "
+                "respawn restored the channel"
+            )
+    finally:
+        for s in servers:
+            s.stop()
+    print("tcp smoke: certified top-k == exhaustive ranking on every request")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry: ``--serve PORT`` or the loopback ``--smoke`` self-test."""
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        description="TCP shard server / loopback fabric smoke test"
+    )
+    ap.add_argument("--serve", type=int, metavar="PORT",
+                    help="run a foreground shard server on PORT")
+    ap.add_argument("--host", default="127.0.0.1", help="bind/connect host")
+    ap.add_argument("--smoke", action="store_true",
+                    help="run the loopback certified==exhaustive smoke test")
+    ap.add_argument("--shards", type=int, default=2, help="loopback shard count")
+    ap.add_argument("--scenarios", type=int, default=192, help="smoke bank size")
+    ap.add_argument("--streams", type=int, default=8, help="smoke stream count")
+    ap.add_argument("--horizon", type=int, default=8, help="slots observed")
+    args = ap.parse_args(argv)
+
+    if args.serve:
+        server = ShardServer(host=args.host, port=args.serve)
+
+        async def _run():
+            await server.serve()
+
+        print(f"shard server listening on {args.host}:{args.serve}")
+        asyncio.run(_run())
+    elif args.smoke:
+        _smoke(args)
+    else:
+        print("nothing to do: pass --serve PORT or --smoke")
+
+
+if __name__ == "__main__":
+    main()

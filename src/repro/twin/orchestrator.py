@@ -427,9 +427,12 @@ class TwinOrchestrator:
         for tick in range(n_ticks):
             # Fault plan first: kills and respawns land between request
             # waves, exactly like node loss between arriving data slots.
+            # Faults are expressed at the transport seam (SIGKILL on
+            # shared memory, connection drop on TCP), so the same chaos
+            # script replays against either transport.
             for wid in kills_by_tick.get(tick, ()):
-                if 0 <= wid < len(fab._workers):
-                    kills_applied += int(fab.kill_worker(wid))
+                if 0 <= wid < fab.n_worker_slots:
+                    kills_applied += int(fab.inject_fault(wid))
             if tick in respawn_ticks:
                 respawns_applied += fab.respawn_workers()
 

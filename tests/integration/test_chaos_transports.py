@@ -1,0 +1,99 @@
+"""Chaos replay over the TCP transport: same script, different fault physics.
+
+The chaos suite's shared-memory replays (``test_chaos_fabric.py``) pin
+bitwise determinism under SIGKILL faults.  This suite replays a seeded
+event script through a fabric whose shards live behind loopback TCP
+servers: the orchestrator's fault plan lands as *connection drops*
+(``inject_fault`` at the transport seam) instead of process kills, and
+what must hold is the transport-agnostic contract — every event
+identified, kills/respawns applied and accounted, degraded requests
+attributed, fleet healthy at the end, and the KPI payload equal to a
+same-script shared-memory replay's (identification is exact under either
+transport, so the *decisions* must match even though the fault
+mechanisms differ).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import ScenarioBank, ServingFabric
+from repro.serve.transport import TcpTransport, start_local_shards
+from repro.twin import CascadiaTwin, TwinConfig
+from repro.twin.orchestrator import (
+    EventScript,
+    OrchestratorConfig,
+    TwinOrchestrator,
+)
+from repro.util.clock import ManualClock
+
+N_EVENTS = 4
+SEED = 404
+
+
+@pytest.fixture(scope="module")
+def chaos_setup():
+    import repro.serve.sketch as sketch_mod
+
+    old_block = sketch_mod.COL_BLOCK
+    sketch_mod.COL_BLOCK = 8
+    twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=10, n_sensors=8, n_qoi=3))
+    twin.setup()
+    twin.phase1()
+    c = twin.config
+    bank = ScenarioBank(twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=13)
+    bank.generate(16)
+    _, noise, _ = bank.observation_batch(twin.F, noise_relative=0.01)
+    inv = twin.phase23(noise)
+    script = EventScript.generate(
+        bank, nt=inv.nt, nd=inv.nd, n_events=N_EVENTS, seed=SEED,
+        n_workers=2, n_kills=1, respawn_after=2,
+    )
+    yield inv, bank, script
+    sketch_mod.COL_BLOCK = old_block
+
+
+def _replay(inv, bank, script, transport=None):
+    kwargs = dict(screen_min_scenarios=1, screen_top=4)
+    if transport is None:
+        kwargs["n_workers"] = 2
+    else:
+        kwargs["transport"] = transport
+    with ServingFabric(inv, [bank], **kwargs) as fab:
+        orch = TwinOrchestrator(
+            fab, bank, script, OrchestratorConfig(), clock=ManualClock()
+        )
+        result = orch.run()
+        counters = fab.report()
+    return result, counters
+
+
+def test_tcp_chaos_replay_matches_shared_memory(chaos_setup):
+    inv, bank, script = chaos_setup
+    servers = start_local_shards(2)
+    try:
+        tcp_res, tcp_counters = _replay(
+            inv, bank, script,
+            transport=TcpTransport([s.address for s in servers]),
+        )
+    finally:
+        for s in servers:
+            s.stop()
+    shm_res, shm_counters = _replay(inv, bank, script)
+
+    # The fault plan executed over TCP: the scripted drop + respawn landed.
+    assert tcp_res.kills_applied == 1
+    assert tcp_res.respawns_applied == 1
+    assert tcp_res.summary["degraded_requests"] > 0
+    assert tcp_counters["fabric_workers_alive"] == 2.0
+    assert tcp_counters["fabric_workers_respawned"] == 1.0
+
+    # Transport-agnostic outcome: every event identified on both paths,
+    # and the KPI payloads agree (decisions are exact either way).
+    assert tcp_res.all_identified
+    assert shm_res.all_identified
+    assert json.dumps(tcp_res.kpi_payload(), sort_keys=True) == json.dumps(
+        shm_res.kpi_payload(), sort_keys=True
+    )

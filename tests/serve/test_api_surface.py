@@ -27,14 +27,30 @@ def test_submodule_exports_are_reexported():
     from repro.serve import (
         cache,
         fabric,
+        gateway,
         identify,
+        protocol,
         reporting,
         scenarios,
         server,
+        shardops,
         sketch,
+        transport,
     )
 
-    for mod in (cache, fabric, identify, reporting, scenarios, server, sketch):
+    for mod in (
+        cache,
+        fabric,
+        gateway,
+        identify,
+        protocol,
+        reporting,
+        scenarios,
+        server,
+        shardops,
+        sketch,
+        transport,
+    ):
         for name in mod.__all__:
             assert hasattr(serve, name), (
                 f"{mod.__name__}.{name} is public but not exported by repro.serve"
@@ -47,7 +63,8 @@ def test_submodule_exports_are_reexported():
 def test_package_docstring_names_every_submodule():
     doc = serve.__doc__
     for section in (
-        "scenarios", "cache", "server", "identify", "sketch", "fabric", "reporting"
+        "scenarios", "cache", "server", "identify", "sketch", "protocol",
+        "shardops", "transport", "fabric", "gateway", "reporting",
     ):
         assert f"``{section}``" in doc, f"package docstring lacks a {section} section"
 

@@ -1,0 +1,198 @@
+"""Ingest gateway: dedup, rate limiting, metrics — on virtual time.
+
+The admission tier's three behaviours, each pinned deterministically: the
+token bucket and TTL cache run on an injected
+:class:`~repro.util.clock.ManualClock` (no sleeps — refill and expiry
+are driven by ``advance``), dedup is proven by object identity of the
+shared results *and* by the fabric's own request counter, and the
+``/metrics`` endpoint round-trips through the Prometheus text parser.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.serve import ServingFabric
+from repro.serve import sketch as sketch_mod
+from repro.serve.gateway import IdempotencyCache, IngestGateway, TokenBucket
+from repro.serve.reporting import parse_prometheus
+from repro.util.clock import ManualClock
+
+
+@pytest.fixture()
+def small_blocks(monkeypatch):
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+
+
+@pytest.fixture()
+def fabric(serve_inversion, serve_bank, small_blocks):
+    with ServingFabric(
+        serve_inversion, [serve_bank], n_workers=0, max_batch=4,
+        screen_min_scenarios=1,
+    ) as fab:
+        yield fab
+
+
+# ----------------------------------------------------------------------
+# Components on virtual time
+# ----------------------------------------------------------------------
+def test_token_bucket_on_manual_clock():
+    clock = ManualClock()
+    bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+    assert [bucket.allow() for _ in range(4)] == [True, True, True, False]
+    clock.advance(0.5)  # one token refilled at 2/s
+    assert bucket.allow() is True
+    assert bucket.allow() is False
+    clock.advance(10.0)  # refill clamps at burst
+    assert [bucket.allow() for _ in range(4)] == [True, True, True, False]
+
+
+def test_idempotency_cache_ttl_on_manual_clock():
+    clock = ManualClock()
+    cache = IdempotencyCache(ttl_s=10.0, clock=clock)
+    cache.put("k", "v")
+    assert cache.get("k") == "v" and len(cache) == 1
+    clock.advance(9.0)
+    assert cache.get("k") == "v"  # TTL runs from insertion, not access
+    clock.advance(1.5)
+    assert cache.get("k") is None and len(cache) == 0
+
+
+def test_bucket_and_cache_validate_args():
+    with pytest.raises(ValueError):
+        TokenBucket(rate=0.0, burst=1)
+    with pytest.raises(ValueError):
+        TokenBucket(rate=1.0, burst=0)
+    with pytest.raises(ValueError):
+        IdempotencyCache(ttl_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# End-to-end admission
+# ----------------------------------------------------------------------
+def test_dedup_shares_one_computation(fabric, serve_streams):
+    """Same key concurrently and again later-within-TTL: one fabric
+    request, identical result objects, dedups counted; a *different* key
+    computes fresh."""
+    _, _, d_obs = serve_streams
+
+    async def run():
+        gw = IngestGateway(fabric, flush_ms=1.0)
+        first, retry1, retry2 = await asyncio.gather(
+            gw.submit(d_obs[:, :, 0], 6, idempotency_key="evt-1"),
+            gw.submit(d_obs[:, :, 0], 6, idempotency_key="evt-1"),
+            gw.submit(d_obs[:, :, 0], 6, idempotency_key="evt-1"),
+        )
+        late = await gw.submit(d_obs[:, :, 0], 6, idempotency_key="evt-1")
+        other = await gw.submit(d_obs[:, :, 1], 6, idempotency_key="evt-2")
+        return gw, first, retry1, retry2, late, other
+
+    gw, first, retry1, retry2, late, other = asyncio.run(run())
+    assert all(
+        r.status == "ok" for r in (first, retry1, retry2, late, other)
+    )
+    dedup_flags = sorted(
+        r.deduplicated for r in (first, retry1, retry2)
+    )
+    assert dedup_flags == [False, True, True]
+    assert late.deduplicated and not other.deduplicated
+    originals = [
+        r for r in (first, retry1, retry2) if not r.deduplicated
+    ]
+    assert all(
+        r.result is originals[0].result
+        for r in (first, retry1, retry2, late)
+    )
+    assert other.result is not originals[0].result
+    assert gw.counters.deduplicated == 3
+    assert gw.counters.accepted == 2  # evt-1 once + evt-2 once
+    assert fabric.report()["fabric_requests"] == 2.0
+
+
+def test_rate_limit_rejects_pre_fabric(fabric, serve_streams):
+    """Over-limit requests are rejected before touching the fabric, and
+    deduplicated retries never spend a token."""
+    _, _, d_obs = serve_streams
+    clock = ManualClock()
+
+    async def run():
+        gw = IngestGateway(
+            fabric, rate_rps=1.0, burst=2, flush_ms=1.0, clock=clock
+        )
+        a = await gw.submit(d_obs[:, :, 2], 6, idempotency_key="a")
+        b = await gw.submit(d_obs[:, :, 3], 6, idempotency_key="b")
+        # bucket empty on the (frozen) manual clock: reject
+        c = await gw.submit(d_obs[:, :, 4], 6, idempotency_key="c")
+        # retry of an in-flight key is free even with an empty bucket
+        a2 = await gw.submit(d_obs[:, :, 2], 6, idempotency_key="a")
+        clock.advance(1.0)  # one token back
+        d = await gw.submit(d_obs[:, :, 4], 6, idempotency_key="d")
+        return gw, a, b, c, a2, d
+
+    gw, a, b, c, a2, d = asyncio.run(run())
+    assert (a.status, b.status, d.status) == ("ok", "ok", "ok")
+    assert c.status == "rejected" and "rate limit" in c.reason
+    assert c.result is None
+    assert a2.status == "ok" and a2.deduplicated
+    assert gw.counters.rate_limited == 1
+    # the rejected request never reached the fabric queue
+    assert gw.counters.accepted == 3
+    assert fabric.report()["fabric_requests"] == 3.0
+
+
+def test_admission_error_is_a_response_not_an_exception(fabric):
+    """A malformed stream surfaces as status="error", shared with riders."""
+
+    async def run():
+        gw = IngestGateway(fabric, flush_ms=1.0)
+        return gw, await gw.submit(
+            np.zeros((2, 2)), 6, idempotency_key="bad"
+        )
+
+    gw, resp = asyncio.run(run())
+    assert resp.status == "error" and "stream must be" in resp.reason
+    assert gw.counters.errors == 1
+
+
+def test_metrics_text_roundtrip_and_endpoint(fabric, serve_streams):
+    """metrics_text parses back exactly, and the /metrics HTTP endpoint
+    serves the same exposition (404 elsewhere)."""
+    _, _, d_obs = serve_streams
+
+    async def run():
+        gw = IngestGateway(fabric, rate_rps=1000.0, flush_ms=1.0)
+        await gw.submit(d_obs[:, :, 5], 6, idempotency_key="m-1")
+        text = gw.metrics_text()
+        server, host, port = await gw.serve_metrics()
+        loop = asyncio.get_running_loop()
+        body, status404 = await loop.run_in_executor(None, _scrape, host, port)
+        server.close()
+        await server.wait_closed()
+        return gw, text, body, status404
+
+    gw, text, body, status404 = asyncio.run(run())
+    # exact float round-trip of the full counter set (gateway + fabric)
+    rendered = parse_prometheus(text)
+    assert rendered == gw.metrics()
+    assert rendered["gateway_requests"] == 1.0
+    assert rendered["gateway_accepted"] == 1.0
+    assert "fabric_requests" in rendered and "fabric_workers" in rendered
+    scraped = parse_prometheus(body)
+    assert scraped["gateway_requests"] == 1.0
+    assert status404 == 404
+
+
+def _scrape(host, port):
+    with urllib.request.urlopen(f"http://{host}:{port}/metrics") as r:
+        body = r.read().decode()
+    try:
+        urllib.request.urlopen(f"http://{host}:{port}/other")
+        status = 200
+    except urllib.error.HTTPError as e:
+        status = e.code
+    return body, status

@@ -1,0 +1,161 @@
+"""Wire-codec contract: round-trips, versioning, scratch sizing.
+
+The shard protocol (:mod:`repro.serve.protocol`) is the layer every
+transport shares — a framing bug here corrupts certified bounds on both
+shared memory and TCP, so the codec is pinned independently of any
+transport: exact round-trips for every message type (arrays included),
+loud failures on version skew and unknown types, and the scratch-block
+size formula the docs' wire-payload table is computed from.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import (
+    Ack,
+    AdoptShard,
+    BuildShard,
+    DetachBank,
+    ErrorReply,
+    ExactStage,
+    Hello,
+    KillChannel,
+    MixtureStage,
+    ProtocolError,
+    ScreenStage,
+    Stop,
+    decode_message,
+    encode_message,
+    pack_scratch,
+    scratch_nbytes,
+)
+
+ALL_SCALAR_MESSAGES = [
+    Hello(nd=10, nt=12, screen_rtol=1e-7, sketch_rank=4),
+    BuildShard(key="bank0", c0=0, c1=16),
+    AdoptShard(key="bank0", c0=16, c1=24),
+    DetachBank(key="bank0"),
+    ScreenStage(
+        req_id=7, key="bank0", n_streams=3, slots=(1, 5, 9),
+        use_sketch=True, c0=0, c1=16,
+    ),
+    MixtureStage(req_id=9, key="bank0", n_streams=2, shard_idx=1, c0=8, c1=16),
+    KillChannel(),
+    Stop(),
+    Ack(req_id=42),
+    ErrorReply(req_id=3, message="ValueError('boom')"),
+]
+
+
+@pytest.mark.parametrize(
+    "msg", ALL_SCALAR_MESSAGES, ids=lambda m: m.TYPE + str(id(m) % 7)
+)
+def test_scalar_message_roundtrip(msg):
+    decoded, arrays = decode_message(encode_message(msg))
+    assert decoded == msg
+    assert arrays == {}
+
+
+def test_tuple_fields_survive_json():
+    """JSON turns tuples into lists; decode must restore tuples (the
+    screen-slot tuple is hashed/compared verbatim downstream)."""
+    msg = ScreenStage(req_id=1, key="b", n_streams=2, slots=(2, 4, 6))
+    decoded, _ = decode_message(encode_message(msg))
+    assert decoded.slots == (2, 4, 6)
+    assert isinstance(decoded.slots, tuple)
+    assert decoded == msg
+
+
+def test_exact_stage_cols_array_roundtrip():
+    """Array-typed message fields ride the data plane and come back
+    writable and bit-equal."""
+    cols = np.array([3, 5, 8, 13], dtype=np.int64)
+    msg = ExactStage(req_id=5, key="b", n_streams=2, cols=cols, c0=0, c1=16)
+    decoded, arrays = decode_message(encode_message(msg))
+    assert arrays == {}
+    np.testing.assert_array_equal(decoded.cols, cols)
+    assert decoded.cols.dtype == np.int64
+    assert decoded.cols.flags.writeable
+    # cols=None (whole-shard exact) round-trips as None, not an empty array
+    none_msg = ExactStage(req_id=6, key="b", n_streams=2, cols=None)
+    decoded2, _ = decode_message(encode_message(none_msg))
+    assert decoded2.cols is None
+
+
+def test_payload_arrays_roundtrip_bitwise():
+    rng = np.random.default_rng(3)
+    arrays = {
+        "wd": rng.standard_normal((12, 3)),
+        "hz": np.array([4, 5, 6], dtype=np.int64),
+        "flags": np.array([[True, False]]),
+    }
+    msg = Ack(req_id=("attach", "bank0"))
+    decoded, out = decode_message(encode_message(msg, arrays))
+    assert decoded.req_id == ("attach", "bank0")
+    assert set(out) == set(arrays)
+    for k in arrays:
+        np.testing.assert_array_equal(out[k], arrays[k])
+        assert out[k].dtype == arrays[k].dtype
+        assert out[k].flags.writeable
+
+
+def test_bad_magic_rejected():
+    frame = encode_message(Stop())
+    with pytest.raises(ProtocolError, match="magic"):
+        decode_message(b"XXXX" + frame[4:])
+
+
+def test_version_mismatch_rejected():
+    """A peer speaking a different protocol version must fail at the
+    first frame — patch the version inside an otherwise-valid header."""
+    frame = encode_message(Hello(nd=2, nt=3))
+    (hlen,) = struct.unpack(">I", frame[4:8])
+    header = json.loads(frame[8 : 8 + hlen])
+    header["v"] = protocol.PROTOCOL_VERSION + 1
+    patched = json.dumps(header, separators=(",", ":")).encode()
+    frame2 = frame[:4] + struct.pack(">I", len(patched)) + patched + frame[8 + hlen :]
+    with pytest.raises(ProtocolError, match="version mismatch"):
+        decode_message(frame2)
+
+
+def test_unknown_type_rejected():
+    frame = encode_message(Stop())
+    (hlen,) = struct.unpack(">I", frame[4:8])
+    header = json.loads(frame[8 : 8 + hlen])
+    header["type"] = "warp"
+    patched = json.dumps(header, separators=(",", ":")).encode()
+    frame2 = frame[:4] + struct.pack(">I", len(patched)) + patched
+    with pytest.raises(ProtocolError, match="unknown message type"):
+        decode_message(frame2)
+
+
+def test_pack_scratch_contents_and_size():
+    """pack_scratch ships exactly the per-request block, and
+    scratch_nbytes prices it (the SERVING.md payload table's source)."""
+    nt, nd, jmax, J, r = 6, 4, 8, 3, 2
+    static = {
+        "wd": np.arange(nt * nd * jmax, dtype=float).reshape(nt * nd, jmax),
+        "wd_slot": np.ones((nt, jmax)),
+        "wsq": np.ones(jmax),
+        "hz": np.arange(jmax, dtype=np.int64),
+        "wd_p": np.ones((nt * r, jmax)),
+        "wd_psq": np.ones((nt, jmax)),
+    }
+    packed = pack_scratch(static, J, use_sketch=True)
+    assert set(packed) == {"wd", "wd_slot", "wsq", "hz", "wd_p", "wd_psq"}
+    assert packed["wd"].shape == (nt * nd, J)
+    total = sum(np.ascontiguousarray(a).nbytes for a in packed.values())
+    assert total == scratch_nbytes(nt, nd, J, sketch_rank=r)
+    # Norm-only screen (or no sketch arrays at all): sketch block omitted.
+    packed_plain = pack_scratch(static, J, use_sketch=False)
+    assert set(packed_plain) == {"wd", "wd_slot", "wsq", "hz"}
+    total_plain = sum(
+        np.ascontiguousarray(a).nbytes for a in packed_plain.values()
+    )
+    assert total_plain == scratch_nbytes(nt, nd, J, sketch_rank=0)

@@ -1,0 +1,77 @@
+"""Prometheus text exposition: format shape and exact round-trips.
+
+``to_prometheus`` feeds the gateway's ``/metrics`` endpoint, so its
+output must be scrape-valid (HELP/TYPE comments, legal metric names,
+trailing newline) and, for our own tooling, *exactly* invertible:
+``parse_prometheus(to_prometheus(c)) == c`` for every float a counter
+dict can hold, including the awkward ones (inf, huge, tiny, negative).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.serve.reporting import parse_prometheus, to_prometheus
+
+
+def test_roundtrip_exact_floats():
+    counters = {
+        "fabric_requests": 17.0,
+        "fabric_shared_bytes": 123456789.0,
+        "gateway_rate_limited": 0.0,
+        "tiny": 2.0**-40,
+        "huge": 1.79e308,
+        "negative": -3.5,
+        "pi_ish": 3.141592653589793,
+        "inf": math.inf,
+    }
+    assert parse_prometheus(to_prometheus(counters)) == counters
+
+
+def test_format_shape():
+    text = to_prometheus({"b_metric": 2.0, "a_metric": 1.0})
+    lines = text.splitlines()
+    # sorted metric order, HELP then TYPE then sample, trailing newline
+    assert text.endswith("\n")
+    assert lines[0].startswith("# HELP a_metric")
+    assert lines[1] == "# TYPE a_metric gauge"
+    assert lines[2].startswith("a_metric ")
+    assert lines[3].startswith("# HELP b_metric")
+    assert parse_prometheus(text) == {"a_metric": 1.0, "b_metric": 2.0}
+
+
+def test_name_sanitization_and_prefix():
+    text = to_prometheus({"p50-latency.ms": 4.5, "9lives": 1.0}, prefix="twin_")
+    parsed = parse_prometheus(text)
+    assert parsed == {"twin_p50_latency_ms": 4.5, "twin_9lives": 1.0}
+    # an unprefixed leading digit gets an underscore (legal metric name)
+    assert parse_prometheus(to_prometheus({"9lives": 1.0})) == {"_9lives": 1.0}
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        name = line.split(" ")[0]
+        assert name[0].isalpha() or name[0] == "_"
+        assert all(c.isalnum() or c in "_:" for c in name)
+
+
+def test_help_text_override():
+    text = to_prometheus(
+        {"fabric_requests": 1.0},
+        help_text={"fabric_requests": "requests served by the fabric"},
+    )
+    assert "# HELP fabric_requests requests served by the fabric" in text
+
+
+def test_parse_skips_comments_and_blanks():
+    parsed = parse_prometheus(
+        "# HELP x y\n# TYPE x gauge\n\n  \nx 2.5\n# trailing comment\n"
+    )
+    assert parsed == {"x": 2.5}
+
+
+def test_integer_valued_counters_roundtrip_through_float():
+    counters = {"n": float(np.int64(7))}
+    assert parse_prometheus(to_prometheus(counters)) == {"n": 7.0}

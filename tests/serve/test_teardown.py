@@ -1,0 +1,115 @@
+"""Teardown safety: idempotent close, crash-during-attach, GC backstop.
+
+Shared-memory segments outlive the process unless something unlinks
+them, so the fabric's teardown paths are load-bearing: ``close()`` must
+be idempotent (double-close from ``with`` + explicit + ``__del__`` is
+normal), a crash *during* ``attach_bank`` must free every segment the
+failed attach created (no orphans, no ``resource_tracker`` warnings),
+and an abandoned fabric — never closed at all — must still release its
+segments when garbage-collected (the ``weakref.finalize`` backstop,
+which also covers interpreter exit).
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+import repro.serve.fabric as fabric_mod
+from repro.serve import ServingFabric
+from repro.serve import sketch as sketch_mod
+
+
+@pytest.fixture()
+def small_blocks(monkeypatch):
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+
+
+def _segment_paths(transport):
+    """/dev/shm paths of every allocation the transport currently holds."""
+    return [
+        os.path.join("/dev/shm", h.spec[0])
+        for h in transport._handles
+        if h.spec[0]
+    ]
+
+
+def test_double_close_is_idempotent(serve_inversion, serve_bank, small_blocks):
+    fab = ServingFabric(
+        serve_inversion, [serve_bank], n_workers=1, max_batch=4,
+    )
+    paths = _segment_paths(fab._transport)
+    assert paths and all(os.path.exists(p) for p in paths)
+    fab.close()
+    assert fab._transport._handles == []
+    assert not any(os.path.exists(p) for p in paths)
+    assert fab.budget.used == 0
+    fab.close()  # second close: no-op, no error
+    with fab._dispatch_lock:
+        pass  # the lock survives close (no torn-down internals)
+    with pytest.raises(RuntimeError, match="closed"):
+        fab.identify(np.zeros((fab.nt, fab.nd)), k_slots=2)
+    fab.__exit__(None, None, None)  # context-manager exit after close: no-op
+
+
+def test_crash_during_attach_frees_everything(
+    serve_inversion, serve_bank, serve_streams, small_blocks, monkeypatch
+):
+    """A build that explodes mid-attach must not orphan the segments the
+    attach created — and the fabric must stay fully usable."""
+    fab = ServingFabric(serve_inversion, n_workers=0, max_batch=4)
+    try:
+        before = list(fab._transport._handles)
+        monkeypatch.setattr(
+            fabric_mod,
+            "_build_shard",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("disk on fire")),
+        )
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            fab.attach_bank(serve_bank)
+        # Everything the failed attach allocated was freed again.
+        assert fab._transport._handles == before
+        assert fab.banks() == []
+        assert fab.budget.nbytes_of(f"{fab.budget_prefix}:bank:bank0") == 0
+        monkeypatch.undo()
+        # The fabric is not poisoned: the same attach now succeeds and serves.
+        key = fab.attach_bank(serve_bank)
+        _, _, d_obs = serve_streams
+        result = fab.identify(d_obs[:, :, :2], k_slots=6, bank=key)
+        assert result.probabilities.shape == (2, len(serve_bank))
+    finally:
+        fab.close()
+
+
+def test_gc_finalizer_releases_abandoned_fabric(
+    serve_inversion, serve_bank, small_blocks
+):
+    """An un-closed fabric's transport is closed by the GC backstop."""
+    fab = ServingFabric(
+        serve_inversion, [serve_bank], n_workers=0, max_batch=4,
+    )
+    transport = fab._transport
+    finalizer = fab._finalizer
+    paths = _segment_paths(transport)
+    assert paths and all(os.path.exists(p) for p in paths)
+    assert finalizer.alive
+    del fab
+    gc.collect()
+    assert not finalizer.alive
+    assert transport._handles == []
+    assert not any(os.path.exists(p) for p in paths)
+
+
+def test_explicit_close_detaches_finalizer(
+    serve_inversion, serve_bank, small_blocks
+):
+    """A properly closed fabric stands its finalizer down — no
+    double-teardown at GC."""
+    fab = ServingFabric(
+        serve_inversion, [serve_bank], n_workers=0, max_batch=4,
+    )
+    fab.close()
+    assert not fab._finalizer.alive

@@ -1,0 +1,138 @@
+"""FabricTicket timeout / cancellation / callback semantics.
+
+The async gateway (and any other non-blocking dispatcher) rides three
+ticket behaviours that the original flush-on-result design never pinned:
+``result(timeout=)`` must *wait* rather than drive the queue and raise
+``TimeoutError`` on a stalled stage; a cancelled ticket must never
+resolve — not when its batch is flushed, not after the workers it would
+have used are killed and respawned; and ``on_done`` callbacks must fire
+exactly once, immediately when registered late.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import ServingFabric
+from repro.serve import sketch as sketch_mod
+from repro.serve.fabric import TicketCancelled
+
+
+@pytest.fixture()
+def small_blocks(monkeypatch):
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+
+
+@pytest.fixture()
+def fabric(serve_inversion, serve_bank, small_blocks):
+    with ServingFabric(
+        serve_inversion, [serve_bank], n_workers=0, max_batch=8,
+        screen_min_scenarios=1,
+    ) as fab:
+        yield fab
+
+
+def test_result_timeout_on_stalled_stage(fabric, serve_streams):
+    """A pending ticket whose batch nothing flushes is a stalled stage:
+    ``result(timeout=)`` must wait, then raise — never flush, never hang."""
+    _, _, d_obs = serve_streams
+    ticket = fabric.submit(d_obs[:, :, 0], k_slots=6)
+    with pytest.raises(TimeoutError, match="did not settle"):
+        ticket.result(timeout=0.05)
+    assert not ticket.done  # the timed-out wait did not drive the queue
+    # The default (no timeout) still drives the queue to completion.
+    result = ticket.result()
+    assert ticket.done
+    assert result.probabilities.shape[0] == 1
+
+
+def test_result_timeout_waits_for_another_dispatcher(
+    fabric, serve_bank, serve_streams
+):
+    """result(timeout=) settles when *another* thread flushes in time."""
+    _, _, d_obs = serve_streams
+    ticket = fabric.submit(d_obs[:, :, 1], k_slots=6)
+    flusher = threading.Timer(0.05, fabric.flush)
+    flusher.start()
+    try:
+        result = ticket.result(timeout=5.0)
+    finally:
+        flusher.cancel()
+    assert result.log_evidence.shape == (1, len(serve_bank))
+
+
+def test_cancelled_ticket_never_resolves(serve_inversion, serve_bank,
+                                         serve_streams, small_blocks):
+    """Cancel one ticket of a pending batch, then kill + respawn the
+    worker pool and flush: the batch's other tickets resolve, the
+    cancelled one never does."""
+    _, _, d_obs = serve_streams
+    with ServingFabric(
+        serve_inversion, [serve_bank], n_workers=1, max_batch=8,
+        screen_min_scenarios=1,
+    ) as fab:
+        doomed = fab.submit(d_obs[:, :, 0], k_slots=6)
+        survivor = fab.submit(d_obs[:, :, 1], k_slots=6)
+        fired = []
+        doomed.on_done(lambda t: fired.append(t))
+        assert doomed.cancel() is True
+        assert doomed.cancelled and not doomed.done
+        assert doomed.cancel() is False  # idempotent
+        # Worker churn between cancel and flush must not resurrect it.
+        assert fab.kill_worker(0) is True
+        assert fab.respawn_workers() == 1
+        assert fab.flush() == 1  # only the survivor was pending
+        assert survivor.done and not doomed.done
+        assert survivor.result().probabilities.shape[0] == 1
+        with pytest.raises(TicketCancelled):
+            doomed.result()
+        with pytest.raises(TicketCancelled):
+            doomed.result(timeout=0.01)
+        assert fired == []  # a cancelled ticket's callbacks never fire
+
+
+def test_settled_ticket_cannot_be_cancelled(fabric, serve_streams):
+    _, _, d_obs = serve_streams
+    ticket = fabric.submit(d_obs[:, :, 2], k_slots=6)
+    ticket.result()
+    assert ticket.cancel() is False
+    assert ticket.done and not ticket.cancelled
+
+
+def test_on_done_fires_once_and_late_registration_is_immediate(
+    fabric, serve_streams
+):
+    _, _, d_obs = serve_streams
+    early, late = [], []
+    ticket = fabric.submit(d_obs[:, :, 3], k_slots=6)
+    ticket.on_done(lambda t: early.append(t.done))
+    ticket.result()
+    assert early == [True]
+    ticket.on_done(lambda t: late.append(t.done))  # already settled
+    assert late == [True]
+    fabric.flush()
+    assert early == [True]  # no double fire
+
+
+def test_failed_batch_routes_error_through_ticket(fabric, serve_streams):
+    """A poisoned group fails its tickets; result() re-raises, including
+    through the waiting (timeout=) path, and on_done still fires."""
+    _, _, d_obs = serve_streams
+    ticket = fabric.submit(d_obs[:, :, 4], k_slots=6)
+    seen = []
+    ticket.on_done(lambda t: seen.append(t))
+    # Poison the flush: make identify raise for this batch.
+    original = fabric.identify
+    fabric.identify = lambda *a, **k: (_ for _ in ()).throw(
+        RuntimeError("shard exploded")
+    )
+    try:
+        fabric.flush()
+    finally:
+        fabric.identify = original
+    assert ticket.done and seen == [ticket]
+    with pytest.raises(RuntimeError, match="shard exploded"):
+        ticket.result(timeout=0.01)

@@ -1,0 +1,161 @@
+"""TCP shard transport: loopback multi-"host" serving, faults, respawn.
+
+The acceptance contract of the networked fabric: over a
+:class:`~repro.serve.transport.TcpTransport` against loopback
+:class:`~repro.serve.transport.ShardServer` processes-worth of shards,
+the certified top-k must equal the exhaustive ranking on *every* request
+(the screen protocol is location-independent, so moving shards off-host
+must change nothing about the math), a mid-stream connection drop must
+degrade gracefully — accounted in ``FabricReport``, no hang, exact
+results — and ``respawn_workers`` must restore the channel with its bank
+state re-shipped.  Shared-memory bitwise equivalence is pinned separately
+(``tests/serve/test_fabric.py``); these tests pin the *cross-transport*
+equivalences at matching tolerances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import ServingFabric
+from repro.serve import sketch as sketch_mod
+from repro.serve.transport import TcpTransport, start_local_shards
+
+
+@pytest.fixture()
+def small_blocks(monkeypatch):
+    """Shrink COL_BLOCK so the 24-entry bank spans both TCP shards."""
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+
+
+@pytest.fixture()
+def shard_servers():
+    """Two loopback shard servers, stopped at teardown."""
+    servers = start_local_shards(2)
+    yield servers
+    for s in servers:
+        s.stop()
+
+
+def _tcp_fabric(serve_inversion, serve_bank, servers, **overrides):
+    kw = dict(
+        transport=TcpTransport([s.address for s in servers]),
+        sketch_rank=3,
+        screen_min_scenarios=1,
+        screen_top=4,
+        max_batch=8,
+    )
+    kw.update(overrides)
+    return ServingFabric(serve_inversion, [serve_bank], **kw)
+
+
+def test_tcp_certified_equals_exhaustive_every_request(
+    serve_inversion, serve_bank, serve_streams, small_blocks, shard_servers
+):
+    """Certified top-k over TCP shards == exhaustive ranking, request by
+    request, on the fabric bench workload shape (batched unique streams)."""
+    _, _, d_obs = serve_streams
+    with _tcp_fabric(serve_inversion, serve_bank, shard_servers) as fab:
+        for j0 in (0, 8, 16):
+            streams = d_obs[:, :, j0 : j0 + 8]
+            certified = fab.identify(streams, k_slots=6)
+            assert fab.last_report.transport == "tcp"
+            assert not fab.last_report.degraded
+            exhaustive = fab.identify(streams, k_slots=6, screen=False)
+            k = 4
+            for j in range(streams.shape[2]):
+                top_c = set(np.argsort(-certified.log_evidence[j])[:k])
+                top_e = set(np.argsort(-exhaustive.log_evidence[j])[:k])
+                assert top_c == top_e
+
+
+def test_tcp_matches_in_process_to_machine_precision(
+    serve_inversion, serve_bank, serve_streams, small_blocks, shard_servers
+):
+    """Remote exact evidence vs the parent's in-process path: the shard
+    servers compute at relative column offsets on shipped slices, so the
+    comparison is allclose at machine precision, not bitwise."""
+    _, _, d_obs = serve_streams
+    streams = d_obs[:, :, :6]
+    with _tcp_fabric(serve_inversion, serve_bank, shard_servers) as fab:
+        remote = fab.identify(streams, k_slots=6, screen=False)
+    with ServingFabric(
+        serve_inversion, [serve_bank], n_workers=0, max_batch=8
+    ) as flat:
+        local = flat.identify(streams, k_slots=6, screen=False)
+    np.testing.assert_allclose(
+        remote.log_evidence, local.log_evidence, rtol=1e-12
+    )
+    np.testing.assert_allclose(
+        remote.probabilities, local.probabilities, rtol=1e-9
+    )
+
+
+def test_tcp_midstream_drop_degrades_gracefully(
+    serve_inversion, serve_bank, serve_streams, small_blocks, shard_servers
+):
+    """Dropping a shard connection mid-stream: the next request recomputes
+    the lost shard in the parent (exact results, workers_lost accounted,
+    no hang) and a later respawn reconnects + re-ships the bank state."""
+    _, _, d_obs = serve_streams
+    streams = d_obs[:, :, :5]
+    with _tcp_fabric(serve_inversion, serve_bank, shard_servers) as fab:
+        baseline = fab.identify(streams, k_slots=6, screen=False)
+        assert fab.inject_fault(0) is True
+        assert fab.inject_fault(0) is False  # idempotent on a dead channel
+        degraded = fab.identify(streams, k_slots=6, screen=False)
+        rep = fab.last_report
+        assert rep.degraded and rep.workers_lost >= 1
+        assert rep.transport == "tcp"
+        np.testing.assert_allclose(
+            degraded.log_evidence, baseline.log_evidence, rtol=1e-12
+        )
+        assert fab.report()["fabric_workers_alive"] == 1.0
+        # Respawn reconnects and re-ships the shard's built state.
+        assert fab.respawn_workers() == 1
+        assert fab.report()["fabric_workers_alive"] == 2.0
+        again = fab.identify(streams, k_slots=6, screen=False)
+        assert not fab.last_report.degraded
+        np.testing.assert_allclose(
+            again.log_evidence, baseline.log_evidence, rtol=1e-12
+        )
+        with pytest.raises(IndexError, match="out of range"):
+            fab.inject_fault(99)
+
+
+def test_tcp_forecast_mixture_matches_flat(
+    serve_inversion, serve_bank, serve_streams, small_blocks, shard_servers
+):
+    """Sharded mixture moments gathered over TCP == the flat fabric's."""
+    _, _, d_obs = serve_streams
+    streams = d_obs[:, :, :4]
+    with _tcp_fabric(serve_inversion, serve_bank, shard_servers) as fab:
+        remote = fab.forecast_mixture(streams, k_slots=6)
+    with ServingFabric(
+        serve_inversion, [serve_bank], n_workers=0, max_batch=8
+    ) as flat:
+        local = flat.forecast_mixture(streams, k_slots=6)
+    for r, l in zip(remote, local):
+        np.testing.assert_allclose(r.mean, l.mean, rtol=1e-10, atol=1e-12)
+        np.testing.assert_allclose(
+            r.covariance, l.covariance, rtol=1e-9, atol=1e-12
+        )
+
+
+def test_tcp_unreachable_shard_fails_cleanly(
+    serve_inversion, serve_bank, small_blocks
+):
+    """A dead address at bring-up raises and leaks nothing — the failed
+    constructor drains the transport ledger (no orphan allocations)."""
+    transport = TcpTransport([("127.0.0.1", 1)], connect_timeout=0.5)
+    with pytest.raises(OSError):
+        ServingFabric(
+            serve_inversion, [serve_bank], transport=transport, max_batch=4
+        )
+    assert transport._handles == []
+
+
+def test_unknown_transport_name_rejected(serve_inversion):
+    with pytest.raises(ValueError, match="unknown transport name"):
+        ServingFabric(serve_inversion, transport="carrier-pigeon")

@@ -1,0 +1,71 @@
+"""The docs link checker: GitHub slug rules and broken-target detection.
+
+``tools/check_links.py`` gates CI on every intra-repo markdown link,
+including ``#anchor`` fragments — so its slugification must match what
+GitHub actually generates (lowercase, punctuation dropped, duplicate
+headings suffixed, fenced code blocks skipped), and ``check`` must
+distinguish a missing file from a missing anchor.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "tools"))
+
+from check_links import anchors, check, slugify  # noqa: E402
+
+
+def test_slugify_github_rules():
+    assert slugify("Simple Heading") == "simple-heading"
+    assert slugify("7. The serving fabric (`repro/serve/fabric.py`)") == (
+        "7-the-serving-fabric-reproservefabricpy"
+    )
+    assert slugify("9. Replay & chaos testing") == "9-replay--chaos-testing"
+    assert slugify("snake_case and hy-phens survive") == (
+        "snake_case-and-hy-phens-survive"
+    )
+    assert slugify("**bold** and *emph* and `code`") == "bold-and-emph-and-code"
+    assert slugify("[link text](https://example.com) tail") == "link-text-tail"
+
+
+def test_anchors_dedup_and_fences():
+    text = (
+        "# Setup\n"
+        "## Setup\n"
+        "```\n"
+        "# not a heading, just a shell comment\n"
+        "```\n"
+        "## Setup\n"
+    )
+    assert anchors(text) == {"setup", "setup-1", "setup-2"}
+
+
+def test_check_reports_missing_file_and_anchor(tmp_path):
+    (tmp_path / "a.md").write_text(
+        "# Alpha\n"
+        "ok: [self](#alpha) and [other](b.md#beta-section)\n"
+        "bad: [gone](missing.md) and [frag](b.md#nope) and [selfbad](#nope)\n",
+        encoding="utf-8",
+    )
+    (tmp_path / "b.md").write_text("# Beta section\n", encoding="utf-8")
+    broken = check(tmp_path)
+    reasons = {(str(md), target): reason for md, target, reason in broken}
+    assert reasons == {
+        ("a.md", "missing.md"): "missing file",
+        ("a.md", "b.md#nope"): "missing anchor",
+        ("a.md", "#nope"): "missing anchor",
+    }
+
+
+def test_check_skips_external_targets(tmp_path):
+    (tmp_path / "a.md").write_text(
+        "[web](https://example.com/x#y) [mail](mailto:x@y.z)\n", encoding="utf-8"
+    )
+    assert check(tmp_path) == []
+
+
+def test_repo_docs_are_clean():
+    root = Path(__file__).resolve().parents[2]
+    assert check(root) == [], "repo markdown has broken links/anchors"

@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Fail on broken intra-repo markdown links.
+"""Fail on broken intra-repo markdown links, including ``#anchor`` fragments.
 
 Scans every ``*.md`` file in the repository for inline links and
-reference-style definitions whose targets are *relative paths* (external
-``scheme://`` URLs and pure ``#fragment`` anchors are skipped), resolves
-each against the file's directory, and exits non-zero listing every target
-that does not exist.  Run by the CI docs job::
+reference-style definitions, and validates two things:
+
+* **Paths**: every *relative-path* target (external ``scheme://`` URLs
+  and ``mailto:`` are skipped) resolves against the file's directory.
+* **Anchors**: every ``#fragment`` — same-file (``#section``) or
+  cross-file (``other.md#section``) — matches a heading slug in the
+  target markdown file, using GitHub's slug rules (lowercase; drop
+  punctuation; spaces to hyphens; ``-1``/``-2`` suffixes for duplicate
+  headings; headings inside fenced code blocks don't count).
+
+Exits non-zero listing every broken target.  Run by the CI docs job::
 
     python tools/check_links.py [root]
 """
@@ -19,6 +26,9 @@ from pathlib import Path
 # Inline [text](target) plus reference-style "[label]: target" definitions.
 _INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _REFDEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_FENCE = re.compile(r"^\s*(```|~~~)")
+_MD_LINK_BITS = re.compile(r"!?\[([^\]]*)\]\([^)]*\)")  # [text](url) -> text
 _SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
 
 
@@ -32,29 +42,90 @@ def _targets(text: str):
             yield match.group(1)
 
 
-def _is_relative(target: str) -> bool:
-    if target.startswith("#") or target.startswith("mailto:"):
+def _is_checkable(target: str) -> bool:
+    if target.startswith("mailto:"):
         return False
     if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*://", target):
         return False
     return True
 
 
+def slugify(heading: str) -> str:
+    """GitHub's anchor slug for one heading's text (pre-deduplication).
+
+    Lowercase; markdown emphasis/code/link syntax reduced to its text;
+    everything except alphanumerics, spaces, hyphens, and underscores
+    dropped; spaces become hyphens.
+    """
+    text = _MD_LINK_BITS.sub(r"\1", heading)
+    text = text.replace("`", "").replace("*", "").replace("~~", "")
+    text = text.strip().lower()
+    out = []
+    for ch in text:
+        if ch.isalnum() or ch in "_-":
+            out.append(ch)
+        elif ch in " ":
+            out.append("-")
+        # everything else (punctuation, colons, dots, slashes) is dropped
+    return "".join(out)
+
+
+def anchors(text: str) -> set:
+    """All valid anchor slugs of one markdown document.
+
+    Headings inside fenced code blocks are not anchors; duplicate
+    heading slugs get ``-1``, ``-2``, ... suffixes in document order
+    (GitHub's deduplication rule) — every variant is a valid anchor.
+    """
+    slugs: set = set()
+    counts: dict = {}
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        m = _HEADING.match(line)
+        if not m:
+            continue
+        slug = slugify(m.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
 def check(root: Path):
-    """Return ``[(md_file, target), ...]`` for every broken relative link."""
+    """Return ``[(md_file, target, reason), ...]`` for every broken link."""
     broken = []
+    anchor_cache: dict = {}
+
+    def _anchors_of(path: Path) -> set:
+        if path not in anchor_cache:
+            anchor_cache[path] = anchors(path.read_text(encoding="utf-8"))
+        return anchor_cache[path]
+
     for md in sorted(root.rglob("*.md")):
         if any(part in _SKIP_DIRS for part in md.parts):
             continue
-        for target in _targets(md.read_text(encoding="utf-8")):
-            if not _is_relative(target):
+        text = md.read_text(encoding="utf-8")
+        for target in _targets(text):
+            if not _is_checkable(target):
                 continue
-            path = target.split("#", 1)[0]
-            if not path:
-                continue
-            resolved = (md.parent / path).resolve()
-            if not resolved.exists():
-                broken.append((md.relative_to(root), target))
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                resolved = (md.parent / path_part).resolve()
+                if not resolved.exists():
+                    broken.append((md.relative_to(root), target, "missing file"))
+                    continue
+            else:
+                resolved = md  # pure "#fragment": same-document anchor
+            if fragment and resolved.suffix == ".md":
+                if fragment.lower() not in _anchors_of(resolved):
+                    broken.append(
+                        (md.relative_to(root), target, "missing anchor")
+                    )
     return broken
 
 
@@ -63,10 +134,10 @@ def main() -> int:
     broken = check(root.resolve())
     if broken:
         print(f"{len(broken)} broken intra-repo markdown link(s):")
-        for md, target in broken:
-            print(f"  {md}: {target}")
+        for md, target, reason in broken:
+            print(f"  {md}: {target} ({reason})")
         return 1
-    print("all intra-repo markdown links resolve")
+    print("all intra-repo markdown links and anchors resolve")
     return 0
 
 
