@@ -1,0 +1,217 @@
+"""Replicated-shard failover: latency under kills, R=1 vs R=2 throughput.
+
+PR 9's tentpole makes shard loss invisible to results: with
+``replication_factor=R`` each COL_BLOCK-aligned shard is adopted by R
+transport channels, and the dispatcher fails over to a replica on a
+send failure, EOF, or ``ErrorReply`` — in-parent recompute only when
+the whole replica group is gone.  This bench prices that guarantee and
+publishes the numbers CI tracks:
+
+* **Failover latency**: scripted primary kills (``inject_fault`` at the
+  transport seam — SIGKILL over shared memory) immediately before a
+  request, repeated across respawn cycles; p50/p99 of the kill-request
+  wall time next to the healthy p50.  Every kill request must be
+  absorbed by a replica — ``failovers >= 1`` and ``workers_lost == 0``
+  (the in-parent recompute fallback never runs) — with log-evidence
+  bitwise-identical to the healthy run.
+* **Replication tax**: sustained identify throughput at R=1 (every
+  channel its own shard) vs R=2 (half the shards, two channels each)
+  over the same worker fleet — the steady-state cost of holding a hot
+  standby.
+
+Results go to ``benchmarks/reports/BENCH_replication.json``
+(failover_latency_p50_ms/p99_ms, healthy_latency_p50_ms,
+throughput_r1_rps, throughput_r2_rps, failovers, workers_lost) —
+uploaded by CI alongside the identify/fabric/orchestrator/gateway
+artifacts.
+
+Run standalone (the CI smoke path) or under pytest::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py [--tiny]
+    PYTHONPATH=src python -m pytest benchmarks/bench_replication.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+from conftest import write_json, write_report  # noqa: E402
+
+import repro.serve.sketch as sketch_mod  # noqa: E402
+from repro.serve import ScenarioBank, ServingFabric  # noqa: E402
+from repro.twin import CascadiaTwin, TwinConfig  # noqa: E402
+
+FULL = dict(
+    nt=24, nx=10, nd=10, nq=3, scenarios=192, streams=8,
+    horizon=8, workers=4, kills=10, requests=32, col_block=None,
+)
+TINY = dict(
+    nt=10, nx=8, nd=8, nq=3, scenarios=48, streams=4,
+    horizon=5, workers=4, kills=4, requests=8, col_block=16,
+)
+
+
+def _build(nt, nx, nd, nq, scenarios):
+    cfg = TwinConfig.demo_2d(nx=nx, n_slots=nt, n_sensors=nd, n_qoi=nq)
+    twin = CascadiaTwin(cfg).setup()
+    twin.phase1()
+    bank = ScenarioBank(
+        twin.operator.bottom_trace, cfg.n_slots, cfg.dt_obs, seed=47
+    )
+    bank.generate(scenarios)
+    _, noise, d_obs = bank.observation_batch(
+        twin.F, noise_relative=cfg.noise_relative
+    )
+    inv = twin.phase23(noise)
+    return inv, bank, d_obs
+
+
+def _fabric(inv, bank, workers, replication, streams):
+    return ServingFabric(
+        inv, [bank], n_workers=workers, replication_factor=replication,
+        screen_min_scenarios=1, screen_top=max(4, streams),
+        max_batch=streams,
+    )
+
+
+def _throughput(inv, bank, d_obs, workers, replication, streams, requests,
+                horizon):
+    """Sustained identify throughput (requests/s) at one R."""
+    n_avail = d_obs.shape[2]
+    with _fabric(inv, bank, workers, replication, streams) as fab:
+        fab.identify(d_obs[:, :, :streams], k_slots=horizon)  # warm
+        t0 = time.perf_counter()
+        for i in range(requests):
+            j0 = (i * streams) % max(n_avail - streams, 1)
+            fab.identify(d_obs[:, :, j0 : j0 + streams], k_slots=horizon)
+        wall = time.perf_counter() - t0
+        assert fab.report()["fabric_last_workers_lost"] == 0.0
+    return requests / wall
+
+
+def _failover_phase(inv, bank, d_obs, workers, streams, kills, horizon):
+    """Scripted primary kills across respawn cycles at R=2."""
+    healthy_ms, failover_ms = [], []
+    lost_total = 0
+    with _fabric(inv, bank, workers, 2, streams) as fab:
+        reference = fab.identify(
+            d_obs[:, :, :streams], k_slots=horizon
+        ).log_evidence.copy()
+        state = fab._resolve_bank(bank)
+        n_groups = len(state.replicas)
+        for i in range(kills):
+            t0 = time.perf_counter()
+            got = fab.identify(d_obs[:, :, :streams], k_slots=horizon)
+            healthy_ms.append((time.perf_counter() - t0) * 1e3)
+            assert np.array_equal(got.log_evidence, reference)
+
+            # Kill the serving (first) replica of a rotating group, then
+            # time the very next request — the failover happens inside it.
+            primary = state.replicas[i % n_groups][0]
+            assert fab.inject_fault(primary)
+            t0 = time.perf_counter()
+            got = fab.identify(d_obs[:, :, :streams], k_slots=horizon)
+            failover_ms.append((time.perf_counter() - t0) * 1e3)
+            rep = fab.last_report
+            lost_total += rep.workers_lost
+            assert rep.failovers >= 1, f"kill {i}: no failover recorded"
+            assert rep.workers_lost == 0, (
+                f"kill {i}: failover fell back to in-parent recompute"
+            )
+            assert np.array_equal(got.log_evidence, reference), (
+                f"kill {i}: replica evidence diverged from the primary's"
+            )
+            assert fab.respawn_workers() >= 1
+        counters = fab.report()
+    return healthy_ms, failover_ms, counters, lost_total
+
+
+def run_bench(
+    nt, nx, nd, nq, scenarios, streams, horizon, workers, kills,
+    requests, col_block=None, tiny=False,
+) -> Dict[str, float]:
+    old_block = sketch_mod.COL_BLOCK
+    if col_block is not None:
+        # Tiny banks must still span multiple shards per channel group.
+        sketch_mod.COL_BLOCK = col_block
+    try:
+        inv, bank, d_obs = _build(nt, nx, nd, nq, scenarios)
+        rps_r1 = _throughput(
+            inv, bank, d_obs, workers, 1, streams, requests, horizon
+        )
+        rps_r2 = _throughput(
+            inv, bank, d_obs, workers, 2, streams, requests, horizon
+        )
+        healthy_ms, failover_ms, counters, lost_total = _failover_phase(
+            inv, bank, d_obs, workers, streams, kills, horizon
+        )
+    finally:
+        sketch_mod.COL_BLOCK = old_block
+
+    r = {
+        "failover_latency_p50_ms": float(np.percentile(failover_ms, 50)),
+        "failover_latency_p99_ms": float(np.percentile(failover_ms, 99)),
+        "healthy_latency_p50_ms": float(np.percentile(healthy_ms, 50)),
+        "throughput_r1_rps": float(rps_r1),
+        "throughput_r2_rps": float(rps_r2),
+        "replication_tax": float(rps_r1 / rps_r2),
+        "kills": int(kills),
+        "failovers": float(counters["fabric_failovers"]),
+        "workers_lost": float(lost_total),
+        "evidence_bitwise_identical": True,  # asserted per kill above
+        "scenarios": int(scenarios),
+        "workers": int(workers),
+        "tiny": bool(tiny),
+    }
+    write_json("replication", r)
+    write_report(
+        "replication",
+        "\n".join(
+            [
+                f"replicated shard failover (R=2, {workers} channels, "
+                f"{scenarios} scenarios, {kills} scripted primary kills)",
+                f"  failover latency: p50 {r['failover_latency_p50_ms']:.2f} ms, "
+                f"p99 {r['failover_latency_p99_ms']:.2f} ms "
+                f"(healthy p50 {r['healthy_latency_p50_ms']:.2f} ms)",
+                f"  every kill absorbed by a replica: "
+                f"failovers={int(r['failovers'])}, workers_lost=0, "
+                "evidence bitwise-identical",
+                f"  throughput: R=1 {rps_r1:7.1f} req/s, "
+                f"R=2 {rps_r2:7.1f} req/s "
+                f"(replication tax x{r['replication_tax']:.2f})",
+            ]
+        ),
+    )
+    return r
+
+
+def test_replication_failover():
+    r = run_bench(**TINY, tiny=True)
+    assert r["failovers"] >= r["kills"]
+    assert r["workers_lost"] == 0.0
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument(
+        "--tiny", action="store_true",
+        help="smoke-test sizes (CI): same assertions, smaller workload",
+    )
+    args = ap.parse_args()
+    r = run_bench(**(TINY if args.tiny else FULL), tiny=args.tiny)
+    if r["workers_lost"] != 0.0:
+        raise SystemExit(
+            "replicated failover fell back to in-parent recompute "
+            f"({r['workers_lost']} shard recomputes)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -86,8 +86,11 @@ the single-event reproduction becomes a multi-tenant twin:
     :class:`IngestGateway` — the async ingest tier over the fabric's
     ticket queue: TTL idempotency cache (retries join the original
     request's future), :class:`TokenBucket` rate limiting ahead of the
-    queue, deadline flushing, and Prometheus-text metrics with a
-    minimal ``/metrics`` endpoint.  Load generation:
+    queue, deadline flushing, an optional append-only
+    :class:`GatewayJournal` with crash replay
+    (``IngestGateway.recover`` → :class:`RecoveryReport`,
+    exactly-once), and Prometheus-text metrics with a minimal
+    ``/metrics`` endpoint.  Load generation:
     ``benchmarks/bench_gateway.py``.
 ``reporting``
     :func:`format_identification` / :func:`format_fabric_report` /
@@ -122,9 +125,11 @@ from repro.serve.fabric import (
     TicketCancelled,
 )
 from repro.serve.gateway import (
+    GatewayJournal,
     GatewayResponse,
     IdempotencyCache,
     IngestGateway,
+    RecoveryReport,
     TokenBucket,
 )
 from repro.serve.identify import (
@@ -142,6 +147,8 @@ from repro.serve.protocol import (
     ErrorReply,
     ExactStage,
     Hello,
+    JournalSettle,
+    JournalSubmit,
     KillChannel,
     MixtureStage,
     ProtocolError,
@@ -224,6 +231,8 @@ __all__ = [
     "Stop",
     "Ack",
     "ErrorReply",
+    "JournalSubmit",
+    "JournalSettle",
     "encode_message",
     "decode_message",
     "pack_scratch",
@@ -249,6 +258,8 @@ __all__ = [
     # async ingest gateway
     "IngestGateway",
     "GatewayResponse",
+    "GatewayJournal",
+    "RecoveryReport",
     "IdempotencyCache",
     "TokenBucket",
     # report formatting

@@ -240,6 +240,21 @@ class FabricConfig:
         :class:`~repro.serve.transport.TcpTransport` over shard-server
         addresses).  The fabric owns the instance from then on: it is
         started against the static arrays and closed with the fabric.
+    replication_factor:
+        How many channels adopt each shard (``R``).  With the default
+        ``1`` every channel serves its own shard and a lost channel
+        degrades to in-parent recompute (the historical behavior).  With
+        ``R > 1`` the bank is cut into ``n_channels // R`` shard groups
+        and every channel in a group adopts the same columns (via the
+        ``AdoptShard`` protocol verb); each stage is routed to the
+        group's first live channel and *fails over* to the next replica
+        on ``ErrorReply``/connection drop/SIGKILL — the parent recompute
+        fallback fires only when **all** replicas of a shard are gone.
+        Because the shard stage kernels chunk on absolute ``COL_BLOCK``
+        boundaries, a failed-over stage issues the identical BLAS calls,
+        so results stay bitwise equal to the flat path no matter which
+        replica answers.  Failovers are counted in
+        ``FabricReport.failovers``.
     """
 
     n_workers: int = 2
@@ -258,6 +273,7 @@ class FabricConfig:
     worker_timeout: float = 60.0
     backend: str = "numpy"
     transport: Union[None, str, ShardTransport] = None
+    replication_factor: int = 1
 
 
 @dataclass
@@ -277,6 +293,8 @@ class FabricReport:
     pruned_fraction: float = 0.0
     workers_used: int = 0
     workers_lost: int = 0
+    replication: int = 1
+    failovers: int = 0
     t_fleet: float = 0.0
     t_screen: float = 0.0
     t_exact: float = 0.0
@@ -413,13 +431,23 @@ class FabricTicket:
 class _BankState:
     """Parent-side record of one attached bank."""
 
-    def __init__(self, key, source, ids, log_prior, arrs, shards) -> None:
+    def __init__(
+        self, key, source, ids, log_prior, arrs, shards, replicas=None
+    ) -> None:
         self.key = key
         self.source = source  # ScenarioBank or raw records, for re-attach
         self.ids = ids
         self.log_prior = log_prior
         self.arrs: Dict[str, object] = arrs
         self.shards: List[Tuple[int, int]] = shards
+        # Per shard: the channel ids that adopted it, primary first.
+        # Replica lists partition the channels, so within one stage no
+        # channel is ever asked to serve two shards of the same bank.
+        self.replicas: List[List[int]] = (
+            replicas
+            if replicas is not None
+            else [[i] for i in range(len(shards))]
+        )
         self.heat = 0
         self.last_used = 0.0
 
@@ -500,6 +528,8 @@ class ServingFabric:
             raise ValueError(f"sketch_rank must lie in [0, {inv.nd}]")
         if cfg.max_queue_ms is not None and cfg.max_queue_ms <= 0:
             raise ValueError("max_queue_ms must be positive (or None)")
+        if cfg.replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
         self.config = cfg
         self.inv = inv
         self.backend = resolve_backend(cfg.backend)
@@ -527,6 +557,8 @@ class ServingFabric:
         self._streams_served = 0
         self._banks_evicted = 0
         self._workers_respawned = 0
+        self._failovers = 0  # lifetime stage failovers (replica took over)
+        self._req_failovers = 0  # failovers inside the current request
         self._request_fleet = None
         # All dispatch (submit/flush/identify/forecast) serializes through
         # this lock, so the optional queue-deadline timer thread can flush
@@ -733,8 +765,11 @@ class ServingFabric:
             # Shard boundaries land on COL_BLOCK multiples: inside a block
             # the flat identifier and a shard issue identical BLAS calls,
             # so block-aligned shards keep sharded results bitwise equal
-            # to the single-process path.
-            n_shards = max(T.n_channels, 1)
+            # to the single-process path.  With replication_factor R > 1
+            # the bank is cut into n_channels // R shard groups and every
+            # channel in a group adopts the same columns.
+            R = self.config.replication_factor
+            n_shards = max(T.n_channels // R, 1)
             blk = _sketch.COL_BLOCK
             n_blocks = -(-S // blk)
             bounds = [
@@ -747,7 +782,10 @@ class ServingFabric:
                 for i in range(n_shards)
                 if bounds[i] < bounds[i + 1]
             ]
-            state = _BankState(key, source, ids, log_prior, arrs, shards)
+            replicas = self._assign_replicas(len(shards))
+            state = _BankState(
+                key, source, ids, log_prior, arrs, shards, replicas
+            )
             ctx = StageContext(bank=arrs, mu=mu)
 
             def local_build(c0, c1):
@@ -783,6 +821,21 @@ class ServingFabric:
                     ),
                     lambda c0, c1: None,
                 )
+            # Replication: once the build stage has completed (acks
+            # collected, shared segments / remote slices in place), the
+            # remaining channels of each group adopt the same shard via
+            # the fire-and-forget AdoptShard verb — attach-only over
+            # shared memory, built slices re-shipped over TCP.
+            if R > 1:
+                adopt_ctx = StageContext(bank=arrs)
+                for s, (c0, c1) in enumerate(shards):
+                    for ch in replicas[s][1:]:
+                        if T.alive(ch):
+                            T.send_stage(
+                                ch,
+                                protocol.AdoptShard(key=key, c0=c0, c1=c1),
+                                adopt_ctx,
+                            )
         except Exception:
             # Crash mid-attach: free every allocation this call made, so
             # no orphan segment (or resource_tracker warning) survives.
@@ -863,35 +916,76 @@ class ServingFabric:
     # ------------------------------------------------------------------
     # Dispatch machinery
     # ------------------------------------------------------------------
+    def _assign_replicas(self, n_shards: int) -> List[List[int]]:
+        """Channel ids adopting each shard (primary first).
+
+        With ``replication_factor == 1`` this is the historical identity
+        map (shard ``s`` served by channel ``s`` alone); with ``R > 1``
+        the channels are striped across the shard groups, so every
+        channel adopts exactly one shard per bank and every shard gets at
+        least ``R`` replicas (leftover channels join existing groups
+        rather than idling).
+        """
+        n = self._transport.n_channels
+        if self.config.replication_factor <= 1 or n <= n_shards:
+            return [[s] if s < n else [] for s in range(n_shards)]
+        return [
+            [c for c in range(n) if c % n_shards == s]
+            for s in range(n_shards)
+        ]
+
     def _run_stage(self, state, name, ack_id, make_msg, local_fn) -> int:
-        """Run one stage over all shards; returns the number of lost channels.
+        """Run one stage over all shards; returns the number of lost shards.
 
         ``make_msg(c0, c1)`` produces ``(protocol message, StageContext)``
-        for the transport; live channels get one message per shard, and
-        shards whose channel is missing/dead — and shards whose ack never
-        arrives — are computed in the parent from the same buffers
-        (graceful degradation).  A channel that errors or times out is
-        retired so its peer can never write to shared state again.
+        for the transport.  Each shard's stage is routed to the first
+        live channel of its replica group; a channel that dies at send
+        time or mid-stage (EOF / ``ErrorReply``) is retired and the stage
+        *fails over* to the next replica of the group (counted in
+        ``FabricReport.failovers``).  Only when every replica of a shard
+        is gone — or the stage deadline expires — is the shard computed
+        in the parent from the same buffers (graceful degradation,
+        counted in ``workers_lost``).  Retiring before failover
+        guarantees a dead peer can never race the replica on shared
+        state.
         """
         T = self._transport
-        pending: Dict[int, Tuple[int, int]] = {}
+        # channel -> (c0, c1, replicas not yet tried for this shard)
+        pending: Dict[int, Tuple[int, int, List[int]]] = {}
         lost = 0
-        for i, (c0, c1) in enumerate(state.shards):
-            in_range = i < T.n_channels
-            sent = False
-            if in_range:
-                msg, ctx = make_msg(c0, c1)
-                sent = T.send_stage(i, msg, ctx)
-            if sent:
-                pending[i] = (c0, c1)
-            else:
-                local_fn(c0, c1)
-                lost += in_range
 
-        def _fail(wid: int) -> None:
+        def _dispatch(c0, c1, replicas, failing_over: bool) -> bool:
+            """Send the shard's stage to the first accepting replica."""
+            tried = 0
+            while replicas:
+                ch = replicas.pop(0)
+                if not 0 <= ch < T.n_channels:
+                    continue
+                msg, ctx = make_msg(c0, c1)
+                if T.send_stage(ch, msg, ctx):
+                    pending[ch] = (c0, c1, replicas)
+                    if tried or failing_over:
+                        self._failovers += 1
+                        self._req_failovers += 1
+                    return True
+                tried += 1
+            return False
+
+        for s, (c0, c1) in enumerate(state.shards):
+            replicas = (
+                list(state.replicas[s]) if s < len(state.replicas) else []
+            )
+            had_channel = bool(replicas)
+            if not _dispatch(c0, c1, replicas, failing_over=False):
+                local_fn(c0, c1)
+                lost += had_channel
+
+        def _fail(wid: int, retryable: bool = True) -> None:
             nonlocal lost
-            c0, c1 = pending.pop(wid)
+            c0, c1, rest = pending.pop(wid)
             T.retire(wid)
+            if retryable and _dispatch(c0, c1, rest, failing_over=True):
+                return
             local_fn(c0, c1)
             lost += 1
 
@@ -899,8 +993,10 @@ class ServingFabric:
         while pending:
             remaining = deadline - time.monotonic()
             if remaining <= 0:
+                # The stage deadline is a global budget: expired shards go
+                # straight to the parent, no failover retry chain.
                 for wid in list(pending):
-                    _fail(wid)
+                    _fail(wid, retryable=False)
                 break
             events = T.wait(list(pending), remaining)
             if not events:
@@ -1046,7 +1142,9 @@ class ServingFabric:
             backend=self.backend.name,
             transport=self._transport.name,
             workers_used=self._transport.alive_count(),
+            replication=cfg.replication_factor,
         )
+        self._req_failovers = 0
 
         # Stream-side states: one incremental fleet advance, written once
         # into the shared scratch block for every shard to read.
@@ -1155,6 +1253,7 @@ class ServingFabric:
         )
         log_post = log_softmax(log_ev + log_prior[None, :], axis=-1)
         report.workers_lost = lost
+        report.failovers = self._req_failovers
         report.t_total = time.monotonic() - t_start
         self.last_report = report
         self._requests_served += 1
@@ -1413,9 +1512,11 @@ class ServingFabric:
                 ),
             )
             # The internal exhaustive identification already published its
-            # report; a channel lost during the mixture scatter itself must
-            # be accounted there too, or the degradation is invisible.
+            # report; a channel lost (or failed over) during the mixture
+            # scatter itself must be accounted there too, or the
+            # degradation is invisible.
             self.last_report.workers_lost += lost
+            self.last_report.failovers = self._req_failovers
             if times is None:
                 times = np.arange(1, self.nt + 1, dtype=np.float64)
             hz = self._static["hz"][:J]
@@ -1444,9 +1545,12 @@ class ServingFabric:
         memory the worker process is killed without warning (SIGKILL — no
         drain, no farewell message — exactly like an OOM kill or node
         loss); over TCP the shard connection is dropped abruptly
-        mid-stream.  Subsequent requests observe the dead channel,
-        recompute its shards in the parent (results stay exact), and
-        count the loss in ``FabricReport.workers_lost``;
+        mid-stream.  Subsequent requests observe the dead channel; with
+        ``replication_factor > 1`` the stage fails over to a surviving
+        replica of the same shard (counted in
+        ``FabricReport.failovers``, results stay exact), and only when
+        every replica of a shard is gone does the parent recompute it
+        (counted in ``FabricReport.workers_lost``);
         :meth:`respawn_workers` restores parallelism.  Returns whether
         the channel was alive to fault (idempotent on dead channels).
         """
@@ -1485,13 +1589,20 @@ class ServingFabric:
                 if not T.respawn(wid):
                     continue
                 for state in self._banks.values():
-                    if wid < len(state.shards):
-                        c0, c1 = state.shards[wid]
-                        T.send_stage(
-                            wid,
-                            protocol.AdoptShard(key=state.key, c0=c0, c1=c1),
-                            StageContext(bank=state.arrs),
-                        )
+                    # Re-adopt the shard of this channel's replica group
+                    # (with replication_factor == 1 that is shard ``wid``,
+                    # the historical mapping).
+                    for s, group in enumerate(state.replicas):
+                        if wid in group:
+                            c0, c1 = state.shards[s]
+                            T.send_stage(
+                                wid,
+                                protocol.AdoptShard(
+                                    key=state.key, c0=c0, c1=c1
+                                ),
+                                StageContext(bank=state.arrs),
+                            )
+                            break
                 respawned += 1
             self._workers_respawned += respawned
             return respawned
@@ -1506,6 +1617,8 @@ class ServingFabric:
             "fabric_workers": float(self._transport.n_channels),
             "fabric_workers_alive": float(self._transport.healthy_count()),
             "fabric_workers_respawned": float(self._workers_respawned),
+            "fabric_replication": float(self.config.replication_factor),
+            "fabric_failovers": float(self._failovers),
             "fabric_sketch_rank": float(self.config.sketch_rank),
             "fabric_requests": float(self._requests_served),
             "fabric_streams_served": float(self._streams_served),
@@ -1515,6 +1628,7 @@ class ServingFabric:
             "fabric_budget_used_bytes": float(self.budget.used),
             "fabric_last_pruned_fraction": float(last.pruned_fraction),
             "fabric_last_workers_lost": float(last.workers_lost),
+            "fabric_last_failovers": float(last.failovers),
         }
 
     def state_nbytes(self) -> int:
@@ -1650,6 +1764,9 @@ def _merge_reports(reports: List[FabricReport]) -> FabricReport:
         # Distinct workers, not per-chunk recompute events: a worker lost
         # in chunk 1 is the same worker the later chunks route around.
         workers_lost=max(r.workers_lost for r in reports),
+        replication=first.replication,
+        # Failovers ARE per-chunk re-dispatch events; sum them.
+        failovers=sum(r.failovers for r in reports),
         t_fleet=sum(r.t_fleet for r in reports),
         t_screen=sum(r.t_screen for r in reports),
         t_exact=sum(r.t_exact for r in reports),

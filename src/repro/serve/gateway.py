@@ -22,6 +22,17 @@ tier, with no dependencies beyond the standard library:
     ``gateway_rate_limited``.  Deduplicated retries never spend a token
     — retrying a request that is already in flight is free.
 
+**Durability.**
+    With ``journal_path`` set, every accepted submission is appended to
+    an append-only, length-prefixed journal (framed by the shard wire
+    codec, :mod:`repro.serve.protocol`) *before* it enters the fabric
+    queue, and every settlement is journaled when its future resolves.
+    After a gateway crash, :meth:`IngestGateway.recover` replays exactly
+    the submissions with no settle record — idempotency keys are
+    preserved, settled results are restored into the key cache, and a
+    torn/corrupt tail entry is skipped with a loud warning, never a
+    fatal error.
+
 **Observability.**
     :meth:`IngestGateway.metrics_text` renders the gateway's own
     counters plus the fabric's
@@ -47,19 +58,25 @@ latency).
 from __future__ import annotations
 
 import asyncio
+import os
+import struct
 import threading
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.serve import protocol
 from repro.serve.reporting import to_prometheus
 from repro.util.clock import Clock, ensure_clock
 
 __all__ = [
+    "GatewayJournal",
     "GatewayResponse",
     "IdempotencyCache",
     "IngestGateway",
+    "RecoveryReport",
     "TokenBucket",
 ]
 
@@ -156,6 +173,118 @@ class GatewayResponse:
     latency_s: float = 0.0
 
 
+class GatewayJournal:
+    """Append-only, length-prefixed journal of gateway admissions.
+
+    Each record is one :mod:`repro.serve.protocol` frame
+    (:class:`~repro.serve.protocol.JournalSubmit` with the observation
+    stream in the data plane, or
+    :class:`~repro.serve.protocol.JournalSettle`) behind a ``u32``
+    big-endian length prefix — the same outer framing the TCP transport
+    uses on sockets.  Appends are flushed and ``fsync``-ed before
+    returning, so an entry that was acknowledged survives a crash;
+    thread-safe because settlements may append from loop callbacks while
+    admissions append inline.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = str(path)
+        self._fh = open(self.path, "ab")
+        self._lock = threading.Lock()
+
+    def append(self, msg: protocol.Message) -> None:
+        """Frame, length-prefix, append, flush, fsync one record."""
+        frame = protocol.encode_message(msg)
+        with self._lock:
+            if self._fh.closed:
+                return
+            self._fh.write(struct.pack(">I", len(frame)) + frame)
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    @staticmethod
+    def read(path) -> Tuple[List[protocol.Message], int]:
+        """Decode every record in the journal at ``path``.
+
+        Returns ``(messages, n_skipped)``.  A record that cannot be
+        decoded (torn tail from a mid-append crash, flipped bytes) is
+        *skipped loudly* — a :class:`RuntimeWarning` naming the byte
+        offset — never fatal: recovery of the readable prefix must not
+        be hostage to the one entry the crash corrupted.  A truncated
+        length prefix or frame ends the scan (nothing after it can be
+        framed); a corrupt-but-complete frame is skipped and the scan
+        continues.
+        """
+        entries: List[protocol.Message] = []
+        skipped = 0
+        try:
+            with open(str(path), "rb") as fh:
+                data = fh.read()
+        except FileNotFoundError:
+            return entries, skipped
+        off = 0
+        while off < len(data):
+            if off + 4 > len(data):
+                warnings.warn(
+                    f"journal {path}: truncated length prefix at byte "
+                    f"{off}; dropping the torn tail",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                skipped += 1
+                break
+            (n,) = struct.unpack(">I", data[off : off + 4])
+            if off + 4 + n > len(data):
+                warnings.warn(
+                    f"journal {path}: truncated entry at byte {off} "
+                    f"(claims {n} bytes, {len(data) - off - 4} present); "
+                    f"dropping the torn tail",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                skipped += 1
+                break
+            frame = bytes(data[off + 4 : off + 4 + n])
+            off += 4 + n
+            try:
+                msg, _ = protocol.decode_message(frame)
+            except protocol.ProtocolError as exc:
+                warnings.warn(
+                    f"journal {path}: skipping corrupt entry ending at "
+                    f"byte {off}: {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                skipped += 1
+                continue
+            entries.append(msg)
+        return entries, skipped
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`IngestGateway.recover` found and did.
+
+    ``entries``/``skipped`` count journal records read and dropped;
+    ``settled`` the submissions with a matching settle record,
+    ``restored_keys`` how many of those re-seeded the idempotency cache,
+    ``replayed`` the unsettled submissions resubmitted to the fabric,
+    and ``responses`` their settlements in original admission order.
+    """
+
+    entries: int = 0
+    skipped: int = 0
+    settled: int = 0
+    restored_keys: int = 0
+    replayed: int = 0
+    responses: List["GatewayResponse"] = field(default_factory=list)
+
+
 @dataclass
 class _Counters:
     requests: float = 0.0
@@ -163,6 +292,7 @@ class _Counters:
     deduplicated: float = 0.0
     rate_limited: float = 0.0
     errors: float = 0.0
+    replayed: float = 0.0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -171,6 +301,7 @@ class _Counters:
             "gateway_deduplicated": self.deduplicated,
             "gateway_rate_limited": self.rate_limited,
             "gateway_errors": self.errors,
+            "gateway_replayed": self.replayed,
         }
 
 
@@ -205,6 +336,12 @@ class IngestGateway:
         Injectable time source for the bucket, the TTL cache, and
         latency accounting (``None`` = wall clock).  The flush delay
         itself runs on the event loop's clock.
+    journal_path:
+        When set, open (append) a :class:`GatewayJournal` at this path:
+        accepted submissions are journaled *before* entering the fabric
+        queue and settlements when their future resolves, enabling
+        :meth:`recover` after a crash.  Journaled requests must pass
+        banks by *key* (string) so a replay can re-resolve them.
 
     All coroutine methods must be called from a single running event
     loop (the loop is captured on first use).
@@ -218,11 +355,16 @@ class IngestGateway:
         idempotency_ttl_s: float = 60.0,
         flush_ms: float = 5.0,
         clock: Optional[Clock] = None,
+        journal_path=None,
     ) -> None:
         if flush_ms <= 0:
             raise ValueError("flush_ms must be positive")
         self.fabric = fabric
         self._clock = ensure_clock(clock)
+        self.journal = (
+            None if journal_path is None else GatewayJournal(journal_path)
+        )
+        self._seq = 0  # next journal sequence number
         self.bucket = (
             None
             if rate_rps is None
@@ -265,6 +407,11 @@ class IngestGateway:
         ``status="error"`` with the failure's repr — errors are
         idempotent too, by design: the retry that would recompute is the
         retry that would re-fail.
+
+        With a journal open, the submission is journaled (and fsynced)
+        between the bucket and ``fabric.submit`` — a crash in that
+        window replays the request; a crash after the settle record
+        never does.
         """
         loop = asyncio.get_running_loop()
         if self._loop is None:
@@ -276,6 +423,16 @@ class IngestGateway:
             hit = self.cache.get(idempotency_key)
             if hit is not None:
                 self.counters.deduplicated += 1
+                if isinstance(hit, GatewayResponse):
+                    # A settled result restored from the journal by
+                    # recover(): serve it directly, nothing in flight.
+                    return GatewayResponse(
+                        status=hit.status,
+                        reason=hit.reason,
+                        result=hit.result,
+                        deduplicated=True,
+                        latency_s=self._clock.monotonic() - t0,
+                    )
                 resp = await asyncio.shield(hit.future)
                 return GatewayResponse(
                     status=resp.status,
@@ -293,10 +450,44 @@ class IngestGateway:
                 latency_s=self._clock.monotonic() - t0,
             )
 
+        seq: Optional[int] = None
+        if self.journal is not None:
+            if bank is not None and not isinstance(bank, str):
+                raise ValueError(
+                    "journaled submissions must pass banks by key "
+                    "(string) so a crash replay can re-resolve them"
+                )
+            seq = self._seq
+            self._seq += 1
+            self.journal.append(
+                protocol.JournalSubmit(
+                    seq=seq,
+                    idem_key=idempotency_key or "",
+                    k_slots=int(k_slots),
+                    bank=bank or "",
+                    op=op,
+                    stream=np.ascontiguousarray(stream, dtype=np.float64),
+                )
+            )
+
         fut: asyncio.Future = loop.create_future()
         entry = _Inflight(future=fut, t_admit=t0)
         if idempotency_key is not None:
             self.cache.put(idempotency_key, entry)
+
+        return await self._admit(
+            loop, fut, entry, seq, stream, k_slots, bank, op
+        )
+
+    async def _admit(
+        self, loop, fut, entry, seq, stream, k_slots, bank, op
+    ) -> GatewayResponse:
+        """Enter the fabric queue and await the settled response.
+
+        Shared tail of :meth:`submit` and a :meth:`recover` replay: the
+        journal record (if any) already exists under ``seq``; whatever
+        settles here is journaled as that sequence number's settle.
+        """
 
         def _settle(ticket) -> None:
             # Runs on whichever thread flushed the batch; hop back into
@@ -308,21 +499,22 @@ class IngestGateway:
                     value = ticket.result(timeout=0)
                 except BaseException as exc:  # noqa: BLE001 - routed to resp
                     self.counters.errors += 1
-                    fut.set_result(
-                        GatewayResponse(
-                            status="error",
-                            reason=repr(exc),
-                            latency_s=self._clock.monotonic() - entry.t_admit,
-                        )
+                    resp = GatewayResponse(
+                        status="error",
+                        reason=repr(exc),
+                        latency_s=self._clock.monotonic() - entry.t_admit,
                     )
-                    return
-                fut.set_result(
-                    GatewayResponse(
+                else:
+                    resp = GatewayResponse(
                         status="ok",
                         result=value,
                         latency_s=self._clock.monotonic() - entry.t_admit,
                     )
-                )
+                # Journal the settle *before* releasing the response:
+                # once a client can observe the result, a crash must not
+                # replay the computation.
+                self._journal_settle(seq, resp)
+                fut.set_result(resp)
 
             loop.call_soon_threadsafe(_apply)
 
@@ -333,8 +525,9 @@ class IngestGateway:
             resp = GatewayResponse(
                 status="error",
                 reason=repr(exc),
-                latency_s=self._clock.monotonic() - t0,
+                latency_s=self._clock.monotonic() - entry.t_admit,
             )
+            self._journal_settle(seq, resp)
             if not fut.done():
                 fut.set_result(resp)  # riders of the key see it too
             return resp
@@ -343,6 +536,108 @@ class IngestGateway:
         if not ticket.done:
             self._arm_flush(loop)
         return await asyncio.shield(fut)
+
+    def _journal_settle(self, seq: Optional[int], resp: GatewayResponse) -> None:
+        if self.journal is None or seq is None:
+            return
+        self.journal.append(
+            protocol.JournalSettle(
+                seq=seq, status=resp.status, reason=resp.reason
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    async def recover(self, path=None) -> RecoveryReport:
+        """Replay the journal at ``path`` (default: this gateway's own).
+
+        Reads every decodable record (a torn tail is skipped loudly by
+        :meth:`GatewayJournal.read`), then:
+
+        1. Submissions **with** a settle record are done — their results
+           were (or could have been) observed.  Ones carrying an
+           idempotency key re-seed the cache with the settled
+           status/reason, so post-restart retries of a delivered request
+           dedup instead of recomputing.
+        2. Submissions **without** a settle record are resubmitted to
+           the fabric in original admission order — exactly once each,
+           idempotency keys preserved (a concurrent retry joins the
+           replay's future).  Each replay's settle is journaled under
+           the *original* sequence number, so a crash mid-replay leaves
+           already-replayed entries settled and a second ``recover``
+           picks up exactly where the first died.
+
+        New sequence numbers continue above everything read, keeping the
+        (possibly shared) journal file append-consistent.  Returns a
+        :class:`RecoveryReport`.
+        """
+        src = path
+        if src is None:
+            if self.journal is None:
+                raise ValueError(
+                    "recover() needs a path when no journal is open"
+                )
+            src = self.journal.path
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+        entries, skipped = GatewayJournal.read(src)
+        submits: Dict[int, protocol.JournalSubmit] = {}
+        settles: Dict[int, protocol.JournalSettle] = {}
+        for e in entries:
+            if isinstance(e, protocol.JournalSubmit):
+                submits[e.seq] = e
+            elif isinstance(e, protocol.JournalSettle):
+                settles[e.seq] = e
+        top = max(max(submits, default=-1), max(settles, default=-1))
+        self._seq = max(self._seq, top + 1)
+
+        restored = 0
+        for seq, s in settles.items():
+            sub = submits.get(seq)
+            if sub is not None and sub.idem_key:
+                self.cache.put(
+                    sub.idem_key,
+                    GatewayResponse(status=s.status, reason=s.reason),
+                )
+                restored += 1
+
+        responses: List[GatewayResponse] = []
+        pending = [s for s in sorted(submits) if s not in settles]
+        for seq in pending:
+            sub = submits[seq]
+            t0 = self._clock.monotonic()
+            fut: asyncio.Future = loop.create_future()
+            entry = _Inflight(future=fut, t_admit=t0)
+            if sub.idem_key:
+                self.cache.put(sub.idem_key, entry)
+            self.counters.replayed += 1
+            responses.append(
+                await self._admit(
+                    loop,
+                    fut,
+                    entry,
+                    seq,
+                    np.asarray(sub.stream),
+                    int(sub.k_slots),
+                    sub.bank or None,
+                    sub.op,
+                )
+            )
+        return RecoveryReport(
+            entries=len(entries),
+            skipped=skipped,
+            settled=len(settles),
+            restored_keys=restored,
+            replayed=len(pending),
+            responses=responses,
+        )
+
+    def close(self) -> None:
+        """Close the journal (if any); the fabric stays up (not owned)."""
+        if self.journal is not None:
+            self.journal.close()
 
     def _arm_flush(self, loop: asyncio.AbstractEventLoop) -> None:
         """Flush partial batches after ``flush_ms``, off the event loop.

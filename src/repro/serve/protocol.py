@@ -39,6 +39,8 @@ __all__ = [
     "ErrorReply",
     "ExactStage",
     "Hello",
+    "JournalSettle",
+    "JournalSubmit",
     "KillChannel",
     "MixtureStage",
     "PROTOCOL_VERSION",
@@ -211,12 +213,46 @@ class Ack(Message):
 @_register
 @dataclass(frozen=True)
 class ErrorReply(Message):
-    """Stage failure on the peer; the parent retires the channel and
-    recomputes the shard locally."""
+    """Stage failure on the peer; the parent retires the channel, fails
+    the stage over to a surviving replica of the shard, and recomputes
+    locally only when no replica remains."""
 
     TYPE: ClassVar[str] = "error"
     req_id: object = None
     message: str = ""
+
+
+@_register
+@dataclass(frozen=True, eq=False)
+class JournalSubmit(Message):
+    """Gateway journal record: one accepted submission, appended (and
+    fsynced) *before* the request enters the fabric queue.  Carries the
+    observation stream in the data plane plus everything needed to
+    resubmit after a gateway crash; ``idem_key`` is empty when the client
+    sent none."""
+
+    TYPE: ClassVar[str] = "journal_submit"
+    _array_fields: ClassVar[Tuple[str, ...]] = ("stream",)
+    seq: int = 0
+    idem_key: str = ""
+    k_slots: int = 0
+    bank: str = ""
+    op: str = "identify"
+    stream: Optional[np.ndarray] = None
+
+
+@_register
+@dataclass(frozen=True)
+class JournalSettle(Message):
+    """Gateway journal record: submission ``seq`` settled (delivered to
+    its future).  Recovery replays only submits with no matching settle;
+    replayed settlements are journaled under the *original* ``seq`` so a
+    crash mid-replay stays idempotent."""
+
+    TYPE: ClassVar[str] = "journal_settle"
+    seq: int = 0
+    status: str = "ok"
+    reason: str = ""
 
 
 # ----------------------------------------------------------------------
@@ -273,15 +309,30 @@ def decode_message(frame: bytes) -> Tuple[Message, Dict[str, np.ndarray]]:
     """Inverse of :func:`encode_message`.
 
     Returns ``(message, arrays)`` with freshly-copied writable arrays.
-    Raises :class:`ProtocolError` on bad magic, a protocol version
-    mismatch, or an unknown message type — version skew between fabric
-    and shard hosts must fail loudly at the first frame, not corrupt
-    state mid-stage.
+    Raises :class:`ProtocolError` on *every* corruption mode — bad magic,
+    truncated frame, undecodable header, protocol version mismatch,
+    unknown message type, or a data plane shorter than its manifest —
+    never a bare ``struct``/``json``/``numpy`` error and never a hang.
+    Version skew or a torn frame must fail loudly at the first byte, not
+    corrupt state mid-stage (and the gateway journal reader relies on
+    this to skip a torn tail entry instead of crashing recovery).
     """
+    if len(frame) < 8:
+        raise ProtocolError(f"truncated frame: {len(frame)} bytes")
     if frame[:4] != _MAGIC:
         raise ProtocolError(f"bad frame magic {frame[:4]!r}")
     (hlen,) = struct.unpack(">I", frame[4:8])
-    header = json.loads(frame[8 : 8 + hlen].decode("utf-8"))
+    if 8 + hlen > len(frame):
+        raise ProtocolError(
+            f"truncated frame: header claims {hlen} bytes, "
+            f"{len(frame) - 8} present"
+        )
+    try:
+        header = json.loads(frame[8 : 8 + hlen].decode("utf-8"))
+    except (UnicodeDecodeError, ValueError) as exc:
+        raise ProtocolError(f"undecodable frame header: {exc}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError(f"malformed frame header: {type(header).__name__}")
     if header.get("v") != PROTOCOL_VERSION:
         raise ProtocolError(
             f"protocol version mismatch: peer speaks {header.get('v')!r}, "
@@ -292,17 +343,28 @@ def decode_message(frame: bytes) -> Tuple[Message, Dict[str, np.ndarray]]:
         raise ProtocolError(f"unknown message type {header.get('type')!r}")
     arrays: Dict[str, np.ndarray] = {}
     off = 8 + hlen
-    for ent in header["arrays"]:
-        dtype = np.dtype(ent["dtype"])
-        shape = tuple(ent["shape"])
-        count = int(np.prod(shape)) if shape else 1
-        arr = np.frombuffer(frame, dtype=dtype, count=count, offset=off)
-        arrays[ent["name"]] = arr.reshape(shape).copy()
-        off += count * dtype.itemsize
-    fields = {k: _detuple(v) for k, v in header["fields"].items()}
-    for name in cls._array_fields:
-        fields[name] = arrays.pop("@" + name, None)
-    return cls(**fields), arrays
+    try:
+        for ent in header["arrays"]:
+            dtype = np.dtype(ent["dtype"])
+            shape = tuple(ent["shape"])
+            count = int(np.prod(shape)) if shape else 1
+            if off + count * dtype.itemsize > len(frame):
+                raise ProtocolError(
+                    f"truncated data plane: array {ent['name']!r} needs "
+                    f"{count * dtype.itemsize} bytes past offset {off}, "
+                    f"frame is {len(frame)}"
+                )
+            arr = np.frombuffer(frame, dtype=dtype, count=count, offset=off)
+            arrays[ent["name"]] = arr.reshape(shape).copy()
+            off += count * dtype.itemsize
+        fields = {k: _detuple(v) for k, v in header["fields"].items()}
+        for name in cls._array_fields:
+            fields[name] = arrays.pop("@" + name, None)
+        return cls(**fields), arrays
+    except ProtocolError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(f"malformed frame manifest/fields: {exc}") from None
 
 
 # ----------------------------------------------------------------------

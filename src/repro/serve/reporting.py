@@ -99,6 +99,11 @@ def format_fabric_report(
         f"exact {last.t_exact * 1e3:.1f} ms, "
         f"total {last.t_total * 1e3:.1f} ms",
     ]
+    if getattr(last, "failovers", 0):
+        lines.append(
+            f"  FAILOVER: {last.failovers} stage dispatch(es) re-routed to "
+            f"replica shards (results remain exact)"
+        )
     if last.workers_lost:
         lines.append(
             f"  DEGRADED: {last.workers_lost} worker(s) lost; shards "

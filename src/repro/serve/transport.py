@@ -1195,6 +1195,46 @@ def _smoke(args) -> None:
             s.stop()
     print("tcp smoke: certified top-k == exhaustive ranking on every request")
 
+    if args.replicate > 1:
+        # Replicated phase: R channels per shard, scripted primary kill.
+        # The contract is strictly stronger than the flat phase's — the
+        # kill must be absorbed by a replica (failovers accounted) with
+        # zero in-parent recompute and bitwise-identical evidence.
+        servers = start_local_shards(args.shards * args.replicate)
+        try:
+            with ServingFabric(
+                inv, [bank],
+                transport=TcpTransport([s.address for s in servers]),
+                replication_factor=args.replicate, sketch_rank=4,
+                screen_min_scenarios=1, screen_top=4,
+                max_batch=args.streams,
+            ) as fab:
+                baseline = fab.identify(
+                    streams, k_slots=args.horizon, screen=False
+                )
+                state = fab._resolve_bank(bank)
+                assert len(state.shards) == args.shards
+                fab.inject_fault(state.replicas[0][0])
+                failed_over = fab.identify(
+                    streams, k_slots=args.horizon, screen=False
+                )
+                rep = fab.last_report
+                assert rep.failovers >= 1, "primary kill did not fail over"
+                assert rep.workers_lost == 0, (
+                    "failover fell back to in-parent recompute"
+                )
+                assert np.array_equal(
+                    failed_over.log_evidence, baseline.log_evidence
+                ), "replica output diverged from the primary's"
+                print(
+                    f"tcp smoke: R={args.replicate} primary kill absorbed "
+                    f"by a replica (failovers={rep.failovers}, "
+                    f"workers_lost=0, evidence bitwise-identical)"
+                )
+        finally:
+            for s in servers:
+                s.stop()
+
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry: ``--serve PORT`` or the loopback ``--smoke`` self-test."""
@@ -1204,23 +1244,37 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         description="TCP shard server / loopback fabric smoke test"
     )
     ap.add_argument("--serve", type=int, metavar="PORT",
-                    help="run a foreground shard server on PORT")
+                    help="run a foreground shard server on PORT "
+                         "(0 = ephemeral; the bound port is printed)")
     ap.add_argument("--host", default="127.0.0.1", help="bind/connect host")
     ap.add_argument("--smoke", action="store_true",
                     help="run the loopback certified==exhaustive smoke test")
     ap.add_argument("--shards", type=int, default=2, help="loopback shard count")
+    ap.add_argument("--replicate", type=int, default=1, metavar="R",
+                    help="also smoke R-way shard replication with a "
+                         "scripted primary kill (R > 1)")
     ap.add_argument("--scenarios", type=int, default=192, help="smoke bank size")
     ap.add_argument("--streams", type=int, default=8, help="smoke stream count")
     ap.add_argument("--horizon", type=int, default=8, help="slots observed")
     args = ap.parse_args(argv)
 
-    if args.serve:
+    if args.serve is not None:
         server = ShardServer(host=args.host, port=args.serve)
 
         async def _run():
-            await server.serve()
+            task = asyncio.get_running_loop().create_task(server.serve())
+            while not server._ready.is_set():
+                await asyncio.sleep(0.01)
+            # Print the *bound* port, not the requested one: ``--serve 0``
+            # asks the OS for an ephemeral port (the collision-free choice
+            # under parallel CI), and callers parse the real number from
+            # this line.
+            print(
+                f"shard server listening on {server.host}:{server.port}",
+                flush=True,
+            )
+            await task
 
-        print(f"shard server listening on {args.host}:{args.serve}")
         asyncio.run(_run())
     elif args.smoke:
         _smoke(args)

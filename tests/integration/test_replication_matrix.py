@@ -1,0 +1,277 @@
+"""The replication fault matrix: every cell must equal the zero-fault run.
+
+PR 9's acceptance bar, executed literally: over a replicated fabric
+(``replication_factor=2``, four channels, two shards), for every cell in
+
+    {shared_memory, tcp} x {kill primary, kill replica, kill mid-screen,
+                            kill mid-mixture scatter, gateway crash+recover}
+
+the certified identification (top-k *and* raw evidence bytes), the
+sharded mixture moments, and the orchestrator's same-seed KPI payload
+must be **byte-identical** to that transport's zero-fault baseline — a
+single failure may cost latency, never a bit of output.  Failovers must
+be absorbed by replicas (``failovers > 0``) without ever touching the
+in-parent recompute fallback (``workers_lost == 0``).
+
+The kill mechanisms are the production ones: ``inject_fault`` at the
+transport seam (SIGKILL over shared memory, abrupt connection drop over
+TCP), either before a request (primary/replica cells) or *mid-stage* —
+injected from inside ``transport.wait`` while the stage's dispatches are
+pending, so the dispatcher sees the EOF and re-routes live.  The gateway
+cell crashes an ingest gateway between journal-append and fabric-submit
+and proves ``recover()`` replays exactly the lost entry.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import IngestGateway, ScenarioBank, ServingFabric
+from repro.serve import protocol
+from repro.serve.transport import TcpTransport, start_local_shards
+from repro.twin import CascadiaTwin, TwinConfig
+from repro.twin.orchestrator import (
+    EventScript,
+    OrchestratorConfig,
+    TwinOrchestrator,
+)
+from repro.util.clock import ManualClock
+
+N_CHANNELS = 4
+REPLICATION = 2
+SEED = 909
+
+FAULTS = [
+    "kill_primary",
+    "kill_replica",
+    "kill_mid_screen",
+    "kill_mid_mixture",
+    "gateway_recover",
+]
+
+
+@pytest.fixture(scope="module")
+def matrix_setup():
+    import repro.serve.sketch as sketch_mod
+
+    old_block = sketch_mod.COL_BLOCK
+    sketch_mod.COL_BLOCK = 8
+    twin = CascadiaTwin(TwinConfig.demo_2d(n_slots=10, n_sensors=8, n_qoi=3))
+    twin.setup()
+    twin.phase1()
+    c = twin.config
+    bank = ScenarioBank(twin.operator.bottom_trace, c.n_slots, c.dt_obs, seed=13)
+    bank.generate(16)
+    _, noise, d_obs = bank.observation_batch(twin.F, noise_relative=0.01)
+    inv = twin.phase23(noise)
+    script = EventScript.generate(
+        bank, nt=inv.nt, nd=inv.nd, n_events=2, seed=SEED,
+        n_workers=N_CHANNELS, n_kills=0,
+    )
+    yield inv, bank, d_obs, script
+    sketch_mod.COL_BLOCK = old_block
+
+
+def _open_fabric(inv, bank, kind, servers):
+    kwargs = dict(
+        replication_factor=REPLICATION,
+        screen_min_scenarios=1,
+        screen_top=4,
+        max_batch=8,
+    )
+    if kind == "shared_memory":
+        kwargs["n_workers"] = N_CHANNELS
+    else:
+        kwargs["transport"] = TcpTransport([s.address for s in servers])
+    return ServingFabric(inv, [bank], **kwargs)
+
+
+def _kill_mid_stage(fab, stage_name: str, wid: int) -> None:
+    """Arm a one-shot SIGKILL/drop of channel ``wid`` *inside* the next
+    ``stage_name`` stage: the fault fires from ``transport.wait`` while
+    the stage's dispatches are pending, so the dispatcher observes the
+    EOF mid-stage and must fail over live (not at send time)."""
+    orig_stage = fab._run_stage
+    T = fab._transport
+    armed = {}
+
+    def hooked(state, name, ack_id, make_msg, local_fn):
+        if name == stage_name and "fired" not in armed:
+            armed["fired"] = True
+            orig_wait = T.wait
+
+            def killing_wait(wids, timeout):
+                T.wait = orig_wait
+                T.inject_fault(wid)
+                return orig_wait(wids, timeout)
+
+            T.wait = killing_wait
+        return orig_stage(state, name, ack_id, make_msg, local_fn)
+
+    fab._run_stage = hooked
+
+
+async def _gateway_crash_recover(fab, d_obs, journal_path):
+    """One gateway life that loses a request mid-admission, then a second
+    life that recovers it.  Returns ``{key: (status, evidence bytes)}``
+    for every idempotency key, observed through the *second* life."""
+    gw1 = IngestGateway(fab, flush_ms=2.0, journal_path=journal_path)
+    for j in range(3):
+        resp = await gw1.submit(d_obs[:, :, j], 6, idempotency_key=f"m{j}")
+        assert resp.status == "ok"
+    # Crash between journal-append and fabric-submit: the submit record
+    # reaches the journal, the fabric never hears about it.
+    gw1.journal.append(
+        protocol.JournalSubmit(
+            seq=gw1._seq, idem_key="m3", k_slots=6, op="identify",
+            stream=np.ascontiguousarray(d_obs[:, :, 3], dtype=np.float64),
+        )
+    )
+    gw1.close()
+
+    before = fab.report()["fabric_requests"]
+    gw2 = IngestGateway(fab, flush_ms=2.0, journal_path=journal_path)
+    rep = await gw2.recover()
+    assert rep.replayed == 1 and rep.skipped == 0
+    assert rep.settled == 3 and rep.restored_keys == 3
+    assert rep.responses[0].status == "ok"
+    # Exactly-once: recovery resubmitted the one lost entry, nothing else.
+    assert fab.report()["fabric_requests"] == before + 1
+
+    out = {}
+    for j in range(4):
+        resp = await gw2.submit(
+            d_obs[:, :, j], 6, idempotency_key=f"m{j}"
+        )
+        assert resp.deduplicated  # settled or replayed, never recomputed
+        out[f"m{j}"] = resp.status
+    # The replayed request's result is byte-comparable; settled-restored
+    # entries dedup on status alone (results were already delivered).
+    replayed_ev = rep.responses[0].result.log_evidence.tobytes()
+    gw2.close()
+    return out, replayed_ev
+
+
+def _run_cell(inv, bank, d_obs, script, kind, fault, tmp_path=None):
+    """One matrix cell: open a replicated fabric, inject the cell's
+    fault, run the canonical workload, and fingerprint every output."""
+    servers = start_local_shards(N_CHANNELS) if kind == "tcp" else []
+    try:
+        with _open_fabric(inv, bank, kind, servers) as fab:
+            state = fab._resolve_bank(bank)
+            assert len(state.shards) == N_CHANNELS // REPLICATION
+            assert all(len(g) == REPLICATION for g in state.replicas)
+            primary, replica = state.replicas[0][0], state.replicas[0][1]
+
+            gateway_out = None
+            if fault == "kill_primary":
+                assert fab.inject_fault(primary)
+            elif fault == "kill_replica":
+                assert fab.inject_fault(replica)
+            elif fault == "kill_mid_screen":
+                _kill_mid_stage(fab, "screen", primary)
+            elif fault == "kill_mid_mixture":
+                _kill_mid_stage(fab, "mixture", primary)
+            elif fault == "gateway_recover":
+                journal = os.path.join(str(tmp_path), f"{kind}.journal")
+                gateway_out = asyncio.run(
+                    _gateway_crash_recover(fab, d_obs, journal)
+                )
+
+            certified = fab.identify(d_obs[:, :, :6], k_slots=6)
+            topk = [
+                [s for s, _ in row] for row in certified.top_k(4)
+            ]
+            req_workers_lost = fab.last_report.workers_lost
+            mixture = fab.forecast_mixture(d_obs[:, :, 6:9], k_slots=6)
+            req_workers_lost = max(
+                req_workers_lost, fab.last_report.workers_lost
+            )
+            orch = TwinOrchestrator(
+                fab, bank, script, OrchestratorConfig(), clock=ManualClock()
+            )
+            payload = json.dumps(
+                orch.run().kpi_payload(), sort_keys=True
+            )
+            counters = fab.report()
+        return {
+            "topk": topk,
+            "evidence": certified.log_evidence.tobytes(),
+            "mixture": [
+                (f.mean.tobytes(), f.covariance.tobytes()) for f in mixture
+            ],
+            "payload": payload,
+            "failovers": counters["fabric_failovers"],
+            "replication": counters["fabric_replication"],
+            "gateway": gateway_out,
+            "req_workers_lost": req_workers_lost,
+            "last_workers_lost": counters["fabric_last_workers_lost"],
+        }
+    finally:
+        for s in servers:
+            s.stop()
+
+
+@pytest.fixture(scope="module")
+def baselines(matrix_setup):
+    inv, bank, d_obs, script = matrix_setup
+    return {
+        kind: _run_cell(inv, bank, d_obs, script, kind, fault="none")
+        for kind in ("shared_memory", "tcp")
+    }
+
+
+@pytest.mark.parametrize("kind", ["shared_memory", "tcp"])
+@pytest.mark.parametrize("fault", FAULTS)
+def test_matrix_cell_equals_zero_fault_run(
+    matrix_setup, baselines, kind, fault, tmp_path
+):
+    inv, bank, d_obs, script = matrix_setup
+    base = baselines[kind]
+    cell = _run_cell(inv, bank, d_obs, script, kind, fault, tmp_path)
+
+    # Byte-identical outputs: certified ranking, raw evidence, mixture
+    # moments, and the same-seed orchestrator KPI payload.
+    assert cell["topk"] == base["topk"]
+    assert cell["evidence"] == base["evidence"]
+    assert cell["mixture"] == base["mixture"]
+    assert cell["payload"] == base["payload"]
+
+    # Replication absorbed the fault: replicas took over, the in-parent
+    # recompute fallback never ran.
+    assert cell["replication"] == float(REPLICATION)
+    assert cell["req_workers_lost"] == 0
+    assert cell["last_workers_lost"] == 0.0
+    if fault in ("kill_primary", "kill_mid_screen", "kill_mid_mixture"):
+        assert cell["failovers"] >= 1.0
+    elif fault == "kill_replica":
+        # The primary kept serving; nothing needed to fail over.
+        assert cell["failovers"] == 0.0
+    else:  # gateway_recover: the fabric itself was never faulted
+        assert cell["failovers"] == 0.0
+        statuses, replayed_ev = cell["gateway"]
+        assert statuses == {f"m{j}": "ok" for j in range(4)}
+        # The replayed single-stream request reproduces the zero-fault
+        # single-stream evidence bit-for-bit.
+        with _open_fabric(inv, bank, "shared_memory", []) as ref_fab:
+            ref = ref_fab.identify(d_obs[:, :, 3:4], k_slots=6)
+        if kind == "shared_memory":
+            assert replayed_ev == ref.log_evidence.tobytes()
+        else:
+            np.testing.assert_allclose(
+                np.frombuffer(replayed_ev, dtype=np.float64),
+                ref.log_evidence.ravel(), rtol=1e-12,
+            )
+
+
+def test_zero_fault_baselines_agree_across_transports(baselines):
+    """Cross-transport: same certified decisions and KPI payloads (exact
+    math either way), tying the matrix to the chaos suite's contract."""
+    shm, tcp = baselines["shared_memory"], baselines["tcp"]
+    assert shm["topk"] == tcp["topk"]
+    assert shm["payload"] == tcp["payload"]

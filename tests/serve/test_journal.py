@@ -1,0 +1,259 @@
+"""Gateway journal: crash points, exactly-once replay, corrupt tails.
+
+The journal's contract is positional: a submit record is fsynced
+*before* the fabric hears about the request, and a settle record lands
+*before* the response future resolves.  That fixes what every crash
+window must replay:
+
+* crash between journal-append and fabric-submit → the entry has no
+  settle record and the fabric never saw it → ``recover()`` resubmits
+  it, exactly once;
+* crash between ticket settle and journal-settle → the entry is
+  unsettled in the journal (the client may or may not have seen the
+  response) → replayed once, reproducing the identical result;
+* crash mid-replay → already-replayed entries were re-settled under
+  their *original* sequence numbers, so a second ``recover()`` replays
+  only the remainder — never a duplicate fabric request;
+* a torn or corrupted tail entry is skipped with a ``RuntimeWarning``
+  naming the byte offset — recovery of the readable prefix is never
+  hostage to the entry the crash destroyed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    GatewayJournal,
+    IngestGateway,
+    ServingFabric,
+    protocol,
+)
+
+
+@pytest.fixture()
+def fab(serve_inversion, serve_bank):
+    with ServingFabric(
+        serve_inversion, [serve_bank], n_workers=0, screen=False,
+        max_batch=4,
+    ) as fabric:
+        yield fabric
+
+
+def _submit_record(seq, key, stream, k_slots=6):
+    return protocol.JournalSubmit(
+        seq=seq, idem_key=key, k_slots=k_slots, op="identify",
+        stream=np.ascontiguousarray(stream, dtype=np.float64),
+    )
+
+
+def test_crash_between_append_and_fabric_submit(fab, serve_streams, tmp_path):
+    """The submit record exists, the fabric never heard of it: recovery
+    resubmits exactly that one entry and nothing else."""
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+
+    async def first_life():
+        gw = IngestGateway(fab, flush_ms=2.0, journal_path=path)
+        ok = await gw.submit(d_obs[:, :, 0], 6, idempotency_key="settled")
+        assert ok.status == "ok"
+        # Crash point: append lands, fabric.submit never runs.
+        gw.journal.append(_submit_record(gw._seq, "lost", d_obs[:, :, 1]))
+        gw.close()
+
+    asyncio.run(first_life())
+    requests_before = fab.report()["fabric_requests"]
+    ref = fab.identify(d_obs[:, :, 1:2], k_slots=6)
+
+    async def second_life():
+        gw = IngestGateway(fab, flush_ms=2.0, journal_path=path)
+        rep = await gw.recover()
+        assert rep.replayed == 1
+        assert rep.settled == 1 and rep.restored_keys == 1
+        assert rep.responses[0].status == "ok"
+        # Bitwise exactly-once: the replay recomputed the lost request
+        # only (one fabric request beyond our reference run).
+        assert np.array_equal(
+            rep.responses[0].result.log_evidence, ref.log_evidence
+        )
+        assert fab.report()["fabric_requests"] == requests_before + 2
+        # Both keys now dedup — neither touches the fabric again.
+        r1 = await gw.submit(d_obs[:, :, 0], 6, idempotency_key="settled")
+        r2 = await gw.submit(d_obs[:, :, 1], 6, idempotency_key="lost")
+        assert r1.deduplicated and r2.deduplicated
+        assert fab.report()["fabric_requests"] == requests_before + 2
+        gw.close()
+
+    asyncio.run(second_life())
+
+
+def test_crash_between_settle_and_journal_settle(fab, serve_streams, tmp_path):
+    """The result was computed (maybe even delivered) but the settle
+    record never landed: the entry replays once and reproduces the
+    identical response."""
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+    first = {}
+
+    async def first_life():
+        gw = IngestGateway(fab, flush_ms=2.0, journal_path=path)
+        gw._journal_settle = lambda seq, resp: None  # crash point
+        resp = await gw.submit(d_obs[:, :, 2], 6, idempotency_key="k")
+        assert resp.status == "ok"
+        first["evidence"] = resp.result.log_evidence.copy()
+        gw.close()
+
+    asyncio.run(first_life())
+
+    async def second_life():
+        gw = IngestGateway(fab, flush_ms=2.0, journal_path=path)
+        before = fab.report()["fabric_requests"]
+        rep = await gw.recover()
+        assert rep.replayed == 1 and rep.settled == 0
+        assert fab.report()["fabric_requests"] == before + 1
+        assert np.array_equal(
+            rep.responses[0].result.log_evidence, first["evidence"]
+        )
+        # The replay journaled its settle: a third life replays nothing.
+        gw.close()
+        gw3 = IngestGateway(fab, flush_ms=2.0, journal_path=path)
+        rep3 = await gw3.recover()
+        assert rep3.replayed == 0 and rep3.settled == 1
+        assert fab.report()["fabric_requests"] == before + 1
+        gw3.close()
+
+    asyncio.run(second_life())
+
+
+def test_crash_mid_replay_resumes_exactly_once(fab, serve_streams, tmp_path):
+    """Replay settles under the *original* seq: if recovery itself dies
+    halfway, the next recovery replays only what the first one missed."""
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+    journal = GatewayJournal(path)
+    journal.append(_submit_record(0, "a", d_obs[:, :, 0]))
+    journal.append(_submit_record(1, "b", d_obs[:, :, 1]))
+    # The crashed first recovery got through seq 0 before dying: its
+    # settle (under the original seq) is the last thing it wrote.
+    journal.append(protocol.JournalSettle(seq=0, status="ok"))
+    journal.close()
+
+    async def resume():
+        gw = IngestGateway(fab, flush_ms=2.0, journal_path=path)
+        before = fab.report()["fabric_requests"]
+        rep = await gw.recover()
+        assert rep.replayed == 1  # seq 1 only — seq 0 is already settled
+        assert rep.settled == 1 and rep.restored_keys == 1
+        assert fab.report()["fabric_requests"] == before + 1
+        # New admissions continue above everything in the journal.
+        assert gw._seq == 2
+        gw.close()
+
+    asyncio.run(resume())
+
+
+def test_corrupt_tail_is_skipped_loudly(fab, serve_streams, tmp_path):
+    """Bit-flipped tail frame: RuntimeWarning + skip, prefix recovered."""
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+    journal = GatewayJournal(path)
+    journal.append(_submit_record(0, "good", d_obs[:, :, 0]))
+    journal.append(protocol.JournalSettle(seq=0, status="ok"))
+    journal.close()
+    with open(path, "ab") as fh:  # torn append: garbage behind a prefix
+        fh.write(struct.pack(">I", 16) + b"X" * 16)
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        entries, skipped = GatewayJournal.read(path)
+    assert skipped == 1 and len(entries) == 2
+    assert any("corrupt" in str(w.message) for w in caught)
+
+    async def recover():
+        gw = IngestGateway(fab, flush_ms=2.0, journal_path=path)
+        with warnings.catch_warnings(record=True) as caught2:
+            warnings.simplefilter("always")
+            rep = await gw.recover()
+        assert rep.skipped == 1 and rep.replayed == 0
+        assert rep.settled == 1 and rep.restored_keys == 1
+        assert any(
+            issubclass(w.category, RuntimeWarning) for w in caught2
+        )
+        gw.close()
+
+    asyncio.run(recover())
+
+
+def test_truncated_tail_is_skipped_loudly(tmp_path, serve_streams):
+    """Mid-append crash (length prefix promises more bytes than exist):
+    the torn tail is dropped with a warning, earlier entries survive."""
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+    journal = GatewayJournal(path)
+    journal.append(_submit_record(0, "good", d_obs[:, :, 0]))
+    journal.close()
+    with open(path, "ab") as fh:
+        fh.write(struct.pack(">I", 10_000) + b"short")
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        entries, skipped = GatewayJournal.read(path)
+    assert skipped == 1
+    assert [e.seq for e in entries] == [0]
+    assert any("truncated" in str(w.message) for w in caught)
+    # A bare truncated length prefix is also survivable.
+    with open(path, "wb") as fh:
+        fh.write(b"\x00\x01")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        entries, skipped = GatewayJournal.read(path)
+    assert entries == [] and skipped == 1
+    assert any("length prefix" in str(w.message) for w in caught)
+
+
+def test_journal_round_trips_streams_bitwise(tmp_path, serve_streams):
+    """The codec-framed journal preserves the observation bytes."""
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+    journal = GatewayJournal(path)
+    journal.append(_submit_record(3, "k", d_obs[:, :, 5], k_slots=9))
+    journal.close()
+    entries, skipped = GatewayJournal.read(path)
+    assert skipped == 0 and len(entries) == 1
+    (e,) = entries
+    assert (e.seq, e.idem_key, e.k_slots, e.op) == (3, "k", 9, "identify")
+    assert np.array_equal(e.stream, np.asarray(d_obs[:, :, 5], dtype=float))
+    # Missing journal file: clean empty read (first boot, nothing to do).
+    assert GatewayJournal.read(tmp_path / "absent.journal") == ([], 0)
+
+
+def test_journaled_submissions_require_bank_keys(fab, serve_streams,
+                                                 serve_bank, tmp_path):
+    """A bank *object* cannot be journaled for replay — rejected upfront
+    (pass the attach key instead), and no journal entry is written."""
+    _, _, d_obs = serve_streams
+
+    async def run():
+        gw = IngestGateway(
+            fab, flush_ms=2.0, journal_path=tmp_path / "gw.journal"
+        )
+        with pytest.raises(ValueError, match="bank"):
+            await gw.submit(d_obs[:, :, 0], 6, bank=serve_bank)
+        gw.close()
+
+    asyncio.run(run())
+    assert GatewayJournal.read(tmp_path / "gw.journal") == ([], 0)
+
+
+def test_recover_requires_a_path(fab):
+    async def run():
+        gw = IngestGateway(fab, flush_ms=2.0)  # no journal configured
+        with pytest.raises(ValueError, match="path"):
+            await gw.recover()
+
+    asyncio.run(run())

@@ -159,3 +159,110 @@ def test_pack_scratch_contents_and_size():
         np.ascontiguousarray(a).nbytes for a in packed_plain.values()
     )
     assert total_plain == scratch_nbytes(nt, nd, J, sketch_rank=0)
+
+
+# ----------------------------------------------------------------------
+# Corruption matrix: every message type x every corruption mode
+# ----------------------------------------------------------------------
+def _patch_header(frame: bytes, mutate) -> bytes:
+    """Rewrite the JSON header of an otherwise-valid frame."""
+    (hlen,) = struct.unpack(">I", frame[4:8])
+    header = json.loads(frame[8 : 8 + hlen])
+    mutate(header)
+    patched = json.dumps(header, separators=(",", ":")).encode()
+    return frame[:4] + struct.pack(">I", len(patched)) + patched + frame[8 + hlen :]
+
+
+def _bump_version(h):
+    h["v"] = protocol.PROTOCOL_VERSION + 1
+
+
+def _warp_type(h):
+    h["type"] = "warp"
+
+
+def _bogus_fields(h):
+    h["fields"] = {"no_such_field": 1}
+
+
+def _bogus_manifest(h):
+    h["arrays"] = [{"name": "x"}]  # no dtype/shape
+
+
+def _garbage_header(frame: bytes) -> bytes:
+    (hlen,) = struct.unpack(">I", frame[4:8])
+    return frame[:8] + b"\xff" * hlen + frame[8 + hlen :]
+
+
+def _non_dict_header(frame: bytes) -> bytes:
+    (hlen,) = struct.unpack(">I", frame[4:8])
+    patched = b"[1,2]"
+    return frame[:4] + struct.pack(">I", len(patched)) + patched + frame[8 + hlen :]
+
+
+CORRUPTIONS = [
+    ("bad_magic", lambda f: b"XXXX" + f[4:], "magic"),
+    ("short_frame", lambda f: f[:6], "truncated frame"),
+    (
+        "truncated_header",
+        lambda f: f[:4] + struct.pack(">I", len(f)) + f[8:],
+        "truncated frame",
+    ),
+    ("garbage_header", _garbage_header, "undecodable frame header"),
+    ("non_dict_header", _non_dict_header, "malformed frame header"),
+    ("version_skew", lambda f: _patch_header(f, _bump_version), "version mismatch"),
+    ("unknown_type", lambda f: _patch_header(f, _warp_type), "unknown message type"),
+    ("bogus_fields", lambda f: _patch_header(f, _bogus_fields), "malformed frame"),
+    ("bogus_manifest", lambda f: _patch_header(f, _bogus_manifest), "malformed frame"),
+    ("truncated_data_plane", lambda f: f[:-8], "truncated data plane"),
+]
+
+
+@pytest.mark.parametrize(
+    "corruption", CORRUPTIONS, ids=lambda c: c[0]
+)
+@pytest.mark.parametrize("msg_type", sorted(protocol._MESSAGE_TYPES))
+def test_every_type_rejects_every_corruption(msg_type, corruption):
+    """Each registered message type x each corruption mode must raise
+    :class:`ProtocolError` with a diagnosable message — never a bare
+    ``struct``/``json``/``numpy``/``TypeError`` leak and never a hang.
+    A peer (or a torn gateway-journal tail) can hand the codec any of
+    these shapes; the dispatcher's failover and the journal reader's
+    skip-loudly path both key off ``ProtocolError`` specifically."""
+    name, corrupt, match = corruption
+    msg = protocol._MESSAGE_TYPES[msg_type]()
+    # A trailing payload array gives the data-plane corruptions bytes to
+    # tear; scalar-only frames tear their header instead (still loud).
+    frame = encode_message(msg, {"x": np.arange(4.0)})
+    with pytest.raises(ProtocolError, match=match):
+        decode_message(corrupt(frame))
+
+
+def test_corruption_matrix_covers_registry():
+    """The matrix is total: a new message registration automatically
+    joins the corruption sweep (this guard is just for readability of
+    intent — parametrize already iterates the live registry)."""
+    assert len(protocol._MESSAGE_TYPES) >= 13
+    for name, cls in protocol._MESSAGE_TYPES.items():
+        assert cls.TYPE == name
+        decoded, _ = decode_message(encode_message(cls()))
+        assert isinstance(decoded, cls)
+
+
+def test_journal_messages_roundtrip():
+    """The journal records ride the same codec: scalar fields and the
+    observation stream must survive bitwise."""
+    rng = np.random.default_rng(11)
+    stream = rng.standard_normal((6, 4))
+    sub = protocol.JournalSubmit(
+        seq=7, idem_key="k", k_slots=9, bank="bank0", op="identify",
+        stream=stream,
+    )
+    decoded, arrays = decode_message(encode_message(sub))
+    assert arrays == {}
+    assert (decoded.seq, decoded.idem_key, decoded.k_slots) == (7, "k", 9)
+    assert (decoded.bank, decoded.op) == ("bank0", "identify")
+    np.testing.assert_array_equal(decoded.stream, stream)
+    settle = protocol.JournalSettle(seq=7, status="error", reason="boom")
+    decoded2, _ = decode_message(encode_message(settle))
+    assert decoded2 == settle

@@ -1,0 +1,322 @@
+"""Replicated shards: striping invariants and randomized failover chaos.
+
+``replication_factor=R`` stripes each COL_BLOCK-aligned shard across R
+channels (``n_shards = n_channels // R``); the dispatcher routes every
+stage to the first live channel of the shard's group and fails over down
+the group on a send failure, EOF, or ``ErrorReply`` — in-parent
+recompute only when the whole group is gone.  Because the stage kernels
+are layout-independent, a replica's answer is the primary's answer, so
+every schedule of single-group faults must leave the certified output
+byte-identical to the healthy run.
+
+The property test drives that claim with *seeded random kill schedules*:
+channels sampled at random, timing sampled per-kill between "before the
+request" and "mid-stage" (fired from inside ``transport.wait`` while
+dispatches are pending), over both transports.  After every request the
+certified top-k must equal the exhaustive ranking, and at the end the
+``FabricReport`` failover/lost counters must reconcile with a replayed
+model of the schedule (who was serving, who survived).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.serve import BatchedPhase4Server, ServingFabric
+from repro.serve import sketch as sketch_mod
+from repro.serve.transport import TcpTransport, start_local_shards
+
+N_CHANNELS = 4
+R = 2
+
+
+@pytest.fixture()
+def small_blocks(monkeypatch):
+    """Shrink COL_BLOCK so the 24-entry bank spans multiple shards."""
+    monkeypatch.setattr(sketch_mod, "COL_BLOCK", 8)
+
+
+@pytest.fixture()
+def server(serve_inversion):
+    return BatchedPhase4Server(serve_inversion)
+
+
+def _replicated_fabric(serve_inversion, serve_bank, kind, servers):
+    kwargs = dict(
+        replication_factor=R,
+        screen_min_scenarios=1,
+        screen_top=4,
+        max_batch=8,
+    )
+    if kind == "shared_memory":
+        kwargs["n_workers"] = N_CHANNELS
+    else:
+        kwargs["transport"] = TcpTransport([s.address for s in servers])
+    return ServingFabric(serve_inversion, [serve_bank], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Striping invariants
+# ----------------------------------------------------------------------
+def test_replica_groups_partition_channels(
+    serve_inversion, serve_bank, small_blocks
+):
+    """Groups are a partition: every channel adopts exactly one shard per
+    bank (the per-channel bank registries need no multi-shard support),
+    and R=1 keeps the historical identity channel->shard map."""
+    with _replicated_fabric(
+        serve_inversion, serve_bank, "shared_memory", []
+    ) as fab:
+        state = fab._resolve_bank(serve_bank)
+        assert len(state.shards) == N_CHANNELS // R
+        flat = [c for group in state.replicas for c in group]
+        assert sorted(flat) == list(range(N_CHANNELS))
+        assert all(len(g) == R for g in state.replicas)
+    with ServingFabric(
+        serve_inversion, [serve_bank], n_workers=2, max_batch=8
+    ) as fab:
+        state = fab._resolve_bank(serve_bank)
+        assert state.replicas == [[0], [1]]
+
+
+def test_replication_factor_validated_and_clamped(
+    serve_inversion, serve_bank, serve_streams, small_blocks, server
+):
+    """R < 1 is rejected; R > n_channels clamps to one fully-replicated
+    shard and still serves exact results with every channel killable."""
+    with pytest.raises(ValueError, match="replication_factor"):
+        ServingFabric(
+            serve_inversion, [serve_bank], n_workers=2, replication_factor=0
+        )
+    _, _, d_obs = serve_streams
+    ref = server.identify_batch(serve_bank, d_obs, k_slots=6)
+    with ServingFabric(
+        serve_inversion, [serve_bank], n_workers=2, replication_factor=8,
+        screen=False,
+    ) as fab:
+        state = fab._resolve_bank(serve_bank)
+        assert state.shards == [(0, len(serve_bank))]
+        assert state.replicas == [[0, 1]]
+        fab.inject_fault(0)
+        got = fab.identify(d_obs, k_slots=6)
+        assert np.array_equal(got.log_evidence, ref.log_evidence)
+        assert fab.last_report.failovers >= 1
+        assert fab.last_report.workers_lost == 0
+
+
+def test_report_failover_line(serve_inversion, serve_bank, serve_streams,
+                              small_blocks):
+    """The operator report renders failovers distinctly from degradation."""
+    from repro.serve.reporting import format_fabric_report
+
+    _, _, d_obs = serve_streams
+    with _replicated_fabric(
+        serve_inversion, serve_bank, "shared_memory", []
+    ) as fab:
+        state = fab._resolve_bank(serve_bank)
+        fab.inject_fault(state.replicas[0][0])
+        fab.identify(d_obs[:, :, :4], k_slots=6)
+        text = format_fabric_report(fab.last_report, fab.report())
+        assert "FAILOVER" in text
+        assert "DEGRADED" not in text
+
+
+# ----------------------------------------------------------------------
+# Randomized failover chaos
+# ----------------------------------------------------------------------
+def _arm_mid_stage_kill(fab, stage_name, wid):
+    """One-shot: drop channel ``wid`` from inside ``transport.wait``
+    during the next ``stage_name`` stage (dispatches already pending)."""
+    orig_stage = fab._run_stage
+    T = fab._transport
+    armed = {}
+
+    def hooked(state, name, ack_id, make_msg, local_fn):
+        if name == stage_name and "fired" not in armed:
+            armed["fired"] = True
+            orig_wait = T.wait
+
+            def killing_wait(wids, timeout):
+                T.wait = orig_wait
+                T.inject_fault(wid)
+                return orig_wait(wids, timeout)
+
+            T.wait = killing_wait
+        return orig_stage(state, name, ack_id, make_msg, local_fn)
+
+    fab._run_stage = hooked
+    return lambda: fab.__setattr__("_run_stage", orig_stage)
+
+
+@pytest.mark.parametrize("kind", ["shared_memory", "tcp"])
+@pytest.mark.parametrize("seed", [1, 7])
+def test_random_kill_schedule_preserves_certified_topk(
+    serve_inversion, serve_bank, serve_streams, small_blocks, server,
+    kind, seed,
+):
+    _, _, d_obs = serve_streams
+    nt = server.nt
+    rng = np.random.default_rng(seed)
+    exhaustive = server.identify_batch(serve_bank, d_obs, k_slots=6)
+
+    servers = start_local_shards(N_CHANNELS) if kind == "tcp" else []
+    try:
+        with _replicated_fabric(
+            serve_inversion, serve_bank, kind, servers
+        ) as fab:
+            state = fab._resolve_bank(serve_bank)
+            groups = [list(g) for g in state.replicas]
+            alive = set(range(N_CHANNELS))
+            min_failovers = 0
+            kills = 0
+            for req in range(6):
+                unhook = None
+                if alive and rng.random() < 0.5:
+                    wid = int(rng.choice(sorted(alive)))
+                    # Serving = first live channel of the victim's group;
+                    # killing it with a partner alive forces a failover.
+                    group = next(g for g in groups if wid in g)
+                    serving = next(c for c in group if c in alive)
+                    partner_alive = any(
+                        c in alive for c in group if c != wid
+                    )
+                    if wid == serving and partner_alive:
+                        min_failovers += 1
+                    # Timing sampled per-kill: before the request, or
+                    # mid-stage while the dispatches are pending.
+                    timing = rng.choice(["before", "screen", "exact"])
+                    if timing == "before":
+                        fab.inject_fault(wid)
+                    else:
+                        unhook = _arm_mid_stage_kill(fab, str(timing), wid)
+                    alive.discard(wid)
+                    kills += 1
+                dead_groups = sum(
+                    1 for g in groups if not any(c in alive for c in g)
+                )
+                j0 = (req * 4) % 20
+                streams = d_obs[:, :, j0 : j0 + 4]
+                got = fab.identify(streams, k_slots=6)
+                if unhook is not None:
+                    unhook()
+                rep = fab.last_report
+                # Exhaustive == certified, request by request.
+                for j in range(streams.shape[2]):
+                    top_g = [s for s, _ in got.top_k(4)[j]]
+                    top_e = [s for s, _ in exhaustive.top_k(4)[j0 + j]]
+                    assert top_g == top_e, (kind, seed, req)
+                # Recompute never happens while every group has a live
+                # member.  (The converse can lag one request: a mid-stage
+                # kill may land after the victim already buffered its
+                # reply, deferring the observed fault to the next
+                # dispatch — which is why the schedule ends with a
+                # settling request below.)
+                if rep.workers_lost > 0:
+                    assert dead_groups > 0, (kind, seed, req)
+            # Settling request: no kill in flight, accounting must now
+            # reconcile exactly with the schedule's survivor model.
+            dead_groups = sum(
+                1 for g in groups if not any(c in alive for c in g)
+            )
+            got = fab.identify(d_obs[:, :, 20:24], k_slots=6)
+            for j in range(4):
+                top_g = [s for s, _ in got.top_k(4)[j]]
+                top_e = [s for s, _ in exhaustive.top_k(4)[20 + j]]
+                assert top_g == top_e, (kind, seed)
+            rep = fab.last_report
+            assert (rep.workers_lost > 0) == (dead_groups > 0), (kind, seed)
+            assert rep.workers_lost >= dead_groups, (kind, seed)
+            counters = fab.report()
+            # Counters reconcile with the schedule: every kill of a
+            # serving channel with a live partner forced >= 1 failover,
+            # and failovers only ever come from injected faults.
+            assert counters["fabric_failovers"] >= min_failovers
+            if kills == 0:
+                assert counters["fabric_failovers"] == 0.0
+            assert counters["fabric_workers_alive"] == float(len(alive))
+            assert counters["fabric_replication"] == float(R)
+    finally:
+        for s in servers:
+            s.stop()
+
+
+# ----------------------------------------------------------------------
+# ErrorReply mid-batch: failover, not queue poisoning
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["shared_memory", "tcp"])
+def test_error_reply_mid_batch_triggers_failover(
+    serve_inversion, serve_bank, serve_streams, small_blocks, server, kind
+):
+    """A peer that answers a stage with ``ErrorReply`` mid-batch is
+    retired and its shard fails over to the replica — the request
+    completes exactly, and the ticket queue keeps serving afterwards
+    (the error must never poison pending or future submissions)."""
+    from repro.serve import protocol
+
+    _, _, d_obs = serve_streams
+    ref = server.identify_batch(serve_bank, d_obs, k_slots=6)
+    servers = start_local_shards(N_CHANNELS) if kind == "tcp" else []
+    try:
+        with ServingFabric(
+            serve_inversion, [serve_bank],
+            replication_factor=R, screen=False, max_batch=8,
+            **(
+                {"n_workers": N_CHANNELS}
+                if kind == "shared_memory"
+                else {"transport": TcpTransport([s.address for s in servers])}
+            ),
+        ) as fab:
+            T = fab._transport
+            orig_wait = T.wait
+            poisoned = {}
+
+            def erroring_wait(wids, timeout):
+                events = orig_wait(wids, timeout)
+                out = []
+                for wid, reply in events:
+                    if not poisoned and isinstance(reply, protocol.Ack):
+                        poisoned["wid"] = wid
+                        out.append((
+                            wid,
+                            protocol.ErrorReply(
+                                req_id=reply.req_id,
+                                message="injected peer failure",
+                            ),
+                        ))
+                    else:
+                        out.append((wid, reply))
+                return out
+
+            T.wait = erroring_wait
+            got = fab.identify(d_obs[:, :, :4], k_slots=6)
+            T.wait = orig_wait
+            assert "wid" in poisoned  # the rewrite actually fired
+            rep = fab.last_report
+            assert rep.failovers >= 1
+            assert rep.workers_lost == 0  # replica served, no recompute
+            if kind == "shared_memory":
+                assert np.array_equal(
+                    got.log_evidence, ref.log_evidence[:4]
+                )
+            else:
+                np.testing.assert_allclose(
+                    got.log_evidence, ref.log_evidence[:4], rtol=1e-12
+                )
+            # Queue not poisoned: later submissions are exact and clean.
+            got2 = fab.identify(d_obs[:, :, 4:8], k_slots=6)
+            assert fab.last_report.workers_lost == 0
+            if kind == "shared_memory":
+                assert np.array_equal(
+                    got2.log_evidence, ref.log_evidence[4:8]
+                )
+            else:
+                np.testing.assert_allclose(
+                    got2.log_evidence, ref.log_evidence[4:8], rtol=1e-12
+                )
+            counters = fab.report()
+            assert counters["fabric_workers_alive"] == float(N_CHANNELS - 1)
+            assert counters["fabric_failovers"] >= 1.0
+    finally:
+        for s in servers:
+            s.stop()

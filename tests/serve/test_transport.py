@@ -159,3 +159,45 @@ def test_tcp_unreachable_shard_fails_cleanly(
 def test_unknown_transport_name_rejected(serve_inversion):
     with pytest.raises(ValueError, match="unknown transport name"):
         ServingFabric(serve_inversion, transport="carrier-pigeon")
+
+
+def test_ephemeral_ports_everywhere(shard_servers):
+    """No fixed ports anywhere in the loopback path: every server binds
+    port 0 and reports the OS-assigned port before accepting work."""
+    ports = [s.address[1] for s in shard_servers]
+    assert all(p != 0 for p in ports)
+    assert len(set(ports)) == len(ports)
+
+
+def test_cli_serve_zero_prints_bound_port():
+    """``--serve 0`` must start an ephemeral-port server (0 is falsy —
+    the historical bug dropped straight through to the usage message)
+    and print the *bound* address, which callers parse to connect."""
+    import os
+    import re
+    import signal
+    import socket
+    import subprocess
+    import sys
+
+    import repro
+
+    src = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.transport", "--serve", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline()
+        m = re.search(r"listening on ([\d.]+):(\d+)\s*$", line)
+        assert m, f"unparseable announce line: {line!r}"
+        host, port = m.group(1), int(m.group(2))
+        assert port != 0  # the OS-assigned port, not the requested one
+        with socket.create_connection((host, port), timeout=10):
+            pass
+    finally:
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=10)
