@@ -47,6 +47,7 @@ __all__ = [
     "trsm_spec",
     "rfft_spec",
     "roofline_for",
+    "sketch_rebuild_spec",
 ]
 
 
@@ -127,6 +128,33 @@ def gemm_spec(m: int, n: int, k: int, dtype_bytes: int = 8) -> OnlineKernelSpec:
     flops = 2.0 * m * n * k
     bytes_ = float(dtype_bytes) * (m * k + k * n + m * n)
     return OnlineKernelSpec(f"gemm[{m}x{k}x{n}]", flops, bytes_)
+
+
+def sketch_rebuild_spec(
+    nt: int, nd: int, rank: int, n_cols: int, mode: str = "gaussian",
+    dtype_bytes: int = 8,
+) -> OnlineKernelSpec:
+    """Footprint of rebuilding one bank's slot sketch at a new ``rank``.
+
+    Prices the rank-renegotiation path of the serving fabric's
+    ``RankController``: re-projecting all ``n_cols`` whitened bank
+    columns through the ``Nt`` per-slot ``(rank, Nd)`` projections is
+    one batched gemm; ``mode="pca"`` additionally re-accumulates the
+    per-slot Grams (a second batched gemm over the bank) and
+    re-eigendecomposes them (``O(Nt Nd^3)``, with LAPACK's usual ~10x
+    constant).  The controller gates a proposed rank change on this
+    spec's roofline-attainable seconds so a retune is only taken when
+    its rebuild cost amortizes over the observation window.
+    """
+    spec = gemm_spec(nt * rank, n_cols, nd, dtype_bytes)
+    if mode == "pca":
+        spec = spec + gemm_spec(nt * nd, n_cols, nd, dtype_bytes)
+        spec = spec + OnlineKernelSpec(
+            name="batched_eigh",
+            flops=10.0 * nt * float(nd) ** 3,
+            bytes=float(dtype_bytes) * 3.0 * nt * nd * nd,
+        )
+    return OnlineKernelSpec("sketch_rebuild", spec.flops, spec.bytes)
 
 
 def trsm_spec(n: int, nrhs: int, dtype_bytes: int = 8) -> OnlineKernelSpec:

@@ -412,16 +412,20 @@ class StreamingFleet:
         self._slot_proj[s * r : (s + 1) * r, idx] = pb
         self._slot_psq[s, idx] = bk.einsum("ij,ij->j", pb, pb)
 
-    def attach_sketch(self, projections: np.ndarray) -> "StreamingFleet":
+    def attach_sketch(self, projections: Optional[np.ndarray]) -> "StreamingFleet":
         """Maintain per-slot low-rank projections ``P_t w_t(d)`` incrementally.
 
         ``projections`` stacks one ``(r, Nd)`` projection per observation
         slot — either ``(Nt, r, Nd)`` or flattened ``(Nt * r, Nd)`` (the
-        layout of :attr:`repro.serve.sketch.SlotSketch.projections`).
-        Slots the fleet has already absorbed are folded in one catch-up
-        pass from the stored states; every slot absorbed afterwards costs
-        one extra ``(r, Nd) x (Nd, n_active)`` gemm inside
-        :meth:`advance`.  Re-attaching replaces the previous sketch.
+        layout of :attr:`repro.serve.sketch.SlotSketch.projections`,
+        whether that sketch is a seeded Gaussian draw or a data-dependent
+        bank-PCA basis — the fleet side is basis-agnostic).  Slots the
+        fleet has already absorbed are folded in one catch-up pass from
+        the stored states; every slot absorbed afterwards costs one extra
+        ``(r, Nd) x (Nd, n_active)`` gemm inside :meth:`advance`.
+        Re-attaching replaces the previous sketch (the serving fabric
+        does this when its rank controller renegotiates the sketch rank
+        mid-stream); ``None`` detaches, freeing the sketch state.
         The exports — :meth:`slot_projections` /
         :meth:`slot_projection_norms` — are the stream-side inputs of the
         serving layer's certified sketch screen
@@ -429,6 +433,12 @@ class StreamingFleet:
         :meth:`slot_squared_norms` feeds its norm-only brackets.
         """
         eng = self.engine
+        if projections is None:
+            self._sketch_P = None
+            self._sketch_P_dev = None
+            self._slot_proj = None
+            self._slot_psq = None
+            return self
         P = np.asarray(projections, dtype=np.float64)
         if P.ndim == 2:
             if P.shape[0] % eng.nt or P.shape[1] != eng.nd:

@@ -121,6 +121,7 @@ from repro.serve.fabric import (
     FabricConfig,
     FabricReport,
     FabricTicket,
+    RankController,
     ServingFabric,
     TicketCancelled,
 )
@@ -152,6 +153,7 @@ from repro.serve.protocol import (
     KillChannel,
     MixtureStage,
     ProtocolError,
+    RetuneSketch,
     ScreenStage,
     Stop,
     decode_message,
@@ -192,6 +194,7 @@ from repro.serve.sketch import (
     COL_BLOCK,
     SlotSketch,
     certified_bounds,
+    pca_basis,
     select_screen_slots,
 )
 
@@ -215,6 +218,7 @@ __all__ = [
     # certified sketch-screen layer
     "SlotSketch",
     "certified_bounds",
+    "pca_basis",
     "select_screen_slots",
     "COL_BLOCK",
     # shard wire protocol
@@ -224,6 +228,7 @@ __all__ = [
     "BuildShard",
     "AdoptShard",
     "DetachBank",
+    "RetuneSketch",
     "ScreenStage",
     "ExactStage",
     "MixtureStage",
@@ -254,6 +259,7 @@ __all__ = [
     "FabricConfig",
     "FabricReport",
     "FabricTicket",
+    "RankController",
     "TicketCancelled",
     # async ingest gateway
     "IngestGateway",

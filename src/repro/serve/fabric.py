@@ -111,6 +111,7 @@ import numpy as np
 from scipy.special import log_softmax
 
 from repro.backend import resolve_backend
+from repro.hpc.perfmodel import roofline_for, sketch_rebuild_spec
 from repro.inference.bayes import ToeplitzBayesianInversion
 from repro.inference.forecast import QoIForecast
 from repro.serve import protocol
@@ -140,6 +141,7 @@ __all__ = [
     "FabricConfig",
     "FabricReport",
     "FabricTicket",
+    "RankController",
     "ServingFabric",
     "TicketCancelled",
 ]
@@ -187,17 +189,56 @@ class FabricConfig:
     sketch_rank:
         Low-rank sketch rank ``r`` per observation slot (``0`` disables,
         keeping the norm-only triangle-inequality brackets).  With
-        ``r > 0`` every bank shard additionally stores seeded ``r``-dim
+        ``r > 0`` every bank shard additionally stores ``r``-dim
         projections of its whitened slot blocks
         (:class:`~repro.serve.sketch.SlotSketch`) and the certified
         screen brackets only the *orthogonal residual* — far tighter
         intervals for the same certificate, which is what keeps diverse
         micro-batches from unioning their candidate sets into a
         full-exact fallback.  ``r = Nd`` makes the screen bounds exact.
+        The string ``"auto"`` opts into online rank auto-tuning: a
+        :class:`RankController` starts the fabric at
+        ``sketch_rank_min`` and renegotiates the live rank inside
+        ``[sketch_rank_min, sketch_rank_max]`` from the observed
+        ``screen_fallback`` / pruned-fraction telemetry, rebuilding the
+        sketch segments and re-attaching every shard channel on each
+        change (recorded in ``FabricReport.rank_changed`` and the
+        ``fabric_sketch_retunes`` counter).
+    sketch_mode:
+        ``"gaussian"`` (default) draws the per-slot projections from the
+        seeded QR construction — bank-independent, reproducible from
+        ``(sketch_seed, slot)`` alone.  ``"pca"`` builds each *bank's*
+        projections from the top-``r`` left singular vectors of its
+        whitened per-slot column blocks
+        (:func:`~repro.serve.sketch.pca_basis`): the orthogonal
+        remainder — the only triangle-bracketed part — then carries
+        minimal bank energy, so brackets are systematically tighter at
+        equal rank.  The basis is a deterministic, sign-canonicalized,
+        ``COL_BLOCK``-chunked function of the bank state, so shard
+        builds stay bitwise layout- and transport-independent; the
+        certificate itself never depends on the basis choice.
     sketch_seed:
-        Seed of the sketch projections (per-slot draws are derived from
-        ``(sketch_seed, slot)``); the flat identifier reproduces the same
-        sketch from the same pair.
+        Seed of the Gaussian sketch projections (per-slot draws are
+        derived from ``(sketch_seed, slot)``); the flat identifier
+        reproduces the same sketch from the same pair.  Ignored by
+        ``sketch_mode="pca"`` (the basis is data-dependent).
+    sketch_rank_min, sketch_rank_max:
+        Rank bounds of the ``"auto"`` controller (``sketch_rank_max``
+        ``None`` = the exact-bounds rank ``Nd``).  Ignored for static
+        ranks.
+    rank_ewma:
+        EWMA weight of the controller's fallback / pruned-fraction
+        telemetry (higher = more reactive, more thrash-prone).
+    rank_cooldown:
+        Screened requests that must be observed after every rank change
+        (or cost-rejected proposal) before the next proposal.
+    rank_rebuild_factor:
+        Rebuild-cost gate: a proposed rank change is executed only when
+        the roofline-priced sketch rebuild
+        (:func:`~repro.hpc.perfmodel.sketch_rebuild_spec` over every
+        resident bank) costs at most this many multiples of the EWMA
+        request time — so a retune always amortizes over the next
+        observation window.
     max_queue_ms:
         Micro-batch queueing deadline in milliseconds (``None`` = off).
         When set, a background timer thread flushes pending tickets at
@@ -264,8 +305,14 @@ class FabricConfig:
     screen_top: int = 8
     screen_stride: int = 8
     screen_min_scenarios: int = 32
-    sketch_rank: int = 0
+    sketch_rank: Union[int, str] = 0
+    sketch_mode: str = "gaussian"
     sketch_seed: int = 0
+    sketch_rank_min: int = 2
+    sketch_rank_max: Optional[int] = None
+    rank_ewma: float = 0.3
+    rank_cooldown: int = 4
+    rank_rebuild_factor: float = 50.0
     max_queue_ms: Optional[float] = None
     clock: Optional[Clock] = None
     memory_budget: Union[None, int, MemoryBudget] = None
@@ -287,6 +334,8 @@ class FabricReport:
     certified: bool = False
     screen_fallback: bool = False
     sketch_rank: int = 0
+    sketch_mode: str = ""
+    rank_changed: bool = False
     backend: str = "numpy"
     transport: str = "shared_memory"
     n_candidates: int = 0
@@ -304,6 +353,119 @@ class FabricReport:
     def degraded(self) -> bool:
         """Whether any shard had to be recomputed in the parent."""
         return self.workers_lost > 0
+
+
+class RankController:
+    """EWMA-driven governor renegotiating the sketch rank online.
+
+    ``FabricConfig.sketch_rank="auto"`` puts one of these in charge of
+    the live rank: after every screened request the fabric feeds it the
+    request's ``screen_fallback`` flag and pruned fraction, and the
+    controller proposes a new rank inside ``[r_min, r_max]`` when the
+    exponentially-weighted telemetry says the screen is under- or
+    over-provisioned:
+
+    * **increase** (``+step``) when the fallback EWMA exceeds
+      ``fallback_high`` or the pruned-fraction EWMA sits below
+      ``pruned_target`` — the brackets are too loose to pay for the
+      screen;
+    * **decrease** (``-step``) only when fallback is essentially absent
+      (below ``fallback_low``) *and* pruning is saturated above
+      ``pruned_surplus`` — rank bought nothing, reclaim the screen
+      bandwidth.
+
+    Two hysteresis mechanisms prevent thrash: a ``cooldown`` of observed
+    requests must pass after every committed (or cost-rejected) change
+    before the next proposal, and both EWMAs reset on commit so each
+    decision is based purely on evidence gathered *at the current rank*.
+    The fabric separately gates every proposal on a rebuild-cost model
+    (:func:`repro.hpc.perfmodel.sketch_rebuild_spec` against the
+    backend's roofline) so a retune is only taken when its cost
+    amortizes over the observation window.
+    """
+
+    def __init__(
+        self,
+        r_min: int,
+        r_max: int,
+        *,
+        alpha: float = 0.3,
+        cooldown: int = 4,
+        step: int = 2,
+        fallback_high: float = 0.35,
+        fallback_low: float = 0.05,
+        pruned_target: float = 0.9,
+        pruned_surplus: float = 0.995,
+    ) -> None:
+        r_min, r_max = int(r_min), int(r_max)
+        if not 1 <= r_min <= r_max:
+            raise ValueError(
+                f"rank bounds must satisfy 1 <= r_min <= r_max, "
+                f"got [{r_min}, {r_max}]"
+            )
+        if not 0.0 < float(alpha) <= 1.0:
+            raise ValueError("rank EWMA weight must lie in (0, 1]")
+        if int(cooldown) < 1 or int(step) < 1:
+            raise ValueError("rank cooldown and step must be >= 1")
+        self.r_min, self.r_max = r_min, r_max
+        self.alpha = float(alpha)
+        self.cooldown = int(cooldown)
+        self.step = int(step)
+        self.fallback_high = float(fallback_high)
+        self.fallback_low = float(fallback_low)
+        self.pruned_target = float(pruned_target)
+        self.pruned_surplus = float(pruned_surplus)
+        self.fallback_ewma: Optional[float] = None
+        self.pruned_ewma: Optional[float] = None
+        self._since_change = 0
+
+    def _fold(self, prev: Optional[float], x: float) -> float:
+        return x if prev is None else (1.0 - self.alpha) * prev + self.alpha * x
+
+    def update(
+        self, screen_fallback: bool, pruned_fraction: float, rank: int
+    ) -> Optional[int]:
+        """Fold one screened request's telemetry; maybe propose a new rank.
+
+        Returns the proposed rank, or ``None`` while the evidence (or
+        the cooldown) says to hold.  A proposal is *advisory*: the
+        fabric confirms an executed change with :meth:`committed` and a
+        cost-gated refusal with :meth:`rejected` — both restart the
+        cooldown so the controller never spams an unaffordable retune.
+        """
+        self.fallback_ewma = self._fold(
+            self.fallback_ewma, 1.0 if screen_fallback else 0.0
+        )
+        self.pruned_ewma = self._fold(self.pruned_ewma, float(pruned_fraction))
+        self._since_change += 1
+        if self._since_change < self.cooldown:
+            return None
+        rank = int(rank)
+        if rank < self.r_max and (
+            self.fallback_ewma > self.fallback_high
+            or self.pruned_ewma < self.pruned_target
+        ):
+            return min(rank + self.step, self.r_max)
+        if (
+            rank > self.r_min
+            and self.fallback_ewma < self.fallback_low
+            and self.pruned_ewma > self.pruned_surplus
+        ):
+            return max(rank - self.step, self.r_min)
+        return None
+
+    def committed(self) -> None:
+        """A proposed change was executed: restart cooldown, reset EWMAs
+        (decisions at the new rank use only new-rank evidence)."""
+        self._since_change = 0
+        self.fallback_ewma = None
+        self.pruned_ewma = None
+
+    def rejected(self) -> None:
+        """A proposal failed the rebuild-cost gate: wait a full window
+        before proposing again (the cost model's inputs barely change
+        request-to-request, so immediate retries would always lose)."""
+        self._since_change = 0
 
 
 class TicketCancelled(RuntimeError):
@@ -440,6 +602,10 @@ class _BankState:
         self.log_prior = log_prior
         self.arrs: Dict[str, object] = arrs
         self.shards: List[Tuple[int, int]] = shards
+        # The sketch whose basis projected this bank's pmu/slot_psq: the
+        # fabric-wide Gaussian sketch, or (mode="pca") this bank's own
+        # data-dependent basis.  None when the screen runs norm-only.
+        self.sketch: Optional[SlotSketch] = None
         # Per shard: the channel ids that adopted it, primary first.
         # Replica lists partition the channels, so within one stage no
         # channel is ever asked to serve two shards of the same bank.
@@ -524,8 +690,31 @@ class ServingFabric:
             raise ValueError("n_workers must be >= 0 and max_batch >= 1")
         if cfg.screen_stride < 1 or cfg.screen_top < 1:
             raise ValueError("screen_stride and screen_top must be >= 1")
-        if cfg.sketch_rank < 0 or cfg.sketch_rank > inv.nd:
-            raise ValueError(f"sketch_rank must lie in [0, {inv.nd}]")
+        if cfg.sketch_mode not in ("gaussian", "pca"):
+            raise ValueError(
+                f"sketch_mode must be 'gaussian' or 'pca', got {cfg.sketch_mode!r}"
+            )
+        self._auto_rank = isinstance(cfg.sketch_rank, str)
+        if self._auto_rank:
+            if cfg.sketch_rank != "auto":
+                raise ValueError(
+                    f"sketch_rank must be an int or 'auto', got {cfg.sketch_rank!r}"
+                )
+            r_max = (
+                inv.nd if cfg.sketch_rank_max is None else int(cfg.sketch_rank_max)
+            )
+            if r_max > inv.nd:
+                raise ValueError(f"sketch_rank_max must lie in [1, {inv.nd}]")
+            self._rank_controller: Optional[RankController] = RankController(
+                cfg.sketch_rank_min, r_max,
+                alpha=cfg.rank_ewma, cooldown=cfg.rank_cooldown,
+            )
+            initial_rank = self._rank_controller.r_min
+        else:
+            if cfg.sketch_rank < 0 or cfg.sketch_rank > inv.nd:
+                raise ValueError(f"sketch_rank must lie in [0, {inv.nd}]")
+            self._rank_controller = None
+            initial_rank = int(cfg.sketch_rank)
         if cfg.max_queue_ms is not None and cfg.max_queue_ms <= 0:
             raise ValueError("max_queue_ms must be positive (or None)")
         if cfg.replication_factor < 1:
@@ -559,6 +748,21 @@ class ServingFabric:
         self._workers_respawned = 0
         self._failovers = 0  # lifetime stage failovers (replica took over)
         self._req_failovers = 0  # failovers inside the current request
+        # Lifetime screen telemetry (drives the rank controller and the
+        # Prometheus surface; per-request values live in FabricReport).
+        self._sketch_rank = initial_rank  # live rank ("auto" renegotiates)
+        self._sketch_mode = cfg.sketch_mode
+        self._sketch_retunes = 0
+        self._rank_events: List[Dict[str, float]] = []
+        self._screened_requests = 0
+        self._screen_fallbacks = 0
+        self._screened_columns = 0
+        self._pruned_columns = 0
+        self._t_total_ewma: Optional[float] = None
+        try:
+            self._roofline = roofline_for(cfg.backend)
+        except ValueError:
+            self._roofline = roofline_for("numpy")
         self._request_fleet = None
         # All dispatch (submit/flush/identify/forecast) serializes through
         # this lock, so the optional queue-deadline timer thread can flush
@@ -598,15 +802,8 @@ class ServingFabric:
         # geometry advance.
         self._Y_arr = None
         self._sketch: Optional[SlotSketch] = None
-        if cfg.sketch_rank > 0:
-            self._sketch = SlotSketch(
-                self.nt, self.nd, cfg.sketch_rank, seed=cfg.sketch_seed
-            )
-            nr = self.nt * cfg.sketch_rank
-            self._static_arrs["P"] = alloc("P", (nr, self.nd))
-            self._static_arrs["wd_p"] = alloc("wp", (nr, jmax))
-            self._static_arrs["wd_psq"] = alloc("wn", (self.nt, jmax))
-            self._static_arrs["P"].array[:] = self._sketch.projections
+        if self._sketch_rank > 0:
+            self._alloc_sketch_statics()
         self._static_arrs["L"].array[:] = inv.cholesky_lower
         self._static_arrs["logdiag"].array[:] = inv.cholesky_logdiag_cum
         self._static = _views(self._static_arrs)
@@ -621,7 +818,7 @@ class ServingFabric:
                 nd=self.nd,
                 nt=self.nt,
                 screen_rtol=self._screen_rtol,
-                sketch_rank=cfg.sketch_rank,
+                sketch_rank=self._sketch_rank,
             )
             for bank in banks:
                 self.attach_bank(bank)
@@ -662,13 +859,37 @@ class ServingFabric:
     # ------------------------------------------------------------------
     # Bank lifecycle
     # ------------------------------------------------------------------
+    def _alloc_sketch_statics(self) -> None:
+        """Allocate the sketch-bearing static segments at the live rank.
+
+        Called at construction and again on every rank renegotiation
+        (after the old segments are freed).  In ``"gaussian"`` mode the
+        shared projection matrix ``P`` is drawn here and published to
+        the segments; in ``"pca"`` mode the projections are per-bank
+        (data-dependent), so ``P`` stays zeroed — workers never project
+        with it (bank builds carry ``build_sketch=False`` and the parent
+        projects with each bank's own basis).
+        """
+        alloc = self._transport.alloc
+        jmax = self.config.max_batch
+        nr = self.nt * self._sketch_rank
+        self._static_arrs["P"] = alloc("P", (nr, self.nd))
+        self._static_arrs["wd_p"] = alloc("wp", (nr, jmax))
+        self._static_arrs["wd_psq"] = alloc("wn", (self.nt, jmax))
+        if self._sketch_mode == "gaussian":
+            self._sketch = SlotSketch(
+                self.nt, self.nd, self._sketch_rank,
+                seed=self.config.sketch_seed,
+            )
+            self._static_arrs["P"].array[:] = self._sketch.projections
+
     def _bank_nbytes(self, n_scenarios: int, has_qoi: bool = False) -> int:
         """Resident shared bytes for a bank of ``n_scenarios`` columns."""
         n_rows = self.nt * self.nd
         jmax = self.config.max_batch
         per_col = n_rows + (self.nt + 1) + self.nt + 3 * jmax
-        if self.config.sketch_rank > 0:
-            per_col += self.nt * self.config.sketch_rank + self.nt
+        if self._sketch_rank > 0:
+            per_col += self.nt * self._sketch_rank + self.nt
         if has_qoi:
             per_col += self.engine._nb + jmax
         return 8 * per_col * n_scenarios
@@ -753,9 +974,9 @@ class ServingFabric:
                     "ev": T.alloc("ev", (jmax, S)),
                 }
             )
-            if self._sketch is not None:
+            if self._sketch_rank > 0:
                 arrs["pmu"] = T.alloc(
-                    "pm", (self.nt * self.config.sketch_rank, S)
+                    "pm", (self.nt * self._sketch_rank, S)
                 )
                 arrs["slot_psq"] = T.alloc("pq", (self.nt, S))
             if qoi_records is not None:
@@ -786,7 +1007,9 @@ class ServingFabric:
             state = _BankState(
                 key, source, ids, log_prior, arrs, shards, replicas
             )
+            state.sketch = self._sketch  # gaussian (or None); pca below
             ctx = StageContext(bank=arrs, mu=mu)
+            pca = self._sketch_rank > 0 and self._sketch_mode == "pca"
 
             def local_build(c0, c1):
                 _build_shard(
@@ -799,21 +1022,48 @@ class ServingFabric:
                     if self._sketch is not None else None,
                 )
 
+            def pca_sketch() -> SlotSketch:
+                # The PCA basis is a function of the *completed* bank
+                # state, so it is computed once the wmu columns exist —
+                # chunked Grams + sign-canonicalized eigh + a COL_BLOCK
+                # projection over the full range, all bitwise independent
+                # of the shard layout and the transport.
+                sk = SlotSketch.from_bank(
+                    arrs["wmu"].array, self.nt, self.nd, self._sketch_rank
+                )
+                sk.project_bank_columns(
+                    arrs["wmu"].array, arrs["pmu"].array,
+                    arrs["slot_psq"].array, 0, S,
+                )
+                return sk
+
             if T.remote_builds:
                 # Shared memory: each channel builds its own shard from
-                # the shared factor; lost channels fall back to the parent.
+                # the shared factor; lost channels fall back to the
+                # parent.  PCA builds skip the in-worker projection
+                # (build_sketch=False) — the parent projects into the
+                # shared segments afterwards, once the basis exists.
                 self._run_stage(
                     state, "attach", ("attach", key),
                     lambda c0, c1: (
-                        protocol.BuildShard(key=key, c0=c0, c1=c1), ctx
+                        protocol.BuildShard(
+                            key=key, c0=c0, c1=c1, build_sketch=not pca
+                        ),
+                        ctx,
                     ),
                     local_build,
                 )
+                if pca:
+                    state.sketch = pca_sketch()
             else:
                 # Networked: the parent builds the full state once (it
                 # needs it anyway for graceful degradation) and ships each
-                # channel its built slices inside the build frame.
+                # channel its built slices inside the build frame — with
+                # PCA, the basis and projections are computed before the
+                # slices ship so every shard receives its pmu block.
                 local_build(0, S)
+                if pca:
+                    state.sketch = pca_sketch()
                 self._run_stage(
                     state, "attach", ("attach", key),
                     lambda c0, c1: (
@@ -1097,18 +1347,24 @@ class ServingFabric:
             self.last_report = _merge_reports(chunk_reports)
             return _concat_results(results)
 
-    def _open_request_fleet(self, D, targets, use_sketch: bool):
-        """Advance one request's fleet and publish it to the shared scratch."""
+    def _open_request_fleet(self, D, targets, sketch: Optional[SlotSketch]):
+        """Advance one request's fleet and publish it to the shared scratch.
+
+        ``sketch`` is the basis of the *request's bank* (the shared
+        Gaussian draw, or the bank's own PCA basis) — the fleet side is
+        basis-agnostic, it just projects the stream states through
+        whatever orthonormal rows it is handed.
+        """
         J = D.shape[2]
         fleet = self.engine.open_fleet(D)
-        if use_sketch:
-            fleet.attach_sketch(self._sketch.projections)
+        if sketch is not None:
+            fleet.attach_sketch(sketch.projections)
         fleet.advance(targets)
         self._static["wd"][:, :J] = fleet.states
         self._static["wd_slot"][:, :J] = fleet.slot_squared_norms()
         self._static["wsq"][:J] = fleet.squared_norms()
         self._static["hz"][:J] = fleet.horizons
-        if use_sketch:
+        if sketch is not None:
             self._static["wd_p"][:, :J] = fleet.slot_projections()
             self._static["wd_psq"][:, :J] = fleet.slot_projection_norms()
         # Kept for same-request reuse (the sharded mixture path reads the
@@ -1130,7 +1386,7 @@ class ServingFabric:
         S, J = state.n_scenarios, D.shape[2]
         screen = screen and S >= max(cfg.screen_min_scenarios, 1) and S > top
         use_sketch = (
-            self._sketch is not None and screen and (sketch is None or sketch)
+            state.sketch is not None and screen and (sketch is None or sketch)
         )
         state.heat += 1
         self._clock += 1.0
@@ -1138,7 +1394,8 @@ class ServingFabric:
         report = FabricReport(
             bank_key=state.key, n_streams=J, n_scenarios=S,
             screened=screen, certified=screen and certified,
-            sketch_rank=cfg.sketch_rank if use_sketch else 0,
+            sketch_rank=self._sketch_rank if use_sketch else 0,
+            sketch_mode=self._sketch_mode if use_sketch else "",
             backend=self.backend.name,
             transport=self._transport.name,
             workers_used=self._transport.alive_count(),
@@ -1149,7 +1406,9 @@ class ServingFabric:
         # Stream-side states: one incremental fleet advance, written once
         # into the shared scratch block for every shard to read.
         t0 = time.monotonic()
-        fleet = self._open_request_fleet(D, targets, use_sketch)
+        fleet = self._open_request_fleet(
+            D, targets, state.sketch if use_sketch else None
+        )
         report.t_fleet = time.monotonic() - t0
 
         hz = fleet.horizons
@@ -1255,9 +1514,27 @@ class ServingFabric:
         report.workers_lost = lost
         report.failovers = self._req_failovers
         report.t_total = time.monotonic() - t_start
+        alpha = self.config.rank_ewma
+        self._t_total_ewma = (
+            report.t_total
+            if self._t_total_ewma is None
+            else (1.0 - alpha) * self._t_total_ewma + alpha * report.t_total
+        )
+        if report.screened:
+            self._screened_requests += 1
+            if report.screen_fallback:
+                self._screen_fallbacks += 1
+            self._screened_columns += S
+            self._pruned_columns += S - report.n_candidates
         self.last_report = report
         self._requests_served += 1
         self._streams_served += J
+        if (
+            self._rank_controller is not None
+            and report.screened
+            and use_sketch
+        ):
+            self._maybe_retune(report)
         return IdentificationResult(
             ids=list(state.ids),
             horizons=hz.copy(),
@@ -1265,6 +1542,115 @@ class ServingFabric:
             log_posterior=log_post,
             probabilities=np.exp(log_post),
         )
+
+    # ------------------------------------------------------------------
+    # Rank renegotiation
+    # ------------------------------------------------------------------
+    def _maybe_retune(self, report: FabricReport) -> None:
+        """Feed the controller and, when affordable, renegotiate rank.
+
+        The controller proposes a rank from screen telemetry; the
+        proposal only commits when the roofline-estimated rebuild cost
+        stays below ``rank_rebuild_factor`` recent request latencies —
+        an unaffordable rebuild is rejected (restarting the cooldown)
+        rather than stalling the serving path.
+        """
+        ctl = self._rank_controller
+        proposal = ctl.update(
+            report.screen_fallback, report.pruned_fraction, self._sketch_rank
+        )
+        if proposal is None:
+            return
+        total_cols = sum(b.n_scenarios for b in self._banks.values())
+        spec = sketch_rebuild_spec(
+            self.nt, self.nd, proposal, max(total_cols, 1),
+            mode=self._sketch_mode,
+        )
+        cost = self._roofline.attainable_seconds(spec)
+        budget_s = self.config.rank_rebuild_factor * max(
+            self._t_total_ewma or 0.0, 1e-5
+        )
+        if cost > budget_s:
+            ctl.rejected()
+            return
+        old = self._sketch_rank
+        fb, pr = ctl.fallback_ewma, ctl.pruned_ewma
+        self._retune_rank(proposal)
+        ctl.committed()
+        report.rank_changed = True
+        self._sketch_retunes += 1
+        self._rank_events.append(
+            {
+                "request": float(self._requests_served),
+                "from_rank": float(old),
+                "to_rank": float(proposal),
+                "fallback_ewma": float(fb if fb is not None else 0.0),
+                "pruned_ewma": float(pr if pr is not None else 0.0),
+            }
+        )
+
+    def _retune_rank(self, new_rank: int) -> None:
+        """Rebuild sketch statics and every bank's projections at a new rank.
+
+        Runs with the dispatch lock held and no stage in flight.  The
+        three sketch-bearing static segments are reallocated at the new
+        rank, the transport renegotiates them with its channels
+        (shared-memory workers swap mappings and ack; networked shards
+        receive an advisory :class:`~repro.serve.protocol.RetuneSketch`),
+        and each attached bank's ``pmu``/``slot_psq`` segments are
+        reprojected — PCA banks from their own refreshed basis — then
+        re-adopted by every replica channel so no shard ever screens
+        with a stale-rank block.
+        """
+        T = self._transport
+        for k in ("P", "wd_p", "wd_psq"):
+            arr = self._static_arrs.pop(k, None)
+            if arr is not None:
+                T.free(arr)
+        self._sketch_rank = int(new_rank)
+        self._alloc_sketch_statics()
+        self._static = _views(self._static_arrs)
+        self.budget.register(
+            f"{self.budget_prefix}:static",
+            sum(a.nbytes for a in self._static_arrs.values()),
+        )
+        T.retune_sketch(self._static_arrs, rank=self._sketch_rank)
+        for state in self._banks.values():
+            arrs = state.arrs
+            S = state.n_scenarios
+            for k in ("pmu", "slot_psq"):
+                old = arrs.pop(k, None)
+                if old is not None:
+                    T.free(old)
+            arrs["pmu"] = T.alloc("pm", (self.nt * self._sketch_rank, S))
+            arrs["slot_psq"] = T.alloc("pq", (self.nt, S))
+            if self._sketch_mode == "pca":
+                sk = SlotSketch.from_bank(
+                    arrs["wmu"].array, self.nt, self.nd, self._sketch_rank
+                )
+            else:
+                sk = self._sketch
+            sk.project_bank_columns(
+                arrs["wmu"].array, arrs["pmu"].array,
+                arrs["slot_psq"].array, 0, S,
+            )
+            state.sketch = sk
+            self.budget.register(
+                f"{self.budget_prefix}:bank:{state.key}", state.nbytes
+            )
+            adopt_ctx = StageContext(bank=arrs)
+            for s, (c0, c1) in enumerate(state.shards):
+                for ch in state.replicas[s]:
+                    if T.alive(ch):
+                        T.send_stage(
+                            ch,
+                            protocol.AdoptShard(key=state.key, c0=c0, c1=c1),
+                            adopt_ctx,
+                        )
+
+    def rank_history(self) -> List[Dict[str, float]]:
+        """Committed rank changes, oldest first (empty when rank is pinned)."""
+        return [dict(e) for e in self._rank_events]
 
     # ------------------------------------------------------------------
     # Micro-batching queue
@@ -1619,7 +2005,14 @@ class ServingFabric:
             "fabric_workers_respawned": float(self._workers_respawned),
             "fabric_replication": float(self.config.replication_factor),
             "fabric_failovers": float(self._failovers),
-            "fabric_sketch_rank": float(self.config.sketch_rank),
+            "fabric_sketch_rank": float(self._sketch_rank),
+            "fabric_sketch_mode_pca": 1.0 if self._sketch_mode == "pca" else 0.0,
+            "fabric_auto_rank": 1.0 if self._auto_rank else 0.0,
+            "fabric_sketch_retunes": float(self._sketch_retunes),
+            "fabric_screened_requests": float(self._screened_requests),
+            "fabric_screen_fallbacks": float(self._screen_fallbacks),
+            "fabric_screened_columns": float(self._screened_columns),
+            "fabric_pruned_columns": float(self._pruned_columns),
             "fabric_requests": float(self._requests_served),
             "fabric_streams_served": float(self._streams_served),
             "fabric_banks_attached": float(len(self._banks)),
@@ -1756,6 +2149,8 @@ def _merge_reports(reports: List[FabricReport]) -> FabricReport:
         certified=any(r.certified for r in reports),
         screen_fallback=any(r.screen_fallback for r in reports),
         sketch_rank=max(r.sketch_rank for r in reports),
+        sketch_mode=next((r.sketch_mode for r in reports if r.sketch_mode), ""),
+        rank_changed=any(r.rank_changed for r in reports),
         backend=first.backend,
         transport=first.transport,
         n_candidates=max(r.n_candidates for r in reports),

@@ -185,12 +185,68 @@ class GatewayJournal:
     returning, so an entry that was acknowledged survives a crash;
     thread-safe because settlements may append from loop callbacks while
     admissions append inline.
+
+    Two mechanisms bound the journal's footprint on a long-running
+    gateway:
+
+    **Rotation** (``rotate_bytes=``).  When the active segment crosses
+    the threshold after an append, it is renamed to ``<path>.<n>``
+    (``n`` strictly increasing, so ``<path>.1`` is the *oldest*) and a
+    fresh active segment opens at ``path``.  :meth:`read` — and
+    therefore :meth:`IngestGateway.recover` — scans every rotated
+    segment in age order, then the active one, so rotation never changes
+    recovery semantics.  A single record larger than ``rotate_bytes``
+    still lands (the check runs post-append), so oversized streams
+    degrade to one-record segments rather than failing.
+
+    **Compaction** (:meth:`compact`).  Settled submit/settle pairs are
+    dead weight for recovery; ``compact()`` rewrites the journal keeping
+    only the *unsettled* submissions (plus small settle tombstones, see
+    below), atomically renaming the compacted file over the active
+    segment **before** unlinking the rotated ones.  A crash inside that
+    window can only resurface old segments whose settled submissions are
+    still covered by the tombstones carried into the compacted file —
+    recovery never replays a request whose result a client could have
+    observed.  Tombstones self-clean: the next ``compact()`` drops any
+    settle whose submit no longer exists.
     """
 
-    def __init__(self, path) -> None:
+    def __init__(self, path, rotate_bytes: Optional[int] = None) -> None:
+        if rotate_bytes is not None and int(rotate_bytes) < 1:
+            raise ValueError("rotate_bytes must be >= 1 (or None)")
         self.path = str(path)
+        self.rotate_bytes = None if rotate_bytes is None else int(rotate_bytes)
         self._fh = open(self.path, "ab")
         self._lock = threading.Lock()
+        suffixes = self._rotated_suffixes(self.path)
+        self._rot_seq = (suffixes[-1] + 1) if suffixes else 1
+
+    @staticmethod
+    def _rotated_suffixes(path) -> List[int]:
+        """Numeric suffixes of existing rotated segments, ascending."""
+        path = str(path)
+        base = os.path.basename(path)
+        d = os.path.dirname(path) or "."
+        out = []
+        try:
+            names = os.listdir(d)
+        except FileNotFoundError:
+            return out
+        for name in names:
+            if name.startswith(base + "."):
+                tail = name[len(base) + 1 :]
+                if tail.isdigit():
+                    out.append(int(tail))
+        return sorted(out)
+
+    @classmethod
+    def segments(cls, path) -> List[str]:
+        """Existing journal files in read order: rotated (oldest first), active."""
+        path = str(path)
+        out = [f"{path}.{n}" for n in cls._rotated_suffixes(path)]
+        if os.path.exists(path):
+            out.append(path)
+        return out
 
     def append(self, msg: protocol.Message) -> None:
         """Frame, length-prefix, append, flush, fsync one record."""
@@ -201,25 +257,97 @@ class GatewayJournal:
             self._fh.write(struct.pack(">I", len(frame)) + frame)
             self._fh.flush()
             os.fsync(self._fh.fileno())
+            if (
+                self.rotate_bytes is not None
+                and self._fh.tell() >= self.rotate_bytes
+            ):
+                self._rotate_locked()
+
+    def _rotate_locked(self) -> None:
+        """Seal the active segment as ``<path>.<n>`` and open a fresh one."""
+        self._fh.close()
+        os.replace(self.path, f"{self.path}.{self._rot_seq}")
+        self._rot_seq += 1
+        self._fh = open(self.path, "ab")
+
+    def compact(self) -> Dict[str, int]:
+        """Drop settled entries; collapse every segment into one.
+
+        Keeps the unsettled submissions (recovery's replay set) in
+        original sequence order, plus a settle *tombstone* for every
+        settled pair seen — the tombstones are what make the unlink
+        window crash-safe (class docstring).  Returns counters:
+        ``kept`` unsettled submissions written, ``tombstones`` settle
+        records carried, ``dropped`` records discarded, and
+        ``segments_removed`` rotated files unlinked.
+        """
+        with self._lock:
+            if self._fh.closed:
+                raise ValueError("cannot compact a closed journal")
+            entries, _ = self.read(self.path)
+            submits = {
+                e.seq: e
+                for e in entries
+                if isinstance(e, protocol.JournalSubmit)
+            }
+            settles = {
+                e.seq: e
+                for e in entries
+                if isinstance(e, protocol.JournalSettle)
+            }
+            pending = [submits[s] for s in sorted(submits) if s not in settles]
+            tombs = [settles[s] for s in sorted(settles) if s in submits]
+            tmp = self.path + ".compacting"
+            with open(tmp, "wb") as out:
+                for msg in pending + tombs:
+                    frame = protocol.encode_message(msg)
+                    out.write(struct.pack(">I", len(frame)) + frame)
+                out.flush()
+                os.fsync(out.fileno())
+            rotated = self.segments(self.path)[:-1]
+            self._fh.close()
+            os.replace(tmp, self.path)
+            for seg in rotated:
+                os.unlink(seg)
+            self._rot_seq = 1
+            self._fh = open(self.path, "ab")
+            return {
+                "kept": len(pending),
+                "tombstones": len(tombs),
+                "dropped": len(entries) - len(pending) - len(tombs),
+                "segments_removed": len(rotated),
+            }
 
     def close(self) -> None:
         with self._lock:
             if not self._fh.closed:
                 self._fh.close()
 
-    @staticmethod
-    def read(path) -> Tuple[List[protocol.Message], int]:
+    @classmethod
+    def read(cls, path) -> Tuple[List[protocol.Message], int]:
         """Decode every record in the journal at ``path``.
 
-        Returns ``(messages, n_skipped)``.  A record that cannot be
-        decoded (torn tail from a mid-append crash, flipped bytes) is
-        *skipped loudly* — a :class:`RuntimeWarning` naming the byte
-        offset — never fatal: recovery of the readable prefix must not
-        be hostage to the one entry the crash corrupted.  A truncated
-        length prefix or frame ends the scan (nothing after it can be
-        framed); a corrupt-but-complete frame is skipped and the scan
-        continues.
+        Scans every rotated segment (oldest first), then the active
+        file, and returns ``(messages, n_skipped)`` across all of them.
+        A record that cannot be decoded (torn tail from a mid-append
+        crash, flipped bytes) is *skipped loudly* — a
+        :class:`RuntimeWarning` naming the byte offset — never fatal:
+        recovery of the readable prefix must not be hostage to the one
+        entry the crash corrupted.  A truncated length prefix or frame
+        ends that segment's scan (nothing after it can be framed); a
+        corrupt-but-complete frame is skipped and the scan continues.
         """
+        entries: List[protocol.Message] = []
+        skipped = 0
+        segs = cls.segments(path) or [str(path)]
+        for seg in segs:
+            e, s = cls._read_segment(seg)
+            entries.extend(e)
+            skipped += s
+        return entries, skipped
+
+    @staticmethod
+    def _read_segment(path) -> Tuple[List[protocol.Message], int]:
         entries: List[protocol.Message] = []
         skipped = 0
         try:
@@ -342,6 +470,11 @@ class IngestGateway:
         queue and settlements when their future resolves, enabling
         :meth:`recover` after a crash.  Journaled requests must pass
         banks by *key* (string) so a replay can re-resolve them.
+    journal_rotate_bytes:
+        Size threshold (bytes) at which the journal's active segment is
+        sealed and rotated; ``None`` (default) keeps one unbounded file.
+        Call ``gateway.journal.compact()`` periodically to drop settled
+        entries and collapse rotated segments.
 
     All coroutine methods must be called from a single running event
     loop (the loop is captured on first use).
@@ -356,13 +489,16 @@ class IngestGateway:
         flush_ms: float = 5.0,
         clock: Optional[Clock] = None,
         journal_path=None,
+        journal_rotate_bytes: Optional[int] = None,
     ) -> None:
         if flush_ms <= 0:
             raise ValueError("flush_ms must be positive")
         self.fabric = fabric
         self._clock = ensure_clock(clock)
         self.journal = (
-            None if journal_path is None else GatewayJournal(journal_path)
+            None
+            if journal_path is None
+            else GatewayJournal(journal_path, rotate_bytes=journal_rotate_bytes)
         )
         self._seq = 0  # next journal sequence number
         self.bucket = (

@@ -222,7 +222,7 @@ class ScenarioIdentifier:
             )
         self.ids = list(ids)
         self.log_prior = self._normalize_prior(prior_weights)
-        # Bank-side low-rank sketches, memoized per (rank, seed).
+        # Bank-side low-rank sketches, memoized per (rank, seed, mode).
         self._sketches: dict = {}
         self._qoi: Optional[np.ndarray] = None
         if qoi_records is not None:
@@ -315,9 +315,9 @@ class ScenarioIdentifier:
         return self._musq_cum
 
     def sketch(
-        self, rank: int, seed: int = 0
+        self, rank: int, seed: int = 0, mode: str = "gaussian"
     ) -> Tuple[SlotSketch, np.ndarray, np.ndarray]:
-        """The bank-side low-rank sketch at ``(rank, seed)``, built once.
+        """The bank-side low-rank sketch at ``(rank, seed, mode)``, built once.
 
         Returns ``(sketch, projected, slot_norms)``: the
         :class:`~repro.serve.sketch.SlotSketch` (whose projections the
@@ -330,16 +330,29 @@ class ScenarioIdentifier:
         the same :data:`~repro.serve.sketch.COL_BLOCK`-chunked
         :meth:`~repro.serve.sketch.SlotSketch.project_bank_columns` the
         fabric's workers use, so a block-aligned shard of this sketch is
-        bitwise identical to the flat build.  Memoized per ``(rank, seed,
-        backend, dtype)`` — the backend identity is part of the key so a
-        server switching backends can never be handed arrays produced by
-        (or resident on) a different backend/device.
+        bitwise identical to the flat build.  ``mode="pca"`` builds the
+        data-dependent bank basis (:meth:`SlotSketch.from_bank` over
+        ``w(mu_s)``; ``seed`` is inert but stays in the memo key).
+        Memoized per ``(rank, seed, mode, backend, dtype)`` — the backend
+        identity is part of the key so a server switching backends can
+        never be handed arrays produced by (or resident on) a different
+        backend/device.
         """
         eng = self.engine
-        key = (int(rank), int(seed)) + eng.backend.key()
+        key = (int(rank), int(seed), str(mode)) + eng.backend.key()
         cached = self._sketches.get(key)
         if cached is None:
-            sk = SlotSketch(eng.nt, eng.nd, rank, seed=seed, backend=eng.backend)
+            if mode == "pca":
+                # The basis is always computed from the host export so it
+                # is a bitwise-pinned function of the bank state alone,
+                # whatever backend serves the projection gemms.
+                sk = SlotSketch.from_bank(
+                    self._Wmu, eng.nt, eng.nd, rank, backend=eng.backend
+                )
+            else:
+                sk = SlotSketch(
+                    eng.nt, eng.nd, rank, seed=seed, backend=eng.backend, mode=mode
+                )
             bank = self._Wmu if eng.backend.is_numpy else self._Wmu_dev
             proj, psq = sk.project_bank(bank)
             cached = self._sketches[key] = (sk, proj, psq)
@@ -498,6 +511,7 @@ class IdentificationSession:
         stride: int = 8,
         sketch_rank: int = 0,
         sketch_seed: int = 0,
+        sketch_mode: str = "gaussian",
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Certified brackets ``(lb, ub)`` on every ``log p(d_k | s)``.
 
@@ -508,7 +522,8 @@ class IdentificationSession:
         exactly (default: the ``1/stride`` highest-energy absorbed slots,
         via :func:`~repro.serve.sketch.select_screen_slots`); the rest
         are bracketed — with ``sketch_rank > 0``, through the bank's
-        seeded low-rank sketch (:meth:`ScenarioIdentifier.sketch`), which
+        low-rank sketch (:meth:`ScenarioIdentifier.sketch`; seeded
+        Gaussian by default, bank-PCA with ``sketch_mode="pca"``), which
         tightens the interval from ``±2 Σ ||w_t(d)|| ||w_t(mu_s)||`` to
         the orthogonal residual product.  Both arrays are ``(n, S)`` and
         always contain :meth:`log_evidence` entrywise.
@@ -536,7 +551,9 @@ class IdentificationSession:
             "ub": np.empty((J, S)),
         }
         if sketch_rank:
-            sk, proj, psq = ident.sketch(sketch_rank, seed=sketch_seed)
+            sk, proj, psq = ident.sketch(
+                sketch_rank, seed=sketch_seed, mode=sketch_mode
+            )
             fp = self.fleet.sketch_projections
             if fp is None or (fp is not sk.P and fp.base is not sk.P):
                 self.fleet.attach_sketch(sk.projections)

@@ -45,6 +45,7 @@ __all__ = [
     "MixtureStage",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RetuneSketch",
     "ScreenStage",
     "Stop",
     "decode_message",
@@ -114,6 +115,12 @@ class BuildShard(Message):
     key: str = ""
     c0: int = 0
     c1: int = 0
+    # When False the builder skips the sketch projection even though the
+    # bank carries sketch segments — the parent projects afterwards with
+    # a data-dependent (bank-PCA) basis workers cannot derive from the
+    # static seeded draw.  TCP builds ignore it (the parent always builds
+    # and ships the finished slices).
+    build_sketch: bool = True
 
 
 @_register
@@ -180,6 +187,25 @@ class MixtureStage(Message):
     shard_idx: int = 0
     c0: int = 0
     c1: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class RetuneSketch(Message):
+    """Rank renegotiation: the fabric's controller adopted a new sketch
+    rank; every channel must swap to the new static sketch arrays before
+    the next stage.  Over shared memory the transport translates this to
+    new segment specs (the worker re-attaches ``P``/``wd_p``/``wd_psq``
+    and rebuilds its :class:`~repro.serve.sketch.SlotSketch` from the new
+    projections); over TCP no static sketch state lives remotely — the
+    parent refreshes its views and re-ships each bank's projections via
+    :class:`AdoptShard` — so the message is bookkeeping (the new rank).
+    ``mode`` travels for observability; the certificate never reads it.
+    """
+
+    TYPE: ClassVar[str] = "retune"
+    rank: int = 0
+    mode: str = "gaussian"
 
 
 @_register

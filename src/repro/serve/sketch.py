@@ -22,11 +22,13 @@ Two bounding regimes, one implementation (:func:`certified_bounds`):
     states are, and diverse micro-batches union their candidate sets away
     (``FabricReport.screen_fallback``).
 
-**Sketch-tightened brackets (this PR).**
-    A :class:`SlotSketch` holds one seeded ``r x Nd`` projection per slot
-    with *orthonormal rows* ``P_t`` (QR of a Gaussian draw — the
-    Johnson–Lindenstrauss shape, made deterministic).  Orthonormality
-    splits every whitened vector exactly::
+**Sketch-tightened brackets.**
+    A :class:`SlotSketch` holds one ``r x Nd`` projection per slot with
+    *orthonormal rows* ``P_t`` — either a seeded Gaussian draw pushed
+    through QR (the Johnson–Lindenstrauss shape, made deterministic;
+    ``mode="gaussian"``) or the top-``r`` left singular vectors of the
+    bank's whitened slot blocks (``mode="pca"``, :func:`pca_basis`).
+    Orthonormality splits every whitened vector exactly::
 
         ||v||^2 = ||P_t v||^2 + ||v_perp||^2,   v_perp = (I - P_t^T P_t) v
 
@@ -42,6 +44,24 @@ Two bounding regimes, one implementation (:func:`certified_bounds`):
     sketch captures (``~ r/Nd`` of it for isotropic residuals, more when
     energy concentrates).  Cost: ``O(r)`` per (stream, scenario, slot)
     instead of ``O(Nd)`` exact work.
+
+**Bank-PCA projections (data-dependent tightening).**
+    The certificate above is valid for *any* orthonormal ``P_t`` — the
+    basis only controls how much energy the orthogonal remainder
+    carries.  :func:`pca_basis` therefore builds ``P_t`` from the
+    top-``r`` eigenvectors of the bank's per-slot Gram
+    ``G_t = W_t W_t^T`` (``W_t`` = the slot-``t`` block rows of the
+    bank's whitened states) — the top-``r`` *left singular vectors* of
+    ``W_t``.  By Eckart–Young this minimizes the bank-side remainder
+    energy ``sum_s beta_ts^2`` over all rank-``r`` orthonormal bases, so
+    at equal ``r`` the bracket width ``4 alpha_t beta_ts`` is
+    systematically tighter than a generic Gaussian draw whenever the
+    bank's slot blocks carry low-rank structure (they do: scenario means
+    vary smoothly with source parameters).  The Gram accumulation is
+    chunked on absolute :data:`COL_BLOCK` boundaries and the
+    eigendecomposition is sign-canonicalized, so the basis is a pure
+    deterministic function of the bank state — every shard layout and
+    both transports see bitwise the same projections.
 
 Everything bank-indexed is chunked on absolute :data:`COL_BLOCK` column
 boundaries, so a shard holding scenario columns ``[c0, c1)``
@@ -61,6 +81,7 @@ __all__ = [
     "COL_BLOCK",
     "SlotSketch",
     "certified_bounds",
+    "pca_basis",
     "select_screen_slots",
 ]
 
@@ -95,8 +116,15 @@ class SlotSketch:
         *the same* projections from ``(nt, nd, rank, seed)`` alone.
     matrix:
         Internal: adopt an existing stacked projection ``(nt * r, nd)``
-        (e.g. a shared-memory view in a fabric worker) instead of
-        drawing one.
+        (e.g. a shared-memory view in a fabric worker, or a
+        :func:`pca_basis` result) instead of drawing one.
+    mode:
+        ``"gaussian"`` (the seeded QR draw) or ``"pca"`` (a
+        data-dependent bank basis).  PCA projections depend on a bank
+        state, so they are built via :meth:`from_bank` (or adopted via
+        ``matrix=``); constructing ``mode="pca"`` without a matrix
+        raises.  The mode is bookkeeping for everything downstream —
+        the certificate in :func:`certified_bounds` never looks at it.
     backend:
         Array backend for the bank-projection gemms (``None`` = numpy).
         The projection *draw* is always a host numpy QR regardless of the
@@ -119,11 +147,20 @@ class SlotSketch:
         seed: int = 0,
         matrix: Optional[np.ndarray] = None,
         backend: Union[Backend, str, None] = None,
+        mode: str = "gaussian",
     ) -> None:
         self.backend = resolve_backend(backend)
         self._P_dev = None  # lazy device copy for non-numpy backends
         if not 1 <= int(rank) <= int(nd):
             raise ValueError(f"sketch rank must lie in [1, {nd}], got {rank}")
+        if mode not in ("gaussian", "pca"):
+            raise ValueError(f"sketch mode must be 'gaussian' or 'pca', got {mode!r}")
+        if mode == "pca" and matrix is None:
+            raise ValueError(
+                "mode='pca' projections are data-dependent: build them with "
+                "SlotSketch.from_bank(...) or adopt a pca_basis via matrix="
+            )
+        self.mode = mode
         self.nt, self.nd, self.rank, self.seed = int(nt), int(nd), int(rank), int(seed)
         if matrix is not None:
             P = np.asarray(matrix, dtype=np.float64)
@@ -140,6 +177,26 @@ class SlotSketch:
                 Q, _ = np.linalg.qr(G)  # (Nd, r), orthonormal columns
                 P[t * self.rank : (t + 1) * self.rank] = Q.T
         self.P = P
+
+    @classmethod
+    def from_bank(
+        cls,
+        W: np.ndarray,
+        nt: int,
+        nd: int,
+        rank: int,
+        backend: Union[Backend, str, None] = None,
+    ) -> "SlotSketch":
+        """A ``mode="pca"`` sketch whose basis is :func:`pca_basis` of ``W``.
+
+        ``W`` is the bank's whitened state ``(Nt * Nd, S)`` (the same
+        array :meth:`project_bank` consumes).  The basis is computed on
+        the host from host data regardless of ``backend`` — like the
+        Gaussian draw, the projections themselves are bitwise-pinned;
+        only the bank-projection gemms route through the backend.
+        """
+        basis = pca_basis(np.asarray(W, dtype=np.float64), nt, nd, rank)
+        return cls(nt, nd, rank, matrix=basis, backend=backend, mode="pca")
 
     # ------------------------------------------------------------------
     @property
@@ -235,6 +292,53 @@ class SlotSketch:
         proj.setflags(write=False)
         psq.setflags(write=False)
         return proj, psq
+
+
+def pca_basis(W: np.ndarray, nt: int, nd: int, rank: int) -> np.ndarray:
+    """Top-``rank`` per-slot left singular vectors of a bank state ``W``.
+
+    ``W`` is ``(Nt * Nd, S)`` whitened bank states; returns the stacked
+    projection ``(Nt * rank, Nd)`` whose rows ``t*r:(t+1)*r`` are the
+    top-``r`` eigenvectors of the slot Gram ``G_t = W_t W_t^T``
+    (descending eigenvalue order) — orthonormal rows, exactly the shape
+    :class:`SlotSketch` adopts via ``matrix=``.
+
+    Determinism contract (what lets PCA shards stay bitwise equal across
+    layouts and transports):
+
+    * the Grams accumulate in fixed order over absolute
+      :data:`COL_BLOCK` column chunks, through the same
+      contiguous-staging copy the bank projection uses — a function of
+      the bank state alone, never of any shard decomposition;
+    * ``eigh`` runs once per slot on the host from those Grams;
+    * each eigenvector's sign is canonicalized (largest-magnitude
+      component positive, first index on ties), removing the one
+      degree of freedom LAPACK leaves unspecified.
+
+    Degenerate slots are safe: a zero Gram (slot energy 0) yields an
+    arbitrary orthonormal basis, which is certified like any other.
+    """
+    nt, nd, rank = int(nt), int(nd), int(rank)
+    if not 1 <= rank <= nd:
+        raise ValueError(f"sketch rank must lie in [1, {nd}], got {rank}")
+    W = np.asarray(W, dtype=np.float64)
+    if W.ndim != 2 or W.shape[0] != nt * nd:
+        raise ValueError(f"bank state must be ({nt * nd}, S), got {W.shape}")
+    S = W.shape[1]
+    G = np.zeros((nt, nd, nd))
+    for b0 in range(0, S, COL_BLOCK):
+        b1 = min(b0 + COL_BLOCK, S)
+        Wb = np.ascontiguousarray(W[:, b0:b1]).reshape(nt, nd, b1 - b0)
+        G += np.matmul(Wb, Wb.transpose(0, 2, 1))
+    # eigh returns ascending eigenvalues; take the trailing `rank`
+    # columns in descending order.
+    _, vecs = np.linalg.eigh(G)  # (Nt, Nd, Nd)
+    top = vecs[:, :, ::-1][:, :, :rank]  # (Nt, Nd, rank), descending
+    lead = np.argmax(np.abs(top), axis=1)  # (Nt, rank)
+    signs = np.sign(np.take_along_axis(top, lead[:, None, :], axis=1))[:, 0, :]
+    signs[signs == 0.0] = 1.0
+    top = top * signs[:, None, :]
+    return np.ascontiguousarray(top.transpose(0, 2, 1)).reshape(nt * rank, nd)
 
 
 def select_screen_slots(

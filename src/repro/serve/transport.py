@@ -44,6 +44,7 @@ import selectors
 import socket
 import struct
 import threading
+import time
 from dataclasses import dataclass, field
 from multiprocessing import connection as mp_connection
 from multiprocessing import get_context, shared_memory
@@ -199,23 +200,55 @@ def _worker_main(worker_id, conn, static_specs, nd, screen_rtol=0.0):
                 break
             try:
                 if tag == "attach":
-                    _, key, specs, mu_spec, c0, c1 = msg
+                    _, key, specs, mu_spec, c0, c1, build_sketch = msg
                     arrs = _attach_all(specs)
                     mu = _SharedArray.attach(mu_spec)
                     v = _views(arrs)
+                    # build_sketch=False: the parent projects the sketch
+                    # itself after the build (bank-PCA bases are derived
+                    # from the completed bank state, which workers cannot
+                    # see mid-build) — attach the segments, skip the gemm.
                     _build_shard(
                         static["L"], mu.array, v["wmu"], v["slot_musq"],
                         v["musq_cum"], nd, c0, c1,
-                        sketch=sketch if "pmu" in v else None,
+                        sketch=sketch if (build_sketch and "pmu" in v) else None,
                         pmu=v.get("pmu"), slot_psq=v.get("slot_psq"),
                     )
                     mu.close()
                     banks[key] = (arrs, c0, c1)
                     conn.send(("done", ("attach", key)))
+                elif tag == "retune":
+                    # Rank renegotiation: swap the sketch-bearing static
+                    # segments for the new-rank ones and rebuild the
+                    # worker's SlotSketch; bank pmu/slot_psq re-arrive via
+                    # the parent's follow-up adopt broadcast.
+                    _, specs, rank = msg
+                    for k in ("P", "wd_p", "wd_psq"):
+                        old = static_arrs.pop(k, None)
+                        if old is not None:
+                            old.close()
+                        static.pop(k, None)
+                    if "P" in specs:
+                        new_arrs = _attach_all(specs)
+                        static_arrs.update(new_arrs)
+                        static.update(_views(new_arrs))
+                        nt = static["logdiag"].shape[0] - 1
+                        sketch = SlotSketch(
+                            nt, nd, static["P"].shape[0] // nt,
+                            matrix=static["P"],
+                        )
+                    else:
+                        sketch = None
+                    conn.send(("done", ("retune", rank)))
                 elif tag == "adopt":
                     # Re-registration into *already built* shared segments
-                    # (worker re-spawn): attach only, never rebuild.
+                    # (worker re-spawn, rank renegotiation): attach only,
+                    # never rebuild.  A re-adopt of a held bank swaps the
+                    # segment set, so stale mappings are closed first.
                     _, key, specs, c0, c1 = msg
+                    stale, _, _ = banks.pop(key, ({}, 0, 0))
+                    for a in stale.values():
+                        a.close()
                     banks[key] = (_attach_all(specs), c0, c1)
                 elif tag == "detach":
                     _, key = msg
@@ -418,6 +451,17 @@ class ShardTransport:
         ``None`` means the channel died (EOF)."""
         raise NotImplementedError
 
+    # -- sketch renegotiation ------------------------------------------
+    def retune_sketch(self, static: Mapping[str, object], *,
+                      rank: int) -> None:
+        """Adopt a renegotiated sketch rank: ``static`` is the fabric's
+        updated static handle map (sketch segments already swapped for
+        the new-rank ones, or absent for rank 0).  Channel peers are
+        told to re-attach; bank projections re-arrive via the fabric's
+        follow-up adopt broadcast."""
+        self._static_handles = dict(static)
+        self._sketch_rank = int(rank)
+
     # -- faults --------------------------------------------------------
     def retire(self, i: int) -> None:
         """Mark channel ``i`` dead and stop its peer racing on state."""
@@ -522,7 +566,8 @@ class SharedMemoryTransport(ShardTransport):
     def _to_tuple(self, msg, ctx):
         if isinstance(msg, protocol.BuildShard):
             specs = {k: a.spec for k, a in ctx.bank.items()}
-            return ("attach", msg.key, specs, ctx.mu.spec, msg.c0, msg.c1)
+            return ("attach", msg.key, specs, ctx.mu.spec, msg.c0, msg.c1,
+                    msg.build_sketch)
         if isinstance(msg, protocol.AdoptShard):
             specs = {k: a.spec for k, a in ctx.bank.items()}
             return ("adopt", msg.key, specs, msg.c0, msg.c1)
@@ -560,6 +605,40 @@ class SharedMemoryTransport(ShardTransport):
                     (wid, protocol.ErrorReply(req_id=msg[1], message=msg[2]))
                 )
         return events
+
+    def retune_sketch(self, static, *, rank):
+        """Swap sketch segments pool-wide: update the spawn specs (so
+        respawned workers see the new rank), broadcast the retune verb,
+        and wait for every live worker's ack — a worker that cannot ack
+        is retired, exactly as a lost stage channel would be."""
+        super().retune_sketch(static, rank=rank)
+        self._specs = {k: a.spec for k, a in static.items()}
+        sketch_specs = {
+            k: self._specs[k] for k in ("P", "wd_p", "wd_psq")
+            if k in self._specs
+        }
+        pending = [
+            i for i, w in enumerate(self.workers)
+            if w.alive and w.send(("retune", sketch_specs, int(rank)))
+        ]
+        deadline = time.monotonic() + 30.0
+        while pending:
+            timeout = deadline - time.monotonic()
+            if timeout <= 0:
+                break
+            events = self.wait(pending, timeout)
+            if not events:
+                continue
+            for wid, reply in events:
+                if isinstance(reply, protocol.Ack) and reply.req_id == (
+                    "retune", int(rank)
+                ):
+                    pending.remove(wid)
+                elif reply is None:
+                    self.retire(wid)
+                    pending.remove(wid)
+        for wid in pending:  # pragma: no cover - pathological hang
+            self.retire(wid)
 
     def retire(self, i: int) -> None:
         """Terminate the worker so it can never race on shared buffers."""
@@ -866,6 +945,15 @@ class TcpTransport(ShardTransport):
             ctx.outs["m1"].array[msg.shard_idx, :, :J] = arrays["m1"]
             ctx.outs["m2"].array[msg.shard_idx, :J] = arrays["m2"]
 
+    def retune_sketch(self, static, *, rank):
+        """Adopt the new rank parent-side and notify shards (advisory):
+        remote screens infer the rank from the scratch arrays shipped
+        with every request, so refreshing ``_static_views`` is the whole
+        renegotiation — bank projections re-ship via adopt."""
+        super().retune_sketch(static, rank=rank)
+        self._static_views = {k: a.array for k, a in static.items()}
+        self.broadcast(protocol.RetuneSketch(rank=int(rank)))
+
     def retire(self, i: int) -> None:
         """Close the connection; the shard's per-connection state dies
         with it (no shared buffers to race on)."""
@@ -942,6 +1030,10 @@ class _ShardSession:
             return None, {}
         if isinstance(msg, protocol.DetachBank):
             self.banks.pop(msg.key, None)
+            return None, {}
+        if isinstance(msg, protocol.RetuneSketch):
+            # Advisory: per-request scratch arrays carry the actual rank;
+            # bank projections re-arrive via the parent's adopt re-ship.
             return None, {}
         bankv, c0, c1 = self.banks[msg.key]
         w = c1 - c0

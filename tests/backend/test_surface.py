@@ -40,12 +40,14 @@ def test_sketch_memo_key_includes_backend_identity(bk_inversion, bk_bank):
     sk1 = ident.sketch(2, seed=1)
     sk2 = ident.sketch(2, seed=1)
     assert sk1 is sk2
-    key = (2, 1) + default_backend().key()
+    key = (2, 1, "gaussian") + default_backend().key()
     assert key in ident._sketches
-    # Different (rank, seed) -> different entries under the same backend.
+    # Different (rank, seed, mode) -> distinct entries, same backend.
     ident.sketch(3, seed=1)
-    assert (3, 1) + default_backend().key() in ident._sketches
-    assert len(ident._sketches) == 2
+    assert (3, 1, "gaussian") + default_backend().key() in ident._sketches
+    ident.sketch(2, seed=1, mode="pca")
+    assert (2, 1, "pca") + default_backend().key() in ident._sketches
+    assert len(ident._sketches) == 3
 
 
 def test_server_surfaces_backend_and_report_keys(bk_inversion):

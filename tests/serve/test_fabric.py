@@ -503,3 +503,147 @@ def test_fabric_lifecycle_and_validation(server, serve_bank, serve_streams):
 def test_fabric_requires_config_fields(serve_inversion):
     with pytest.raises(TypeError):
         ServingFabric(serve_inversion, [], not_a_knob=3)
+
+
+# ----------------------------------------------------------------------
+# Adaptive sketch rank
+# ----------------------------------------------------------------------
+def _top6(log_evidence):
+    return np.argsort(-log_evidence, axis=1, kind="stable")[:, :6]
+
+
+def test_sketch_rank_config_validation(server, serve_bank):
+    with pytest.raises(ValueError, match="sketch_rank"):
+        server.fabric([serve_bank], n_workers=0, sketch_rank="bogus")
+    with pytest.raises(ValueError, match="sketch_mode"):
+        server.fabric(
+            [serve_bank], n_workers=0, sketch_rank=2, sketch_mode="svd"
+        )
+    with pytest.raises(ValueError, match="sketch_rank_max"):
+        server.fabric(
+            [serve_bank], n_workers=0, sketch_rank="auto",
+            sketch_rank_max=server.nd + 1,
+        )
+
+
+def test_auto_rank_retunes_and_stays_certified(
+    server, serve_bank, serve_streams, small_blocks
+):
+    """sketch_rank='auto' renegotiates the live rank from screen telemetry
+    without ever compromising the certificate: every response during and
+    after the retunes carries the exhaustive top-k."""
+    _, _, d_obs = serve_streams
+    ref = server.identify_batch(serve_bank, d_obs, k_slots=6)
+    with server.fabric(
+        [serve_bank], n_workers=2, sketch_rank="auto", sketch_mode="pca",
+        rank_cooldown=2, screen_min_scenarios=1, max_batch=32,
+    ) as fab:
+        assert fab.report()["fabric_auto_rank"] == 1.0
+        saw_change = False
+        for _ in range(12):
+            got = fab.identify(d_obs, k_slots=6, certified=True)
+            saw_change = saw_change or fab.last_report.rank_changed
+            assert np.array_equal(_top6(got.log_evidence), _top6(ref.log_evidence))
+        hist = fab.rank_history()
+        assert saw_change and len(hist) >= 1
+        for ev in hist:
+            assert set(ev) == {
+                "request", "from_rank", "to_rank",
+                "fallback_ewma", "pruned_ewma",
+            }
+            assert ev["to_rank"] != ev["from_rank"]
+        rep = fab.report()
+        assert rep["fabric_sketch_retunes"] == float(len(hist))
+        assert rep["fabric_sketch_rank"] == hist[-1]["to_rank"]
+        assert rep["fabric_sketch_mode_pca"] == 1.0
+        # History is a snapshot, not a live reference.
+        hist[0]["to_rank"] = -1.0
+        assert fab.rank_history()[0]["to_rank"] != -1.0
+
+
+def test_retune_rank_rebuild_matches_fresh_sketch(
+    server, serve_bank, serve_streams, small_blocks
+):
+    """A forced Gaussian retune rebuilds pmu/slot_psq bitwise equal to a
+    fresh flat sketch at the new rank, and shared-memory workers keep
+    serving exact results through the renegotiated mappings."""
+    _, _, d_obs = serve_streams
+    ident = server.scenario_identifier(serve_bank)
+    ref = server.identify_batch(serve_bank, d_obs, k_slots=6)
+    with server.fabric(
+        [serve_bank], n_workers=2, sketch_rank=3, screen_min_scenarios=1,
+    ) as fab:
+        before = fab.identify(d_obs, k_slots=6, certified=True)
+        assert fab.last_report.sketch_rank == 3
+        assert np.array_equal(_top6(before.log_evidence), _top6(ref.log_evidence))
+        fab._retune_rank(5)
+        _, proj, psq = ident.sketch(5, seed=0)
+        v = fab._resolve_bank(serve_bank).views
+        assert np.array_equal(v["pmu"], proj)
+        assert np.array_equal(v["slot_psq"], psq)
+        after = fab.identify(d_obs, k_slots=6, certified=True)
+        assert fab.last_report.sketch_rank == 5
+        assert np.array_equal(_top6(after.log_evidence), _top6(ref.log_evidence))
+
+
+# ----------------------------------------------------------------------
+# Screen telemetry aggregation
+# ----------------------------------------------------------------------
+def test_screen_telemetry_aggregates_across_microbatches_and_failover(
+    server, serve_bank, serve_streams, small_blocks
+):
+    """The lifetime screen counters (the rank controller's diet and the
+    Prometheus surface) accumulate exactly across micro-batched tickets,
+    worker loss, and respawn_workers."""
+    _, _, d_obs = serve_streams
+    S = len(serve_bank)
+    expected = {"requests": 0, "fallbacks": 0, "screened": 0, "pruned": 0}
+
+    def note_last(fab):
+        rep = fab.last_report
+        assert rep.screened
+        expected["requests"] += 1
+        expected["fallbacks"] += int(rep.screen_fallback)
+        expected["screened"] += S
+        expected["pruned"] += S - rep.n_candidates
+
+    def check(fab):
+        rep = fab.report()
+        assert rep["fabric_screened_requests"] == float(expected["requests"])
+        assert rep["fabric_screen_fallbacks"] == float(expected["fallbacks"])
+        assert rep["fabric_screened_columns"] == float(expected["screened"])
+        assert rep["fabric_pruned_columns"] == float(expected["pruned"])
+        assert expected["pruned"] <= expected["screened"]
+
+    with server.fabric(
+        [serve_bank], n_workers=2, sketch_rank=4, screen_min_scenarios=1,
+        max_batch=4,
+    ) as fab:
+        # Micro-batched tickets: 8 submits at max_batch=4 = two batches.
+        tickets = [fab.submit(d_obs[:, :, j], 6) for j in range(4)]
+        note_last(fab)
+        tickets += [fab.submit(d_obs[:, :, j], 6) for j in range(4, 8)]
+        note_last(fab)
+        assert all(t.done for t in tickets)
+        check(fab)
+
+        # A screen=False request must not touch the screen counters.
+        fab.identify(d_obs[:, :, :2], k_slots=6, screen=False)
+        check(fab)
+
+        # Counters keep aggregating through worker loss (parent failover
+        # still screens) ...
+        fab._workers[0].process.kill()
+        fab._workers[0].process.join()
+        fab.identify(d_obs[:, :, :4], k_slots=6)
+        assert fab.last_report.degraded
+        assert fab.last_report.workers_lost >= 1
+        note_last(fab)
+        check(fab)
+
+        # ... and across a respawn.
+        assert fab.respawn_workers() == 1
+        fab.identify(d_obs[:, :, :4], k_slots=8)
+        assert not fab.last_report.degraded
+        note_last(fab)
+        check(fab)

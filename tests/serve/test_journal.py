@@ -22,6 +22,8 @@ window must replay:
 from __future__ import annotations
 
 import asyncio
+import os
+import shutil
 import struct
 import warnings
 
@@ -257,3 +259,145 @@ def test_recover_requires_a_path(fab):
             await gw.recover()
 
     asyncio.run(run())
+
+
+# ----------------------------------------------------------------------
+# Rotation + compaction
+# ----------------------------------------------------------------------
+def test_rotation_seals_segments_and_read_spans_them(tmp_path, serve_streams):
+    """Small rotate_bytes seals segments; read returns every record in
+    original order, oldest segment first."""
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+    journal = GatewayJournal(path, rotate_bytes=1)  # rotate on every append
+    for seq in range(4):
+        journal.append(_submit_record(seq, f"k{seq}", d_obs[:, :, seq]))
+    journal.close()
+
+    segs = GatewayJournal.segments(path)
+    assert segs == [str(path) + f".{n}" for n in (1, 2, 3, 4)] + [str(path)]
+    entries, skipped = GatewayJournal.read(path)
+    assert skipped == 0
+    assert [e.seq for e in entries] == [0, 1, 2, 3]
+
+
+def test_recover_replays_across_rotated_segments(fab, serve_streams, tmp_path):
+    """An unsettled submit in an *old* rotated segment is still replayed."""
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+    journal = GatewayJournal(path, rotate_bytes=1)
+    journal.append(_submit_record(0, "old", d_obs[:, :, 0]))  # rotated away
+    journal.append(protocol.JournalSettle(seq=1, status="ok"))  # noise
+    journal.close()
+
+    async def run():
+        gw = IngestGateway(fab, flush_ms=2.0, journal_path=path)
+        before = fab.report()["fabric_requests"]
+        rep = await gw.recover()
+        assert rep.replayed == 1 and rep.responses[0].status == "ok"
+        assert fab.report()["fabric_requests"] == before + 1
+        assert gw._seq == 2  # continues above everything read
+        gw.close()
+
+    asyncio.run(run())
+
+
+def test_compact_drops_settled_keeps_pending(tmp_path, serve_streams):
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+    journal = GatewayJournal(path, rotate_bytes=1)
+    journal.append(_submit_record(0, "done", d_obs[:, :, 0]))
+    journal.append(protocol.JournalSettle(seq=0, status="ok"))
+    journal.append(_submit_record(1, "pending", d_obs[:, :, 1]))
+    size_before = sum(
+        os.path.getsize(s) for s in GatewayJournal.segments(path)
+    )
+    stats = journal.compact()
+    assert stats == {
+        "kept": 1, "tombstones": 1, "dropped": 1, "segments_removed": 3
+    }
+    # Everything collapsed into the single active segment, smaller.
+    assert GatewayJournal.segments(path) == [str(path)]
+    assert os.path.getsize(path) < size_before
+
+    entries, skipped = GatewayJournal.read(path)
+    assert skipped == 0
+    kinds = [(type(e).__name__, e.seq) for e in entries]
+    assert kinds == [("JournalSubmit", 1), ("JournalSettle", 0)]
+
+    # The journal stays appendable after compaction, and a second
+    # compact drops the now-orphaned tombstone (its submit is gone).
+    journal.append(protocol.JournalSettle(seq=1, status="ok"))
+    stats2 = journal.compact()
+    journal.close()
+    assert stats2["kept"] == 0 and stats2["tombstones"] == 1
+    entries2, _ = GatewayJournal.read(path)
+    assert [type(e).__name__ for e in entries2] == ["JournalSettle"]
+    j3 = GatewayJournal(path)
+    stats3 = j3.compact()
+    j3.close()
+    assert stats3 == {
+        "kept": 0, "tombstones": 0, "dropped": 1, "segments_removed": 0
+    }
+
+
+def test_compact_tombstones_cover_resurfaced_segments(
+    fab, serve_streams, tmp_path
+):
+    """Crash window between rename and unlink: a stale rotated segment
+    resurfaces its settled submit, but the compacted file's tombstone
+    keeps it settled — recovery never replays a delivered request."""
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+    journal = GatewayJournal(path, rotate_bytes=1)
+    journal.append(_submit_record(0, "done", d_obs[:, :, 0]))
+    journal.append(protocol.JournalSettle(seq=0, status="ok"))
+    stale = tmp_path / "stale.copy"
+    shutil.copy(str(path) + ".1", stale)  # the segment unlink will remove
+    journal.compact()
+    journal.close()
+    shutil.copy(stale, str(path) + ".1")  # simulate the failed unlink
+
+    async def run():
+        gw = IngestGateway(fab, flush_ms=2.0, journal_path=path)
+        before = fab.report()["fabric_requests"]
+        rep = await gw.recover()
+        assert rep.replayed == 0 and rep.settled == 1
+        assert fab.report()["fabric_requests"] == before
+        gw.close()
+
+    asyncio.run(run())
+
+
+def test_gateway_journal_rotation_end_to_end(fab, serve_streams, tmp_path):
+    """Gateway-opened rotating journal: settled traffic compacts to
+    nothing replayable; sequence numbers keep climbing."""
+    _, _, d_obs = serve_streams
+    path = tmp_path / "gw.journal"
+
+    async def run():
+        gw = IngestGateway(
+            fab, flush_ms=2.0, journal_path=path, journal_rotate_bytes=64
+        )
+        for i in range(3):
+            ok = await gw.submit(d_obs[:, :, i], 6, idempotency_key=f"k{i}")
+            assert ok.status == "ok"
+        assert len(GatewayJournal.segments(path)) > 1
+        stats = gw.journal.compact()
+        assert stats["kept"] == 0 and stats["tombstones"] == 3
+        gw.close()
+
+        gw2 = IngestGateway(fab, flush_ms=2.0, journal_path=path)
+        before = fab.report()["fabric_requests"]
+        rep = await gw2.recover()
+        assert rep.replayed == 0
+        assert fab.report()["fabric_requests"] == before
+        assert gw2._seq == 3
+        gw2.close()
+
+    asyncio.run(run())
+
+
+def test_rotate_bytes_validation(tmp_path):
+    with pytest.raises(ValueError, match="rotate_bytes"):
+        GatewayJournal(tmp_path / "j", rotate_bytes=0)

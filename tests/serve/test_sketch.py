@@ -24,7 +24,15 @@ import numpy as np
 import pytest
 
 import repro.serve.sketch as sketch_mod
-from repro.serve import BatchedPhase4Server, ScenarioIdentifier, SlotSketch
+from repro.serve import (
+    BatchedPhase4Server,
+    ScenarioIdentifier,
+    ServingFabric,
+    SlotSketch,
+    TcpTransport,
+    pca_basis,
+    start_local_shards,
+)
 
 
 @pytest.fixture()
@@ -71,6 +79,72 @@ def test_projection_never_grows_energy():
     full_rank = SlotSketch(nt=4, nd=10, rank=10, seed=1)
     _, psq_full = full_rank.project_bank(W)
     np.testing.assert_allclose(psq_full, full, rtol=1e-12)
+
+
+def test_pca_basis_properties():
+    """Per-slot orthonormality, determinism, Eckart–Young dominance."""
+    nt, nd, S, rank = 5, 8, 21, 3
+    rng = np.random.default_rng(2)
+    W = rng.standard_normal((nt * nd, S))
+    P = pca_basis(W, nt, nd, rank)
+    assert P.shape == (nt * rank, nd) and P.flags["C_CONTIGUOUS"]
+    for t in range(nt):
+        rows = P[t * rank : (t + 1) * rank]
+        np.testing.assert_allclose(rows @ rows.T, np.eye(rank), atol=1e-10)
+    # Deterministic (sign canonicalization pins the eigenvector signs).
+    np.testing.assert_array_equal(P, pca_basis(W, nt, nd, rank))
+
+    # Eckart–Young: at equal rank, the PCA rows capture at least as much
+    # bank energy per slot as any Gaussian draw — so the certified
+    # bracket's remainder term can only shrink.
+    pca = SlotSketch(nt, nd, rank, matrix=P, mode="pca")
+    _, psq_pca = pca.project_bank(W)
+    full = np.einsum(
+        "tds,tds->ts", W.reshape(nt, nd, S), W.reshape(nt, nd, S)
+    )
+    for seed in (0, 1, 2):
+        _, psq_g = SlotSketch(nt, nd, rank, seed=seed).project_bank(W)
+        assert psq_pca.sum() >= psq_g.sum() - 1e-9
+    # Full rank is lossless, like the Gaussian full-rank case.
+    full_pca = SlotSketch.from_bank(W, nt, nd, nd)
+    _, psq_full = full_pca.project_bank(W)
+    np.testing.assert_allclose(psq_full, full, rtol=1e-10)
+
+    # from_bank is exactly pca_basis + SlotSketch(matrix=...).
+    np.testing.assert_array_equal(
+        SlotSketch.from_bank(W, nt, nd, rank).projections, P
+    )
+    with pytest.raises(ValueError, match="pca"):
+        SlotSketch(nt, nd, rank, mode="pca")  # data-dependent: needs matrix
+    with pytest.raises(ValueError):
+        SlotSketch(nt, nd, rank, matrix=P[:1], mode="pca")
+
+
+def test_pca_projection_is_shard_invariant():
+    """Projecting block-aligned column ranges separately is bitwise equal
+    to the full-range projection — the invariant that lets shards hold
+    arbitrary (aligned) column spans of a PCA-sketched bank."""
+    nt, nd, S, rank = 4, 6, 37, 2
+    rng = np.random.default_rng(8)
+    W = rng.standard_normal((nt * nd, S))
+    sk = SlotSketch.from_bank(W, nt, nd, rank)
+    ref_proj, ref_psq = sk.project_bank(W)
+    old = sketch_mod.COL_BLOCK
+    try:
+        sketch_mod.COL_BLOCK = 8
+        whole = np.empty((nt * rank, S))
+        wpsq = np.empty((nt, S))
+        sk.project_bank_columns(W, whole, wpsq, 0, S)
+        parts = np.empty_like(whole)
+        ppsq = np.empty_like(wpsq)
+        for c0, c1 in ((0, 16), (16, 24), (24, S)):  # 8-aligned shards
+            sk.project_bank_columns(W, parts, ppsq, c0, c1)
+        np.testing.assert_array_equal(parts, whole)
+        np.testing.assert_array_equal(ppsq, wpsq)
+    finally:
+        sketch_mod.COL_BLOCK = old
+    np.testing.assert_allclose(whole, ref_proj, rtol=0, atol=1e-12)
+    np.testing.assert_allclose(wpsq, ref_psq, rtol=0, atol=1e-12)
 
 
 def test_fleet_incremental_projection_matches_catchup(serve_inversion, serve_streams):
@@ -202,6 +276,64 @@ def test_sharded_bank_sketch_bitmatch(server, serve_bank, small_blocks):
         assert np.array_equal(v["slot_psq"], psq)
 
 
+def test_pca_shard_builds_bitwise_across_layouts_and_transports(
+    server, serve_inversion, serve_bank, small_blocks
+):
+    """PCA shard builds are bitwise layout- and transport-independent.
+
+    The basis is computed by the parent from the assembled whitened bank
+    and the projection chunks on absolute COL_BLOCK boundaries, so
+    sharded shared-memory workers, the flat in-process path, and TCP
+    shard servers must all publish identical ``pmu``/``slot_psq``."""
+    ident = server.scenario_identifier(serve_bank)
+    _, proj, psq = ident.sketch(3, mode="pca")
+    builds = {}
+    for n_workers in (2, 0):
+        with server.fabric(
+            [serve_bank], n_workers=n_workers, sketch_rank=3,
+            sketch_mode="pca",
+        ) as fab:
+            v = fab._resolve_bank(serve_bank).views
+            builds[n_workers] = (v["pmu"].copy(), v["slot_psq"].copy())
+    servers = start_local_shards(2)
+    try:
+        with ServingFabric(
+            serve_inversion, [serve_bank],
+            transport=TcpTransport([s.address for s in servers]),
+            sketch_rank=3, sketch_mode="pca",
+        ) as fab:
+            v = fab._resolve_bank(serve_bank).views
+            builds["tcp"] = (v["pmu"].copy(), v["slot_psq"].copy())
+    finally:
+        for s in servers:
+            s.stop()
+    for layout, (pmu, slot_psq) in builds.items():
+        np.testing.assert_array_equal(pmu, proj, err_msg=str(layout))
+        np.testing.assert_array_equal(slot_psq, psq, err_msg=str(layout))
+
+
+def test_evidence_interval_pca_tightens_over_gaussian(
+    server, serve_bank, serve_streams
+):
+    """At equal rank the bank-PCA bracket is tighter than the Gaussian
+    one on average (Eckart--Young: the basis captures the most bank
+    energy any rank-r projection can), and both still contain exact."""
+    _, _, d_obs = serve_streams
+    nt = server.nt
+    session = server.open_identification(serve_bank, d_obs[:, :, :6])
+    rng = np.random.default_rng(3)
+    session.advance(rng.integers(1, nt + 1, size=6))
+    ev = session.log_evidence()
+    rank = 3
+    lb_g, ub_g = session.evidence_interval(stride=3, sketch_rank=rank)
+    lb_p, ub_p = session.evidence_interval(
+        stride=3, sketch_rank=rank, sketch_mode="pca"
+    )
+    for lb, ub in ((lb_g, ub_g), (lb_p, ub_p)):
+        assert np.all(lb <= ev + 1e-9) and np.all(ev <= ub + 1e-9)
+    assert (ub_p - lb_p).mean() < (ub_g - lb_g).mean()
+
+
 # ----------------------------------------------------------------------
 # Adversarial: sketch inner product mis-ranks, certified bracket refuses
 # ----------------------------------------------------------------------
@@ -274,6 +406,18 @@ def test_certified_refuses_to_prune_sketch_misranking(server):
         np.testing.assert_allclose(
             cert.log_evidence[0], sess.log_evidence()[0], rtol=0, atol=1e-9
         )
+
+    # Bank-PCA mode on the same adversarial bank: the data-dependent
+    # basis changes what the sketch sees, never what the certificate
+    # guarantees — certified top-k still equals exhaustive.
+    with server.fabric(
+        [records], n_workers=0, sketch_rank=rank, sketch_mode="pca",
+        screen_stride=nt, screen_top=1, screen_min_scenarios=1,
+    ) as fab:
+        cert = fab.identify(d_stream, nt, certified=True)
+        assert fab.last_report.screened
+        assert fab.last_report.sketch_mode == "pca"
+        assert [s for s, _ in cert.top_k(2)[0]] == exhaustive
 
 
 # ----------------------------------------------------------------------

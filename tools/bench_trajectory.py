@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""Aggregate ``benchmarks/reports/BENCH_*.json`` into one trajectory file.
+
+Each bench smoke emits a machine-readable ``BENCH_<name>.json``.  This
+tool folds them into a single ``BENCH_trajectory.json`` so the
+performance trajectory (throughput, certified fallback rates, sketch
+modes/ranks, speedups) can be tracked across PRs from one artifact
+instead of five, and compares the fresh aggregate against the previous
+trajectory file when one exists:
+
+* **Correctness flags** (``certified_topk_identical``,
+  ``evidence_bitwise_identical``, ``pca_tightens``, ...) regressing from
+  true to false are always reported.
+* **Higher-is-better metrics** (``throughput_*``, ``speedup``,
+  ``pruned_fraction``, ...) dropping by more than ``--tolerance``
+  (default 15%) are reported.
+
+Warnings are *soft* by default — they print, they land in the
+``warnings`` section of the output, but the exit code stays 0 (shared CI
+runners make timing numbers noisy, and ``--tiny`` throughput is noise by
+design).  ``--strict`` turns correctness regressions (only) into a
+non-zero exit.  Run by the CI bench steps::
+
+    python tools/bench_trajectory.py [--reports DIR] [--tolerance 0.15]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+OUTPUT_NAME = "BENCH_trajectory.json"
+
+# Leaf keys whose value is a correctness claim: a true -> false flip is a
+# regression no matter how noisy the runner is.
+CORRECTNESS_FLAGS = {
+    "certified_topk_identical",
+    "deterministic_across_reruns",
+    "evidence_bitwise_identical",
+    "pca_prunes_no_worse",
+    "pca_tightens",
+}
+
+# Leaf keys where bigger is better; drops beyond the tolerance warn.
+HIGHER_IS_BETTER_PREFIXES = (
+    "throughput",
+    "speedup",
+    "sustained_rps",
+    "sweeps_per_sec",
+    "pruned_fraction",
+    "width_tightening",
+    "auto_vs_static",
+    "fallback_improvement",
+)
+
+
+def flatten(payload, prefix=""):
+    """Flatten nested dicts to ``a.b.c`` keys; lists are kept verbatim."""
+    flat = {}
+    for key, value in payload.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(flatten(value, f"{dotted}."))
+        else:
+            flat[dotted] = value
+    return flat
+
+
+def _as_number(value):
+    """Numeric view of a metric; the ``"inf"`` sentinel counts as inf."""
+    if value == "inf":
+        return float("inf")
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def _is_higher_better(dotted: str) -> bool:
+    leaf = dotted.rsplit(".", 1)[-1]
+    return leaf.startswith(HIGHER_IS_BETTER_PREFIXES)
+
+
+def aggregate(report_dir: Path) -> dict:
+    """Fold every ``BENCH_*.json`` (minus the trajectory itself) together."""
+    benches = {}
+    for path in sorted(report_dir.glob("BENCH_*.json")):
+        if path.name == OUTPUT_NAME:
+            continue
+        name = path.stem[len("BENCH_"):]
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            benches[name] = {"error": f"unreadable: {exc}"}
+            continue
+        flat = flatten(payload)
+        benches[name] = {
+            "metrics": {
+                k: v for k, v in flat.items() if _as_number(v) is not None
+            },
+            "correctness": {
+                k: v
+                for k, v in flat.items()
+                if k.rsplit(".", 1)[-1] in CORRECTNESS_FLAGS
+            },
+        }
+    return benches
+
+
+def compare(benches: dict, previous: dict, tolerance: float):
+    """Soft-regression warnings of ``benches`` vs a prior trajectory."""
+    warnings = []
+    for name, entry in benches.items():
+        prior = previous.get("benches", {}).get(name, {})
+        for key, old in prior.get("correctness", {}).items():
+            new = entry.get("correctness", {}).get(key)
+            if old is True and new is False:
+                warnings.append(
+                    {
+                        "bench": name,
+                        "metric": key,
+                        "kind": "correctness",
+                        "previous": True,
+                        "current": False,
+                    }
+                )
+        for key, old in prior.get("metrics", {}).items():
+            if not _is_higher_better(key):
+                continue
+            old_n = _as_number(old)
+            new_n = _as_number(entry.get("metrics", {}).get(key))
+            if old_n is None or new_n is None or old_n <= 0:
+                continue
+            if new_n < old_n * (1.0 - tolerance):
+                warnings.append(
+                    {
+                        "bench": name,
+                        "metric": key,
+                        "kind": "perf",
+                        "previous": old_n,
+                        "current": new_n,
+                        "ratio": new_n / old_n,
+                    }
+                )
+    return warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reports",
+        type=Path,
+        default=Path(__file__).parent.parent / "benchmarks" / "reports",
+        help="directory holding BENCH_*.json (default: benchmarks/reports)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help=f"output path (default: <reports>/{OUTPUT_NAME})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.15,
+        help="fractional drop of a higher-is-better metric that warns",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on correctness regressions (perf stays soft)",
+    )
+    args = parser.parse_args(argv)
+
+    report_dir = args.reports
+    out_path = args.out or report_dir / OUTPUT_NAME
+    benches = aggregate(report_dir)
+    if not benches:
+        print(f"no BENCH_*.json found under {report_dir}", file=sys.stderr)
+        return 1
+
+    previous = {}
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            previous = {}  # a torn previous file never blocks the refresh
+    warnings = compare(benches, previous, args.tolerance)
+
+    trajectory = {
+        "benches": benches,
+        "tolerance": args.tolerance,
+        "warnings": warnings,
+    }
+    out_path.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+
+    n_flags = sum(len(b.get("correctness", {})) for b in benches.values())
+    print(
+        f"aggregated {len(benches)} bench report(s), "
+        f"{n_flags} correctness flag(s) -> {out_path}"
+    )
+    hard = 0
+    for w in warnings:
+        if w["kind"] == "correctness":
+            hard += 1
+            print(
+                f"  REGRESSION {w['bench']}:{w['metric']} flipped true -> false"
+            )
+        else:
+            print(
+                f"  warning: {w['bench']}:{w['metric']} "
+                f"{w['previous']:.4g} -> {w['current']:.4g} "
+                f"({w['ratio']:.0%} of previous)"
+            )
+    if not warnings:
+        print("no regressions vs previous trajectory"
+              if previous else "no previous trajectory to compare against")
+    return 1 if (args.strict and hard) else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
